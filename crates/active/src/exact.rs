@@ -1,0 +1,183 @@
+//! Exact minimum active time via branch-and-bound.
+//!
+//! The complexity of the (integrally preemptive) active-time problem is
+//! open — the paper conjectures NP-hardness — so the exact solver is a
+//! search: decide each horizon slot open/closed, pruning a branch as soon
+//! as (a) it cannot beat the incumbent, or (b) even opening every
+//! undecided slot is infeasible (closing is monotone, so this prune is
+//! sound). Intended for the small instances used to measure approximation
+//! ratios; the approximation algorithms are the scalable path.
+
+use crate::feasibility::FeasibilityChecker;
+use crate::minimal::{minimal_feasible, ClosingOrder};
+use abt_core::active_schedule::horizon_slots;
+use abt_core::{active_lower_bound, ActiveSchedule, Error, Instance, Result, Time};
+
+/// Result of an exact solve.
+#[derive(Debug, Clone)]
+pub struct ExactActive {
+    /// Optimal active slots.
+    pub slots: Vec<Time>,
+    /// An optimal schedule.
+    pub schedule: ActiveSchedule,
+    /// Number of search nodes explored (for reporting).
+    pub nodes: u64,
+}
+
+/// Solves the instance to optimality. Errors if infeasible.
+///
+/// `node_limit` bounds the search (None = unlimited); hitting it returns
+/// [`Error::Unsupported`] so callers can fall back to approximations.
+pub fn exact_active_time(inst: &Instance, node_limit: Option<u64>) -> Result<ExactActive> {
+    let checker = FeasibilityChecker::new(inst);
+    let all = horizon_slots(inst);
+    if !checker.is_feasible(&all) {
+        return Err(Error::Infeasible("no feasible schedule exists".into()));
+    }
+    // Warm start: the best minimal feasible solution over a few orders.
+    let mut best: Vec<Time> = all.clone();
+    for order in [
+        ClosingOrder::RightToLeft,
+        ClosingOrder::LeftToRight,
+        ClosingOrder::OutsideIn,
+    ] {
+        if let Ok(res) = minimal_feasible(inst, order) {
+            if res.slots.len() < best.len() {
+                best = res.slots;
+            }
+        }
+    }
+    let lb = active_lower_bound(inst);
+
+    struct Search<'a> {
+        checker: FeasibilityChecker<'a>,
+        all: Vec<Time>,
+        best: Vec<Time>,
+        nodes: u64,
+        limit: u64,
+        lb: i64,
+    }
+    impl Search<'_> {
+        /// `open`: decided-open slots; `idx`: next undecided position.
+        fn dfs(&mut self, open: &mut Vec<Time>, idx: usize) -> Result<()> {
+            self.nodes += 1;
+            if self.nodes > self.limit {
+                return Err(Error::Unsupported(format!(
+                    "exact active-time search exceeded {} nodes",
+                    self.limit
+                )));
+            }
+            if open.len() >= self.best.len() {
+                return Ok(()); // cannot strictly improve
+            }
+            if (self.best.len() as i64) == self.lb {
+                return Ok(()); // incumbent provably optimal
+            }
+            if idx == self.all.len() {
+                if self.checker.is_feasible(open) {
+                    self.best = open.clone();
+                }
+                return Ok(());
+            }
+            // Candidate relaxation: open ∪ undecided suffix.
+            let mut relaxed: Vec<Time> = open.clone();
+            relaxed.extend_from_slice(&self.all[idx..]);
+            if !self.checker.is_feasible(&relaxed) {
+                return Ok(()); // monotone prune
+            }
+            // Branch: close slot idx first (biases towards small solutions).
+            self.dfs(open, idx + 1)?;
+            open.push(self.all[idx]);
+            self.dfs(open, idx + 1)?;
+            open.pop();
+            Ok(())
+        }
+    }
+
+    let mut search = Search {
+        checker,
+        all,
+        best,
+        nodes: 0,
+        limit: node_limit.unwrap_or(u64::MAX),
+        lb,
+    };
+    let mut open = Vec::new();
+    search.dfs(&mut open, 0)?;
+
+    let schedule = FeasibilityChecker::new(inst)
+        .check(&search.best)
+        .expect("incumbent is feasible");
+    Ok(ExactActive { slots: search.best, schedule, nodes: search.nodes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_job() {
+        let inst = Instance::from_triples([(0, 10, 4)], 1).unwrap();
+        let res = exact_active_time(&inst, None).unwrap();
+        assert_eq!(res.slots.len(), 4);
+        res.schedule.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn sharing_pays() {
+        // Two jobs of length 2 with overlapping windows, g=2: OPT = 2.
+        let inst = Instance::from_triples([(0, 4, 2), (1, 3, 2)], 2).unwrap();
+        let res = exact_active_time(&inst, None).unwrap();
+        assert_eq!(res.slots.len(), 2);
+    }
+
+    #[test]
+    fn capacity_forces_spread() {
+        // Same but g=1: OPT = 4.
+        let inst = Instance::from_triples([(0, 4, 2), (1, 3, 2)], 1).unwrap();
+        let res = exact_active_time(&inst, None).unwrap();
+        assert_eq!(res.slots.len(), 4);
+    }
+
+    #[test]
+    fn matches_lower_bound_on_packed_instance() {
+        // g jobs of length L in a window of exactly L slots: OPT = L.
+        let inst = Instance::from_triples([(0, 5, 5), (0, 5, 5), (0, 5, 5)], 3).unwrap();
+        let res = exact_active_time(&inst, None).unwrap();
+        assert_eq!(res.slots.len(), 5);
+    }
+
+    #[test]
+    fn infeasible_errors() {
+        let inst = Instance::from_triples([(0, 1, 1), (0, 1, 1)], 1).unwrap();
+        assert!(matches!(exact_active_time(&inst, None), Err(Error::Infeasible(_))));
+    }
+
+    #[test]
+    fn node_limit_respected() {
+        let inst = Instance::from_triples(
+            (0..8).map(|i| (i, i + 6, 2)),
+            2,
+        )
+        .unwrap();
+        match exact_active_time(&inst, Some(0)) {
+            Err(Error::Unsupported(_)) => {}
+            other => panic!("expected node-limit error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_beats_or_ties_minimal() {
+        let inst = Instance::from_triples(
+            [(0, 6, 3), (1, 5, 2), (2, 4, 2), (0, 2, 1), (3, 8, 2)],
+            2,
+        )
+        .unwrap();
+        let exact = exact_active_time(&inst, None).unwrap();
+        for order in [ClosingOrder::LeftToRight, ClosingOrder::RightToLeft] {
+            let min = minimal_feasible(&inst, order).unwrap();
+            assert!(exact.slots.len() <= min.slots.len());
+        }
+        exact.schedule.validate(&inst).unwrap();
+    }
+}

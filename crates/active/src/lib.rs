@@ -1,0 +1,34 @@
+//! # abt-active
+//!
+//! Algorithms for the **active time** problem (§2–3 of Chang–Khuller–
+//! Mukherjee, SPAA 2014): schedule jobs preemptively (at integer points) on
+//! one machine with at most `g` job-units per active slot, minimizing the
+//! number of active slots.
+//!
+//! * [`feasibility`] — the max-flow oracle `G_feas` (Fig. 2).
+//! * [`minimal`] — minimal feasible solutions: a 3-approximation for *any*
+//!   closing order (Theorem 1; tight by the Fig. 3 gadget).
+//! * [`rounding`] — the LP-rounding 2-approximation (Theorem 2), on top of
+//!   [`lp_model`] (the `LP1` relaxation, solved with exact rationals) and
+//!   [`right_shift`] (§3.1 preprocessing).
+//! * [`exact`] — branch-and-bound optimum for ratio measurements.
+//! * [`unit`] — the exact rightmost-greedy for unit jobs
+//!   (Chang–Gabow–Khuller special case).
+
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod feasibility;
+pub mod lp_model;
+pub mod minimal;
+pub mod right_shift;
+pub mod rounding;
+pub mod unit;
+
+pub use exact::{exact_active_time, ExactActive};
+pub use feasibility::{feasible_on, schedule_on, FeasibilityChecker};
+pub use lp_model::{fractional_feasible, solve_active_lp, ActiveLp};
+pub use minimal::{is_minimal, minimal_feasible, minimal_feasible_from, ClosingOrder, MinimalResult};
+pub use right_shift::{right_shift, RightShifted, Segment};
+pub use rounding::{lp_rounding, lp_rounding_from, ChargeKind, RoundingOutcome};
+pub use unit::{exact_unit_active_time, UnitExact};

@@ -1,0 +1,184 @@
+//! The natural LP relaxation `LP1` of the active-time IP (§3).
+//!
+//! Variables: `y_t ∈ [0, 1]` per horizon slot (is slot `t` open?) and
+//! `x_{t,j} ≥ 0` per job and window slot (units of `j` in `t`).
+//! Constraints: `x_{t,j} ≤ y_t`, `Σ_j x_{t,j} ≤ g·y_t`, `Σ_t x_{t,j} ≥ p_j`.
+//! Objective: minimize `Σ_t y_t`.
+//!
+//! Solved with the exact rational simplex so that the rounding algorithm's
+//! case analysis (`⌊Y_i⌋`, comparisons against ½) is exact.
+
+#![allow(clippy::needless_range_loop)] // job indices are shared across parallel vectors
+
+use abt_core::active_schedule::{horizon_slots, job_feasible_in_slot};
+use abt_core::{Error, Instance, Result, Time};
+use abt_lp::{solve, Cmp, LpProblem, LpStatus, Rat};
+
+/// An optimal fractional solution of `LP1`.
+#[derive(Debug, Clone)]
+pub struct ActiveLp {
+    /// Horizon slots, ascending; parallel to `y`.
+    pub slots: Vec<Time>,
+    /// Optimal `y_t` per slot.
+    pub y: Vec<Rat>,
+    /// Optimal objective `Σ_t y_t` — a lower bound on integral OPT.
+    pub objective: Rat,
+}
+
+/// Builds and solves `LP1` for `inst`.
+pub fn solve_active_lp(inst: &Instance) -> Result<ActiveLp> {
+    let slots = horizon_slots(inst);
+    let mut lp: LpProblem<Rat> = LpProblem::new();
+
+    // y variables.
+    let y_vars: Vec<_> = slots.iter().map(|_| lp.add_var(Rat::ONE)).collect();
+    for &v in &y_vars {
+        lp.bound_var(v, Rat::ONE);
+    }
+    // x variables, only inside windows.
+    let mut x_vars: Vec<Vec<(usize, usize)>> = vec![Vec::new(); inst.len()]; // (slot idx, var)
+    for j in 0..inst.len() {
+        for (si, &t) in slots.iter().enumerate() {
+            if job_feasible_in_slot(inst, j, t) {
+                let v = lp.add_var(Rat::ZERO);
+                x_vars[j].push((si, v));
+            }
+        }
+    }
+    // x_{t,j} ≤ y_t.
+    for row in &x_vars {
+        for &(si, v) in row {
+            lp.add_constraint(
+                vec![(v, Rat::ONE), (y_vars[si], Rat::from_int(-1))],
+                Cmp::Le,
+                Rat::ZERO,
+            );
+        }
+    }
+    // Σ_j x_{t,j} ≤ g·y_t.
+    let g = Rat::from_int(inst.g() as i64);
+    for (si, &yv) in y_vars.iter().enumerate() {
+        let mut terms: Vec<(usize, Rat)> = x_vars
+            .iter()
+            .flat_map(|row| row.iter().filter(|&&(s, _)| s == si).map(|&(_, v)| (v, Rat::ONE)))
+            .collect();
+        if terms.is_empty() {
+            continue;
+        }
+        terms.push((yv, g.neg()));
+        lp.add_constraint(terms, Cmp::Le, Rat::ZERO);
+    }
+    // Σ_t x_{t,j} ≥ p_j.
+    for (j, row) in x_vars.iter().enumerate() {
+        let terms: Vec<(usize, Rat)> = row.iter().map(|&(_, v)| (v, Rat::ONE)).collect();
+        lp.add_constraint(terms, Cmp::Ge, Rat::from_int(inst.job(j).length));
+    }
+
+    let sol = solve(&lp);
+    match sol.status {
+        LpStatus::Optimal => {
+            let y: Vec<Rat> = y_vars.iter().map(|&v| sol.x[v]).collect();
+            Ok(ActiveLp { slots, y, objective: sol.objective })
+        }
+        LpStatus::Infeasible => Err(Error::Infeasible("LP1 infeasible: no schedule exists".into())),
+        LpStatus::Unbounded => unreachable!("LP1 objective is bounded below by 0"),
+    }
+}
+
+/// Checks whether a *fractional* assignment exists for all jobs given fixed
+/// slot openings `y` (the feasibility system `LP2` of §3.1). Used to
+/// validate the right-shifting lemma in tests.
+pub fn fractional_feasible(inst: &Instance, slots: &[Time], y: &[Rat]) -> bool {
+    assert_eq!(slots.len(), y.len());
+    let mut lp: LpProblem<Rat> = LpProblem::new();
+    let mut x_vars: Vec<Vec<(usize, usize)>> = vec![Vec::new(); inst.len()];
+    for j in 0..inst.len() {
+        for (si, &t) in slots.iter().enumerate() {
+            if job_feasible_in_slot(inst, j, t) && y[si].signum() > 0 {
+                let v = lp.add_var(Rat::ZERO);
+                x_vars[j].push((si, v));
+                lp.bound_var(v, y[si]); // x ≤ y
+            }
+        }
+    }
+    let g = Rat::from_int(inst.g() as i64);
+    for (si, yt) in y.iter().enumerate() {
+        let terms: Vec<(usize, Rat)> = x_vars
+            .iter()
+            .flat_map(|row| row.iter().filter(|&&(s, _)| s == si).map(|&(_, v)| (v, Rat::ONE)))
+            .collect();
+        if !terms.is_empty() {
+            lp.add_constraint(terms, Cmp::Le, g.mul(yt));
+        }
+    }
+    for (j, row) in x_vars.iter().enumerate() {
+        let terms: Vec<(usize, Rat)> = row.iter().map(|&(_, v)| (v, Rat::ONE)).collect();
+        lp.add_constraint(terms, Cmp::Ge, Rat::from_int(inst.job(j).length));
+    }
+    matches!(solve(&lp).status, LpStatus::Optimal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_lower_bounds_integral_opt() {
+        let inst = Instance::from_triples([(0, 4, 2), (1, 3, 2)], 2).unwrap();
+        let lp = solve_active_lp(&inst).unwrap();
+        // Integral OPT is 2; LP must be ≤ 2 and ≥ P/g = 2.
+        assert_eq!(lp.objective, Rat::from_int(2));
+    }
+
+    #[test]
+    fn lp_detects_infeasible() {
+        let inst = Instance::from_triples([(0, 1, 1), (0, 1, 1)], 1).unwrap();
+        assert!(matches!(solve_active_lp(&inst), Err(Error::Infeasible(_))));
+    }
+
+    #[test]
+    fn integrality_gap_instance_g2() {
+        // §3.5 with g = 2: two pairs of adjacent slots, each with g+1 = 3
+        // exclusive jobs. LP optimum = g + 1 = 3; integral OPT = 2g = 4.
+        let g = 2usize;
+        let mut triples = Vec::new();
+        for pair in 0..g as i64 {
+            let a = 2 * pair; // slots (a, a+2] = {a+1, a+2}
+            for _ in 0..=g {
+                triples.push((a, a + 2, 1i64));
+            }
+        }
+        let inst = Instance::from_triples(triples, g).unwrap();
+        let lp = solve_active_lp(&inst).unwrap();
+        assert_eq!(lp.objective, Rat::from_int(g as i64 + 1));
+    }
+
+    #[test]
+    fn y_respects_bounds() {
+        let inst = Instance::from_triples([(0, 3, 2), (0, 3, 1)], 1).unwrap();
+        let lp = solve_active_lp(&inst).unwrap();
+        for v in &lp.y {
+            assert!(v.signum() >= 0 && *v <= Rat::ONE);
+        }
+        assert_eq!(lp.objective, Rat::from_int(3));
+    }
+
+    #[test]
+    fn fractional_feasibility_oracle() {
+        let inst = Instance::from_triples([(0, 2, 1), (0, 2, 1)], 1).unwrap();
+        let slots = vec![1, 2];
+        assert!(fractional_feasible(&inst, &slots, &[Rat::ONE, Rat::ONE]));
+        assert!(!fractional_feasible(
+            &inst,
+            &slots,
+            &[Rat::ONE, Rat::new(1, 2)]
+        ));
+        // Fractional sharing: y = (1, 1/2) supports total mass 1.5 with g=2...
+        let inst2 = inst.with_g(2).unwrap();
+        assert!(fractional_feasible(
+            &inst2,
+            &slots,
+            &[Rat::ONE, Rat::new(1, 2)]
+        ));
+    }
+}

@@ -1,0 +1,84 @@
+//! B1 — substrate benches: max-flow feasibility graphs, the exact-rational
+//! simplex on LP1, interval algebra, and track extraction.
+
+use abt_active::{feasible_on, solve_active_lp};
+use abt_busy::tracks::longest_track;
+use abt_core::{DemandProfile, Interval, IntervalSet};
+use abt_workloads::{random_active_feasible, random_interval, RandomConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_flow_feasibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_feasibility");
+    for &n in &[20usize, 60, 180] {
+        let cfg = RandomConfig { n, g: 3, horizon: 2 * n as i64, max_len: 8, slack_factor: 1.0 };
+        let inst = random_active_feasible(&cfg, 42);
+        let slots: Vec<i64> = (1..=inst.max_deadline()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(feasible_on(&inst, &slots)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simplex_lp1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_lp1_exact_rational");
+    group.sample_size(10);
+    for &n in &[6usize, 10, 14] {
+        let cfg = RandomConfig { n, g: 2, horizon: 18, max_len: 4, slack_factor: 1.0 };
+        let inst = random_active_feasible(&cfg, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(solve_active_lp(&inst).unwrap().objective))
+        });
+    }
+    group.finish();
+}
+
+fn bench_interval_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_set_union");
+    for &n in &[100usize, 1000, 10000] {
+        let ivs: Vec<Interval> = (0..n as i64)
+            .map(|i| Interval::new(i * 7 % 5000, i * 7 % 5000 + 1 + i % 40))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(IntervalSet::from_intervals(ivs.iter().copied()).measure()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_demand_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("demand_profile");
+    for &n in &[100usize, 1000, 10000] {
+        let cfg = RandomConfig { n, g: 4, horizon: 4 * n as i64, max_len: 30, slack_factor: 0.0 };
+        let inst = random_interval(&cfg, 5);
+        let ivs: Vec<Interval> = inst.jobs().iter().map(|j| j.window()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(DemandProfile::new(&ivs).cost(4)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_longest_track(c: &mut Criterion) {
+    let mut group = c.benchmark_group("longest_track");
+    for &n in &[100usize, 1000, 10000] {
+        let cfg = RandomConfig { n, g: 4, horizon: 4 * n as i64, max_len: 30, slack_factor: 0.0 };
+        let inst = random_interval(&cfg, 11);
+        let ids: Vec<usize> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(longest_track(&inst, &ids).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flow_feasibility,
+    bench_simplex_lp1,
+    bench_interval_set,
+    bench_demand_profile,
+    bench_longest_track
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerates the paper's figures/claims as Markdown tables.
+//!
+//! Usage: `experiments [e1 e5 ...]` — no arguments runs everything.
+
+#![allow(clippy::type_complexity)] // the dispatch table type is self-explanatory
+
+use abt_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<&str> = args.iter().map(String::as_str).collect();
+    let run_all = selected.is_empty();
+    let fns: Vec<(&str, fn() -> experiments::ExperimentReport)> = vec![
+        ("e1", experiments::e1),
+        ("e2", experiments::e2),
+        ("e3", experiments::e3),
+        ("e4", experiments::e4),
+        ("e5", experiments::e5),
+        ("e6", experiments::e6),
+        ("e7", experiments::e7),
+        ("e8", experiments::e8),
+        ("e9", experiments::e9),
+        ("e10", experiments::e10),
+        ("e11", experiments::e11),
+        ("e12", experiments::e12),
+        ("e13", experiments::e13),
+        ("e14", experiments::e14),
+        ("e15", experiments::e15),
+        ("e16", experiments::e16),
+        ("e17", experiments::e17),
+        ("e18", experiments::e18),
+    ];
+    let mut ran = 0;
+    for (id, f) in fns {
+        if run_all || selected.contains(&id) {
+            let started = std::time::Instant::now();
+            let report = f();
+            println!("{}", report.to_markdown());
+            println!("_(regenerated in {:.2?})_\n", started.elapsed());
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment ids {selected:?}; available: e1..e18");
+        std::process::exit(2);
+    }
+}

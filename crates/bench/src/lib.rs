@@ -1,0 +1,18 @@
+//! # abt-bench
+//!
+//! The experiment harness: regenerates every figure-level artifact of the
+//! paper (see DESIGN.md §4 for the experiment index) and hosts the
+//! Criterion runtime benches. `cargo run -p abt-bench --release --bin
+//! experiments` prints the Markdown recorded in `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod parallel;
+pub mod stats;
+pub mod table;
+
+pub use experiments::{all_reports, ExperimentReport};
+pub use parallel::parallel_map;
+pub use stats::{ratio_summary, Summary};
+pub use table::{ratio, Table};

@@ -1,0 +1,61 @@
+//! Deterministic parallel sweeps over parameter grids, following the
+//! hpc-parallel guides: data-parallel map with no shared mutable state,
+//! results gathered in input order.
+
+use crossbeam::thread;
+
+/// Applies `f` to every item on a scoped worker pool, returning results in
+/// input order. Falls back to sequential execution for tiny inputs.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len());
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let jobs: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = crossbeam::queue::SegQueue::new();
+    for job in jobs {
+        queue.push(job);
+    }
+    let results = crossbeam::queue::SegQueue::new();
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| {
+                while let Some((idx, item)) = queue.pop() {
+                    results.push((idx, f(item)));
+                }
+            });
+        }
+    })
+    .expect("worker panicked during parallel sweep");
+    while let Some((idx, r)) = results.pop() {
+        slots[idx] = Some(r);
+    }
+    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), |x: i32| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(parallel_map(Vec::<i32>::new(), |x| x), Vec::<i32>::new());
+        assert_eq!(parallel_map(vec![7], |x| x + 1), vec![8]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Small summary-statistics helpers for the experiment tables.
+
+/// Summary of a sample of ratios/costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty sample; `None` for an empty one.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Some(Summary { n, mean, stddev: var.sqrt(), min, max })
+    }
+
+    /// Formats as `mean ± stddev [min, max]`.
+    pub fn display(&self) -> String {
+        format!(
+            "{:.4} ± {:.4} [{:.4}, {:.4}]",
+            self.mean, self.stddev, self.min, self.max
+        )
+    }
+}
+
+/// Integer-cost convenience: summarizes `cost/base` ratios.
+pub fn ratio_summary(costs: &[i64], bases: &[i64]) -> Option<Summary> {
+    assert_eq!(costs.len(), bases.len());
+    let ratios: Vec<f64> = costs
+        .iter()
+        .zip(bases)
+        .filter(|&(_, &b)| b > 0)
+        .map(|(&c, &b)| c as f64 / b as f64)
+        .collect();
+    Summary::of(&ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.stddev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(s.display().starts_with("2.5000"));
+    }
+
+    #[test]
+    fn empty_sample() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn ratio_summary_skips_zero_bases() {
+        let s = ratio_summary(&[2, 4, 9], &[1, 2, 0]).unwrap();
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,100 @@
+//! Minimal fixed-width table rendering for the experiment reports
+//! (EXPERIMENTS.md is generated from this output).
+
+/// A simple text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a GitHub-flavored Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let body: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", body.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|", sep.join("-|-")));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio with 4 decimals.
+pub fn ratio(cost: i64, base: i64) -> String {
+    if base == 0 {
+        "∞".into()
+    } else {
+        format!("{:.4}", cost as f64 / base as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new(["a", "long header"]);
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a   | long header |"));
+        assert!(md.lines().count() == 4);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(3, 2), "1.5000");
+        assert_eq!(ratio(1, 0), "∞");
+    }
+}

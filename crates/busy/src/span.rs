@@ -1,0 +1,355 @@
+//! Minimum-span placement: busy time with **unbounded `g`** (`OPT_∞`).
+//!
+//! The flexible-job pipeline (§4.3) first fixes every job's start time so
+//! that the projection ("shadow") of the jobs onto the time axis is
+//! minimal; the paper invokes Khandekar et al.'s polynomial DP for this as
+//! a black box. We implement an exact solver from first principles via a
+//! covering reduction (DESIGN.md §5.3):
+//!
+//! **Reduction.** With unbounded capacity, minimizing total busy time
+//! equals choosing disjoint intervals of minimum total length such that
+//! every job *fits* one of them, where
+//! `fits(j, [u,v)) ⇔ min(d_j, v) − max(r_j, u) ≥ p_j`. (From a schedule,
+//! take the busy components; conversely, place each job anywhere inside its
+//! chosen interval — the union's components only shrink the cost.)
+//!
+//! **Canonical form.** Process intervals left to right. The unserved job
+//! `j*` with the smallest `c_j = d_j − p_j` must be served by the next
+//! interval (later intervals start too late), and that interval's start can
+//! be pushed right to exactly `u = c_{j*}`: pushing right never increases
+//! the length (`v(u) = max_j (max(r_j,u) + p_j)` grows at most as fast as
+//! `u`), keeps every served job feasible while `u ≤ min c_j` over the
+//! served set, and a collision with the next interval just merges them.
+//! Once `u` is fixed, only the `O(n)` values `v ∈ {max(r_j,u) + p_j}` can
+//! be optimal right endpoints, and an interval should serve *every* job
+//! that fits it (capacity is unbounded). The search memoizes on
+//! `(frontier, unserved set)`.
+
+#![allow(clippy::type_complexity)] // the memo key/value is a documented pair
+
+use abt_core::{Error, Instance, Interval, IntervalSet, Result, Time};
+use std::collections::HashMap;
+
+/// A placement of all jobs: chosen start times, the busy region, its cost.
+#[derive(Debug, Clone)]
+pub struct SpanPlacement {
+    /// `starts[j]` = chosen start of job `j`.
+    pub starts: Vec<Time>,
+    /// The union of the placed run intervals.
+    pub busy: IntervalSet,
+    /// Measure of `busy` (total busy time with unbounded `g`).
+    pub cost: i64,
+    /// Whether the solver guarantees optimality.
+    pub exact: bool,
+}
+
+const INF: i64 = i64::MAX / 4;
+
+/// Exact minimum-span placement. Exponential worst case (memoized over
+/// job subsets), so restricted to `n ≤ 127`; intended for benchmark-scale
+/// instances. Use [`span_greedy`] beyond that.
+pub fn span_exact(inst: &Instance) -> Result<SpanPlacement> {
+    let n = inst.len();
+    if n == 0 {
+        return Ok(SpanPlacement { starts: vec![], busy: IntervalSet::new(), cost: 0, exact: true });
+    }
+    if n > 127 {
+        return Err(Error::Unsupported(format!(
+            "span_exact supports at most 127 jobs, got {n}; use span_greedy"
+        )));
+    }
+    let c: Vec<Time> = inst.jobs().iter().map(|j| j.latest_start()).collect();
+
+    struct Ctx<'a> {
+        inst: &'a Instance,
+        c: Vec<Time>,
+        memo: HashMap<(Time, u128), (i64, Option<(Time, Time)>)>,
+    }
+    impl Ctx<'_> {
+        /// Returns (min cost, first interval chosen) for serving `mask`
+        /// with all intervals starting at ≥ `frontier`.
+        fn solve(&mut self, frontier: Time, mask: u128) -> (i64, Option<(Time, Time)>) {
+            if mask == 0 {
+                return (0, None);
+            }
+            if let Some(&hit) = self.memo.get(&(frontier, mask)) {
+                return hit;
+            }
+            // Forced job: smallest c among unserved.
+            let jmin = (0..self.inst.len())
+                .filter(|&j| mask >> j & 1 == 1)
+                .min_by_key(|&j| (self.c[j], j))
+                .unwrap();
+            let u = self.c[jmin];
+            if u < frontier {
+                self.memo.insert((frontier, mask), (INF, None));
+                return (INF, None);
+            }
+            // Candidate right endpoints: requirements of unserved jobs.
+            let req = |j: usize| -> Time {
+                let job = self.inst.job(j);
+                job.release.max(u) + job.length
+            };
+            let vmin = req(jmin);
+            let mut cands: Vec<Time> = (0..self.inst.len())
+                .filter(|&j| mask >> j & 1 == 1)
+                .map(req)
+                .filter(|&v| v >= vmin)
+                .collect();
+            cands.sort_unstable();
+            cands.dedup();
+            let mut best = (INF, None);
+            for &v in &cands {
+                let mut served = 0u128;
+                for j in 0..self.inst.len() {
+                    if mask >> j & 1 == 1 && req(j) <= v {
+                        served |= 1 << j;
+                    }
+                }
+                let (rest, _) = self.solve(v, mask & !served);
+                if rest < INF {
+                    let cost = (v - u) + rest;
+                    if cost < best.0 {
+                        best = (cost, Some((u, v)));
+                    }
+                }
+            }
+            self.memo.insert((frontier, mask), best);
+            best
+        }
+    }
+
+    let mut ctx = Ctx { inst, c, memo: HashMap::new() };
+    let full = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let lo = inst.min_release();
+    let (cost, _) = ctx.solve(lo, full);
+    debug_assert!(cost < INF, "every instance is feasible with unbounded g");
+
+    // Walk the memo to reconstruct the chosen intervals.
+    let mut intervals: Vec<Interval> = Vec::new();
+    let mut frontier = lo;
+    let mut mask = full;
+    while mask != 0 {
+        let (_, first) = ctx.solve(frontier, mask);
+        let (u, v) = first.expect("non-empty mask yields an interval");
+        intervals.push(Interval::new(u, v));
+        let mut served = 0u128;
+        for j in 0..n {
+            if mask >> j & 1 == 1 {
+                let job = inst.job(j);
+                if job.release.max(u) + job.length <= v {
+                    served |= 1 << j;
+                }
+            }
+        }
+        mask &= !served;
+        frontier = v;
+    }
+    let placement = place_into(inst, &intervals);
+    debug_assert_eq!(placement.cost, cost, "placed union must match the covering optimum");
+    Ok(SpanPlacement { exact: true, ..placement })
+}
+
+/// Greedy heuristic for large instances: serve the most urgent job with a
+/// minimal interval, extending while an extension is locally profitable
+/// (extension cost < length of the job it absorbs).
+pub fn span_greedy(inst: &Instance) -> SpanPlacement {
+    let n = inst.len();
+    let mut unserved: Vec<usize> = (0..n).collect();
+    unserved.sort_by_key(|&j| (inst.job(j).latest_start(), j));
+    let mut intervals: Vec<Interval> = Vec::new();
+    let mut frontier = inst.min_release();
+    let i = 0;
+    while i < unserved.len() {
+        let jmin = unserved[i];
+        let u = inst.job(jmin).latest_start().max(frontier);
+        let req = |j: usize| -> Time { inst.job(j).release.max(u) + inst.job(j).length };
+        let mut v = req(jmin);
+        loop {
+            // Absorb any remaining job whose marginal extension is cheaper
+            // than its own length (it would otherwise cost ≥ p_j later).
+            let candidate = unserved[i..]
+                .iter()
+                .copied()
+                .filter(|&j| {
+                    let r = req(j);
+                    r > v && inst.job(j).latest_start() >= u && r - v < inst.job(j).length
+                })
+                .min_by_key(|&j| req(j));
+            match candidate {
+                Some(j) => v = req(j),
+                None => break,
+            }
+        }
+        intervals.push(Interval::new(u, v));
+        frontier = v;
+        // Drop all served jobs.
+        let served: Vec<usize> = unserved[i..]
+            .iter()
+            .copied()
+            .filter(|&j| inst.job(j).latest_start() >= u && req(j) <= v)
+            .collect();
+        unserved.retain(|j| !served.contains(j));
+        // `i` stays: unserved[i] is now the next most-urgent job.
+    }
+    let _ = i;
+    SpanPlacement { exact: false, ..place_into(inst, &intervals) }
+}
+
+/// Exact if small enough, else greedy.
+pub fn span_place(inst: &Instance) -> SpanPlacement {
+    if inst.len() <= 24 {
+        span_exact(inst).expect("n ≤ 24 is supported")
+    } else {
+        match span_exact(inst) {
+            Ok(p) => p,
+            Err(_) => span_greedy(inst),
+        }
+    }
+}
+
+/// Places every job leftmost inside the first chosen interval it fits,
+/// returning starts and the realized busy union.
+fn place_into(inst: &Instance, intervals: &[Interval]) -> SpanPlacement {
+    let mut starts = vec![0; inst.len()];
+    for (j, job) in inst.jobs().iter().enumerate() {
+        let iv = intervals
+            .iter()
+            .find(|iv| job.release.max(iv.start) + job.length <= job.deadline.min(iv.end))
+            .unwrap_or_else(|| panic!("job {j} fits no chosen interval"));
+        starts[j] = job.release.max(iv.start);
+    }
+    let busy: IntervalSet = inst
+        .jobs()
+        .iter()
+        .zip(&starts)
+        .map(|(job, &s)| Interval::new(s, s + job.length))
+        .collect();
+    let cost = busy.measure();
+    SpanPlacement { starts, busy, cost, exact: false }
+}
+
+/// Brute-force optimum over all integer start combinations (testing only;
+/// exponential in `n` and the horizon).
+pub fn span_brute_force(inst: &Instance) -> i64 {
+    fn rec(inst: &Instance, j: usize, placed: &mut Vec<Interval>, best: &mut i64) {
+        if j == inst.len() {
+            let m = IntervalSet::from_intervals(placed.iter().copied()).measure();
+            *best = (*best).min(m);
+            return;
+        }
+        let job = inst.job(j);
+        for s in job.release..=job.latest_start() {
+            placed.push(Interval::new(s, s + job.length));
+            rec(inst, j + 1, placed, best);
+            placed.pop();
+        }
+    }
+    let mut best = i64::MAX;
+    rec(inst, 0, &mut Vec::new(), &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn validate(inst: &Instance, p: &SpanPlacement) {
+        for (j, &s) in p.starts.iter().enumerate() {
+            assert!(inst.job(j).run_at(s).is_some(), "job {j} start {s} infeasible");
+        }
+        let busy: IntervalSet = inst
+            .jobs()
+            .iter()
+            .zip(&p.starts)
+            .map(|(job, &s)| Interval::new(s, s + job.length))
+            .collect();
+        assert_eq!(busy.measure(), p.cost);
+    }
+
+    #[test]
+    fn interval_jobs_have_fixed_span() {
+        let inst = Instance::from_triples([(0, 4, 4), (2, 6, 4), (10, 12, 2)], 1).unwrap();
+        let p = span_exact(&inst).unwrap();
+        validate(&inst, &p);
+        assert_eq!(p.cost, 6 + 2);
+    }
+
+    #[test]
+    fn flexible_jobs_consolidate() {
+        // Two flexible unit jobs with overlapping windows stack on one point.
+        let inst = Instance::from_triples([(0, 10, 2), (0, 10, 2)], 1).unwrap();
+        let p = span_exact(&inst).unwrap();
+        validate(&inst, &p);
+        assert_eq!(p.cost, 2);
+    }
+
+    #[test]
+    fn chains_pack_tight() {
+        // Three length-2 jobs with staggered windows: optimal span 4 by
+        // overlapping neighbours.
+        let inst = Instance::from_triples([(0, 4, 2), (2, 6, 2), (4, 8, 2)], 1).unwrap();
+        let p = span_exact(&inst).unwrap();
+        validate(&inst, &p);
+        assert_eq!(p.cost, span_brute_force(&inst));
+    }
+
+    #[test]
+    fn exact_matches_brute_force_on_pseudorandom_instances() {
+        let mut state = 0xABCDEFu64;
+        let mut next = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        for trial in 0..40 {
+            let n = 2 + next(4) as usize; // 2..=5 jobs
+            let mut triples = Vec::new();
+            for _ in 0..n {
+                let r = next(6) as i64;
+                let len = 1 + next(4) as i64;
+                let d = r + len + next(5) as i64;
+                triples.push((r, d, len));
+            }
+            let inst = Instance::from_triples(triples.clone(), 1).unwrap();
+            let p = span_exact(&inst).unwrap();
+            validate(&inst, &p);
+            let bf = span_brute_force(&inst);
+            assert_eq!(p.cost, bf, "trial {trial} on {triples:?}");
+        }
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_not_better_than_exact() {
+        let mut state = 0x5EEDu64;
+        let mut next = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        for _ in 0..20 {
+            let n = 3 + next(5) as usize;
+            let mut triples = Vec::new();
+            for _ in 0..n {
+                let r = next(10) as i64;
+                let len = 1 + next(5) as i64;
+                let d = r + len + next(6) as i64;
+                triples.push((r, d, len));
+            }
+            let inst = Instance::from_triples(triples, 1).unwrap();
+            let ge = span_greedy(&inst);
+            validate(&inst, &ge);
+            let ex = span_exact(&inst).unwrap();
+            assert!(ge.cost >= ex.cost);
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(vec![], 2).unwrap();
+        let p = span_exact(&inst).unwrap();
+        assert_eq!(p.cost, 0);
+    }
+}

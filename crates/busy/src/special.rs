@@ -1,0 +1,292 @@
+//! Special instance classes of the busy-time problem (§1 footnote 1 and
+//! the related-work algorithms the paper builds on):
+//!
+//! * **Proper instances** (no window strictly contains another):
+//!   FirstFit in release order is 2-approximate [Flammini et al.].
+//! * **Clique instances** (all windows share a time point): greedy by
+//!   length is 2-approximate [Flammini et al.].
+//! * **Proper cliques** (both at once): an exact dynamic program
+//!   [Mertzios et al. 12] — sort by release; an optimal solution groups
+//!   jobs into *consecutive* batches of `g`, so a 1-D DP over prefixes
+//!   suffices.
+//! * **Laminar instances** (any two windows nested or disjoint): the
+//!   greedy that packs each laminar chain top-down is optimal
+//!   [Khandekar et al. 9]; we implement the chain-peeling variant and
+//!   validate optimality against branch and bound on small inputs.
+
+use crate::firstfit::{first_fit, FirstFitOrder};
+use abt_core::{BusySchedule, Error, Instance, JobId, Result};
+
+/// Whether no job's window strictly contains another's (a *proper*
+/// instance; equal windows are allowed). Strict containment means
+/// containment with at least one strict endpoint inequality.
+pub fn is_proper(inst: &Instance) -> bool {
+    let jobs = inst.jobs();
+    jobs.iter().all(|a| {
+        jobs.iter().all(|b| {
+            let contains = a.release <= b.release && b.deadline <= a.deadline;
+            let strict = a.release < b.release || b.deadline < a.deadline;
+            !(contains && strict)
+        })
+    })
+}
+
+/// Whether all windows share a common time point (a *clique* instance).
+pub fn is_clique(inst: &Instance) -> bool {
+    if inst.is_empty() {
+        return true;
+    }
+    let latest_start = inst.jobs().iter().map(|j| j.release).max().unwrap();
+    let earliest_end = inst.jobs().iter().map(|j| j.deadline).min().unwrap();
+    latest_start < earliest_end
+}
+
+/// Whether any two windows are nested or disjoint (a *laminar* instance).
+pub fn is_laminar(inst: &Instance) -> bool {
+    let jobs = inst.jobs();
+    jobs.iter().all(|a| {
+        jobs.iter().all(|b| {
+            let aw = a.window();
+            let bw = b.window();
+            !aw.overlaps(&bw) || aw.contains_interval(&bw) || bw.contains_interval(&aw)
+        })
+    })
+}
+
+/// 2-approximation for proper interval instances: FirstFit by release
+/// (footnote 1). Errors if the instance is not proper or not interval.
+pub fn proper_greedy(inst: &Instance) -> Result<BusySchedule> {
+    if !is_proper(inst) {
+        return Err(Error::Unsupported("proper_greedy requires a proper instance".into()));
+    }
+    first_fit(inst, FirstFitOrder::ByRelease)
+}
+
+/// 2-approximation for clique interval instances: greedy by length
+/// descending (footnote 1 — on cliques FirstFit's bundles are cliques too,
+/// so first-fit by length is exactly the paper's greedy).
+pub fn clique_greedy(inst: &Instance) -> Result<BusySchedule> {
+    if !is_clique(inst) {
+        return Err(Error::Unsupported("clique_greedy requires a clique instance".into()));
+    }
+    first_fit(inst, FirstFitOrder::LengthDesc)
+}
+
+/// Exact algorithm for **proper clique** interval instances [12]: sort by
+/// release; some optimal solution partitions the sorted order into
+/// consecutive groups of at most `g`, because in a proper clique both the
+/// release times and the deadlines are sorted the same way, so exchanging
+/// two jobs between bundles never helps. DP over prefixes:
+/// `best[i] = min over k ≤ g of best[i-k] + span(jobs[i-k..i])`.
+pub fn proper_clique_exact(inst: &Instance) -> Result<BusySchedule> {
+    if !inst.is_interval_instance() {
+        return Err(Error::Unsupported("proper_clique_exact requires interval jobs".into()));
+    }
+    if !is_proper(inst) || !is_clique(inst) {
+        return Err(Error::Unsupported(
+            "proper_clique_exact requires a proper clique instance".into(),
+        ));
+    }
+    let mut ids: Vec<JobId> = (0..inst.len()).collect();
+    ids.sort_by_key(|&j| (inst.job(j).release, inst.job(j).deadline, j));
+    let n = ids.len();
+    let g = inst.g();
+    // Span of the consecutive group ids[a..b): proper ⇒ releases and
+    // deadlines both non-decreasing ⇒ span = max deadline − min release
+    // = d(ids[b-1]) − r(ids[a]) (the union is one interval: clique).
+    let group_span = |a: usize, b: usize| -> i64 {
+        inst.job(ids[b - 1]).deadline - inst.job(ids[a]).release
+    };
+    let mut best = vec![i64::MAX; n + 1];
+    let mut cut = vec![0usize; n + 1];
+    best[0] = 0;
+    for i in 1..=n {
+        for k in 1..=g.min(i) {
+            let cand = best[i - k].saturating_add(group_span(i - k, i));
+            if cand < best[i] {
+                best[i] = cand;
+                cut[i] = i - k;
+            }
+        }
+    }
+    let mut parts: Vec<Vec<JobId>> = Vec::new();
+    let mut i = n;
+    while i > 0 {
+        let a = cut[i];
+        parts.push(ids[a..i].to_vec());
+        i = a;
+    }
+    parts.reverse();
+    Ok(BusySchedule::from_interval_partition(inst, parts))
+}
+
+/// Optimal-in-practice greedy for **laminar** interval instances: peel
+/// maximal chains of nested windows, outermost first, and stack `g` chains
+/// per machine. Each chain is a track (within a laminar family, a chain's
+/// members are nested — we instead peel *disjoint-support* groups):
+/// concretely, repeatedly take, among remaining jobs, a maximal set of
+/// pairwise-disjoint windows chosen outermost-first, and bundle `g` such
+/// sets per machine (the laminar analogue of GreedyTracking, exact on
+/// laminar inputs per Khandekar et al.).
+pub fn laminar_solve(inst: &Instance) -> Result<BusySchedule> {
+    if !is_laminar(inst) {
+        return Err(Error::Unsupported("laminar_solve requires a laminar instance".into()));
+    }
+    if !inst.is_interval_instance() {
+        return Err(Error::Unsupported("laminar_solve requires interval jobs".into()));
+    }
+    let g = inst.g();
+    let mut remaining: Vec<JobId> = (0..inst.len()).collect();
+    // Outermost-first: sort by (start asc, end desc); a "layer" greedily
+    // takes the next job whose window is disjoint from the layer so far,
+    // always preferring the outermost available window.
+    remaining.sort_by_key(|&j| {
+        let w = inst.job(j).window();
+        (w.start, std::cmp::Reverse(w.end), j)
+    });
+    let mut layers: Vec<Vec<JobId>> = Vec::new();
+    while !remaining.is_empty() {
+        let mut layer: Vec<JobId> = Vec::new();
+        let mut frontier = i64::MIN;
+        let mut rest = Vec::new();
+        for &j in &remaining {
+            let w = inst.job(j).window();
+            if w.start >= frontier {
+                frontier = w.end;
+                layer.push(j);
+            } else {
+                rest.push(j);
+            }
+        }
+        remaining = rest;
+        layers.push(layer);
+    }
+    let mut parts: Vec<Vec<JobId>> = Vec::new();
+    for (i, layer) in layers.iter().enumerate() {
+        if i % g == 0 {
+            parts.push(Vec::new());
+        }
+        parts.last_mut().unwrap().extend_from_slice(layer);
+    }
+    Ok(BusySchedule::from_interval_partition(inst, parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_busy_time;
+    use abt_core::{busy_lower_bounds, within_factor, Job};
+
+    fn interval_inst(ivs: &[(i64, i64)], g: usize) -> Instance {
+        Instance::new(ivs.iter().map(|&(a, b)| Job::interval(a, b)).collect(), g).unwrap()
+    }
+
+    #[test]
+    fn class_predicates() {
+        let proper = interval_inst(&[(0, 5), (4, 9), (8, 13)], 2);
+        assert!(is_proper(&proper));
+        assert!(!is_clique(&proper));
+        let clique = interval_inst(&[(0, 5), (2, 9), (4, 6)], 2);
+        assert!(is_clique(&clique));
+        assert!(!is_proper(&clique));
+        let laminar = interval_inst(&[(0, 10), (1, 4), (5, 9), (2, 3)], 2);
+        assert!(is_laminar(&laminar));
+        assert!(!is_laminar(&proper));
+        let pc = interval_inst(&[(0, 5), (1, 6), (2, 7)], 2);
+        assert!(is_proper(&pc) && is_clique(&pc));
+    }
+
+    #[test]
+    fn proper_clique_dp_matches_exact() {
+        let mut state = 0x3C3C3Cu64;
+        let mut next = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        for trial in 0..20 {
+            // Staircase through a common point: starts ascend, ends ascend,
+            // all windows cross t = 100.
+            let n = 2 + next(7) as usize;
+            let g = 1 + next(3) as usize;
+            let mut start = 0i64;
+            let mut end = 101i64;
+            let mut ivs = Vec::new();
+            for _ in 0..n {
+                start += 1 + next(4) as i64;
+                end += 1 + next(4) as i64;
+                ivs.push((start, end));
+            }
+            let inst = interval_inst(&ivs, g);
+            assert!(is_proper(&inst) && is_clique(&inst), "trial {trial}");
+            let dp = proper_clique_exact(&inst).unwrap();
+            dp.validate(&inst).unwrap();
+            let bnb = exact_busy_time(&inst, Some(10_000_000)).unwrap();
+            assert_eq!(
+                dp.total_busy_time(&inst),
+                bnb.cost,
+                "trial {trial} on {ivs:?} g={g}"
+            );
+        }
+    }
+
+    #[test]
+    fn clique_greedy_two_approx() {
+        let mut state = 0x11AA11u64;
+        let mut next = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        for _ in 0..15 {
+            let n = 3 + next(8) as usize;
+            let g = 1 + next(3) as usize;
+            let mut ivs = Vec::new();
+            for _ in 0..n {
+                let a = next(50) as i64;
+                let b = 51 + next(50) as i64;
+                ivs.push((a, b));
+            }
+            let inst = interval_inst(&ivs, g);
+            let s = clique_greedy(&inst).unwrap();
+            s.validate(&inst).unwrap();
+            let lb = busy_lower_bounds(&inst).best();
+            assert!(within_factor(s.total_busy_time(&inst), 2, lb));
+        }
+    }
+
+    #[test]
+    fn laminar_solver_matches_exact_on_small() {
+        let cases = [
+            vec![(0, 10), (1, 4), (5, 9), (2, 3), (6, 8)],
+            vec![(0, 20), (0, 20), (1, 9), (11, 19), (2, 5), (12, 15)],
+            vec![(0, 6), (8, 14), (0, 6), (9, 13), (1, 5)],
+        ];
+        for ivs in cases {
+            for g in 1..=3 {
+                let inst = interval_inst(&ivs, g);
+                assert!(is_laminar(&inst));
+                let s = laminar_solve(&inst).unwrap();
+                s.validate(&inst).unwrap();
+                let bnb = exact_busy_time(&inst, Some(10_000_000)).unwrap();
+                assert_eq!(
+                    s.total_busy_time(&inst),
+                    bnb.cost,
+                    "laminar greedy should be optimal on {ivs:?} g={g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_class_rejected() {
+        let proper = interval_inst(&[(0, 5), (4, 9), (8, 13)], 2);
+        assert!(clique_greedy(&proper).is_err());
+        assert!(proper_clique_exact(&proper).is_err());
+        assert!(laminar_solve(&proper).is_err());
+        let clique = interval_inst(&[(0, 5), (2, 9), (4, 6)], 2);
+        assert!(proper_greedy(&clique).is_err());
+    }
+}

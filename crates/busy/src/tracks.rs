@@ -1,0 +1,163 @@
+//! Tracks: sets of interval jobs with pairwise-disjoint windows
+//! (Definition 14), and maximum-length track extraction.
+//!
+//! `GREEDYTRACKING` repeatedly needs the *longest* track of the remaining
+//! jobs, i.e. a maximum-weight independent set in an interval graph with
+//! weights = lengths — the classic weighted interval scheduling DP
+//! (sort by right endpoint, binary-search the latest compatible
+//! predecessor).
+
+use abt_core::{Instance, Interval, JobId};
+
+/// Computes a maximum-total-length track among `jobs` (ids into `inst`,
+/// which must be interval jobs). Ties are broken deterministically by the
+/// DP's right-endpoint order. Returns the chosen ids, sorted by start time.
+pub fn longest_track(inst: &Instance, jobs: &[JobId]) -> Vec<JobId> {
+    let prio: Vec<usize> = (0..inst.len()).collect();
+    longest_track_with_priority(inst, jobs, &prio)
+}
+
+/// [`longest_track`] with an explicit tie-break priority per job id
+/// (smaller = preferred among equal-length choices). GreedyTracking's
+/// guarantee is tie-break independent, but its constant on tight gadgets is
+/// not (Figs. 6–7) — the seeded variant exposes that spread as an ablation.
+pub fn longest_track_with_priority(inst: &Instance, jobs: &[JobId], prio: &[usize]) -> Vec<JobId> {
+    let mut items: Vec<(Interval, JobId)> = jobs
+        .iter()
+        .map(|&id| {
+            let j = inst.job(id);
+            debug_assert!(j.is_interval(), "tracks are defined on interval jobs");
+            (j.window(), id)
+        })
+        .collect();
+    items.sort_by_key(|(iv, id)| (iv.end, iv.start, prio[*id]));
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // pred[i] = number of items whose end ≤ items[i].start (i.e. the DP
+    // index of the latest compatible prefix).
+    let ends: Vec<i64> = items.iter().map(|(iv, _)| iv.end).collect();
+    let mut dp = vec![0i64; n + 1]; // dp[k] = best over first k items
+    let mut take = vec![false; n];
+    for i in 0..n {
+        let (iv, _) = items[i];
+        let pred = ends[..i].partition_point(|&e| e <= iv.start);
+        let with = dp[pred] + iv.len();
+        if with > dp[i] {
+            dp[i + 1] = with;
+            take[i] = true;
+        } else {
+            dp[i + 1] = dp[i];
+        }
+    }
+    // Reconstruct.
+    let mut chosen = Vec::new();
+    let mut i = n;
+    while i > 0 {
+        if take[i - 1] {
+            chosen.push(items[i - 1].1);
+            let (iv, _) = items[i - 1];
+            i = ends[..i - 1].partition_point(|&e| e <= iv.start);
+        } else {
+            i -= 1;
+        }
+    }
+    chosen.sort_by_key(|&id| inst.job(id).release);
+    chosen
+}
+
+/// Total length of a set of jobs (`ℓ(S)`).
+pub fn total_length(inst: &Instance, jobs: &[JobId]) -> i64 {
+    jobs.iter().map(|&id| inst.job(id).length).sum()
+}
+
+/// Whether `jobs` form a track (pairwise-disjoint windows).
+pub fn is_track(inst: &Instance, jobs: &[JobId]) -> bool {
+    let mut ivs: Vec<Interval> = jobs.iter().map(|&id| inst.job(id).window()).collect();
+    ivs.sort_unstable();
+    ivs.windows(2).all(|w| w[0].end <= w[1].start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abt_core::Job;
+
+    fn inst(ivs: &[(i64, i64)]) -> Instance {
+        Instance::new(ivs.iter().map(|&(a, b)| Job::interval(a, b)).collect(), 2).unwrap()
+    }
+
+    #[test]
+    fn picks_disjoint_maximum() {
+        // [0,3), [2,5), [5,9): best track = {0, 2} with length 7.
+        let i = inst(&[(0, 3), (2, 5), (5, 9)]);
+        let t = longest_track(&i, &[0, 1, 2]);
+        assert_eq!(t, vec![0, 2]);
+        assert!(is_track(&i, &t));
+        assert_eq!(total_length(&i, &t), 7);
+    }
+
+    #[test]
+    fn prefers_one_long_over_many_short() {
+        // [0,10) vs {[0,3), [3,6), [6,9)}: lengths 10 vs 9.
+        let i = inst(&[(0, 10), (0, 3), (3, 6), (6, 9)]);
+        let t = longest_track(&i, &[0, 1, 2, 3]);
+        assert_eq!(t, vec![0]);
+    }
+
+    #[test]
+    fn prefers_many_short_when_longer() {
+        let i = inst(&[(0, 8), (0, 3), (3, 6), (6, 9)]);
+        let t = longest_track(&i, &[0, 1, 2, 3]);
+        assert_eq!(t, vec![1, 2, 3]);
+        assert_eq!(total_length(&i, &t), 9);
+    }
+
+    #[test]
+    fn subset_restriction_respected() {
+        let i = inst(&[(0, 10), (0, 3), (3, 6), (6, 9)]);
+        let t = longest_track(&i, &[1, 2]);
+        assert_eq!(t, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let i = inst(&[(0, 5)]);
+        assert!(longest_track(&i, &[]).is_empty());
+        assert_eq!(longest_track(&i, &[0]), vec![0]);
+    }
+
+    #[test]
+    fn touching_intervals_are_disjoint() {
+        // Half-open windows: [0,3) and [3,5) don't overlap.
+        let i = inst(&[(0, 3), (3, 5)]);
+        let t = longest_track(&i, &[0, 1]);
+        assert_eq!(t.len(), 2);
+        assert!(is_track(&i, &t));
+    }
+
+    #[test]
+    fn exhaustive_cross_check_small() {
+        // Compare DP against brute force over all subsets.
+        let cases = [
+            vec![(0, 4), (1, 3), (2, 6), (5, 7), (6, 9)],
+            vec![(0, 2), (0, 2), (1, 5), (4, 6), (2, 4)],
+            vec![(0, 9), (1, 2), (2, 3), (3, 4), (4, 5)],
+        ];
+        for ivs in cases {
+            let i = inst(&ivs);
+            let ids: Vec<JobId> = (0..ivs.len()).collect();
+            let dp_len = total_length(&i, &longest_track(&i, &ids));
+            let mut best = 0;
+            for mask in 0u32..(1 << ivs.len()) {
+                let subset: Vec<JobId> =
+                    ids.iter().copied().filter(|&j| mask >> j & 1 == 1).collect();
+                if is_track(&i, &subset) {
+                    best = best.max(total_length(&i, &subset));
+                }
+            }
+            assert_eq!(dp_len, best, "instance {ivs:?}");
+        }
+    }
+}

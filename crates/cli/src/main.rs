@@ -1,0 +1,146 @@
+//! `abt` — command-line front end for the active/busy-time schedulers.
+//!
+//! ```text
+//! abt gen <family> [seed]            generate an instance to stdout
+//! abt bounds <file>                  print lower bounds
+//! abt active <file> <algo>           minimal|rounding|exact|unit
+//! abt busy <file> <algo>             ff|gt|kr|ab|exact|preempt
+//! ```
+//!
+//! Instance files use the `abt-core::io` text format (`g <k>` then one
+//! `job <r> <d> <p>` per line; `#` comments allowed).
+
+use abt_active::{
+    exact_active_time, exact_unit_active_time, lp_rounding, minimal_feasible, ClosingOrder,
+};
+use abt_busy::{
+    exact_busy_time, preemptive_bounded, preemptive_unbounded, solve_flexible, IntervalAlgo,
+};
+use abt_core::{active_lower_bound, busy_lower_bounds, io, Instance};
+use abt_workloads::{
+    fig1_example, fig3_minimal_tight, integrality_gap, optical_trace, random_flexible,
+    random_interval, vm_trace, OpticalTraceConfig, RandomConfig, VmTraceConfig,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args.iter().map(String::as_str).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage:\n  abt gen <interval|flexible|vm|optical|fig1|fig3|gap> [seed]\n  \
+                 abt bounds <file>\n  abt active <file> <minimal|rounding|exact|unit>\n  \
+                 abt busy <file> <ff|gt|kr|ab|exact|preempt>"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Instance, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    io::read_instance(&text).map_err(|e| e.to_string())
+}
+
+fn run(args: &[&str]) -> Result<(), String> {
+    match args {
+        ["gen", family, rest @ ..] => {
+            let seed: u64 = rest.first().map_or(Ok(0), |s| s.parse().map_err(|_| "bad seed"))?;
+            let inst = match *family {
+                "interval" => random_interval(&RandomConfig::default(), seed),
+                "flexible" => random_flexible(&RandomConfig::default(), seed),
+                "vm" => vm_trace(&VmTraceConfig::default(), seed),
+                "optical" => optical_trace(&OpticalTraceConfig::default(), seed),
+                "fig1" => fig1_example(),
+                "fig3" => fig3_minimal_tight(4).instance,
+                "gap" => integrality_gap(3).instance,
+                other => return Err(format!("unknown family '{other}'")),
+            };
+            print!("{}", io::write_instance(&inst));
+            Ok(())
+        }
+        ["bounds", path] => {
+            let inst = load(path)?;
+            println!("jobs: {}  g: {}  horizon: {}", inst.len(), inst.g(), inst.horizon());
+            println!("active-time lower bound: {}", active_lower_bound(&inst));
+            let b = busy_lower_bounds(&inst);
+            println!("busy-time bounds: mass={} span={} profile={}", b.mass, b.span, b.profile);
+            Ok(())
+        }
+        ["active", path, algo] => {
+            let inst = load(path)?;
+            let (cost, slots) = match *algo {
+                "minimal" => {
+                    let r = minimal_feasible(&inst, ClosingOrder::LeftToRight)
+                        .map_err(|e| e.to_string())?;
+                    (r.slots.len(), r.slots)
+                }
+                "rounding" => {
+                    let r = lp_rounding(&inst).map_err(|e| e.to_string())?;
+                    println!(
+                        "LP = {}, certified cost ≤ 2·LP: {}",
+                        r.lp_objective,
+                        r.within_two_lp()
+                    );
+                    (r.opened.len(), r.opened)
+                }
+                "exact" => {
+                    let r = exact_active_time(&inst, Some(500_000_000))
+                        .map_err(|e| e.to_string())?;
+                    (r.slots.len(), r.slots)
+                }
+                "unit" => {
+                    let r = exact_unit_active_time(&inst).map_err(|e| e.to_string())?;
+                    (r.slots.len(), r.slots)
+                }
+                other => return Err(format!("unknown active algorithm '{other}'")),
+            };
+            println!("active time: {cost}");
+            println!("active slots: {slots:?}");
+            Ok(())
+        }
+        ["busy", path, algo] => {
+            let inst = load(path)?;
+            let schedule = match *algo {
+                "ff" => solve_flexible(&inst, IntervalAlgo::FirstFit),
+                "gt" => solve_flexible(&inst, IntervalAlgo::GreedyTracking),
+                "kr" => solve_flexible(&inst, IntervalAlgo::KumarRudra),
+                "ab" => solve_flexible(&inst, IntervalAlgo::AlicherryBhatia),
+                "exact" => {
+                    let r = exact_busy_time(&inst, Some(500_000_000)).map_err(|e| e.to_string())?;
+                    println!("busy time: {} on {} machines", r.cost, r.schedule.machine_count());
+                    return Ok(());
+                }
+                "preempt" => {
+                    let u = preemptive_unbounded(&inst);
+                    let b = preemptive_bounded(&inst);
+                    println!("preemptive OPT∞: {}", u.cost);
+                    println!(
+                        "bounded-g 2-approx: {} on {} machines",
+                        b.total_busy_time(),
+                        b.machine_count()
+                    );
+                    return Ok(());
+                }
+                other => return Err(format!("unknown busy algorithm '{other}'")),
+            }
+            .map_err(|e| e.to_string())?
+            .schedule;
+            schedule.validate(&inst).map_err(|e| e.to_string())?;
+            println!(
+                "busy time: {} on {} machines",
+                schedule.total_busy_time(&inst),
+                schedule.machine_count()
+            );
+            for (m, b) in schedule.bundles.iter().enumerate() {
+                if !b.items.is_empty() {
+                    println!("machine {m}: {:?}", b.items);
+                }
+            }
+            Ok(())
+        }
+        _ => Err("missing or unknown subcommand".into()),
+    }
+}

@@ -1,0 +1,224 @@
+//! Schedules for the **active time** model (§2 of the paper).
+//!
+//! Time is slotted: slot `t` denotes the unit of time `[t−1, t)`, so a job
+//! with release `r` and deadline `d` may use exactly the slots
+//! `{r+1, …, d}` — its *window*. A feasible solution is a set `A` of
+//! active slots together with an assignment of each job `j` to `p_j`
+//! distinct active slots in its window, at most `g` job-units per slot.
+//! The cost is `|A|`, the number of active slots.
+
+use crate::error::{Error, Result};
+use crate::instance::Instance;
+use crate::jobs::JobId;
+use crate::time::Time;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The inclusive slot range `{r+1, …, d}` of a job's window.
+pub fn window_slots(release: Time, deadline: Time) -> std::ops::RangeInclusive<Time> {
+    (release + 1)..=deadline
+}
+
+/// Whether job `job` of `inst` may be scheduled in slot `t`.
+pub fn job_feasible_in_slot(inst: &Instance, job: JobId, t: Time) -> bool {
+    let j = inst.job(job);
+    j.release < t && t <= j.deadline
+}
+
+/// All slots of the instance's horizon: `{r_min+1, …, T}`.
+pub fn horizon_slots(inst: &Instance) -> Vec<Time> {
+    (inst.min_release() + 1..=inst.max_deadline()).collect()
+}
+
+/// A (candidate) active-time schedule: which slots are active, and which
+/// slots each job occupies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveSchedule {
+    /// Active (open) slots `A`.
+    active: BTreeSet<Time>,
+    /// `assignment[j]` = the slots in which one unit of job `j` runs.
+    assignment: Vec<Vec<Time>>,
+}
+
+impl ActiveSchedule {
+    /// Creates a schedule from the active-slot set and per-job slot lists.
+    /// Per-job slot lists are sorted and deduplicated (a duplicate would be
+    /// invalid anyway and is caught by [`ActiveSchedule::validate`]).
+    pub fn new(active: impl IntoIterator<Item = Time>, assignment: Vec<Vec<Time>>) -> Self {
+        let mut assignment = assignment;
+        for slots in &mut assignment {
+            slots.sort_unstable();
+        }
+        ActiveSchedule {
+            active: active.into_iter().collect(),
+            assignment,
+        }
+    }
+
+    /// The set of active slots.
+    pub fn active_slots(&self) -> &BTreeSet<Time> {
+        &self.active
+    }
+
+    /// The slots assigned to job `j`.
+    pub fn job_slots(&self, j: JobId) -> &[Time] {
+        &self.assignment[j]
+    }
+
+    /// The cost `|A|`: the machine's total active time.
+    pub fn cost(&self) -> i64 {
+        self.active.len() as i64
+    }
+
+    /// Load (number of scheduled job-units) per slot.
+    pub fn slot_loads(&self) -> BTreeMap<Time, usize> {
+        let mut loads: BTreeMap<Time, usize> = self.active.iter().map(|&t| (t, 0)).collect();
+        for slots in &self.assignment {
+            for &t in slots {
+                *loads.entry(t).or_insert(0) += 1;
+            }
+        }
+        loads
+    }
+
+    /// Checks full feasibility against `inst`:
+    /// every job gets exactly `p_j` distinct slots, all inside its window and
+    /// inside `A`; no slot holds more than `g` units.
+    pub fn validate(&self, inst: &Instance) -> Result<()> {
+        if self.assignment.len() != inst.len() {
+            return Err(Error::InvalidSchedule(format!(
+                "{} assignment rows for {} jobs",
+                self.assignment.len(),
+                inst.len()
+            )));
+        }
+        let mut load: BTreeMap<Time, i64> = BTreeMap::new();
+        for (id, slots) in self.assignment.iter().enumerate() {
+            let j = inst.job(id);
+            if slots.len() as i64 != j.length {
+                return Err(Error::InvalidSchedule(format!(
+                    "job {id} got {} units, needs {}",
+                    slots.len(),
+                    j.length
+                )));
+            }
+            let mut prev: Option<Time> = None;
+            for &t in slots {
+                if prev == Some(t) {
+                    return Err(Error::InvalidSchedule(format!(
+                        "job {id} scheduled twice in slot {t}"
+                    )));
+                }
+                prev = Some(t);
+                if !job_feasible_in_slot(inst, id, t) {
+                    return Err(Error::InvalidSchedule(format!(
+                        "job {id} assigned slot {t} outside window ({}, {}]",
+                        j.release, j.deadline
+                    )));
+                }
+                if !self.active.contains(&t) {
+                    return Err(Error::InvalidSchedule(format!(
+                        "job {id} assigned inactive slot {t}"
+                    )));
+                }
+                *load.entry(t).or_insert(0) += 1;
+            }
+        }
+        let g = inst.g() as i64;
+        for (&t, &l) in &load {
+            if l > g {
+                return Err(Error::InvalidSchedule(format!(
+                    "slot {t} carries {l} units, capacity is {g}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Slots that are active and *full* (exactly `g` units) / *non-full*
+    /// (Definition 3). Returns `(full, non_full)`.
+    pub fn full_and_nonfull(&self, inst: &Instance) -> (Vec<Time>, Vec<Time>) {
+        let loads = self.slot_loads();
+        let mut full = Vec::new();
+        let mut non_full = Vec::new();
+        for &t in &self.active {
+            if loads.get(&t).copied().unwrap_or(0) >= inst.g() {
+                full.push(t);
+            } else {
+                non_full.push(t);
+            }
+        }
+        (full, non_full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        // Jobs: (r, d, p); g = 2.
+        Instance::from_triples([(0, 3, 2), (0, 2, 1), (1, 4, 2)], 2).unwrap()
+    }
+
+    #[test]
+    fn window_slot_arithmetic() {
+        // Paper's example: a unit job with r=1, d=2 can be scheduled in slot
+        // t=2 but not t=1.
+        let i = Instance::from_triples([(1, 2, 1)], 1).unwrap();
+        assert!(!job_feasible_in_slot(&i, 0, 1));
+        assert!(job_feasible_in_slot(&i, 0, 2));
+        assert_eq!(window_slots(1, 2).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let s = ActiveSchedule::new([1, 2, 3], vec![vec![1, 2], vec![1], vec![2, 3]]);
+        s.validate(&inst()).unwrap();
+        assert_eq!(s.cost(), 3);
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        // slot 2 would carry 3 units with g = 2
+        let s = ActiveSchedule::new([1, 2, 3], vec![vec![2, 3], vec![2], vec![2, 3]]);
+        let e = s.validate(&inst()).unwrap_err();
+        assert!(matches!(e, Error::InvalidSchedule(_)), "{e}");
+    }
+
+    #[test]
+    fn window_violation_detected() {
+        let s = ActiveSchedule::new([1, 2, 3, 4], vec![vec![1, 4], vec![2], vec![2, 3]]);
+        assert!(s.validate(&inst()).is_err());
+    }
+
+    #[test]
+    fn inactive_slot_detected() {
+        let s = ActiveSchedule::new([1, 2], vec![vec![1, 2], vec![2], vec![2, 3]]);
+        assert!(s.validate(&inst()).is_err());
+    }
+
+    #[test]
+    fn wrong_unit_count_detected() {
+        let s = ActiveSchedule::new([1, 2, 3], vec![vec![1], vec![2], vec![2, 3]]);
+        assert!(s.validate(&inst()).is_err());
+    }
+
+    #[test]
+    fn duplicate_slot_detected() {
+        let s = ActiveSchedule::new([1, 2, 3], vec![vec![2, 2], vec![1], vec![2, 3]]);
+        assert!(s.validate(&inst()).is_err());
+    }
+
+    #[test]
+    fn full_nonfull_partition() {
+        let s = ActiveSchedule::new([1, 2, 3], vec![vec![1, 2], vec![2], vec![2, 3]]);
+        // slot2 is... loads: slot1:1, slot2:3? no — job0:{1,2}, job1:{2}, job2:{2,3}
+        // slot 2 load = 3 > g; use a valid one instead:
+        let s2 = ActiveSchedule::new([1, 2, 3], vec![vec![1, 2], vec![1], vec![2, 3]]);
+        s2.validate(&inst()).unwrap();
+        let (full, non_full) = s2.full_and_nonfull(&inst());
+        assert_eq!(full, vec![1, 2]);
+        assert_eq!(non_full, vec![3]);
+        drop(s);
+    }
+}

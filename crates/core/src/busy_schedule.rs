@@ -1,0 +1,220 @@
+//! Schedules for the **busy time** model (§4 of the paper).
+//!
+//! Jobs are partitioned into *bundles*; each bundle runs on its own machine,
+//! which may process at most `g` jobs simultaneously. Each job runs
+//! non-preemptively as `[s_j, s_j + p_j)`. A machine's busy time is the
+//! measure of the union of its jobs' run intervals (`Sp` of the bundle),
+//! and the schedule's cost is the sum over machines.
+
+use crate::error::{Error, Result};
+use crate::instance::Instance;
+use crate::jobs::JobId;
+use crate::time::{Interval, IntervalSet, Time};
+
+/// One machine's worth of jobs: `(job id, start time)` pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bundle {
+    /// The jobs on this machine with their chosen start times.
+    pub items: Vec<(JobId, Time)>,
+}
+
+impl Bundle {
+    /// Empty bundle.
+    pub fn new() -> Self {
+        Bundle { items: Vec::new() }
+    }
+
+    /// The run intervals of the bundle's jobs under `inst`.
+    pub fn run_intervals(&self, inst: &Instance) -> Vec<Interval> {
+        self.items
+            .iter()
+            .map(|&(id, s)| Interval::new(s, s + inst.job(id).length))
+            .collect()
+    }
+
+    /// Busy time of this machine: `Sp` of its run intervals.
+    pub fn busy_time(&self, inst: &Instance) -> i64 {
+        IntervalSet::from_intervals(self.run_intervals(inst)).measure()
+    }
+
+    /// Maximum number of simultaneously running jobs in this bundle.
+    pub fn peak_parallelism(&self, inst: &Instance) -> usize {
+        let mut events: Vec<(Time, i32)> = Vec::with_capacity(self.items.len() * 2);
+        for &(id, s) in &self.items {
+            events.push((s, 1));
+            events.push((s + inst.job(id).length, -1));
+        }
+        events.sort_unstable();
+        let mut cur = 0i32;
+        let mut peak = 0i32;
+        for (_, delta) in events {
+            cur += delta;
+            peak = peak.max(cur);
+        }
+        peak.max(0) as usize
+    }
+}
+
+/// A complete busy-time schedule: a partition of (a subset of) the jobs into
+/// bundles with start times.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BusySchedule {
+    /// The machines.
+    pub bundles: Vec<Bundle>,
+}
+
+impl BusySchedule {
+    /// Empty schedule.
+    pub fn new() -> Self {
+        BusySchedule { bundles: Vec::new() }
+    }
+
+    /// Builds a schedule for an *interval* instance from a partition of job
+    /// ids into bundles (start times are forced to the releases).
+    pub fn from_interval_partition(inst: &Instance, parts: Vec<Vec<JobId>>) -> Self {
+        BusySchedule {
+            bundles: parts
+                .into_iter()
+                .map(|ids| Bundle {
+                    items: ids.into_iter().map(|id| (id, inst.job(id).release)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Total busy time `Σ_k Sp(B_k)`.
+    pub fn total_busy_time(&self, inst: &Instance) -> i64 {
+        self.bundles.iter().map(|b| b.busy_time(inst)).sum()
+    }
+
+    /// Number of non-empty machines opened.
+    pub fn machine_count(&self) -> usize {
+        self.bundles.iter().filter(|b| !b.items.is_empty()).count()
+    }
+
+    /// The start time chosen for every job (errors if a job is missing or
+    /// duplicated).
+    pub fn start_times(&self, inst: &Instance) -> Result<Vec<Time>> {
+        let mut starts: Vec<Option<Time>> = vec![None; inst.len()];
+        for b in &self.bundles {
+            for &(id, s) in &b.items {
+                if id >= inst.len() {
+                    return Err(Error::InvalidSchedule(format!("unknown job id {id}")));
+                }
+                if starts[id].replace(s).is_some() {
+                    return Err(Error::InvalidSchedule(format!(
+                        "job {id} scheduled on more than one machine"
+                    )));
+                }
+            }
+        }
+        starts
+            .into_iter()
+            .enumerate()
+            .map(|(id, s)| s.ok_or_else(|| Error::InvalidSchedule(format!("job {id} unscheduled"))))
+            .collect()
+    }
+
+    /// Full validation: every job appears exactly once, starts respect
+    /// windows, and every machine's parallelism stays within `g`.
+    pub fn validate(&self, inst: &Instance) -> Result<()> {
+        let starts = self.start_times(inst)?;
+        for (id, &s) in starts.iter().enumerate() {
+            if inst.job(id).run_at(s).is_none() {
+                return Err(Error::InvalidSchedule(format!(
+                    "job {id} start {s} violates window [{}, {}]",
+                    inst.job(id).release,
+                    inst.job(id).latest_start()
+                )));
+            }
+        }
+        for (m, b) in self.bundles.iter().enumerate() {
+            let peak = b.peak_parallelism(inst);
+            if peak > inst.g() {
+                return Err(Error::InvalidSchedule(format!(
+                    "machine {m} runs {peak} jobs simultaneously, capacity is {}",
+                    inst.g()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval_inst() -> Instance {
+        Instance::new(
+            vec![
+                crate::jobs::Job::interval(0, 4),
+                crate::jobs::Job::interval(2, 6),
+                crate::jobs::Job::interval(5, 9),
+                crate::jobs::Job::interval(0, 2),
+            ],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bundle_busy_time_is_span() {
+        let inst = interval_inst();
+        let b = Bundle { items: vec![(0, 0), (1, 2), (2, 5)] };
+        assert_eq!(b.busy_time(&inst), 9); // [0,4)∪[2,6)∪[5,9) = [0,9)
+        assert_eq!(b.peak_parallelism(&inst), 2);
+    }
+
+    #[test]
+    fn schedule_cost_sums_over_machines() {
+        let inst = interval_inst();
+        let s = BusySchedule::from_interval_partition(&inst, vec![vec![0, 1], vec![2, 3]]);
+        s.validate(&inst).unwrap();
+        assert_eq!(s.total_busy_time(&inst), 6 + (4 + 2));
+        assert_eq!(s.machine_count(), 2);
+    }
+
+    #[test]
+    fn missing_job_detected() {
+        let inst = interval_inst();
+        let s = BusySchedule::from_interval_partition(&inst, vec![vec![0, 1], vec![2]]);
+        assert!(s.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn duplicate_job_detected() {
+        let inst = interval_inst();
+        let s = BusySchedule::from_interval_partition(&inst, vec![vec![0, 1, 3], vec![2, 3]]);
+        assert!(s.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let inst = interval_inst();
+        // jobs 0, 1 overlap on [2,4) and job 3 overlaps job 0 — all three on one
+        // machine peaks at... 0:[0,4), 1:[2,6), 3:[0,2): peak 2 at [2,4) and 2 at [0,2).
+        // That is fine; force a violation with g=1.
+        let inst1 = inst.with_g(1).unwrap();
+        let s = BusySchedule::from_interval_partition(&inst1, vec![vec![0, 1], vec![2], vec![3]]);
+        assert!(s.validate(&inst1).is_err());
+    }
+
+    #[test]
+    fn window_violation_detected() {
+        let inst = Instance::from_triples([(0, 10, 3)], 1).unwrap();
+        let s = BusySchedule { bundles: vec![Bundle { items: vec![(0, 8)] }] };
+        assert!(s.validate(&inst).is_err());
+        let ok = BusySchedule { bundles: vec![Bundle { items: vec![(0, 7)] }] };
+        ok.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn flexible_starts_roundtrip() {
+        let inst = Instance::from_triples([(0, 10, 3), (2, 9, 4)], 2).unwrap();
+        let s = BusySchedule { bundles: vec![Bundle { items: vec![(0, 4), (1, 3)] }] };
+        s.validate(&inst).unwrap();
+        assert_eq!(s.start_times(&inst).unwrap(), vec![4, 3]);
+        assert_eq!(s.total_busy_time(&inst), 4); // [4,7) ∪ [3,7) = [3,7)
+    }
+}

@@ -1,0 +1,51 @@
+//! Error types shared across the `active-busy-time` workspace.
+
+use std::fmt;
+
+/// Errors produced while constructing or validating instances and schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A job's parameters are internally inconsistent (e.g. `r + p > d`, or
+    /// a non-positive length).
+    InvalidJob {
+        /// Index of the offending job in the instance.
+        job: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The instance as a whole is malformed (e.g. `g = 0`).
+    InvalidInstance(String),
+    /// A schedule failed validation against its instance.
+    InvalidSchedule(String),
+    /// An instance file could not be parsed.
+    Parse {
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The requested computation does not apply to this instance
+    /// (e.g. an interval-job algorithm invoked on flexible jobs).
+    Unsupported(String),
+    /// No feasible solution exists (active-time model only; the busy-time
+    /// model is always feasible).
+    Infeasible(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidJob { job, reason } => write!(f, "invalid job #{job}: {reason}"),
+            Error::InvalidInstance(r) => write!(f, "invalid instance: {r}"),
+            Error::InvalidSchedule(r) => write!(f, "invalid schedule: {r}"),
+            Error::Parse { line, reason } => write!(f, "parse error on line {line}: {reason}"),
+            Error::Unsupported(r) => write!(f, "unsupported: {r}"),
+            Error::Infeasible(r) => write!(f, "infeasible: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,184 @@
+//! Schedules for the **preemptive busy time** model (§4.4 of the paper).
+//!
+//! A job `j` must receive `p_j` total time units inside `[r_j, d_j)`, split
+//! into arbitrarily many pieces, possibly across machines — but at most one
+//! machine works on `j` at any instant. Each machine still runs at most `g`
+//! jobs simultaneously; the cost is the summed measure of each machine's
+//! busy (union) time.
+
+use crate::error::{Error, Result};
+use crate::instance::Instance;
+use crate::jobs::JobId;
+use crate::time::{Interval, IntervalSet};
+
+/// A piece of a job on some machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Piece {
+    /// Which job the piece belongs to.
+    pub job: JobId,
+    /// When the piece runs.
+    pub interval: Interval,
+}
+
+/// A preemptive busy-time schedule: per machine, the pieces it executes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PreemptiveSchedule {
+    /// `machines[m]` = pieces run by machine `m`.
+    pub machines: Vec<Vec<Piece>>,
+}
+
+impl PreemptiveSchedule {
+    /// Empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total busy time: sum over machines of the measure of the union of its
+    /// pieces.
+    pub fn total_busy_time(&self) -> i64 {
+        self.machines
+            .iter()
+            .map(|pieces| {
+                IntervalSet::from_intervals(pieces.iter().map(|p| p.interval)).measure()
+            })
+            .sum()
+    }
+
+    /// Number of machines with at least one piece.
+    pub fn machine_count(&self) -> usize {
+        self.machines.iter().filter(|m| !m.is_empty()).count()
+    }
+
+    /// Full validation:
+    /// * every piece lies in its job's window;
+    /// * each job receives exactly `p_j` units;
+    /// * no two pieces of the same job overlap in time (even across machines);
+    /// * every machine runs at most `g` jobs at any instant.
+    pub fn validate(&self, inst: &Instance) -> Result<()> {
+        // Per-job totals and self-overlap.
+        let mut per_job: Vec<Vec<Interval>> = vec![Vec::new(); inst.len()];
+        for pieces in &self.machines {
+            for p in pieces {
+                if p.job >= inst.len() {
+                    return Err(Error::InvalidSchedule(format!("unknown job id {}", p.job)));
+                }
+                if p.interval.is_empty() {
+                    continue;
+                }
+                let j = inst.job(p.job);
+                if p.interval.start < j.release || p.interval.end > j.deadline {
+                    return Err(Error::InvalidSchedule(format!(
+                        "piece {} of job {} leaves window [{}, {})",
+                        p.interval, p.job, j.release, j.deadline
+                    )));
+                }
+                per_job[p.job].push(p.interval);
+            }
+        }
+        for (id, pieces) in per_job.iter_mut().enumerate() {
+            pieces.sort_unstable();
+            for w in pieces.windows(2) {
+                if w[0].end > w[1].start {
+                    return Err(Error::InvalidSchedule(format!(
+                        "job {id} runs on two machines simultaneously ({} and {})",
+                        w[0], w[1]
+                    )));
+                }
+            }
+            let total: i64 = pieces.iter().map(Interval::len).sum();
+            if total != inst.job(id).length {
+                return Err(Error::InvalidSchedule(format!(
+                    "job {id} receives {total} units, needs {}",
+                    inst.job(id).length
+                )));
+            }
+        }
+        // Machine capacity via sweep.
+        for (m, pieces) in self.machines.iter().enumerate() {
+            let mut events: Vec<(i64, i32)> = Vec::with_capacity(pieces.len() * 2);
+            for p in pieces {
+                if !p.interval.is_empty() {
+                    events.push((p.interval.start, 1));
+                    events.push((p.interval.end, -1));
+                }
+            }
+            events.sort_unstable();
+            let mut cur = 0i32;
+            for (_, d) in events {
+                cur += d;
+                if cur as usize > inst.g() {
+                    return Err(Error::InvalidSchedule(format!(
+                        "machine {m} exceeds capacity {}",
+                        inst.g()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        Instance::from_triples([(0, 10, 4), (0, 6, 3)], 1).unwrap()
+    }
+
+    fn piece(job: JobId, s: i64, e: i64) -> Piece {
+        Piece { job, interval: Interval::new(s, e) }
+    }
+
+    #[test]
+    fn valid_preemptive_schedule() {
+        // Job 0 split across two machines, job 1 contiguous. g = 1.
+        let s = PreemptiveSchedule {
+            machines: vec![
+                vec![piece(0, 0, 2), piece(0, 5, 7)],
+                vec![piece(1, 2, 5)],
+            ],
+        };
+        s.validate(&inst()).unwrap();
+        assert_eq!(s.total_busy_time(), 4 + 3);
+        assert_eq!(s.machine_count(), 2);
+    }
+
+    #[test]
+    fn job_self_overlap_across_machines_rejected() {
+        let s = PreemptiveSchedule {
+            machines: vec![vec![piece(0, 0, 3)], vec![piece(0, 2, 3), piece(1, 3, 6)]],
+        };
+        assert!(s.validate(&inst()).is_err());
+    }
+
+    #[test]
+    fn wrong_total_rejected() {
+        let s = PreemptiveSchedule {
+            machines: vec![vec![piece(0, 0, 3)], vec![piece(1, 0, 3)]],
+        };
+        assert!(s.validate(&inst()).is_err());
+    }
+
+    #[test]
+    fn window_violation_rejected() {
+        let s = PreemptiveSchedule {
+            machines: vec![vec![piece(0, 0, 4)], vec![piece(1, 4, 7)]],
+        };
+        assert!(s.validate(&inst()).is_err());
+    }
+
+    #[test]
+    fn capacity_respected() {
+        // Two jobs on one machine with g=1, overlapping: invalid.
+        let s = PreemptiveSchedule {
+            machines: vec![vec![piece(0, 0, 4), piece(1, 2, 5)]],
+        };
+        assert!(s.validate(&inst()).is_err());
+        // Same with g=2: valid.
+        let inst2 = inst().with_g(2).unwrap();
+        s.validate(&inst2).unwrap();
+        // Busy time counts the union once.
+        assert_eq!(s.total_busy_time(), 5);
+    }
+}

@@ -1,0 +1,131 @@
+//! A compact residual-graph representation for max-flow.
+
+/// Index of a node in a [`FlowGraph`].
+pub type NodeId = usize;
+
+/// Index of a *directed* edge (its residual twin is `e ^ 1`).
+pub type EdgeId = usize;
+
+/// One directed edge of the residual graph.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Head of the edge.
+    pub to: NodeId,
+    /// Remaining residual capacity.
+    pub cap: i64,
+    /// Original capacity (before any flow was pushed).
+    pub orig_cap: i64,
+}
+
+/// A flow network stored as paired forward/backward residual edges.
+///
+/// Edges are appended in pairs, so the reverse of edge `e` is always
+/// `e ^ 1`; `flow(e) = orig_cap(e) − cap(e)`.
+#[derive(Debug, Clone, Default)]
+pub struct FlowGraph {
+    edges: Vec<Edge>,
+    /// `adj[v]` = ids of edges leaving `v` (both forward and residual).
+    adj: Vec<Vec<EdgeId>>,
+}
+
+impl FlowGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowGraph { edges: Vec::new(), adj: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a fresh node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Adds a directed edge `u → v` with capacity `cap ≥ 0`; returns the
+    /// forward edge id.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, cap: i64) -> EdgeId {
+        assert!(cap >= 0, "negative capacity");
+        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        let id = self.edges.len();
+        self.edges.push(Edge { to: v, cap, orig_cap: cap });
+        self.edges.push(Edge { to: u, cap: 0, orig_cap: 0 });
+        self.adj[u].push(id);
+        self.adj[v].push(id + 1);
+        id
+    }
+
+    /// The edge ids leaving `v`.
+    pub fn out_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.adj[v]
+    }
+
+    /// Immutable edge access.
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e]
+    }
+
+    /// Mutable edge access (used by the solvers).
+    pub(crate) fn edge_mut(&mut self, e: EdgeId) -> &mut Edge {
+        &mut self.edges[e]
+    }
+
+    /// Flow currently on (forward) edge `e`.
+    pub fn flow(&self, e: EdgeId) -> i64 {
+        self.edges[e].orig_cap - self.edges[e].cap
+    }
+
+    /// Number of directed residual edges (2 × added edges).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Resets all flow to zero.
+    pub fn reset(&mut self) {
+        for e in &mut self.edges {
+            e.cap = e.orig_cap;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_pairing_invariant() {
+        let mut g = FlowGraph::new(3);
+        let e0 = g.add_edge(0, 1, 5);
+        let e1 = g.add_edge(1, 2, 3);
+        assert_eq!(e0, 0);
+        assert_eq!(e1, 2);
+        assert_eq!(g.edge(e0 ^ 1).to, 0);
+        assert_eq!(g.edge(e1 ^ 1).to, 1);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = FlowGraph::new(1);
+        let v = g.add_node();
+        assert_eq!(v, 1);
+        assert_eq!(g.node_count(), 2);
+        g.add_edge(0, v, 1);
+        assert_eq!(g.out_edges(0).len(), 1);
+        assert_eq!(g.out_edges(v).len(), 1); // the residual twin
+    }
+
+    #[test]
+    fn flow_accounting_and_reset() {
+        let mut g = FlowGraph::new(2);
+        let e = g.add_edge(0, 1, 4);
+        g.edge_mut(e).cap -= 3;
+        g.edge_mut(e ^ 1).cap += 3;
+        assert_eq!(g.flow(e), 3);
+        g.reset();
+        assert_eq!(g.flow(e), 0);
+    }
+}

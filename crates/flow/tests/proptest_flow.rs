@@ -1,0 +1,92 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the math
+
+//! Differential property tests: Dinic vs naive Edmonds–Karp on random
+//! graphs, plus flow-conservation and min-cut invariants.
+
+use abt_flow::{max_flow, max_flow_naive, min_cut_source_side, FlowGraph};
+use proptest::prelude::*;
+
+/// A random graph description: n nodes, edges (u, v, cap).
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, i64)>)> {
+    (2usize..10).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 0i64..20);
+        (Just(n), proptest::collection::vec(edge, 0..30))
+    })
+}
+
+fn build(n: usize, edges: &[(usize, usize, i64)]) -> FlowGraph {
+    let mut g = FlowGraph::new(n);
+    for &(u, v, c) in edges {
+        if u != v {
+            g.add_edge(u, v, c);
+        }
+    }
+    g
+}
+
+proptest! {
+    #[test]
+    fn dinic_matches_naive((n, edges) in graph_strategy()) {
+        let mut g1 = build(n, &edges);
+        let mut g2 = build(n, &edges);
+        let f1 = max_flow(&mut g1, 0, n - 1);
+        let f2 = max_flow_naive(&mut g2, 0, n - 1);
+        prop_assert_eq!(f1.value, f2.value);
+    }
+
+    #[test]
+    fn flow_conservation_holds((n, edges) in graph_strategy()) {
+        let mut g = build(n, &edges);
+        let f = max_flow(&mut g, 0, n - 1);
+        // Net flow out of each internal node is zero; out of source is f.
+        let mut net = vec![0i64; n];
+        for v in 0..n {
+            for &e in g.out_edges(v) {
+                if e % 2 == 0 {
+                    net[v] -= g.flow(e);
+                    net[g.edge(e).to] += g.flow(e);
+                }
+            }
+        }
+        prop_assert_eq!(net[0], -f.value);
+        prop_assert_eq!(net[n - 1], f.value);
+        for v in 1..n - 1 {
+            prop_assert_eq!(net[v], 0);
+        }
+    }
+
+    #[test]
+    fn min_cut_value_equals_flow((n, edges) in graph_strategy()) {
+        let mut g = build(n, &edges);
+        let f = max_flow(&mut g, 0, n - 1);
+        let side = min_cut_source_side(&g, 0);
+        prop_assert!(side[0]);
+        prop_assert!(!side[n - 1]);
+        let mut cut = 0i64;
+        for v in 0..n {
+            if !side[v] { continue; }
+            for &e in g.out_edges(v) {
+                if e % 2 == 0 && !side[g.edge(e).to] {
+                    cut += g.edge(e).orig_cap;
+                }
+            }
+        }
+        prop_assert_eq!(cut, f.value);
+    }
+
+    #[test]
+    fn path_decomposition_accounts_for_all_flow((n, edges) in graph_strategy()) {
+        let mut g = build(n, &edges);
+        let f = max_flow(&mut g, 0, n - 1);
+        let paths = abt_flow::decompose_unit_paths(&mut g, 0, n - 1);
+        prop_assert_eq!(paths.len() as i64, f.value);
+        for p in &paths {
+            // Each path starts at source, ends at sink, is edge-connected.
+            prop_assert_eq!(g.edge(p[0] ^ 1).to, 0);
+            prop_assert_eq!(g.edge(*p.last().unwrap()).to, n - 1);
+            for w in p.windows(2) {
+                prop_assert_eq!(g.edge(w[0]).to, g.edge(w[1] ^ 1).to);
+            }
+        }
+    }
+}

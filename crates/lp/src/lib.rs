@@ -1,0 +1,22 @@
+//! # abt-lp
+//!
+//! A self-contained linear-programming substrate: a dense two-phase primal
+//! simplex solver, generic over an exact `i128` rational scalar (default for
+//! the paper's active-time LPs, so the §3 rounding's case analysis is
+//! noise-free) or `f64` (for stress scales).
+//!
+//! The allowed offline dependency set contains no LP solver (the paper's
+//! reproduction band notes the thin LP ecosystem), so this crate implements
+//! simplex from scratch; see `DESIGN.md` §2.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod rational;
+pub mod scalar;
+pub mod simplex;
+
+pub use model::{Cmp, Constraint, LpProblem, VarId};
+pub use rational::Rat;
+pub use scalar::{Scalar, F64_EPS};
+pub use simplex::{solve, LpSolution, LpStatus};

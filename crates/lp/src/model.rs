@@ -1,0 +1,138 @@
+//! A small modeling layer: variables, linear constraints, minimization
+//! objective. All variables are non-negative (which is all the paper's LPs
+//! need); upper bounds are expressed as explicit `≤` rows by the caller or
+//! via [`LpProblem::bound_var`].
+
+use crate::scalar::Scalar;
+
+/// Index of a decision variable.
+pub type VarId = usize;
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `Σ a_i x_i ≤ b`
+    Le,
+    /// `Σ a_i x_i ≥ b`
+    Ge,
+    /// `Σ a_i x_i = b`
+    Eq,
+}
+
+/// One linear constraint in sparse form.
+#[derive(Debug, Clone)]
+pub struct Constraint<S> {
+    /// `(variable, coefficient)` pairs; repeated variables are summed.
+    pub terms: Vec<(VarId, S)>,
+    /// Sense.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: S,
+}
+
+/// A linear program `min c·x  s.t.  constraints, x ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct LpProblem<S> {
+    objective: Vec<S>,
+    constraints: Vec<Constraint<S>>,
+}
+
+impl<S: Scalar> Default for LpProblem<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Scalar> LpProblem<S> {
+    /// Empty problem.
+    pub fn new() -> Self {
+        LpProblem { objective: Vec::new(), constraints: Vec::new() }
+    }
+
+    /// Adds a variable with objective coefficient `cost`; returns its id.
+    pub fn add_var(&mut self, cost: S) -> VarId {
+        self.objective.push(cost);
+        self.objective.len() - 1
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Adds `Σ terms cmp rhs`.
+    pub fn add_constraint(&mut self, terms: Vec<(VarId, S)>, cmp: Cmp, rhs: S) {
+        debug_assert!(terms.iter().all(|&(v, _)| v < self.num_vars()), "unknown variable");
+        self.constraints.push(Constraint { terms, cmp, rhs });
+    }
+
+    /// Adds the upper bound `x_v ≤ ub` as a row.
+    pub fn bound_var(&mut self, v: VarId, ub: S) {
+        self.add_constraint(vec![(v, S::one())], Cmp::Le, ub);
+    }
+
+    /// Objective coefficients.
+    pub fn objective(&self) -> &[S] {
+        &self.objective
+    }
+
+    /// The constraint rows.
+    pub fn constraints(&self) -> &[Constraint<S>] {
+        &self.constraints
+    }
+
+    /// Evaluates the objective at `x`.
+    pub fn objective_value(&self, x: &[S]) -> S {
+        let mut acc = S::zero();
+        for (c, xi) in self.objective.iter().zip(x) {
+            acc = acc.add(&c.mul(xi));
+        }
+        acc
+    }
+
+    /// Checks primal feasibility of `x` (including `x ≥ 0`).
+    pub fn is_feasible(&self, x: &[S]) -> bool {
+        if x.len() != self.num_vars() || x.iter().any(|v| v.is_neg()) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let mut lhs = S::zero();
+            for (v, a) in &c.terms {
+                lhs = lhs.add(&a.mul(&x[*v]));
+            }
+            match c.cmp {
+                Cmp::Le => !lhs.sub(&c.rhs).is_pos(),
+                Cmp::Ge => !c.rhs.sub(&lhs).is_pos(),
+                Cmp::Eq => lhs.sub(&c.rhs).is_zero_s(),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::Rat;
+
+    #[test]
+    fn build_and_evaluate() {
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(Rat::from_int(1));
+        let y = lp.add_var(Rat::from_int(2));
+        lp.add_constraint(vec![(x, Rat::ONE), (y, Rat::ONE)], Cmp::Ge, Rat::from_int(3));
+        lp.bound_var(x, Rat::from_int(2));
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_constraints(), 2);
+        let sol = [Rat::from_int(2), Rat::from_int(1)];
+        assert!(lp.is_feasible(&sol));
+        assert_eq!(lp.objective_value(&sol), Rat::from_int(4));
+        assert!(!lp.is_feasible(&[Rat::from_int(3), Rat::ZERO])); // violates bound
+        assert!(!lp.is_feasible(&[Rat::from_int(1), Rat::ONE])); // violates Ge
+        assert!(!lp.is_feasible(&[Rat::from_int(-1), Rat::from_int(4)])); // negativity
+    }
+}

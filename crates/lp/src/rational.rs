@@ -1,0 +1,232 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The §3 rounding algorithm branches on exact comparisons of LP values
+//! (`Y_i − ⌊Y_i⌋` vs `½`, sums vs `1` and `3/2`). Solving the active-time LP
+//! with floating point would make those branches noise-dependent, so the
+//! simplex solver is generic and runs on these exact rationals by default.
+//!
+//! Values are kept normalized (`gcd(n, d) = 1`, `d > 0`). Arithmetic uses
+//! cross-reduction to delay overflow; a genuine `i128` overflow panics with
+//! a clear message (the workspace's LPs have tiny coefficients — {0, 1, g} —
+//! and near-network structure, so vertex arithmetic stays small; the `f64`
+//! backend exists for stress scales).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact rational number `n / d` with `d > 0`, normalized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    n: i128,
+    d: i128,
+}
+
+#[inline]
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+#[cold]
+fn overflow() -> ! {
+    panic!("abt-lp: exact rational overflow (i128); use the f64 backend for this problem size")
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { n: 0, d: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { n: 1, d: 1 };
+
+    /// Creates `n/d`, normalizing sign and common factors. Panics if `d = 0`.
+    pub fn new(n: i128, d: i128) -> Rat {
+        assert!(d != 0, "zero denominator");
+        let (n, d) = if d < 0 { (-n, -d) } else { (n, d) };
+        let g = gcd(n, d);
+        Rat { n: n / g, d: d / g }
+    }
+
+    /// From an integer.
+    pub fn from_int(v: i64) -> Rat {
+        Rat { n: v as i128, d: 1 }
+    }
+
+    /// Numerator.
+    pub fn numer(&self) -> i128 {
+        self.n
+    }
+
+    /// Denominator (positive).
+    pub fn denom(&self) -> i128 {
+        self.d
+    }
+
+    /// Exact sum.
+    pub fn add(&self, o: &Rat) -> Rat {
+        // a/b + c/e = (a·(e/g) + c·(b/g)) / (b·(e/g)) with g = gcd(b, e).
+        let g = gcd(self.d, o.d);
+        let e_g = o.d / g;
+        let b_g = self.d / g;
+        let num = self
+            .n
+            .checked_mul(e_g)
+            .and_then(|x| o.n.checked_mul(b_g).and_then(|y| x.checked_add(y)))
+            .unwrap_or_else(|| overflow());
+        let den = self.d.checked_mul(e_g).unwrap_or_else(|| overflow());
+        Rat::new(num, den)
+    }
+
+    /// Exact difference.
+    pub fn sub(&self, o: &Rat) -> Rat {
+        self.add(&o.neg())
+    }
+
+    /// Exact product with cross-reduction.
+    pub fn mul(&self, o: &Rat) -> Rat {
+        let g1 = gcd(self.n, o.d);
+        let g2 = gcd(o.n, self.d);
+        let n = (self.n / g1)
+            .checked_mul(o.n / g2)
+            .unwrap_or_else(|| overflow());
+        let d = (self.d / g2)
+            .checked_mul(o.d / g1)
+            .unwrap_or_else(|| overflow());
+        Rat { n, d } // already reduced by construction
+    }
+
+    /// Exact quotient; panics on division by zero.
+    pub fn div(&self, o: &Rat) -> Rat {
+        assert!(o.n != 0, "division by zero rational");
+        let recip = if o.n < 0 { Rat { n: -o.d, d: -o.n } } else { Rat { n: o.d, d: o.n } };
+        self.mul(&recip)
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Rat {
+        Rat { n: -self.n, d: self.d }
+    }
+
+    /// `⌊self⌋`.
+    pub fn floor(&self) -> i128 {
+        self.n.div_euclid(self.d)
+    }
+
+    /// `⌈self⌉`.
+    pub fn ceil(&self) -> i128 {
+        -((-self.n).div_euclid(self.d))
+    }
+
+    /// The fractional part `self − ⌊self⌋ ∈ [0, 1)`.
+    pub fn fract(&self) -> Rat {
+        self.sub(&Rat::from_int(self.floor() as i64))
+    }
+
+    /// Whether the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sign as an integer in {-1, 0, 1}.
+    pub fn signum(&self) -> i32 {
+        self.n.signum() as i32
+    }
+
+    /// Lossy conversion for reporting.
+    pub fn to_f64(&self) -> f64 {
+        self.n as f64 / self.d as f64
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare a/b vs c/e via a·e vs c·b with checked arithmetic.
+        let l = self.n.checked_mul(other.d);
+        let r = other.n.checked_mul(self.d);
+        match (l, r) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            _ => self
+                .to_f64()
+                .partial_cmp(&other.to_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.d == 1 {
+            write!(f, "{}", self.n)
+        } else {
+            write!(f, "{}/{}", self.n, self.d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_and_display() {
+        assert_eq!(Rat::new(4, 6), Rat::new(2, 3));
+        assert_eq!(Rat::new(-4, -6), Rat::new(2, 3));
+        assert_eq!(Rat::new(4, -6), Rat::new(-2, 3));
+        assert_eq!(Rat::new(2, 3).to_string(), "2/3");
+        assert_eq!(Rat::from_int(5).to_string(), "5");
+    }
+
+    #[test]
+    fn field_ops() {
+        let a = Rat::new(1, 2);
+        let b = Rat::new(1, 3);
+        assert_eq!(a.add(&b), Rat::new(5, 6));
+        assert_eq!(a.sub(&b), Rat::new(1, 6));
+        assert_eq!(a.mul(&b), Rat::new(1, 6));
+        assert_eq!(a.div(&b), Rat::new(3, 2));
+        assert_eq!(a.neg(), Rat::new(-1, 2));
+    }
+
+    #[test]
+    fn floor_ceil_fract() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::new(7, 2).fract(), Rat::new(1, 2));
+        assert_eq!(Rat::from_int(3).fract(), Rat::ZERO);
+        assert_eq!(Rat::new(-1, 4).fract(), Rat::new(3, 4));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(2, 3) < Rat::new(3, 4));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert_eq!(Rat::new(2, 4).cmp(&Rat::new(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn signum_and_zero() {
+        assert!(Rat::ZERO.is_zero());
+        assert_eq!(Rat::new(-3, 7).signum(), -1);
+        assert_eq!(Rat::new(3, 7).signum(), 1);
+        assert_eq!(Rat::ZERO.signum(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn division_by_zero_panics() {
+        let _ = Rat::ONE.div(&Rat::ZERO);
+    }
+}

@@ -1,0 +1,175 @@
+//! The scalar abstraction that makes the simplex solver generic over exact
+//! rationals (default for the active-time LPs) and `f64` (stress scales).
+
+use crate::rational::Rat;
+
+/// Field operations plus the sign queries the simplex needs.
+///
+/// For `f64`, sign queries are epsilon-tolerant so that tiny round-off never
+/// drives a pivot; for [`Rat`] they are exact.
+pub trait Scalar: Clone + PartialEq + std::fmt::Debug + std::fmt::Display + 'static {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Embeds an integer.
+    fn from_i64(v: i64) -> Self;
+    /// Embeds a ratio `p/q` (`q > 0`).
+    fn from_ratio(p: i64, q: i64) -> Self;
+    /// `self + o`.
+    fn add(&self, o: &Self) -> Self;
+    /// `self − o`.
+    fn sub(&self, o: &Self) -> Self;
+    /// `self · o`.
+    fn mul(&self, o: &Self) -> Self;
+    /// `self / o` (caller guarantees `o` is nonzero by [`Scalar::sign`]).
+    fn div(&self, o: &Self) -> Self;
+    /// `−self`.
+    fn neg(&self) -> Self;
+    /// Sign in {-1, 0, 1} (tolerance-aware for floats).
+    fn sign(&self) -> i32;
+    /// Total order consistent with [`Scalar::sign`] of the difference.
+    fn cmp_s(&self, o: &Self) -> std::cmp::Ordering;
+    /// Lossy conversion for reporting.
+    fn to_f64(&self) -> f64;
+
+    /// `self == 0` up to tolerance.
+    fn is_zero_s(&self) -> bool {
+        self.sign() == 0
+    }
+    /// `self > 0` up to tolerance.
+    fn is_pos(&self) -> bool {
+        self.sign() > 0
+    }
+    /// `self < 0` up to tolerance.
+    fn is_neg(&self) -> bool {
+        self.sign() < 0
+    }
+}
+
+/// Comparison tolerance for the `f64` backend.
+pub const F64_EPS: f64 = 1e-9;
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_i64(v: i64) -> Self {
+        v as f64
+    }
+    fn from_ratio(p: i64, q: i64) -> Self {
+        p as f64 / q as f64
+    }
+    fn add(&self, o: &Self) -> Self {
+        self + o
+    }
+    fn sub(&self, o: &Self) -> Self {
+        self - o
+    }
+    fn mul(&self, o: &Self) -> Self {
+        self * o
+    }
+    fn div(&self, o: &Self) -> Self {
+        self / o
+    }
+    fn neg(&self) -> Self {
+        -self
+    }
+    fn sign(&self) -> i32 {
+        if *self > F64_EPS {
+            1
+        } else if *self < -F64_EPS {
+            -1
+        } else {
+            0
+        }
+    }
+    fn cmp_s(&self, o: &Self) -> std::cmp::Ordering {
+        let d = self - o;
+        if d > F64_EPS {
+            std::cmp::Ordering::Greater
+        } else if d < -F64_EPS {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Equal
+        }
+    }
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+}
+
+impl Scalar for Rat {
+    fn zero() -> Self {
+        Rat::ZERO
+    }
+    fn one() -> Self {
+        Rat::ONE
+    }
+    fn from_i64(v: i64) -> Self {
+        Rat::from_int(v)
+    }
+    fn from_ratio(p: i64, q: i64) -> Self {
+        Rat::new(p as i128, q as i128)
+    }
+    fn add(&self, o: &Self) -> Self {
+        Rat::add(self, o)
+    }
+    fn sub(&self, o: &Self) -> Self {
+        Rat::sub(self, o)
+    }
+    fn mul(&self, o: &Self) -> Self {
+        Rat::mul(self, o)
+    }
+    fn div(&self, o: &Self) -> Self {
+        Rat::div(self, o)
+    }
+    fn neg(&self) -> Self {
+        Rat::neg(self)
+    }
+    fn sign(&self) -> i32 {
+        self.signum()
+    }
+    fn cmp_s(&self, o: &Self) -> std::cmp::Ordering {
+        self.cmp(o)
+    }
+    fn to_f64(&self) -> f64 {
+        Rat::to_f64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laws<S: Scalar>() {
+        let two = S::from_i64(2);
+        let three = S::from_i64(3);
+        assert_eq!(two.add(&three), S::from_i64(5));
+        assert_eq!(two.sub(&three).sign(), -1);
+        assert_eq!(two.mul(&three), S::from_i64(6));
+        assert_eq!(S::from_i64(6).div(&three), two);
+        assert!(S::zero().is_zero_s());
+        assert!(S::one().is_pos());
+        assert!(S::one().neg().is_neg());
+        assert_eq!(S::from_ratio(1, 2).add(&S::from_ratio(1, 2)), S::one());
+        assert_eq!(two.cmp_s(&three), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn f64_laws() {
+        laws::<f64>();
+        // Tolerance: a tiny residue counts as zero.
+        assert!(1e-12f64.is_zero_s());
+        assert!(!(1e-6f64).is_zero_s());
+    }
+
+    #[test]
+    fn rat_laws() {
+        laws::<Rat>();
+        assert!(!Rat::new(1, 1_000_000_000_000).is_zero_s()); // exactness
+    }
+}

@@ -1,0 +1,474 @@
+//! A dense two-phase primal simplex solver.
+//!
+//! Design points:
+//! * **Generic scalar**: runs on exact rationals (default for the paper's
+//!   LPs) or `f64`.
+//! * **Anti-cycling**: Dantzig's rule for speed, with an automatic permanent
+//!   switch to Bland's rule after a run of degenerate pivots, which
+//!   guarantees termination.
+//! * **Two phases**: artificials for `≥`/`=` rows; redundant rows left
+//!   harmlessly basic at zero after phase 1 with their artificial columns
+//!   barred from re-entering.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the tableau math
+
+use crate::model::{Cmp, LpProblem};
+use crate::scalar::Scalar;
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+/// An LP solution.
+#[derive(Debug, Clone)]
+pub struct LpSolution<S> {
+    /// Solve outcome.
+    pub status: LpStatus,
+    /// Optimal objective value (meaningful only when `Optimal`).
+    pub objective: S,
+    /// Values of the original variables (meaningful only when `Optimal`).
+    pub x: Vec<S>,
+    /// Dual values, one per constraint, in the sign convention of
+    /// `min c·x` duality: `y_i ≤ 0` for `≤` rows, `y_i ≥ 0` for `≥` rows,
+    /// free for `=` rows; at optimality `b·y = c·x` (strong duality) and
+    /// `Σ_i y_i a_ij ≤ c_j` for every variable (dual feasibility). Empty
+    /// unless `Optimal`.
+    pub duals: Vec<S>,
+}
+
+/// Number of consecutive degenerate pivots tolerated before switching to
+/// Bland's rule.
+const DEGENERATE_SWITCH: usize = 64;
+
+/// Hard iteration cap (simplex with Bland's rule terminates; this is a
+/// safety net against implementation bugs, not a tuning knob).
+fn iteration_cap(rows: usize, cols: usize) -> usize {
+    10_000 + 64 * (rows + cols)
+}
+
+struct Tableau<S> {
+    /// `rows × (cols + 1)`; last column is the RHS.
+    a: Vec<Vec<S>>,
+    /// Reduced-cost row, length `cols + 1`; last entry is −(objective value).
+    cost: Vec<S>,
+    /// Basic column per row.
+    basis: Vec<usize>,
+    /// Columns barred from entering (artificials in phase 2).
+    barred: Vec<bool>,
+    cols: usize,
+}
+
+impl<S: Scalar> Tableau<S> {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.a[row][col].clone();
+        debug_assert!(!piv.is_zero_s());
+        for j in 0..=self.cols {
+            self.a[row][j] = self.a[row][j].div(&piv);
+        }
+        for i in 0..self.a.len() {
+            if i == row {
+                continue;
+            }
+            let factor = self.a[i][col].clone();
+            if factor.is_zero_s() {
+                continue;
+            }
+            for j in 0..=self.cols {
+                self.a[i][j] = self.a[i][j].sub(&factor.mul(&self.a[row][j]));
+            }
+        }
+        let factor = self.cost[col].clone();
+        if !factor.is_zero_s() {
+            for j in 0..=self.cols {
+                self.cost[j] = self.cost[j].sub(&factor.mul(&self.a[row][j]));
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs the simplex loop on the current cost row. Returns `false` if
+    /// unbounded.
+    fn optimize(&mut self) -> bool {
+        let mut bland = false;
+        let mut degenerate_run = 0usize;
+        let cap = iteration_cap(self.a.len(), self.cols);
+        for _ in 0..cap {
+            // Entering column: negative reduced cost.
+            let mut enter: Option<usize> = None;
+            if bland {
+                for j in 0..self.cols {
+                    if !self.barred[j] && self.cost[j].is_neg() {
+                        enter = Some(j);
+                        break;
+                    }
+                }
+            } else {
+                let mut best: Option<(usize, S)> = None;
+                for j in 0..self.cols {
+                    if self.barred[j] || !self.cost[j].is_neg() {
+                        continue;
+                    }
+                    match &best {
+                        Some((_, b)) if self.cost[j].cmp_s(b) != std::cmp::Ordering::Less => {}
+                        _ => best = Some((j, self.cost[j].clone())),
+                    }
+                }
+                enter = best.map(|(j, _)| j);
+            }
+            let Some(col) = enter else { return true };
+            // Leaving row: minimum ratio, Bland tie-break on basis index.
+            let mut leave: Option<(usize, S)> = None;
+            for i in 0..self.a.len() {
+                if !self.a[i][col].is_pos() {
+                    continue;
+                }
+                let ratio = self.a[i][self.cols].div(&self.a[i][col]);
+                let better = match &leave {
+                    None => true,
+                    Some((li, lr)) => match ratio.cmp_s(lr) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Equal => self.basis[i] < self.basis[*li],
+                        std::cmp::Ordering::Greater => false,
+                    },
+                };
+                if better {
+                    leave = Some((i, ratio));
+                }
+            }
+            let Some((row, ratio)) = leave else { return false };
+            if ratio.is_zero_s() {
+                degenerate_run += 1;
+                if degenerate_run >= DEGENERATE_SWITCH {
+                    bland = true;
+                }
+            } else {
+                degenerate_run = 0;
+            }
+            self.pivot(row, col);
+        }
+        panic!("abt-lp: simplex iteration cap exceeded — please report this instance");
+    }
+}
+
+/// Solves `lp` to optimality (or detects infeasibility/unboundedness).
+pub fn solve<S: Scalar>(lp: &LpProblem<S>) -> LpSolution<S> {
+    let n = lp.num_vars();
+    let m = lp.num_constraints();
+
+    // Count structural columns.
+    let mut n_slack = 0;
+    let mut n_art = 0;
+    for c in lp.constraints() {
+        // After RHS normalization the sense may flip; count accordingly.
+        let rhs_neg = c.rhs.is_neg();
+        let sense = match (c.cmp, rhs_neg) {
+            (Cmp::Le, false) | (Cmp::Ge, true) => Cmp::Le,
+            (Cmp::Ge, false) | (Cmp::Le, true) => Cmp::Ge,
+            (Cmp::Eq, _) => Cmp::Eq,
+        };
+        match sense {
+            Cmp::Le => n_slack += 1,
+            Cmp::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Cmp::Eq => n_art += 1,
+        }
+    }
+    let cols = n + n_slack + n_art;
+    let mut a: Vec<Vec<S>> = vec![vec![S::zero(); cols + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut is_artificial = vec![false; cols];
+    // Per original row: (auxiliary column, its sign in the dual read-out,
+    // whether the row was flipped to normalize the RHS).
+    let mut row_aux: Vec<(usize, bool, bool)> = Vec::with_capacity(m);
+
+    let mut slack_at = n;
+    let mut art_at = n + n_slack;
+    for (i, c) in lp.constraints().iter().enumerate() {
+        let flip = c.rhs.is_neg();
+        let sgn = if flip { S::one().neg() } else { S::one() };
+        for (v, coef) in &c.terms {
+            a[i][*v] = a[i][*v].add(&sgn.mul(coef));
+        }
+        a[i][cols] = sgn.mul(&c.rhs);
+        let sense = match (c.cmp, flip) {
+            (Cmp::Le, false) | (Cmp::Ge, true) => Cmp::Le,
+            (Cmp::Ge, false) | (Cmp::Le, true) => Cmp::Ge,
+            (Cmp::Eq, _) => Cmp::Eq,
+        };
+        match sense {
+            Cmp::Le => {
+                a[i][slack_at] = S::one();
+                basis[i] = slack_at;
+                // slack column: y_i = −r_slack
+                row_aux.push((slack_at, true, flip));
+                slack_at += 1;
+            }
+            Cmp::Ge => {
+                a[i][slack_at] = S::one().neg();
+                // surplus column: y_i = +r_surplus
+                row_aux.push((slack_at, false, flip));
+                slack_at += 1;
+                a[i][art_at] = S::one();
+                is_artificial[art_at] = true;
+                basis[i] = art_at;
+                art_at += 1;
+            }
+            Cmp::Eq => {
+                a[i][art_at] = S::one();
+                is_artificial[art_at] = true;
+                basis[i] = art_at;
+                // artificial column: y_i = −r_artificial
+                row_aux.push((art_at, true, flip));
+                art_at += 1;
+            }
+        }
+    }
+
+    let mut t = Tableau {
+        a,
+        cost: vec![S::zero(); cols + 1],
+        basis,
+        barred: vec![false; cols],
+        cols,
+    };
+
+    // Phase 1: minimize the sum of artificials. Reduced costs: for column j,
+    // r_j = c1_j − Σ_{rows with artificial basis} a_ij, where c1 is 1 on
+    // artificials. Artificial basis columns start with r = 0.
+    if n_art > 0 {
+        for j in 0..=cols {
+            let mut r = if j < cols && is_artificial[j] { S::one() } else { S::zero() };
+            for i in 0..m {
+                if is_artificial[t.basis[i]] {
+                    r = r.sub(&t.a[i][j]);
+                }
+            }
+            t.cost[j] = r;
+        }
+        let bounded = t.optimize();
+        debug_assert!(bounded, "phase 1 cannot be unbounded");
+        // Objective value is −cost[cols].
+        if t.cost[cols].neg().is_pos() {
+            return LpSolution {
+                status: LpStatus::Infeasible,
+                objective: S::zero(),
+                x: vec![],
+                duals: vec![],
+            };
+        }
+        // Drive artificials out of the basis where possible.
+        for i in 0..m {
+            if is_artificial[t.basis[i]] {
+                if let Some(j) = (0..cols).find(|&j| !is_artificial[j] && !t.a[i][j].is_zero_s()) {
+                    t.pivot(i, j);
+                }
+                // Otherwise the row is redundant; its artificial stays basic
+                // at value 0, and barring artificial columns keeps it there.
+            }
+        }
+        for j in 0..cols {
+            if is_artificial[j] {
+                t.barred[j] = true;
+            }
+        }
+    }
+
+    // Phase 2: real objective. r_j = c_j − Σ_i c_{basis(i)} a_ij.
+    let real_cost = |j: usize| -> S {
+        if j < n {
+            lp.objective()[j].clone()
+        } else {
+            S::zero()
+        }
+    };
+    for j in 0..=cols {
+        let mut r = if j < cols { real_cost(j) } else { S::zero() };
+        for i in 0..m {
+            let cb = real_cost(t.basis[i]);
+            if !cb.is_zero_s() {
+                r = r.sub(&cb.mul(&t.a[i][j]));
+            }
+        }
+        t.cost[j] = r;
+    }
+    if !t.optimize() {
+        return LpSolution {
+            status: LpStatus::Unbounded,
+            objective: S::zero(),
+            x: vec![],
+            duals: vec![],
+        };
+    }
+
+    let mut x = vec![S::zero(); n];
+    for i in 0..m {
+        if t.basis[i] < n {
+            x[t.basis[i]] = t.a[i][cols].clone();
+        }
+    }
+    // Duals from the reduced costs of each row's auxiliary column (the
+    // classic y = c_B B⁻¹ read-out), undoing RHS-normalization flips.
+    let duals = row_aux
+        .iter()
+        .map(|&(col, negate, flip)| {
+            let mut y = if negate { t.cost[col].neg() } else { t.cost[col].clone() };
+            if flip {
+                y = y.neg();
+            }
+            y
+        })
+        .collect();
+    let objective = lp.objective_value(&x);
+    LpSolution { status: LpStatus::Optimal, objective, x, duals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, LpProblem};
+    use crate::rational::Rat;
+
+    fn r(p: i64, q: i64) -> Rat {
+        Rat::new(p as i128, q as i128)
+    }
+
+    #[test]
+    fn simple_min_le() {
+        // min -x - 2y  s.t. x + y <= 4, x <= 2  => x=2, y=2, obj=-6
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(r(-1, 1));
+        let y = lp.add_var(r(-2, 1));
+        lp.add_constraint(vec![(x, Rat::ONE), (y, Rat::ONE)], Cmp::Le, r(4, 1));
+        lp.bound_var(x, r(2, 1));
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.objective, r(-8, 1)); // actually x=0, y=4 gives -8
+        assert_eq!(sol.x[1], r(4, 1));
+    }
+
+    #[test]
+    fn phase1_needed_ge() {
+        // min x + y  s.t. x + 2y >= 4, 3x + y >= 6 => intersection (8/5, 6/5), obj 14/5
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(Rat::ONE);
+        let y = lp.add_var(Rat::ONE);
+        lp.add_constraint(vec![(x, Rat::ONE), (y, r(2, 1))], Cmp::Ge, r(4, 1));
+        lp.add_constraint(vec![(x, r(3, 1)), (y, Rat::ONE)], Cmp::Ge, r(6, 1));
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.objective, r(14, 5));
+        assert_eq!(sol.x, vec![r(8, 5), r(6, 5)]);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min 2x + 3y s.t. x + y = 5, x - y = 1 => x=3, y=2, obj=12
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(r(2, 1));
+        let y = lp.add_var(r(3, 1));
+        lp.add_constraint(vec![(x, Rat::ONE), (y, Rat::ONE)], Cmp::Eq, r(5, 1));
+        lp.add_constraint(vec![(x, Rat::ONE), (y, r(-1, 1))], Cmp::Eq, r(1, 1));
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.x, vec![r(3, 1), r(2, 1)]);
+        assert_eq!(sol.objective, r(12, 1));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x >= 3 and x <= 1
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(Rat::ONE);
+        lp.add_constraint(vec![(x, Rat::ONE)], Cmp::Ge, r(3, 1));
+        lp.bound_var(x, Rat::ONE);
+        assert_eq!(solve(&lp).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x with only x >= 1
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(r(-1, 1));
+        lp.add_constraint(vec![(x, Rat::ONE)], Cmp::Ge, Rat::ONE);
+        assert_eq!(solve(&lp).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // min x s.t. -x <= -3  (i.e. x >= 3)
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(Rat::ONE);
+        lp.add_constraint(vec![(x, r(-1, 1))], Cmp::Le, r(-3, 1));
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.x[0], r(3, 1));
+    }
+
+    #[test]
+    fn redundant_equalities_ok() {
+        // x + y = 2 listed twice plus min x.
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(Rat::ONE);
+        let y = lp.add_var(Rat::ZERO);
+        lp.add_constraint(vec![(x, Rat::ONE), (y, Rat::ONE)], Cmp::Eq, r(2, 1));
+        lp.add_constraint(vec![(x, Rat::ONE), (y, Rat::ONE)], Cmp::Eq, r(2, 1));
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.objective, Rat::ZERO);
+        assert_eq!(sol.x[1], r(2, 1));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A classic degenerate LP (multiple bases at the same vertex).
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(r(-3, 4));
+        let y = lp.add_var(r(150, 1));
+        let z = lp.add_var(r(-1, 50));
+        let w = lp.add_var(r(6, 1));
+        lp.add_constraint(
+            vec![(x, r(1, 4)), (y, r(-60, 1)), (z, r(-1, 25)), (w, r(9, 1))],
+            Cmp::Le,
+            Rat::ZERO,
+        );
+        lp.add_constraint(
+            vec![(x, r(1, 2)), (y, r(-90, 1)), (z, r(-1, 50)), (w, r(3, 1))],
+            Cmp::Le,
+            Rat::ZERO,
+        );
+        lp.add_constraint(vec![(z, Rat::ONE)], Cmp::Le, Rat::ONE);
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.objective, r(-1, 20)); // Beale's example optimum −1/20
+    }
+
+    #[test]
+    fn f64_backend_agrees() {
+        let mut lp: LpProblem<f64> = LpProblem::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 2.0)], Cmp::Ge, 4.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 1.0)], Cmp::Ge, 6.0);
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 14.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_constraint_problem() {
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let _ = lp.add_var(Rat::ONE);
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.objective, Rat::ZERO);
+    }
+}

@@ -1,0 +1,28 @@
+//! # abt-workloads
+//!
+//! Workload generators for the `active-busy-time` workspace:
+//!
+//! * [`gadgets`] — every gadget/worked example of the paper with its
+//!   closed-form bounds (Fig. 1, Fig. 3, the §3.5 integrality gap,
+//!   Figs. 6–12), ε-constructions scaled to exact integer ticks;
+//! * [`random`] — uniform, proper, clique, laminar, unit, and
+//!   feasibility-guaranteed families for the comparison experiments;
+//! * [`traces`] — synthetic VM-consolidation and optical-lightpath traces
+//!   standing in for the motivating applications of §1.
+
+#![warn(missing_docs)]
+
+pub mod gadgets;
+pub mod random;
+pub mod traces;
+
+pub use gadgets::{
+    fig1_example, fig10_flexible_factor4, fig3_minimal_tight, fig6_greedy_tracking_tight,
+    fig8_interval_tight, fig9_dp_profile_tight, integrality_gap, Fig10, Fig3, Fig6, Fig8, Fig9,
+    IntegralityGap, SCALE,
+};
+pub use random::{
+    random_active_feasible, random_clique, random_flexible, random_interval, random_laminar,
+    random_proper, random_unit, RandomConfig,
+};
+pub use traces::{optical_trace, vm_trace, OpticalTraceConfig, VmTraceConfig};

@@ -1,0 +1,256 @@
+//! Random instance families for the empirical comparison experiments
+//! (E10/E11) and the property-test corpus.
+
+use abt_core::{Instance, Job, Time};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a random family.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomConfig {
+    /// Number of jobs.
+    pub n: usize,
+    /// Capacity.
+    pub g: usize,
+    /// Horizon length in ticks/slots.
+    pub horizon: i64,
+    /// Maximum job length.
+    pub max_len: i64,
+    /// Extra window slack as a multiple of the length (0 = interval jobs).
+    pub slack_factor: f64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig { n: 20, g: 3, horizon: 100, max_len: 10, slack_factor: 1.0 }
+    }
+}
+
+/// Uniform random flexible instance (windows = length × (1 + slack)).
+pub fn random_flexible(cfg: &RandomConfig, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let jobs = (0..cfg.n)
+        .map(|_| {
+            let len = rng.gen_range(1..=cfg.max_len);
+            let slack = (len as f64 * cfg.slack_factor).round() as i64;
+            let latest_release = (cfg.horizon - len - slack).max(0);
+            let r = rng.gen_range(0..=latest_release);
+            Job::new(r, r + len + slack, len)
+        })
+        .collect();
+    Instance::new(jobs, cfg.g).unwrap()
+}
+
+/// Uniform random interval instance.
+pub fn random_interval(cfg: &RandomConfig, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let jobs = (0..cfg.n)
+        .map(|_| {
+            let len = rng.gen_range(1..=cfg.max_len);
+            let r = rng.gen_range(0..=(cfg.horizon - len).max(0));
+            Job::interval(r, r + len)
+        })
+        .collect();
+    Instance::new(jobs, cfg.g).unwrap()
+}
+
+/// Random unit-length active-time instance (always feasible for `g ≥ 1` if
+/// windows have at least one slot, which construction guarantees; overall
+/// feasibility still depends on congestion — use
+/// [`random_active_feasible`] when a feasible instance is required).
+pub fn random_unit(cfg: &RandomConfig, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let jobs = (0..cfg.n)
+        .map(|_| {
+            let r = rng.gen_range(0..cfg.horizon);
+            let d = r + 1 + rng.gen_range(0..=(cfg.horizon - r - 1).min(cfg.max_len));
+            Job::new(r, d, 1)
+        })
+        .collect();
+    Instance::new(jobs, cfg.g).unwrap()
+}
+
+/// Random active-time instance guaranteed feasible: jobs are carved out of
+/// a reference schedule (each job's units are placed first, then the window
+/// is the hull of its units plus slack), so opening the whole horizon
+/// always works.
+pub fn random_active_feasible(cfg: &RandomConfig, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut load = vec![0usize; cfg.horizon as usize + 1];
+    let mut jobs = Vec::with_capacity(cfg.n);
+    for _ in 0..cfg.n {
+        let len = rng.gen_range(1..=cfg.max_len.min(cfg.horizon));
+        // Find a placement window with spare capacity.
+        let mut placed = None;
+        for _ in 0..50 {
+            let start = rng.gen_range(0..=(cfg.horizon - len)) as usize;
+            let slots = start..start + len as usize;
+            if slots.clone().all(|s| load[s] < cfg.g) {
+                placed = Some(slots);
+                break;
+            }
+        }
+        let Some(slots) = placed else {
+            continue; // skip a job rather than break feasibility
+        };
+        for s in slots.clone() {
+            load[s] += 1;
+        }
+        let slack = (len as f64 * cfg.slack_factor).round() as i64;
+        let r = (slots.start as i64 - rng.gen_range(0..=slack)).max(0);
+        let d = (slots.end as i64 + rng.gen_range(0..=slack)).min(cfg.horizon);
+        jobs.push(Job::new(r, d, len));
+    }
+    Instance::new(jobs, cfg.g).unwrap()
+}
+
+/// A random **proper** interval instance: no window contains another
+/// (starts and ends are both strictly increasing).
+pub fn random_proper(cfg: &RandomConfig, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut starts: Vec<Time> = (0..cfg.n)
+        .map(|_| rng.gen_range(0..cfg.horizon))
+        .collect();
+    starts.sort_unstable();
+    starts.dedup();
+    let mut jobs = Vec::with_capacity(starts.len());
+    let mut prev_end = i64::MIN;
+    for &s in &starts {
+        let min_end = (prev_end + 1).max(s + 1);
+        let end = min_end + rng.gen_range(0..cfg.max_len);
+        jobs.push(Job::interval(s, end));
+        prev_end = end;
+    }
+    Instance::new(jobs, cfg.g).unwrap()
+}
+
+/// A random **clique** instance: every window contains the common time
+/// point `horizon/2`.
+pub fn random_clique(cfg: &RandomConfig, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mid = cfg.horizon / 2;
+    let jobs = (0..cfg.n)
+        .map(|_| {
+            let left = rng.gen_range(0..=mid);
+            let right = mid + 1 + rng.gen_range(0..=(cfg.horizon - mid - 1).max(0));
+            Job::interval(left, right)
+        })
+        .collect();
+    Instance::new(jobs, cfg.g).unwrap()
+}
+
+/// A random **laminar** interval instance: any two windows are disjoint or
+/// nested (generated by recursive subdivision).
+pub fn random_laminar(cfg: &RandomConfig, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut jobs = Vec::new();
+    fn subdivide(
+        rng: &mut SmallRng,
+        lo: Time,
+        hi: Time,
+        budget: &mut usize,
+        jobs: &mut Vec<Job>,
+    ) {
+        if *budget == 0 || hi - lo < 2 {
+            return;
+        }
+        *budget -= 1;
+        jobs.push(Job::interval(lo, hi));
+        // Split into two disjoint children with a gap.
+        if hi - lo >= 4 && rng.gen_bool(0.8) {
+            let mid = rng.gen_range(lo + 1..hi - 1);
+            subdivide(rng, lo, mid, budget, jobs);
+            subdivide(rng, mid + 1, hi, budget, jobs);
+        }
+    }
+    let mut budget = cfg.n;
+    while budget > 0 {
+        let before = budget;
+        subdivide(&mut rng, 0, cfg.horizon, &mut budget, &mut jobs);
+        if budget == before {
+            break;
+        }
+    }
+    Instance::new(jobs, cfg.g).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let cfg = RandomConfig::default();
+        assert_eq!(random_interval(&cfg, 7), random_interval(&cfg, 7));
+        assert_ne!(random_interval(&cfg, 7), random_interval(&cfg, 8));
+    }
+
+    #[test]
+    fn interval_family_is_interval() {
+        let cfg = RandomConfig::default();
+        for seed in 0..5 {
+            assert!(random_interval(&cfg, seed).is_interval_instance());
+        }
+    }
+
+    #[test]
+    fn flexible_family_has_slack() {
+        let cfg = RandomConfig { slack_factor: 2.0, ..Default::default() };
+        let inst = random_flexible(&cfg, 3);
+        assert!(inst.jobs().iter().any(|j| j.slack() > 0));
+    }
+
+    #[test]
+    fn unit_family_is_unit() {
+        let cfg = RandomConfig::default();
+        let inst = random_unit(&cfg, 1);
+        assert!(inst.jobs().iter().all(|j| j.length == 1));
+    }
+
+    #[test]
+    fn feasible_family_is_feasible_by_construction() {
+        // Whole-horizon load never exceeds g by construction; verify the
+        // mass bound is consistent.
+        for seed in 0..5 {
+            let cfg = RandomConfig { n: 30, g: 2, horizon: 40, max_len: 6, slack_factor: 0.5 };
+            let inst = random_active_feasible(&cfg, seed);
+            assert!(inst.total_length() <= cfg.horizon * cfg.g as i64);
+        }
+    }
+
+    #[test]
+    fn proper_family_is_proper() {
+        let inst = random_proper(&RandomConfig::default(), 11);
+        let jobs = inst.jobs();
+        for a in jobs {
+            for b in jobs {
+                let nested = a.release < b.release && b.deadline < a.deadline;
+                assert!(!nested, "window {b} nested in {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn clique_family_shares_a_point() {
+        let cfg = RandomConfig::default();
+        let inst = random_clique(&cfg, 5);
+        let mid = cfg.horizon / 2;
+        assert!(inst.jobs().iter().all(|j| j.release <= mid && mid < j.deadline));
+    }
+
+    #[test]
+    fn laminar_family_is_laminar() {
+        let inst = random_laminar(&RandomConfig { n: 15, ..Default::default() }, 9);
+        let jobs = inst.jobs();
+        for a in jobs {
+            for b in jobs {
+                let aw = a.window();
+                let bw = b.window();
+                let crossing = aw.overlaps(&bw)
+                    && !aw.contains_interval(&bw)
+                    && !bw.contains_interval(&aw);
+                assert!(!crossing, "{aw} crosses {bw}");
+            }
+        }
+    }
+}

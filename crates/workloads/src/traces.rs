@@ -1,0 +1,139 @@
+//! Synthetic workload traces for the motivating applications in §1:
+//! virtual-machine consolidation in a datacenter (busy time = powered-on
+//! host time) and lightpath requests in an optical network (busy time =
+//! OADM fiber cost).
+//!
+//! The paper evaluates nothing empirically; these generators stand in for
+//! the production traces its motivation cites, with the standard shape
+//! assumptions (Poisson arrivals, heavy-tailed service times).
+
+use abt_core::{Instance, Job};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the VM-consolidation trace.
+#[derive(Debug, Clone, Copy)]
+pub struct VmTraceConfig {
+    /// Number of VM lease requests.
+    pub n: usize,
+    /// Host capacity (VMs per host).
+    pub g: usize,
+    /// Mean inter-arrival gap in ticks (exponential).
+    pub mean_interarrival: f64,
+    /// Mean lease duration in ticks (the tail is Pareto-ish by mixing).
+    pub mean_duration: f64,
+    /// Fraction of batch (flexible) requests; the rest are interactive
+    /// (rigid interval jobs).
+    pub flexible_fraction: f64,
+    /// Window slack of a flexible request as a multiple of its duration.
+    pub slack_factor: f64,
+}
+
+impl Default for VmTraceConfig {
+    fn default() -> Self {
+        VmTraceConfig {
+            n: 100,
+            g: 8,
+            mean_interarrival: 10.0,
+            mean_duration: 60.0,
+            flexible_fraction: 0.4,
+            slack_factor: 1.5,
+        }
+    }
+}
+
+/// Generates a VM lease trace: arrival-ordered jobs, a heavy-ish duration
+/// tail (80/20 exponential mixture with a 5× tail), and a mix of rigid and
+/// flexible leases.
+pub fn vm_trace(cfg: &VmTraceConfig, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = 0f64;
+    let mut jobs = Vec::with_capacity(cfg.n);
+    for _ in 0..cfg.n {
+        t += exp(&mut rng, cfg.mean_interarrival);
+        let mean = if rng.gen_bool(0.2) { cfg.mean_duration * 5.0 } else { cfg.mean_duration };
+        let len = exp(&mut rng, mean).max(1.0).round() as i64;
+        let r = t.round() as i64;
+        let slack = if rng.gen_bool(cfg.flexible_fraction) {
+            (len as f64 * cfg.slack_factor).round() as i64
+        } else {
+            0
+        };
+        jobs.push(Job::new(r, r + len + slack, len));
+    }
+    Instance::new(jobs, cfg.g).unwrap()
+}
+
+/// Parameters for the optical lightpath trace.
+#[derive(Debug, Clone, Copy)]
+pub struct OpticalTraceConfig {
+    /// Number of lightpath requests.
+    pub n: usize,
+    /// Wavelengths per fiber (the capacity `g`).
+    pub g: usize,
+    /// Number of "sites" along the line network; requests span contiguous
+    /// site ranges (so durations are discrete hop counts).
+    pub sites: i64,
+}
+
+impl Default for OpticalTraceConfig {
+    fn default() -> Self {
+        OpticalTraceConfig { n: 80, g: 4, sites: 40 }
+    }
+}
+
+/// Generates interval jobs shaped like line-network lightpath requests
+/// (the Kumar–Rudra fiber-minimization setting): each request occupies a
+/// contiguous range of links `[i, j)`.
+pub fn optical_trace(cfg: &OpticalTraceConfig, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let jobs = (0..cfg.n)
+        .map(|_| {
+            let a = rng.gen_range(0..cfg.sites - 1);
+            // Short hops dominate; occasional long-haul paths.
+            let max_hop = if rng.gen_bool(0.15) { cfg.sites - a } else { (cfg.sites / 8).max(2) };
+            let len = rng.gen_range(1..=max_hop.min(cfg.sites - a));
+            Job::interval(a, a + len)
+        })
+        .collect();
+    Instance::new(jobs, cfg.g).unwrap()
+}
+
+fn exp(rng: &mut SmallRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(1e-9..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_trace_is_deterministic_and_mixed() {
+        let cfg = VmTraceConfig::default();
+        let a = vm_trace(&cfg, 42);
+        let b = vm_trace(&cfg, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), cfg.n);
+        assert!(a.jobs().iter().any(|j| j.slack() > 0), "some flexible leases");
+        assert!(a.jobs().iter().any(|j| j.slack() == 0), "some rigid leases");
+    }
+
+    #[test]
+    fn vm_trace_arrivals_increase() {
+        let inst = vm_trace(&VmTraceConfig::default(), 7);
+        let releases: Vec<i64> = inst.jobs().iter().map(|j| j.release).collect();
+        let mut sorted = releases.clone();
+        sorted.sort_unstable();
+        assert_eq!(releases, sorted);
+    }
+
+    #[test]
+    fn optical_trace_is_interval_and_bounded() {
+        let cfg = OpticalTraceConfig::default();
+        let inst = optical_trace(&cfg, 3);
+        assert!(inst.is_interval_instance());
+        assert!(inst.max_deadline() <= cfg.sites);
+        assert_eq!(inst.len(), cfg.n);
+    }
+}

@@ -1,0 +1,64 @@
+//! VM consolidation: the busy-time model applied to the paper's motivating
+//! datacenter scenario (§1).
+//!
+//! VM lease requests arrive over time; each host runs up to `g` VMs
+//! simultaneously, and a host consumes power exactly while at least one VM
+//! is on it (its *busy time*). Batch leases are flexible (they may start
+//! anywhere in a window); interactive leases are rigid. We compare the
+//! schedulers on a synthetic trace and report energy-style numbers.
+//!
+//! Run with `cargo run --release --example datacenter_consolidation`.
+
+use active_busy_time::prelude::*;
+use active_busy_time::workloads::{vm_trace, VmTraceConfig};
+
+fn main() {
+    let cfg = VmTraceConfig {
+        n: 120,
+        g: 8,
+        mean_interarrival: 8.0,
+        mean_duration: 50.0,
+        flexible_fraction: 0.5,
+        slack_factor: 2.0,
+    };
+    let trace = vm_trace(&cfg, 2026);
+    let flexible = trace.jobs().iter().filter(|j| j.slack() > 0).count();
+    println!(
+        "trace: {} VM leases ({} flexible), hosts run up to {} VMs",
+        trace.len(),
+        flexible,
+        trace.g()
+    );
+    let bounds = busy_lower_bounds(&trace);
+    println!("mass lower bound on powered-on host-time: {}", bounds.mass);
+
+    let naive: i64 = trace.jobs().iter().map(|j| j.length).sum();
+    println!("no consolidation (one host per VM): {naive} host-ticks\n");
+
+    println!(
+        "{:<18} {:>12} {:>8} {:>12}",
+        "scheduler", "host-ticks", "hosts", "vs no-consol"
+    );
+    for algo in IntervalAlgo::all() {
+        let out = solve_flexible(&trace, algo).unwrap();
+        out.schedule.validate(&trace).unwrap();
+        let cost = out.schedule.total_busy_time(&trace);
+        println!(
+            "{:<18} {:>12} {:>8} {:>11.1}%",
+            algo.name(),
+            cost,
+            out.schedule.machine_count(),
+            100.0 * cost as f64 / naive as f64
+        );
+    }
+
+    // If leases were preemptable (checkpoint/restore migration), §4.4's
+    // algorithms apply.
+    let unbounded = preemptive_unbounded(&trace);
+    let bounded = preemptive_bounded(&trace);
+    println!(
+        "\nwith VM migration (preemptive): ideal {} host-ticks, bounded-g schedule {} host-ticks",
+        unbounded.cost,
+        bounded.total_busy_time()
+    );
+}

@@ -1,0 +1,64 @@
+//! Active-time scheduling: an energy-aware batch machine that powers on
+//! for whole time slots (§2–3 of the paper).
+//!
+//! A shared compute node can run up to `g` jobs per hour-slot and pays for
+//! every powered-on hour. Jobs have release times, deadlines, and total
+//! work; work may be split across non-consecutive hours (preemption at
+//! slot boundaries). We compare the paper's two approximation algorithms
+//! against the LP bound and the exact optimum.
+//!
+//! Run with `cargo run --release --example energy_scheduler`.
+
+use active_busy_time::active::solve_active_lp;
+use active_busy_time::prelude::*;
+use active_busy_time::workloads::{random_active_feasible, RandomConfig};
+
+fn main() {
+    // A day of 24 hour-slots, 14 batch jobs, 3 jobs per hour.
+    let cfg = RandomConfig { n: 14, g: 3, horizon: 24, max_len: 5, slack_factor: 1.5 };
+    let day = random_active_feasible(&cfg, 99);
+    println!(
+        "{} jobs over a {}-slot day, {} concurrent jobs per slot",
+        day.len(),
+        cfg.horizon,
+        day.g()
+    );
+    println!("trivial bound: ⌈total work / g⌉ = {}", active_lower_bound(&day));
+
+    let lp = solve_active_lp(&day).unwrap();
+    println!("fractional (LP) optimum: {}", lp.objective);
+
+    // Theorem 1: any minimal feasible solution ≤ 3·OPT — order matters in
+    // practice, so try several.
+    println!("\nminimal feasible solutions (Theorem 1, ≤ 3·OPT):");
+    for order in [
+        ClosingOrder::LeftToRight,
+        ClosingOrder::RightToLeft,
+        ClosingOrder::OutsideIn,
+        ClosingOrder::CenterOut,
+    ] {
+        let res = minimal_feasible(&day, order).unwrap();
+        res.schedule.validate(&day).unwrap();
+        println!("  {order:?}: {} powered-on hours", res.slots.len());
+    }
+
+    // Theorem 2: LP rounding ≤ 2·OPT with a certificate.
+    let rounded = lp_rounding(&day).unwrap();
+    rounded.schedule.validate(&day).unwrap();
+    println!(
+        "\nLP rounding (Theorem 2): {} hours, certificate cost ≤ 2·LP: {}",
+        rounded.cost,
+        rounded.within_two_lp()
+    );
+    println!("charge ledger: {:?}", rounded.charges);
+
+    // Exact optimum for reference.
+    match exact_active_time(&day, Some(50_000_000)) {
+        Ok(exact) => {
+            println!("\nexact optimum: {} hours (search explored {} nodes)", exact.slots.len(), exact.nodes);
+            let hours: Vec<_> = exact.slots.iter().collect();
+            println!("power on at hours {hours:?}");
+        }
+        Err(e) => println!("\nexact search skipped: {e}"),
+    }
+}

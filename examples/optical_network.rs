@@ -1,0 +1,63 @@
+//! Optical network design: minimizing OADM fiber cost (§1's second
+//! motivation, and the original setting of Kumar–Rudra's algorithm).
+//!
+//! Lightpath requests occupy contiguous link ranges of a line network;
+//! a fiber carries up to `g` wavelengths, and the cost of a fiber is the
+//! span of links it must be lit on — exactly busy time for interval jobs.
+//!
+//! Run with `cargo run --release --example optical_network`.
+
+use active_busy_time::busy::{alicherry_bhatia_run, kumar_rudra_run};
+use active_busy_time::prelude::*;
+use active_busy_time::workloads::{optical_trace, OpticalTraceConfig};
+
+fn main() {
+    let cfg = OpticalTraceConfig { n: 100, g: 4, sites: 50 };
+    let requests = optical_trace(&cfg, 7);
+    println!(
+        "{} lightpath requests over {} links, {} wavelengths per fiber",
+        requests.len(),
+        cfg.sites,
+        cfg.g
+    );
+    let bounds = busy_lower_bounds(&requests);
+    println!(
+        "lower bounds — mass: {}, span: {}, demand profile: {}\n",
+        bounds.mass, bounds.span, bounds.profile
+    );
+
+    // The two fiber-minimization 2-approximations, with diagnostics.
+    let kr = kumar_rudra_run(&requests).unwrap();
+    println!(
+        "Kumar–Rudra:      fiber cost {:>4} on {:>2} fibers ({} levels, charges ≤ 2×{})",
+        kr.schedule.total_busy_time(&requests),
+        kr.schedule.machine_count(),
+        kr.levels,
+        kr.profile_bound,
+    );
+    let ab = alicherry_bhatia_run(&requests).unwrap();
+    println!(
+        "Alicherry–Bhatia: fiber cost {:>4} on {:>2} fibers ({} rounds of 2-flows)",
+        ab.schedule.total_busy_time(&requests),
+        ab.schedule.machine_count(),
+        ab.rounds,
+    );
+    // The paper's combinatorial 3-approximation and the FirstFit baseline.
+    let gt = greedy_tracking(&requests).unwrap();
+    println!(
+        "GreedyTracking:   fiber cost {:>4} on {:>2} fibers",
+        gt.total_busy_time(&requests),
+        gt.machine_count()
+    );
+    let ff = first_fit(&requests, FirstFitOrder::LengthDesc).unwrap();
+    println!(
+        "FirstFit:         fiber cost {:>4} on {:>2} fibers",
+        ff.total_busy_time(&requests),
+        ff.machine_count()
+    );
+
+    for s in [kr.schedule, ab.schedule, gt, ff] {
+        s.validate(&requests).unwrap();
+    }
+    println!("\nall schedules validated against wavelength capacity and request windows");
+}

@@ -1,0 +1,75 @@
+//! Quickstart: both scheduling models in one file.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use active_busy_time::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Active time (one machine, slotted time, ≤ g jobs per active slot).
+    // ------------------------------------------------------------------
+    let inst = Instance::from_triples(
+        [
+            (0, 6, 3),  // r=0, d=6, p=3
+            (1, 5, 2),
+            (2, 4, 2),
+            (0, 2, 1),
+            (3, 8, 2),
+        ],
+        2,
+    )
+    .unwrap();
+
+    println!("== active time: {} jobs, g = {} ==", inst.len(), inst.g());
+    println!("lower bound: {}", active_lower_bound(&inst));
+
+    // Any minimal feasible solution is a 3-approximation (Theorem 1).
+    let minimal = minimal_feasible(&inst, ClosingOrder::LeftToRight).unwrap();
+    println!("minimal feasible: {} active slots {:?}", minimal.slots.len(), minimal.slots);
+
+    // LP rounding is a 2-approximation (Theorem 2).
+    let rounded = lp_rounding(&inst).unwrap();
+    println!(
+        "LP rounding: {} active slots (LP = {}, certified ≤ 2·LP: {})",
+        rounded.cost,
+        rounded.lp_objective,
+        rounded.within_two_lp()
+    );
+
+    // Exact branch and bound for reference.
+    let exact = exact_active_time(&inst, Some(1_000_000)).unwrap();
+    println!("optimal: {} active slots", exact.slots.len());
+
+    // ------------------------------------------------------------------
+    // Busy time (unbounded machines of capacity g, non-preemptive).
+    // ------------------------------------------------------------------
+    let busy = Instance::from_triples(
+        [(0, 10, 3), (2, 8, 4), (5, 15, 2), (0, 4, 2), (9, 14, 5), (1, 16, 6)],
+        2,
+    )
+    .unwrap();
+    println!("\n== busy time: {} jobs, g = {} ==", busy.len(), busy.g());
+    let bounds = busy_lower_bounds(&busy);
+    println!("mass bound: {}", bounds.mass);
+
+    for algo in IntervalAlgo::all() {
+        let out = solve_flexible(&busy, algo).unwrap();
+        out.schedule.validate(&busy).unwrap();
+        println!(
+            "{:16} busy time {:3} on {} machines (placement span = {})",
+            algo.name(),
+            out.schedule.total_busy_time(&busy),
+            out.schedule.machine_count(),
+            out.placement.cost,
+        );
+    }
+
+    // Preemptive variant (§4.4).
+    let unbounded = preemptive_unbounded(&busy);
+    let bounded = preemptive_bounded(&busy);
+    println!(
+        "preemptive: OPT∞ = {}, bounded-g 2-approx = {}",
+        unbounded.cost,
+        bounded.total_busy_time()
+    );
+}

@@ -1,0 +1,57 @@
+//! # active-busy-time
+//!
+//! A production-quality Rust implementation of the algorithms in
+//!
+//! > Jessica Chang, Samir Khuller, Koyel Mukherjee —
+//! > *LP Rounding and Combinatorial Algorithms for Minimizing Active and
+//! > Busy Time*, SPAA 2014 (full version arXiv:1610.08154).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`core`] — instances, schedules, validators, lower bounds;
+//! * [`flow`] — the max-flow substrate;
+//! * [`lp`] — an exact-rational simplex solver;
+//! * [`active`] — active-time algorithms (minimal-feasible 3-approx,
+//!   LP-rounding 2-approx, exact solvers);
+//! * [`busy`] — busy-time algorithms (GreedyTracking 3-approx, FirstFit,
+//!   Kumar–Rudra, Alicherry–Bhatia, span placement, preemptive);
+//! * [`workloads`] — paper gadgets, random families, traces.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use active_busy_time::prelude::*;
+//!
+//! // Active time: 3 jobs, capacity 2, minimize active slots.
+//! let inst = Instance::from_triples([(0, 4, 2), (1, 3, 2), (0, 6, 1)], 2).unwrap();
+//! let rounded = lp_rounding(&inst).unwrap();
+//! assert!(rounded.within_two_lp());
+//!
+//! // Busy time: pack flexible jobs onto capacity-2 machines.
+//! let busy = Instance::from_triples([(0, 10, 3), (2, 8, 4), (5, 15, 2)], 2).unwrap();
+//! let out = solve_flexible(&busy, IntervalAlgo::GreedyTracking).unwrap();
+//! out.schedule.validate(&busy).unwrap();
+//! ```
+
+pub use abt_active as active;
+pub use abt_busy as busy;
+pub use abt_core as core;
+pub use abt_flow as flow;
+pub use abt_lp as lp;
+pub use abt_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use abt_active::{
+        exact_active_time, exact_unit_active_time, lp_rounding, minimal_feasible, ClosingOrder,
+    };
+    pub use abt_busy::{
+        alicherry_bhatia, exact_busy_time, first_fit, greedy_tracking, kumar_rudra,
+        preemptive_bounded, preemptive_unbounded, solve_flexible, span_place, FirstFitOrder,
+        IntervalAlgo,
+    };
+    pub use abt_core::{
+        active_lower_bound, busy_lower_bounds, ActiveSchedule, BusySchedule, Instance, Interval,
+        Job, JobId, PreemptiveSchedule, Time,
+    };
+}

@@ -1,0 +1,102 @@
+//! Cross-crate integration tests for the active-time pipeline:
+//! workloads → LP → right-shift → rounding → validation, with the
+//! theorem-level guarantees checked end to end.
+
+use abt_active::{
+    exact_active_time, exact_unit_active_time, is_minimal, lp_rounding, minimal_feasible,
+    solve_active_lp, ClosingOrder,
+};
+use abt_core::{active_lower_bound, within_factor, Instance};
+use abt_lp::Rat;
+use abt_workloads::{fig3_minimal_tight, integrality_gap, random_active_feasible, RandomConfig};
+
+#[test]
+fn theorem1_and_2_on_random_families() {
+    for seed in 0..8u64 {
+        let cfg = RandomConfig { n: 9, g: 2, horizon: 15, max_len: 4, slack_factor: 1.0 };
+        let inst = random_active_feasible(&cfg, seed);
+        let exact = exact_active_time(&inst, Some(30_000_000)).unwrap();
+        let opt = exact.slots.len() as i64;
+        assert!(opt >= active_lower_bound(&inst));
+
+        // Theorem 1: every minimal feasible solution ≤ 3·OPT.
+        for order in [
+            ClosingOrder::LeftToRight,
+            ClosingOrder::RightToLeft,
+            ClosingOrder::OutsideIn,
+            ClosingOrder::CenterOut,
+            ClosingOrder::Shuffled(seed),
+        ] {
+            let res = minimal_feasible(&inst, order).unwrap();
+            res.schedule.validate(&inst).unwrap();
+            assert!(is_minimal(&inst, &res.slots));
+            assert!(within_factor(res.slots.len() as i64, 3, opt), "minimal > 3·OPT");
+        }
+
+        // Theorem 2: rounding ≤ 2·LP ≤ 2·OPT, with LP ≤ OPT.
+        let lp = solve_active_lp(&inst).unwrap();
+        assert!(lp.objective <= Rat::from_int(opt), "LP must lower-bound OPT");
+        let rounded = lp_rounding(&inst).unwrap();
+        rounded.schedule.validate(&inst).unwrap();
+        assert!(rounded.within_two_lp());
+        assert!(within_factor(rounded.cost, 2, opt));
+        assert_eq!(rounded.anomalies, 0);
+        assert_eq!(rounded.repair_slots, 0);
+    }
+}
+
+#[test]
+fn fig3_gadget_end_to_end() {
+    for g in [3usize, 4, 5] {
+        let f = fig3_minimal_tight(g);
+        // OPT is exactly g (mass bound meets an explicit schedule).
+        let exact = exact_active_time(&f.instance, Some(80_000_000)).unwrap();
+        assert_eq!(exact.slots.len() as i64, f.opt, "g={g}");
+        // Some closing order realizes the 3g−2 minimal solution.
+        let mut worst = 0usize;
+        for order in [
+            ClosingOrder::LeftToRight,
+            ClosingOrder::RightToLeft,
+            ClosingOrder::OutsideIn,
+            ClosingOrder::CenterOut,
+        ] {
+            worst = worst.max(minimal_feasible(&f.instance, order).unwrap().slots.len());
+        }
+        assert_eq!(worst as i64, 3 * g as i64 - 2, "g={g}");
+        // Rounding stays within 2·OPT even here.
+        let rounded = lp_rounding(&f.instance).unwrap();
+        assert!(within_factor(rounded.cost, 2, f.opt));
+    }
+}
+
+#[test]
+fn integrality_gap_lp_values() {
+    for g in [2usize, 3, 4, 6] {
+        let ig = integrality_gap(g);
+        let lp = solve_active_lp(&ig.instance).unwrap();
+        assert_eq!(lp.objective, Rat::from_int(ig.lp_opt), "LP = g+1 exactly");
+        let rounded = lp_rounding(&ig.instance).unwrap();
+        rounded.schedule.validate(&ig.instance).unwrap();
+        // Rounding cannot beat the integral optimum 2g, and must stay ≤ 2·LP.
+        assert!(rounded.cost >= ig.ip_opt);
+        assert!(rounded.within_two_lp());
+    }
+}
+
+#[test]
+fn unit_jobs_agree_across_solvers() {
+    for seed in 0..6u64 {
+        let cfg = RandomConfig { n: 10, g: 2, horizon: 12, max_len: 4, slack_factor: 1.0 };
+        let mut triples = Vec::new();
+        let base = random_active_feasible(&cfg, seed);
+        for j in base.jobs() {
+            triples.push((j.release, j.deadline, 1));
+        }
+        let inst = Instance::from_triples(triples, 2).unwrap();
+        let unit = exact_unit_active_time(&inst).unwrap();
+        let bnb = exact_active_time(&inst, Some(30_000_000)).unwrap();
+        assert_eq!(unit.slots.len(), bnb.slots.len());
+        let rounded = lp_rounding(&inst).unwrap();
+        assert!(within_factor(rounded.cost, 2, unit.slots.len() as i64));
+    }
+}

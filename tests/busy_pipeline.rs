@@ -1,0 +1,141 @@
+//! Cross-crate integration tests for the busy-time pipeline: all four
+//! interval algorithms plus the flexible placement step, with theorem-level
+//! factor checks against the exact solver and the paper's gadgets.
+
+use abt_busy::{
+    exact_busy_time, placement_from_starts, preemptive_bounded, preemptive_lower_bound,
+    preemptive_unbounded, solve_flexible, solve_with_placement, span_exact, validate_unbounded,
+    IntervalAlgo,
+};
+use abt_core::{busy_lower_bounds, within_factor};
+use abt_workloads::{
+    fig1_example, fig10_flexible_factor4, fig6_greedy_tracking_tight, fig8_interval_tight,
+    optical_trace, random_interval, vm_trace, OpticalTraceConfig, RandomConfig, VmTraceConfig,
+};
+
+#[test]
+fn interval_algorithms_respect_their_factors_vs_exact() {
+    for seed in 0..6u64 {
+        let cfg = RandomConfig { n: 9, g: 2, horizon: 30, max_len: 8, slack_factor: 0.0 };
+        let inst = random_interval(&cfg, seed);
+        let exact = exact_busy_time(&inst, Some(20_000_000)).unwrap();
+        for algo in IntervalAlgo::all() {
+            let out = solve_flexible(&inst, algo).unwrap();
+            out.schedule.validate(&inst).unwrap();
+            let cost = out.schedule.total_busy_time(&inst);
+            let factor = match algo {
+                IntervalAlgo::FirstFit => 4,
+                IntervalAlgo::GreedyTracking => 3,
+                _ => 2,
+            };
+            assert!(
+                within_factor(cost, factor, exact.cost),
+                "{} cost {cost} > {factor}×OPT {} (seed {seed})",
+                algo.name(),
+                exact.cost
+            );
+            assert!(cost >= exact.cost);
+        }
+    }
+}
+
+#[test]
+fn flexible_pipeline_on_traces() {
+    let traces: Vec<abt_core::Instance> = vec![
+        vm_trace(&VmTraceConfig { n: 60, ..Default::default() }, 1),
+        optical_trace(&OpticalTraceConfig::default(), 2),
+    ];
+    for inst in traces {
+        let lb = busy_lower_bounds(&inst).mass;
+        for algo in IntervalAlgo::all() {
+            let out = solve_flexible(&inst, algo).unwrap();
+            out.schedule.validate(&inst).unwrap();
+            let cost = out.schedule.total_busy_time(&inst);
+            // OPT ≥ max(mass, OPT∞); pipelines guarantee ≤ 4× that.
+            let base = lb.max(out.placement.cost);
+            assert!(within_factor(cost, 4, base));
+        }
+    }
+}
+
+#[test]
+fn fig1_exact_beats_heuristics() {
+    let inst = fig1_example();
+    let exact = exact_busy_time(&inst, None).unwrap();
+    assert_eq!(exact.schedule.machine_count(), 2, "the figure packs on two machines");
+    for algo in IntervalAlgo::all() {
+        let cost = algo.run(&inst).unwrap().total_busy_time(&inst);
+        assert!(cost >= exact.cost);
+    }
+}
+
+#[test]
+fn fig6_gadget_guarantees() {
+    let f = fig6_greedy_tracking_tight(3, 10);
+    // The paper's bad bundling is valid and within 3× of the OPT upper bound.
+    f.adversarial_schedule.validate(&f.instance).unwrap();
+    assert!(within_factor(f.adversarial_cost, 3, f.opt_upper));
+    // Our GreedyTracking on the adversarial placement also stays within 3×.
+    let placement = placement_from_starts(&f.instance, f.adversarial_starts.clone()).unwrap();
+    let gt = solve_with_placement(&f.instance, &placement, IntervalAlgo::GreedyTracking).unwrap();
+    assert!(within_factor(
+        gt.schedule.total_busy_time(&f.instance),
+        3,
+        f.opt_upper
+    ));
+}
+
+#[test]
+fn fig8_exact_matches_paper_opt() {
+    let f = fig8_interval_tight(50, 10);
+    let exact = exact_busy_time(&f.instance, None).unwrap();
+    assert_eq!(exact.cost, f.opt);
+    for algo in [IntervalAlgo::KumarRudra, IntervalAlgo::AlicherryBhatia] {
+        let cost = algo.run(&f.instance).unwrap().total_busy_time(&f.instance);
+        assert!(within_factor(cost, 2, exact.cost));
+    }
+}
+
+#[test]
+fn fig10_bad_schedule_is_a_possible_output_within_4x() {
+    let f = fig10_flexible_factor4(4, 60, 20);
+    f.bad_schedule.validate(&f.instance).unwrap();
+    f.opt_schedule.validate(&f.instance).unwrap();
+    assert!(within_factor(f.bad_cost, 4, f.opt_upper));
+    assert!(f.bad_cost > 3 * f.opt_upper, "the gadget exceeds 3× at g=4");
+}
+
+#[test]
+fn span_placement_lower_bounds_bounded_g() {
+    for seed in 0..5u64 {
+        let cfg = RandomConfig { n: 8, g: 2, horizon: 25, max_len: 6, slack_factor: 1.5 };
+        let inst = abt_workloads::random_flexible(&cfg, seed);
+        let placement = span_exact(&inst).unwrap();
+        // OPT∞ is a lower bound for every valid bounded-g schedule.
+        for algo in IntervalAlgo::all() {
+            let out = solve_flexible(&inst, algo).unwrap();
+            assert!(out.schedule.total_busy_time(&inst) >= placement.cost);
+        }
+    }
+}
+
+#[test]
+fn preemptive_beats_or_ties_nonpreemptive() {
+    for seed in 0..5u64 {
+        let cfg = RandomConfig { n: 10, g: 3, horizon: 40, max_len: 8, slack_factor: 1.0 };
+        let inst = abt_workloads::random_flexible(&cfg, seed);
+        let unbounded = preemptive_unbounded(&inst);
+        validate_unbounded(&inst, &unbounded).unwrap();
+        let bounded = preemptive_bounded(&inst);
+        bounded.validate(&inst).unwrap();
+        // Preemptive OPT∞ ≤ non-preemptive OPT∞.
+        let np = span_exact(&inst).unwrap();
+        assert!(unbounded.cost <= np.cost);
+        // Theorem 7 factor.
+        assert!(within_factor(
+            bounded.total_busy_time(),
+            2,
+            preemptive_lower_bound(&inst)
+        ));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based invariants spanning the whole workspace, driven by
+//! arbitrary instances rather than fixed seeds.
+
+use abt_active::{lp_rounding, minimal_feasible, solve_active_lp, ClosingOrder};
+use abt_busy::{preemptive_bounded, preemptive_lower_bound, solve_flexible, IntervalAlgo};
+use abt_core::{busy_lower_bounds, within_factor, Instance, Job};
+use abt_lp::Rat;
+use proptest::prelude::*;
+
+/// Arbitrary small job list: (release, length, slack) triples.
+fn jobs_strategy(max_n: usize) -> impl Strategy<Value = Vec<(i64, i64, i64)>> {
+    proptest::collection::vec((0i64..12, 1i64..5, 0i64..6), 1..max_n)
+}
+
+fn build(jobs: &[(i64, i64, i64)], g: usize) -> Instance {
+    Instance::new(
+        jobs.iter()
+            .map(|&(r, p, s)| Job::new(r, r + p + s, p))
+            .collect(),
+        g,
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn busy_algorithms_validate_and_bound(jobs in jobs_strategy(12), g in 1usize..4) {
+        let inst = build(&jobs, g);
+        let lb = busy_lower_bounds(&inst).mass;
+        for algo in IntervalAlgo::all() {
+            let out = solve_flexible(&inst, algo).unwrap();
+            prop_assert!(out.schedule.validate(&inst).is_ok());
+            let cost = out.schedule.total_busy_time(&inst);
+            let base = lb.max(out.placement.cost);
+            let factor = match algo {
+                IntervalAlgo::FirstFit => 4,
+                IntervalAlgo::GreedyTracking => 3,
+                // 2× holds against the *placed* profile; vs OPT∞ the
+                // pipeline guarantee is 4 (Theorem 10).
+                _ => 4,
+            };
+            prop_assert!(
+                within_factor(cost, factor, base),
+                "{} cost {} > {}×{}", algo.name(), cost, factor, base
+            );
+        }
+    }
+
+    #[test]
+    fn active_rounding_certificate(jobs in jobs_strategy(8), g in 1usize..4) {
+        let inst = build(&jobs, g);
+        // Tightly packed random windows may admit no schedule at all.
+        let Ok(lp) = solve_active_lp(&inst) else {
+            return Ok(());
+        };
+        // LP lower bound sanity: at least mass/g.
+        let mass = inst.total_length();
+        prop_assert!(lp.objective.mul(&Rat::from_int(g as i64)) >= Rat::from_int(mass)
+            || lp.objective >= Rat::from_int(mass / g as i64));
+        let out = lp_rounding(&inst).unwrap();
+        prop_assert!(out.schedule.validate(&inst).is_ok());
+        prop_assert!(out.within_two_lp(), "cost {} > 2×LP {}", out.cost, out.lp_objective);
+        prop_assert_eq!(out.anomalies, 0);
+        prop_assert_eq!(out.repair_slots, 0);
+    }
+
+    #[test]
+    fn minimal_is_minimal_and_feasible(jobs in jobs_strategy(8), g in 1usize..4, seed in 0u64..8) {
+        let inst = build(&jobs, g);
+        let Ok(res) = minimal_feasible(&inst, ClosingOrder::Shuffled(seed)) else {
+            return Ok(()); // infeasible instance
+        };
+        prop_assert!(res.schedule.validate(&inst).is_ok());
+        prop_assert!(abt_active::is_minimal(&inst, &res.slots));
+        // Rounding is never worse than 2/3 relative to minimal... no such
+        // claim holds pointwise; but both are ≥ the LP bound.
+        let lp = solve_active_lp(&inst).unwrap();
+        prop_assert!(Rat::from_int(res.slots.len() as i64) >= lp.objective);
+    }
+
+    #[test]
+    fn preemptive_two_approx(jobs in jobs_strategy(10), g in 1usize..5) {
+        let inst = build(&jobs, g);
+        let sched = preemptive_bounded(&inst);
+        prop_assert!(sched.validate(&inst).is_ok());
+        prop_assert!(within_factor(
+            sched.total_busy_time(),
+            2,
+            preemptive_lower_bound(&inst)
+        ));
+    }
+}
