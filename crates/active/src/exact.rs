@@ -9,6 +9,7 @@
 //! ratios; the approximation algorithms are the scalable path.
 
 use crate::feasibility::FeasibilityChecker;
+use crate::lp_model::solve_active_lp;
 use crate::minimal::{minimal_feasible, ClosingOrder};
 use abt_core::active_schedule::horizon_slots;
 use abt_core::{active_lower_bound, ActiveSchedule, Error, Instance, Result, Time};
@@ -47,7 +48,17 @@ pub fn exact_active_time(inst: &Instance, node_limit: Option<u64>) -> Result<Exa
             }
         }
     }
-    let lb = active_lower_bound(inst);
+    // Lower bound: the combinatorial bound, tightened by ⌈LP1⌉ (solved on
+    // the coalesced model with the hybrid simplex, so it is cheap relative
+    // to the search it prunes and exact, hence sound). Skipped when the
+    // warm start already matches the combinatorial bound and the LP could
+    // prove nothing new.
+    let mut lb = active_lower_bound(inst);
+    if best.len() as i64 > lb {
+        if let Ok(lp) = solve_active_lp(inst) {
+            lb = lb.max(lp.objective.ceil() as i64);
+        }
+    }
 
     struct Search<'a> {
         checker: FeasibilityChecker<'a>,
@@ -108,7 +119,11 @@ pub fn exact_active_time(inst: &Instance, node_limit: Option<u64>) -> Result<Exa
     let schedule = FeasibilityChecker::new(inst)
         .check(&search.best)
         .expect("incumbent is feasible");
-    Ok(ExactActive { slots: search.best, schedule, nodes: search.nodes })
+    Ok(ExactActive {
+        slots: search.best,
+        schedule,
+        nodes: search.nodes,
+    })
 }
 
 #[cfg(test)]
@@ -150,16 +165,15 @@ mod tests {
     #[test]
     fn infeasible_errors() {
         let inst = Instance::from_triples([(0, 1, 1), (0, 1, 1)], 1).unwrap();
-        assert!(matches!(exact_active_time(&inst, None), Err(Error::Infeasible(_))));
+        assert!(matches!(
+            exact_active_time(&inst, None),
+            Err(Error::Infeasible(_))
+        ));
     }
 
     #[test]
     fn node_limit_respected() {
-        let inst = Instance::from_triples(
-            (0..8).map(|i| (i, i + 6, 2)),
-            2,
-        )
-        .unwrap();
+        let inst = Instance::from_triples((0..8).map(|i| (i, i + 6, 2)), 2).unwrap();
         match exact_active_time(&inst, Some(0)) {
             Err(Error::Unsupported(_)) => {}
             other => panic!("expected node-limit error, got {other:?}"),
@@ -168,11 +182,9 @@ mod tests {
 
     #[test]
     fn exact_beats_or_ties_minimal() {
-        let inst = Instance::from_triples(
-            [(0, 6, 3), (1, 5, 2), (2, 4, 2), (0, 2, 1), (3, 8, 2)],
-            2,
-        )
-        .unwrap();
+        let inst =
+            Instance::from_triples([(0, 6, 3), (1, 5, 2), (2, 4, 2), (0, 2, 1), (3, 8, 2)], 2)
+                .unwrap();
         let exact = exact_active_time(&inst, None).unwrap();
         for order in [ClosingOrder::LeftToRight, ClosingOrder::RightToLeft] {
             let min = minimal_feasible(&inst, order).unwrap();

@@ -49,6 +49,25 @@ impl<'a> FeasibilityChecker<'a> {
         sorted.sort_unstable();
         sorted.dedup();
 
+        // Cheap necessary conditions before building the flow network;
+        // the exact solvers probe this oracle with many infeasible slot
+        // sets, and both checks reject the bulk of them in O(n log m):
+        // each job needs p_j open slots inside its window, and the total
+        // demand cannot exceed g units per open slot.
+        let mut total = 0i64;
+        for &job in jobs {
+            let j = inst.job(job);
+            total += j.length;
+            let lo = sorted.partition_point(|&t| t <= j.release);
+            let hi = sorted.partition_point(|&t| t <= j.deadline);
+            if ((hi - lo) as i64) < j.length {
+                return None;
+            }
+        }
+        if total > inst.g() as i64 * sorted.len() as i64 {
+            return None;
+        }
+
         let n = jobs.len();
         let m = sorted.len();
         // Nodes: 0 = source, 1..=n jobs, n+1..=n+m slots, n+m+1 sink.
@@ -143,8 +162,7 @@ mod tests {
     #[test]
     fn extracted_schedule_is_always_valid() {
         // Paper Fig. 3-ish mix with full and non-full slots.
-        let inst =
-            Instance::from_triples([(0, 6, 3), (1, 5, 2), (2, 4, 2), (0, 2, 1)], 2).unwrap();
+        let inst = Instance::from_triples([(0, 6, 3), (1, 5, 2), (2, 4, 2), (0, 2, 1)], 2).unwrap();
         let slots = horizon_slots(&inst);
         let sched = schedule_on(&inst, &slots).unwrap();
         sched.validate(&inst).unwrap();

@@ -27,8 +27,12 @@ pub mod unit;
 
 pub use exact::{exact_active_time, ExactActive};
 pub use feasibility::{feasible_on, schedule_on, FeasibilityChecker};
-pub use lp_model::{fractional_feasible, solve_active_lp, ActiveLp};
-pub use minimal::{is_minimal, minimal_feasible, minimal_feasible_from, ClosingOrder, MinimalResult};
+pub use lp_model::{
+    fractional_feasible, solve_active_lp, solve_active_lp_with, ActiveLp, LpBackend, LpOptions,
+};
+pub use minimal::{
+    is_minimal, minimal_feasible, minimal_feasible_from, ClosingOrder, MinimalResult,
+};
 pub use right_shift::{right_shift, RightShifted, Segment};
 pub use rounding::{lp_rounding, lp_rounding_from, ChargeKind, RoundingOutcome};
 pub use unit::{exact_unit_active_time, UnitExact};

@@ -1,18 +1,90 @@
-//! The natural LP relaxation `LP1` of the active-time IP (§3).
+//! The natural LP relaxation `LP1` of the active-time IP (§3), with slot
+//! coalescing and a float-first hybrid solve as the default configuration.
+//!
+//! # The per-slot formulation (the seed model)
 //!
 //! Variables: `y_t ∈ [0, 1]` per horizon slot (is slot `t` open?) and
 //! `x_{t,j} ≥ 0` per job and window slot (units of `j` in `t`).
 //! Constraints: `x_{t,j} ≤ y_t`, `Σ_j x_{t,j} ≤ g·y_t`, `Σ_t x_{t,j} ≥ p_j`.
-//! Objective: minimize `Σ_t y_t`.
+//! Objective: minimize `Σ_t y_t`. Size: `O(T·n)` variables and rows for a
+//! horizon of `T` slots.
 //!
-//! Solved with the exact rational simplex so that the rounding algorithm's
-//! case analysis (`⌊Y_i⌋`, comparisons against ½) is exact.
+//! # Slot coalescing (the paper's interesting intervals)
+//!
+//! Between two consecutive job event points (releases/deadlines) every
+//! slot has the *same* feasible job set, so a run of `w` identical slots
+//! collapses into one weighted super-slot: `Y_I ∈ [0, w_I]` carries the
+//! total open mass of the run and `x_{I,j}` the total units of `j` in it,
+//! with `x_{I,j} ≤ Y_I`, `Σ_j x_{I,j} ≤ g·Y_I`, `Σ_I x_{I,j} ≥ p_j`, and
+//! objective `Σ_I Y_I`. The two LPs have equal optima: per-slot solutions
+//! aggregate by summing, and a super-slot solution disaggregates uniformly
+//! (`y_t = Y_I/w_I`, `x_{t,j} = x_{I,j}/w_I`), which preserves every
+//! constraint and the objective. With at most `2n` event points this cuts
+//! the model from `O(T·n)` to `O(n²)` — the dominant win on long horizons.
+//!
+//! The reported [`ActiveLp`] stays per-slot (the §3.1 right-shifting
+//! consumes per-slot `y`), using the exact uniform disaggregation.
+//!
+//! # Solve backend
+//!
+//! The default is [`abt_lp::solve_hybrid`]: the simplex runs in `f64` and
+//! only the terminal basis is re-verified (and, if need be, re-solved) in
+//! exact rationals, so the `y` values and objective remain *exact* — the
+//! rounding algorithm's case analysis (`⌊Y_i⌋`, comparisons against ½)
+//! stays noise-free. [`LpOptions`] recovers the seed behaviour
+//! (per-slot + pure exact simplex) for differential tests and benchmarks.
 
 #![allow(clippy::needless_range_loop)] // job indices are shared across parallel vectors
 
 use abt_core::active_schedule::{horizon_slots, job_feasible_in_slot};
 use abt_core::{Error, Instance, Result, Time};
-use abt_lp::{solve, Cmp, LpProblem, LpStatus, Rat};
+use abt_lp::{solve, solve_hybrid, Cmp, LpProblem, LpSolution, LpStatus, Rat};
+
+/// Which simplex path solves the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpBackend {
+    /// Pure exact-rational simplex for every pivot (the seed behaviour).
+    Exact,
+    /// Float-first solve with exact terminal-basis verification and exact
+    /// fallback ([`abt_lp::solve_hybrid`]). Same exact results, faster.
+    Hybrid,
+}
+
+/// Model/solver configuration for [`solve_active_lp_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct LpOptions {
+    /// Solve backend. Default: [`LpBackend::Hybrid`].
+    pub backend: LpBackend,
+    /// Coalesce identical-window slot runs into weighted super-slots.
+    /// Default: `true`.
+    pub coalesce: bool,
+}
+
+impl Default for LpOptions {
+    fn default() -> Self {
+        LpOptions {
+            backend: LpBackend::Hybrid,
+            coalesce: true,
+        }
+    }
+}
+
+impl LpOptions {
+    /// The seed configuration: per-slot model, pure exact simplex.
+    pub fn seed_exact() -> Self {
+        LpOptions {
+            backend: LpBackend::Exact,
+            coalesce: false,
+        }
+    }
+}
+
+fn run_backend(lp: &LpProblem<Rat>, backend: LpBackend) -> LpSolution<Rat> {
+    match backend {
+        LpBackend::Exact => solve(lp),
+        LpBackend::Hybrid => solve_hybrid(lp),
+    }
+}
 
 /// An optimal fractional solution of `LP1`.
 #[derive(Debug, Clone)]
@@ -25,69 +97,153 @@ pub struct ActiveLp {
     pub objective: Rat,
 }
 
-/// Builds and solves `LP1` for `inst`.
-pub fn solve_active_lp(inst: &Instance) -> Result<ActiveLp> {
-    let slots = horizon_slots(inst);
-    let mut lp: LpProblem<Rat> = LpProblem::new();
+/// A maximal run of horizon slots with identical feasible job sets:
+/// the slots `{start+1, …, end}`.
+#[derive(Debug, Clone, Copy)]
+struct SlotRun {
+    /// Exclusive left end.
+    start: Time,
+    /// Inclusive right end.
+    end: Time,
+}
 
-    // y variables.
-    let y_vars: Vec<_> = slots.iter().map(|_| lp.add_var(Rat::ONE)).collect();
-    for &v in &y_vars {
-        lp.bound_var(v, Rat::ONE);
+impl SlotRun {
+    fn width(&self) -> i64 {
+        self.end - self.start
     }
-    // x variables, only inside windows.
-    let mut x_vars: Vec<Vec<(usize, usize)>> = vec![Vec::new(); inst.len()]; // (slot idx, var)
+}
+
+/// Splits the horizon at every job event point. Each returned run is a
+/// maximal group of slots between consecutive event points; every job is
+/// either feasible in all of a run's slots or in none of them.
+fn slot_runs(inst: &Instance, coalesce: bool) -> Vec<SlotRun> {
+    let lo = inst.min_release();
+    let hi = inst.max_deadline();
+    if !coalesce {
+        return (lo..hi)
+            .map(|t| SlotRun {
+                start: t,
+                end: t + 1,
+            })
+            .collect();
+    }
+    let mut cuts: Vec<Time> = Vec::with_capacity(2 * inst.len() + 2);
+    cuts.push(lo);
+    cuts.push(hi);
+    for j in inst.jobs() {
+        cuts.push(j.release.clamp(lo, hi));
+        cuts.push(j.deadline.clamp(lo, hi));
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.windows(2)
+        .map(|w| SlotRun {
+            start: w[0],
+            end: w[1],
+        })
+        .collect()
+}
+
+/// Builds and solves `LP1` for `inst` with the default options
+/// (coalesced super-slots, hybrid backend).
+pub fn solve_active_lp(inst: &Instance) -> Result<ActiveLp> {
+    solve_active_lp_with(inst, &LpOptions::default())
+}
+
+/// Builds and solves `LP1` for `inst` under explicit [`LpOptions`]. Every
+/// configuration returns the same exact objective; `y` may differ between
+/// alternate LP optima.
+pub fn solve_active_lp_with(inst: &Instance, opts: &LpOptions) -> Result<ActiveLp> {
+    let slots = horizon_slots(inst);
+    let runs = slot_runs(inst, opts.coalesce);
+    debug_assert_eq!(
+        runs.iter().map(SlotRun::width).sum::<i64>(),
+        slots.len() as i64
+    );
+
+    let mut lp: LpProblem<Rat> = LpProblem::new();
+    // Y variables: total open mass per run, bounded by the run width.
+    let y_vars: Vec<usize> = runs
+        .iter()
+        .map(|run| {
+            let v = lp.add_var(Rat::ONE);
+            lp.bound_var(v, Rat::from_int(run.width()));
+            v
+        })
+        .collect();
+    // x variables, only where the whole run lies inside the job's window.
+    // (ri, var) per job; runs never straddle a window boundary, so a job
+    // is feasible in a run iff it is feasible in the run's first slot.
+    let mut x_vars: Vec<Vec<(usize, usize)>> = vec![Vec::new(); inst.len()];
     for j in 0..inst.len() {
-        for (si, &t) in slots.iter().enumerate() {
-            if job_feasible_in_slot(inst, j, t) {
+        let job = inst.job(j);
+        for (ri, run) in runs.iter().enumerate() {
+            if job.release <= run.start && run.end <= job.deadline {
                 let v = lp.add_var(Rat::ZERO);
-                x_vars[j].push((si, v));
+                x_vars[j].push((ri, v));
             }
         }
     }
-    // x_{t,j} ≤ y_t.
+    // x_{I,j} ≤ Y_I.
     for row in &x_vars {
-        for &(si, v) in row {
+        for &(ri, v) in row {
             lp.add_constraint(
-                vec![(v, Rat::ONE), (y_vars[si], Rat::from_int(-1))],
+                vec![(v, Rat::ONE), (y_vars[ri], Rat::from_int(-1))],
                 Cmp::Le,
                 Rat::ZERO,
             );
         }
     }
-    // Σ_j x_{t,j} ≤ g·y_t.
+    // Σ_j x_{I,j} ≤ g·Y_I.
     let g = Rat::from_int(inst.g() as i64);
-    for (si, &yv) in y_vars.iter().enumerate() {
-        let mut terms: Vec<(usize, Rat)> = x_vars
-            .iter()
-            .flat_map(|row| row.iter().filter(|&&(s, _)| s == si).map(|&(_, v)| (v, Rat::ONE)))
-            .collect();
+    let mut per_run: Vec<Vec<(usize, Rat)>> = vec![Vec::new(); runs.len()];
+    for row in &x_vars {
+        for &(ri, v) in row {
+            per_run[ri].push((v, Rat::ONE));
+        }
+    }
+    for (ri, mut terms) in per_run.into_iter().enumerate() {
         if terms.is_empty() {
             continue;
         }
-        terms.push((yv, g.neg()));
+        terms.push((y_vars[ri], g.neg()));
         lp.add_constraint(terms, Cmp::Le, Rat::ZERO);
     }
-    // Σ_t x_{t,j} ≥ p_j.
+    // Σ_I x_{I,j} ≥ p_j.
     for (j, row) in x_vars.iter().enumerate() {
         let terms: Vec<(usize, Rat)> = row.iter().map(|&(_, v)| (v, Rat::ONE)).collect();
         lp.add_constraint(terms, Cmp::Ge, Rat::from_int(inst.job(j).length));
     }
 
-    let sol = solve(&lp);
+    let sol = run_backend(&lp, opts.backend);
     match sol.status {
         LpStatus::Optimal => {
-            let y: Vec<Rat> = y_vars.iter().map(|&v| sol.x[v]).collect();
-            Ok(ActiveLp { slots, y, objective: sol.objective })
+            // Uniform exact disaggregation back to per-slot y.
+            let mut y: Vec<Rat> = Vec::with_capacity(slots.len());
+            for (ri, run) in runs.iter().enumerate() {
+                let share = sol.x[y_vars[ri]].div(&Rat::from_int(run.width()));
+                for _ in 0..run.width() {
+                    y.push(share);
+                }
+            }
+            debug_assert_eq!(y.len(), slots.len());
+            Ok(ActiveLp {
+                slots,
+                y,
+                objective: sol.objective,
+            })
         }
-        LpStatus::Infeasible => Err(Error::Infeasible("LP1 infeasible: no schedule exists".into())),
+        LpStatus::Infeasible => Err(Error::Infeasible(
+            "LP1 infeasible: no schedule exists".into(),
+        )),
         LpStatus::Unbounded => unreachable!("LP1 objective is bounded below by 0"),
     }
 }
 
 /// Checks whether a *fractional* assignment exists for all jobs given fixed
 /// slot openings `y` (the feasibility system `LP2` of §3.1). Used to
-/// validate the right-shifting lemma in tests.
+/// validate the right-shifting lemma in tests. Solved with the hybrid
+/// backend (exact results either way).
 pub fn fractional_feasible(inst: &Instance, slots: &[Time], y: &[Rat]) -> bool {
     assert_eq!(slots.len(), y.len());
     let mut lp: LpProblem<Rat> = LpProblem::new();
@@ -105,7 +261,11 @@ pub fn fractional_feasible(inst: &Instance, slots: &[Time], y: &[Rat]) -> bool {
     for (si, yt) in y.iter().enumerate() {
         let terms: Vec<(usize, Rat)> = x_vars
             .iter()
-            .flat_map(|row| row.iter().filter(|&&(s, _)| s == si).map(|&(_, v)| (v, Rat::ONE)))
+            .flat_map(|row| {
+                row.iter()
+                    .filter(|&&(s, _)| s == si)
+                    .map(|&(_, v)| (v, Rat::ONE))
+            })
             .collect();
         if !terms.is_empty() {
             lp.add_constraint(terms, Cmp::Le, g.mul(yt));
@@ -115,12 +275,28 @@ pub fn fractional_feasible(inst: &Instance, slots: &[Time], y: &[Rat]) -> bool {
         let terms: Vec<(usize, Rat)> = row.iter().map(|&(_, v)| (v, Rat::ONE)).collect();
         lp.add_constraint(terms, Cmp::Ge, Rat::from_int(inst.job(j).length));
     }
-    matches!(solve(&lp).status, LpStatus::Optimal)
+    matches!(solve_hybrid(&lp).status, LpStatus::Optimal)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// All four model/backend combinations.
+    fn all_options() -> [LpOptions; 4] {
+        [
+            LpOptions::seed_exact(),
+            LpOptions {
+                backend: LpBackend::Exact,
+                coalesce: true,
+            },
+            LpOptions {
+                backend: LpBackend::Hybrid,
+                coalesce: false,
+            },
+            LpOptions::default(),
+        ]
+    }
 
     #[test]
     fn lp_lower_bounds_integral_opt() {
@@ -134,6 +310,12 @@ mod tests {
     fn lp_detects_infeasible() {
         let inst = Instance::from_triples([(0, 1, 1), (0, 1, 1)], 1).unwrap();
         assert!(matches!(solve_active_lp(&inst), Err(Error::Infeasible(_))));
+        for opts in all_options() {
+            assert!(matches!(
+                solve_active_lp_with(&inst, &opts),
+                Err(Error::Infeasible(_))
+            ));
+        }
     }
 
     #[test]
@@ -161,6 +343,48 @@ mod tests {
             assert!(v.signum() >= 0 && *v <= Rat::ONE);
         }
         assert_eq!(lp.objective, Rat::from_int(3));
+    }
+
+    #[test]
+    fn all_configurations_agree_on_objective() {
+        // The tentpole invariant: coalescing and the hybrid backend change
+        // the model size and the pivot arithmetic, never the exact optimum.
+        let cases = [
+            Instance::from_triples([(0, 4, 2), (1, 3, 2)], 2).unwrap(),
+            Instance::from_triples([(0, 3, 1), (1, 4, 2), (2, 6, 3)], 2).unwrap(),
+            Instance::from_triples([(0, 10, 4)], 1).unwrap(),
+            Instance::from_triples([(0, 6, 2), (3, 8, 4), (0, 2, 2), (4, 12, 3)], 3).unwrap(),
+            Instance::from_triples([(0, 20, 3), (5, 25, 4), (10, 30, 2)], 2).unwrap(),
+        ];
+        for inst in &cases {
+            let reference = solve_active_lp_with(inst, &LpOptions::seed_exact())
+                .unwrap()
+                .objective;
+            for opts in all_options() {
+                let lp = solve_active_lp_with(inst, &opts).unwrap();
+                assert_eq!(lp.objective, reference, "{opts:?} on {inst:?}");
+                // Disaggregated y stays within the per-slot bounds and sums
+                // exactly to the objective.
+                let mut sum = Rat::ZERO;
+                for v in &lp.y {
+                    assert!(v.signum() >= 0 && *v <= Rat::ONE, "{opts:?}");
+                    sum = sum.add(v);
+                }
+                assert_eq!(sum, reference, "{opts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn coalescing_shrinks_long_gaps() {
+        // Two short jobs separated by a huge idle stretch: the coalesced
+        // model must stay tiny while the per-slot horizon is 10 000 slots.
+        let inst = Instance::from_triples([(0, 3, 2), (9_997, 10_000, 2)], 1).unwrap();
+        let runs = slot_runs(&inst, true);
+        assert!(runs.len() <= 4, "got {} runs", runs.len());
+        let lp = solve_active_lp(&inst).unwrap();
+        assert_eq!(lp.objective, Rat::from_int(4));
+        assert_eq!(lp.slots.len(), 10_000);
     }
 
     #[test]

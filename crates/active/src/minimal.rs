@@ -116,7 +116,10 @@ pub fn minimal_feasible_from(
     let schedule = checker
         .check(&open)
         .expect("minimal set is feasible by construction");
-    Ok(MinimalResult { slots: open, schedule })
+    Ok(MinimalResult {
+        slots: open,
+        schedule,
+    })
 }
 
 /// Checks minimality: no single active slot can be closed.

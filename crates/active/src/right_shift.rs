@@ -63,7 +63,12 @@ pub fn right_shift(inst: &Instance, lp: &ActiveLp) -> RightShifted {
         if d <= prev {
             // Deadline precedes all fractional mass; its segment is empty of
             // mass but must still exist so its jobs are processed.
-            segments.push(Segment { start: d - 1, deadline: d, y_sum: Rat::ZERO, jobs: vec![] });
+            segments.push(Segment {
+                start: d - 1,
+                deadline: d,
+                y_sum: Rat::ZERO,
+                jobs: vec![],
+            });
             continue;
         }
         let mut y_sum = Rat::ZERO;
@@ -72,7 +77,12 @@ pub fn right_shift(inst: &Instance, lp: &ActiveLp) -> RightShifted {
                 y_sum = y_sum.add(&lp.y[i]);
             }
         }
-        segments.push(Segment { start: prev, deadline: d, y_sum, jobs: vec![] });
+        segments.push(Segment {
+            start: prev,
+            deadline: d,
+            y_sum,
+            jobs: vec![],
+        });
         prev = d;
     }
     for (id, j) in inst.jobs().iter().enumerate() {
@@ -101,7 +111,11 @@ pub fn right_shift(inst: &Instance, lp: &ActiveLp) -> RightShifted {
         }
     }
 
-    RightShifted { segments, slots: slots.clone(), shifted_y }
+    RightShifted {
+        segments,
+        slots: slots.clone(),
+        shifted_y,
+    }
 }
 
 /// Total `Σ_i Y_i` (equals the LP objective; checked in tests).
@@ -186,7 +200,10 @@ mod tests {
             objective: rat(217, 100),
         };
         let rs = right_shift(&inst, &lp);
-        assert_eq!(rs.shifted_y, vec![Rat::ZERO, rat(17, 100), Rat::ONE, Rat::ONE]);
+        assert_eq!(
+            rs.shifted_y,
+            vec![Rat::ZERO, rat(17, 100), Rat::ONE, Rat::ONE]
+        );
         assert_eq!(rs.segments.len(), 1);
         assert_eq!(rs.segments[0].y_sum, rat(217, 100));
     }

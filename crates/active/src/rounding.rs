@@ -92,7 +92,11 @@ struct Ledger {
 
 impl Ledger {
     fn new() -> Self {
-        Ledger { fulls: Vec::new(), halves: Vec::new(), tally: [0; 6] }
+        Ledger {
+            fulls: Vec::new(),
+            halves: Vec::new(),
+            tally: [0; 6],
+        }
     }
 
     fn record(&mut self, kind: ChargeKind) {
@@ -108,12 +112,20 @@ impl Ledger {
     }
 
     fn add_full(&mut self, t: Time) {
-        self.fulls.push(FullSlot { t, dependent: None, in_trio: false });
+        self.fulls.push(FullSlot {
+            t,
+            dependent: None,
+            in_trio: false,
+        });
         self.record(ChargeKind::FullyOpen);
     }
 
     fn add_half(&mut self, t: Time, y: Rat) {
-        self.halves.push(HalfSlot { t, y, has_filler: false });
+        self.halves.push(HalfSlot {
+            t,
+            y,
+            has_filler: false,
+        });
         self.record(ChargeKind::SelfHalf);
     }
 
@@ -206,7 +218,11 @@ pub fn lp_rounding_from(inst: &Instance, lp: &ActiveLp) -> Result<RoundingOutcom
                 } else {
                     // fr > ½: a half-open slot plus a barely open residue.
                     residue.push((fr, frac_loc));
-                    let loc2 = if frac_loc - 1 > seg.start { frac_loc - 1 } else { pp };
+                    let loc2 = if frac_loc - 1 > seg.start {
+                        frac_loc - 1
+                    } else {
+                        pp
+                    };
                     residue.push((merged.sub(&Rat::ONE), loc2));
                 }
             }
@@ -344,7 +360,12 @@ mod tests {
         out.schedule.validate(inst).unwrap();
         assert_eq!(out.anomalies, 0, "charging fallback fired");
         assert_eq!(out.repair_slots, 0, "feasibility repair fired");
-        assert!(out.within_two_lp(), "cost {} > 2·LP {}", out.cost, out.lp_objective);
+        assert!(
+            out.within_two_lp(),
+            "cost {} > 2·LP {}",
+            out.cost,
+            out.lp_objective
+        );
         out
     }
 
@@ -385,11 +406,9 @@ mod tests {
     fn proxy_paths_are_exercised() {
         // Staggered deadlines with slack create barely open slots that the
         // flow check closes (proxies) or charges.
-        let inst = Instance::from_triples(
-            [(0, 4, 1), (0, 7, 2), (3, 9, 2), (5, 12, 1), (8, 14, 2)],
-            3,
-        )
-        .unwrap();
+        let inst =
+            Instance::from_triples([(0, 4, 1), (0, 7, 2), (3, 9, 2), (5, 12, 1), (8, 14, 2)], 3)
+                .unwrap();
         let out = check(&inst);
         assert!(out.cost >= 2);
     }

@@ -136,7 +136,10 @@ mod tests {
     #[test]
     fn detects_infeasible() {
         let inst = Instance::from_triples([(0, 1, 1), (0, 1, 1)], 1).unwrap();
-        assert!(matches!(exact_unit_active_time(&inst), Err(Error::Infeasible(_))));
+        assert!(matches!(
+            exact_unit_active_time(&inst),
+            Err(Error::Infeasible(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Differential property tests for the PR-1 LP pipeline: on feasible
+//! random active-time instances, the coalesced/hybrid configurations must
+//! reproduce the seed configuration (per-slot model, pure exact-rational
+//! simplex) bit for bit on status and objective, and the disaggregated
+//! per-slot `y` must stay a valid fractional opening.
+
+use abt_active::{solve_active_lp_with, LpBackend, LpOptions};
+use abt_lp::Rat;
+use abt_workloads::{random_active_feasible, RandomConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn hybrid_and_coalescing_preserve_lp1_exactly(
+        seed in 0u64..1_000_000,
+        n in 4usize..14,
+        g in 1usize..4,
+        horizon in 10i64..26,
+        max_len in 1i64..5,
+    ) {
+        let cfg = RandomConfig { n, g, horizon, max_len, slack_factor: 1.0 };
+        let inst = random_active_feasible(&cfg, seed);
+        if inst.jobs().is_empty() {
+            return Ok(());
+        }
+        let seed_lp = solve_active_lp_with(&inst, &LpOptions::seed_exact())
+            .expect("instances are feasible by construction");
+        let variants = [
+            LpOptions { backend: LpBackend::Exact, coalesce: true },
+            LpOptions { backend: LpBackend::Hybrid, coalesce: false },
+            LpOptions::default(),
+        ];
+        for opts in variants {
+            let lp = solve_active_lp_with(&inst, &opts).unwrap();
+            prop_assert_eq!(lp.objective, seed_lp.objective, "{:?}", opts);
+            prop_assert_eq!(lp.slots.len(), seed_lp.slots.len());
+            let mut sum = Rat::ZERO;
+            for y in &lp.y {
+                prop_assert!(y.signum() >= 0 && *y <= Rat::ONE, "{:?}", opts);
+                sum = sum.add(y);
+            }
+            prop_assert_eq!(sum, seed_lp.objective, "{:?}: Σy must equal the objective", opts);
+        }
+    }
+}

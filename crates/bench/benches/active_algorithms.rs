@@ -13,7 +13,13 @@ fn bench_minimal_feasible(c: &mut Criterion) {
     let mut group = c.benchmark_group("minimal_feasible");
     group.sample_size(10);
     for &n in &[10usize, 20, 40] {
-        let cfg = RandomConfig { n, g: 3, horizon: 3 * n as i64, max_len: 6, slack_factor: 1.0 };
+        let cfg = RandomConfig {
+            n,
+            g: 3,
+            horizon: 3 * n as i64,
+            max_len: 6,
+            slack_factor: 1.0,
+        };
         let inst = random_active_feasible(&cfg, 21);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
@@ -33,7 +39,13 @@ fn bench_lp_rounding(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_rounding");
     group.sample_size(10);
     for &n in &[6usize, 10, 14] {
-        let cfg = RandomConfig { n, g: 2, horizon: 18, max_len: 4, slack_factor: 1.0 };
+        let cfg = RandomConfig {
+            n,
+            g: 2,
+            horizon: 18,
+            max_len: 4,
+            slack_factor: 1.0,
+        };
         let inst = random_active_feasible(&cfg, 3);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(lp_rounding(&inst).unwrap().cost))
@@ -45,7 +57,13 @@ fn bench_lp_rounding(c: &mut Criterion) {
 fn bench_unit_exact(c: &mut Criterion) {
     let mut group = c.benchmark_group("unit_exact_greedy");
     for &n in &[50usize, 200, 800] {
-        let cfg = RandomConfig { n, g: 4, horizon: n as i64, max_len: 10, slack_factor: 0.0 };
+        let cfg = RandomConfig {
+            n,
+            g: 4,
+            horizon: n as i64,
+            max_len: 10,
+            slack_factor: 0.0,
+        };
         let inst = random_unit(&cfg, 9);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| match exact_unit_active_time(&inst) {
@@ -61,7 +79,13 @@ fn bench_exact_bnb(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact_branch_and_bound");
     group.sample_size(10);
     for &n in &[6usize, 8, 10] {
-        let cfg = RandomConfig { n, g: 2, horizon: 14, max_len: 4, slack_factor: 1.0 };
+        let cfg = RandomConfig {
+            n,
+            g: 2,
+            horizon: 14,
+            max_len: 4,
+            slack_factor: 1.0,
+        };
         let inst = random_active_feasible(&cfg, 17);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(exact_active_time(&inst, Some(100_000_000)).unwrap().nodes))

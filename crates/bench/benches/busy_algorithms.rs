@@ -2,8 +2,7 @@
 //! span placement solvers, and the preemptive pair, across instance sizes.
 
 use abt_busy::{
-    preemptive_bounded, preemptive_unbounded, solve_flexible, span_exact, span_greedy,
-    IntervalAlgo,
+    preemptive_bounded, preemptive_unbounded, solve_flexible, span_exact, span_greedy, IntervalAlgo,
 };
 use abt_workloads::{random_flexible, random_interval, vm_trace, RandomConfig, VmTraceConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -13,23 +12,25 @@ fn bench_interval_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("interval_algorithms");
     group.sample_size(10);
     for &n in &[50usize, 200, 800] {
-        let cfg = RandomConfig { n, g: 4, horizon: 3 * n as i64, max_len: 25, slack_factor: 0.0 };
+        let cfg = RandomConfig {
+            n,
+            g: 4,
+            horizon: 3 * n as i64,
+            max_len: 25,
+            slack_factor: 0.0,
+        };
         let inst = random_interval(&cfg, 13);
         for algo in IntervalAlgo::all() {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(
-                            solve_flexible(&inst, algo)
-                                .unwrap()
-                                .schedule
-                                .total_busy_time(&inst),
-                        )
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        solve_flexible(&inst, algo)
+                            .unwrap()
+                            .schedule
+                            .total_busy_time(&inst),
+                    )
+                })
+            });
         }
     }
     group.finish();
@@ -39,14 +40,26 @@ fn bench_span_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("span_placement");
     group.sample_size(10);
     for &n in &[12usize, 18, 24] {
-        let cfg = RandomConfig { n, g: 2, horizon: 60, max_len: 8, slack_factor: 1.5 };
+        let cfg = RandomConfig {
+            n,
+            g: 2,
+            horizon: 60,
+            max_len: 8,
+            slack_factor: 1.5,
+        };
         let inst = random_flexible(&cfg, 31);
         group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
             b.iter(|| black_box(span_exact(&inst).unwrap().cost))
         });
     }
     for &n in &[100usize, 1000] {
-        let cfg = RandomConfig { n, g: 2, horizon: 4 * n as i64, max_len: 8, slack_factor: 1.5 };
+        let cfg = RandomConfig {
+            n,
+            g: 2,
+            horizon: 4 * n as i64,
+            max_len: 8,
+            slack_factor: 1.5,
+        };
         let inst = random_flexible(&cfg, 31);
         group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
             b.iter(|| black_box(span_greedy(&inst).cost))
@@ -58,7 +71,10 @@ fn bench_span_solvers(c: &mut Criterion) {
 fn bench_preemptive(c: &mut Criterion) {
     let mut group = c.benchmark_group("preemptive");
     for &n in &[50usize, 200, 800] {
-        let cfg = VmTraceConfig { n, ..Default::default() };
+        let cfg = VmTraceConfig {
+            n,
+            ..Default::default()
+        };
         let inst = vm_trace(&cfg, 23);
         group.bench_with_input(BenchmarkId::new("unbounded_exact", n), &n, |b, _| {
             b.iter(|| black_box(preemptive_unbounded(&inst).cost))
@@ -70,5 +86,10 @@ fn bench_preemptive(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_interval_algorithms, bench_span_solvers, bench_preemptive);
+criterion_group!(
+    benches,
+    bench_interval_algorithms,
+    bench_span_solvers,
+    bench_preemptive
+);
 criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! B4 — `lp_simplex`: the PR-1 hot path. Compares the seed configuration
+//! (per-slot LP1 solved by the pure exact-rational simplex) against the
+//! new default (coalesced super-slot LP1 solved by the f64-first hybrid
+//! with exact verification), plus the intermediate single-lever variants,
+//! on `random_active_feasible` instances.
+
+use abt_active::{solve_active_lp_with, LpBackend, LpOptions};
+use abt_workloads::{random_active_feasible, RandomConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_lp_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_simplex");
+    group.sample_size(10);
+    let variants = [
+        (
+            "seed_exact_perslot",
+            LpOptions {
+                backend: LpBackend::Exact,
+                coalesce: false,
+            },
+        ),
+        (
+            "exact_coalesced",
+            LpOptions {
+                backend: LpBackend::Exact,
+                coalesce: true,
+            },
+        ),
+        (
+            "hybrid_perslot",
+            LpOptions {
+                backend: LpBackend::Hybrid,
+                coalesce: false,
+            },
+        ),
+        ("hybrid_coalesced", LpOptions::default()),
+    ];
+    for &(n, g) in &[(20usize, 3usize), (40, 4)] {
+        let cfg = RandomConfig {
+            n,
+            g,
+            ..RandomConfig::default()
+        };
+        let inst = random_active_feasible(&cfg, 7);
+        for (name, opts) in variants {
+            group.bench_with_input(BenchmarkId::new(name, n), &inst, |b, inst| {
+                b.iter(|| black_box(solve_active_lp_with(inst, &opts).unwrap().objective))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp_simplex);
+criterion_main!(benches);

@@ -11,7 +11,13 @@ use std::hint::black_box;
 fn bench_flow_feasibility(c: &mut Criterion) {
     let mut group = c.benchmark_group("flow_feasibility");
     for &n in &[20usize, 60, 180] {
-        let cfg = RandomConfig { n, g: 3, horizon: 2 * n as i64, max_len: 8, slack_factor: 1.0 };
+        let cfg = RandomConfig {
+            n,
+            g: 3,
+            horizon: 2 * n as i64,
+            max_len: 8,
+            slack_factor: 1.0,
+        };
         let inst = random_active_feasible(&cfg, 42);
         let slots: Vec<i64> = (1..=inst.max_deadline()).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -25,7 +31,13 @@ fn bench_simplex_lp1(c: &mut Criterion) {
     let mut group = c.benchmark_group("simplex_lp1_exact_rational");
     group.sample_size(10);
     for &n in &[6usize, 10, 14] {
-        let cfg = RandomConfig { n, g: 2, horizon: 18, max_len: 4, slack_factor: 1.0 };
+        let cfg = RandomConfig {
+            n,
+            g: 2,
+            horizon: 18,
+            max_len: 4,
+            slack_factor: 1.0,
+        };
         let inst = random_active_feasible(&cfg, 7);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(solve_active_lp(&inst).unwrap().objective))
@@ -50,7 +62,13 @@ fn bench_interval_set(c: &mut Criterion) {
 fn bench_demand_profile(c: &mut Criterion) {
     let mut group = c.benchmark_group("demand_profile");
     for &n in &[100usize, 1000, 10000] {
-        let cfg = RandomConfig { n, g: 4, horizon: 4 * n as i64, max_len: 30, slack_factor: 0.0 };
+        let cfg = RandomConfig {
+            n,
+            g: 4,
+            horizon: 4 * n as i64,
+            max_len: 30,
+            slack_factor: 0.0,
+        };
         let inst = random_interval(&cfg, 5);
         let ivs: Vec<Interval> = inst.jobs().iter().map(|j| j.window()).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -63,7 +81,13 @@ fn bench_demand_profile(c: &mut Criterion) {
 fn bench_longest_track(c: &mut Criterion) {
     let mut group = c.benchmark_group("longest_track");
     for &n in &[100usize, 1000, 10000] {
-        let cfg = RandomConfig { n, g: 4, horizon: 4 * n as i64, max_len: 30, slack_factor: 0.0 };
+        let cfg = RandomConfig {
+            n,
+            g: 4,
+            horizon: 4 * n as i64,
+            max_len: 30,
+            slack_factor: 0.0,
+        };
         let inst = random_interval(&cfg, 11);
         let ids: Vec<usize> = (0..n).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {

@@ -1,14 +1,104 @@
-//! Regenerates the paper's figures/claims as Markdown tables.
+//! Regenerates the paper's figures/claims as Markdown tables, and records
+//! the solve-time trajectory in `BENCH_lp.json`.
 //!
-//! Usage: `experiments [e1 e5 ...]` — no arguments runs everything.
+//! Usage: `experiments [--no-json] [e1 e5 ...]` — no experiment ids runs
+//! everything. Unless `--no-json` is given, the run writes `BENCH_lp.json`
+//! (path overridable via the `BENCH_LP_PATH` environment variable) with
+//! the wall time of every experiment that ran plus a dedicated
+//! `lp_simplex` measurement: `solve_active_lp` on a
+//! `random_active_feasible` instance (n = 40, g = 4) under the seed
+//! configuration (per-slot model, pure exact-rational simplex) and the
+//! current default (coalesced model, hybrid solve), with their exact
+//! objectives and the resulting speedup.
 
 #![allow(clippy::type_complexity)] // the dispatch table type is self-explanatory
 
+use abt_active::{solve_active_lp_with, LpOptions};
 use abt_bench::experiments;
+use abt_workloads::{random_active_feasible, RandomConfig};
+use std::time::Instant;
+
+/// Wall-times `f` (best of `reps` runs) and returns (seconds, result).
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let v = f();
+        best = best.min(started.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// The PR-1 headline measurement: seed LP configuration vs the default.
+fn lp_simplex_record() -> String {
+    let cfg = RandomConfig {
+        n: 40,
+        g: 4,
+        ..RandomConfig::default()
+    };
+    let inst = random_active_feasible(&cfg, 7);
+    let (seed_s, seed_lp) = time_best(3, || {
+        solve_active_lp_with(&inst, &LpOptions::seed_exact()).expect("feasible by construction")
+    });
+    let (hybrid_s, hybrid_lp) = time_best(3, || {
+        solve_active_lp_with(&inst, &LpOptions::default()).expect("feasible by construction")
+    });
+    assert_eq!(
+        seed_lp.objective, hybrid_lp.objective,
+        "hybrid/coalesced LP1 must reproduce the seed objective exactly"
+    );
+    format!(
+        concat!(
+            "{{\"bench\": \"solve_active_lp\", \"family\": \"random_active_feasible\", ",
+            "\"n\": {}, \"g\": {}, \"horizon\": {}, \"seed\": 7, ",
+            "\"objective\": \"{}\", ",
+            "\"seed_exact_perslot_ms\": {:.3}, \"hybrid_coalesced_ms\": {:.3}, ",
+            "\"speedup\": {:.2}}}"
+        ),
+        cfg.n,
+        cfg.g,
+        cfg.horizon,
+        seed_lp.objective,
+        seed_s * 1e3,
+        hybrid_s * 1e3,
+        seed_s / hybrid_s,
+    )
+}
+
+fn write_bench_json(experiment_times: &[(&str, f64)]) {
+    let path = std::env::var("BENCH_LP_PATH").unwrap_or_else(|_| "BENCH_lp.json".to_string());
+    let mut json = String::from("{\n  \"schema\": \"abt-bench/lp-v1\",\n");
+    json.push_str("  \"lp_simplex\": ");
+    json.push_str(&lp_simplex_record());
+    json.push_str(",\n  \"experiments\": [\n");
+    for (i, (id, secs)) in experiment_times.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{id}\", \"wall_ms\": {:.3}}}{}\n",
+            secs * 1e3,
+            if i + 1 < experiment_times.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let selected: Vec<&str> = args.iter().map(String::as_str).collect();
+    let write_json = !args.iter().any(|a| a == "--no-json");
+    let selected: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
     let run_all = selected.is_empty();
     let fns: Vec<(&str, fn() -> experiments::ExperimentReport)> = vec![
         ("e1", experiments::e1),
@@ -30,18 +120,22 @@ fn main() {
         ("e17", experiments::e17),
         ("e18", experiments::e18),
     ];
-    let mut ran = 0;
+    let mut times: Vec<(&str, f64)> = Vec::new();
     for (id, f) in fns {
         if run_all || selected.contains(&id) {
             let started = std::time::Instant::now();
             let report = f();
+            let elapsed = started.elapsed();
             println!("{}", report.to_markdown());
-            println!("_(regenerated in {:.2?})_\n", started.elapsed());
-            ran += 1;
+            println!("_(regenerated in {elapsed:.2?})_\n");
+            times.push((id, elapsed.as_secs_f64()));
         }
     }
-    if ran == 0 {
+    if times.is_empty() {
         eprintln!("unknown experiment ids {selected:?}; available: e1..e18");
         std::process::exit(2);
+    }
+    if write_json {
+        write_bench_json(&times);
     }
 }

@@ -7,9 +7,10 @@
 use crate::parallel::parallel_map;
 use crate::table::{ratio, Table};
 use abt_active::{
-    exact_active_time, fractional_feasible, is_minimal, lp_rounding, minimal_feasible,
-    right_shift, schedule_on, solve_active_lp, ClosingOrder,
+    exact_active_time, fractional_feasible, is_minimal, lp_rounding, minimal_feasible, right_shift,
+    schedule_on, solve_active_lp, ClosingOrder,
 };
+use abt_busy::placement_from_starts;
 use abt_busy::{
     alicherry_bhatia_run, exact_busy_time, first_fit, greedy_tracking, kumar_rudra_run,
     preemptive_bounded, preemptive_lower_bound, preemptive_unbounded, solve_flexible,
@@ -18,12 +19,11 @@ use abt_busy::{
 use abt_core::{busy_lower_bounds, within_factor, DemandProfile, Frac, Instance};
 use abt_lp::Rat;
 use abt_workloads::{
-    fig1_example, fig10_flexible_factor4, fig3_minimal_tight, fig6_greedy_tracking_tight,
-    fig8_interval_tight, fig9_dp_profile_tight, integrality_gap, optical_trace, random_clique,
-    random_active_feasible, random_interval, random_laminar, random_proper, vm_trace,
-    OpticalTraceConfig, RandomConfig, VmTraceConfig,
+    fig10_flexible_factor4, fig1_example, fig3_minimal_tight, fig6_greedy_tracking_tight,
+    fig8_interval_tight, fig9_dp_profile_tight, integrality_gap, optical_trace,
+    random_active_feasible, random_clique, random_interval, random_laminar, random_proper,
+    vm_trace, OpticalTraceConfig, RandomConfig, VmTraceConfig,
 };
-use abt_busy::placement_from_starts;
 
 /// One experiment's regenerated artifact.
 #[derive(Debug, Clone)]
@@ -43,7 +43,12 @@ pub struct ExperimentReport {
 impl ExperimentReport {
     /// Renders the report as Markdown.
     pub fn to_markdown(&self) -> String {
-        let mut s = format!("### {} — {}\n\n*Claim:* {}\n\n", self.id.to_uppercase(), self.title, self.claim);
+        let mut s = format!(
+            "### {} — {}\n\n*Claim:* {}\n\n",
+            self.id.to_uppercase(),
+            self.title,
+            self.claim
+        );
         s.push_str(&self.table.to_markdown());
         if !self.notes.is_empty() {
             s.push('\n');
@@ -89,7 +94,8 @@ pub fn e1() -> ExperimentReport {
     ExperimentReport {
         id: "e1",
         title: "Fig. 1 — optimal packing of seven interval jobs (g = 3)".into(),
-        claim: "the instance packs onto two machines; every algorithm stays within its factor".into(),
+        claim: "the instance packs onto two machines; every algorithm stays within its factor"
+            .into(),
         table,
         notes,
     }
@@ -125,10 +131,23 @@ pub fn e2() -> ExperimentReport {
             &((g as i64 + 1)..=(2 * g as i64)).collect::<Vec<_>>(),
         )
         .is_some();
-        (g, f.opt, paper_ok, best, worst.len() as i64, worst_minimal, opt_feasible)
+        (
+            g,
+            f.opt,
+            paper_ok,
+            best,
+            worst.len() as i64,
+            worst_minimal,
+            opt_feasible,
+        )
     });
     let mut table = Table::new([
-        "g", "OPT", "worst minimal", "ratio", "paper bound (3g-2)/g", "best minimal",
+        "g",
+        "OPT",
+        "worst minimal",
+        "ratio",
+        "paper bound (3g-2)/g",
+        "best minimal",
     ]);
     let mut notes = Vec::new();
     let mut all_ok = true;
@@ -165,7 +184,12 @@ pub fn e2() -> ExperimentReport {
 
 /// E3 — Fig. 4 / Lemma 3: right-shifting preserves cost and feasibility.
 pub fn e3() -> ExperimentReport {
-    let mut table = Table::new(["instance", "LP cost", "shifted cost", "fractionally feasible"]);
+    let mut table = Table::new([
+        "instance",
+        "LP cost",
+        "shifted cost",
+        "fractionally feasible",
+    ]);
     let mut notes = Vec::new();
     let mut cases: Vec<(String, Instance)> = vec![
         (
@@ -178,7 +202,13 @@ pub fn e3() -> ExperimentReport {
         ),
     ];
     for seed in 0..6u64 {
-        let cfg = RandomConfig { n: 8, g: 2, horizon: 14, max_len: 4, slack_factor: 1.0 };
+        let cfg = RandomConfig {
+            n: 8,
+            g: 2,
+            horizon: 14,
+            max_len: 4,
+            slack_factor: 1.0,
+        };
         cases.push((format!("random-{seed}"), random_active_feasible(&cfg, seed)));
     }
     let mut all_ok = true;
@@ -229,7 +259,14 @@ pub fn e4() -> ExperimentReport {
         };
         (g, lp.objective, ig.lp_opt, ig.ip_opt, ip)
     });
-    let mut table = Table::new(["g", "LP (measured)", "LP (paper g+1)", "IP (paper 2g)", "IP (exact)", "gap"]);
+    let mut table = Table::new([
+        "g",
+        "LP (measured)",
+        "LP (paper g+1)",
+        "IP (paper 2g)",
+        "IP (exact)",
+        "gap",
+    ]);
     let mut notes = Vec::new();
     let mut lp_ok = true;
     for (g, lp_measured, lp_paper, ip_paper, ip_exact) in rows {
@@ -265,26 +302,42 @@ pub fn e4() -> ExperimentReport {
 pub fn e5() -> ExperimentReport {
     let mut grid = Vec::new();
     for seed in 0..12u64 {
-        for (n, g, horizon, slack) in
-            [(8, 2, 16, 1.0), (10, 3, 20, 0.5), (12, 2, 24, 2.0), (14, 4, 20, 1.5)]
-        {
+        for (n, g, horizon, slack) in [
+            (8, 2, 16, 1.0),
+            (10, 3, 20, 0.5),
+            (12, 2, 24, 2.0),
+            (14, 4, 20, 1.5),
+        ] {
             grid.push((seed, n, g, horizon, slack));
         }
     }
     let results = parallel_map(grid, |(seed, n, g, horizon, slack)| {
-        let cfg = RandomConfig { n, g, horizon, max_len: 5, slack_factor: slack };
+        let cfg = RandomConfig {
+            n,
+            g,
+            horizon,
+            max_len: 5,
+            slack_factor: slack,
+        };
         let inst = random_active_feasible(&cfg, seed);
         let out = lp_rounding(&inst).ok()?;
         out.schedule.validate(&inst).unwrap();
         let exact = if inst.max_deadline() <= 18 {
-            exact_active_time(&inst, Some(20_000_000)).ok().map(|r| r.slots.len() as i64)
+            exact_active_time(&inst, Some(20_000_000))
+                .ok()
+                .map(|r| r.slots.len() as i64)
         } else {
             None
         };
         Some((out, exact))
     });
     let mut table = Table::new([
-        "family", "instances", "max cost/LP", "max cost/OPT", "anomalies", "repairs",
+        "family",
+        "instances",
+        "max cost/LP",
+        "max cost/OPT",
+        "anomalies",
+        "repairs",
     ]);
     let mut worst_lp = Frac::int(0);
     let mut worst_opt = Frac::int(0);
@@ -320,13 +373,14 @@ pub fn e5() -> ExperimentReport {
         anomalies.to_string(),
         repairs.to_string(),
     ]);
-    let notes = vec![
-        format!(
+    let notes =
+        vec![
+            format!(
             "charge tally — fully open: {}, self(half): {}, dependents: {}, trios: {}, fillers: {}",
             charge_totals[0], charge_totals[1], charge_totals[2], charge_totals[3], charge_totals[4]
         ),
-        "max cost/LP ≤ 2 with zero anomalies and zero repairs, as Theorem 2 requires".into(),
-    ];
+            "max cost/LP ≤ 2 with zero anomalies and zero repairs, as Theorem 2 requires".into(),
+        ];
     ExperimentReport {
         id: "e5",
         title: "Theorem 2 — LP rounding 2-approximation".into(),
@@ -351,7 +405,12 @@ pub fn e6() -> ExperimentReport {
         (g, f.adversarial_cost, f.opt_upper, adv_ratio, gt)
     });
     let mut table = Table::new([
-        "g", "Fig.7 bundling", "OPT upper", "ratio", "paper limit", "our GT (same placement)",
+        "g",
+        "Fig.7 bundling",
+        "OPT upper",
+        "ratio",
+        "paper limit",
+        "our GT (same placement)",
     ]);
     for (g, adv, opt, r, gt) in rows {
         table.row([
@@ -390,7 +449,14 @@ pub fn e7() -> ExperimentReport {
         (eps, eps1, f.opt, exact.cost, f.bad_output, krc, abc)
     });
     let mut table = Table::new([
-        "ε (ticks)", "ε′", "OPT (paper)", "OPT (exact)", "paper bad output", "bad/OPT", "KR", "AB",
+        "ε (ticks)",
+        "ε′",
+        "OPT (paper)",
+        "OPT (exact)",
+        "paper bad output",
+        "bad/OPT",
+        "KR",
+        "AB",
     ]);
     let mut opt_ok = true;
     for (eps, eps1, opt_paper, opt_exact, bad, krc, abc) in rows {
@@ -413,7 +479,8 @@ pub fn e7() -> ExperimentReport {
     ExperimentReport {
         id: "e7",
         title: "Fig. 8 — tightness of the interval 2-approximations".into(),
-        claim: "KR/AB never exceed 2×profile; an output of cost 2+ε+ε′ vs OPT 1+ε is possible".into(),
+        claim: "KR/AB never exceed 2×profile; an output of cost 2+ε+ε′ vs OPT 1+ε is possible"
+            .into(),
         table,
         notes,
     }
@@ -428,18 +495,29 @@ pub fn e8() -> ExperimentReport {
         let adv = f.instance.fix_starts(&f.adversarial_starts).unwrap();
         let fri = f.instance.fix_starts(&f.friendly_starts).unwrap();
         let profile = |inst: &Instance| {
-            DemandProfile::new(&inst.jobs().iter().map(|j| j.window()).collect::<Vec<_>>())
-                .cost(g)
+            DemandProfile::new(&inst.jobs().iter().map(|j| j.window()).collect::<Vec<_>>()).cost(g)
         };
         let adv_span = adv.interval_span().unwrap();
         let fri_span = fri.interval_span().unwrap();
         // Our span solver should find the adversarial (smaller) span.
         let our = span_place(&f.instance);
-        (g, adv_span, fri_span, profile(&adv), profile(&fri), our.cost)
+        (
+            g,
+            adv_span,
+            fri_span,
+            profile(&adv),
+            profile(&fri),
+            our.cost,
+        )
     });
     let mut table = Table::new([
-        "g", "span (DP/adversarial)", "span (friendly)", "profile (DP)", "profile (friendly)",
-        "profile ratio", "our solver span",
+        "g",
+        "span (DP/adversarial)",
+        "span (friendly)",
+        "profile (DP)",
+        "profile (friendly)",
+        "profile ratio",
+        "our solver span",
     ]);
     let mut solver_ok = true;
     for (g, advs, fris, advp, frip, ours) in rows {
@@ -489,7 +567,13 @@ pub fn e9() -> ExperimentReport {
         (g, f.opt_upper, f.bad_cost, costs)
     });
     let mut table = Table::new([
-        "g", "OPT upper", "Fig.12 bundling", "Fig.12/OPT", "paper limit", "our KR", "our AB",
+        "g",
+        "OPT upper",
+        "Fig.12 bundling",
+        "Fig.12/OPT",
+        "paper limit",
+        "our KR",
+        "our AB",
     ]);
     for (g, opt, bad, costs) in rows {
         table.row([
@@ -525,7 +609,13 @@ pub fn e10() -> ExperimentReport {
         }
     }
     let rows = parallel_map(grid, |(seed, g, slack)| {
-        let cfg = RandomConfig { n: 10, g, horizon: 16, max_len: 4, slack_factor: slack };
+        let cfg = RandomConfig {
+            n: 10,
+            g,
+            horizon: 16,
+            max_len: 4,
+            slack_factor: slack,
+        };
         let inst = random_active_feasible(&cfg, seed);
         let exact = exact_active_time(&inst, Some(20_000_000)).ok()?.slots.len() as i64;
         let round = lp_rounding(&inst).ok()?.cost;
@@ -545,7 +635,10 @@ pub fn e10() -> ExperimentReport {
         Some((exact, round, minimal_best, minimal_worst))
     });
     let mut table = Table::new([
-        "metric", "LP rounding", "minimal (best order)", "minimal (worst order)",
+        "metric",
+        "LP rounding",
+        "minimal (best order)",
+        "minimal (worst order)",
     ]);
     let data: Vec<_> = rows.into_iter().flatten().collect();
     let mean = |f: &dyn Fn(&(i64, i64, i64, i64)) -> f64| -> f64 {
@@ -594,7 +687,13 @@ pub fn e11() -> ExperimentReport {
         instances: (0..8)
             .map(|s| {
                 random_interval(
-                    &RandomConfig { n: 40, g: 3, horizon: 120, max_len: 20, slack_factor: 0.0 },
+                    &RandomConfig {
+                        n: 40,
+                        g: 3,
+                        horizon: 120,
+                        max_len: 20,
+                        slack_factor: 0.0,
+                    },
                     s,
                 )
             })
@@ -603,33 +702,76 @@ pub fn e11() -> ExperimentReport {
     families.push(Family {
         name: "proper",
         instances: (0..8)
-            .map(|s| random_proper(&RandomConfig { n: 30, g: 3, horizon: 90, max_len: 12, slack_factor: 0.0 }, s))
+            .map(|s| {
+                random_proper(
+                    &RandomConfig {
+                        n: 30,
+                        g: 3,
+                        horizon: 90,
+                        max_len: 12,
+                        slack_factor: 0.0,
+                    },
+                    s,
+                )
+            })
             .collect(),
     });
     families.push(Family {
         name: "clique",
         instances: (0..8)
-            .map(|s| random_clique(&RandomConfig { n: 30, g: 3, horizon: 80, max_len: 0, slack_factor: 0.0 }, s))
+            .map(|s| {
+                random_clique(
+                    &RandomConfig {
+                        n: 30,
+                        g: 3,
+                        horizon: 80,
+                        max_len: 0,
+                        slack_factor: 0.0,
+                    },
+                    s,
+                )
+            })
             .collect(),
     });
     families.push(Family {
         name: "laminar",
         instances: (0..8)
-            .map(|s| random_laminar(&RandomConfig { n: 24, g: 3, horizon: 96, max_len: 0, slack_factor: 0.0 }, s))
+            .map(|s| {
+                random_laminar(
+                    &RandomConfig {
+                        n: 24,
+                        g: 3,
+                        horizon: 96,
+                        max_len: 0,
+                        slack_factor: 0.0,
+                    },
+                    s,
+                )
+            })
             .collect(),
     });
     families.push(Family {
         name: "optical trace",
-        instances: (0..8).map(|s| optical_trace(&OpticalTraceConfig::default(), s)).collect(),
+        instances: (0..8)
+            .map(|s| optical_trace(&OpticalTraceConfig::default(), s))
+            .collect(),
     });
     families.push(Family {
         name: "VM trace (flexible)",
-        instances: (0..6).map(|s| vm_trace(&VmTraceConfig { n: 40, ..Default::default() }, s)).collect(),
+        instances: (0..6)
+            .map(|s| {
+                vm_trace(
+                    &VmTraceConfig {
+                        n: 40,
+                        ..Default::default()
+                    },
+                    s,
+                )
+            })
+            .collect(),
     });
 
-    let mut table = Table::new([
-        "family", "algorithm", "mean cost/LB", "max cost/LB", "wins",
-    ]);
+    let mut table = Table::new(["family", "algorithm", "mean cost/LB", "max cost/LB", "wins"]);
     let mut notes: Vec<String> = Vec::new();
     for fam in families {
         let algos = IntervalAlgo::all();
@@ -677,7 +819,9 @@ pub fn e11() -> ExperimentReport {
             ]);
         }
     }
-    notes.push("LB = max(mass, span/OPT∞, profile); ratios stay within each algorithm's factor".into());
+    notes.push(
+        "LB = max(mass, span/OPT∞, profile); ratios stay within each algorithm's factor".into(),
+    );
     notes.push("KR/AB (factor 2) usually win on interval families; GreedyTracking is competitive and wins on track-friendly (laminar/optical) inputs".into());
     ExperimentReport {
         id: "e11",
@@ -697,7 +841,13 @@ pub fn e12() -> ExperimentReport {
         }
     }
     let rows = parallel_map(grid, |(seed, g)| {
-        let cfg = RandomConfig { n: 25, g, horizon: 80, max_len: 10, slack_factor: 1.0 };
+        let cfg = RandomConfig {
+            n: 25,
+            g,
+            horizon: 80,
+            max_len: 10,
+            slack_factor: 1.0,
+        };
         let inst = abt_workloads::random_flexible(&cfg, seed);
         let unbounded = preemptive_unbounded(&inst);
         let bounded = preemptive_bounded(&inst);
@@ -734,7 +884,12 @@ pub fn e12() -> ExperimentReport {
 /// E13 — footnote 1 special cases: proper and clique instances.
 pub fn e13() -> ExperimentReport {
     let mut table = Table::new([
-        "family", "FirstFit(len)", "FirstFit(release)", "GreedyTracking", "KR", "LB",
+        "family",
+        "FirstFit(len)",
+        "FirstFit(release)",
+        "GreedyTracking",
+        "KR",
+        "LB",
     ]);
     let mut notes = Vec::new();
     let mut worst_release_proper = 0f64;
@@ -742,13 +897,35 @@ pub fn e13() -> ExperimentReport {
         (
             "proper",
             (0..10)
-                .map(|s| random_proper(&RandomConfig { n: 24, g: 3, horizon: 80, max_len: 10, slack_factor: 0.0 }, s))
+                .map(|s| {
+                    random_proper(
+                        &RandomConfig {
+                            n: 24,
+                            g: 3,
+                            horizon: 80,
+                            max_len: 10,
+                            slack_factor: 0.0,
+                        },
+                        s,
+                    )
+                })
                 .collect::<Vec<_>>(),
         ),
         (
             "clique",
             (0..10)
-                .map(|s| random_clique(&RandomConfig { n: 24, g: 3, horizon: 60, max_len: 0, slack_factor: 0.0 }, s))
+                .map(|s| {
+                    random_clique(
+                        &RandomConfig {
+                            n: 24,
+                            g: 3,
+                            horizon: 60,
+                            max_len: 0,
+                            slack_factor: 0.0,
+                        },
+                        s,
+                    )
+                })
                 .collect::<Vec<_>>(),
         ),
     ] {
@@ -761,10 +938,16 @@ pub fn e13() -> ExperimentReport {
                 .unwrap()
                 .total_busy_time(inst);
             let gt = greedy_tracking(inst).unwrap().total_busy_time(inst);
-            let kr = kumar_rudra_run(inst).unwrap().schedule.total_busy_time(inst);
+            let kr = kumar_rudra_run(inst)
+                .unwrap()
+                .schedule
+                .total_busy_time(inst);
             if name == "proper" {
                 worst_release_proper = worst_release_proper.max(ff_rel as f64 / lb as f64);
-                assert!(within_factor(ff_rel, 2, lb), "release order must be ≤2 on proper");
+                assert!(
+                    within_factor(ff_rel, 2, lb),
+                    "release order must be ≤2 on proper"
+                );
             }
             table.row([
                 name.to_string(),
@@ -809,7 +992,13 @@ pub fn e14() -> ExperimentReport {
             instances: (0..10)
                 .map(|s| {
                     random_active_feasible(
-                        &RandomConfig { n: 12, g: 3, horizon: 24, max_len: 4, slack_factor: 2.0 },
+                        &RandomConfig {
+                            n: 12,
+                            g: 3,
+                            horizon: 24,
+                            max_len: 4,
+                            slack_factor: 2.0,
+                        },
                         s,
                     )
                 })
@@ -820,7 +1009,13 @@ pub fn e14() -> ExperimentReport {
             instances: (0..10)
                 .map(|s| {
                     random_active_feasible(
-                        &RandomConfig { n: 12, g: 3, horizon: 24, max_len: 4, slack_factor: 0.3 },
+                        &RandomConfig {
+                            n: 12,
+                            g: 3,
+                            horizon: 24,
+                            max_len: 4,
+                            slack_factor: 0.3,
+                        },
                         s,
                     )
                 })
@@ -857,7 +1052,10 @@ pub fn e14() -> ExperimentReport {
         }
         notes.push(format!("{}: best order is {best_name}", fam.name));
     }
-    notes.push("every order is guaranteed ≤ 3·OPT (Theorem 1); the spread below 3 is pure heuristics".into());
+    notes.push(
+        "every order is guaranteed ≤ 3·OPT (Theorem 1); the spread below 3 is pure heuristics"
+            .into(),
+    );
     ExperimentReport {
         id: "e14",
         title: "Ablation — closing orders for minimal-feasible".into(),
@@ -885,7 +1083,14 @@ pub fn e15() -> ExperimentReport {
         costs.sort_unstable();
         (g, f.opt_upper, costs)
     });
-    let mut table = Table::new(["g", "OPT upper", "min over seeds", "median", "max", "max/OPT"]);
+    let mut table = Table::new([
+        "g",
+        "OPT upper",
+        "min over seeds",
+        "median",
+        "max",
+        "max/OPT",
+    ]);
     for (g, opt, costs) in rows {
         let median = costs[costs.len() / 2];
         table.row([
@@ -912,12 +1117,23 @@ pub fn e15() -> ExperimentReport {
 /// irrevocable assignment vs the offline algorithms.
 pub fn e16() -> ExperimentReport {
     let mut table = Table::new([
-        "family", "online FF", "offline FF(len)", "offline GT", "LB", "online/LB",
+        "family",
+        "online FF",
+        "offline FF(len)",
+        "offline GT",
+        "LB",
+        "online/LB",
     ]);
     let mut worst = 0f64;
     for seed in 0..8u64 {
         let inst = random_interval(
-            &RandomConfig { n: 30, g: 3, horizon: 90, max_len: 15, slack_factor: 0.0 },
+            &RandomConfig {
+                n: 30,
+                g: 3,
+                horizon: 90,
+                max_len: 15,
+                slack_factor: 0.0,
+            },
             seed,
         );
         let online = abt_busy::online_first_fit(&inst).unwrap();
@@ -956,14 +1172,22 @@ pub fn e17() -> ExperimentReport {
     use rand_free::XorShift;
     let mut table = Table::new(["g", "n", "cost", "LB (mass/span)", "cost/LB"]);
     let mut worst = 0f64;
-    for (g, n, seed) in [(4usize, 30usize, 1u64), (8, 60, 2), (8, 60, 3), (16, 120, 4)] {
+    for (g, n, seed) in [
+        (4usize, 30usize, 1u64),
+        (8, 60, 2),
+        (8, 60, 3),
+        (16, 120, 4),
+    ] {
         let mut rng = XorShift::new(seed);
         let mut jobs = Vec::new();
         for _ in 0..n {
             let r = rng.next(200) as i64;
             let len = 1 + rng.next(25) as i64;
             let w = 1 + rng.next(g as u64) as usize;
-            jobs.push(WideJob { job: abt_core::Job::interval(r, r + len), width: w });
+            jobs.push(WideJob {
+                job: abt_core::Job::interval(r, r + len),
+                width: w,
+            });
         }
         let inst = WidthInstance::new(jobs, g).unwrap();
         let s = width_first_fit(&inst);
@@ -992,10 +1216,21 @@ pub fn e17() -> ExperimentReport {
 /// busy-time budget.
 pub fn e18() -> ExperimentReport {
     use abt_busy::{budgeted_exact, budgeted_greedy};
-    let mut table = Table::new(["budget", "greedy accepted", "exact accepted", "greedy/exact"]);
+    let mut table = Table::new([
+        "budget",
+        "greedy accepted",
+        "exact accepted",
+        "greedy/exact",
+    ]);
     let mut worst = 1.0f64;
     let inst = random_interval(
-        &RandomConfig { n: 8, g: 2, horizon: 24, max_len: 6, slack_factor: 0.0 },
+        &RandomConfig {
+            n: 8,
+            g: 2,
+            horizon: 24,
+            max_len: 6,
+            slack_factor: 0.0,
+        },
         5,
     );
     let full_cost = solve_flexible(&inst, IntervalAlgo::GreedyTracking)
@@ -1014,7 +1249,11 @@ pub fn e18() -> ExperimentReport {
             budget.to_string(),
             greedy.accepted().to_string(),
             exact.to_string(),
-            if exact > 0 { ratio(greedy.accepted() as i64, exact as i64) } else { "-".into() },
+            if exact > 0 {
+                ratio(greedy.accepted() as i64, exact as i64)
+            } else {
+                "-".into()
+            },
         ]);
     }
     ExperimentReport {

@@ -26,7 +26,13 @@ impl Summary {
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        Some(Summary { n, mean, stddev: var.sqrt(), min, max })
+        Some(Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+        })
     }
 
     /// Formats as `mean ± stddev [min, max]`.

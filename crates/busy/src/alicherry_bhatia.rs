@@ -76,7 +76,11 @@ pub fn alicherry_bhatia_run(inst: &Instance) -> Result<AlicherryBhatiaRun> {
         }
     }
     let schedule = BusySchedule::from_interval_partition(inst, parts);
-    Ok(AlicherryBhatiaRun { schedule, profile_bound, rounds })
+    Ok(AlicherryBhatiaRun {
+        schedule,
+        profile_bound,
+        rounds,
+    })
 }
 
 /// Builds the event graph of `jobs` and extracts one 2-unit flow, returning
@@ -94,14 +98,22 @@ fn extract_two_tracks(inst: &Instance, jobs: &[JobId]) -> (Vec<JobId>, Vec<JobId
         return (Vec::new(), Vec::new());
     }
     let node_of = |t: Time| -> usize { events.binary_search(&t).unwrap() };
-    let profile =
-        DemandProfile::new(&jobs.iter().map(|&j| inst.job(j).window()).collect::<Vec<_>>());
+    let profile = DemandProfile::new(
+        &jobs
+            .iter()
+            .map(|&j| inst.job(j).window())
+            .collect::<Vec<_>>(),
+    );
 
     let mut graph = FlowGraph::new(events.len());
     // Job arcs.
     let mut arc_jobs: Vec<(usize, JobId)> = Vec::new(); // (edge id, job)
     for &j in jobs {
-        let e = graph.add_edge(node_of(inst.job(j).release), node_of(inst.job(j).deadline), 1);
+        let e = graph.add_edge(
+            node_of(inst.job(j).release),
+            node_of(inst.job(j).deadline),
+            1,
+        );
         arc_jobs.push((e, j));
     }
     // Idle arcs between consecutive events: capacity 2 across zero-demand
@@ -221,6 +233,9 @@ mod tests {
     #[test]
     fn rejects_flexible() {
         let inst = Instance::from_triples([(0, 9, 3)], 2).unwrap();
-        assert!(matches!(alicherry_bhatia(&inst), Err(Error::Unsupported(_))));
+        assert!(matches!(
+            alicherry_bhatia(&inst),
+            Err(Error::Unsupported(_))
+        ));
     }
 }

@@ -21,7 +21,9 @@ pub struct ExactBusy {
 /// empty bundle is tried).
 pub fn exact_busy_time(inst: &Instance, node_limit: Option<u64>) -> Result<ExactBusy> {
     if !inst.is_interval_instance() {
-        return Err(Error::Unsupported("exact_busy_time requires interval jobs".into()));
+        return Err(Error::Unsupported(
+            "exact_busy_time requires interval jobs".into(),
+        ));
     }
     let order = inst.ids_by_length_desc();
     let g = inst.g();
@@ -130,7 +132,11 @@ pub fn exact_busy_time(inst: &Instance, node_limit: Option<u64>) -> Result<Exact
 
     // Trivial case: nothing to schedule.
     if inst.is_empty() {
-        return Ok(ExactBusy { schedule: BusySchedule::new(), cost: 0, nodes: 0 });
+        return Ok(ExactBusy {
+            schedule: BusySchedule::new(),
+            cost: 0,
+            nodes: 0,
+        });
     }
 
     let mut search = Search {
@@ -143,14 +149,22 @@ pub fn exact_busy_time(inst: &Instance, node_limit: Option<u64>) -> Result<Exact
         nodes: 0,
         limit: node_limit.unwrap_or(u64::MAX),
     };
-    let mut state = Node { parts: Vec::new(), sets: Vec::new(), cost: 0 };
+    let mut state = Node {
+        parts: Vec::new(),
+        sets: Vec::new(),
+        cost: 0,
+    };
     search.dfs(&mut state, 0)?;
     best_cost = search.best_cost;
     best_parts = search.best_parts;
 
     let schedule = BusySchedule::from_interval_partition(inst, best_parts);
     debug_assert_eq!(schedule.total_busy_time(inst), best_cost);
-    Ok(ExactBusy { schedule, cost: best_cost, nodes: search.nodes })
+    Ok(ExactBusy {
+        schedule,
+        cost: best_cost,
+        nodes: search.nodes,
+    })
 }
 
 #[cfg(test)]

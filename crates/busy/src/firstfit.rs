@@ -79,7 +79,10 @@ pub fn first_fit(inst: &Instance, order: FirstFitOrder) -> Result<BusySchedule> 
                 b.ids.push(id);
                 b.intervals.push(iv);
             }
-            None => bundles.push(OpenBundle { ids: vec![id], intervals: vec![iv] }),
+            None => bundles.push(OpenBundle {
+                ids: vec![id],
+                intervals: vec![iv],
+            }),
         }
     }
     Ok(BusySchedule::from_interval_partition(

@@ -91,7 +91,10 @@ pub fn solve_with_placement(
         bundles: fixed_schedule.bundles,
     };
     schedule.validate(inst)?;
-    Ok(FlexibleOutcome { schedule, placement: placement.clone() })
+    Ok(FlexibleOutcome {
+        schedule,
+        placement: placement.clone(),
+    })
 }
 
 /// Convenience: place with an explicit starts vector.
@@ -99,7 +102,12 @@ pub fn placement_from_starts(inst: &Instance, starts: Vec<Time>) -> Result<SpanP
     let fixed = inst.fix_starts(&starts)?; // validates
     let busy: abt_core::IntervalSet = fixed.jobs().iter().map(|j| j.window()).collect();
     let cost = busy.measure();
-    Ok(SpanPlacement { starts, busy, cost, exact: false })
+    Ok(SpanPlacement {
+        starts,
+        busy,
+        cost,
+        exact: false,
+    })
 }
 
 #[cfg(test)]

@@ -8,7 +8,6 @@
 //! `Sp(B_1) ≤ OPT_∞`, giving `3·OPT` in total; the Fig. 6 gadget shows the
 //! factor 3 is asymptotically tight.
 
-
 use abt_core::{BusySchedule, Error, Instance, JobId, Result};
 
 /// Result of GreedyTracking with per-track diagnostics.
@@ -93,7 +92,10 @@ mod tests {
             assert!(is_track(&inst, t));
         }
         for w in lens.windows(2) {
-            assert!(w[0] >= w[1], "greedy track lengths must be non-increasing: {lens:?}");
+            assert!(
+                w[0] >= w[1],
+                "greedy track lengths must be non-increasing: {lens:?}"
+            );
         }
         // Every job appears exactly once.
         let total: usize = run.tracks.iter().map(Vec::len).sum();

@@ -71,7 +71,11 @@ pub fn kumar_rudra_run(inst: &Instance) -> Result<KumarRudraRun> {
             .min()
             .unwrap_or(0);
         debug_assert!(cap >= 1);
-        units.push(Unit { iv, job, level_cap: cap });
+        units.push(Unit {
+            iv,
+            job,
+            level_cap: cap,
+        });
     }
 
     // Phase 1: levels. Process by (level_cap asc, start asc): tightest
@@ -133,7 +137,11 @@ pub fn kumar_rudra_run(inst: &Instance) -> Result<KumarRudraRun> {
     }
     parts.retain(|p| !p.is_empty());
     let schedule = BusySchedule::from_interval_partition(inst, parts);
-    Ok(KumarRudraRun { schedule, profile_bound, levels: max_level })
+    Ok(KumarRudraRun {
+        schedule,
+        profile_bound,
+        levels: max_level,
+    })
 }
 
 /// Maximum number of `members` (plus the candidate) simultaneously covering
@@ -211,10 +219,10 @@ mod tests {
         let e = 4;
         let e1 = 1;
         let ivs = vec![
-            (0, unit),               // length 1
-            (0, unit + e1),          // length 1 + ε'
-            (unit, unit + e),        // length ε
-            (unit + e1, unit + e),   // length ε − ε'
+            (0, unit),             // length 1
+            (0, unit + e1),        // length 1 + ε'
+            (unit, unit + e),      // length ε
+            (unit + e1, unit + e), // length ε − ε'
         ];
         let inst = interval_inst(&ivs, 2);
         check(&inst);

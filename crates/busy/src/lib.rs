@@ -46,7 +46,9 @@ pub use firstfit::{first_fit, FirstFitOrder};
 pub use flexible::{
     placement_from_starts, solve_flexible, solve_with_placement, FlexibleOutcome, IntervalAlgo,
 };
-pub use greedy_tracking::{greedy_tracking, greedy_tracking_run, greedy_tracking_seeded, GreedyTrackingRun};
+pub use greedy_tracking::{
+    greedy_tracking, greedy_tracking_run, greedy_tracking_seeded, GreedyTrackingRun,
+};
 pub use kumar_rudra::{kumar_rudra, kumar_rudra_run, KumarRudraRun};
 pub use maximization::{budgeted_exact, budgeted_greedy, BudgetedSchedule};
 pub use online::{online_first_fit, OnlineScheduler};
@@ -55,8 +57,8 @@ pub use preemptive::{
     UnboundedPreemptive,
 };
 pub use span::{span_brute_force, span_exact, span_greedy, span_place, SpanPlacement};
-pub use widths::{width_first_fit, WideJob, WidthInstance, WidthSchedule};
 pub use special::{
     clique_greedy, is_clique, is_laminar, is_proper, laminar_solve, proper_clique_exact,
     proper_greedy,
 };
+pub use widths::{width_first_fit, WideJob, WidthInstance, WidthSchedule};

@@ -76,7 +76,9 @@ impl BudgetedSchedule {
 /// full length).
 pub fn budgeted_greedy(inst: &Instance, budget: i64) -> Result<BudgetedSchedule> {
     if !inst.is_interval_instance() {
-        return Err(Error::Unsupported("budgeted_greedy requires interval jobs".into()));
+        return Err(Error::Unsupported(
+            "budgeted_greedy requires interval jobs".into(),
+        ));
     }
     let mut ids: Vec<JobId> = (0..inst.len()).collect();
     ids.sort_by_key(|&j| (inst.job(j).length, inst.job(j).release, j));
@@ -103,7 +105,7 @@ pub fn budgeted_greedy(inst: &Instance, budget: i64) -> Result<BudgetedSchedule>
             let mut with = busy_sets[m].clone();
             with.insert(iv);
             let marginal = with.measure() - before;
-            if best.map_or(true, |(_, b)| marginal < b) {
+            if best.is_none_or(|(_, b)| marginal < b) {
                 best = Some((m, marginal));
             }
         }
@@ -153,7 +155,9 @@ fn peak_with(inst: &Instance, bundle: &[JobId], extra: JobId) -> usize {
 /// instances only.
 pub fn budgeted_exact(inst: &Instance, budget: i64, node_limit: u64) -> Result<usize> {
     if !inst.is_interval_instance() {
-        return Err(Error::Unsupported("budgeted_exact requires interval jobs".into()));
+        return Err(Error::Unsupported(
+            "budgeted_exact requires interval jobs".into(),
+        ));
     }
     struct Search<'a> {
         inst: &'a Instance,
@@ -173,7 +177,9 @@ pub fn budgeted_exact(inst: &Instance, budget: i64, node_limit: u64) -> Result<u
         ) -> Result<()> {
             self.nodes += 1;
             if self.nodes > self.limit {
-                return Err(Error::Unsupported("budgeted_exact node limit exceeded".into()));
+                return Err(Error::Unsupported(
+                    "budgeted_exact node limit exceeded".into(),
+                ));
             }
             if j == self.inst.len() {
                 self.best = self.best.max(accepted);
@@ -223,7 +229,13 @@ pub fn budgeted_exact(inst: &Instance, budget: i64, node_limit: u64) -> Result<u
             Ok(())
         }
     }
-    let mut search = Search { inst, budget, best: 0, nodes: 0, limit: node_limit };
+    let mut search = Search {
+        inst,
+        budget,
+        best: 0,
+        nodes: 0,
+        limit: node_limit,
+    };
     search.dfs(0, 0, 0, &mut Vec::new(), &mut Vec::new())?;
     Ok(search.best)
 }
@@ -292,7 +304,9 @@ mod tests {
     #[test]
     fn budget_violation_detected_by_validator() {
         let inst = interval_inst(&[(0, 5), (6, 9)], 1);
-        let s = BudgetedSchedule { machines: vec![vec![0], vec![1]] };
+        let s = BudgetedSchedule {
+            machines: vec![vec![0], vec![1]],
+        };
         assert!(s.validate(&inst, 7).is_err());
         s.validate(&inst, 8).unwrap();
     }

@@ -8,7 +8,7 @@
 //! arrival costs `O(machines × jobs-per-machine)` — a genuinely online data
 //! structure rather than a replay of the offline code.
 
-use abt_core::{BusySchedule, Bundle, Error, Instance, Interval, JobId, Result};
+use abt_core::{Bundle, BusySchedule, Error, Instance, Interval, JobId, Result};
 
 /// Incremental online scheduler for interval jobs.
 #[derive(Debug, Clone)]
@@ -23,7 +23,12 @@ impl OnlineScheduler {
     /// New scheduler for machines of capacity `g`.
     pub fn new(g: usize) -> Self {
         assert!(g >= 1);
-        OnlineScheduler { g, machines: Vec::new(), assignments: Vec::new(), last_release: None }
+        OnlineScheduler {
+            g,
+            machines: Vec::new(),
+            assignments: Vec::new(),
+            last_release: None,
+        }
     }
 
     /// Handles the arrival of interval job `id` running as `iv`; returns the
@@ -107,7 +112,9 @@ fn fits(machine: &[Interval], iv: Interval, g: usize) -> bool {
 /// in release order) and returns the final schedule.
 pub fn online_first_fit(inst: &Instance) -> Result<BusySchedule> {
     if !inst.is_interval_instance() {
-        return Err(Error::Unsupported("online_first_fit requires interval jobs".into()));
+        return Err(Error::Unsupported(
+            "online_first_fit requires interval jobs".into(),
+        ));
     }
     let mut ids: Vec<JobId> = (0..inst.len()).collect();
     ids.sort_by_key(|&j| (inst.job(j).release, inst.job(j).deadline, j));

@@ -19,9 +19,7 @@
 
 #![allow(clippy::while_let_loop)] // the loop has a mid-body exit condition
 
-use abt_core::{
-    Error, Instance, Interval, IntervalSet, Piece, PreemptiveSchedule, Result, Time,
-};
+use abt_core::{Error, Instance, Interval, IntervalSet, Piece, PreemptiveSchedule, Result, Time};
 
 /// The unbounded-`g` preemptive solution.
 #[derive(Debug, Clone)]
@@ -102,7 +100,11 @@ fn latest_closed(open: &IntervalSet, deadline: Time, amount: i64) -> Vec<Interva
     let comps = open.components();
     let mut idx = comps.partition_point(|c| c.start < deadline);
     while need > 0 {
-        let gap_start = if idx == 0 { i64::MIN / 2 } else { comps[idx - 1].end };
+        let gap_start = if idx == 0 {
+            i64::MIN / 2
+        } else {
+            comps[idx - 1].end
+        };
         let gap_end = cursor;
         let gap = (gap_end - gap_start).max(0);
         let take = need.min(gap);
@@ -176,14 +178,21 @@ pub fn preemptive_bounded(inst: &Instance) -> PreemptiveSchedule {
         }
         // Jobs with a piece covering this segment.
         let active: Vec<usize> = (0..inst.len())
-            .filter(|&j| unbounded.pieces[j].iter().any(|p| p.contains_interval(&seg)))
+            .filter(|&j| {
+                unbounded.pieces[j]
+                    .iter()
+                    .any(|p| p.contains_interval(&seg))
+            })
             .collect();
         // Greedy fill: ⌈|active|/g⌉ fresh machines for this segment.
         for chunk in active.chunks(inst.g()) {
             machines.push(
                 chunk
                     .iter()
-                    .map(|&j| Piece { job: j, interval: seg })
+                    .map(|&j| Piece {
+                        job: j,
+                        interval: seg,
+                    })
                     .collect(),
             );
         }

@@ -51,7 +51,12 @@ const INF: i64 = i64::MAX / 4;
 pub fn span_exact(inst: &Instance) -> Result<SpanPlacement> {
     let n = inst.len();
     if n == 0 {
-        return Ok(SpanPlacement { starts: vec![], busy: IntervalSet::new(), cost: 0, exact: true });
+        return Ok(SpanPlacement {
+            starts: vec![],
+            busy: IntervalSet::new(),
+            cost: 0,
+            exact: true,
+        });
     }
     if n > 127 {
         return Err(Error::Unsupported(format!(
@@ -119,8 +124,16 @@ pub fn span_exact(inst: &Instance) -> Result<SpanPlacement> {
         }
     }
 
-    let mut ctx = Ctx { inst, c, memo: HashMap::new() };
-    let full = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let mut ctx = Ctx {
+        inst,
+        c,
+        memo: HashMap::new(),
+    };
+    let full = if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
     let lo = inst.min_release();
     let (cost, _) = ctx.solve(lo, full);
     debug_assert!(cost < INF, "every instance is feasible with unbounded g");
@@ -146,8 +159,14 @@ pub fn span_exact(inst: &Instance) -> Result<SpanPlacement> {
         frontier = v;
     }
     let placement = place_into(inst, &intervals);
-    debug_assert_eq!(placement.cost, cost, "placed union must match the covering optimum");
-    Ok(SpanPlacement { exact: true, ..placement })
+    debug_assert_eq!(
+        placement.cost, cost,
+        "placed union must match the covering optimum"
+    );
+    Ok(SpanPlacement {
+        exact: true,
+        ..placement
+    })
 }
 
 /// Greedy heuristic for large instances: serve the most urgent job with a
@@ -193,7 +212,10 @@ pub fn span_greedy(inst: &Instance) -> SpanPlacement {
         // `i` stays: unserved[i] is now the next most-urgent job.
     }
     let _ = i;
-    SpanPlacement { exact: false, ..place_into(inst, &intervals) }
+    SpanPlacement {
+        exact: false,
+        ..place_into(inst, &intervals)
+    }
 }
 
 /// Exact if small enough, else greedy.
@@ -226,7 +248,12 @@ fn place_into(inst: &Instance, intervals: &[Interval]) -> SpanPlacement {
         .map(|(job, &s)| Interval::new(s, s + job.length))
         .collect();
     let cost = busy.measure();
-    SpanPlacement { starts, busy, cost, exact: false }
+    SpanPlacement {
+        starts,
+        busy,
+        cost,
+        exact: false,
+    }
 }
 
 /// Brute-force optimum over all integer start combinations (testing only;
@@ -256,7 +283,10 @@ mod tests {
 
     fn validate(inst: &Instance, p: &SpanPlacement) {
         for (j, &s) in p.starts.iter().enumerate() {
-            assert!(inst.job(j).run_at(s).is_some(), "job {j} start {s} infeasible");
+            assert!(
+                inst.job(j).run_at(s).is_some(),
+                "job {j} start {s} infeasible"
+            );
         }
         let busy: IntervalSet = inst
             .jobs()

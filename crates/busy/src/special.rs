@@ -57,7 +57,9 @@ pub fn is_laminar(inst: &Instance) -> bool {
 /// (footnote 1). Errors if the instance is not proper or not interval.
 pub fn proper_greedy(inst: &Instance) -> Result<BusySchedule> {
     if !is_proper(inst) {
-        return Err(Error::Unsupported("proper_greedy requires a proper instance".into()));
+        return Err(Error::Unsupported(
+            "proper_greedy requires a proper instance".into(),
+        ));
     }
     first_fit(inst, FirstFitOrder::ByRelease)
 }
@@ -67,7 +69,9 @@ pub fn proper_greedy(inst: &Instance) -> Result<BusySchedule> {
 /// so first-fit by length is exactly the paper's greedy).
 pub fn clique_greedy(inst: &Instance) -> Result<BusySchedule> {
     if !is_clique(inst) {
-        return Err(Error::Unsupported("clique_greedy requires a clique instance".into()));
+        return Err(Error::Unsupported(
+            "clique_greedy requires a clique instance".into(),
+        ));
     }
     first_fit(inst, FirstFitOrder::LengthDesc)
 }
@@ -80,7 +84,9 @@ pub fn clique_greedy(inst: &Instance) -> Result<BusySchedule> {
 /// `best[i] = min over k ≤ g of best[i-k] + span(jobs[i-k..i])`.
 pub fn proper_clique_exact(inst: &Instance) -> Result<BusySchedule> {
     if !inst.is_interval_instance() {
-        return Err(Error::Unsupported("proper_clique_exact requires interval jobs".into()));
+        return Err(Error::Unsupported(
+            "proper_clique_exact requires interval jobs".into(),
+        ));
     }
     if !is_proper(inst) || !is_clique(inst) {
         return Err(Error::Unsupported(
@@ -94,9 +100,8 @@ pub fn proper_clique_exact(inst: &Instance) -> Result<BusySchedule> {
     // Span of the consecutive group ids[a..b): proper ⇒ releases and
     // deadlines both non-decreasing ⇒ span = max deadline − min release
     // = d(ids[b-1]) − r(ids[a]) (the union is one interval: clique).
-    let group_span = |a: usize, b: usize| -> i64 {
-        inst.job(ids[b - 1]).deadline - inst.job(ids[a]).release
-    };
+    let group_span =
+        |a: usize, b: usize| -> i64 { inst.job(ids[b - 1]).deadline - inst.job(ids[a]).release };
     let mut best = vec![i64::MAX; n + 1];
     let mut cut = vec![0usize; n + 1];
     best[0] = 0;
@@ -130,10 +135,14 @@ pub fn proper_clique_exact(inst: &Instance) -> Result<BusySchedule> {
 /// laminar inputs per Khandekar et al.).
 pub fn laminar_solve(inst: &Instance) -> Result<BusySchedule> {
     if !is_laminar(inst) {
-        return Err(Error::Unsupported("laminar_solve requires a laminar instance".into()));
+        return Err(Error::Unsupported(
+            "laminar_solve requires a laminar instance".into(),
+        ));
     }
     if !inst.is_interval_instance() {
-        return Err(Error::Unsupported("laminar_solve requires interval jobs".into()));
+        return Err(Error::Unsupported(
+            "laminar_solve requires interval jobs".into(),
+        ));
     }
     let g = inst.g();
     let mut remaining: Vec<JobId> = (0..inst.len()).collect();

@@ -151,8 +151,11 @@ mod tests {
             let dp_len = total_length(&i, &longest_track(&i, &ids));
             let mut best = 0;
             for mask in 0u32..(1 << ivs.len()) {
-                let subset: Vec<JobId> =
-                    ids.iter().copied().filter(|&j| mask >> j & 1 == 1).collect();
+                let subset: Vec<JobId> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&j| mask >> j & 1 == 1)
+                    .collect();
                 if is_track(&i, &subset) {
                     best = best.max(total_length(&i, &subset));
                 }

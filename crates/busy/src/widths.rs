@@ -33,7 +33,9 @@ impl WidthInstance {
     /// `1 ≤ width ≤ g`.
     pub fn new(jobs: Vec<WideJob>, g: usize) -> Result<Self> {
         if g == 0 {
-            return Err(Error::InvalidInstance("capacity g must be at least 1".into()));
+            return Err(Error::InvalidInstance(
+                "capacity g must be at least 1".into(),
+            ));
         }
         for (i, wj) in jobs.iter().enumerate() {
             if !wj.job.is_interval() {
@@ -64,7 +66,11 @@ impl WidthInstance {
 
     /// The width-weighted mass bound `⌈Σ w_j·p_j / g⌉ ≤ OPT`.
     pub fn mass_bound(&self) -> i64 {
-        let mass: i64 = self.jobs.iter().map(|wj| wj.width as i64 * wj.job.length).sum();
+        let mass: i64 = self
+            .jobs
+            .iter()
+            .map(|wj| wj.width as i64 * wj.job.length)
+            .sum();
         (mass + self.g as i64 - 1) / self.g as i64
     }
 
@@ -143,7 +149,10 @@ pub fn width_first_fit(inst: &WidthInstance) -> WidthSchedule {
     }
     // Narrow jobs: width-aware FirstFit into fresh machines.
     let narrow_start = machines.len();
-    for &j in ids.iter().filter(|&&j| 2 * inst.jobs()[j].width as i64 <= g) {
+    for &j in ids
+        .iter()
+        .filter(|&&j| 2 * inst.jobs()[j].width as i64 <= g)
+    {
         let wj = inst.jobs()[j];
         let iv = wj.job.window();
         let slot = machines[narrow_start..]
@@ -193,7 +202,10 @@ mod tests {
     use abt_core::within_factor;
 
     fn wj(r: i64, d: i64, w: usize) -> WideJob {
-        WideJob { job: Job::interval(r, d), width: w }
+        WideJob {
+            job: Job::interval(r, d),
+            width: w,
+        }
     }
 
     #[test]
@@ -201,7 +213,10 @@ mod tests {
         assert!(WidthInstance::new(vec![wj(0, 5, 3)], 2).is_err()); // width > g
         assert!(WidthInstance::new(vec![wj(0, 5, 0)], 2).is_err());
         assert!(WidthInstance::new(
-            vec![WideJob { job: Job::new(0, 9, 3), width: 1 }],
+            vec![WideJob {
+                job: Job::new(0, 9, 3),
+                width: 1
+            }],
             2
         )
         .is_err()); // flexible job
@@ -229,9 +244,8 @@ mod tests {
     #[test]
     fn narrow_jobs_pack_by_width() {
         // Four width-2 jobs over the same interval, g = 4: two per machine.
-        let inst =
-            WidthInstance::new(vec![wj(0, 5, 2), wj(0, 5, 2), wj(0, 5, 2), wj(0, 5, 2)], 4)
-                .unwrap();
+        let inst = WidthInstance::new(vec![wj(0, 5, 2), wj(0, 5, 2), wj(0, 5, 2), wj(0, 5, 2)], 4)
+            .unwrap();
         let s = width_first_fit(&inst);
         s.validate(&inst).unwrap();
         assert_eq!(s.total_busy_time(&inst), 10);
@@ -270,11 +284,17 @@ mod tests {
     #[test]
     fn capacity_violations_detected() {
         let inst = WidthInstance::new(vec![wj(0, 5, 3), wj(1, 4, 3)], 4).unwrap();
-        let bad = WidthSchedule { machines: vec![vec![0, 1]] };
+        let bad = WidthSchedule {
+            machines: vec![vec![0, 1]],
+        };
         assert!(bad.validate(&inst).is_err());
-        let missing = WidthSchedule { machines: vec![vec![0]] };
+        let missing = WidthSchedule {
+            machines: vec![vec![0]],
+        };
         assert!(missing.validate(&inst).is_err());
-        let dup = WidthSchedule { machines: vec![vec![0, 0], vec![1]] };
+        let dup = WidthSchedule {
+            machines: vec![vec![0, 0], vec![1]],
+        };
         assert!(dup.validate(&inst).is_err());
     }
 }

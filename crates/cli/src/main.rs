@@ -47,7 +47,9 @@ fn load(path: &str) -> Result<Instance, String> {
 fn run(args: &[&str]) -> Result<(), String> {
     match args {
         ["gen", family, rest @ ..] => {
-            let seed: u64 = rest.first().map_or(Ok(0), |s| s.parse().map_err(|_| "bad seed"))?;
+            let seed: u64 = rest
+                .first()
+                .map_or(Ok(0), |s| s.parse().map_err(|_| "bad seed"))?;
             let inst = match *family {
                 "interval" => random_interval(&RandomConfig::default(), seed),
                 "flexible" => random_flexible(&RandomConfig::default(), seed),
@@ -63,10 +65,18 @@ fn run(args: &[&str]) -> Result<(), String> {
         }
         ["bounds", path] => {
             let inst = load(path)?;
-            println!("jobs: {}  g: {}  horizon: {}", inst.len(), inst.g(), inst.horizon());
+            println!(
+                "jobs: {}  g: {}  horizon: {}",
+                inst.len(),
+                inst.g(),
+                inst.horizon()
+            );
             println!("active-time lower bound: {}", active_lower_bound(&inst));
             let b = busy_lower_bounds(&inst);
-            println!("busy-time bounds: mass={} span={} profile={}", b.mass, b.span, b.profile);
+            println!(
+                "busy-time bounds: mass={} span={} profile={}",
+                b.mass, b.span, b.profile
+            );
             Ok(())
         }
         ["active", path, algo] => {
@@ -87,8 +97,8 @@ fn run(args: &[&str]) -> Result<(), String> {
                     (r.opened.len(), r.opened)
                 }
                 "exact" => {
-                    let r = exact_active_time(&inst, Some(500_000_000))
-                        .map_err(|e| e.to_string())?;
+                    let r =
+                        exact_active_time(&inst, Some(500_000_000)).map_err(|e| e.to_string())?;
                     (r.slots.len(), r.slots)
                 }
                 "unit" => {
@@ -110,7 +120,11 @@ fn run(args: &[&str]) -> Result<(), String> {
                 "ab" => solve_flexible(&inst, IntervalAlgo::AlicherryBhatia),
                 "exact" => {
                     let r = exact_busy_time(&inst, Some(500_000_000)).map_err(|e| e.to_string())?;
-                    println!("busy time: {} on {} machines", r.cost, r.schedule.machine_count());
+                    println!(
+                        "busy time: {} on {} machines",
+                        r.cost,
+                        r.schedule.machine_count()
+                    );
                     return Ok(());
                 }
                 "preempt" => {

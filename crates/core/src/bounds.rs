@@ -40,14 +40,22 @@ pub fn busy_lower_bounds(inst: &Instance) -> BusyBounds {
         let ivs: Vec<_> = inst.jobs().iter().map(|j| j.window()).collect();
         let profile = DemandProfile::new(&ivs).cost(inst.g());
         let span = inst.window_union().measure();
-        BusyBounds { mass, span, profile }
+        BusyBounds {
+            mass,
+            span,
+            profile,
+        }
     } else {
         // Window union over-covers what jobs can occupy, but every busy
         // instant lies inside some window, and OPT_∞ ≥ ... is NOT implied by
         // the window union; the only always-valid cheap bounds here are mass
         // and the largest single job length.
         let longest = inst.jobs().iter().map(|j| j.length).max().unwrap_or(0);
-        BusyBounds { mass, span: longest, profile: 0 }
+        BusyBounds {
+            mass,
+            span: longest,
+            profile: 0,
+        }
     }
 }
 
@@ -99,7 +107,9 @@ mod tests {
         // g disjoint unit interval jobs (the paper's example after Obs. 3):
         // mass bound is 1 (with g = 4), optimal is 4.
         let g = 4usize;
-        let jobs: Vec<Job> = (0..g as i64).map(|i| Job::interval(2 * i, 2 * i + 1)).collect();
+        let jobs: Vec<Job> = (0..g as i64)
+            .map(|i| Job::interval(2 * i, 2 * i + 1))
+            .collect();
         let inst = Instance::new(jobs, g).unwrap();
         let b = busy_lower_bounds(&inst);
         assert_eq!(b.mass, 1);

@@ -66,7 +66,9 @@ pub struct BusySchedule {
 impl BusySchedule {
     /// Empty schedule.
     pub fn new() -> Self {
-        BusySchedule { bundles: Vec::new() }
+        BusySchedule {
+            bundles: Vec::new(),
+        }
     }
 
     /// Builds a schedule for an *interval* instance from a partition of job
@@ -76,7 +78,10 @@ impl BusySchedule {
             bundles: parts
                 .into_iter()
                 .map(|ids| Bundle {
-                    items: ids.into_iter().map(|id| (id, inst.job(id).release)).collect(),
+                    items: ids
+                        .into_iter()
+                        .map(|id| (id, inst.job(id).release))
+                        .collect(),
                 })
                 .collect(),
         }
@@ -161,7 +166,9 @@ mod tests {
     #[test]
     fn bundle_busy_time_is_span() {
         let inst = interval_inst();
-        let b = Bundle { items: vec![(0, 0), (1, 2), (2, 5)] };
+        let b = Bundle {
+            items: vec![(0, 0), (1, 2), (2, 5)],
+        };
         assert_eq!(b.busy_time(&inst), 9); // [0,4)∪[2,6)∪[5,9) = [0,9)
         assert_eq!(b.peak_parallelism(&inst), 2);
     }
@@ -203,16 +210,28 @@ mod tests {
     #[test]
     fn window_violation_detected() {
         let inst = Instance::from_triples([(0, 10, 3)], 1).unwrap();
-        let s = BusySchedule { bundles: vec![Bundle { items: vec![(0, 8)] }] };
+        let s = BusySchedule {
+            bundles: vec![Bundle {
+                items: vec![(0, 8)],
+            }],
+        };
         assert!(s.validate(&inst).is_err());
-        let ok = BusySchedule { bundles: vec![Bundle { items: vec![(0, 7)] }] };
+        let ok = BusySchedule {
+            bundles: vec![Bundle {
+                items: vec![(0, 7)],
+            }],
+        };
         ok.validate(&inst).unwrap();
     }
 
     #[test]
     fn flexible_starts_roundtrip() {
         let inst = Instance::from_triples([(0, 10, 3), (2, 9, 4)], 2).unwrap();
-        let s = BusySchedule { bundles: vec![Bundle { items: vec![(0, 4), (1, 3)] }] };
+        let s = BusySchedule {
+            bundles: vec![Bundle {
+                items: vec![(0, 4), (1, 3)],
+            }],
+        };
         s.validate(&inst).unwrap();
         assert_eq!(s.start_times(&inst).unwrap(), vec![4, 3]);
         assert_eq!(s.total_busy_time(&inst), 4); // [4,7) ∪ [3,7) = [3,7)

@@ -18,7 +18,9 @@ impl Instance {
     /// Creates an instance, validating every job and `g ≥ 1`.
     pub fn new(jobs: Vec<Job>, g: usize) -> Result<Self> {
         if g == 0 {
-            return Err(Error::InvalidInstance("capacity g must be at least 1".into()));
+            return Err(Error::InvalidInstance(
+                "capacity g must be at least 1".into(),
+            ));
         }
         for (idx, j) in jobs.iter().enumerate() {
             if j.length < 1 {
@@ -41,10 +43,17 @@ impl Instance {
     }
 
     /// Builds an instance from `(release, deadline, length)` triples.
-    pub fn from_triples<I: IntoIterator<Item = (Time, Time, i64)>>(iter: I, g: usize) -> Result<Self> {
+    pub fn from_triples<I: IntoIterator<Item = (Time, Time, i64)>>(
+        iter: I,
+        g: usize,
+    ) -> Result<Self> {
         Instance::new(
             iter.into_iter()
-                .map(|(r, d, p)| Job { release: r, deadline: d, length: p })
+                .map(|(r, d, p)| Job {
+                    release: r,
+                    deadline: d,
+                    length: p,
+                })
                 .collect(),
             g,
         )
@@ -102,7 +111,10 @@ impl Instance {
 
     /// The horizon `[min_release, max_deadline)`.
     pub fn horizon(&self) -> Interval {
-        Interval::new(self.min_release(), self.max_deadline().max(self.min_release()))
+        Interval::new(
+            self.min_release(),
+            self.max_deadline().max(self.min_release()),
+        )
     }
 
     /// Whether every job is an interval job (`p_j = d_j − r_j`).
@@ -142,7 +154,11 @@ impl Instance {
         for (idx, (j, &s)) in self.jobs.iter().zip(starts).enumerate() {
             let run = j.run_at(s).ok_or_else(|| Error::InvalidJob {
                 job: idx,
-                reason: format!("start {s} outside window [{}, {}]", j.release, j.latest_start()),
+                reason: format!(
+                    "start {s} outside window [{}, {}]",
+                    j.release,
+                    j.latest_start()
+                ),
             })?;
             jobs.push(Job::interval(run.start, run.end));
         }
@@ -206,8 +222,15 @@ mod tests {
 
     #[test]
     fn interval_detection_and_span() {
-        let inst = Instance::new(vec![Job::interval(0, 3), Job::interval(2, 6), Job::interval(10, 12)], 2)
-            .unwrap();
+        let inst = Instance::new(
+            vec![
+                Job::interval(0, 3),
+                Job::interval(2, 6),
+                Job::interval(10, 12),
+            ],
+            2,
+        )
+        .unwrap();
         assert!(inst.is_interval_instance());
         assert_eq!(inst.interval_span().unwrap(), 6 + 2);
         assert!(demo().interval_span().is_err());

@@ -81,7 +81,10 @@ pub fn read_instance(text: &str) -> Result<Instance> {
             });
         }
     }
-    let g = g.ok_or(Error::Parse { line: 0, reason: "missing 'g' line".into() })?;
+    let g = g.ok_or(Error::Parse {
+        line: 0,
+        reason: "missing 'g' line".into(),
+    })?;
     Instance::new(jobs, g)
 }
 

@@ -108,7 +108,11 @@ impl Job {
 
 impl std::fmt::Display for Job {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "r={} d={} p={}", self.release, self.deadline, self.length)
+        write!(
+            f,
+            "r={} d={} p={}",
+            self.release, self.deadline, self.length
+        )
     }
 }
 

@@ -38,9 +38,7 @@ impl PreemptiveSchedule {
     pub fn total_busy_time(&self) -> i64 {
         self.machines
             .iter()
-            .map(|pieces| {
-                IntervalSet::from_intervals(pieces.iter().map(|p| p.interval)).measure()
-            })
+            .map(|pieces| IntervalSet::from_intervals(pieces.iter().map(|p| p.interval)).measure())
             .sum()
     }
 
@@ -127,17 +125,17 @@ mod tests {
     }
 
     fn piece(job: JobId, s: i64, e: i64) -> Piece {
-        Piece { job, interval: Interval::new(s, e) }
+        Piece {
+            job,
+            interval: Interval::new(s, e),
+        }
     }
 
     #[test]
     fn valid_preemptive_schedule() {
         // Job 0 split across two machines, job 1 contiguous. g = 1.
         let s = PreemptiveSchedule {
-            machines: vec![
-                vec![piece(0, 0, 2), piece(0, 5, 7)],
-                vec![piece(1, 2, 5)],
-            ],
+            machines: vec![vec![piece(0, 0, 2), piece(0, 5, 7)], vec![piece(1, 2, 5)]],
         };
         s.validate(&inst()).unwrap();
         assert_eq!(s.total_busy_time(), 4 + 3);

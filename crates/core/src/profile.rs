@@ -83,7 +83,10 @@ impl DemandProfile {
 
     /// Σ over segments of raw demand × length = total mass of the intervals.
     pub fn mass(&self) -> i64 {
-        self.segments.iter().map(|&(iv, d)| d as i64 * iv.len()).sum()
+        self.segments
+            .iter()
+            .map(|&(iv, d)| d as i64 * iv.len())
+            .sum()
     }
 
     /// Measure of `{t : |A(t)| ≥ 1}` — the span of the placed intervals.
@@ -197,7 +200,11 @@ mod tests {
                 assert_eq!(d % g, 0, "segment {iv} has non-multiple demand {d}");
             }
         }
-        assert_eq!(padded.cost(g), p.cost(g), "padding must not change the profile bound");
+        assert_eq!(
+            padded.cost(g),
+            p.cost(g),
+            "padding must not change the profile bound"
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl Frac {
 
     /// Integer `n` as a fraction.
     pub fn int(n: i64) -> Self {
-        Frac { num: n as i128, den: 1 }
+        Frac {
+            num: n as i128,
+            den: 1,
+        }
     }
 
     /// Lossy conversion for reporting.
@@ -55,7 +58,10 @@ impl Frac {
 
     /// `self + other`.
     pub fn add(&self, other: Frac) -> Frac {
-        Frac::new(self.num * other.den + other.num * self.den, self.den * other.den)
+        Frac::new(
+            self.num * other.den + other.num * self.den,
+            self.den * other.den,
+        )
     }
 
     /// `self * other`.

@@ -152,7 +152,8 @@ impl IntervalSet {
         } else {
             let start = self.parts[lo].start.min(iv.start);
             let end = self.parts[hi - 1].end.max(iv.end);
-            self.parts.splice(lo..hi, std::iter::once(Interval { start, end }));
+            self.parts
+                .splice(lo..hi, std::iter::once(Interval { start, end }));
         }
     }
 
@@ -303,7 +304,11 @@ mod tests {
 
     #[test]
     fn span_and_mass() {
-        let ivs = [Interval::new(0, 4), Interval::new(2, 6), Interval::new(10, 11)];
+        let ivs = [
+            Interval::new(0, 4),
+            Interval::new(2, 6),
+            Interval::new(10, 11),
+        ];
         assert_eq!(span(ivs), 7);
         assert_eq!(mass(ivs.iter()), 9);
     }

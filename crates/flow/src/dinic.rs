@@ -64,7 +64,14 @@ pub fn max_flow(g: &mut FlowGraph, s: NodeId, t: NodeId) -> MaxFlow {
     max_flow_limited(g, s, t, None)
 }
 
-fn dfs(g: &mut FlowGraph, v: NodeId, t: NodeId, limit: i64, level: &[i32], it: &mut [usize]) -> i64 {
+fn dfs(
+    g: &mut FlowGraph,
+    v: NodeId,
+    t: NodeId,
+    limit: i64,
+    level: &[i32],
+    it: &mut [usize],
+) -> i64 {
     if v == t || limit == 0 {
         return limit;
     }

@@ -31,7 +31,10 @@ pub struct FlowGraph {
 impl FlowGraph {
     /// Creates a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        FlowGraph { edges: Vec::new(), adj: vec![Vec::new(); n] }
+        FlowGraph {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -49,10 +52,21 @@ impl FlowGraph {
     /// forward edge id.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, cap: i64) -> EdgeId {
         assert!(cap >= 0, "negative capacity");
-        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "node out of range"
+        );
         let id = self.edges.len();
-        self.edges.push(Edge { to: v, cap, orig_cap: cap });
-        self.edges.push(Edge { to: u, cap: 0, orig_cap: 0 });
+        self.edges.push(Edge {
+            to: v,
+            cap,
+            orig_cap: cap,
+        });
+        self.edges.push(Edge {
+            to: u,
+            cap: 0,
+            orig_cap: 0,
+        });
         self.adj[u].push(id);
         self.adj[v].push(id + 1);
         id

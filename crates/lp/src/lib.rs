@@ -1,9 +1,11 @@
 //! # abt-lp
 //!
 //! A self-contained linear-programming substrate: a dense two-phase primal
-//! simplex solver, generic over an exact `i128` rational scalar (default for
-//! the paper's active-time LPs, so the §3 rounding's case analysis is
-//! noise-free) or `f64` (for stress scales).
+//! simplex solver over a flat row-major tableau, generic over an exact
+//! `i128` rational scalar (so the §3 rounding's case analysis is
+//! noise-free) or `f64`, plus a float-first **hybrid** solve
+//! ([`solve_hybrid`]) that runs the search in `f64` and re-verifies the
+//! terminal basis exactly — the default path for the active-time LPs.
 //!
 //! The allowed offline dependency set contains no LP solver (the paper's
 //! reproduction band notes the thin LP ecosystem), so this crate implements
@@ -19,4 +21,4 @@ pub mod simplex;
 pub use model::{Cmp, Constraint, LpProblem, VarId};
 pub use rational::Rat;
 pub use scalar::{Scalar, F64_EPS};
-pub use simplex::{solve, LpSolution, LpStatus};
+pub use simplex::{solve, solve_hybrid, solve_hybrid_report, HybridReport, LpSolution, LpStatus};

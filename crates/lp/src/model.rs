@@ -46,7 +46,10 @@ impl<S: Scalar> Default for LpProblem<S> {
 impl<S: Scalar> LpProblem<S> {
     /// Empty problem.
     pub fn new() -> Self {
-        LpProblem { objective: Vec::new(), constraints: Vec::new() }
+        LpProblem {
+            objective: Vec::new(),
+            constraints: Vec::new(),
+        }
     }
 
     /// Adds a variable with objective coefficient `cost`; returns its id.
@@ -67,7 +70,10 @@ impl<S: Scalar> LpProblem<S> {
 
     /// Adds `Σ terms cmp rhs`.
     pub fn add_constraint(&mut self, terms: Vec<(VarId, S)>, cmp: Cmp, rhs: S) {
-        debug_assert!(terms.iter().all(|&(v, _)| v < self.num_vars()), "unknown variable");
+        debug_assert!(
+            terms.iter().all(|&(v, _)| v < self.num_vars()),
+            "unknown variable"
+        );
         self.constraints.push(Constraint { terms, cmp, rhs });
     }
 
@@ -124,7 +130,11 @@ mod tests {
         let mut lp: LpProblem<Rat> = LpProblem::new();
         let x = lp.add_var(Rat::from_int(1));
         let y = lp.add_var(Rat::from_int(2));
-        lp.add_constraint(vec![(x, Rat::ONE), (y, Rat::ONE)], Cmp::Ge, Rat::from_int(3));
+        lp.add_constraint(
+            vec![(x, Rat::ONE), (y, Rat::ONE)],
+            Cmp::Ge,
+            Rat::from_int(3),
+        );
         lp.bound_var(x, Rat::from_int(2));
         assert_eq!(lp.num_vars(), 2);
         assert_eq!(lp.num_constraints(), 2);

@@ -103,13 +103,20 @@ impl Rat {
     /// Exact quotient; panics on division by zero.
     pub fn div(&self, o: &Rat) -> Rat {
         assert!(o.n != 0, "division by zero rational");
-        let recip = if o.n < 0 { Rat { n: -o.d, d: -o.n } } else { Rat { n: o.d, d: o.n } };
+        let recip = if o.n < 0 {
+            Rat { n: -o.d, d: -o.n }
+        } else {
+            Rat { n: o.d, d: o.n }
+        };
         self.mul(&recip)
     }
 
     /// Negation.
     pub fn neg(&self) -> Rat {
-        Rat { n: -self.n, d: self.d }
+        Rat {
+            n: -self.n,
+            d: self.d,
+        }
     }
 
     /// `⌊self⌋`.

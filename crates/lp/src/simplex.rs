@@ -1,18 +1,59 @@
-//! A dense two-phase primal simplex solver.
+//! A dense two-phase primal simplex solver over a flat tableau, with an
+//! optional float-first **hybrid** mode for exact-rational problems.
 //!
-//! Design points:
-//! * **Generic scalar**: runs on exact rationals (default for the paper's
-//!   LPs) or `f64`.
-//! * **Anti-cycling**: Dantzig's rule for speed, with an automatic permanent
-//!   switch to Bland's rule after a run of degenerate pivots, which
-//!   guarantees termination.
-//! * **Two phases**: artificials for `≥`/`=` rows; redundant rows left
-//!   harmlessly basic at zero after phase 1 with their artificial columns
-//!   barred from re-entering.
+//! # Tableau layout
+//!
+//! The tableau is a single row-major arena `a: Vec<S>` of `rows` rows with
+//! stride `cols + 1`; the last entry of every row is the RHS. Row `i` is
+//! the slice `a[i*stride .. (i+1)*stride]`, walked with
+//! [`chunks_exact`](slice::chunks_exact) — one allocation, pure index
+//! arithmetic, linear scans. A pivot normalizes the pivot row in place,
+//! snapshots it into a reused `scratch` buffer, and then streams every
+//! other row once, skipping rows whose pivot-column entry is zero and,
+//! within a row, scratch entries that are exactly zero (rational tableaus
+//! of the paper's LPs are sparse, so both skips matter).
+//!
+//! # Solve modes
+//!
+//! * [`solve`] — the classic generic path: two-phase primal simplex in the
+//!   scalar type `S` (exact [`Rat`](crate::rational::Rat) or tolerance-
+//!   aware `f64`). Anti-cycling: Dantzig's rule with an automatic permanent
+//!   switch to Bland's rule after a run of degenerate pivots.
+//! * [`solve_hybrid`] — for `LpProblem<Rat>`: solve the whole LP in `f64`
+//!   first, then *re-verify the terminal basis exactly*. Exactness is only
+//!   needed at the final vertex, not during the search, so this is
+//!   typically an order of magnitude faster than pivoting in rationals.
+//!
+//! # Hybrid verification contract
+//!
+//! `solve_hybrid` returns **bit-identical status and objective** to the
+//! pure-rational [`solve`] (`x`/`duals` may differ between alternate
+//! optimal bases, but are always an exactly-optimal vertex and exactly
+//! feasible duals). The steps:
+//!
+//! 1. Solve a lossless `f64` image of the LP (coefficients in the paper's
+//!    LPs are tiny integers, exactly representable).
+//! 2. If the float solve claims `Optimal`, refactorize its terminal basis
+//!    in exact rationals: pivot a fresh exact tableau to the same basis
+//!    *set* (installing each basic column on any still-unused row with an
+//!    exactly nonzero entry; a singular proposal fails the step).
+//! 3. Check, exactly: primal feasibility (all basic values ≥ 0),
+//!    artificials out (every basic artificial at value 0), and dual
+//!    feasibility (all phase-2 reduced costs of non-artificial columns
+//!    ≥ 0). Together these certify the basis is exactly optimal.
+//! 4. On any failure — or a float claim of `Infeasible`/`Unbounded`, which
+//!    tolerance-based pivoting cannot certify — fall back to the pure
+//!    exact simplex. The fallback is the correctness backstop; the float
+//!    pass is only ever an accelerator.
+//!
+//! Two phases: artificials for `≥`/`=` rows; redundant rows are left
+//! harmlessly basic at zero after phase 1 with their artificial columns
+//! barred from re-entering.
 
 #![allow(clippy::needless_range_loop)] // index loops mirror the tableau math
 
 use crate::model::{Cmp, LpProblem};
+use crate::rational::Rat;
 use crate::scalar::Scalar;
 
 /// Outcome of a solve.
@@ -43,6 +84,18 @@ pub struct LpSolution<S> {
     pub duals: Vec<S>,
 }
 
+/// Result of [`solve_hybrid_report`]: the solution plus whether the exact
+/// fallback had to run.
+#[derive(Debug, Clone)]
+pub struct HybridReport {
+    /// The exact solution (same contract as [`solve`]).
+    pub solution: LpSolution<Rat>,
+    /// `true` iff the float-first pass could not be verified and the pure
+    /// exact simplex ran. Expected to be rare; tests assert specific
+    /// adversarial instances trip it.
+    pub fallback: bool,
+}
+
 /// Number of consecutive degenerate pivots tolerated before switching to
 /// Bland's rule.
 const DEGENERATE_SWITCH: usize = 64;
@@ -53,42 +106,76 @@ fn iteration_cap(rows: usize, cols: usize) -> usize {
     10_000 + 64 * (rows + cols)
 }
 
+/// The flat row-major tableau (see the module docs for the layout).
 struct Tableau<S> {
-    /// `rows × (cols + 1)`; last column is the RHS.
-    a: Vec<Vec<S>>,
-    /// Reduced-cost row, length `cols + 1`; last entry is −(objective value).
+    /// `rows × stride` arena; within a row the last entry is the RHS.
+    a: Vec<S>,
+    /// Reduced-cost row, length `stride`; last entry is −(objective value).
     cost: Vec<S>,
     /// Basic column per row.
     basis: Vec<usize>,
     /// Columns barred from entering (artificials in phase 2).
     barred: Vec<bool>,
+    rows: usize,
+    /// Column count; the arena stride is `cols + 1`.
     cols: usize,
+    /// Reused snapshot of the normalized pivot row.
+    scratch: Vec<S>,
 }
 
 impl<S: Scalar> Tableau<S> {
+    #[inline]
+    fn stride(&self) -> usize {
+        self.cols + 1
+    }
+
+    #[inline]
+    fn at(&self, row: usize, col: usize) -> &S {
+        &self.a[row * self.stride() + col]
+    }
+
     fn pivot(&mut self, row: usize, col: usize) {
-        let piv = self.a[row][col].clone();
+        let stride = self.stride();
+        let zero = S::zero();
+        let piv = self.a[row * stride + col].clone();
         debug_assert!(!piv.is_zero_s());
-        for j in 0..=self.cols {
-            self.a[row][j] = self.a[row][j].div(&piv);
+        // Normalize the pivot row and snapshot it.
+        {
+            let r = &mut self.a[row * stride..(row + 1) * stride];
+            for v in r.iter_mut() {
+                if *v != zero {
+                    *v = v.div(&piv);
+                }
+            }
+            r[col] = S::one();
+            self.scratch.clear();
+            self.scratch.extend_from_slice(r);
         }
-        for i in 0..self.a.len() {
+        // Eliminate the pivot column from every other row in one linear
+        // sweep over the arena.
+        for (i, r) in self.a.chunks_exact_mut(stride).enumerate() {
             if i == row {
                 continue;
             }
-            let factor = self.a[i][col].clone();
+            let factor = r[col].clone();
             if factor.is_zero_s() {
                 continue;
             }
-            for j in 0..=self.cols {
-                self.a[i][j] = self.a[i][j].sub(&factor.mul(&self.a[row][j]));
+            for (v, p) in r.iter_mut().zip(&self.scratch) {
+                if *p != zero {
+                    *v = v.sub(&factor.mul(p));
+                }
             }
+            r[col] = S::zero();
         }
         let factor = self.cost[col].clone();
         if !factor.is_zero_s() {
-            for j in 0..=self.cols {
-                self.cost[j] = self.cost[j].sub(&factor.mul(&self.a[row][j]));
+            for (v, p) in self.cost.iter_mut().zip(&self.scratch) {
+                if *p != zero {
+                    *v = v.sub(&factor.mul(p));
+                }
             }
+            self.cost[col] = S::zero();
         }
         self.basis[row] = col;
     }
@@ -98,7 +185,8 @@ impl<S: Scalar> Tableau<S> {
     fn optimize(&mut self) -> bool {
         let mut bland = false;
         let mut degenerate_run = 0usize;
-        let cap = iteration_cap(self.a.len(), self.cols);
+        let cap = iteration_cap(self.rows, self.cols);
+        let stride = self.stride();
         for _ in 0..cap {
             // Entering column: negative reduced cost.
             let mut enter: Option<usize> = None;
@@ -125,11 +213,11 @@ impl<S: Scalar> Tableau<S> {
             let Some(col) = enter else { return true };
             // Leaving row: minimum ratio, Bland tie-break on basis index.
             let mut leave: Option<(usize, S)> = None;
-            for i in 0..self.a.len() {
-                if !self.a[i][col].is_pos() {
+            for (i, r) in self.a.chunks_exact(stride).enumerate() {
+                if !r[col].is_pos() {
                     continue;
                 }
-                let ratio = self.a[i][self.cols].div(&self.a[i][col]);
+                let ratio = r[self.cols].div(&r[col]);
                 let better = match &leave {
                     None => true,
                     Some((li, lr)) => match ratio.cmp_s(lr) {
@@ -142,7 +230,9 @@ impl<S: Scalar> Tableau<S> {
                     leave = Some((i, ratio));
                 }
             }
-            let Some((row, ratio)) = leave else { return false };
+            let Some((row, ratio)) = leave else {
+                return false;
+            };
             if ratio.is_zero_s() {
                 degenerate_run += 1;
                 if degenerate_run >= DEGENERATE_SWITCH {
@@ -157,12 +247,23 @@ impl<S: Scalar> Tableau<S> {
     }
 }
 
-/// Solves `lp` to optimality (or detects infeasibility/unboundedness).
-pub fn solve<S: Scalar>(lp: &LpProblem<S>) -> LpSolution<S> {
+/// A freshly built tableau plus the bookkeeping both solve paths need.
+struct Built<S> {
+    t: Tableau<S>,
+    is_artificial: Vec<bool>,
+    /// Per original row: (auxiliary column, its sign in the dual read-out,
+    /// whether the row was flipped to normalize the RHS).
+    row_aux: Vec<(usize, bool, bool)>,
+    n_art: usize,
+}
+
+/// Builds the initial tableau: structural columns, slack/surplus columns,
+/// artificials, and the slack/artificial starting basis. No cost row yet.
+fn build<S: Scalar>(lp: &LpProblem<S>) -> Built<S> {
     let n = lp.num_vars();
     let m = lp.num_constraints();
 
-    // Count structural columns.
+    // Count auxiliary columns.
     let mut n_slack = 0;
     let mut n_art = 0;
     for c in lp.constraints() {
@@ -183,22 +284,22 @@ pub fn solve<S: Scalar>(lp: &LpProblem<S>) -> LpSolution<S> {
         }
     }
     let cols = n + n_slack + n_art;
-    let mut a: Vec<Vec<S>> = vec![vec![S::zero(); cols + 1]; m];
+    let stride = cols + 1;
+    let mut a: Vec<S> = vec![S::zero(); m * stride];
     let mut basis = vec![0usize; m];
     let mut is_artificial = vec![false; cols];
-    // Per original row: (auxiliary column, its sign in the dual read-out,
-    // whether the row was flipped to normalize the RHS).
     let mut row_aux: Vec<(usize, bool, bool)> = Vec::with_capacity(m);
 
     let mut slack_at = n;
     let mut art_at = n + n_slack;
     for (i, c) in lp.constraints().iter().enumerate() {
+        let row = &mut a[i * stride..(i + 1) * stride];
         let flip = c.rhs.is_neg();
         let sgn = if flip { S::one().neg() } else { S::one() };
         for (v, coef) in &c.terms {
-            a[i][*v] = a[i][*v].add(&sgn.mul(coef));
+            row[*v] = row[*v].add(&sgn.mul(coef));
         }
-        a[i][cols] = sgn.mul(&c.rhs);
+        row[cols] = sgn.mul(&c.rhs);
         let sense = match (c.cmp, flip) {
             (Cmp::Le, false) | (Cmp::Ge, true) => Cmp::Le,
             (Cmp::Ge, false) | (Cmp::Le, true) => Cmp::Ge,
@@ -206,24 +307,24 @@ pub fn solve<S: Scalar>(lp: &LpProblem<S>) -> LpSolution<S> {
         };
         match sense {
             Cmp::Le => {
-                a[i][slack_at] = S::one();
+                row[slack_at] = S::one();
                 basis[i] = slack_at;
                 // slack column: y_i = −r_slack
                 row_aux.push((slack_at, true, flip));
                 slack_at += 1;
             }
             Cmp::Ge => {
-                a[i][slack_at] = S::one().neg();
+                row[slack_at] = S::one().neg();
                 // surplus column: y_i = +r_surplus
                 row_aux.push((slack_at, false, flip));
                 slack_at += 1;
-                a[i][art_at] = S::one();
+                row[art_at] = S::one();
                 is_artificial[art_at] = true;
                 basis[i] = art_at;
                 art_at += 1;
             }
             Cmp::Eq => {
-                a[i][art_at] = S::one();
+                row[art_at] = S::one();
                 is_artificial[art_at] = true;
                 basis[i] = art_at;
                 // artificial column: y_i = −r_artificial
@@ -233,56 +334,78 @@ pub fn solve<S: Scalar>(lp: &LpProblem<S>) -> LpSolution<S> {
         }
     }
 
-    let mut t = Tableau {
+    let t = Tableau {
         a,
-        cost: vec![S::zero(); cols + 1],
+        cost: vec![S::zero(); stride],
         basis,
         barred: vec![false; cols],
+        rows: m,
         cols,
+        scratch: Vec::with_capacity(stride),
     };
+    Built {
+        t,
+        is_artificial,
+        row_aux,
+        n_art,
+    }
+}
 
-    // Phase 1: minimize the sum of artificials. Reduced costs: for column j,
-    // r_j = c1_j − Σ_{rows with artificial basis} a_ij, where c1 is 1 on
-    // artificials. Artificial basis columns start with r = 0.
-    if n_art > 0 {
-        for j in 0..=cols {
-            let mut r = if j < cols && is_artificial[j] { S::one() } else { S::zero() };
-            for i in 0..m {
-                if is_artificial[t.basis[i]] {
-                    r = r.sub(&t.a[i][j]);
-                }
-            }
-            t.cost[j] = r;
-        }
-        let bounded = t.optimize();
-        debug_assert!(bounded, "phase 1 cannot be unbounded");
-        // Objective value is −cost[cols].
-        if t.cost[cols].neg().is_pos() {
-            return LpSolution {
-                status: LpStatus::Infeasible,
-                objective: S::zero(),
-                x: vec![],
-                duals: vec![],
-            };
-        }
-        // Drive artificials out of the basis where possible.
+/// Phase 1: minimize the sum of artificials. Returns `false` on
+/// infeasibility. Afterwards artificials are driven out where possible and
+/// barred from re-entering.
+fn phase1<S: Scalar>(b: &mut Built<S>) -> bool {
+    if b.n_art == 0 {
+        return true;
+    }
+    let t = &mut b.t;
+    let m = t.rows;
+    let cols = t.cols;
+    // Reduced costs: for column j, r_j = c1_j − Σ_{rows with artificial
+    // basis} a_ij, where c1 is 1 on artificials. Artificial basis columns
+    // start with r = 0.
+    for j in 0..=cols {
+        let mut r = if j < cols && b.is_artificial[j] {
+            S::one()
+        } else {
+            S::zero()
+        };
         for i in 0..m {
-            if is_artificial[t.basis[i]] {
-                if let Some(j) = (0..cols).find(|&j| !is_artificial[j] && !t.a[i][j].is_zero_s()) {
-                    t.pivot(i, j);
-                }
-                // Otherwise the row is redundant; its artificial stays basic
-                // at value 0, and barring artificial columns keeps it there.
+            if b.is_artificial[t.basis[i]] {
+                r = r.sub(t.at(i, j));
             }
         }
-        for j in 0..cols {
-            if is_artificial[j] {
-                t.barred[j] = true;
+        t.cost[j] = r;
+    }
+    let bounded = t.optimize();
+    debug_assert!(bounded, "phase 1 cannot be unbounded");
+    // Objective value is −cost[cols].
+    if t.cost[cols].neg().is_pos() {
+        return false;
+    }
+    // Drive artificials out of the basis where possible.
+    for i in 0..m {
+        if b.is_artificial[t.basis[i]] {
+            if let Some(j) = (0..cols).find(|&j| !b.is_artificial[j] && !t.at(i, j).is_zero_s()) {
+                t.pivot(i, j);
             }
+            // Otherwise the row is redundant; its artificial stays basic
+            // at value 0, and barring artificial columns keeps it there.
         }
     }
+    for j in 0..cols {
+        if b.is_artificial[j] {
+            t.barred[j] = true;
+        }
+    }
+    true
+}
 
-    // Phase 2: real objective. r_j = c_j − Σ_i c_{basis(i)} a_ij.
+/// Installs the phase-2 reduced-cost row for the current basis:
+/// `r_j = c_j − Σ_i c_{basis(i)} a_ij`.
+fn set_phase2_costs<S: Scalar>(lp: &LpProblem<S>, b: &mut Built<S>) {
+    let n = lp.num_vars();
+    let t = &mut b.t;
     let real_cost = |j: usize| -> S {
         if j < n {
             lp.objective()[j].clone()
@@ -290,37 +413,40 @@ pub fn solve<S: Scalar>(lp: &LpProblem<S>) -> LpSolution<S> {
             S::zero()
         }
     };
-    for j in 0..=cols {
-        let mut r = if j < cols { real_cost(j) } else { S::zero() };
-        for i in 0..m {
+    for j in 0..=t.cols {
+        let mut r = if j < t.cols { real_cost(j) } else { S::zero() };
+        for i in 0..t.rows {
             let cb = real_cost(t.basis[i]);
             if !cb.is_zero_s() {
-                r = r.sub(&cb.mul(&t.a[i][j]));
+                r = r.sub(&cb.mul(t.at(i, j)));
             }
         }
         t.cost[j] = r;
     }
-    if !t.optimize() {
-        return LpSolution {
-            status: LpStatus::Unbounded,
-            objective: S::zero(),
-            x: vec![],
-            duals: vec![],
-        };
-    }
+}
 
+/// Reads the optimal solution out of a tableau whose cost row holds the
+/// phase-2 reduced costs for its (optimal) basis.
+fn extract<S: Scalar>(lp: &LpProblem<S>, b: &Built<S>) -> LpSolution<S> {
+    let n = lp.num_vars();
+    let t = &b.t;
     let mut x = vec![S::zero(); n];
-    for i in 0..m {
+    for i in 0..t.rows {
         if t.basis[i] < n {
-            x[t.basis[i]] = t.a[i][cols].clone();
+            x[t.basis[i]] = t.at(i, t.cols).clone();
         }
     }
     // Duals from the reduced costs of each row's auxiliary column (the
     // classic y = c_B B⁻¹ read-out), undoing RHS-normalization flips.
-    let duals = row_aux
+    let duals = b
+        .row_aux
         .iter()
         .map(|&(col, negate, flip)| {
-            let mut y = if negate { t.cost[col].neg() } else { t.cost[col].clone() };
+            let mut y = if negate {
+                t.cost[col].neg()
+            } else {
+                t.cost[col].clone()
+            };
             if flip {
                 y = y.neg();
             }
@@ -328,7 +454,146 @@ pub fn solve<S: Scalar>(lp: &LpProblem<S>) -> LpSolution<S> {
         })
         .collect();
     let objective = lp.objective_value(&x);
-    LpSolution { status: LpStatus::Optimal, objective, x, duals }
+    LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        x,
+        duals,
+    }
+}
+
+fn failure<S: Scalar>(status: LpStatus) -> LpSolution<S> {
+    LpSolution {
+        status,
+        objective: S::zero(),
+        x: vec![],
+        duals: vec![],
+    }
+}
+
+/// Full two-phase solve returning the solution and the terminal basis
+/// (one basic column per row; empty unless `Optimal`).
+fn solve_internal<S: Scalar>(lp: &LpProblem<S>) -> (LpSolution<S>, Vec<usize>) {
+    let mut b = build(lp);
+    if !phase1(&mut b) {
+        return (failure(LpStatus::Infeasible), vec![]);
+    }
+    set_phase2_costs(lp, &mut b);
+    if !b.t.optimize() {
+        return (failure(LpStatus::Unbounded), vec![]);
+    }
+    let basis = b.t.basis.clone();
+    (extract(lp, &b), basis)
+}
+
+/// Solves `lp` to optimality (or detects infeasibility/unboundedness) in
+/// the scalar type `S`.
+pub fn solve<S: Scalar>(lp: &LpProblem<S>) -> LpSolution<S> {
+    solve_internal(lp).0
+}
+
+/// The lossless `f64` image of an exact-rational LP.
+fn to_f64(lp: &LpProblem<Rat>) -> LpProblem<f64> {
+    let mut out: LpProblem<f64> = LpProblem::new();
+    for c in lp.objective() {
+        out.add_var(c.to_f64());
+    }
+    for c in lp.constraints() {
+        let terms = c.terms.iter().map(|&(v, ref a)| (v, a.to_f64())).collect();
+        out.add_constraint(terms, c.cmp, c.rhs.to_f64());
+    }
+    out
+}
+
+/// Refactorizes `target` (a basis proposed by the float pass) on a fresh
+/// exact tableau and verifies it is exactly optimal. Returns the exact
+/// solution on success, `None` if the basis is singular, primal
+/// infeasible, dual infeasible, or keeps an artificial at nonzero value.
+fn verify_basis(lp: &LpProblem<Rat>, target: &[usize]) -> Option<LpSolution<Rat>> {
+    let mut b = build::<Rat>(lp);
+    let m = b.t.rows;
+    if target.len() != m {
+        return None;
+    }
+    let cols = b.t.cols;
+    let mut in_basis = vec![false; cols];
+    for &c in target {
+        if c >= cols || std::mem::replace(&mut in_basis[c], true) {
+            return None; // out of range or duplicated column
+        }
+    }
+    // Bring the tableau to the target basis, treated as a *set* of
+    // columns: the float pass's row↔column pairing reflects its own pivot
+    // history, not anything the fresh exact tableau must reproduce. Rows
+    // whose initial basic column (a slack or artificial) is in the target
+    // keep it with no pivot; every other target column is installed by
+    // pivoting any still-unused row with an exactly nonzero entry. If no
+    // such row exists the column lies in the span of the already-installed
+    // ones, i.e. the proposed basis is singular.
+    let mut used = vec![false; m];
+    let mut have = vec![false; cols];
+    for i in 0..m {
+        let c0 = b.t.basis[i];
+        if in_basis[c0] {
+            have[c0] = true;
+            used[i] = true;
+        }
+    }
+    for &c in target {
+        if have[c] {
+            continue;
+        }
+        let Some(i) = (0..m).find(|&i| !used[i] && !b.t.at(i, c).is_zero_s()) else {
+            return None; // singular basis proposal
+        };
+        b.t.pivot(i, c);
+        used[i] = true;
+    }
+    // Exact primal feasibility, and no artificial stuck at nonzero value.
+    for i in 0..m {
+        let rhs = b.t.at(i, cols);
+        if rhs.is_neg() {
+            return None;
+        }
+        if b.is_artificial[b.t.basis[i]] && !rhs.is_zero_s() {
+            return None;
+        }
+    }
+    // Exact dual feasibility: every non-artificial reduced cost ≥ 0.
+    set_phase2_costs(lp, &mut b);
+    for j in 0..cols {
+        if !b.is_artificial[j] && b.t.cost[j].is_neg() {
+            return None;
+        }
+    }
+    Some(extract(lp, &b))
+}
+
+/// Float-first exact solve: runs the simplex in `f64`, re-verifies the
+/// terminal basis in exact rationals, and falls back to the pure exact
+/// simplex when verification fails (see the module docs for the
+/// contract). Status and objective are always bit-identical to
+/// [`solve`]`::<Rat>`.
+pub fn solve_hybrid(lp: &LpProblem<Rat>) -> LpSolution<Rat> {
+    solve_hybrid_report(lp).solution
+}
+
+/// [`solve_hybrid`] plus whether the exact fallback ran (for tests and
+/// diagnostics).
+pub fn solve_hybrid_report(lp: &LpProblem<Rat>) -> HybridReport {
+    let (fsol, fbasis) = solve_internal(&to_f64(lp));
+    if fsol.status == LpStatus::Optimal {
+        if let Some(solution) = verify_basis(lp, &fbasis) {
+            return HybridReport {
+                solution,
+                fallback: false,
+            };
+        }
+    }
+    HybridReport {
+        solution: solve(lp),
+        fallback: true,
+    }
 }
 
 #[cfg(test)]
@@ -470,5 +735,121 @@ mod tests {
         let sol = solve(&lp);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_eq!(sol.objective, Rat::ZERO);
+    }
+
+    // ---- hybrid-specific coverage -------------------------------------
+
+    /// Runs both paths on `lp` and checks the hybrid contract.
+    fn assert_hybrid_matches(lp: &LpProblem<Rat>) -> HybridReport {
+        let exact = solve(lp);
+        let rep = solve_hybrid_report(lp);
+        assert_eq!(rep.solution.status, exact.status);
+        if exact.status == LpStatus::Optimal {
+            assert_eq!(rep.solution.objective, exact.objective);
+            assert!(lp.is_feasible(&rep.solution.x));
+            assert_eq!(lp.objective_value(&rep.solution.x), exact.objective);
+        }
+        rep
+    }
+
+    #[test]
+    fn hybrid_matches_exact_on_basics() {
+        // Re-run the fixed instances above through the hybrid path.
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(Rat::ONE);
+        let y = lp.add_var(Rat::ONE);
+        lp.add_constraint(vec![(x, Rat::ONE), (y, r(2, 1))], Cmp::Ge, r(4, 1));
+        lp.add_constraint(vec![(x, r(3, 1)), (y, Rat::ONE)], Cmp::Ge, r(6, 1));
+        let rep = assert_hybrid_matches(&lp);
+        assert!(!rep.fallback, "clean LP must verify without fallback");
+
+        let mut eq: LpProblem<Rat> = LpProblem::new();
+        let x = eq.add_var(r(2, 1));
+        let y = eq.add_var(r(3, 1));
+        eq.add_constraint(vec![(x, Rat::ONE), (y, Rat::ONE)], Cmp::Eq, r(5, 1));
+        eq.add_constraint(vec![(x, Rat::ONE), (y, r(-1, 1))], Cmp::Eq, r(1, 1));
+        assert_hybrid_matches(&eq);
+    }
+
+    #[test]
+    fn hybrid_matches_exact_on_degenerate_and_redundant() {
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(r(-3, 4));
+        let y = lp.add_var(r(150, 1));
+        let z = lp.add_var(r(-1, 50));
+        let w = lp.add_var(r(6, 1));
+        lp.add_constraint(
+            vec![(x, r(1, 4)), (y, r(-60, 1)), (z, r(-1, 25)), (w, r(9, 1))],
+            Cmp::Le,
+            Rat::ZERO,
+        );
+        lp.add_constraint(
+            vec![(x, r(1, 2)), (y, r(-90, 1)), (z, r(-1, 50)), (w, r(3, 1))],
+            Cmp::Le,
+            Rat::ZERO,
+        );
+        lp.add_constraint(vec![(z, Rat::ONE)], Cmp::Le, Rat::ONE);
+        assert_hybrid_matches(&lp);
+
+        let mut red: LpProblem<Rat> = LpProblem::new();
+        let x = red.add_var(Rat::ONE);
+        let y = red.add_var(Rat::ZERO);
+        red.add_constraint(vec![(x, Rat::ONE), (y, Rat::ONE)], Cmp::Eq, r(2, 1));
+        red.add_constraint(vec![(x, Rat::ONE), (y, Rat::ONE)], Cmp::Eq, r(2, 1));
+        assert_hybrid_matches(&red);
+    }
+
+    #[test]
+    fn hybrid_reports_infeasible_and_unbounded_exactly() {
+        let mut inf: LpProblem<Rat> = LpProblem::new();
+        let x = inf.add_var(Rat::ONE);
+        inf.add_constraint(vec![(x, Rat::ONE)], Cmp::Ge, r(3, 1));
+        inf.bound_var(x, Rat::ONE);
+        let rep = assert_hybrid_matches(&inf);
+        assert!(rep.fallback, "non-Optimal float status must re-run exactly");
+
+        let mut unb: LpProblem<Rat> = LpProblem::new();
+        let x = unb.add_var(r(-1, 1));
+        unb.add_constraint(vec![(x, Rat::ONE)], Cmp::Ge, Rat::ONE);
+        assert_hybrid_matches(&unb);
+    }
+
+    #[test]
+    fn hybrid_falls_back_on_sub_epsilon_cost_gap() {
+        // min (1 + 2⁻⁶⁰)·x₀ + x₁  s.t.  x₀ + x₁ ≥ 1. In f64 both costs
+        // round to 1.0, the float pass lands on the basis {x₀} (Dantzig
+        // tie-break enters the first column) and declares it optimal; the
+        // exact reduced cost of x₁ there is −2⁻⁶⁰ < 0, so verification
+        // must reject the basis and the fallback must find x₁ = 1.
+        let eps = Rat::new(1, 1i128 << 60);
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x0 = lp.add_var(Rat::ONE.add(&eps));
+        let x1 = lp.add_var(Rat::ONE);
+        lp.add_constraint(vec![(x0, Rat::ONE), (x1, Rat::ONE)], Cmp::Ge, Rat::ONE);
+        let rep = solve_hybrid_report(&lp);
+        assert!(
+            rep.fallback,
+            "sub-epsilon cost gap must force the exact fallback"
+        );
+        assert_eq!(rep.solution.status, LpStatus::Optimal);
+        assert_eq!(rep.solution.objective, Rat::ONE);
+        assert_eq!(rep.solution.x, vec![Rat::ZERO, Rat::ONE]);
+        assert_eq!(solve(&lp).objective, Rat::ONE);
+    }
+
+    #[test]
+    fn hybrid_duals_satisfy_strong_duality() {
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(Rat::ONE);
+        let y = lp.add_var(r(2, 1));
+        lp.add_constraint(vec![(x, Rat::ONE), (y, Rat::ONE)], Cmp::Ge, r(3, 1));
+        lp.bound_var(x, r(2, 1));
+        let sol = solve_hybrid(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        let mut by = Rat::ZERO;
+        for (c, yv) in lp.constraints().iter().zip(&sol.duals) {
+            by = by.add(&yv.mul(&c.rhs));
+        }
+        assert_eq!(by, sol.objective, "strong duality b·y = c·x");
     }
 }

@@ -8,7 +8,7 @@
 //! constraints (rows of `A` or axes). The oracle enumerates all such
 //! intersections, filters the feasible ones, and takes the best objective.
 
-use abt_lp::{solve, Cmp, LpProblem, LpStatus, Rat};
+use abt_lp::{solve, solve_hybrid, Cmp, LpProblem, LpStatus, Rat};
 use proptest::prelude::*;
 
 fn r(p: i64) -> Rat {
@@ -103,6 +103,24 @@ fn brute_force(c: &[Rat], a: &[Vec<Rat>], b: &[Rat]) -> Option<Rat> {
     }
 }
 
+/// Builds `min c·x, Ax ≤ b, 0 ≤ x_i ≤ 10` from the raw proptest draws.
+fn build_boxed_lp(k: usize, rows: &[(Vec<i64>, i64)], costs: &[i64]) -> LpProblem<Rat> {
+    let mut lp: LpProblem<Rat> = LpProblem::new();
+    let vars: Vec<_> = (0..k).map(|i| lp.add_var(r(costs[i]))).collect();
+    for (coeffs, b) in rows {
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, r(coeffs[i])))
+            .collect();
+        lp.add_constraint(terms, Cmp::Le, r(*b));
+    }
+    for &v in &vars {
+        lp.bound_var(v, r(10));
+    }
+    lp
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
     #[test]
@@ -162,6 +180,48 @@ proptest! {
                     }
                     prop_assert!(aty <= r(costs[j]), "dual feasibility for var {}", j);
                 }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn hybrid_matches_pure_rational_simplex(
+        k in 1usize..4,
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-4i64..5, 3), -3i64..9), 1..6),
+        costs in proptest::collection::vec(-5i64..6, 3),
+    ) {
+        // The hybrid contract: status and objective bit-identical to the
+        // pure exact simplex; the returned vertex exactly feasible and
+        // exactly optimal; duals exactly feasible with strong duality.
+        let lp = build_boxed_lp(k, &rows, &costs);
+        let exact = solve(&lp);
+        let hybrid = solve_hybrid(&lp);
+        prop_assert_eq!(hybrid.status.clone(), exact.status.clone());
+        if exact.status == LpStatus::Optimal {
+            prop_assert_eq!(hybrid.objective, exact.objective);
+            prop_assert!(lp.is_feasible(&hybrid.x));
+            prop_assert_eq!(lp.objective_value(&hybrid.x), exact.objective);
+            prop_assert_eq!(hybrid.duals.len(), lp.num_constraints());
+            let mut by = Rat::ZERO;
+            for (cons, y) in lp.constraints().iter().zip(&hybrid.duals) {
+                prop_assert!(y.signum() <= 0, "≤-row dual must be ≤ 0");
+                by = by.add(&y.mul(&cons.rhs));
+            }
+            prop_assert_eq!(by, exact.objective, "strong duality");
+            for j in 0..k {
+                let mut aty = Rat::ZERO;
+                for (cons, y) in lp.constraints().iter().zip(&hybrid.duals) {
+                    for &(v, coef) in &cons.terms {
+                        if v == j {
+                            aty = aty.add(&y.mul(&coef));
+                        }
+                    }
+                }
+                prop_assert!(aty <= r(costs[j]), "dual feasibility for var {}", j);
             }
         }
     }

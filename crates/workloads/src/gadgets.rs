@@ -69,7 +69,11 @@ pub fn fig3_minimal_tight(g: usize) -> Fig3 {
     adversarial_slots.extend(2 * gi..=3 * gi - 1);
     adversarial_slots.sort_unstable();
     adversarial_slots.dedup();
-    Fig3 { instance, opt: gi, adversarial_slots }
+    Fig3 {
+        instance,
+        opt: gi,
+        adversarial_slots,
+    }
 }
 
 /// §3.5: the LP integrality-gap family. `g` pairs of adjacent slots; each
@@ -193,7 +197,9 @@ pub fn fig6_greedy_tracking_tight(g: usize, eps: i64) -> Fig6 {
     for &j in &flexible {
         b3.items.push((j, starts[j]));
     }
-    let adversarial_schedule = BusySchedule { bundles: vec![b1, b2, b3] };
+    let adversarial_schedule = BusySchedule {
+        bundles: vec![b1, b2, b3],
+    };
     let adversarial_cost = 3 * gi * gadget_span;
     let opt_upper = 2 * gi * u + (2 * u - eps);
     Fig6 {
@@ -221,10 +227,10 @@ pub fn fig8_interval_tight(eps: i64, eps1: i64) -> Fig8 {
     assert!(0 < eps1 && eps1 < eps && eps < SCALE);
     let u = SCALE;
     let jobs = vec![
-        Job::interval(0, u),            // A
-        Job::interval(0, u),            // B
-        Job::interval(u, u + eps),      // C (length ε)
-        Job::interval(u, u + eps1),     // D (length ε′)
+        Job::interval(0, u),              // A
+        Job::interval(0, u),              // B
+        Job::interval(u, u + eps),        // C (length ε)
+        Job::interval(u, u + eps1),       // D (length ε′)
         Job::interval(u + eps1, u + eps), // E (length ε − ε′)
     ];
     Fig8 {
@@ -286,7 +292,11 @@ pub fn fig9_dp_profile_tight(g: usize, eps: i64) -> Fig9 {
         // Friendly: stack at the left with the unit job.
         friendly[f] = 0;
     }
-    Fig9 { instance, adversarial_starts: adversarial, friendly_starts: friendly }
+    Fig9 {
+        instance,
+        adversarial_starts: adversarial,
+        friendly_starts: friendly,
+    }
 }
 
 /// Figs. 10–12: flexible instance on which the KR/AB pipeline approaches
@@ -397,7 +407,11 @@ pub fn fig10_flexible_factor4(g: usize, eps: i64, eps1: i64) -> Fig10 {
                 seen_rest
             };
             let limit = if job.length == eps { g - 1 } else { 1 };
-            let target = if counter <= limit { &mut eps_a } else { &mut eps_b };
+            let target = if counter <= limit {
+                &mut eps_a
+            } else {
+                &mut eps_b
+            };
             target.items.push((j, job.release));
         }
         bundles.push(units);
@@ -518,7 +532,11 @@ mod tests {
         assert_eq!(f.instance.len(), 5);
         // The demand is even everywhere on the support.
         let profile = DemandProfile::new(
-            &f.instance.jobs().iter().map(|j| j.window()).collect::<Vec<_>>(),
+            &f.instance
+                .jobs()
+                .iter()
+                .map(|j| j.window())
+                .collect::<Vec<_>>(),
         );
         for &(iv, d) in profile.segments() {
             if d > 0 {
@@ -560,7 +578,10 @@ mod tests {
             // Ratio drifts towards 4 from below, passing 3 at g = 4.
             assert!(f.bad_cost <= 4 * f.opt_upper);
             if g >= 4 {
-                assert!(f.bad_cost > 3 * f.opt_upper, "g={g} should exceed 3×OPT-upper");
+                assert!(
+                    f.bad_cost > 3 * f.opt_upper,
+                    "g={g} should exceed 3×OPT-upper"
+                );
             }
         }
     }

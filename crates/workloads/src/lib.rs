@@ -17,7 +17,7 @@ pub mod random;
 pub mod traces;
 
 pub use gadgets::{
-    fig1_example, fig10_flexible_factor4, fig3_minimal_tight, fig6_greedy_tracking_tight,
+    fig10_flexible_factor4, fig1_example, fig3_minimal_tight, fig6_greedy_tracking_tight,
     fig8_interval_tight, fig9_dp_profile_tight, integrality_gap, Fig10, Fig3, Fig6, Fig8, Fig9,
     IntegralityGap, SCALE,
 };

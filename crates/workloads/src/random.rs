@@ -22,7 +22,13 @@ pub struct RandomConfig {
 
 impl Default for RandomConfig {
     fn default() -> Self {
-        RandomConfig { n: 20, g: 3, horizon: 100, max_len: 10, slack_factor: 1.0 }
+        RandomConfig {
+            n: 20,
+            g: 3,
+            horizon: 100,
+            max_len: 10,
+            slack_factor: 1.0,
+        }
     }
 }
 
@@ -108,9 +114,7 @@ pub fn random_active_feasible(cfg: &RandomConfig, seed: u64) -> Instance {
 /// (starts and ends are both strictly increasing).
 pub fn random_proper(cfg: &RandomConfig, seed: u64) -> Instance {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut starts: Vec<Time> = (0..cfg.n)
-        .map(|_| rng.gen_range(0..cfg.horizon))
-        .collect();
+    let mut starts: Vec<Time> = (0..cfg.n).map(|_| rng.gen_range(0..cfg.horizon)).collect();
     starts.sort_unstable();
     starts.dedup();
     let mut jobs = Vec::with_capacity(starts.len());
@@ -144,13 +148,7 @@ pub fn random_clique(cfg: &RandomConfig, seed: u64) -> Instance {
 pub fn random_laminar(cfg: &RandomConfig, seed: u64) -> Instance {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut jobs = Vec::new();
-    fn subdivide(
-        rng: &mut SmallRng,
-        lo: Time,
-        hi: Time,
-        budget: &mut usize,
-        jobs: &mut Vec<Job>,
-    ) {
+    fn subdivide(rng: &mut SmallRng, lo: Time, hi: Time, budget: &mut usize, jobs: &mut Vec<Job>) {
         if *budget == 0 || hi - lo < 2 {
             return;
         }
@@ -195,7 +193,10 @@ mod tests {
 
     #[test]
     fn flexible_family_has_slack() {
-        let cfg = RandomConfig { slack_factor: 2.0, ..Default::default() };
+        let cfg = RandomConfig {
+            slack_factor: 2.0,
+            ..Default::default()
+        };
         let inst = random_flexible(&cfg, 3);
         assert!(inst.jobs().iter().any(|j| j.slack() > 0));
     }
@@ -212,7 +213,13 @@ mod tests {
         // Whole-horizon load never exceeds g by construction; verify the
         // mass bound is consistent.
         for seed in 0..5 {
-            let cfg = RandomConfig { n: 30, g: 2, horizon: 40, max_len: 6, slack_factor: 0.5 };
+            let cfg = RandomConfig {
+                n: 30,
+                g: 2,
+                horizon: 40,
+                max_len: 6,
+                slack_factor: 0.5,
+            };
             let inst = random_active_feasible(&cfg, seed);
             assert!(inst.total_length() <= cfg.horizon * cfg.g as i64);
         }
@@ -235,20 +242,28 @@ mod tests {
         let cfg = RandomConfig::default();
         let inst = random_clique(&cfg, 5);
         let mid = cfg.horizon / 2;
-        assert!(inst.jobs().iter().all(|j| j.release <= mid && mid < j.deadline));
+        assert!(inst
+            .jobs()
+            .iter()
+            .all(|j| j.release <= mid && mid < j.deadline));
     }
 
     #[test]
     fn laminar_family_is_laminar() {
-        let inst = random_laminar(&RandomConfig { n: 15, ..Default::default() }, 9);
+        let inst = random_laminar(
+            &RandomConfig {
+                n: 15,
+                ..Default::default()
+            },
+            9,
+        );
         let jobs = inst.jobs();
         for a in jobs {
             for b in jobs {
                 let aw = a.window();
                 let bw = b.window();
-                let crossing = aw.overlaps(&bw)
-                    && !aw.contains_interval(&bw)
-                    && !bw.contains_interval(&aw);
+                let crossing =
+                    aw.overlaps(&bw) && !aw.contains_interval(&bw) && !bw.contains_interval(&aw);
                 assert!(!crossing, "{aw} crosses {bw}");
             }
         }

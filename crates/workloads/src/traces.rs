@@ -51,7 +51,11 @@ pub fn vm_trace(cfg: &VmTraceConfig, seed: u64) -> Instance {
     let mut jobs = Vec::with_capacity(cfg.n);
     for _ in 0..cfg.n {
         t += exp(&mut rng, cfg.mean_interarrival);
-        let mean = if rng.gen_bool(0.2) { cfg.mean_duration * 5.0 } else { cfg.mean_duration };
+        let mean = if rng.gen_bool(0.2) {
+            cfg.mean_duration * 5.0
+        } else {
+            cfg.mean_duration
+        };
         let len = exp(&mut rng, mean).max(1.0).round() as i64;
         let r = t.round() as i64;
         let slack = if rng.gen_bool(cfg.flexible_fraction) {
@@ -78,7 +82,11 @@ pub struct OpticalTraceConfig {
 
 impl Default for OpticalTraceConfig {
     fn default() -> Self {
-        OpticalTraceConfig { n: 80, g: 4, sites: 40 }
+        OpticalTraceConfig {
+            n: 80,
+            g: 4,
+            sites: 40,
+        }
     }
 }
 
@@ -91,7 +99,11 @@ pub fn optical_trace(cfg: &OpticalTraceConfig, seed: u64) -> Instance {
         .map(|_| {
             let a = rng.gen_range(0..cfg.sites - 1);
             // Short hops dominate; occasional long-haul paths.
-            let max_hop = if rng.gen_bool(0.15) { cfg.sites - a } else { (cfg.sites / 8).max(2) };
+            let max_hop = if rng.gen_bool(0.15) {
+                cfg.sites - a
+            } else {
+                (cfg.sites / 8).max(2)
+            };
             let len = rng.gen_range(1..=max_hop.min(cfg.sites - a));
             Job::interval(a, a + len)
         })
@@ -115,7 +127,10 @@ mod tests {
         let b = vm_trace(&cfg, 42);
         assert_eq!(a, b);
         assert_eq!(a.len(), cfg.n);
-        assert!(a.jobs().iter().any(|j| j.slack() > 0), "some flexible leases");
+        assert!(
+            a.jobs().iter().any(|j| j.slack() > 0),
+            "some flexible leases"
+        );
         assert!(a.jobs().iter().any(|j| j.slack() == 0), "some rigid leases");
     }
 

@@ -15,7 +15,13 @@ use active_busy_time::workloads::{random_active_feasible, RandomConfig};
 
 fn main() {
     // A day of 24 hour-slots, 14 batch jobs, 3 jobs per hour.
-    let cfg = RandomConfig { n: 14, g: 3, horizon: 24, max_len: 5, slack_factor: 1.5 };
+    let cfg = RandomConfig {
+        n: 14,
+        g: 3,
+        horizon: 24,
+        max_len: 5,
+        slack_factor: 1.5,
+    };
     let day = random_active_feasible(&cfg, 99);
     println!(
         "{} jobs over a {}-slot day, {} concurrent jobs per slot",
@@ -23,7 +29,10 @@ fn main() {
         cfg.horizon,
         day.g()
     );
-    println!("trivial bound: ⌈total work / g⌉ = {}", active_lower_bound(&day));
+    println!(
+        "trivial bound: ⌈total work / g⌉ = {}",
+        active_lower_bound(&day)
+    );
 
     let lp = solve_active_lp(&day).unwrap();
     println!("fractional (LP) optimum: {}", lp.objective);
@@ -55,7 +64,11 @@ fn main() {
     // Exact optimum for reference.
     match exact_active_time(&day, Some(50_000_000)) {
         Ok(exact) => {
-            println!("\nexact optimum: {} hours (search explored {} nodes)", exact.slots.len(), exact.nodes);
+            println!(
+                "\nexact optimum: {} hours (search explored {} nodes)",
+                exact.slots.len(),
+                exact.nodes
+            );
             let hours: Vec<_> = exact.slots.iter().collect();
             println!("power on at hours {hours:?}");
         }

@@ -12,7 +12,11 @@ use active_busy_time::prelude::*;
 use active_busy_time::workloads::{optical_trace, OpticalTraceConfig};
 
 fn main() {
-    let cfg = OpticalTraceConfig { n: 100, g: 4, sites: 50 };
+    let cfg = OpticalTraceConfig {
+        n: 100,
+        g: 4,
+        sites: 50,
+    };
     let requests = optical_trace(&cfg, 7);
     println!(
         "{} lightpath requests over {} links, {} wavelengths per fiber",

@@ -10,7 +10,7 @@ fn main() {
     // ------------------------------------------------------------------
     let inst = Instance::from_triples(
         [
-            (0, 6, 3),  // r=0, d=6, p=3
+            (0, 6, 3), // r=0, d=6, p=3
             (1, 5, 2),
             (2, 4, 2),
             (0, 2, 1),
@@ -25,7 +25,11 @@ fn main() {
 
     // Any minimal feasible solution is a 3-approximation (Theorem 1).
     let minimal = minimal_feasible(&inst, ClosingOrder::LeftToRight).unwrap();
-    println!("minimal feasible: {} active slots {:?}", minimal.slots.len(), minimal.slots);
+    println!(
+        "minimal feasible: {} active slots {:?}",
+        minimal.slots.len(),
+        minimal.slots
+    );
 
     // LP rounding is a 2-approximation (Theorem 2).
     let rounded = lp_rounding(&inst).unwrap();
@@ -44,7 +48,14 @@ fn main() {
     // Busy time (unbounded machines of capacity g, non-preemptive).
     // ------------------------------------------------------------------
     let busy = Instance::from_triples(
-        [(0, 10, 3), (2, 8, 4), (5, 15, 2), (0, 4, 2), (9, 14, 5), (1, 16, 6)],
+        [
+            (0, 10, 3),
+            (2, 8, 4),
+            (5, 15, 2),
+            (0, 4, 2),
+            (9, 14, 5),
+            (1, 16, 6),
+        ],
         2,
     )
     .unwrap();

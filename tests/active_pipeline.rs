@@ -13,7 +13,13 @@ use abt_workloads::{fig3_minimal_tight, integrality_gap, random_active_feasible,
 #[test]
 fn theorem1_and_2_on_random_families() {
     for seed in 0..8u64 {
-        let cfg = RandomConfig { n: 9, g: 2, horizon: 15, max_len: 4, slack_factor: 1.0 };
+        let cfg = RandomConfig {
+            n: 9,
+            g: 2,
+            horizon: 15,
+            max_len: 4,
+            slack_factor: 1.0,
+        };
         let inst = random_active_feasible(&cfg, seed);
         let exact = exact_active_time(&inst, Some(30_000_000)).unwrap();
         let opt = exact.slots.len() as i64;
@@ -30,12 +36,18 @@ fn theorem1_and_2_on_random_families() {
             let res = minimal_feasible(&inst, order).unwrap();
             res.schedule.validate(&inst).unwrap();
             assert!(is_minimal(&inst, &res.slots));
-            assert!(within_factor(res.slots.len() as i64, 3, opt), "minimal > 3·OPT");
+            assert!(
+                within_factor(res.slots.len() as i64, 3, opt),
+                "minimal > 3·OPT"
+            );
         }
 
         // Theorem 2: rounding ≤ 2·LP ≤ 2·OPT, with LP ≤ OPT.
         let lp = solve_active_lp(&inst).unwrap();
-        assert!(lp.objective <= Rat::from_int(opt), "LP must lower-bound OPT");
+        assert!(
+            lp.objective <= Rat::from_int(opt),
+            "LP must lower-bound OPT"
+        );
         let rounded = lp_rounding(&inst).unwrap();
         rounded.schedule.validate(&inst).unwrap();
         assert!(rounded.within_two_lp());
@@ -86,7 +98,13 @@ fn integrality_gap_lp_values() {
 #[test]
 fn unit_jobs_agree_across_solvers() {
     for seed in 0..6u64 {
-        let cfg = RandomConfig { n: 10, g: 2, horizon: 12, max_len: 4, slack_factor: 1.0 };
+        let cfg = RandomConfig {
+            n: 10,
+            g: 2,
+            horizon: 12,
+            max_len: 4,
+            slack_factor: 1.0,
+        };
         let mut triples = Vec::new();
         let base = random_active_feasible(&cfg, seed);
         for j in base.jobs() {

@@ -9,14 +9,20 @@ use abt_busy::{
 };
 use abt_core::{busy_lower_bounds, within_factor};
 use abt_workloads::{
-    fig1_example, fig10_flexible_factor4, fig6_greedy_tracking_tight, fig8_interval_tight,
+    fig10_flexible_factor4, fig1_example, fig6_greedy_tracking_tight, fig8_interval_tight,
     optical_trace, random_interval, vm_trace, OpticalTraceConfig, RandomConfig, VmTraceConfig,
 };
 
 #[test]
 fn interval_algorithms_respect_their_factors_vs_exact() {
     for seed in 0..6u64 {
-        let cfg = RandomConfig { n: 9, g: 2, horizon: 30, max_len: 8, slack_factor: 0.0 };
+        let cfg = RandomConfig {
+            n: 9,
+            g: 2,
+            horizon: 30,
+            max_len: 8,
+            slack_factor: 0.0,
+        };
         let inst = random_interval(&cfg, seed);
         let exact = exact_busy_time(&inst, Some(20_000_000)).unwrap();
         for algo in IntervalAlgo::all() {
@@ -42,7 +48,13 @@ fn interval_algorithms_respect_their_factors_vs_exact() {
 #[test]
 fn flexible_pipeline_on_traces() {
     let traces: Vec<abt_core::Instance> = vec![
-        vm_trace(&VmTraceConfig { n: 60, ..Default::default() }, 1),
+        vm_trace(
+            &VmTraceConfig {
+                n: 60,
+                ..Default::default()
+            },
+            1,
+        ),
         optical_trace(&OpticalTraceConfig::default(), 2),
     ];
     for inst in traces {
@@ -62,7 +74,11 @@ fn flexible_pipeline_on_traces() {
 fn fig1_exact_beats_heuristics() {
     let inst = fig1_example();
     let exact = exact_busy_time(&inst, None).unwrap();
-    assert_eq!(exact.schedule.machine_count(), 2, "the figure packs on two machines");
+    assert_eq!(
+        exact.schedule.machine_count(),
+        2,
+        "the figure packs on two machines"
+    );
     for algo in IntervalAlgo::all() {
         let cost = algo.run(&inst).unwrap().total_busy_time(&inst);
         assert!(cost >= exact.cost);
@@ -108,7 +124,13 @@ fn fig10_bad_schedule_is_a_possible_output_within_4x() {
 #[test]
 fn span_placement_lower_bounds_bounded_g() {
     for seed in 0..5u64 {
-        let cfg = RandomConfig { n: 8, g: 2, horizon: 25, max_len: 6, slack_factor: 1.5 };
+        let cfg = RandomConfig {
+            n: 8,
+            g: 2,
+            horizon: 25,
+            max_len: 6,
+            slack_factor: 1.5,
+        };
         let inst = abt_workloads::random_flexible(&cfg, seed);
         let placement = span_exact(&inst).unwrap();
         // OPT∞ is a lower bound for every valid bounded-g schedule.
@@ -122,7 +144,13 @@ fn span_placement_lower_bounds_bounded_g() {
 #[test]
 fn preemptive_beats_or_ties_nonpreemptive() {
     for seed in 0..5u64 {
-        let cfg = RandomConfig { n: 10, g: 3, horizon: 40, max_len: 8, slack_factor: 1.0 };
+        let cfg = RandomConfig {
+            n: 10,
+            g: 3,
+            horizon: 40,
+            max_len: 8,
+            slack_factor: 1.0,
+        };
         let inst = abt_workloads::random_flexible(&cfg, seed);
         let unbounded = preemptive_unbounded(&inst);
         validate_unbounded(&inst, &unbounded).unwrap();

@@ -79,8 +79,7 @@ fn fig9_profile_ratio_increases_towards_two() {
         let adv = f.instance.fix_starts(&f.adversarial_starts).unwrap();
         let fri = f.instance.fix_starts(&f.friendly_starts).unwrap();
         let profile = |inst: &abt_core::Instance| -> i64 {
-            DemandProfile::new(&inst.jobs().iter().map(|j| j.window()).collect::<Vec<_>>())
-                .cost(g)
+            DemandProfile::new(&inst.jobs().iter().map(|j| j.window()).collect::<Vec<_>>()).cost(g)
         };
         let ratio = Frac::ratio(profile(&adv), profile(&fri));
         assert!(ratio < Frac::int(2), "Lemma 7: at most 2");
