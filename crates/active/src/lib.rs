@@ -10,9 +10,9 @@
 //!   closing order (Theorem 1; tight by the Fig. 3 gadget).
 //! * [`rounding`] — the LP-rounding 2-approximation (Theorem 2), on top of
 //!   [`lp_model`] (the `LP1` relaxation, solved with exact rationals) and
-//!   [`right_shift`] (§3.1 preprocessing).
+//!   [`right_shift`](mod@right_shift) (§3.1 preprocessing).
 //! * [`exact`] — branch-and-bound optimum for ratio measurements.
-//! * [`unit`] — the exact rightmost-greedy for unit jobs
+//! * [`unit`](mod@unit) — the exact rightmost-greedy for unit jobs
 //!   (Chang–Gabow–Khuller special case).
 
 #![warn(missing_docs)]
@@ -28,7 +28,8 @@ pub mod unit;
 pub use exact::{exact_active_time, ExactActive};
 pub use feasibility::{feasible_on, schedule_on, FeasibilityChecker};
 pub use lp_model::{
-    fractional_feasible, solve_active_lp, solve_active_lp_with, ActiveLp, LpBackend, LpOptions,
+    fractional_feasible, lp_telemetry, solve_active_lp, solve_active_lp_with, ActiveLp, BoundsMode,
+    LpBackend, LpOptions,
 };
 pub use minimal::{
     is_minimal, minimal_feasible, minimal_feasible_from, ClosingOrder, MinimalResult,

@@ -1,5 +1,6 @@
 //! The natural LP relaxation `LP1` of the active-time IP (§3), with slot
-//! coalescing and a float-first hybrid solve as the default configuration.
+//! coalescing, implicit variable bounds, and a bounded revised hybrid
+//! solve as the default configuration.
 //!
 //! # The per-slot formulation (the seed model)
 //!
@@ -25,64 +26,147 @@
 //! The reported [`ActiveLp`] stays per-slot (the §3.1 right-shifting
 //! consumes per-slot `y`), using the exact uniform disaggregation.
 //!
-//! # Solve backend
+//! # Bound encodings
 //!
-//! The default is [`abt_lp::solve_hybrid`]: the simplex runs in `f64` and
-//! only the terminal basis is re-verified (and, if need be, re-solved) in
-//! exact rationals, so the `y` values and objective remain *exact* — the
-//! rounding algorithm's case analysis (`⌊Y_i⌋`, comparisons against ½)
-//! stays noise-free. [`LpOptions`] recovers the seed behaviour
-//! (per-slot + pure exact simplex) for differential tests and benchmarks.
+//! The capacity caps `Y_I ≤ w_I` (and `y_t ≤ 1` per-slot) are *constant*
+//! upper bounds: under [`BoundsMode::Implicit`] they ride on the variables
+//! themselves (`LpProblem::set_upper`) and never become tableau rows —
+//! the bounded-variable simplex handles them in its pivoting rules.
+//! [`BoundsMode::Rows`] keeps the seed's explicit `≤` rows as the
+//! differential-test oracle. The `x_{I,j} ≤ Y_I` caps bound one *variable
+//! by another* and therefore stay rows in either mode (they are what makes
+//! LP1 basis columns ≤ 3-sparse, which the exact LU verification exploits).
+//!
+//! # Solve backends
+//!
+//! The default is [`abt_lp::solve_revised`]: a bounded revised simplex in
+//! `f64` whose terminal basis is re-verified (and, if need be, re-solved)
+//! in exact rationals, so the `y` values and objective remain *exact* —
+//! the rounding algorithm's case analysis (`⌊Y_i⌋`, comparisons against ½)
+//! stays noise-free. [`LpOptions`] recovers the seed behaviour (per-slot +
+//! explicit rows + pure exact simplex) and the PR-1 default (coalesced +
+//! dense hybrid) for differential tests and benchmarks.
+//!
+//! Every hybrid-style solve feeds the process-wide fallback telemetry
+//! ([`lp_telemetry`]): the experiment harness records a per-experiment
+//! fallback rate and CI fails when a non-adversarial workload ever needs
+//! the exact fallback.
 
 #![allow(clippy::needless_range_loop)] // job indices are shared across parallel vectors
 
 use abt_core::active_schedule::{horizon_slots, job_feasible_in_slot};
 use abt_core::{Error, Instance, Result, Time};
-use abt_lp::{solve, solve_hybrid, Cmp, LpProblem, LpSolution, LpStatus, Rat};
+use abt_lp::{
+    solve, solve_hybrid_report, solve_revised_report, Cmp, LpProblem, LpSolution, LpStatus, Rat,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which simplex path solves the model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LpBackend {
-    /// Pure exact-rational simplex for every pivot (the seed behaviour).
+    /// Pure exact-rational dense simplex for every pivot (the seed
+    /// behaviour).
     Exact,
-    /// Float-first solve with exact terminal-basis verification and exact
-    /// fallback ([`abt_lp::solve_hybrid`]). Same exact results, faster.
+    /// Dense float-first solve with exact terminal-basis verification and
+    /// exact fallback ([`abt_lp::solve_hybrid`]) — the PR-1 default.
     Hybrid,
+    /// Bounded-variable revised simplex in `f64` with sparse exact-LU
+    /// verification ([`abt_lp::solve_revised`]). Same exact results,
+    /// faster; the current default.
+    Revised,
+}
+
+/// How constant variable upper bounds enter the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundsMode {
+    /// Explicit `x ≤ u` rows (the seed encoding; dense-oracle).
+    Rows,
+    /// Implicit `[0, u]` bounds on the variables (no rows).
+    Implicit,
 }
 
 /// Model/solver configuration for [`solve_active_lp_with`].
 #[derive(Debug, Clone, Copy)]
 pub struct LpOptions {
-    /// Solve backend. Default: [`LpBackend::Hybrid`].
+    /// Solve backend. Default: [`LpBackend::Revised`].
     pub backend: LpBackend,
     /// Coalesce identical-window slot runs into weighted super-slots.
     /// Default: `true`.
     pub coalesce: bool,
+    /// Bound encoding. Default: [`BoundsMode::Implicit`].
+    pub bounds: BoundsMode,
 }
 
 impl Default for LpOptions {
     fn default() -> Self {
         LpOptions {
-            backend: LpBackend::Hybrid,
+            backend: LpBackend::Revised,
             coalesce: true,
+            bounds: BoundsMode::Implicit,
         }
     }
 }
 
 impl LpOptions {
-    /// The seed configuration: per-slot model, pure exact simplex.
+    /// The seed configuration: per-slot model, explicit bound rows, pure
+    /// exact simplex.
     pub fn seed_exact() -> Self {
         LpOptions {
             backend: LpBackend::Exact,
             coalesce: false,
+            bounds: BoundsMode::Rows,
         }
+    }
+
+    /// The PR-1 default: coalesced model, explicit bound rows, dense
+    /// float-first hybrid. Kept as the perf baseline the revised solver is
+    /// benchmarked against.
+    pub fn pr1_hybrid() -> Self {
+        LpOptions {
+            backend: LpBackend::Hybrid,
+            coalesce: true,
+            bounds: BoundsMode::Rows,
+        }
+    }
+}
+
+/// Process-wide count of hybrid-style LP solves (`Hybrid`/`Revised`
+/// backends, plus the feasibility oracle below).
+static LP_SOLVES: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of those solves that needed the exact fallback.
+static LP_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the cumulative `(solves, fallbacks)` telemetry. The
+/// experiment harness diffs two snapshots to compute per-experiment
+/// fallback rates; CI fails when a non-adversarial workload reports a
+/// nonzero rate.
+pub fn lp_telemetry() -> (u64, u64) {
+    (
+        LP_SOLVES.load(Ordering::Relaxed),
+        LP_FALLBACKS.load(Ordering::Relaxed),
+    )
+}
+
+fn record_solve(fallback: bool) {
+    LP_SOLVES.fetch_add(1, Ordering::Relaxed);
+    if fallback {
+        LP_FALLBACKS.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 fn run_backend(lp: &LpProblem<Rat>, backend: LpBackend) -> LpSolution<Rat> {
     match backend {
         LpBackend::Exact => solve(lp),
-        LpBackend::Hybrid => solve_hybrid(lp),
+        LpBackend::Hybrid => {
+            let rep = solve_hybrid_report(lp);
+            record_solve(rep.fallback);
+            rep.solution
+        }
+        LpBackend::Revised => {
+            let rep = solve_revised_report(lp);
+            record_solve(rep.fallback);
+            rep.solution
+        }
     }
 }
 
@@ -100,15 +184,15 @@ pub struct ActiveLp {
 /// A maximal run of horizon slots with identical feasible job sets:
 /// the slots `{start+1, …, end}`.
 #[derive(Debug, Clone, Copy)]
-struct SlotRun {
+pub(crate) struct SlotRun {
     /// Exclusive left end.
-    start: Time,
+    pub(crate) start: Time,
     /// Inclusive right end.
-    end: Time,
+    pub(crate) end: Time,
 }
 
 impl SlotRun {
-    fn width(&self) -> i64 {
+    pub(crate) fn width(&self) -> i64 {
         self.end - self.start
     }
 }
@@ -116,7 +200,7 @@ impl SlotRun {
 /// Splits the horizon at every job event point. Each returned run is a
 /// maximal group of slots between consecutive event points; every job is
 /// either feasible in all of a run's slots or in none of them.
-fn slot_runs(inst: &Instance, coalesce: bool) -> Vec<SlotRun> {
+pub(crate) fn slot_runs(inst: &Instance, coalesce: bool) -> Vec<SlotRun> {
     let lo = inst.min_release();
     let hi = inst.max_deadline();
     if !coalesce {
@@ -145,7 +229,7 @@ fn slot_runs(inst: &Instance, coalesce: bool) -> Vec<SlotRun> {
 }
 
 /// Builds and solves `LP1` for `inst` with the default options
-/// (coalesced super-slots, hybrid backend).
+/// (coalesced super-slots, implicit bounds, bounded revised backend).
 pub fn solve_active_lp(inst: &Instance) -> Result<ActiveLp> {
     solve_active_lp_with(inst, &LpOptions::default())
 }
@@ -162,12 +246,16 @@ pub fn solve_active_lp_with(inst: &Instance, opts: &LpOptions) -> Result<ActiveL
     );
 
     let mut lp: LpProblem<Rat> = LpProblem::new();
-    // Y variables: total open mass per run, bounded by the run width.
+    // Y variables: total open mass per run, bounded by the run width — as
+    // an implicit variable bound or as an explicit row per `opts.bounds`.
     let y_vars: Vec<usize> = runs
         .iter()
         .map(|run| {
             let v = lp.add_var(Rat::ONE);
-            lp.bound_var(v, Rat::from_int(run.width()));
+            match opts.bounds {
+                BoundsMode::Implicit => lp.set_upper(v, Rat::from_int(run.width())),
+                BoundsMode::Rows => lp.bound_var(v, Rat::from_int(run.width())),
+            }
             v
         })
         .collect();
@@ -184,7 +272,7 @@ pub fn solve_active_lp_with(inst: &Instance, opts: &LpOptions) -> Result<ActiveL
             }
         }
     }
-    // x_{I,j} ≤ Y_I.
+    // x_{I,j} ≤ Y_I: a variable-vs-variable cap, hence always a row.
     for row in &x_vars {
         for &(ri, v) in row {
             lp.add_constraint(
@@ -242,8 +330,10 @@ pub fn solve_active_lp_with(inst: &Instance, opts: &LpOptions) -> Result<ActiveL
 
 /// Checks whether a *fractional* assignment exists for all jobs given fixed
 /// slot openings `y` (the feasibility system `LP2` of §3.1). Used to
-/// validate the right-shifting lemma in tests. Solved with the hybrid
-/// backend (exact results either way).
+/// validate the right-shifting lemma in tests. Solved with the bounded
+/// revised backend — the `x ≤ y_t` caps are constant here (the `y` are
+/// fixed), so they become implicit bounds and the model has no bound rows
+/// at all.
 pub fn fractional_feasible(inst: &Instance, slots: &[Time], y: &[Rat]) -> bool {
     assert_eq!(slots.len(), y.len());
     let mut lp: LpProblem<Rat> = LpProblem::new();
@@ -253,7 +343,7 @@ pub fn fractional_feasible(inst: &Instance, slots: &[Time], y: &[Rat]) -> bool {
             if job_feasible_in_slot(inst, j, t) && y[si].signum() > 0 {
                 let v = lp.add_var(Rat::ZERO);
                 x_vars[j].push((si, v));
-                lp.bound_var(v, y[si]); // x ≤ y
+                lp.set_upper(v, y[si]); // x ≤ y, implicitly
             }
         }
     }
@@ -275,24 +365,34 @@ pub fn fractional_feasible(inst: &Instance, slots: &[Time], y: &[Rat]) -> bool {
         let terms: Vec<(usize, Rat)> = row.iter().map(|&(_, v)| (v, Rat::ONE)).collect();
         lp.add_constraint(terms, Cmp::Ge, Rat::from_int(inst.job(j).length));
     }
-    matches!(solve_hybrid(&lp).status, LpStatus::Optimal)
+    let rep = solve_revised_report(&lp);
+    record_solve(rep.fallback);
+    matches!(rep.solution.status, LpStatus::Optimal)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// All four model/backend combinations.
-    fn all_options() -> [LpOptions; 4] {
+    /// A grid over backends × bound encodings (plus both model shapes).
+    fn all_options() -> [LpOptions; 6] {
         [
             LpOptions::seed_exact(),
             LpOptions {
                 backend: LpBackend::Exact,
                 coalesce: true,
+                bounds: BoundsMode::Implicit,
             },
             LpOptions {
                 backend: LpBackend::Hybrid,
                 coalesce: false,
+                bounds: BoundsMode::Implicit,
+            },
+            LpOptions::pr1_hybrid(),
+            LpOptions {
+                backend: LpBackend::Revised,
+                coalesce: true,
+                bounds: BoundsMode::Rows,
             },
             LpOptions::default(),
         ]
@@ -347,8 +447,9 @@ mod tests {
 
     #[test]
     fn all_configurations_agree_on_objective() {
-        // The tentpole invariant: coalescing and the hybrid backend change
-        // the model size and the pivot arithmetic, never the exact optimum.
+        // The tentpole invariant: coalescing, the bound encoding, and the
+        // backend change the model size and the pivot arithmetic, never
+        // the exact optimum.
         let cases = [
             Instance::from_triples([(0, 4, 2), (1, 3, 2)], 2).unwrap(),
             Instance::from_triples([(0, 3, 1), (1, 4, 2), (2, 6, 3)], 2).unwrap(),
@@ -376,6 +477,28 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_zero_slack_and_single_run_instances_agree() {
+        // Satellite coverage: (a) all-zero window slack — every x is
+        // forced, most LP rows are tight; (b) a single super-slot — all
+        // jobs share one window, so the coalesced model has exactly one
+        // run and the bound `Y ≤ w` is the only capacity on it.
+        let zero_slack =
+            Instance::from_triples([(0, 3, 3), (1, 4, 3), (2, 5, 3), (0, 2, 2)], 3).unwrap();
+        let single_run =
+            Instance::from_triples([(0, 8, 5), (0, 8, 3), (0, 8, 4), (0, 8, 2)], 2).unwrap();
+        assert_eq!(slot_runs(&single_run, true).len(), 1);
+        for inst in [&zero_slack, &single_run] {
+            let reference = solve_active_lp_with(inst, &LpOptions::seed_exact())
+                .unwrap()
+                .objective;
+            for opts in all_options() {
+                let lp = solve_active_lp_with(inst, &opts).unwrap();
+                assert_eq!(lp.objective, reference, "{opts:?} on {inst:?}");
+            }
+        }
+    }
+
+    #[test]
     fn coalescing_shrinks_long_gaps() {
         // Two short jobs separated by a huge idle stretch: the coalesced
         // model must stay tiny while the per-slot horizon is 10 000 slots.
@@ -385,6 +508,16 @@ mod tests {
         let lp = solve_active_lp(&inst).unwrap();
         assert_eq!(lp.objective, Rat::from_int(4));
         assert_eq!(lp.slots.len(), 10_000);
+    }
+
+    #[test]
+    fn telemetry_counts_solves() {
+        let (solves0, _) = lp_telemetry();
+        let inst = Instance::from_triples([(0, 4, 2), (1, 3, 2)], 2).unwrap();
+        solve_active_lp(&inst).unwrap();
+        let (solves1, fallbacks1) = lp_telemetry();
+        assert!(solves1 > solves0);
+        assert!(fallbacks1 <= solves1);
     }
 
     #[test]

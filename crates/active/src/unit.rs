@@ -1,5 +1,5 @@
 //! Exact active time for **unit-length jobs** (the special case solved by
-//! Chang, Gabow and Khuller [2], cited in §1 of the paper).
+//! Chang, Gabow and Khuller \[2\], cited in §1 of the paper).
 //!
 //! For unit jobs the bipartite job/slot graph is *convex* (each job's
 //! admissible slots form an interval), so by Hall's theorem a slot set `A`

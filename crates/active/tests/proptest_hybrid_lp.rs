@@ -1,18 +1,67 @@
-//! Differential property tests for the PR-1 LP pipeline: on feasible
-//! random active-time instances, the coalesced/hybrid configurations must
-//! reproduce the seed configuration (per-slot model, pure exact-rational
-//! simplex) bit for bit on status and objective, and the disaggregated
-//! per-slot `y` must stay a valid fractional opening.
+//! Differential property tests for the LP pipeline: on feasible random
+//! active-time instances, every backend × bound-encoding × model-shape
+//! configuration must reproduce the seed configuration (per-slot model,
+//! explicit bound rows, pure exact-rational simplex) bit for bit on status
+//! and objective, and the disaggregated per-slot `y` must stay a valid
+//! fractional opening.
 
-use abt_active::{solve_active_lp_with, LpBackend, LpOptions};
+use abt_active::{solve_active_lp_with, BoundsMode, LpBackend, LpOptions};
 use abt_lp::Rat;
 use abt_workloads::{random_active_feasible, RandomConfig};
 use proptest::prelude::*;
 
+/// The differential grid: the seed oracle plus every interesting
+/// backend × bounds × coalesce combination.
+fn variants() -> Vec<LpOptions> {
+    let mut v = Vec::new();
+    for backend in [LpBackend::Exact, LpBackend::Hybrid, LpBackend::Revised] {
+        for bounds in [BoundsMode::Rows, BoundsMode::Implicit] {
+            v.push(LpOptions {
+                backend,
+                coalesce: true,
+                bounds,
+            });
+        }
+    }
+    v.push(LpOptions {
+        backend: LpBackend::Revised,
+        coalesce: false,
+        bounds: BoundsMode::Implicit,
+    });
+    v.push(LpOptions {
+        backend: LpBackend::Hybrid,
+        coalesce: false,
+        bounds: BoundsMode::Implicit,
+    });
+    v
+}
+
+fn assert_all_variants_match(inst: &abt_core::Instance) -> Result<(), TestCaseError> {
+    let seed_lp = solve_active_lp_with(inst, &LpOptions::seed_exact())
+        .expect("instances are feasible by construction");
+    for opts in variants() {
+        let lp = solve_active_lp_with(inst, &opts).unwrap();
+        prop_assert_eq!(lp.objective, seed_lp.objective, "{:?}", opts);
+        prop_assert_eq!(lp.slots.len(), seed_lp.slots.len());
+        let mut sum = Rat::ZERO;
+        for y in &lp.y {
+            prop_assert!(y.signum() >= 0 && *y <= Rat::ONE, "{:?}", opts);
+            sum = sum.add(y);
+        }
+        prop_assert_eq!(
+            sum,
+            seed_lp.objective,
+            "{:?}: Σy must equal the objective",
+            opts
+        );
+    }
+    Ok(())
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(24))]
     #[test]
-    fn hybrid_and_coalescing_preserve_lp1_exactly(
+    fn all_backend_bounds_configs_preserve_lp1_exactly(
         seed in 0u64..1_000_000,
         n in 4usize..14,
         g in 1usize..4,
@@ -24,23 +73,58 @@ proptest! {
         if inst.jobs().is_empty() {
             return Ok(());
         }
-        let seed_lp = solve_active_lp_with(&inst, &LpOptions::seed_exact())
-            .expect("instances are feasible by construction");
-        let variants = [
-            LpOptions { backend: LpBackend::Exact, coalesce: true },
-            LpOptions { backend: LpBackend::Hybrid, coalesce: false },
-            LpOptions::default(),
-        ];
-        for opts in variants {
-            let lp = solve_active_lp_with(&inst, &opts).unwrap();
-            prop_assert_eq!(lp.objective, seed_lp.objective, "{:?}", opts);
-            prop_assert_eq!(lp.slots.len(), seed_lp.slots.len());
-            let mut sum = Rat::ZERO;
-            for y in &lp.y {
-                prop_assert!(y.signum() >= 0 && *y <= Rat::ONE, "{:?}", opts);
-                sum = sum.add(y);
-            }
-            prop_assert_eq!(sum, seed_lp.objective, "{:?}: Σy must equal the objective", opts);
+        assert_all_variants_match(&inst)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn degenerate_zero_slack_instances_preserve_lp1_exactly(
+        seed in 0u64..1_000_000,
+        n in 4usize..12,
+        g in 1usize..4,
+        horizon in 8i64..20,
+        max_len in 1i64..5,
+    ) {
+        // Zero window slack: every job's window equals its length, so all
+        // assignments are forced and most LP rows are tight (maximal
+        // degeneracy for the pivoting rules).
+        let cfg = RandomConfig { n, g, horizon, max_len, slack_factor: 0.0 };
+        let inst = random_active_feasible(&cfg, seed);
+        if inst.jobs().is_empty() {
+            return Ok(());
         }
+        assert_all_variants_match(&inst)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn single_super_slot_instances_preserve_lp1_exactly(
+        seed in 0u64..1_000_000,
+        n in 2usize..8,
+        g in 2usize..5,
+        width in 6i64..14,
+    ) {
+        // Every job shares the window (0, width]: the coalesced model has a
+        // single super-slot, so the entire capacity structure lives in the
+        // variable bound Y ≤ width.
+        let mut triples = Vec::new();
+        let mut used = 0i64;
+        for i in 0..n {
+            let len = 1 + (seed >> (i % 16)) as i64 % width.min(4);
+            if used + len > g as i64 * width {
+                break;
+            }
+            used += len;
+            triples.push((0i64, width, len));
+        }
+        if triples.is_empty() {
+            return Ok(());
+        }
+        let inst = abt_core::Instance::from_triples(triples, g).unwrap();
+        assert_all_variants_match(&inst)?;
     }
 }

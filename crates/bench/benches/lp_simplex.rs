@@ -1,10 +1,15 @@
-//! B4 — `lp_simplex`: the PR-1 hot path. Compares the seed configuration
-//! (per-slot LP1 solved by the pure exact-rational simplex) against the
-//! new default (coalesced super-slot LP1 solved by the f64-first hybrid
-//! with exact verification), plus the intermediate single-lever variants,
-//! on `random_active_feasible` instances.
+//! B4 — `lp_simplex`: the LP1 hot path across solver generations. Compares
+//! the seed configuration (per-slot LP1, explicit bound rows, pure
+//! exact-rational simplex), the PR-1 default (coalesced super-slots, dense
+//! `f64`-first hybrid), and the current default (coalesced, implicit
+//! variable bounds, bounded revised simplex with sparse exact-LU
+//! verification) on `random_active_feasible` instances.
+//!
+//! The size dimension covers n ∈ {40, 200, 1000}; configurations whose
+//! dense passes are no longer practical at a size are skipped there (the
+//! seed exact solver past n = 40, the dense hybrids past n = 200).
 
-use abt_active::{solve_active_lp_with, LpBackend, LpOptions};
+use abt_active::{solve_active_lp_with, BoundsMode, LpBackend, LpOptions};
 use abt_workloads::{random_active_feasible, RandomConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -12,38 +17,43 @@ use std::hint::black_box;
 fn bench_lp_simplex(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_simplex");
     group.sample_size(10);
-    let variants = [
-        (
-            "seed_exact_perslot",
-            LpOptions {
-                backend: LpBackend::Exact,
-                coalesce: false,
-            },
-        ),
+    // (name, options, max n it is still reasonable to run at)
+    let variants: [(&str, LpOptions, usize); 5] = [
+        ("seed_exact_perslot", LpOptions::seed_exact(), 40),
         (
             "exact_coalesced",
             LpOptions {
                 backend: LpBackend::Exact,
                 coalesce: true,
+                bounds: BoundsMode::Rows,
             },
+            40,
         ),
+        ("hybrid_coalesced", LpOptions::pr1_hybrid(), 200),
         (
-            "hybrid_perslot",
+            "revised_rows",
             LpOptions {
-                backend: LpBackend::Hybrid,
-                coalesce: false,
+                backend: LpBackend::Revised,
+                coalesce: true,
+                bounds: BoundsMode::Rows,
             },
+            200,
         ),
-        ("hybrid_coalesced", LpOptions::default()),
+        ("revised_bounds", LpOptions::default(), 1000),
     ];
-    for &(n, g) in &[(20usize, 3usize), (40, 4)] {
+    for &(n, g, horizon) in &[(40usize, 4usize, 100i64), (200, 4, 400), (1000, 4, 2000)] {
         let cfg = RandomConfig {
             n,
             g,
-            ..RandomConfig::default()
+            horizon,
+            max_len: 5,
+            slack_factor: 1.0,
         };
         let inst = random_active_feasible(&cfg, 7);
-        for (name, opts) in variants {
+        for (name, opts, max_n) in variants {
+            if n > max_n {
+                continue;
+            }
             group.bench_with_input(BenchmarkId::new(name, n), &inst, |b, inst| {
                 b.iter(|| black_box(solve_active_lp_with(inst, &opts).unwrap().objective))
             });

@@ -1,0 +1,453 @@
+//! The `BENCH_lp.json` schema (`abt-bench/lp-v2`): a typed writer/parser
+//! pair so the CI perf gate compares *fields*, not eyeballed artifacts.
+//!
+//! The record carries:
+//!
+//! * `lp_simplex` — the headline measurement: `solve_active_lp` on a fixed
+//!   `random_active_feasible` instance under the PR-1 baseline
+//!   (`hybrid_coalesced`, dense float-first hybrid over explicit bound
+//!   rows) and the current default (`revised_bounds`, bounded revised
+//!   simplex over implicit bounds), with the shared exact objective
+//!   rendered as a string, the speedup, and whether the candidate ever hit
+//!   the exact fallback.
+//! * `experiments` — per-experiment wall time plus the LP fallback
+//!   telemetry (`lp_solves`, `fallback_rate`) wired through
+//!   [`abt_active::lp_telemetry`].
+//!
+//! The JSON subset used here (objects, arrays, UTF-8 strings with the
+//! common escapes, numbers, booleans) is parsed by a tiny recursive
+//! scanner — the offline dependency set has no serde, and the perf gate
+//! must not depend on a `jq` binary being installed on the runner.
+
+use std::collections::BTreeMap;
+
+/// Schema tag written/accepted by this module.
+pub const SCHEMA: &str = "abt-bench/lp-v2";
+
+/// The headline `lp_simplex` measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSimplexRecord {
+    /// Instance family parameters.
+    pub n: u64,
+    /// Capacity `g`.
+    pub g: u64,
+    /// Horizon length.
+    pub horizon: i64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Exact LP optimum, rendered as a rational string (e.g. `"797/4"`).
+    pub objective: String,
+    /// PR-1 baseline (dense hybrid + coalescing + bound rows), ms.
+    pub baseline_ms: f64,
+    /// Candidate (bounded revised + implicit bounds), ms.
+    pub candidate_ms: f64,
+    /// `baseline_ms / candidate_ms`.
+    pub speedup: f64,
+    /// Whether the candidate solve needed the exact fallback.
+    pub fallback: bool,
+}
+
+/// One experiment's wall time and LP telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRecord {
+    /// Experiment id (`e1`…).
+    pub id: String,
+    /// Wall time, ms.
+    pub wall_ms: f64,
+    /// Hybrid-style LP solves performed while the experiment ran.
+    pub lp_solves: u64,
+    /// Fraction of those that fell back to the exact solver.
+    pub fallback_rate: f64,
+}
+
+/// The whole `BENCH_lp.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Headline measurement.
+    pub lp_simplex: LpSimplexRecord,
+    /// Per-experiment rows.
+    pub experiments: Vec<ExperimentRecord>,
+}
+
+/// JSON string escaping for the writer (`"`, `\\`, and control bytes; the
+/// strings here are rational literals and experiment ids, but the writer
+/// must never emit invalid JSON whatever it is handed).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl BenchRecord {
+    /// Serializes to the canonical JSON layout.
+    pub fn to_json(&self) -> String {
+        let s = &self.lp_simplex;
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", esc(&self.schema)));
+        out.push_str(&format!(
+            concat!(
+                "  \"lp_simplex\": {{\"bench\": \"solve_active_lp\", ",
+                "\"family\": \"random_active_feasible\", ",
+                "\"n\": {}, \"g\": {}, \"horizon\": {}, \"seed\": {}, ",
+                "\"objective\": \"{}\", ",
+                "\"baseline\": \"hybrid_coalesced\", \"baseline_ms\": {:.3}, ",
+                "\"candidate\": \"revised_bounds\", \"candidate_ms\": {:.3}, ",
+                "\"speedup\": {:.2}, \"fallback\": {}}},\n"
+            ),
+            s.n,
+            s.g,
+            s.horizon,
+            s.seed,
+            esc(&s.objective),
+            s.baseline_ms,
+            s.candidate_ms,
+            s.speedup,
+            s.fallback
+        ));
+        out.push_str("  \"experiments\": [\n");
+        for (i, e) in self.experiments.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"wall_ms\": {:.3}, \"lp_solves\": {}, \"fallback_rate\": {:.4}}}{}\n",
+                esc(&e.id),
+                e.wall_ms,
+                e.lp_solves,
+                e.fallback_rate,
+                if i + 1 < self.experiments.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a `BENCH_lp.json` document (schema `abt-bench/lp-v2`).
+    pub fn from_json(text: &str) -> Result<BenchRecord, String> {
+        let value = Json::parse(text)?;
+        let top = value.as_object("top level")?;
+        let schema = get(top, "schema")?.as_str("schema")?.to_string();
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?}, want {SCHEMA:?}"));
+        }
+        let lp = get(top, "lp_simplex")?.as_object("lp_simplex")?;
+        let lp_simplex = LpSimplexRecord {
+            n: get(lp, "n")?.as_f64("n")? as u64,
+            g: get(lp, "g")?.as_f64("g")? as u64,
+            horizon: get(lp, "horizon")?.as_f64("horizon")? as i64,
+            seed: get(lp, "seed")?.as_f64("seed")? as u64,
+            objective: get(lp, "objective")?.as_str("objective")?.to_string(),
+            baseline_ms: get(lp, "baseline_ms")?.as_f64("baseline_ms")?,
+            candidate_ms: get(lp, "candidate_ms")?.as_f64("candidate_ms")?,
+            speedup: get(lp, "speedup")?.as_f64("speedup")?,
+            fallback: get(lp, "fallback")?.as_bool("fallback")?,
+        };
+        let mut experiments = Vec::new();
+        for (i, e) in get(top, "experiments")?
+            .as_array("experiments")?
+            .iter()
+            .enumerate()
+        {
+            let e = e.as_object(&format!("experiments[{i}]"))?;
+            experiments.push(ExperimentRecord {
+                id: get(e, "id")?.as_str("id")?.to_string(),
+                wall_ms: get(e, "wall_ms")?.as_f64("wall_ms")?,
+                lp_solves: get(e, "lp_solves")?.as_f64("lp_solves")? as u64,
+                fallback_rate: get(e, "fallback_rate")?.as_f64("fallback_rate")?,
+            });
+        }
+        Ok(BenchRecord {
+            schema,
+            lp_simplex,
+            experiments,
+        })
+    }
+}
+
+fn get<'a>(obj: &'a BTreeMap<String, Json>, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing key {key:?}"))
+}
+
+/// A minimal JSON value (the subset `BENCH_lp.json` uses).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Object(BTreeMap<String, Json>),
+    Array(Vec<Json>),
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Json>, String> {
+        match self {
+            Json::Object(m) => Ok(m),
+            other => Err(format!("{what}: expected object, got {other:?}")),
+        }
+    }
+    fn as_array(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Array(v) => Ok(v),
+            other => Err(format!("{what}: expected array, got {other:?}")),
+        }
+    }
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("{what}: expected string, got {other:?}")),
+        }
+    }
+    fn as_f64(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Json::Num(v) => Ok(*v),
+            other => Err(format!("{what}: expected number, got {other:?}")),
+        }
+    }
+    fn as_bool(&self, what: &str) -> Result<bool, String> {
+        match self {
+            Json::Bool(v) => Ok(*v),
+            other => Err(format!("{what}: expected bool, got {other:?}")),
+        }
+    }
+
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", ch as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                map.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut out = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(out));
+            }
+            loop {
+                out.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(out));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            s.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|e| format!("bad number {s:?} at byte {start}: {e}"))
+        }
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    // Accumulate raw bytes and decode as UTF-8 at the end, so multi-byte
+    // characters survive the round trip.
+    let mut out: Vec<u8> = Vec::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => {
+                return String::from_utf8(out).map_err(|e| format!("invalid UTF-8 in string: {e}"))
+            }
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
+                        *pos += 4;
+                        // Surrogate pairs are outside this subset.
+                        let ch = char::from_u32(code)
+                            .ok_or_else(|| format!("unsupported \\u codepoint {code:#x}"))?;
+                        out.extend_from_slice(ch.to_string().as_bytes());
+                    }
+                    other => return Err(format!("unsupported escape \\{}", other as char)),
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchRecord {
+        BenchRecord {
+            schema: SCHEMA.to_string(),
+            lp_simplex: LpSimplexRecord {
+                n: 200,
+                g: 4,
+                horizon: 400,
+                seed: 7,
+                objective: "797/4".into(),
+                baseline_ms: 288.505,
+                candidate_ms: 46.811,
+                speedup: 6.16,
+                fallback: false,
+            },
+            experiments: vec![
+                ExperimentRecord {
+                    id: "e1".into(),
+                    wall_ms: 0.091,
+                    lp_solves: 0,
+                    fallback_rate: 0.0,
+                },
+                ExperimentRecord {
+                    id: "e3".into(),
+                    wall_ms: 3.351,
+                    lp_solves: 16,
+                    fallback_rate: 0.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrips() {
+        let rec = sample();
+        let json = rec.to_json();
+        let back = BenchRecord::from_json(&json).unwrap();
+        assert_eq!(back.schema, rec.schema);
+        assert_eq!(back.lp_simplex.objective, rec.lp_simplex.objective);
+        assert_eq!(back.lp_simplex.n, 200);
+        assert!(!back.lp_simplex.fallback);
+        assert_eq!(back.experiments.len(), 2);
+        assert_eq!(back.experiments[1].lp_solves, 16);
+        assert!((back.experiments[1].wall_ms - 3.351).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_garbage() {
+        let mut rec = sample();
+        rec.schema = "abt-bench/lp-v1".into();
+        assert!(BenchRecord::from_json(&rec.to_json()).is_err());
+        assert!(BenchRecord::from_json("{").is_err());
+        assert!(BenchRecord::from_json("not json").is_err());
+        assert!(BenchRecord::from_json("{\"schema\": \"abt-bench/lp-v2\"}").is_err());
+    }
+
+    #[test]
+    fn escapes_and_utf8_roundtrip() {
+        let mut rec = sample();
+        rec.experiments[0].id = "e\"1\\π".into();
+        rec.lp_simplex.objective = "7/4 µs".into();
+        let back = BenchRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(back.experiments[0].id, rec.experiments[0].id);
+        assert_eq!(back.lp_simplex.objective, rec.lp_simplex.objective);
+    }
+
+    #[test]
+    fn parses_whitespace_and_empty_collections() {
+        let txt = r#"{ "schema": "abt-bench/lp-v2",
+            "lp_simplex": {"n": 1, "g": 1, "horizon": 2, "seed": 0,
+                "objective": "0", "baseline_ms": 1.0, "candidate_ms": 0.5,
+                "speedup": 2.0, "fallback": false},
+            "experiments": [] }"#;
+        let rec = BenchRecord::from_json(txt).unwrap();
+        assert!(rec.experiments.is_empty());
+        assert_eq!(rec.lp_simplex.speedup, 2.0);
+    }
+}

@@ -3,89 +3,66 @@
 //!
 //! Usage: `experiments [--no-json] [e1 e5 ...]` — no experiment ids runs
 //! everything. Unless `--no-json` is given, the run writes `BENCH_lp.json`
-//! (path overridable via the `BENCH_LP_PATH` environment variable) with
-//! the wall time of every experiment that ran plus a dedicated
-//! `lp_simplex` measurement: `solve_active_lp` on a
-//! `random_active_feasible` instance (n = 40, g = 4) under the seed
-//! configuration (per-slot model, pure exact-rational simplex) and the
-//! current default (coalesced model, hybrid solve), with their exact
-//! objectives and the resulting speedup.
+//! (path overridable via the `BENCH_LP_PATH` environment variable) in the
+//! `abt-bench/lp-v2` schema (see [`abt_bench::bench_record`]): the wall
+//! time and LP fallback telemetry of every experiment that ran, plus a
+//! dedicated `lp_simplex` measurement — `solve_active_lp` on a
+//! `random_active_feasible` instance (n = 200, g = 4) under the PR-1
+//! configuration (coalesced model, explicit bound rows, dense hybrid) and
+//! the current default (coalesced, implicit bounds, bounded revised
+//! simplex with sparse exact-LU verification), with the shared exact
+//! objective and the resulting speedup. CI's `perf-gate` job re-runs this
+//! record and compares it field-by-field against the committed file.
 
-#![allow(clippy::type_complexity)] // the dispatch table type is self-explanatory
-
-use abt_active::{solve_active_lp_with, LpOptions};
+use abt_active::{lp_telemetry, solve_active_lp_with, LpOptions};
+use abt_bench::bench_record::{BenchRecord, ExperimentRecord, LpSimplexRecord, SCHEMA};
 use abt_bench::experiments;
+use abt_bench::time_best_ms;
 use abt_workloads::{random_active_feasible, RandomConfig};
-use std::time::Instant;
 
-/// Wall-times `f` (best of `reps` runs) and returns (seconds, result).
-fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
-    let mut best = f64::INFINITY;
-    let mut out = None;
-    for _ in 0..reps {
-        let started = Instant::now();
-        let v = f();
-        best = best.min(started.elapsed().as_secs_f64());
-        out = Some(v);
-    }
-    (best, out.expect("reps >= 1"))
-}
-
-/// The PR-1 headline measurement: seed LP configuration vs the default.
-fn lp_simplex_record() -> String {
+/// The headline measurement: PR-1 baseline vs the bounded revised default.
+fn lp_simplex_record() -> LpSimplexRecord {
     let cfg = RandomConfig {
-        n: 40,
+        n: 200,
         g: 4,
-        ..RandomConfig::default()
+        horizon: 400,
+        max_len: 5,
+        slack_factor: 1.0,
     };
     let inst = random_active_feasible(&cfg, 7);
-    let (seed_s, seed_lp) = time_best(3, || {
-        solve_active_lp_with(&inst, &LpOptions::seed_exact()).expect("feasible by construction")
+    let (baseline_ms, baseline_lp) = time_best_ms(3, || {
+        solve_active_lp_with(&inst, &LpOptions::pr1_hybrid()).expect("feasible by construction")
     });
-    let (hybrid_s, hybrid_lp) = time_best(3, || {
+    let (_, fb0) = lp_telemetry();
+    let (candidate_ms, candidate_lp) = time_best_ms(3, || {
         solve_active_lp_with(&inst, &LpOptions::default()).expect("feasible by construction")
     });
+    let (_, fb1) = lp_telemetry();
     assert_eq!(
-        seed_lp.objective, hybrid_lp.objective,
-        "hybrid/coalesced LP1 must reproduce the seed objective exactly"
+        baseline_lp.objective, candidate_lp.objective,
+        "revised/implicit-bounds LP1 must reproduce the PR-1 objective exactly"
     );
-    format!(
-        concat!(
-            "{{\"bench\": \"solve_active_lp\", \"family\": \"random_active_feasible\", ",
-            "\"n\": {}, \"g\": {}, \"horizon\": {}, \"seed\": 7, ",
-            "\"objective\": \"{}\", ",
-            "\"seed_exact_perslot_ms\": {:.3}, \"hybrid_coalesced_ms\": {:.3}, ",
-            "\"speedup\": {:.2}}}"
-        ),
-        cfg.n,
-        cfg.g,
-        cfg.horizon,
-        seed_lp.objective,
-        seed_s * 1e3,
-        hybrid_s * 1e3,
-        seed_s / hybrid_s,
-    )
+    LpSimplexRecord {
+        n: cfg.n as u64,
+        g: cfg.g as u64,
+        horizon: cfg.horizon,
+        seed: 7,
+        objective: candidate_lp.objective.to_string(),
+        baseline_ms,
+        candidate_ms,
+        speedup: baseline_ms / candidate_ms,
+        fallback: fb1 > fb0,
+    }
 }
 
-fn write_bench_json(experiment_times: &[(&str, f64)]) {
+fn write_bench_json(experiments: Vec<ExperimentRecord>) {
     let path = std::env::var("BENCH_LP_PATH").unwrap_or_else(|_| "BENCH_lp.json".to_string());
-    let mut json = String::from("{\n  \"schema\": \"abt-bench/lp-v1\",\n");
-    json.push_str("  \"lp_simplex\": ");
-    json.push_str(&lp_simplex_record());
-    json.push_str(",\n  \"experiments\": [\n");
-    for (i, (id, secs)) in experiment_times.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"id\": \"{id}\", \"wall_ms\": {:.3}}}{}\n",
-            secs * 1e3,
-            if i + 1 < experiment_times.len() {
-                ","
-            } else {
-                ""
-            }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    match std::fs::write(&path, json) {
+    let record = BenchRecord {
+        schema: SCHEMA.to_string(),
+        lp_simplex: lp_simplex_record(),
+        experiments,
+    };
+    match std::fs::write(&path, record.to_json()) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("warning: could not write {path}: {e}"),
     }
@@ -100,7 +77,8 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .collect();
     let run_all = selected.is_empty();
-    let fns: Vec<(&str, fn() -> experiments::ExperimentReport)> = vec![
+    type ExperimentFn = fn() -> experiments::ExperimentReport;
+    let fns: Vec<(&str, ExperimentFn)> = vec![
         ("e1", experiments::e1),
         ("e2", experiments::e2),
         ("e3", experiments::e3),
@@ -119,23 +97,37 @@ fn main() {
         ("e16", experiments::e16),
         ("e17", experiments::e17),
         ("e18", experiments::e18),
+        ("e19", experiments::e19),
     ];
-    let mut times: Vec<(&str, f64)> = Vec::new();
+    let mut records: Vec<ExperimentRecord> = Vec::new();
     for (id, f) in fns {
         if run_all || selected.contains(&id) {
+            let (solves0, fallbacks0) = lp_telemetry();
             let started = std::time::Instant::now();
             let report = f();
             let elapsed = started.elapsed();
+            let (solves1, fallbacks1) = lp_telemetry();
             println!("{}", report.to_markdown());
             println!("_(regenerated in {elapsed:.2?})_\n");
-            times.push((id, elapsed.as_secs_f64()));
+            let lp_solves = solves1 - solves0;
+            let fallback_rate = if lp_solves == 0 {
+                0.0
+            } else {
+                (fallbacks1 - fallbacks0) as f64 / lp_solves as f64
+            };
+            records.push(ExperimentRecord {
+                id: id.to_string(),
+                wall_ms: elapsed.as_secs_f64() * 1e3,
+                lp_solves,
+                fallback_rate,
+            });
         }
     }
-    if times.is_empty() {
-        eprintln!("unknown experiment ids {selected:?}; available: e1..e18");
+    if records.is_empty() {
+        eprintln!("unknown experiment ids {selected:?}; available: e1..e19");
         std::process::exit(2);
     }
     if write_json {
-        write_bench_json(&times);
+        write_bench_json(records);
     }
 }

@@ -1,0 +1,105 @@
+//! CI perf/fallback gate over `BENCH_lp.json`.
+//!
+//! Usage: `perf_gate <committed.json> <fresh.json> [--min-speedup-ratio R]`
+//!
+//! Compares a freshly measured record against the committed one and fails
+//! (exit 1) when:
+//!
+//! * the exact `lp_simplex` objective strings differ (a correctness
+//!   regression — the exact optimum must never move), or
+//! * the fresh `speedup` regresses more than 30% below the committed value
+//!   (override the 0.7 factor with `--min-speedup-ratio`), or
+//! * the fresh candidate solve needed the exact fallback, or
+//! * any experiment (all current workloads are non-adversarial) reports a
+//!   `fallback_rate > 0`.
+//!
+//! Comparison is field-by-field through [`abt_bench::bench_record`], not
+//! text diffing, so timing noise in unrelated fields never trips the gate.
+
+use abt_bench::bench_record::BenchRecord;
+
+fn load(path: &str) -> BenchRecord {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perf_gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    BenchRecord::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("perf_gate: cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut min_ratio = 0.7f64;
+    let mut paths: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--min-speedup-ratio" {
+            let v = it.next().unwrap_or_else(|| {
+                eprintln!("perf_gate: --min-speedup-ratio needs a value");
+                std::process::exit(2);
+            });
+            min_ratio = v.parse().unwrap_or_else(|e| {
+                eprintln!("perf_gate: bad ratio {v:?}: {e}");
+                std::process::exit(2);
+            });
+        } else {
+            paths.push(a);
+        }
+    }
+    let [committed_path, fresh_path] = paths[..] else {
+        eprintln!("usage: perf_gate <committed.json> <fresh.json> [--min-speedup-ratio R]");
+        std::process::exit(2);
+    };
+    let committed = load(committed_path);
+    let fresh = load(fresh_path);
+
+    let mut failures: Vec<String> = Vec::new();
+    let (c, f) = (&committed.lp_simplex, &fresh.lp_simplex);
+    if c.objective != f.objective {
+        failures.push(format!(
+            "exact objective changed: committed {:?}, fresh {:?}",
+            c.objective, f.objective
+        ));
+    }
+    let floor = c.speedup * min_ratio;
+    if f.speedup < floor {
+        failures.push(format!(
+            "speedup regressed: fresh {:.2}x < {:.2}x ({}% of committed {:.2}x)",
+            f.speedup,
+            floor,
+            (min_ratio * 100.0).round(),
+            c.speedup
+        ));
+    }
+    if f.fallback {
+        failures.push("lp_simplex candidate solve hit the exact fallback".into());
+    }
+    for e in &fresh.experiments {
+        if e.fallback_rate > 0.0 {
+            failures.push(format!(
+                "experiment {} reports fallback_rate {:.4} over {} LP solves (must be 0 on non-adversarial workloads)",
+                e.id, e.fallback_rate, e.lp_solves
+            ));
+        }
+    }
+
+    println!(
+        "perf_gate: objective {} (committed {}), speedup {:.2}x (committed {:.2}x, floor {:.2}x), {} experiments checked",
+        f.objective,
+        c.objective,
+        f.speedup,
+        c.speedup,
+        floor,
+        fresh.experiments.len()
+    );
+    if failures.is_empty() {
+        println!("perf_gate: PASS");
+    } else {
+        for msg in &failures {
+            eprintln!("perf_gate: FAIL: {msg}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1265,6 +1265,95 @@ pub fn e18() -> ExperimentReport {
     }
 }
 
+/// E19 — LP1 solver scaling: the bounded revised simplex (implicit bounds,
+/// sparse exact-LU verification) vs the PR-1 dense hybrid (explicit bound
+/// rows) as `n` grows. Exact objectives must agree bit for bit; the PR-1
+/// baseline is skipped at `n = 1000` where the dense exact verification is
+/// no longer practical to time.
+pub fn e19() -> ExperimentReport {
+    use crate::stats::time_best_ms;
+    use abt_active::{lp_telemetry, solve_active_lp_with, LpOptions};
+
+    let mut table = Table::new([
+        "n",
+        "g",
+        "horizon",
+        "revised+bounds ms",
+        "PR-1 hybrid ms",
+        "speedup",
+        "objective",
+        "fallbacks",
+    ]);
+    let mut notes = Vec::new();
+    let mut all_match = true;
+    let mut any_fallback = false;
+    for (n, g, horizon, reps, run_baseline) in [
+        (40usize, 4usize, 100i64, 3usize, true),
+        (200, 4, 400, 2, true),
+        (1000, 4, 2000, 1, false),
+    ] {
+        let cfg = RandomConfig {
+            n,
+            g,
+            horizon,
+            max_len: 5,
+            slack_factor: 1.0,
+        };
+        let inst = random_active_feasible(&cfg, 7);
+        let (_, fb0) = lp_telemetry();
+        let (rev_ms, rev) = time_best_ms(reps, || {
+            solve_active_lp_with(&inst, &LpOptions::default()).expect("feasible by construction")
+        });
+        let (_, fb1) = lp_telemetry();
+        any_fallback |= fb1 > fb0;
+        let baseline = run_baseline.then(|| {
+            time_best_ms(reps, || {
+                solve_active_lp_with(&inst, &LpOptions::pr1_hybrid())
+                    .expect("feasible by construction")
+            })
+        });
+        let (base_cell, speedup_cell) = match &baseline {
+            Some((base_ms, base)) => {
+                all_match &= base.objective == rev.objective;
+                (format!("{base_ms:.1}"), format!("{:.2}x", base_ms / rev_ms))
+            }
+            None => ("-".into(), "-".into()),
+        };
+        table.row([
+            n.to_string(),
+            g.to_string(),
+            horizon.to_string(),
+            format!("{rev_ms:.1}"),
+            base_cell,
+            speedup_cell,
+            rev.objective.to_string(),
+            (fb1 - fb0).to_string(),
+        ]);
+    }
+    notes.push(format!(
+        "exact objectives bit-identical across solvers wherever both ran: {}",
+        if all_match { "yes" } else { "NO" }
+    ));
+    notes.push(format!(
+        "exact fallbacks on this family: {}",
+        if any_fallback {
+            "YES (unexpected)"
+        } else {
+            "none"
+        }
+    ));
+    notes.push(
+        "n = 1000 runs only the revised solver; the PR-1 dense exact verification is O(m²·cols) and no longer practical there".into(),
+    );
+    ExperimentReport {
+        id: "e19",
+        title: "LP1 solver scaling — bounded revised simplex vs PR-1 hybrid".into(),
+        claim: "implicit bounds + sparse exact LU keep LP1 solvable at n in the thousands".into(),
+        table,
+        notes,
+    }
+}
+
 /// Tiny xorshift for experiment-local randomness.
 mod rand_free {
     pub struct XorShift(u64);
@@ -1302,5 +1391,6 @@ pub fn all_reports() -> Vec<ExperimentReport> {
         e16(),
         e17(),
         e18(),
+        e19(),
     ]
 }

@@ -7,12 +7,14 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_record;
 pub mod experiments;
 pub mod parallel;
 pub mod stats;
 pub mod table;
 
+pub use bench_record::{BenchRecord, ExperimentRecord, LpSimplexRecord};
 pub use experiments::{all_reports, ExperimentReport};
 pub use parallel::parallel_map;
-pub use stats::{ratio_summary, Summary};
+pub use stats::{ratio_summary, time_best_ms, Summary};
 pub use table::{ratio, Table};

@@ -56,6 +56,22 @@ pub fn ratio_summary(costs: &[i64], bases: &[i64]) -> Option<Summary> {
     Summary::of(&ratios)
 }
 
+/// Wall-times `f` (best of `reps` runs) and returns `(milliseconds,
+/// result)`. Best-of damps scheduler noise; the perf-gated `lp_simplex`
+/// record and the E19 scaling experiment share this helper so the gated
+/// artifact and the bench always measure the same way.
+pub fn time_best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let started = std::time::Instant::now();
+        let v = f();
+        best = best.min(started.elapsed().as_secs_f64() * 1e3);
+        out = Some(v);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,5 +1,5 @@
 //! `FIRSTFIT` for interval jobs — the 4-approximation baseline of
-//! Flammini et al. [5] that `GREEDYTRACKING` improves on.
+//! Flammini et al. \[5\] that `GREEDYTRACKING` improves on.
 //!
 //! Jobs are considered in non-increasing order of length; each is placed in
 //! the first (lowest-index) bundle where its whole interval keeps the

@@ -4,11 +4,11 @@
 //! SPAA 2014): partition jobs onto unboundedly many capacity-`g` machines,
 //! scheduling non-preemptively, to minimize total busy (union) time.
 //!
-//! * [`tracks`] / [`greedy_tracking`] — the paper's `GREEDYTRACKING`
+//! * [`tracks`] / [`greedy_tracking`](mod@greedy_tracking) — the paper's `GREEDYTRACKING`
 //!   3-approximation (Theorem 5; tight by the Fig. 6 gadget).
 //! * [`firstfit`] — the Flammini et al. 4-approximation baseline, plus the
 //!   order-by-release variant for proper instances.
-//! * [`kumar_rudra`] / [`alicherry_bhatia`] — the 2-approximations for
+//! * [`kumar_rudra`](mod@kumar_rudra) / [`alicherry_bhatia`](mod@alicherry_bhatia) — the 2-approximations for
 //!   interval jobs (Appendix A; tight by the Fig. 8 instance).
 //! * [`span`] — exact / heuristic minimum-span placement (`OPT_∞`,
 //!   substituting Khandekar et al.'s DP; DESIGN.md §5.3).
@@ -21,7 +21,7 @@
 //! * [`widths`] — the Khandekar et al. width-demand generalization
 //!   (narrow/wide FirstFit 5-approximation) discussed in §1.
 //! * [`special`] — proper/clique/laminar classes: greedy 2-approximations
-//!   and the exact proper-clique DP [12] / laminar solver [9].
+//!   and the exact proper-clique DP \[12\] / laminar solver \[9\].
 //! * [`exact`] — branch-and-bound optimum for ratio measurements.
 
 #![warn(missing_docs)]

@@ -1,5 +1,5 @@
 //! The resource-allocation **maximization dual** of busy time (Mertzios et
-//! al. [12], discussed in §1.3): given interval jobs, capacity `g`, and a
+//! al. \[12\], discussed in §1.3): given interval jobs, capacity `g`, and a
 //! busy-time **budget** `T`, schedule as many jobs as possible on machines
 //! whose cumulative busy time stays within `T`.
 //!

@@ -76,7 +76,7 @@ pub fn clique_greedy(inst: &Instance) -> Result<BusySchedule> {
     first_fit(inst, FirstFitOrder::LengthDesc)
 }
 
-/// Exact algorithm for **proper clique** interval instances [12]: sort by
+/// Exact algorithm for **proper clique** interval instances \[12\]: sort by
 /// release; some optimal solution partitions the sorted order into
 /// consecutive groups of at most `g`, because in a proper clique both the
 /// release times and the deadlines are sorted the same way, so exchanging

@@ -214,7 +214,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Sizes accepted by [`vec`]: a fixed `usize` or a `usize` range.
+    /// Sizes accepted by [`vec()`]: a fixed `usize` or a `usize` range.
     pub trait IntoSizeRange {
         /// Lower/upper (exclusive) bounds of the size.
         fn bounds(&self) -> (usize, usize);
@@ -239,7 +239,7 @@ pub mod collection {
         VecStrategy { element, lo, hi }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         lo: usize,

@@ -1,0 +1,616 @@
+//! Bounded-variable machinery: the computational standard form and the
+//! float-first **bounded revised simplex**.
+//!
+//! # Standard form
+//!
+//! [`StandardForm`] rewrites `min c·x  s.t.  rows, 0 ≤ x ≤ u` into
+//! `min c·x  s.t.  A·x = b, 0 ≤ x ≤ u, b ≥ 0` by normalizing row signs and
+//! appending slack/surplus/artificial columns, kept **column-major and
+//! sparse** throughout. The construction is generic over the scalar and
+//! deterministic, so the `f64` search and the exact verifier build
+//! *structurally identical* forms and a basis found by one is meaningful to
+//! the other.
+//!
+//! # Bounded revised simplex
+//!
+//! [`solve_bounded_f64`] runs a two-phase revised simplex in which variable
+//! bounds never become rows: a nonbasic variable rests at **either** bound
+//! ([`VarState::AtLower`]/[`VarState::AtUpper`]), the ratio test considers
+//! the entering variable's own opposite bound (a **bound flip** — the
+//! iteration that changes no basis column at all), and leaving variables
+//! exit to whichever bound the ratio test hit. The basis is maintained as a
+//! periodically-refactorized [`SparseLu`] plus product-form eta updates, so
+//! an iteration costs `O(nnz)`-ish instead of the dense tableau's
+//! `O(m·cols)`.
+//!
+//! The float pass never certifies anything: its terminal
+//! [`basis`](BoundedBasis::basis)/[`state`](BoundedBasis::state) proposal is
+//! re-verified exactly (see [`crate::simplex::solve_revised`]), and any
+//! numerical mishap here merely costs a fallback to the exact solver.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the simplex math
+
+use crate::lu::SparseLu;
+use crate::model::{Cmp, LpProblem};
+use crate::scalar::Scalar;
+
+/// Entering tolerance on reduced costs.
+const ENTER_TOL: f64 = 1e-9;
+/// Minimum magnitude for a ratio-test pivot element.
+const PIV_TOL: f64 = 1e-7;
+/// Consecutive degenerate iterations before switching to Bland's rule.
+const DEGENERATE_SWITCH: usize = 64;
+/// Eta-file length that triggers a refactorization.
+const REFACTOR_EVERY: usize = 64;
+
+/// Where a variable currently rests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarState {
+    /// In the basis.
+    Basic,
+    /// Nonbasic at its lower bound (always 0 here).
+    AtLower,
+    /// Nonbasic at its finite upper bound.
+    AtUpper,
+}
+
+/// Outcome classification of the float pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundedStatus {
+    /// The pass believes the terminal basis is optimal.
+    Optimal,
+    /// Phase 1 could not zero the artificials.
+    Infeasible,
+    /// Phase 2 found an unbounded ray.
+    Unbounded,
+    /// The pass gave up (iteration cap, singular refactorization). Callers
+    /// must fall back to an exact solve; this is never a verdict.
+    Stalled,
+}
+
+/// Terminal basis proposal of the float pass.
+#[derive(Debug, Clone)]
+pub struct BoundedBasis {
+    /// Outcome.
+    pub status: BoundedStatus,
+    /// Basic column per row (meaningful when `Optimal`).
+    pub basis: Vec<usize>,
+    /// Resting state of every standard-form column (meaningful when
+    /// `Optimal`).
+    pub state: Vec<VarState>,
+}
+
+/// The equality standard form `min c·x, A·x = b, 0 ≤ x ≤ u` of an
+/// [`LpProblem`], column-major.
+#[derive(Debug, Clone)]
+pub struct StandardForm<S> {
+    /// Rows.
+    pub m: usize,
+    /// Total columns (structural + slack/surplus + artificial).
+    pub ncols: usize,
+    /// Structural columns (`0..nstruct` are the problem's variables).
+    pub nstruct: usize,
+    /// Sparse columns, each sorted by row.
+    pub cols: Vec<Vec<(usize, S)>>,
+    /// Phase-2 objective (0 on auxiliary columns).
+    pub cost: Vec<S>,
+    /// Per-column finite upper bound (`None` = +∞). Lower bounds are 0.
+    pub upper: Vec<Option<S>>,
+    /// Right-hand side, normalized nonnegative.
+    pub b: Vec<S>,
+    /// Which columns are artificials.
+    pub artificial: Vec<bool>,
+    /// Number of artificial columns.
+    pub n_art: usize,
+    /// Whether the original row was sign-flipped during normalization.
+    pub row_flip: Vec<bool>,
+    /// The all-slack/artificial starting basis (one column per row).
+    pub init_basis: Vec<usize>,
+}
+
+impl<S: Scalar> StandardForm<S> {
+    /// Builds the standard form of `lp` (implicit variable bounds stay
+    /// bounds; they are *not* materialized as rows).
+    pub fn build(lp: &LpProblem<S>) -> StandardForm<S> {
+        let n = lp.num_vars();
+        let m = lp.num_constraints();
+        let mut cols: Vec<Vec<(usize, S)>> = vec![Vec::new(); n];
+        let mut b = Vec::with_capacity(m);
+        let mut row_flip = Vec::with_capacity(m);
+        // Structural entries, visiting rows in order keeps columns sorted.
+        let mut senses: Vec<Cmp> = Vec::with_capacity(m);
+        for (i, c) in lp.constraints().iter().enumerate() {
+            let flip = c.rhs.is_neg();
+            let sgn = if flip { S::one().neg() } else { S::one() };
+            for (v, coef) in &c.terms {
+                let val = sgn.mul(coef);
+                match cols[*v].last_mut() {
+                    Some(last) if last.0 == i => last.1 = last.1.add(&val),
+                    _ => cols[*v].push((i, val)),
+                }
+            }
+            for col in c.terms.iter().map(|t| t.0) {
+                if let Some(last) = cols[col].last() {
+                    if last.0 == i && last.1.is_zero_s() {
+                        cols[col].pop();
+                    }
+                }
+            }
+            b.push(sgn.mul(&c.rhs));
+            row_flip.push(flip);
+            senses.push(match (c.cmp, flip) {
+                (Cmp::Le, false) | (Cmp::Ge, true) => Cmp::Le,
+                (Cmp::Ge, false) | (Cmp::Le, true) => Cmp::Ge,
+                (Cmp::Eq, _) => Cmp::Eq,
+            });
+        }
+        let mut cost: Vec<S> = lp.objective().to_vec();
+        let mut upper: Vec<Option<S>> = (0..n).map(|v| lp.upper(v).cloned()).collect();
+        let mut artificial = vec![false; n];
+        // Slack/surplus columns, then artificials, in row order (mirrors
+        // the dense builder's layout).
+        let mut init_basis = vec![usize::MAX; m];
+        for (i, sense) in senses.iter().enumerate() {
+            let aux = match sense {
+                Cmp::Le => Some((S::one(), true)),        // slack, starts basic
+                Cmp::Ge => Some((S::one().neg(), false)), // surplus
+                Cmp::Eq => None,
+            };
+            if let Some((coef, basic)) = aux {
+                cols.push(vec![(i, coef)]);
+                cost.push(S::zero());
+                upper.push(None);
+                artificial.push(false);
+                if basic {
+                    init_basis[i] = cols.len() - 1;
+                }
+            }
+        }
+        let mut n_art = 0;
+        for (i, sense) in senses.iter().enumerate() {
+            if matches!(sense, Cmp::Ge | Cmp::Eq) {
+                cols.push(vec![(i, S::one())]);
+                cost.push(S::zero());
+                upper.push(None);
+                artificial.push(true);
+                init_basis[i] = cols.len() - 1;
+                n_art += 1;
+            }
+        }
+        let ncols = cols.len();
+        debug_assert_eq!(cost.len(), ncols);
+        debug_assert_eq!(upper.len(), ncols);
+        debug_assert!(init_basis.iter().all(|&c| c != usize::MAX));
+        StandardForm {
+            m,
+            ncols,
+            nstruct: n,
+            cols,
+            cost,
+            upper,
+            b,
+            artificial,
+            n_art,
+            row_flip,
+            init_basis,
+        }
+    }
+}
+
+/// Iteration cap (termination safety net, mirrors the dense solver's).
+fn iteration_cap(rows: usize, cols: usize) -> usize {
+    10_000 + 64 * (rows + cols)
+}
+
+/// The revised-simplex working state over a `StandardForm<f64>`.
+struct Rev<'a> {
+    sf: &'a StandardForm<f64>,
+    basis: Vec<usize>,
+    state: Vec<VarState>,
+    /// Basic values, parallel to `basis`.
+    xb: Vec<f64>,
+    lu: SparseLu<f64>,
+    /// Product-form updates since the last refactorization: `(basis
+    /// position, w = B⁻¹·A_enter at update time)`, sparse.
+    etas: Vec<(usize, Vec<(usize, f64)>)>,
+    barred: Vec<bool>,
+}
+
+enum StepOutcome {
+    Optimal,
+    Unbounded,
+    Stalled,
+}
+
+impl<'a> Rev<'a> {
+    fn new(sf: &'a StandardForm<f64>) -> Option<Rev<'a>> {
+        let basis = sf.init_basis.clone();
+        let mut state = vec![VarState::AtLower; sf.ncols];
+        for &j in &basis {
+            state[j] = VarState::Basic;
+        }
+        let lu = Self::factor(sf, &basis)?;
+        let mut rev = Rev {
+            sf,
+            basis,
+            state,
+            xb: Vec::new(),
+            lu,
+            etas: Vec::new(),
+            barred: vec![false; sf.ncols],
+        };
+        rev.recompute_xb();
+        Some(rev)
+    }
+
+    fn factor(sf: &StandardForm<f64>, basis: &[usize]) -> Option<SparseLu<f64>> {
+        let cols: Vec<Vec<(usize, f64)>> = basis.iter().map(|&j| sf.cols[j].clone()).collect();
+        SparseLu::factor(sf.m, &cols)
+    }
+
+    /// `xb = B⁻¹·(b − Σ_{j at upper} u_j·A_j)` from scratch.
+    fn recompute_xb(&mut self) {
+        let mut rhs = self.sf.b.clone();
+        for j in 0..self.sf.ncols {
+            if self.state[j] == VarState::AtUpper {
+                let u = self.sf.upper[j].expect("AtUpper implies a finite bound");
+                for &(i, v) in &self.sf.cols[j] {
+                    rhs[i] -= u * v;
+                }
+            }
+        }
+        self.xb = self.ftran(&rhs);
+    }
+
+    fn ftran(&self, v: &[f64]) -> Vec<f64> {
+        let mut x = self.lu.solve(v);
+        for (r, w) in &self.etas {
+            let wr = w
+                .iter()
+                .find(|(i, _)| i == r)
+                .map(|&(_, v)| v)
+                .expect("eta stores its pivot entry");
+            let t = x[*r] / wr;
+            for &(i, wi) in w {
+                if i != *r {
+                    x[i] -= wi * t;
+                }
+            }
+            x[*r] = t;
+        }
+        x
+    }
+
+    fn btran(&self, c: &[f64]) -> Vec<f64> {
+        let mut c = c.to_vec();
+        for (r, w) in self.etas.iter().rev() {
+            let mut acc = 0.0;
+            let mut wr = f64::NAN;
+            for &(i, wi) in w {
+                if i == *r {
+                    wr = wi;
+                } else {
+                    acc += c[i] * wi;
+                }
+            }
+            c[*r] = (c[*r] - acc) / wr;
+        }
+        self.lu.solve_transposed(&c)
+    }
+
+    fn refactor(&mut self) -> bool {
+        match Self::factor(self.sf, &self.basis) {
+            Some(lu) => {
+                self.lu = lu;
+                self.etas.clear();
+                self.recompute_xb();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs the simplex loop for the cost vector `cost`. With
+    /// `freeze_artificials` (phase 2), basic artificials are treated as
+    /// having upper bound 0 in the ratio test, so no pivot can ever move
+    /// them off zero — without it a cost-0 artificial could silently
+    /// re-absorb constraint violation.
+    fn optimize(&mut self, cost: &[f64], freeze_artificials: bool) -> StepOutcome {
+        let m = self.sf.m;
+        let mut bland = false;
+        let mut degenerate_run = 0usize;
+        let cap = iteration_cap(m, self.sf.ncols);
+        for _ in 0..cap {
+            // Simplex multipliers for the current basis.
+            let cb: Vec<f64> = self.basis.iter().map(|&j| cost[j]).collect();
+            let y = self.btran(&cb);
+            // Pricing: most negative "effective" reduced cost (at-upper
+            // candidates improve by *increasing* their reduced cost, so
+            // their effective direction is the negation).
+            let mut enter: Option<(usize, f64)> = None;
+            for j in 0..self.sf.ncols {
+                if self.state[j] == VarState::Basic || self.barred[j] {
+                    continue;
+                }
+                let mut d = cost[j];
+                for &(i, v) in &self.sf.cols[j] {
+                    d -= y[i] * v;
+                }
+                let eff = match self.state[j] {
+                    VarState::AtLower => d,
+                    VarState::AtUpper => -d,
+                    VarState::Basic => unreachable!(),
+                };
+                if eff < -ENTER_TOL {
+                    let better = match &enter {
+                        None => true,
+                        Some((bj, beff)) => {
+                            if bland {
+                                j < *bj
+                            } else {
+                                eff < *beff
+                            }
+                        }
+                    };
+                    if better {
+                        enter = Some((j, eff));
+                        if bland {
+                            break;
+                        }
+                    }
+                }
+            }
+            let Some((q, _)) = enter else {
+                return StepOutcome::Optimal;
+            };
+            // Direction: +1 when rising from the lower bound, −1 when
+            // descending from the upper.
+            let sigma = if self.state[q] == VarState::AtLower {
+                1.0
+            } else {
+                -1.0
+            };
+            let mut aq = vec![0.0; m];
+            for &(i, v) in &self.sf.cols[q] {
+                aq[i] = v;
+            }
+            let w = self.ftran(&aq);
+            // Ratio test: basic variables hitting a bound vs the entering
+            // variable's own bound span (a flip).
+            let mut t_best = self.sf.upper[q].unwrap_or(f64::INFINITY);
+            let mut leave: Option<(usize, bool, f64)> = None; // (row, to_upper, |w_r|)
+            for i in 0..m {
+                let d = sigma * w[i];
+                if d > PIV_TOL {
+                    let t = (self.xb[i].max(0.0)) / d;
+                    let tie = leave.is_some() && (t - t_best).abs() <= 1e-12;
+                    if t < t_best - 1e-12 || (tie && leave.map(|l| d.abs() > l.2) == Some(true)) {
+                        t_best = t;
+                        leave = Some((i, false, d.abs()));
+                    }
+                } else if d < -PIV_TOL {
+                    let ub = if freeze_artificials && self.sf.artificial[self.basis[i]] {
+                        Some(0.0)
+                    } else {
+                        self.sf.upper[self.basis[i]]
+                    };
+                    if let Some(u) = ub {
+                        let t = (u - self.xb[i]).max(0.0) / -d;
+                        let tie = leave.is_some() && (t - t_best).abs() <= 1e-12;
+                        if t < t_best - 1e-12 || (tie && leave.map(|l| d.abs() > l.2) == Some(true))
+                        {
+                            t_best = t;
+                            leave = Some((i, true, d.abs()));
+                        }
+                    }
+                }
+            }
+            if t_best.is_infinite() {
+                return StepOutcome::Unbounded;
+            }
+            if t_best <= ENTER_TOL {
+                degenerate_run += 1;
+                if degenerate_run >= DEGENERATE_SWITCH {
+                    bland = true;
+                }
+            } else {
+                degenerate_run = 0;
+            }
+            match leave {
+                None => {
+                    // Bound flip: no basis change, the entering variable
+                    // jumps to its opposite bound.
+                    let t = t_best;
+                    for i in 0..m {
+                        self.xb[i] -= sigma * t * w[i];
+                    }
+                    self.state[q] = match self.state[q] {
+                        VarState::AtLower => VarState::AtUpper,
+                        VarState::AtUpper => VarState::AtLower,
+                        VarState::Basic => unreachable!(),
+                    };
+                }
+                Some((r, to_upper, _)) => {
+                    let t = t_best;
+                    let lvar = self.basis[r];
+                    for i in 0..m {
+                        if i != r {
+                            self.xb[i] -= sigma * t * w[i];
+                        }
+                    }
+                    self.xb[r] = if sigma > 0.0 {
+                        t
+                    } else {
+                        self.sf.upper[q].expect("descending from a finite bound") - t
+                    };
+                    // A frozen artificial "leaves to its upper bound" of 0,
+                    // which is its lower bound: record AtLower.
+                    self.state[lvar] = if to_upper && !self.sf.artificial[lvar] {
+                        VarState::AtUpper
+                    } else {
+                        VarState::AtLower
+                    };
+                    self.basis[r] = q;
+                    self.state[q] = VarState::Basic;
+                    let sparse_w: Vec<(usize, f64)> = w
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, &v)| i == r || v.abs() > 1e-12)
+                        .map(|(i, &v)| (i, v))
+                        .collect();
+                    self.etas.push((r, sparse_w));
+                    if self.etas.len() >= REFACTOR_EVERY && !self.refactor() {
+                        return StepOutcome::Stalled;
+                    }
+                }
+            }
+        }
+        StepOutcome::Stalled
+    }
+}
+
+/// Two-phase bounded revised simplex over a `StandardForm<f64>`. The result
+/// is a *proposal*: callers must verify `Optimal` outcomes exactly and must
+/// treat every other status as "rerun exactly".
+pub fn solve_bounded_f64(sf: &StandardForm<f64>) -> BoundedBasis {
+    let stalled = BoundedBasis {
+        status: BoundedStatus::Stalled,
+        basis: Vec::new(),
+        state: Vec::new(),
+    };
+    let Some(mut rev) = Rev::new(sf) else {
+        return stalled;
+    };
+    if sf.n_art > 0 {
+        let cost1: Vec<f64> = (0..sf.ncols)
+            .map(|j| if sf.artificial[j] { 1.0 } else { 0.0 })
+            .collect();
+        match rev.optimize(&cost1, false) {
+            StepOutcome::Optimal => {}
+            // Phase 1 is bounded below by 0; treat anything else as a stall.
+            StepOutcome::Unbounded | StepOutcome::Stalled => return stalled,
+        }
+        let infeasibility: f64 = rev
+            .basis
+            .iter()
+            .zip(&rev.xb)
+            .filter(|(&j, _)| sf.artificial[j])
+            .map(|(_, &v)| v.max(0.0))
+            .sum();
+        if infeasibility > 1e-7 {
+            return BoundedBasis {
+                status: BoundedStatus::Infeasible,
+                basis: rev.basis,
+                state: rev.state,
+            };
+        }
+        for j in 0..sf.ncols {
+            if sf.artificial[j] {
+                rev.barred[j] = true;
+            }
+        }
+    }
+    match rev.optimize(&sf.cost, true) {
+        StepOutcome::Optimal => BoundedBasis {
+            status: BoundedStatus::Optimal,
+            basis: rev.basis,
+            state: rev.state,
+        },
+        StepOutcome::Unbounded => BoundedBasis {
+            status: BoundedStatus::Unbounded,
+            basis: rev.basis,
+            state: rev.state,
+        },
+        StepOutcome::Stalled => stalled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, LpProblem};
+
+    fn sf(lp: &LpProblem<f64>) -> StandardForm<f64> {
+        StandardForm::build(lp)
+    }
+
+    #[test]
+    fn standard_form_shapes() {
+        let mut lp: LpProblem<f64> = LpProblem::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(-1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Ge, 1.0);
+        lp.add_constraint(vec![(y, 1.0)], Cmp::Eq, 2.0);
+        lp.set_upper(y, 3.0);
+        let s = sf(&lp);
+        assert_eq!(s.m, 3);
+        assert_eq!(s.nstruct, 2);
+        // slack(row0) + surplus(row1) + artificials(rows 1, 2)
+        assert_eq!(s.ncols, 2 + 2 + 2);
+        assert_eq!(s.n_art, 2);
+        assert_eq!(s.upper[y], Some(3.0));
+        assert!(s.artificial[4] && s.artificial[5]);
+        assert_eq!(s.init_basis[0], 2); // slack
+        assert_eq!(s.init_basis[1], 4); // artificial
+        assert_eq!(s.init_basis[2], 5); // artificial
+    }
+
+    #[test]
+    fn negative_rhs_flips() {
+        let mut lp: LpProblem<f64> = LpProblem::new();
+        let x = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, -1.0)], Cmp::Le, -3.0); // x ≥ 3
+        let s = sf(&lp);
+        assert!(s.row_flip[0]);
+        assert_eq!(s.b[0], 3.0);
+        assert_eq!(s.cols[x], vec![(0, 1.0)]);
+        assert_eq!(s.n_art, 1);
+    }
+
+    #[test]
+    fn repeated_terms_are_summed() {
+        let mut lp: LpProblem<f64> = LpProblem::new();
+        let x = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, 1.0), (x, 2.0)], Cmp::Le, 6.0);
+        let s = sf(&lp);
+        assert_eq!(s.cols[x], vec![(0, 3.0)]);
+    }
+
+    #[test]
+    fn bounded_solver_uses_bound_flips() {
+        // min −x  s.t.  x + y ≤ 10, x ≤ 5 implicit: optimum x = 5 reached
+        // by a single bound flip (the slack never leaves the basis).
+        let mut lp: LpProblem<f64> = LpProblem::new();
+        let x = lp.add_var(-1.0);
+        let y = lp.add_var(0.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 10.0);
+        lp.set_upper(x, 5.0);
+        let s = sf(&lp);
+        let out = solve_bounded_f64(&s);
+        assert_eq!(out.status, BoundedStatus::Optimal);
+        assert_eq!(out.state[x], VarState::AtUpper);
+        // The slack stayed basic: no pivot happened at all.
+        assert_eq!(out.basis, s.init_basis);
+    }
+
+    #[test]
+    fn bounded_solver_detects_infeasible_and_unbounded() {
+        let mut inf: LpProblem<f64> = LpProblem::new();
+        let x = inf.add_var(1.0);
+        inf.add_constraint(vec![(x, 1.0)], Cmp::Ge, 3.0);
+        inf.set_upper(x, 1.0);
+        assert_eq!(
+            solve_bounded_f64(&sf(&inf)).status,
+            BoundedStatus::Infeasible
+        );
+
+        let mut unb: LpProblem<f64> = LpProblem::new();
+        let x = unb.add_var(-1.0);
+        unb.add_constraint(vec![(x, 1.0)], Cmp::Ge, 1.0);
+        assert_eq!(
+            solve_bounded_f64(&sf(&unb)).status,
+            BoundedStatus::Unbounded
+        );
+    }
+}

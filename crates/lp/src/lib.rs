@@ -3,9 +3,12 @@
 //! A self-contained linear-programming substrate: a dense two-phase primal
 //! simplex solver over a flat row-major tableau, generic over an exact
 //! `i128` rational scalar (so the §3 rounding's case analysis is
-//! noise-free) or `f64`, plus a float-first **hybrid** solve
-//! ([`solve_hybrid`]) that runs the search in `f64` and re-verifies the
-//! terminal basis exactly — the default path for the active-time LPs.
+//! noise-free) or `f64`; a float-first **hybrid** solve ([`solve_hybrid`])
+//! that runs the search in `f64` and re-verifies the terminal basis
+//! exactly; and the bounded-variable **revised** hybrid ([`solve_revised`])
+//! — implicit `[0, u]` variable bounds handled by the pivoting rules
+//! ([`bounds`]) and exact verification through a sparse rational LU of the
+//! basis matrix ([`lu`]) — the default path for the active-time LPs.
 //!
 //! The allowed offline dependency set contains no LP solver (the paper's
 //! reproduction band notes the thin LP ecosystem), so this crate implements
@@ -13,12 +16,19 @@
 
 #![warn(missing_docs)]
 
+pub mod bounds;
+pub mod lu;
 pub mod model;
 pub mod rational;
 pub mod scalar;
 pub mod simplex;
 
+pub use bounds::{solve_bounded_f64, BoundedBasis, BoundedStatus, StandardForm, VarState};
+pub use lu::SparseLu;
 pub use model::{Cmp, Constraint, LpProblem, VarId};
 pub use rational::Rat;
 pub use scalar::{Scalar, F64_EPS};
-pub use simplex::{solve, solve_hybrid, solve_hybrid_report, HybridReport, LpSolution, LpStatus};
+pub use simplex::{
+    solve, solve_hybrid, solve_hybrid_report, solve_revised, solve_revised_report, HybridReport,
+    LpSolution, LpStatus,
+};

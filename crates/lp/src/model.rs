@@ -1,7 +1,15 @@
 //! A small modeling layer: variables, linear constraints, minimization
-//! objective. All variables are non-negative (which is all the paper's LPs
-//! need); upper bounds are expressed as explicit `≤` rows by the caller or
-//! via [`LpProblem::bound_var`].
+//! objective. All variables are non-negative; finite upper bounds can be
+//! attached two ways:
+//!
+//! * [`LpProblem::set_upper`] — an **implicit** bound `x_v ≤ u` carried on
+//!   the variable itself. The bounded revised simplex
+//!   ([`crate::simplex::solve_revised`]) handles these inside the pivoting
+//!   rules, so they never become tableau rows; the dense solvers
+//!   materialize them as rows internally via [`LpProblem::bounds_as_rows`].
+//! * [`LpProblem::bound_var`] — an **explicit** `≤` row. This is the seed
+//!   formulation, kept as the differential-test oracle: the two encodings
+//!   must produce bit-identical optima under every backend.
 
 use crate::scalar::Scalar;
 
@@ -30,11 +38,13 @@ pub struct Constraint<S> {
     pub rhs: S,
 }
 
-/// A linear program `min c·x  s.t.  constraints, x ≥ 0`.
+/// A linear program `min c·x  s.t.  constraints, 0 ≤ x ≤ u` (with `u`
+/// componentwise optional).
 #[derive(Debug, Clone)]
 pub struct LpProblem<S> {
     objective: Vec<S>,
     constraints: Vec<Constraint<S>>,
+    upper: Vec<Option<S>>,
 }
 
 impl<S: Scalar> Default for LpProblem<S> {
@@ -49,12 +59,14 @@ impl<S: Scalar> LpProblem<S> {
         LpProblem {
             objective: Vec::new(),
             constraints: Vec::new(),
+            upper: Vec::new(),
         }
     }
 
     /// Adds a variable with objective coefficient `cost`; returns its id.
     pub fn add_var(&mut self, cost: S) -> VarId {
         self.objective.push(cost);
+        self.upper.push(None);
         self.objective.len() - 1
     }
 
@@ -77,9 +89,50 @@ impl<S: Scalar> LpProblem<S> {
         self.constraints.push(Constraint { terms, cmp, rhs });
     }
 
-    /// Adds the upper bound `x_v ≤ ub` as a row.
+    /// Adds the upper bound `x_v ≤ ub` as an explicit row (the dense-oracle
+    /// encoding; see the module docs).
     pub fn bound_var(&mut self, v: VarId, ub: S) {
         self.add_constraint(vec![(v, S::one())], Cmp::Le, ub);
+    }
+
+    /// Attaches the implicit bound `x_v ≤ ub` to the variable itself (no
+    /// row is created). Repeated calls keep the tighter bound.
+    pub fn set_upper(&mut self, v: VarId, ub: S) {
+        debug_assert!(!ub.is_neg(), "upper bound below the lower bound 0");
+        let keep = matches!(&self.upper[v],
+            Some(old) if old.cmp_s(&ub) != std::cmp::Ordering::Greater);
+        if !keep {
+            self.upper[v] = Some(ub);
+        }
+    }
+
+    /// The implicit upper bound of `v`, if any.
+    pub fn upper(&self, v: VarId) -> Option<&S> {
+        self.upper[v].as_ref()
+    }
+
+    /// Whether any variable carries an implicit upper bound.
+    pub fn has_upper_bounds(&self) -> bool {
+        self.upper.iter().any(|u| u.is_some())
+    }
+
+    /// A copy of the problem with every implicit bound materialized as an
+    /// explicit `≤` row (appended after the original rows, in variable
+    /// order) and the implicit bounds cleared. Used by the dense solvers
+    /// and the exact fallback; duals of the appended rows are dropped
+    /// before results reach callers.
+    pub fn bounds_as_rows(&self) -> LpProblem<S> {
+        let mut out = LpProblem {
+            objective: self.objective.clone(),
+            constraints: self.constraints.clone(),
+            upper: vec![None; self.upper.len()],
+        };
+        for (v, ub) in self.upper.iter().enumerate() {
+            if let Some(ub) = ub {
+                out.bound_var(v, ub.clone());
+            }
+        }
+        out
     }
 
     /// Objective coefficients.
@@ -101,9 +154,15 @@ impl<S: Scalar> LpProblem<S> {
         acc
     }
 
-    /// Checks primal feasibility of `x` (including `x ≥ 0`).
+    /// Checks primal feasibility of `x` (including `0 ≤ x ≤ u`).
     pub fn is_feasible(&self, x: &[S]) -> bool {
         if x.len() != self.num_vars() || x.iter().any(|v| v.is_neg()) {
+            return false;
+        }
+        if x.iter()
+            .zip(&self.upper)
+            .any(|(v, u)| matches!(u, Some(u) if v.sub(u).is_pos()))
+        {
             return false;
         }
         self.constraints.iter().all(|c| {
@@ -144,5 +203,40 @@ mod tests {
         assert!(!lp.is_feasible(&[Rat::from_int(3), Rat::ZERO])); // violates bound
         assert!(!lp.is_feasible(&[Rat::from_int(1), Rat::ONE])); // violates Ge
         assert!(!lp.is_feasible(&[Rat::from_int(-1), Rat::from_int(4)])); // negativity
+    }
+
+    #[test]
+    fn implicit_bounds_roundtrip() {
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(Rat::ONE);
+        let y = lp.add_var(Rat::ONE);
+        lp.add_constraint(
+            vec![(x, Rat::ONE), (y, Rat::ONE)],
+            Cmp::Ge,
+            Rat::from_int(3),
+        );
+        assert!(!lp.has_upper_bounds());
+        lp.set_upper(x, Rat::from_int(2));
+        lp.set_upper(x, Rat::from_int(5)); // looser: ignored
+        assert_eq!(lp.upper(x), Some(&Rat::from_int(2)));
+        assert_eq!(lp.upper(y), None);
+        assert!(lp.has_upper_bounds());
+        // Feasibility honours the implicit bound…
+        assert!(!lp.is_feasible(&[Rat::from_int(3), Rat::ZERO]));
+        assert!(lp.is_feasible(&[Rat::from_int(2), Rat::ONE]));
+        // …and materialization moves it into a row.
+        let rows = lp.bounds_as_rows();
+        assert!(!rows.has_upper_bounds());
+        assert_eq!(rows.num_constraints(), 2);
+        assert!(!rows.is_feasible(&[Rat::from_int(3), Rat::ZERO]));
+    }
+
+    #[test]
+    fn set_upper_keeps_the_tighter_bound() {
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(Rat::ONE);
+        lp.set_upper(x, Rat::from_int(5));
+        lp.set_upper(x, Rat::from_int(2));
+        assert_eq!(lp.upper(x), Some(&Rat::from_int(2)));
     }
 }

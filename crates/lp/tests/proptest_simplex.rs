@@ -8,7 +8,7 @@
 //! constraints (rows of `A` or axes). The oracle enumerates all such
 //! intersections, filters the feasible ones, and takes the best objective.
 
-use abt_lp::{solve, solve_hybrid, Cmp, LpProblem, LpStatus, Rat};
+use abt_lp::{solve, solve_hybrid, solve_revised, Cmp, LpProblem, LpStatus, Rat};
 use proptest::prelude::*;
 
 fn r(p: i64) -> Rat {
@@ -222,6 +222,48 @@ proptest! {
                     }
                 }
                 prop_assert!(aty <= r(costs[j]), "dual feasibility for var {}", j);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn revised_matches_dense_on_both_bound_encodings(
+        k in 1usize..4,
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-4i64..5, 3), -3i64..9), 1..6),
+        costs in proptest::collection::vec(-5i64..6, 3),
+        ubs in proptest::collection::vec(0i64..11, 3),
+    ) {
+        // The bounded revised hybrid must be bit-identical (status and
+        // objective) to the dense exact simplex whether the per-variable
+        // box is written as explicit `≤` rows or as implicit bounds.
+        let mut row_lp: LpProblem<Rat> = LpProblem::new();
+        let mut bnd_lp: LpProblem<Rat> = LpProblem::new();
+        for i in 0..k {
+            row_lp.add_var(r(costs[i]));
+            bnd_lp.add_var(r(costs[i]));
+        }
+        for (coeffs, b) in &rows {
+            let terms: Vec<_> = (0..k).map(|i| (i, r(coeffs[i]))).collect();
+            row_lp.add_constraint(terms.clone(), Cmp::Le, r(*b));
+            bnd_lp.add_constraint(terms, Cmp::Le, r(*b));
+        }
+        for i in 0..k {
+            row_lp.bound_var(i, r(ubs[i]));
+            bnd_lp.set_upper(i, r(ubs[i]));
+        }
+        let exact = solve(&row_lp);
+        for lp in [&row_lp, &bnd_lp] {
+            let rev = solve_revised(lp);
+            prop_assert_eq!(rev.status.clone(), exact.status.clone());
+            if exact.status == LpStatus::Optimal {
+                prop_assert_eq!(rev.objective, exact.objective);
+                prop_assert!(lp.is_feasible(&rev.x));
+                prop_assert_eq!(lp.objective_value(&rev.x), exact.objective);
+                prop_assert_eq!(rev.duals.len(), lp.num_constraints());
             }
         }
     }
