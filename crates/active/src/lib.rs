@@ -29,7 +29,7 @@ pub use exact::{exact_active_time, ExactActive};
 pub use feasibility::{feasible_on, schedule_on, FeasibilityChecker};
 pub use lp_model::{
     fractional_feasible, lp_telemetry, solve_active_lp, solve_active_lp_with, ActiveLp, BoundsMode,
-    LpBackend, LpOptions,
+    LpBackend, LpOptions, LpTelemetry, VubMode,
 };
 pub use minimal::{
     is_minimal, minimal_feasible, minimal_feasible_from, ClosingOrder, MinimalResult,

@@ -1,6 +1,7 @@
 //! The natural LP relaxation `LP1` of the active-time IP (§3), with slot
-//! coalescing, implicit variable bounds, and a bounded revised hybrid
-//! solve as the default configuration.
+//! coalescing, implicit variable bounds, implicit VUB families for the
+//! `x ≤ Y` caps, and a VUB-aware bounded revised hybrid solve as the
+//! default configuration.
 //!
 //! # The per-slot formulation (the seed model)
 //!
@@ -33,9 +34,18 @@
 //! themselves (`LpProblem::set_upper`) and never become tableau rows —
 //! the bounded-variable simplex handles them in its pivoting rules.
 //! [`BoundsMode::Rows`] keeps the seed's explicit `≤` rows as the
-//! differential-test oracle. The `x_{I,j} ≤ Y_I` caps bound one *variable
-//! by another* and therefore stay rows in either mode (they are what makes
-//! LP1 basis columns ≤ 3-sparse, which the exact LU verification exploits).
+//! differential-test oracle.
+//!
+//! The `x_{I,j} ≤ Y_I` caps bound one *variable by another* — a **variable
+//! upper bound** (VUB). They are the last `O(n²)` block of LP1: one row
+//! per (job, interval) pair while every other row class is `O(n)`. Under
+//! [`VubMode::Implicit`] (the default) each cap is registered as a VUB
+//! family membership (`LpProblem::set_vub`) that the revised simplex
+//! handles inside its pivoting rules — dependents rest *glued* to their
+//! `Y_I` key and basic keys carry Schrage-style augmented key columns —
+//! shrinking the working basis from `O(n²)` to `O(n)` rows.
+//! [`VubMode::Rows`] keeps the explicit `x − Y ≤ 0` rows as the
+//! differential-test oracle.
 //!
 //! # Solve backends
 //!
@@ -47,17 +57,19 @@
 //! explicit rows + pure exact simplex) and the PR-1 default (coalesced +
 //! dense hybrid) for differential tests and benchmarks.
 //!
-//! Every hybrid-style solve feeds the process-wide fallback telemetry
-//! ([`lp_telemetry`]): the experiment harness records a per-experiment
-//! fallback rate and CI fails when a non-adversarial workload ever needs
-//! the exact fallback.
+//! Every hybrid-style solve feeds the process-wide telemetry
+//! ([`lp_telemetry`]): fallbacks plus the pivot / bound-flip /
+//! refactorization / exact-certify counters. The experiment harness
+//! records them per experiment and CI fails when a non-adversarial
+//! workload ever needs the exact fallback.
 
 #![allow(clippy::needless_range_loop)] // job indices are shared across parallel vectors
 
 use abt_core::active_schedule::{horizon_slots, job_feasible_in_slot};
 use abt_core::{Error, Instance, Result, Time};
 use abt_lp::{
-    solve, solve_hybrid_report, solve_revised_report, Cmp, LpProblem, LpSolution, LpStatus, Rat,
+    solve, solve_hybrid_report, solve_revised_with, BoundedOptions, Cmp, HybridReport, LpProblem,
+    LpSolution, LpStatus, Rat, RevisedOptions, DEFAULT_PRICING_WINDOW,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -85,6 +97,15 @@ pub enum BoundsMode {
     Implicit,
 }
 
+/// How the `x_{I,j} ≤ Y_I` variable upper bounds enter the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VubMode {
+    /// Explicit `x − Y ≤ 0` rows (the seed/PR-2 encoding; dense-oracle).
+    Rows,
+    /// Implicit VUB families handled by the pivoting rules (no rows).
+    Implicit,
+}
+
 /// Model/solver configuration for [`solve_active_lp_with`].
 #[derive(Debug, Clone, Copy)]
 pub struct LpOptions {
@@ -93,8 +114,13 @@ pub struct LpOptions {
     /// Coalesce identical-window slot runs into weighted super-slots.
     /// Default: `true`.
     pub coalesce: bool,
-    /// Bound encoding. Default: [`BoundsMode::Implicit`].
+    /// Constant-bound encoding. Default: [`BoundsMode::Implicit`].
     pub bounds: BoundsMode,
+    /// Variable-upper-bound encoding. Default: [`VubMode::Implicit`].
+    pub vub: VubMode,
+    /// Partial-pricing window of the revised backend (`0` = full Dantzig
+    /// sweeps). Default: [`DEFAULT_PRICING_WINDOW`].
+    pub pricing_window: usize,
 }
 
 impl Default for LpOptions {
@@ -103,6 +129,8 @@ impl Default for LpOptions {
             backend: LpBackend::Revised,
             coalesce: true,
             bounds: BoundsMode::Implicit,
+            vub: VubMode::Implicit,
+            pricing_window: DEFAULT_PRICING_WINDOW,
         }
     }
 }
@@ -115,6 +143,8 @@ impl LpOptions {
             backend: LpBackend::Exact,
             coalesce: false,
             bounds: BoundsMode::Rows,
+            vub: VubMode::Rows,
+            pricing_window: 0,
         }
     }
 
@@ -126,6 +156,21 @@ impl LpOptions {
             backend: LpBackend::Hybrid,
             coalesce: true,
             bounds: BoundsMode::Rows,
+            vub: VubMode::Rows,
+            pricing_window: 0,
+        }
+    }
+
+    /// The PR-2 default: coalesced model, implicit constant bounds, VUBs
+    /// still rows, full Dantzig pricing. Kept as the perf baseline the
+    /// VUB-aware solver is benchmarked against.
+    pub fn pr2_revised_bounds() -> Self {
+        LpOptions {
+            backend: LpBackend::Revised,
+            coalesce: true,
+            bounds: BoundsMode::Implicit,
+            vub: VubMode::Rows,
+            pricing_window: 0,
         }
     }
 }
@@ -135,36 +180,98 @@ impl LpOptions {
 static LP_SOLVES: AtomicU64 = AtomicU64::new(0);
 /// Process-wide count of those solves that needed the exact fallback.
 static LP_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide basis-changing pivot count of the float passes.
+static LP_PIVOTS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide bound/VUB flip count of the float passes.
+static LP_BOUND_FLIPS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide LU refactorization count of the float passes.
+static LP_REFACTORIZATIONS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide exact-certification wall time, nanoseconds.
+static LP_CERTIFY_NANOS: AtomicU64 = AtomicU64::new(0);
 
-/// Snapshot of the cumulative `(solves, fallbacks)` telemetry. The
-/// experiment harness diffs two snapshots to compute per-experiment
-/// fallback rates; CI fails when a non-adversarial workload reports a
-/// nonzero rate.
-pub fn lp_telemetry() -> (u64, u64) {
-    (
-        LP_SOLVES.load(Ordering::Relaxed),
-        LP_FALLBACKS.load(Ordering::Relaxed),
-    )
+/// A snapshot of the process-wide LP solve telemetry (see
+/// [`lp_telemetry`]). All counters are cumulative and monotone; diff two
+/// snapshots with [`LpTelemetry::delta`] to scope them to a region. Every
+/// field is maintained with atomic adds, so concurrent solves (e.g. under
+/// `abt-bench`'s `parallel_map`) are counted exactly — a delta across a
+/// parallel region equals the sum of the per-solve contributions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpTelemetry {
+    /// Hybrid-style LP solves (`Hybrid`/`Revised` backends and the
+    /// fractional-feasibility oracle).
+    pub solves: u64,
+    /// Solves that needed the exact fallback.
+    pub fallbacks: u64,
+    /// Basis-changing pivots of the float passes.
+    pub pivots: u64,
+    /// Bound/VUB flips of the float passes (no basis change).
+    pub bound_flips: u64,
+    /// LU refactorizations of the float passes (periodic and
+    /// VUB-structural).
+    pub refactorizations: u64,
+    /// Exact-certification wall time, nanoseconds.
+    pub certify_nanos: u64,
 }
 
-fn record_solve(fallback: bool) {
-    LP_SOLVES.fetch_add(1, Ordering::Relaxed);
-    if fallback {
-        LP_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+impl LpTelemetry {
+    /// Componentwise `self − earlier` (counters are monotone).
+    pub fn delta(&self, earlier: &LpTelemetry) -> LpTelemetry {
+        LpTelemetry {
+            solves: self.solves - earlier.solves,
+            fallbacks: self.fallbacks - earlier.fallbacks,
+            pivots: self.pivots - earlier.pivots,
+            bound_flips: self.bound_flips - earlier.bound_flips,
+            refactorizations: self.refactorizations - earlier.refactorizations,
+            certify_nanos: self.certify_nanos - earlier.certify_nanos,
+        }
     }
 }
 
-fn run_backend(lp: &LpProblem<Rat>, backend: LpBackend) -> LpSolution<Rat> {
-    match backend {
+/// Snapshot of the cumulative LP telemetry. The experiment harness diffs
+/// two snapshots to compute per-experiment fallback rates and iteration
+/// counters; CI fails when a non-adversarial workload reports a nonzero
+/// fallback rate.
+pub fn lp_telemetry() -> LpTelemetry {
+    LpTelemetry {
+        solves: LP_SOLVES.load(Ordering::Relaxed),
+        fallbacks: LP_FALLBACKS.load(Ordering::Relaxed),
+        pivots: LP_PIVOTS.load(Ordering::Relaxed),
+        bound_flips: LP_BOUND_FLIPS.load(Ordering::Relaxed),
+        refactorizations: LP_REFACTORIZATIONS.load(Ordering::Relaxed),
+        certify_nanos: LP_CERTIFY_NANOS.load(Ordering::Relaxed),
+    }
+}
+
+fn record_solve(rep: &HybridReport) {
+    LP_SOLVES.fetch_add(1, Ordering::Relaxed);
+    if rep.fallback {
+        LP_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+    }
+    LP_PIVOTS.fetch_add(rep.stats.pivots, Ordering::Relaxed);
+    LP_BOUND_FLIPS.fetch_add(rep.stats.bound_flips, Ordering::Relaxed);
+    LP_REFACTORIZATIONS.fetch_add(rep.stats.refactorizations, Ordering::Relaxed);
+    LP_CERTIFY_NANOS.fetch_add(rep.stats.certify_nanos, Ordering::Relaxed);
+}
+
+fn revised_options(opts: &LpOptions) -> RevisedOptions {
+    RevisedOptions {
+        pricing: BoundedOptions {
+            pricing_window: opts.pricing_window,
+        },
+    }
+}
+
+fn run_backend(lp: &LpProblem<Rat>, opts: &LpOptions) -> LpSolution<Rat> {
+    match opts.backend {
         LpBackend::Exact => solve(lp),
         LpBackend::Hybrid => {
             let rep = solve_hybrid_report(lp);
-            record_solve(rep.fallback);
+            record_solve(&rep);
             rep.solution
         }
         LpBackend::Revised => {
-            let rep = solve_revised_report(lp);
-            record_solve(rep.fallback);
+            let rep = solve_revised_with(lp, &revised_options(opts));
+            record_solve(&rep);
             rep.solution
         }
     }
@@ -272,14 +379,18 @@ pub fn solve_active_lp_with(inst: &Instance, opts: &LpOptions) -> Result<ActiveL
             }
         }
     }
-    // x_{I,j} ≤ Y_I: a variable-vs-variable cap, hence always a row.
+    // x_{I,j} ≤ Y_I: a variable-vs-variable cap — a VUB family membership
+    // under the default encoding, an explicit row under the oracle one.
     for row in &x_vars {
         for &(ri, v) in row {
-            lp.add_constraint(
-                vec![(v, Rat::ONE), (y_vars[ri], Rat::from_int(-1))],
-                Cmp::Le,
-                Rat::ZERO,
-            );
+            match opts.vub {
+                VubMode::Implicit => lp.set_vub(v, y_vars[ri]),
+                VubMode::Rows => lp.add_constraint(
+                    vec![(v, Rat::ONE), (y_vars[ri], Rat::from_int(-1))],
+                    Cmp::Le,
+                    Rat::ZERO,
+                ),
+            }
         }
     }
     // Σ_j x_{I,j} ≤ g·Y_I.
@@ -303,7 +414,7 @@ pub fn solve_active_lp_with(inst: &Instance, opts: &LpOptions) -> Result<ActiveL
         lp.add_constraint(terms, Cmp::Ge, Rat::from_int(inst.job(j).length));
     }
 
-    let sol = run_backend(&lp, opts.backend);
+    let sol = run_backend(&lp, opts);
     match sol.status {
         LpStatus::Optimal => {
             // Uniform exact disaggregation back to per-slot y.
@@ -365,8 +476,8 @@ pub fn fractional_feasible(inst: &Instance, slots: &[Time], y: &[Rat]) -> bool {
         let terms: Vec<(usize, Rat)> = row.iter().map(|&(_, v)| (v, Rat::ONE)).collect();
         lp.add_constraint(terms, Cmp::Ge, Rat::from_int(inst.job(j).length));
     }
-    let rep = solve_revised_report(&lp);
-    record_solve(rep.fallback);
+    let rep = solve_revised_with(&lp, &RevisedOptions::default());
+    record_solve(&rep);
     matches!(rep.solution.status, LpStatus::Optimal)
 }
 
@@ -374,25 +485,45 @@ pub fn fractional_feasible(inst: &Instance, slots: &[Time], y: &[Rat]) -> bool {
 mod tests {
     use super::*;
 
-    /// A grid over backends × bound encodings (plus both model shapes).
-    fn all_options() -> [LpOptions; 6] {
+    /// A grid over backends × bound encodings × VUB encodings (plus both
+    /// model shapes).
+    fn all_options() -> [LpOptions; 9] {
         [
             LpOptions::seed_exact(),
             LpOptions {
                 backend: LpBackend::Exact,
                 coalesce: true,
                 bounds: BoundsMode::Implicit,
+                ..LpOptions::default()
             },
             LpOptions {
                 backend: LpBackend::Hybrid,
                 coalesce: false,
                 bounds: BoundsMode::Implicit,
+                vub: VubMode::Rows,
+                ..LpOptions::default()
             },
             LpOptions::pr1_hybrid(),
             LpOptions {
                 backend: LpBackend::Revised,
                 coalesce: true,
                 bounds: BoundsMode::Rows,
+                vub: VubMode::Rows,
+                ..LpOptions::default()
+            },
+            LpOptions::pr2_revised_bounds(),
+            LpOptions {
+                // VUB families over explicit bound rows.
+                backend: LpBackend::Revised,
+                coalesce: true,
+                bounds: BoundsMode::Rows,
+                vub: VubMode::Implicit,
+                ..LpOptions::default()
+            },
+            LpOptions {
+                // The default model under full Dantzig pricing.
+                pricing_window: 0,
+                ..LpOptions::default()
             },
             LpOptions::default(),
         ]
@@ -512,12 +643,49 @@ mod tests {
 
     #[test]
     fn telemetry_counts_solves() {
-        let (solves0, _) = lp_telemetry();
+        let before = lp_telemetry();
         let inst = Instance::from_triples([(0, 4, 2), (1, 3, 2)], 2).unwrap();
         solve_active_lp(&inst).unwrap();
-        let (solves1, fallbacks1) = lp_telemetry();
-        assert!(solves1 > solves0);
-        assert!(fallbacks1 <= solves1);
+        let after = lp_telemetry();
+        let d = after.delta(&before);
+        assert!(d.solves >= 1);
+        assert!(after.fallbacks <= after.solves);
+        // The revised backend did *some* work and certified it exactly.
+        assert!(d.pivots + d.bound_flips >= 1);
+        assert!(d.certify_nanos >= 1);
+    }
+
+    #[test]
+    fn telemetry_is_accurate_under_concurrent_solves() {
+        // Fire k independent LP1 solves from k threads and check the
+        // atomic counters account for every one of them. Other tests may
+        // solve concurrently in the same process, so the delta is a lower
+        // bound, never an exact count.
+        let k = 8u64;
+        let instances: Vec<Instance> = (0..k as i64)
+            .map(|i| Instance::from_triples([(0, 4 + i, 2), (1, 3 + i, 2)], 2).unwrap())
+            .collect();
+        let before = lp_telemetry();
+        let objectives: Vec<Rat> = std::thread::scope(|s| {
+            let handles: Vec<_> = instances
+                .iter()
+                .map(|inst| s.spawn(move || solve_active_lp(inst).unwrap().objective))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let d = lp_telemetry().delta(&before);
+        assert_eq!(objectives.len(), k as usize);
+        assert!(
+            d.solves >= k,
+            "expected ≥ {k} solves recorded, got {}",
+            d.solves
+        );
+        assert!(d.pivots + d.bound_flips >= k, "every solve iterates");
+        // Sequential re-solve of the same instances must agree exactly
+        // with the concurrent results (no shared-state interference).
+        for (inst, obj) in instances.iter().zip(&objectives) {
+            assert_eq!(solve_active_lp(inst).unwrap().objective, *obj);
+        }
     }
 
     #[test]

@@ -1,37 +1,49 @@
 //! Differential property tests for the LP pipeline: on feasible random
-//! active-time instances, every backend × bound-encoding × model-shape
-//! configuration must reproduce the seed configuration (per-slot model,
-//! explicit bound rows, pure exact-rational simplex) bit for bit on status
-//! and objective, and the disaggregated per-slot `y` must stay a valid
-//! fractional opening.
+//! active-time instances, every backend × bound-encoding × VUB-encoding ×
+//! model-shape configuration must reproduce the seed configuration
+//! (per-slot model, explicit bound/VUB rows, pure exact-rational simplex)
+//! bit for bit on status and objective, and the disaggregated per-slot `y`
+//! must stay a valid fractional opening.
 
-use abt_active::{solve_active_lp_with, BoundsMode, LpBackend, LpOptions};
+use abt_active::{solve_active_lp_with, BoundsMode, LpBackend, LpOptions, VubMode};
 use abt_lp::Rat;
-use abt_workloads::{random_active_feasible, RandomConfig};
+use abt_workloads::{random_active_feasible, vub_heavy, RandomConfig, VubHeavyConfig};
 use proptest::prelude::*;
 
 /// The differential grid: the seed oracle plus every interesting
-/// backend × bounds × coalesce combination.
+/// backend × bounds × vub × coalesce combination.
 fn variants() -> Vec<LpOptions> {
     let mut v = Vec::new();
     for backend in [LpBackend::Exact, LpBackend::Hybrid, LpBackend::Revised] {
         for bounds in [BoundsMode::Rows, BoundsMode::Implicit] {
-            v.push(LpOptions {
-                backend,
-                coalesce: true,
-                bounds,
-            });
+            for vub in [VubMode::Rows, VubMode::Implicit] {
+                v.push(LpOptions {
+                    backend,
+                    coalesce: true,
+                    bounds,
+                    vub,
+                    ..LpOptions::default()
+                });
+            }
         }
     }
     v.push(LpOptions {
         backend: LpBackend::Revised,
         coalesce: false,
-        bounds: BoundsMode::Implicit,
+        ..LpOptions::default()
     });
     v.push(LpOptions {
         backend: LpBackend::Hybrid,
         coalesce: false,
         bounds: BoundsMode::Implicit,
+        vub: VubMode::Rows,
+        ..LpOptions::default()
+    });
+    // The default model priced with full Dantzig sweeps instead of the
+    // partial-pricing window.
+    v.push(LpOptions {
+        pricing_window: 0,
+        ..LpOptions::default()
     });
     v
 }
@@ -92,6 +104,28 @@ proptest! {
         // degeneracy for the pivoting rules).
         let cfg = RandomConfig { n, g, horizon, max_len, slack_factor: 0.0 };
         let inst = random_active_feasible(&cfg, seed);
+        if inst.jobs().is_empty() {
+            return Ok(());
+        }
+        assert_all_variants_match(&inst)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn vub_heavy_nested_instances_preserve_lp1_exactly(
+        seed in 0u64..1_000_000,
+        n in 6usize..16,
+        g in 2usize..5,
+        fan_in in 2usize..5,
+        horizon in 16i64..40,
+    ) {
+        // The VUB stress family: laminar nested windows with `fan_in` jobs
+        // per window (after Cao et al., arXiv:2207.12507) maximize the
+        // per-interval job fan-in, i.e. the number of `x ≤ Y` caps per key.
+        let cfg = VubHeavyConfig { n, g, horizon, max_len: 4, fan_in };
+        let inst = vub_heavy(&cfg, seed);
         if inst.jobs().is_empty() {
             return Ok(());
         }

@@ -1,9 +1,10 @@
 //! B4 — `lp_simplex`: the LP1 hot path across solver generations. Compares
 //! the seed configuration (per-slot LP1, explicit bound rows, pure
 //! exact-rational simplex), the PR-1 default (coalesced super-slots, dense
-//! `f64`-first hybrid), and the current default (coalesced, implicit
-//! variable bounds, bounded revised simplex with sparse exact-LU
-//! verification) on `random_active_feasible` instances.
+//! `f64`-first hybrid), the PR-2 default (`revised_bounds`: implicit
+//! constant bounds, `x ≤ Y` caps as rows), and the current default
+//! (`vub_implicit`: VUB-aware revised simplex, no cap rows) on
+//! `random_active_feasible` instances.
 //!
 //! The size dimension covers n ∈ {40, 200, 1000}; configurations whose
 //! dense passes are no longer practical at a size are skipped there (the
@@ -18,7 +19,7 @@ fn bench_lp_simplex(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_simplex");
     group.sample_size(10);
     // (name, options, max n it is still reasonable to run at)
-    let variants: [(&str, LpOptions, usize); 5] = [
+    let variants: [(&str, LpOptions, usize); 6] = [
         ("seed_exact_perslot", LpOptions::seed_exact(), 40),
         (
             "exact_coalesced",
@@ -26,6 +27,7 @@ fn bench_lp_simplex(c: &mut Criterion) {
                 backend: LpBackend::Exact,
                 coalesce: true,
                 bounds: BoundsMode::Rows,
+                ..LpOptions::default()
             },
             40,
         ),
@@ -36,10 +38,12 @@ fn bench_lp_simplex(c: &mut Criterion) {
                 backend: LpBackend::Revised,
                 coalesce: true,
                 bounds: BoundsMode::Rows,
+                ..LpOptions::pr2_revised_bounds()
             },
             200,
         ),
-        ("revised_bounds", LpOptions::default(), 1000),
+        ("revised_bounds", LpOptions::pr2_revised_bounds(), 1000),
+        ("vub_implicit", LpOptions::default(), 1000),
     ];
     for &(n, g, horizon) in &[(40usize, 4usize, 100i64), (200, 4, 400), (1000, 4, 2000)] {
         let cfg = RandomConfig {

@@ -4,15 +4,19 @@
 //! The record carries:
 //!
 //! * `lp_simplex` — the headline measurement: `solve_active_lp` on a fixed
-//!   `random_active_feasible` instance under the PR-1 baseline
-//!   (`hybrid_coalesced`, dense float-first hybrid over explicit bound
-//!   rows) and the current default (`revised_bounds`, bounded revised
-//!   simplex over implicit bounds), with the shared exact objective
-//!   rendered as a string, the speedup, and whether the candidate ever hit
-//!   the exact fallback.
-//! * `experiments` — per-experiment wall time plus the LP fallback
-//!   telemetry (`lp_solves`, `fallback_rate`) wired through
-//!   [`abt_active::lp_telemetry`].
+//!   `random_active_feasible` instance under the PR-2 baseline
+//!   (`revised_bounds`, bounded revised simplex with the `x ≤ Y` caps as
+//!   rows) and the current default (`vub_implicit`, VUB-aware revised
+//!   simplex), with the shared exact objective rendered as a string, the
+//!   speedup, and whether the candidate ever hit the exact fallback. The
+//!   `baseline`/`candidate` name fields travel with the record so the gate
+//!   never compares across solver generations silently.
+//! * `experiments` — per-experiment wall time plus the LP telemetry wired
+//!   through [`abt_active::lp_telemetry`]: `lp_solves`, `fallback_rate`,
+//!   and the iteration counters (`lp_pivots`, `lp_bound_flips`,
+//!   `lp_refactorizations`, `lp_certify_ms`). The counter fields are
+//!   optional on parse (defaulting to 0), so earlier `lp-v2` documents
+//!   remain readable.
 //!
 //! The JSON subset used here (objects, arrays, UTF-8 strings with the
 //! common escapes, numbers, booleans) is parsed by a tiny recursive
@@ -37,9 +41,13 @@ pub struct LpSimplexRecord {
     pub seed: u64,
     /// Exact LP optimum, rendered as a rational string (e.g. `"797/4"`).
     pub objective: String,
-    /// PR-1 baseline (dense hybrid + coalescing + bound rows), ms.
+    /// Name of the baseline configuration (e.g. `"revised_bounds"`).
+    pub baseline: String,
+    /// Baseline wall time, ms.
     pub baseline_ms: f64,
-    /// Candidate (bounded revised + implicit bounds), ms.
+    /// Name of the candidate configuration (e.g. `"vub_implicit"`).
+    pub candidate: String,
+    /// Candidate wall time, ms.
     pub candidate_ms: f64,
     /// `baseline_ms / candidate_ms`.
     pub speedup: f64,
@@ -58,6 +66,14 @@ pub struct ExperimentRecord {
     pub lp_solves: u64,
     /// Fraction of those that fell back to the exact solver.
     pub fallback_rate: f64,
+    /// Basis-changing pivots across those solves.
+    pub lp_pivots: u64,
+    /// Bound/VUB flips across those solves.
+    pub lp_bound_flips: u64,
+    /// LU refactorizations across those solves.
+    pub lp_refactorizations: u64,
+    /// Exact-certification wall time across those solves, ms.
+    pub lp_certify_ms: f64,
 }
 
 /// The whole `BENCH_lp.json` document.
@@ -101,8 +117,8 @@ impl BenchRecord {
                 "\"family\": \"random_active_feasible\", ",
                 "\"n\": {}, \"g\": {}, \"horizon\": {}, \"seed\": {}, ",
                 "\"objective\": \"{}\", ",
-                "\"baseline\": \"hybrid_coalesced\", \"baseline_ms\": {:.3}, ",
-                "\"candidate\": \"revised_bounds\", \"candidate_ms\": {:.3}, ",
+                "\"baseline\": \"{}\", \"baseline_ms\": {:.3}, ",
+                "\"candidate\": \"{}\", \"candidate_ms\": {:.3}, ",
                 "\"speedup\": {:.2}, \"fallback\": {}}},\n"
             ),
             s.n,
@@ -110,7 +126,9 @@ impl BenchRecord {
             s.horizon,
             s.seed,
             esc(&s.objective),
+            esc(&s.baseline),
             s.baseline_ms,
+            esc(&s.candidate),
             s.candidate_ms,
             s.speedup,
             s.fallback
@@ -118,12 +136,24 @@ impl BenchRecord {
         out.push_str("  \"experiments\": [\n");
         for (i, e) in self.experiments.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"id\": \"{}\", \"wall_ms\": {:.3}, \"lp_solves\": {}, \"fallback_rate\": {:.4}}}{}\n",
+                concat!(
+                    "    {{\"id\": \"{}\", \"wall_ms\": {:.3}, \"lp_solves\": {}, ",
+                    "\"fallback_rate\": {:.4}, \"lp_pivots\": {}, \"lp_bound_flips\": {}, ",
+                    "\"lp_refactorizations\": {}, \"lp_certify_ms\": {:.3}}}{}\n"
+                ),
                 esc(&e.id),
                 e.wall_ms,
                 e.lp_solves,
                 e.fallback_rate,
-                if i + 1 < self.experiments.len() { "," } else { "" }
+                e.lp_pivots,
+                e.lp_bound_flips,
+                e.lp_refactorizations,
+                e.lp_certify_ms,
+                if i + 1 < self.experiments.len() {
+                    ","
+                } else {
+                    ""
+                }
             ));
         }
         out.push_str("  ]\n}\n");
@@ -139,13 +169,25 @@ impl BenchRecord {
             return Err(format!("unsupported schema {schema:?}, want {SCHEMA:?}"));
         }
         let lp = get(top, "lp_simplex")?.as_object("lp_simplex")?;
+        // Optional string/number fields keep earlier lp-v2 documents
+        // (which lacked them) parseable.
+        let opt_str = |obj: &BTreeMap<String, Json>, key: &str, default: &str| -> String {
+            obj.get(key)
+                .and_then(|v| v.as_str(key).ok().map(str::to_string))
+                .unwrap_or_else(|| default.to_string())
+        };
+        let opt_num = |obj: &BTreeMap<String, Json>, key: &str| -> f64 {
+            obj.get(key).and_then(|v| v.as_f64(key).ok()).unwrap_or(0.0)
+        };
         let lp_simplex = LpSimplexRecord {
             n: get(lp, "n")?.as_f64("n")? as u64,
             g: get(lp, "g")?.as_f64("g")? as u64,
             horizon: get(lp, "horizon")?.as_f64("horizon")? as i64,
             seed: get(lp, "seed")?.as_f64("seed")? as u64,
             objective: get(lp, "objective")?.as_str("objective")?.to_string(),
+            baseline: opt_str(lp, "baseline", "unnamed"),
             baseline_ms: get(lp, "baseline_ms")?.as_f64("baseline_ms")?,
+            candidate: opt_str(lp, "candidate", "unnamed"),
             candidate_ms: get(lp, "candidate_ms")?.as_f64("candidate_ms")?,
             speedup: get(lp, "speedup")?.as_f64("speedup")?,
             fallback: get(lp, "fallback")?.as_bool("fallback")?,
@@ -162,6 +204,10 @@ impl BenchRecord {
                 wall_ms: get(e, "wall_ms")?.as_f64("wall_ms")?,
                 lp_solves: get(e, "lp_solves")?.as_f64("lp_solves")? as u64,
                 fallback_rate: get(e, "fallback_rate")?.as_f64("fallback_rate")?,
+                lp_pivots: opt_num(e, "lp_pivots") as u64,
+                lp_bound_flips: opt_num(e, "lp_bound_flips") as u64,
+                lp_refactorizations: opt_num(e, "lp_refactorizations") as u64,
+                lp_certify_ms: opt_num(e, "lp_certify_ms"),
             });
         }
         Ok(BenchRecord {
@@ -383,7 +429,9 @@ mod tests {
                 horizon: 400,
                 seed: 7,
                 objective: "797/4".into(),
+                baseline: "revised_bounds".into(),
                 baseline_ms: 288.505,
+                candidate: "vub_implicit".into(),
                 candidate_ms: 46.811,
                 speedup: 6.16,
                 fallback: false,
@@ -394,12 +442,20 @@ mod tests {
                     wall_ms: 0.091,
                     lp_solves: 0,
                     fallback_rate: 0.0,
+                    lp_pivots: 0,
+                    lp_bound_flips: 0,
+                    lp_refactorizations: 0,
+                    lp_certify_ms: 0.0,
                 },
                 ExperimentRecord {
                     id: "e3".into(),
                     wall_ms: 3.351,
                     lp_solves: 16,
                     fallback_rate: 0.0,
+                    lp_pivots: 420,
+                    lp_bound_flips: 31,
+                    lp_refactorizations: 12,
+                    lp_certify_ms: 1.25,
                 },
             ],
         }
@@ -413,10 +469,35 @@ mod tests {
         assert_eq!(back.schema, rec.schema);
         assert_eq!(back.lp_simplex.objective, rec.lp_simplex.objective);
         assert_eq!(back.lp_simplex.n, 200);
+        assert_eq!(back.lp_simplex.baseline, "revised_bounds");
+        assert_eq!(back.lp_simplex.candidate, "vub_implicit");
         assert!(!back.lp_simplex.fallback);
         assert_eq!(back.experiments.len(), 2);
         assert_eq!(back.experiments[1].lp_solves, 16);
+        assert_eq!(back.experiments[1].lp_pivots, 420);
+        assert_eq!(back.experiments[1].lp_bound_flips, 31);
+        assert_eq!(back.experiments[1].lp_refactorizations, 12);
+        assert!((back.experiments[1].lp_certify_ms - 1.25).abs() < 1e-9);
         assert!((back.experiments[1].wall_ms - 3.351).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_records_without_telemetry_fields() {
+        // An earlier lp-v2 document (no counter fields, no
+        // baseline/candidate names) still parses, with defaults.
+        let txt = r#"{ "schema": "abt-bench/lp-v2",
+            "lp_simplex": {"n": 1, "g": 1, "horizon": 2, "seed": 0,
+                "objective": "0", "baseline_ms": 1.0, "candidate_ms": 0.5,
+                "speedup": 2.0, "fallback": false},
+            "experiments": [
+                {"id": "e1", "wall_ms": 3.0, "lp_solves": 4,
+                 "fallback_rate": 0.0}
+            ] }"#;
+        let rec = BenchRecord::from_json(txt).unwrap();
+        assert_eq!(rec.lp_simplex.baseline, "unnamed");
+        assert_eq!(rec.experiments[0].lp_pivots, 0);
+        assert_eq!(rec.experiments[0].lp_certify_ms, 0.0);
+        assert_eq!(rec.experiments[0].lp_solves, 4);
     }
 
     #[test]

@@ -5,12 +5,13 @@
 //! everything. Unless `--no-json` is given, the run writes `BENCH_lp.json`
 //! (path overridable via the `BENCH_LP_PATH` environment variable) in the
 //! `abt-bench/lp-v2` schema (see [`abt_bench::bench_record`]): the wall
-//! time and LP fallback telemetry of every experiment that ran, plus a
-//! dedicated `lp_simplex` measurement — `solve_active_lp` on a
-//! `random_active_feasible` instance (n = 200, g = 4) under the PR-1
-//! configuration (coalesced model, explicit bound rows, dense hybrid) and
-//! the current default (coalesced, implicit bounds, bounded revised
-//! simplex with sparse exact-LU verification), with the shared exact
+//! time and LP telemetry (fallback rate plus pivot/flip/refactorization/
+//! certify counters) of every experiment that ran, plus a dedicated
+//! `lp_simplex` measurement — `solve_active_lp` on a
+//! `random_active_feasible` instance (n = 1000, g = 4) under the PR-2
+//! configuration (`revised_bounds`: bounded revised simplex with the
+//! `x ≤ Y` caps as rows) and the current default (`vub_implicit`: the
+//! VUB-aware revised simplex, no cap rows at all), with the shared exact
 //! objective and the resulting speedup. CI's `perf-gate` job re-runs this
 //! record and compares it field-by-field against the committed file.
 
@@ -20,27 +21,30 @@ use abt_bench::experiments;
 use abt_bench::time_best_ms;
 use abt_workloads::{random_active_feasible, RandomConfig};
 
-/// The headline measurement: PR-1 baseline vs the bounded revised default.
+/// The headline measurement: PR-2 `revised_bounds` baseline vs the
+/// VUB-aware `vub_implicit` default, at the scale where the `x ≤ Y` rows
+/// dominate.
 fn lp_simplex_record() -> LpSimplexRecord {
     let cfg = RandomConfig {
-        n: 200,
+        n: 1000,
         g: 4,
-        horizon: 400,
+        horizon: 2000,
         max_len: 5,
         slack_factor: 1.0,
     };
     let inst = random_active_feasible(&cfg, 7);
     let (baseline_ms, baseline_lp) = time_best_ms(3, || {
-        solve_active_lp_with(&inst, &LpOptions::pr1_hybrid()).expect("feasible by construction")
+        solve_active_lp_with(&inst, &LpOptions::pr2_revised_bounds())
+            .expect("feasible by construction")
     });
-    let (_, fb0) = lp_telemetry();
+    let before = lp_telemetry();
     let (candidate_ms, candidate_lp) = time_best_ms(3, || {
         solve_active_lp_with(&inst, &LpOptions::default()).expect("feasible by construction")
     });
-    let (_, fb1) = lp_telemetry();
+    let after = lp_telemetry();
     assert_eq!(
         baseline_lp.objective, candidate_lp.objective,
-        "revised/implicit-bounds LP1 must reproduce the PR-1 objective exactly"
+        "VUB-aware LP1 must reproduce the row-encoded objective exactly"
     );
     LpSimplexRecord {
         n: cfg.n as u64,
@@ -48,10 +52,12 @@ fn lp_simplex_record() -> LpSimplexRecord {
         horizon: cfg.horizon,
         seed: 7,
         objective: candidate_lp.objective.to_string(),
+        baseline: "revised_bounds".into(),
         baseline_ms,
+        candidate: "vub_implicit".into(),
         candidate_ms,
         speedup: baseline_ms / candidate_ms,
-        fallback: fb1 > fb0,
+        fallback: after.fallbacks > before.fallbacks,
     }
 }
 
@@ -98,33 +104,37 @@ fn main() {
         ("e17", experiments::e17),
         ("e18", experiments::e18),
         ("e19", experiments::e19),
+        ("e20", experiments::e20),
     ];
     let mut records: Vec<ExperimentRecord> = Vec::new();
     for (id, f) in fns {
         if run_all || selected.contains(&id) {
-            let (solves0, fallbacks0) = lp_telemetry();
+            let before = lp_telemetry();
             let started = std::time::Instant::now();
             let report = f();
             let elapsed = started.elapsed();
-            let (solves1, fallbacks1) = lp_telemetry();
+            let d = lp_telemetry().delta(&before);
             println!("{}", report.to_markdown());
             println!("_(regenerated in {elapsed:.2?})_\n");
-            let lp_solves = solves1 - solves0;
-            let fallback_rate = if lp_solves == 0 {
+            let fallback_rate = if d.solves == 0 {
                 0.0
             } else {
-                (fallbacks1 - fallbacks0) as f64 / lp_solves as f64
+                d.fallbacks as f64 / d.solves as f64
             };
             records.push(ExperimentRecord {
                 id: id.to_string(),
                 wall_ms: elapsed.as_secs_f64() * 1e3,
-                lp_solves,
+                lp_solves: d.solves,
                 fallback_rate,
+                lp_pivots: d.pivots,
+                lp_bound_flips: d.bound_flips,
+                lp_refactorizations: d.refactorizations,
+                lp_certify_ms: d.certify_nanos as f64 / 1e6,
             });
         }
     }
     if records.is_empty() {
-        eprintln!("unknown experiment ids {selected:?}; available: e1..e19");
+        eprintln!("unknown experiment ids {selected:?}; available: e1..e20");
         std::process::exit(2);
     }
     if write_json {

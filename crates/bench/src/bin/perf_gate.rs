@@ -1,17 +1,26 @@
 //! CI perf/fallback gate over `BENCH_lp.json`.
 //!
-//! Usage: `perf_gate <committed.json> <fresh.json> [--min-speedup-ratio R]`
+//! Usage: `perf_gate <committed.json> <fresh.json> [--min-speedup-ratio R]
+//! [--max-e20-ratio R]`
 //!
 //! Compares a freshly measured record against the committed one and fails
 //! (exit 1) when:
 //!
 //! * the exact `lp_simplex` objective strings differ (a correctness
 //!   regression — the exact optimum must never move), or
+//! * the committed and fresh records gate different baseline/candidate
+//!   configurations (a silent cross-generation comparison), or
 //! * the fresh `speedup` regresses more than 30% below the committed value
 //!   (override the 0.7 factor with `--min-speedup-ratio`), or
 //! * the fresh candidate solve needed the exact fallback, or
 //! * any experiment (all current workloads are non-adversarial) reports a
-//!   `fallback_rate > 0`.
+//!   `fallback_rate > 0`, or
+//! * the VUB-heavy sweep (`e20`) appears in both records and its fresh
+//!   *solve effort* — pivot or LU-refactorization counts, which are
+//!   deterministic per instance and machine-independent, unlike wall time
+//!   under `parallel_map` — regresses more than 30% above the committed
+//!   one (override the 1.3 factor with `--max-e20-ratio`). A refactor
+//!   blow-up is exactly how a broken glue-eta path shows up.
 //!
 //! Comparison is field-by-field through [`abt_bench::bench_record`], not
 //! text diffing, so timing noise in unrelated fields never trips the gate.
@@ -32,24 +41,32 @@ fn load(path: &str) -> BenchRecord {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut min_ratio = 0.7f64;
+    let mut max_e20_ratio = 1.3f64;
     let mut paths: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--min-speedup-ratio" {
+        if a == "--min-speedup-ratio" || a == "--max-e20-ratio" {
             let v = it.next().unwrap_or_else(|| {
-                eprintln!("perf_gate: --min-speedup-ratio needs a value");
+                eprintln!("perf_gate: {a} needs a value");
                 std::process::exit(2);
             });
-            min_ratio = v.parse().unwrap_or_else(|e| {
+            let parsed = v.parse().unwrap_or_else(|e| {
                 eprintln!("perf_gate: bad ratio {v:?}: {e}");
                 std::process::exit(2);
             });
+            if a == "--min-speedup-ratio" {
+                min_ratio = parsed;
+            } else {
+                max_e20_ratio = parsed;
+            }
         } else {
             paths.push(a);
         }
     }
     let [committed_path, fresh_path] = paths[..] else {
-        eprintln!("usage: perf_gate <committed.json> <fresh.json> [--min-speedup-ratio R]");
+        eprintln!(
+            "usage: perf_gate <committed.json> <fresh.json> [--min-speedup-ratio R] [--max-e20-ratio R]"
+        );
         std::process::exit(2);
     };
     let committed = load(committed_path);
@@ -61,6 +78,12 @@ fn main() {
         failures.push(format!(
             "exact objective changed: committed {:?}, fresh {:?}",
             c.objective, f.objective
+        ));
+    }
+    if (c.baseline.as_str(), c.candidate.as_str()) != (f.baseline.as_str(), f.candidate.as_str()) {
+        failures.push(format!(
+            "gated configurations changed: committed {}→{}, fresh {}→{}",
+            c.baseline, c.candidate, f.baseline, f.candidate
         ));
     }
     let floor = c.speedup * min_ratio;
@@ -82,6 +105,28 @@ fn main() {
                 "experiment {} reports fallback_rate {:.4} over {} LP solves (must be 0 on non-adversarial workloads)",
                 e.id, e.fallback_rate, e.lp_solves
             ));
+        }
+    }
+    // The VUB-heavy sweep is solve-effort gated when both records carry
+    // it: pivot/refactorization counts are deterministic per instance, so
+    // any excess is an algorithmic regression, never machine noise.
+    let e20 = |rec: &BenchRecord| rec.experiments.iter().find(|e| e.id == "e20").cloned();
+    if let (Some(ce), Some(fe)) = (e20(&committed), e20(&fresh)) {
+        for (what, committed_n, fresh_n) in [
+            ("pivots", ce.lp_pivots, fe.lp_pivots),
+            (
+                "refactorizations",
+                ce.lp_refactorizations,
+                fe.lp_refactorizations,
+            ),
+        ] {
+            let ceiling = committed_n as f64 * max_e20_ratio;
+            if fresh_n as f64 > ceiling {
+                failures.push(format!(
+                    "e20 solve effort regressed: fresh {fresh_n} {what} > {ceiling:.0} ({}% of committed {committed_n})",
+                    (max_e20_ratio * 100.0).round(),
+                ));
+            }
         }
     }
 

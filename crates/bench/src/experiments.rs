@@ -211,22 +211,23 @@ pub fn e3() -> ExperimentReport {
         };
         cases.push((format!("random-{seed}"), random_active_feasible(&cfg, seed)));
     }
-    let mut all_ok = true;
-    for (name, inst) in cases {
-        let lp = match solve_active_lp(&inst) {
-            Ok(lp) => lp,
-            Err(_) => continue,
-        };
+    // The per-instance LP1 solves are independent: fan them out.
+    let results = parallel_map(cases, |(name, inst)| {
+        let lp = solve_active_lp(&inst).ok()?;
         let rs = right_shift(&inst, &lp);
         let shifted_cost = rs
             .segments
             .iter()
             .fold(Rat::ZERO, |acc, s| acc.add(&s.y_sum));
         let feasible = fractional_feasible(&inst, &rs.slots, &rs.shifted_y);
-        all_ok &= feasible && shifted_cost == lp.objective;
+        Some((name, lp.objective, shifted_cost, feasible))
+    });
+    let mut all_ok = true;
+    for (name, objective, shifted_cost, feasible) in results.into_iter().flatten() {
+        all_ok &= feasible && shifted_cost == objective;
         table.row([
             name,
-            lp.objective.to_string(),
+            objective.to_string(),
             shifted_cost.to_string(),
             feasible.to_string(),
         ]);
@@ -1265,11 +1266,11 @@ pub fn e18() -> ExperimentReport {
     }
 }
 
-/// E19 — LP1 solver scaling: the bounded revised simplex (implicit bounds,
-/// sparse exact-LU verification) vs the PR-1 dense hybrid (explicit bound
-/// rows) as `n` grows. Exact objectives must agree bit for bit; the PR-1
-/// baseline is skipped at `n = 1000` where the dense exact verification is
-/// no longer practical to time.
+/// E19 — LP1 solver scaling: the VUB-aware revised simplex (the default)
+/// vs the PR-2 revised solver with explicit `x ≤ Y` rows, and vs the PR-1
+/// dense hybrid as `n` grows. Exact objectives must agree bit for bit; the
+/// PR-1 baseline is skipped at `n = 1000` where the dense exact
+/// verification is no longer practical to time.
 pub fn e19() -> ExperimentReport {
     use crate::stats::time_best_ms;
     use abt_active::{lp_telemetry, solve_active_lp_with, LpOptions};
@@ -1278,16 +1279,18 @@ pub fn e19() -> ExperimentReport {
         "n",
         "g",
         "horizon",
-        "revised+bounds ms",
+        "vub_implicit ms",
+        "PR-2 revised ms",
+        "vs PR-2",
         "PR-1 hybrid ms",
-        "speedup",
+        "vs PR-1",
         "objective",
         "fallbacks",
     ]);
     let mut notes = Vec::new();
     let mut all_match = true;
     let mut any_fallback = false;
-    for (n, g, horizon, reps, run_baseline) in [
+    for (n, g, horizon, reps, run_pr1) in [
         (40usize, 4usize, 100i64, 3usize, true),
         (200, 4, 400, 2, true),
         (1000, 4, 2000, 1, false),
@@ -1300,22 +1303,27 @@ pub fn e19() -> ExperimentReport {
             slack_factor: 1.0,
         };
         let inst = random_active_feasible(&cfg, 7);
-        let (_, fb0) = lp_telemetry();
-        let (rev_ms, rev) = time_best_ms(reps, || {
+        let before = lp_telemetry();
+        let (vub_ms, vub) = time_best_ms(reps, || {
             solve_active_lp_with(&inst, &LpOptions::default()).expect("feasible by construction")
         });
-        let (_, fb1) = lp_telemetry();
-        any_fallback |= fb1 > fb0;
-        let baseline = run_baseline.then(|| {
+        let after = lp_telemetry();
+        any_fallback |= after.fallbacks > before.fallbacks;
+        let (pr2_ms, pr2) = time_best_ms(reps, || {
+            solve_active_lp_with(&inst, &LpOptions::pr2_revised_bounds())
+                .expect("feasible by construction")
+        });
+        all_match &= pr2.objective == vub.objective;
+        let pr1 = run_pr1.then(|| {
             time_best_ms(reps, || {
                 solve_active_lp_with(&inst, &LpOptions::pr1_hybrid())
                     .expect("feasible by construction")
             })
         });
-        let (base_cell, speedup_cell) = match &baseline {
-            Some((base_ms, base)) => {
-                all_match &= base.objective == rev.objective;
-                (format!("{base_ms:.1}"), format!("{:.2}x", base_ms / rev_ms))
+        let (pr1_cell, pr1_speedup_cell) = match &pr1 {
+            Some((pr1_ms, base)) => {
+                all_match &= base.objective == vub.objective;
+                (format!("{pr1_ms:.1}"), format!("{:.2}x", pr1_ms / vub_ms))
             }
             None => ("-".into(), "-".into()),
         };
@@ -1323,15 +1331,17 @@ pub fn e19() -> ExperimentReport {
             n.to_string(),
             g.to_string(),
             horizon.to_string(),
-            format!("{rev_ms:.1}"),
-            base_cell,
-            speedup_cell,
-            rev.objective.to_string(),
-            (fb1 - fb0).to_string(),
+            format!("{vub_ms:.1}"),
+            format!("{pr2_ms:.1}"),
+            format!("{:.2}x", pr2_ms / vub_ms),
+            pr1_cell,
+            pr1_speedup_cell,
+            vub.objective.to_string(),
+            (after.fallbacks - before.fallbacks).to_string(),
         ]);
     }
     notes.push(format!(
-        "exact objectives bit-identical across solvers wherever both ran: {}",
+        "exact objectives bit-identical across solver generations wherever they ran: {}",
         if all_match { "yes" } else { "NO" }
     ));
     notes.push(format!(
@@ -1343,12 +1353,120 @@ pub fn e19() -> ExperimentReport {
         }
     ));
     notes.push(
-        "n = 1000 runs only the revised solver; the PR-1 dense exact verification is O(m²·cols) and no longer practical there".into(),
+        "n = 1000 skips the PR-1 dense hybrid; its dense exact verification is O(m²·cols) and no longer practical there".into(),
     );
     ExperimentReport {
         id: "e19",
-        title: "LP1 solver scaling — bounded revised simplex vs PR-1 hybrid".into(),
-        claim: "implicit bounds + sparse exact LU keep LP1 solvable at n in the thousands".into(),
+        title: "LP1 solver scaling — VUB-aware revised simplex vs PR-2/PR-1".into(),
+        claim: "eliminating the O(n²) x ≤ Y rows keeps LP1 solvable at n in the thousands".into(),
+        table,
+        notes,
+    }
+}
+
+/// E20 — VUB-heavy stress sweep: nested windows with high per-window job
+/// fan-in (after Cao et al., arXiv:2207.12507) maximize the number of
+/// `x_{I,j} ≤ Y_I` caps per interval. Compares the VUB-aware default
+/// against the PR-2 encoding (caps as rows) and records the iteration
+/// telemetry of the VUB runs. The independent LP1 solves of the grid run
+/// through [`parallel_map`].
+pub fn e20() -> ExperimentReport {
+    use crate::stats::time_best_ms;
+    use abt_active::{lp_telemetry, solve_active_lp_with, LpOptions};
+    use abt_workloads::{vub_heavy, VubHeavyConfig};
+
+    let grid: Vec<(usize, usize, usize, i64)> = vec![
+        // (n, g, fan_in, horizon)
+        (48, 4, 4, 96),
+        (96, 4, 6, 192),
+        (192, 6, 8, 384),
+        (384, 8, 12, 768),
+        (768, 8, 16, 1536),
+    ];
+    let instances: Vec<_> = grid
+        .into_iter()
+        .map(|(n, g, fan_in, horizon)| {
+            let cfg = VubHeavyConfig {
+                n,
+                g,
+                horizon,
+                max_len: 4,
+                fan_in,
+            };
+            (n, fan_in, vub_heavy(&cfg, 11))
+        })
+        .collect();
+    // Two homogeneous parallel phases with one telemetry window each: the
+    // counters are process-global atomics, so a per-cell delta taken
+    // inside `parallel_map` would absorb the concurrent cells' work — an
+    // aggregate delta around a phase that runs only one configuration is
+    // exact (it is the sum of that configuration's per-solve
+    // contributions).
+    let before = lp_telemetry();
+    let vub_runs = parallel_map(instances.clone(), |(_, _, inst)| {
+        time_best_ms(2, || {
+            solve_active_lp_with(&inst, &LpOptions::default()).expect("feasible by construction")
+        })
+    });
+    let vub_telemetry = lp_telemetry().delta(&before);
+    let rows_runs = parallel_map(instances.clone(), |(_, _, inst)| {
+        time_best_ms(2, || {
+            solve_active_lp_with(&inst, &LpOptions::pr2_revised_bounds())
+                .expect("feasible by construction")
+        })
+    });
+    let mut table = Table::new([
+        "n (target)",
+        "fan-in",
+        "jobs",
+        "vub_implicit ms",
+        "x≤Y rows ms",
+        "speedup",
+        "objective",
+    ]);
+    let mut notes = Vec::new();
+    let mut all_match = true;
+    for (((n, fan_in, inst), (vub_ms, vub)), (rows_ms, rows_lp)) in
+        instances.iter().zip(&vub_runs).zip(&rows_runs)
+    {
+        all_match &= vub.objective == rows_lp.objective;
+        table.row([
+            n.to_string(),
+            fan_in.to_string(),
+            inst.len().to_string(),
+            format!("{vub_ms:.1}"),
+            format!("{rows_ms:.1}"),
+            format!("{:.2}x", rows_ms / vub_ms),
+            vub.objective.to_string(),
+        ]);
+    }
+    notes.push(format!(
+        "objectives bit-identical between the VUB and row encodings on every instance: {}",
+        if all_match { "yes" } else { "NO" }
+    ));
+    notes.push(format!(
+        "exact fallbacks during the VUB runs: {}",
+        if vub_telemetry.fallbacks == 0 {
+            "none".to_string()
+        } else {
+            format!("{} (unexpected)", vub_telemetry.fallbacks)
+        }
+    ));
+    notes.push(format!(
+        "VUB-run telemetry across the sweep: {} pivots, {} bound/VUB flips, {} LU refactorizations, {:.1} ms exact certification",
+        vub_telemetry.pivots,
+        vub_telemetry.bound_flips,
+        vub_telemetry.refactorizations,
+        vub_telemetry.certify_nanos as f64 / 1e6
+    ));
+    notes.push(
+        "nested windows put every deep interval inside all ancestor windows, so the row encoding carries one cap row per (job, interval) pair while the VUB encoding keeps the basis at one row per interval + one per job".into(),
+    );
+    ExperimentReport {
+        id: "e20",
+        title: "VUB-heavy nested-window sweep — implicit VUB families vs cap rows".into(),
+        claim: "Schrage-style VUB pivoting removes the O(n²) cap rows from the working basis"
+            .into(),
         table,
         notes,
     }
@@ -1392,5 +1510,6 @@ pub fn all_reports() -> Vec<ExperimentReport> {
         e17(),
         e18(),
         e19(),
+        e20(),
     ]
 }

@@ -1,27 +1,55 @@
 //! Bounded-variable machinery: the computational standard form and the
-//! float-first **bounded revised simplex**.
+//! float-first **bounded revised simplex** with Schrage-style variable
+//! upper bounds (VUBs).
 //!
 //! # Standard form
 //!
-//! [`StandardForm`] rewrites `min c·x  s.t.  rows, 0 ≤ x ≤ u` into
-//! `min c·x  s.t.  A·x = b, 0 ≤ x ≤ u, b ≥ 0` by normalizing row signs and
-//! appending slack/surplus/artificial columns, kept **column-major and
-//! sparse** throughout. The construction is generic over the scalar and
+//! [`StandardForm`] rewrites `min c·x  s.t.  rows, 0 ≤ x ≤ u, x_j ≤ x_{k(j)}`
+//! into `min c·x  s.t.  A·x = b, 0 ≤ x ≤ u, b ≥ 0` (VUBs carried as side
+//! metadata, never rows) by normalizing row signs and appending
+//! slack/surplus/artificial columns, kept **column-major and sparse**
+//! throughout. The construction is generic over the scalar and
 //! deterministic, so the `f64` search and the exact verifier build
 //! *structurally identical* forms and a basis found by one is meaningful to
-//! the other.
+//! the other. One normalization keeps the VUB pivoting rules simple: a
+//! variable carrying **both** a VUB and a finite constant bound gets its
+//! constant bound materialized as a trailing `≤` row, so VUB dependents
+//! never have finite constant bounds of their own.
 //!
 //! # Bounded revised simplex
 //!
-//! [`solve_bounded_f64`] runs a two-phase revised simplex in which variable
-//! bounds never become rows: a nonbasic variable rests at **either** bound
-//! ([`VarState::AtLower`]/[`VarState::AtUpper`]), the ratio test considers
-//! the entering variable's own opposite bound (a **bound flip** — the
-//! iteration that changes no basis column at all), and leaving variables
-//! exit to whichever bound the ratio test hit. The basis is maintained as a
-//! periodically-refactorized [`SparseLu`] plus product-form eta updates, so
-//! an iteration costs `O(nnz)`-ish instead of the dense tableau's
-//! `O(m·cols)`.
+//! [`solve_bounded_f64`] runs a two-phase revised simplex in which neither
+//! constant bounds nor VUBs become rows. A nonbasic variable rests at a
+//! bound ([`VarState::AtLower`]/[`VarState::AtUpper`]) **or glued to its
+//! VUB key** ([`VarState::AtVub`], value identically equal to the key's).
+//! The resting-state invariants:
+//!
+//! * a dependent glued to a **nonbasic** key behaves exactly like a
+//!   variable at a constant bound equal to the key's resting value — only
+//!   the right-hand-side adjustment sees it;
+//! * a dependent glued to a **basic** key rides inside the basis: the
+//!   key's basis column is the *augmented* column `A_k + Σ_{glued j} A_j`
+//!   (Schrage's key column), and the key's basic cost is likewise
+//!   `c_k + Σ_{glued j} c_j`. A VUB row therefore never enters the basis;
+//! * the ratio test bounds every step by constant bounds, by VUBs against
+//!   nonbasic keys (plain ceilings), and by VUBs between two basic
+//!   variables or against the entering key (pairwise rates);
+//! * iterations that change a family's glued set under a *basic* key
+//!   change the augmented key column — the basis *matrix* itself, not just
+//!   which columns are basic. Each such change is the rank-one update
+//!   `B ← B ± A_col·e_p^T`, absorbed by the product-form file as the eta
+//!   `(p, ±B⁻¹A_col + e_p)`; the ratio test's den/rate thresholds
+//!   guarantee those eta pivots are well-conditioned, so a full
+//!   refactorization is only the fallback (and the periodic
+//!   length/fill-triggered refresh), never the per-event rule.
+//!
+//! Pricing uses a rotating **partial-pricing** window
+//! ([`BoundedOptions::pricing_window`]): a window of columns is priced per
+//! iteration and the sweep only degrades to a full Dantzig pass when every
+//! window in the cycle is optimal (Bland's anti-cycling rule always scans
+//! in full). The rotation doubles as diversification: always chasing the
+//! single most negative reduced cost concentrates pivots in one VUB family
+//! and multiplies degenerate glue/unglue churn.
 //!
 //! The float pass never certifies anything: its terminal
 //! [`basis`](BoundedBasis::basis)/[`state`](BoundedBasis::state) proposal is
@@ -41,7 +69,12 @@ const PIV_TOL: f64 = 1e-7;
 /// Consecutive degenerate iterations before switching to Bland's rule.
 const DEGENERATE_SWITCH: usize = 64;
 /// Eta-file length that triggers a refactorization.
-const REFACTOR_EVERY: usize = 64;
+const REFACTOR_EVERY: usize = 128;
+/// Eta-file *fill* budget, as a multiple of the row count: product-form
+/// updates get denser as the file grows (each eta is an FTRAN image of an
+/// entering column), so refactorization also triggers once applying the
+/// file costs more than a handful of dense passes.
+const ETA_NNZ_PER_ROW: usize = 12;
 
 /// Where a variable currently rests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +85,9 @@ pub enum VarState {
     AtLower,
     /// Nonbasic at its finite upper bound.
     AtUpper,
+    /// Nonbasic glued to its VUB key: the variable's value *is* the key's
+    /// value (0, the key's constant bound, or the key's basic value).
+    AtVub,
 }
 
 /// Outcome classification of the float pass.
@@ -68,6 +104,25 @@ pub enum BoundedStatus {
     Stalled,
 }
 
+/// Tuning knobs of the float pass.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedOptions {
+    /// Columns priced per partial-pricing window; `0` disables partial
+    /// pricing (every iteration runs a full Dantzig sweep).
+    pub pricing_window: usize,
+}
+
+impl Default for BoundedOptions {
+    fn default() -> Self {
+        BoundedOptions {
+            pricing_window: DEFAULT_PRICING_WINDOW,
+        }
+    }
+}
+
+/// Default partial-pricing window (see [`BoundedOptions::pricing_window`]).
+pub const DEFAULT_PRICING_WINDOW: usize = 256;
+
 /// Terminal basis proposal of the float pass.
 #[derive(Debug, Clone)]
 pub struct BoundedBasis {
@@ -78,13 +133,20 @@ pub struct BoundedBasis {
     /// Resting state of every standard-form column (meaningful when
     /// `Optimal`).
     pub state: Vec<VarState>,
+    /// Basis-changing pivots performed.
+    pub pivots: u64,
+    /// Bound/VUB flips performed (iterations with no basis change).
+    pub bound_flips: u64,
+    /// LU refactorizations (periodic and VUB-structural).
+    pub refactorizations: u64,
 }
 
 /// The equality standard form `min c·x, A·x = b, 0 ≤ x ≤ u` of an
-/// [`LpProblem`], column-major.
+/// [`LpProblem`], column-major, with VUBs as side metadata.
 #[derive(Debug, Clone)]
 pub struct StandardForm<S> {
-    /// Rows.
+    /// Rows (original constraints plus any promoted constant-bound rows of
+    /// VUB dependents).
     pub m: usize,
     /// Total columns (structural + slack/surplus + artificial).
     pub ncols: usize,
@@ -95,7 +157,10 @@ pub struct StandardForm<S> {
     /// Phase-2 objective (0 on auxiliary columns).
     pub cost: Vec<S>,
     /// Per-column finite upper bound (`None` = +∞). Lower bounds are 0.
+    /// Always `None` on columns that carry a VUB (see the module docs).
     pub upper: Vec<Option<S>>,
+    /// Per-column VUB key (`None` on keys, plain columns, and auxiliaries).
+    pub vub: Vec<Option<usize>>,
     /// Right-hand side, normalized nonnegative.
     pub b: Vec<S>,
     /// Which columns are artificials.
@@ -109,11 +174,18 @@ pub struct StandardForm<S> {
 }
 
 impl<S: Scalar> StandardForm<S> {
-    /// Builds the standard form of `lp` (implicit variable bounds stay
-    /// bounds; they are *not* materialized as rows).
+    /// Builds the standard form of `lp` (implicit variable bounds and VUBs
+    /// stay implicit; they are *not* materialized as rows — except the
+    /// constant bound of a variable that also carries a VUB, which becomes
+    /// a trailing `≤` row so dependents never have two upper bounds).
     pub fn build(lp: &LpProblem<S>) -> StandardForm<S> {
         let n = lp.num_vars();
-        let m = lp.num_constraints();
+        // Constant bounds of VUB dependents get promoted to rows.
+        let promoted: Vec<(usize, S)> = (0..n)
+            .filter(|&v| lp.vub(v).is_some())
+            .filter_map(|v| lp.upper(v).map(|u| (v, u.clone())))
+            .collect();
+        let m = lp.num_constraints() + promoted.len();
         let mut cols: Vec<Vec<(usize, S)>> = vec![Vec::new(); n];
         let mut b = Vec::with_capacity(m);
         let mut row_flip = Vec::with_capacity(m);
@@ -144,8 +216,25 @@ impl<S: Scalar> StandardForm<S> {
                 (Cmp::Eq, _) => Cmp::Eq,
             });
         }
+        // Promoted bound rows `x_v ≤ u` (rhs ≥ 0 by construction).
+        for (v, u) in &promoted {
+            let i = b.len();
+            cols[*v].push((i, S::one()));
+            b.push(u.clone());
+            row_flip.push(false);
+            senses.push(Cmp::Le);
+        }
         let mut cost: Vec<S> = lp.objective().to_vec();
-        let mut upper: Vec<Option<S>> = (0..n).map(|v| lp.upper(v).cloned()).collect();
+        let mut upper: Vec<Option<S>> = (0..n)
+            .map(|v| {
+                if lp.vub(v).is_some() {
+                    None // promoted to a row above
+                } else {
+                    lp.upper(v).cloned()
+                }
+            })
+            .collect();
+        let mut vub: Vec<Option<usize>> = (0..n).map(|v| lp.vub(v)).collect();
         let mut artificial = vec![false; n];
         // Slack/surplus columns, then artificials, in row order (mirrors
         // the dense builder's layout).
@@ -160,6 +249,7 @@ impl<S: Scalar> StandardForm<S> {
                 cols.push(vec![(i, coef)]);
                 cost.push(S::zero());
                 upper.push(None);
+                vub.push(None);
                 artificial.push(false);
                 if basic {
                     init_basis[i] = cols.len() - 1;
@@ -172,6 +262,7 @@ impl<S: Scalar> StandardForm<S> {
                 cols.push(vec![(i, S::one())]);
                 cost.push(S::zero());
                 upper.push(None);
+                vub.push(None);
                 artificial.push(true);
                 init_basis[i] = cols.len() - 1;
                 n_art += 1;
@@ -188,6 +279,7 @@ impl<S: Scalar> StandardForm<S> {
             cols,
             cost,
             upper,
+            vub,
             b,
             artificial,
             n_art,
@@ -206,14 +298,36 @@ fn iteration_cap(rows: usize, cols: usize) -> usize {
 struct Rev<'a> {
     sf: &'a StandardForm<f64>,
     basis: Vec<usize>,
+    /// Column → basis position (`usize::MAX` when nonbasic).
+    pos: Vec<usize>,
     state: Vec<VarState>,
     /// Basic values, parallel to `basis`.
     xb: Vec<f64>,
     lu: SparseLu<f64>,
-    /// Product-form updates since the last refactorization: `(basis
-    /// position, w = B⁻¹·A_enter at update time)`, sparse.
-    etas: Vec<(usize, Vec<(usize, f64)>)>,
+    /// Product-form updates since the last refactorization, sparse.
+    etas: Vec<Eta>,
+    /// Total entry count of the eta file (refactorization trigger).
+    eta_nnz: usize,
     barred: Vec<bool>,
+    /// Key column → its VUB dependents (static).
+    deps: Vec<Vec<usize>>,
+    /// Partial-pricing rotation cursor.
+    cursor: usize,
+    /// Scratch dense image of the entering column (sparsely re-zeroed).
+    aq: Vec<f64>,
+    pivots: u64,
+    bound_flips: u64,
+    refactorizations: u64,
+}
+
+/// One product-form update: the basis column at position `r` was replaced
+/// by a column whose `B⁻¹` image is the sparse vector with `pivot` at row
+/// `r` and `rest` elsewhere. The pivot entry is stored out-of-line so the
+/// FTRAN/BTRAN hot loops run branch-free over `rest`.
+struct Eta {
+    r: usize,
+    pivot: f64,
+    rest: Vec<(usize, f64)>,
 }
 
 enum StepOutcome {
@@ -222,40 +336,117 @@ enum StepOutcome {
     Stalled,
 }
 
+/// What the ratio test decided the step runs into.
+#[derive(Debug, Clone, Copy)]
+enum Hit {
+    /// The entering variable reaches a resting state with no structural
+    /// change: its opposite constant bound, or its VUB against a nonbasic
+    /// key (from either side).
+    FlipTo(VarState),
+    /// The entering variable glues to its *basic* key (augments the key
+    /// column — refactorization).
+    FlipGlue,
+    /// The entering `AtVub` variable, glued to a *basic* key, comes off
+    /// the glue all the way down to 0 (shrinks the key column).
+    FlipUnglue,
+    /// A basic variable leaves to the given resting state (`AtLower`,
+    /// `AtUpper`, or `AtVub` against a nonbasic key) — an ordinary pivot.
+    Leave(usize, VarState),
+    /// A basic dependent hits its VUB against a basic key (or against the
+    /// entering key): it leaves the basis glued, augmenting the key column
+    /// — refactorization.
+    LeaveGlue(usize),
+}
+
 impl<'a> Rev<'a> {
     fn new(sf: &'a StandardForm<f64>) -> Option<Rev<'a>> {
         let basis = sf.init_basis.clone();
         let mut state = vec![VarState::AtLower; sf.ncols];
-        for &j in &basis {
+        let mut pos = vec![usize::MAX; sf.ncols];
+        for (i, &j) in basis.iter().enumerate() {
             state[j] = VarState::Basic;
+            pos[j] = i;
         }
-        let lu = Self::factor(sf, &basis)?;
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); sf.ncols];
+        for j in 0..sf.ncols {
+            if let Some(k) = sf.vub[j] {
+                deps[k].push(j);
+            }
+        }
         let mut rev = Rev {
             sf,
             basis,
+            pos,
             state,
             xb: Vec::new(),
-            lu,
+            lu: SparseLu::factor(
+                sf.m,
+                &sf.init_basis
+                    .iter()
+                    .map(|&j| sf.cols[j].clone())
+                    .collect::<Vec<_>>(),
+            )?,
             etas: Vec::new(),
+            eta_nnz: 0,
             barred: vec![false; sf.ncols],
+            deps,
+            cursor: 0,
+            aq: vec![0.0; sf.m],
+            pivots: 0,
+            bound_flips: 0,
+            refactorizations: 0,
         };
         rev.recompute_xb();
         Some(rev)
     }
 
-    fn factor(sf: &StandardForm<f64>, basis: &[usize]) -> Option<SparseLu<f64>> {
-        let cols: Vec<Vec<(usize, f64)>> = basis.iter().map(|&j| sf.cols[j].clone()).collect();
-        SparseLu::factor(sf.m, &cols)
+    /// The resting value of a *nonbasic* key (`AtLower`/`AtUpper` only —
+    /// keys are never `AtVub`, families are flat).
+    fn key_rest_value(&self, k: usize) -> f64 {
+        match self.state[k] {
+            VarState::AtLower => 0.0,
+            VarState::AtUpper => self.sf.upper[k].expect("AtUpper implies a finite bound"),
+            VarState::Basic | VarState::AtVub => unreachable!("not a nonbasic key"),
+        }
     }
 
-    /// `xb = B⁻¹·(b − Σ_{j at upper} u_j·A_j)` from scratch.
+    /// The augmented (Schrage key) column of `v`: its own column plus the
+    /// columns of every dependent currently glued to it.
+    fn aug_col(&self, v: usize) -> Vec<(usize, f64)> {
+        let glued: Vec<usize> = self.deps[v]
+            .iter()
+            .copied()
+            .filter(|&j| self.state[j] == VarState::AtVub)
+            .collect();
+        augmented_column(&self.sf.cols, v, &glued)
+    }
+
+    fn basis_cols(&self) -> Vec<Vec<(usize, f64)>> {
+        self.basis.iter().map(|&j| self.aug_col(j)).collect()
+    }
+
+    /// `xb = B̄⁻¹·(b − Σ_{j at a fixed value} val_j·A_j)` from scratch.
+    /// Fixed values: constant upper bounds and dependents glued to
+    /// *nonbasic* keys (dependents glued to basic keys ride inside the
+    /// augmented basis columns instead).
     fn recompute_xb(&mut self) {
         let mut rhs = self.sf.b.clone();
         for j in 0..self.sf.ncols {
-            if self.state[j] == VarState::AtUpper {
-                let u = self.sf.upper[j].expect("AtUpper implies a finite bound");
+            let val = match self.state[j] {
+                VarState::AtUpper => self.sf.upper[j].expect("AtUpper implies a finite bound"),
+                VarState::AtVub => {
+                    let k = self.sf.vub[j].expect("AtVub implies a VUB");
+                    if self.pos[k] == usize::MAX {
+                        self.key_rest_value(k)
+                    } else {
+                        continue; // inside the augmented key column
+                    }
+                }
+                VarState::Basic | VarState::AtLower => continue,
+            };
+            if val != 0.0 {
                 for &(i, v) in &self.sf.cols[j] {
-                    rhs[i] -= u * v;
+                    rhs[i] -= val * v;
                 }
             }
         }
@@ -264,45 +455,37 @@ impl<'a> Rev<'a> {
 
     fn ftran(&self, v: &[f64]) -> Vec<f64> {
         let mut x = self.lu.solve(v);
-        for (r, w) in &self.etas {
-            let wr = w
-                .iter()
-                .find(|(i, _)| i == r)
-                .map(|&(_, v)| v)
-                .expect("eta stores its pivot entry");
-            let t = x[*r] / wr;
-            for &(i, wi) in w {
-                if i != *r {
+        for e in &self.etas {
+            let t = x[e.r] / e.pivot;
+            if t != 0.0 {
+                for &(i, wi) in &e.rest {
                     x[i] -= wi * t;
                 }
             }
-            x[*r] = t;
+            x[e.r] = t;
         }
         x
     }
 
     fn btran(&self, c: &[f64]) -> Vec<f64> {
         let mut c = c.to_vec();
-        for (r, w) in self.etas.iter().rev() {
+        for e in self.etas.iter().rev() {
             let mut acc = 0.0;
-            let mut wr = f64::NAN;
-            for &(i, wi) in w {
-                if i == *r {
-                    wr = wi;
-                } else {
-                    acc += c[i] * wi;
-                }
+            for &(i, wi) in &e.rest {
+                acc += c[i] * wi;
             }
-            c[*r] = (c[*r] - acc) / wr;
+            c[e.r] = (c[e.r] - acc) / e.pivot;
         }
         self.lu.solve_transposed(&c)
     }
 
     fn refactor(&mut self) -> bool {
-        match Self::factor(self.sf, &self.basis) {
+        match SparseLu::factor(self.sf.m, &self.basis_cols()) {
             Some(lu) => {
                 self.lu = lu;
                 self.etas.clear();
+                self.eta_nnz = 0;
+                self.refactorizations += 1;
                 self.recompute_xb();
                 true
             }
@@ -310,97 +493,350 @@ impl<'a> Rev<'a> {
         }
     }
 
+    /// Appends an eta to the product-form file, tracking its fill. `col`
+    /// must contain its pivot entry (row `r`), which is split out for the
+    /// branch-free application loops.
+    fn push_eta(&mut self, r: usize, mut col: Vec<(usize, f64)>) {
+        let at = col
+            .iter()
+            .position(|&(i, _)| i == r)
+            .expect("eta stores its pivot entry");
+        let pivot = col.swap_remove(at).1;
+        debug_assert!(pivot != 0.0);
+        self.eta_nnz += col.len() + 1;
+        self.etas.push(Eta {
+            r,
+            pivot,
+            rest: col,
+        });
+    }
+
+    /// Whether the eta file is long or dense enough to refactorize.
+    fn eta_file_full(&self) -> bool {
+        self.etas.len() >= REFACTOR_EVERY || self.eta_nnz >= ETA_NNZ_PER_ROW * self.sf.m
+    }
+
+    /// Plain reduced cost `d_j = c_j − y·A_j`.
+    fn reduced(&self, cost: &[f64], y: &[f64], j: usize) -> f64 {
+        let mut d = cost[j];
+        for &(i, v) in &self.sf.cols[j] {
+            d -= y[i] * v;
+        }
+        d
+    }
+
+    /// The "effective" improving reduced cost of nonbasic `j` (negative =
+    /// improving), per resting state:
+    ///
+    /// * `AtLower` rises: `d̄_j` (augmented over glued dependents if `j` is
+    ///   a key — they move with it);
+    /// * `AtUpper` descends: `−d̄_j`;
+    /// * `AtVub` comes off the glue downwards: `−d_j` (plain — the key
+    ///   stays put).
+    fn effective(&self, cost: &[f64], y: &[f64], j: usize) -> f64 {
+        let d = self.reduced(cost, y, j);
+        match self.state[j] {
+            VarState::AtVub => -d,
+            VarState::AtLower | VarState::AtUpper => {
+                let mut dbar = d;
+                for &dep in &self.deps[j] {
+                    if self.state[dep] == VarState::AtVub {
+                        dbar += self.reduced(cost, y, dep);
+                    }
+                }
+                if self.state[j] == VarState::AtLower {
+                    dbar
+                } else {
+                    -dbar
+                }
+            }
+            VarState::Basic => unreachable!(),
+        }
+    }
+
+    /// Entering-column selection: Bland (full scan, lowest index), full
+    /// Dantzig (`window == 0`), or rotating-window partial pricing: price
+    /// `window` columns starting at the cursor; the first window holding
+    /// an improving candidate yields its best (Dantzig within the
+    /// window), and only a full fruitless cycle certifies optimality. The
+    /// rotation doubles as diversification — always chasing the single
+    /// most negative reduced cost concentrates the pivots in one VUB
+    /// family and multiplies degenerate glue/unglue churn.
+    fn price(&mut self, cost: &[f64], y: &[f64], bland: bool, window: usize) -> Option<usize> {
+        let ncols = self.sf.ncols;
+        let priceable = |rev: &Self, j: usize| -> Option<f64> {
+            if rev.state[j] == VarState::Basic || rev.barred[j] {
+                return None;
+            }
+            let eff = rev.effective(cost, y, j);
+            (eff < -ENTER_TOL).then_some(eff)
+        };
+        if bland {
+            return (0..ncols).find(|&j| priceable(self, j).is_some());
+        }
+        if window == 0 || window >= ncols {
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..ncols {
+                if let Some(eff) = priceable(self, j) {
+                    if best.map(|(_, b)| eff < b) != Some(false) {
+                        best = Some((j, eff));
+                    }
+                }
+            }
+            return best.map(|(j, _)| j);
+        }
+        let mut scanned = 0;
+        while scanned < ncols {
+            let mut best: Option<(usize, f64)> = None;
+            let block = window.min(ncols - scanned);
+            for _ in 0..block {
+                let j = self.cursor;
+                self.cursor = (self.cursor + 1) % ncols;
+                if let Some(eff) = priceable(self, j) {
+                    if best.map(|(_, b)| eff < b) != Some(false) {
+                        best = Some((j, eff));
+                    }
+                }
+            }
+            scanned += block;
+            if let Some((j, _)) = best {
+                return Some(j);
+            }
+        }
+        None
+    }
+
     /// Runs the simplex loop for the cost vector `cost`. With
     /// `freeze_artificials` (phase 2), basic artificials are treated as
     /// having upper bound 0 in the ratio test, so no pivot can ever move
     /// them off zero — without it a cost-0 artificial could silently
     /// re-absorb constraint violation.
-    fn optimize(&mut self, cost: &[f64], freeze_artificials: bool) -> StepOutcome {
+    fn optimize(&mut self, cost: &[f64], freeze_artificials: bool, window: usize) -> StepOutcome {
         let m = self.sf.m;
         let mut bland = false;
         let mut degenerate_run = 0usize;
         let cap = iteration_cap(m, self.sf.ncols);
-        for _ in 0..cap {
-            // Simplex multipliers for the current basis.
-            let cb: Vec<f64> = self.basis.iter().map(|&j| cost[j]).collect();
-            let y = self.btran(&cb);
-            // Pricing: most negative "effective" reduced cost (at-upper
-            // candidates improve by *increasing* their reduced cost, so
-            // their effective direction is the negation).
-            let mut enter: Option<(usize, f64)> = None;
-            for j in 0..self.sf.ncols {
-                if self.state[j] == VarState::Basic || self.barred[j] {
-                    continue;
-                }
-                let mut d = cost[j];
-                for &(i, v) in &self.sf.cols[j] {
-                    d -= y[i] * v;
-                }
-                let eff = match self.state[j] {
-                    VarState::AtLower => d,
-                    VarState::AtUpper => -d,
-                    VarState::Basic => unreachable!(),
-                };
-                if eff < -ENTER_TOL {
-                    let better = match &enter {
-                        None => true,
-                        Some((bj, beff)) => {
-                            if bland {
-                                j < *bj
-                            } else {
-                                eff < *beff
-                            }
-                        }
-                    };
-                    if better {
-                        enter = Some((j, eff));
-                        if bland {
-                            break;
-                        }
-                    }
-                }
+        // Per-key sum of glued dependents' costs, maintained incrementally
+        // at each glue/unglue event below. Rebuilding it by scanning every
+        // key's dependent list each iteration would cost O(total VUB
+        // memberships) per iteration — the O(n²)-class term this solver
+        // exists to avoid.
+        let mut aug_cost = vec![0.0f64; self.sf.ncols];
+        for j in 0..self.sf.ncols {
+            if self.state[j] == VarState::AtVub {
+                aug_cost[self.sf.vub[j].expect("AtVub implies a VUB")] += cost[j];
             }
-            let Some((q, _)) = enter else {
+        }
+        for _ in 0..cap {
+            // Simplex multipliers for the current (augmented) basis.
+            let cb: Vec<f64> = self.basis.iter().map(|&v| cost[v] + aug_cost[v]).collect();
+            let y = self.btran(&cb);
+            let Some(q) = self.price(cost, &y, bland, window) else {
                 return StepOutcome::Optimal;
             };
             // Direction: +1 when rising from the lower bound, −1 when
-            // descending from the upper.
+            // descending from the upper bound or coming off the VUB glue.
             let sigma = if self.state[q] == VarState::AtLower {
                 1.0
             } else {
                 -1.0
             };
-            let mut aq = vec![0.0; m];
-            for &(i, v) in &self.sf.cols[q] {
-                aq[i] = v;
+            // Entering column: augmented when q is a key whose glued
+            // dependents ride along; the dependents of a *basic* key stay
+            // inside the basis matrix, so an entering AtVub dependent uses
+            // its plain column (the t-parametrization of the glue slack).
+            let acol = self.aug_col(q);
+            for &(i, v) in &acol {
+                self.aq[i] = v;
             }
-            let w = self.ftran(&aq);
-            // Ratio test: basic variables hitting a bound vs the entering
-            // variable's own bound span (a flip).
-            let mut t_best = self.sf.upper[q].unwrap_or(f64::INFINITY);
-            let mut leave: Option<(usize, bool, f64)> = None; // (row, to_upper, |w_r|)
+            let w = self.ftran(&self.aq);
+            for &(i, _) in &acol {
+                self.aq[i] = 0.0;
+            }
+
+            // ---- ratio test -------------------------------------------
+            // Entering variable's own span first (the bound-flip family).
+            let mut t_best = f64::INFINITY;
+            let mut hit = Hit::FlipTo(VarState::AtLower); // overwritten below
+            let mut hit_mag = 0.0f64; // pivot magnitude for tie-breaks
+            let consider =
+                |t: f64, mag: f64, h: Hit, t_best: &mut f64, hit: &mut Hit, hit_mag: &mut f64| {
+                    let t = t.max(0.0);
+                    let tie = (t - *t_best).abs() <= 1e-12;
+                    if t < *t_best - 1e-12 || (tie && mag > *hit_mag) {
+                        *t_best = t;
+                        *hit = h;
+                        *hit_mag = mag;
+                    }
+                };
+            match self.state[q] {
+                VarState::AtLower => {
+                    if let Some(u) = self.sf.upper[q] {
+                        consider(
+                            u,
+                            0.0,
+                            Hit::FlipTo(VarState::AtUpper),
+                            &mut t_best,
+                            &mut hit,
+                            &mut hit_mag,
+                        );
+                    }
+                    if let Some(k) = self.sf.vub[q] {
+                        if self.pos[k] == usize::MAX {
+                            let span = self.key_rest_value(k);
+                            consider(
+                                span,
+                                0.0,
+                                Hit::FlipTo(VarState::AtVub),
+                                &mut t_best,
+                                &mut hit,
+                                &mut hit_mag,
+                            );
+                        } else {
+                            // Rising towards a basic key: meet when
+                            // t = xb_k / (1 + σ·w_k).
+                            let pk = self.pos[k];
+                            let den = 1.0 + sigma * w[pk];
+                            if den > PIV_TOL {
+                                consider(
+                                    self.xb[pk].max(0.0) / den,
+                                    den.abs(),
+                                    Hit::FlipGlue,
+                                    &mut t_best,
+                                    &mut hit,
+                                    &mut hit_mag,
+                                );
+                            }
+                        }
+                    }
+                }
+                VarState::AtUpper => {
+                    // Dependents never rest AtUpper (their constant bounds
+                    // are promoted rows), so the only span is down to 0.
+                    let u = self.sf.upper[q].expect("AtUpper implies a finite bound");
+                    consider(
+                        u,
+                        0.0,
+                        Hit::FlipTo(VarState::AtLower),
+                        &mut t_best,
+                        &mut hit,
+                        &mut hit_mag,
+                    );
+                }
+                VarState::AtVub => {
+                    let k = self.sf.vub[q].expect("AtVub implies a VUB");
+                    if self.pos[k] == usize::MAX {
+                        let span = self.key_rest_value(k);
+                        consider(
+                            span,
+                            0.0,
+                            Hit::FlipTo(VarState::AtLower),
+                            &mut t_best,
+                            &mut hit,
+                            &mut hit_mag,
+                        );
+                    } else {
+                        // Descending off a basic key towards 0: the key's
+                        // value drifts too, meet at t = xb_k / (1 + σ·w_k).
+                        let pk = self.pos[k];
+                        let den = 1.0 + sigma * w[pk];
+                        if den > PIV_TOL {
+                            consider(
+                                self.xb[pk].max(0.0) / den,
+                                den.abs(),
+                                Hit::FlipUnglue,
+                                &mut t_best,
+                                &mut hit,
+                                &mut hit_mag,
+                            );
+                        }
+                    }
+                }
+                VarState::Basic => unreachable!(),
+            }
+            // Basic variables hitting a bound.
             for i in 0..m {
+                let vi = self.basis[i];
                 let d = sigma * w[i];
                 if d > PIV_TOL {
-                    let t = (self.xb[i].max(0.0)) / d;
-                    let tie = leave.is_some() && (t - t_best).abs() <= 1e-12;
-                    if t < t_best - 1e-12 || (tie && leave.map(|l| d.abs() > l.2) == Some(true)) {
-                        t_best = t;
-                        leave = Some((i, false, d.abs()));
-                    }
+                    consider(
+                        self.xb[i].max(0.0) / d,
+                        d.abs(),
+                        Hit::Leave(i, VarState::AtLower),
+                        &mut t_best,
+                        &mut hit,
+                        &mut hit_mag,
+                    );
                 } else if d < -PIV_TOL {
-                    let ub = if freeze_artificials && self.sf.artificial[self.basis[i]] {
-                        Some(0.0)
+                    // Ceilings: frozen artificials, constant bounds, and
+                    // VUBs against nonbasic keys.
+                    let mut ub = if freeze_artificials && self.sf.artificial[vi] {
+                        Some((0.0, VarState::AtLower))
                     } else {
-                        self.sf.upper[self.basis[i]]
+                        self.sf.upper[vi].map(|u| (u, VarState::AtUpper))
                     };
-                    if let Some(u) = ub {
-                        let t = (u - self.xb[i]).max(0.0) / -d;
-                        let tie = leave.is_some() && (t - t_best).abs() <= 1e-12;
-                        if t < t_best - 1e-12 || (tie && leave.map(|l| d.abs() > l.2) == Some(true))
-                        {
-                            t_best = t;
-                            leave = Some((i, true, d.abs()));
+                    // A nonbasic key is a fixed ceiling — unless it is the
+                    // entering variable itself (about to move/turn basic),
+                    // which the pairwise branch below handles as a glue.
+                    if let Some(k) = self.sf.vub[vi] {
+                        if self.pos[k] == usize::MAX && k != q {
+                            let vk = self.key_rest_value(k);
+                            if ub.map(|(u, _)| vk < u) != Some(false) {
+                                ub = Some((vk, VarState::AtVub));
+                            }
+                        }
+                    }
+                    if let Some((u, to)) = ub {
+                        consider(
+                            (u - self.xb[i]).max(0.0) / -d,
+                            d.abs(),
+                            Hit::Leave(i, to),
+                            &mut t_best,
+                            &mut hit,
+                            &mut hit_mag,
+                        );
+                    }
+                }
+                // Pairwise VUB limits: a basic dependent closing on its
+                // basic key, or on the entering variable when that is its
+                // key.
+                if let Some(k) = self.sf.vub[vi] {
+                    if self.pos[k] != usize::MAX {
+                        let pk = self.pos[k];
+                        let rate = sigma * (w[pk] - w[i]);
+                        if rate > PIV_TOL {
+                            let s = (self.xb[pk] - self.xb[i]).max(0.0);
+                            consider(
+                                s / rate,
+                                rate.abs(),
+                                Hit::LeaveGlue(i),
+                                &mut t_best,
+                                &mut hit,
+                                &mut hit_mag,
+                            );
+                        }
+                    } else if k == q {
+                        // Entering key vs its basic dependent: the slack
+                        // (val_q + σt) − (xb_i − σ t w_i) shrinks when
+                        // σ(1 + w_i) < 0.
+                        let start = match self.state[q] {
+                            VarState::AtLower => 0.0,
+                            VarState::AtUpper => {
+                                self.sf.upper[q].expect("AtUpper implies a finite bound")
+                            }
+                            _ => unreachable!("keys are never AtVub"),
+                        };
+                        let rate = -sigma * (1.0 + w[i]);
+                        if rate > PIV_TOL {
+                            let s = (start - self.xb[i]).max(0.0);
+                            consider(
+                                s / rate,
+                                rate.abs(),
+                                Hit::LeaveGlue(i),
+                                &mut t_best,
+                                &mut hit,
+                                &mut hit_mag,
+                            );
                         }
                     }
                 }
@@ -416,50 +852,218 @@ impl<'a> Rev<'a> {
             } else {
                 degenerate_run = 0;
             }
-            match leave {
-                None => {
-                    // Bound flip: no basis change, the entering variable
-                    // jumps to its opposite bound.
-                    let t = t_best;
-                    for i in 0..m {
-                        self.xb[i] -= sigma * t * w[i];
+            let t = t_best;
+            // ---- apply -------------------------------------------------
+            // Glue/unglue events change basis *columns* (augmented key
+            // columns grow or shrink), not just which columns are basic.
+            // Each such change is the rank-one update `B ← B ± A_col·e_p^T`,
+            // which the product-form eta file absorbs as the eta
+            // `(p, ±B⁻¹A_col + e_p)`; the ratio test's rate/den thresholds
+            // guarantee the eta pivot entries are well-conditioned, so a
+            // full refactorization is only the fallback, never the rule.
+            //
+            // When q was glued to a basic key, its departure shrinks that
+            // key column whatever else happens; capture the key's position
+            // now — the bookkeeping below may move or evict the key.
+            let unglue_pk: Option<usize> = (self.state[q] == VarState::AtVub)
+                .then(|| self.pos[self.sf.vub[q].expect("AtVub implies a VUB")])
+                .filter(|&pk| pk != usize::MAX);
+            let unglues_entering = unglue_pk.is_some();
+            let entering_was_glued = self.state[q] == VarState::AtVub;
+            // The value the entering variable takes if it pivots into the
+            // basis at step t, against the pre-update basic values: the
+            // t-parametrization off a basic key (v_q(t) = xb_pk +
+            // t·(w_pk − 1)), an ascent from 0, or a descent from the
+            // constant bound / nonbasic key's value. Shared by the leave
+            // arms below.
+            let enter_value = if let Some(pk) = unglue_pk {
+                self.xb[pk] + t * (w[pk] - 1.0)
+            } else if sigma > 0.0 {
+                t
+            } else {
+                let start = match self.sf.upper[q] {
+                    Some(u) => u,
+                    None => {
+                        let k = self.sf.vub[q].expect("descent needs a bound");
+                        self.key_rest_value(k)
                     }
-                    self.state[q] = match self.state[q] {
-                        VarState::AtLower => VarState::AtUpper,
-                        VarState::AtUpper => VarState::AtLower,
-                        VarState::Basic => unreachable!(),
-                    };
-                }
-                Some((r, to_upper, _)) => {
-                    let t = t_best;
-                    let lvar = self.basis[r];
-                    for i in 0..m {
-                        if i != r {
+                };
+                start - t
+            };
+            match hit {
+                Hit::FlipTo(new_state) => {
+                    // Entering flips between fixed resting values; only
+                    // possible with a nonbasic (or absent) key, so no
+                    // column changes. (`unglues_entering` implies the span
+                    // candidate was FlipUnglue, never FlipTo.)
+                    debug_assert!(!unglues_entering);
+                    if t > 0.0 {
+                        for i in 0..m {
                             self.xb[i] -= sigma * t * w[i];
                         }
                     }
-                    self.xb[r] = if sigma > 0.0 {
-                        t
-                    } else {
-                        self.sf.upper[q].expect("descending from a finite bound") - t
-                    };
-                    // A frozen artificial "leaves to its upper bound" of 0,
-                    // which is its lower bound: record AtLower.
-                    self.state[lvar] = if to_upper && !self.sf.artificial[lvar] {
-                        VarState::AtUpper
-                    } else {
-                        VarState::AtLower
-                    };
+                    if entering_was_glued {
+                        aug_cost[self.sf.vub[q].expect("AtVub implies a VUB")] -= cost[q];
+                    }
+                    if new_state == VarState::AtVub {
+                        aug_cost[self.sf.vub[q].expect("AtVub target implies a VUB")] += cost[q];
+                    }
+                    self.state[q] = new_state;
+                    self.bound_flips += 1;
+                }
+                Hit::FlipGlue => {
+                    // q (a dependent, plain column — deps are never keys)
+                    // rises onto its basic key at position pk:
+                    // B ← B + A_q·e_pk^T, eta (pk, w + e_pk) with pivot
+                    // 1 + w_pk > PIV_TOL by the den check above.
+                    let key = self.sf.vub[q].expect("FlipGlue implies a VUB");
+                    let pk = self.pos[key];
+                    if t > 0.0 {
+                        for i in 0..m {
+                            self.xb[i] -= sigma * t * w[i];
+                        }
+                    }
+                    self.state[q] = VarState::AtVub;
+                    aug_cost[key] += cost[q];
+                    self.bound_flips += 1;
+                    let mut col = sparse_eta(&w, pk);
+                    bump(&mut col, pk, 1.0);
+                    self.push_eta(pk, col);
+                    if self.eta_file_full() && !self.refactor() {
+                        return StepOutcome::Stalled;
+                    }
+                }
+                Hit::FlipUnglue => {
+                    // q comes off its basic key down to 0:
+                    // B ← B − A_q·e_pk^T, eta (pk, −w + e_pk) with pivot
+                    // 1 − w_pk > PIV_TOL by the den check above.
+                    let key = self.sf.vub[q].expect("FlipUnglue implies a VUB");
+                    let pk = self.pos[key];
+                    if t > 0.0 {
+                        for i in 0..m {
+                            self.xb[i] -= sigma * t * w[i];
+                        }
+                    }
+                    self.state[q] = VarState::AtLower;
+                    aug_cost[key] -= cost[q];
+                    self.bound_flips += 1;
+                    let neg: Vec<f64> = w.iter().map(|&v| -v).collect();
+                    let mut col = sparse_eta(&neg, pk);
+                    bump(&mut col, pk, 1.0);
+                    self.push_eta(pk, col);
+                    if self.eta_file_full() && !self.refactor() {
+                        return StepOutcome::Stalled;
+                    }
+                }
+                Hit::Leave(r, to) => {
+                    let lvar = self.basis[r];
+                    if entering_was_glued {
+                        aug_cost[self.sf.vub[q].expect("AtVub implies a VUB")] -= cost[q];
+                    }
+                    if to == VarState::AtVub {
+                        aug_cost[self.sf.vub[lvar].expect("AtVub target implies a VUB")] +=
+                            cost[lvar];
+                    }
+                    self.state[lvar] = to;
+                    self.pos[lvar] = usize::MAX;
                     self.basis[r] = q;
+                    self.pos[q] = r;
                     self.state[q] = VarState::Basic;
-                    let sparse_w: Vec<(usize, f64)> = w
-                        .iter()
-                        .enumerate()
-                        .filter(|&(i, &v)| i == r || v.abs() > 1e-12)
-                        .map(|(i, &v)| (i, v))
-                        .collect();
-                    self.etas.push((r, sparse_w));
-                    if self.etas.len() >= REFACTOR_EVERY && !self.refactor() {
+                    self.pivots += 1;
+                    if t > 0.0 {
+                        for i in 0..m {
+                            if i != r {
+                                self.xb[i] -= sigma * t * w[i];
+                            }
+                        }
+                    }
+                    self.xb[r] = enter_value;
+                    if let Some(pk) = unglue_pk {
+                        // Shrink the key column first (eta1), then install
+                        // the entering column at r against the shrunk
+                        // basis (eta2, direction w transformed by eta1).
+                        let den = 1.0 - w[pk];
+                        if den.abs() <= PIV_TOL {
+                            if !self.refactor() {
+                                return StepOutcome::Stalled;
+                            }
+                        } else {
+                            let neg: Vec<f64> = w.iter().map(|&v| -v).collect();
+                            let mut col = sparse_eta(&neg, pk);
+                            bump(&mut col, pk, 1.0);
+                            self.push_eta(pk, col);
+                            let scale = w[pk] / den;
+                            let mut w2: Vec<f64> = w.iter().map(|&v| v * (1.0 + scale)).collect();
+                            w2[pk] = scale;
+                            if w2[r].abs() <= PIV_TOL {
+                                if !self.refactor() {
+                                    return StepOutcome::Stalled;
+                                }
+                            } else {
+                                self.push_eta(r, sparse_eta(&w2, r));
+                            }
+                        }
+                    } else {
+                        self.push_eta(r, sparse_eta(&w, r));
+                    }
+                    if self.eta_file_full() && !self.refactor() {
+                        return StepOutcome::Stalled;
+                    }
+                }
+                Hit::LeaveGlue(r) => {
+                    // The basic dependent at row r leaves glued to its key
+                    // — already basic at pk, or the entering q itself. Its
+                    // column A_dep is the current basis column r, so
+                    // B⁻¹A_dep = e_r exactly and the glue etas are
+                    // analytic.
+                    let lvar = self.basis[r];
+                    let key = self.sf.vub[lvar].expect("LeaveGlue implies a VUB");
+                    let pk = self.pos[key];
+                    if entering_was_glued {
+                        aug_cost[self.sf.vub[q].expect("AtVub implies a VUB")] -= cost[q];
+                    }
+                    aug_cost[key] += cost[lvar];
+                    self.state[lvar] = VarState::AtVub;
+                    self.pos[lvar] = usize::MAX;
+                    self.basis[r] = q;
+                    self.pos[q] = r;
+                    self.state[q] = VarState::Basic;
+                    self.pivots += 1;
+                    if t > 0.0 {
+                        for i in 0..m {
+                            if i != r {
+                                self.xb[i] -= sigma * t * w[i];
+                            }
+                        }
+                    }
+                    self.xb[r] = enter_value;
+                    if unglues_entering {
+                        // Three column changes at once (q's old key
+                        // shrinks, the new glue, the install): rare —
+                        // refactorize.
+                        if !self.refactor() {
+                            return StepOutcome::Stalled;
+                        }
+                    } else if pk != usize::MAX {
+                        // Key basic at pk: eta1 = (pk, e_r + e_pk) grows
+                        // the key column (pivot exactly 1); eta2 installs
+                        // the entering column, whose eta1-transformed
+                        // direction differs from w only at r and pk, with
+                        // pivot w_r − w_pk (|·| = the ratio-test rate).
+                        self.push_eta(pk, vec![(r, 1.0), (pk, 1.0)]);
+                        let mut w2 = w.clone();
+                        w2[r] -= w[pk];
+                        self.push_eta(r, sparse_eta(&w2, r));
+                    } else {
+                        // The key is the entering q: install the augmented
+                        // column + the fresh glue in one eta with pivot
+                        // 1 + w_r (|·| = the ratio-test rate).
+                        debug_assert_eq!(key, q);
+                        let mut col = sparse_eta(&w, r);
+                        bump(&mut col, r, 1.0);
+                        self.push_eta(r, col);
+                    }
+                    if self.eta_file_full() && !self.refactor() {
                         return StepOutcome::Stalled;
                     }
                 }
@@ -469,26 +1073,81 @@ impl<'a> Rev<'a> {
     }
 }
 
-/// Two-phase bounded revised simplex over a `StandardForm<f64>`. The result
-/// is a *proposal*: callers must verify `Optimal` outcomes exactly and must
-/// treat every other status as "rerun exactly".
+/// The augmented (Schrage key) column `A_base + Σ_{j ∈ glued} A_j` as a
+/// sorted sparse merge. Shared by the `f64` iteration and the exact `Rat`
+/// certification so the two sides always build the same basis matrix.
+pub(crate) fn augmented_column<S: Scalar>(
+    cols: &[Vec<(usize, S)>],
+    base: usize,
+    glued: &[usize],
+) -> Vec<(usize, S)> {
+    if glued.is_empty() {
+        return cols[base].clone();
+    }
+    let mut merged = cols[base].clone();
+    for &j in glued {
+        merged.extend_from_slice(&cols[j]);
+    }
+    merged.sort_unstable_by_key(|e| e.0);
+    let mut out: Vec<(usize, S)> = Vec::with_capacity(merged.len());
+    for (i, val) in merged {
+        match out.last_mut() {
+            Some(last) if last.0 == i => last.1 = last.1.add(&val),
+            _ => out.push((i, val)),
+        }
+    }
+    out
+}
+
+/// The sparse eta column for `w`: keeps the pivot entry at `r`
+/// unconditionally and drops other near-zero entries.
+fn sparse_eta(w: &[f64], r: usize) -> Vec<(usize, f64)> {
+    w.iter()
+        .enumerate()
+        .filter(|&(i, &v)| i == r || v.abs() > 1e-12)
+        .map(|(i, &v)| (i, v))
+        .collect()
+}
+
+/// Adds `delta` to the entry at row `r` of a sparse eta column (present or
+/// not).
+fn bump(col: &mut Vec<(usize, f64)>, r: usize, delta: f64) {
+    match col.iter_mut().find(|(i, _)| *i == r) {
+        Some(e) => e.1 += delta,
+        None => col.push((r, delta)),
+    }
+}
+
+/// Two-phase bounded revised simplex over a `StandardForm<f64>` with the
+/// default options. The result is a *proposal*: callers must verify
+/// `Optimal` outcomes exactly and must treat every other status as "rerun
+/// exactly".
 pub fn solve_bounded_f64(sf: &StandardForm<f64>) -> BoundedBasis {
-    let stalled = BoundedBasis {
+    solve_bounded_f64_with(sf, &BoundedOptions::default())
+}
+
+/// [`solve_bounded_f64`] with explicit [`BoundedOptions`].
+pub fn solve_bounded_f64_with(sf: &StandardForm<f64>, opts: &BoundedOptions) -> BoundedBasis {
+    let stalled = |rev: Option<&Rev>| BoundedBasis {
         status: BoundedStatus::Stalled,
         basis: Vec::new(),
         state: Vec::new(),
+        pivots: rev.map_or(0, |r| r.pivots),
+        bound_flips: rev.map_or(0, |r| r.bound_flips),
+        refactorizations: rev.map_or(0, |r| r.refactorizations),
     };
     let Some(mut rev) = Rev::new(sf) else {
-        return stalled;
+        return stalled(None);
     };
+    let window = opts.pricing_window;
     if sf.n_art > 0 {
         let cost1: Vec<f64> = (0..sf.ncols)
             .map(|j| if sf.artificial[j] { 1.0 } else { 0.0 })
             .collect();
-        match rev.optimize(&cost1, false) {
+        match rev.optimize(&cost1, false, window) {
             StepOutcome::Optimal => {}
             // Phase 1 is bounded below by 0; treat anything else as a stall.
-            StepOutcome::Unbounded | StepOutcome::Stalled => return stalled,
+            StepOutcome::Unbounded | StepOutcome::Stalled => return stalled(Some(&rev)),
         }
         let infeasibility: f64 = rev
             .basis
@@ -500,6 +1159,9 @@ pub fn solve_bounded_f64(sf: &StandardForm<f64>) -> BoundedBasis {
         if infeasibility > 1e-7 {
             return BoundedBasis {
                 status: BoundedStatus::Infeasible,
+                pivots: rev.pivots,
+                bound_flips: rev.bound_flips,
+                refactorizations: rev.refactorizations,
                 basis: rev.basis,
                 state: rev.state,
             };
@@ -510,18 +1172,18 @@ pub fn solve_bounded_f64(sf: &StandardForm<f64>) -> BoundedBasis {
             }
         }
     }
-    match rev.optimize(&sf.cost, true) {
-        StepOutcome::Optimal => BoundedBasis {
-            status: BoundedStatus::Optimal,
-            basis: rev.basis,
-            state: rev.state,
-        },
-        StepOutcome::Unbounded => BoundedBasis {
-            status: BoundedStatus::Unbounded,
-            basis: rev.basis,
-            state: rev.state,
-        },
-        StepOutcome::Stalled => stalled,
+    let status = match rev.optimize(&sf.cost, true, window) {
+        StepOutcome::Optimal => BoundedStatus::Optimal,
+        StepOutcome::Unbounded => BoundedStatus::Unbounded,
+        StepOutcome::Stalled => return stalled(Some(&rev)),
+    };
+    BoundedBasis {
+        status,
+        pivots: rev.pivots,
+        bound_flips: rev.bound_flips,
+        refactorizations: rev.refactorizations,
+        basis: rev.basis,
+        state: rev.state,
     }
 }
 
@@ -554,6 +1216,27 @@ mod tests {
         assert_eq!(s.init_basis[0], 2); // slack
         assert_eq!(s.init_basis[1], 4); // artificial
         assert_eq!(s.init_basis[2], 5); // artificial
+    }
+
+    #[test]
+    fn standard_form_promotes_dependent_constant_bounds() {
+        // x has both a VUB (key y) and a constant bound: the constant bound
+        // becomes a trailing row, the VUB stays metadata.
+        let mut lp: LpProblem<f64> = LpProblem::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 2.0);
+        lp.set_upper(x, 3.0);
+        lp.set_upper(y, 5.0);
+        lp.set_vub(x, y);
+        let s = sf(&lp);
+        assert_eq!(s.m, 2); // original row + promoted bound row
+        assert_eq!(s.b[1], 3.0);
+        assert_eq!(s.upper[x], None);
+        assert_eq!(s.upper[y], Some(5.0));
+        assert_eq!(s.vub[x], Some(y));
+        assert_eq!(s.vub[y], None);
+        assert_eq!(s.cols[x], vec![(0, 1.0), (1, 1.0)]);
     }
 
     #[test]
@@ -592,6 +1275,8 @@ mod tests {
         assert_eq!(out.state[x], VarState::AtUpper);
         // The slack stayed basic: no pivot happened at all.
         assert_eq!(out.basis, s.init_basis);
+        assert_eq!(out.pivots, 0);
+        assert!(out.bound_flips >= 1);
     }
 
     #[test]
@@ -612,5 +1297,48 @@ mod tests {
             solve_bounded_f64(&sf(&unb)).status,
             BoundedStatus::Unbounded
         );
+    }
+
+    #[test]
+    fn vub_glue_flip_reaches_the_key() {
+        // min −x  s.t.  x + y ≥ 1 with x ≤ y (VUB) and y ≤ 4: the optimum
+        // pins x to its key at the key's bound (x = y = 4).
+        let mut lp: LpProblem<f64> = LpProblem::new();
+        let x = lp.add_var(-1.0);
+        let y = lp.add_var(0.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 1.0);
+        lp.set_upper(y, 4.0);
+        lp.set_vub(x, y);
+        let s = sf(&lp);
+        let out = solve_bounded_f64(&s);
+        assert_eq!(out.status, BoundedStatus::Optimal);
+        // x rests on its VUB (glued) or basic at the same value; either way
+        // the proposal must be consistent enough for exact verification —
+        // here we just sanity-check the states are legal.
+        assert!(matches!(out.state[x], VarState::AtVub | VarState::Basic));
+    }
+
+    #[test]
+    fn vub_partial_pricing_matches_full_pricing() {
+        // A few VUB families; full Dantzig and a tiny window must agree on
+        // the terminal status (objectives are certified exactly upstream).
+        let mut lp: LpProblem<f64> = LpProblem::new();
+        let y0 = lp.add_var(1.0);
+        let y1 = lp.add_var(1.0);
+        let mut xs = Vec::new();
+        for i in 0..6 {
+            let x = lp.add_var(0.0);
+            lp.set_vub(x, if i % 2 == 0 { y0 } else { y1 });
+            xs.push(x);
+        }
+        lp.set_upper(y0, 3.0);
+        lp.set_upper(y1, 2.0);
+        // capacity-style rows and a demand row.
+        lp.add_constraint(xs.iter().map(|&x| (x, 1.0)).collect(), Cmp::Ge, 4.0);
+        let s = sf(&lp);
+        let full = solve_bounded_f64_with(&s, &BoundedOptions { pricing_window: 0 });
+        let part = solve_bounded_f64_with(&s, &BoundedOptions { pricing_window: 2 });
+        assert_eq!(full.status, BoundedStatus::Optimal);
+        assert_eq!(part.status, BoundedStatus::Optimal);
     }
 }

@@ -6,9 +6,11 @@
 //! noise-free) or `f64`; a float-first **hybrid** solve ([`solve_hybrid`])
 //! that runs the search in `f64` and re-verifies the terminal basis
 //! exactly; and the bounded-variable **revised** hybrid ([`solve_revised`])
-//! — implicit `[0, u]` variable bounds handled by the pivoting rules
-//! ([`bounds`]) and exact verification through a sparse rational LU of the
-//! basis matrix ([`lu`]) — the default path for the active-time LPs.
+//! — implicit `[0, u]` variable bounds *and* Schrage-style variable upper
+//! bounds `x ≤ y` ([`LpProblem::set_vub`]) handled by the pivoting rules
+//! ([`bounds`]), partial pricing, and exact verification through a sparse
+//! rational LU of the (key-column-augmented) basis matrix ([`lu`]) — the
+//! default path for the active-time LPs.
 //!
 //! The allowed offline dependency set contains no LP solver (the paper's
 //! reproduction band notes the thin LP ecosystem), so this crate implements
@@ -23,12 +25,15 @@ pub mod rational;
 pub mod scalar;
 pub mod simplex;
 
-pub use bounds::{solve_bounded_f64, BoundedBasis, BoundedStatus, StandardForm, VarState};
+pub use bounds::{
+    solve_bounded_f64, solve_bounded_f64_with, BoundedBasis, BoundedOptions, BoundedStatus,
+    StandardForm, VarState, DEFAULT_PRICING_WINDOW,
+};
 pub use lu::SparseLu;
 pub use model::{Cmp, Constraint, LpProblem, VarId};
 pub use rational::Rat;
 pub use scalar::{Scalar, F64_EPS};
 pub use simplex::{
-    solve, solve_hybrid, solve_hybrid_report, solve_revised, solve_revised_report, HybridReport,
-    LpSolution, LpStatus,
+    solve, solve_hybrid, solve_hybrid_report, solve_revised, solve_revised_report,
+    solve_revised_with, HybridReport, LpSolution, LpStatus, RevisedOptions, SolveStats,
 };

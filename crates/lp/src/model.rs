@@ -10,6 +10,16 @@
 //! * [`LpProblem::bound_var`] — an **explicit** `≤` row. This is the seed
 //!   formulation, kept as the differential-test oracle: the two encodings
 //!   must produce bit-identical optima under every backend.
+//!
+//! **Variable upper bounds** (VUBs) `x ≤ y` — one variable capped by
+//! another — get the same dual treatment: [`LpProblem::set_vub`] registers
+//! the cap as a *family* (the bound variable `y` is the family's key, `x`
+//! one of its dependents) that the revised simplex handles inside its
+//! pivoting rules (Schrage-style: dependents may rest *glued* to their
+//! key, see [`crate::bounds`]), while the dense solvers materialize each
+//! cap as an explicit `x − y ≤ 0` row via [`LpProblem::vubs_as_rows`].
+//! Families are flat: a key cannot itself carry a VUB and a dependent
+//! cannot serve as a key (no chains).
 
 use crate::scalar::Scalar;
 
@@ -45,6 +55,10 @@ pub struct LpProblem<S> {
     objective: Vec<S>,
     constraints: Vec<Constraint<S>>,
     upper: Vec<Option<S>>,
+    /// Per variable: the key variable bounding it from above (`x ≤ key`).
+    vub: Vec<Option<VarId>>,
+    /// Per variable: how many dependents name it as their key.
+    vub_dependents: Vec<u32>,
 }
 
 impl<S: Scalar> Default for LpProblem<S> {
@@ -60,6 +74,8 @@ impl<S: Scalar> LpProblem<S> {
             objective: Vec::new(),
             constraints: Vec::new(),
             upper: Vec::new(),
+            vub: Vec::new(),
+            vub_dependents: Vec::new(),
         }
     }
 
@@ -67,6 +83,8 @@ impl<S: Scalar> LpProblem<S> {
     pub fn add_var(&mut self, cost: S) -> VarId {
         self.objective.push(cost);
         self.upper.push(None);
+        self.vub.push(None);
+        self.vub_dependents.push(0);
         self.objective.len() - 1
     }
 
@@ -116,6 +134,69 @@ impl<S: Scalar> LpProblem<S> {
         self.upper.iter().any(|u| u.is_some())
     }
 
+    /// Registers the variable upper bound `x_x ≤ x_key` as a VUB family
+    /// membership (no row is created). Families must stay flat: `key` may
+    /// not itself carry a VUB and `x` may not already serve as a key.
+    /// A repeated call replaces `x`'s previous key.
+    ///
+    /// # Panics
+    ///
+    /// On `x == key`, on a chained family, or on unknown variables.
+    pub fn set_vub(&mut self, x: VarId, key: VarId) {
+        assert!(
+            x < self.num_vars() && key < self.num_vars(),
+            "unknown variable"
+        );
+        assert_ne!(x, key, "a variable cannot bound itself");
+        assert!(
+            self.vub[key].is_none(),
+            "VUB chains are not supported: the key variable has a VUB itself"
+        );
+        assert!(
+            self.vub_dependents[x] == 0,
+            "VUB chains are not supported: the dependent serves as a key"
+        );
+        if let Some(old) = self.vub[x].replace(key) {
+            self.vub_dependents[old] -= 1;
+        }
+        self.vub_dependents[key] += 1;
+    }
+
+    /// The VUB key of `v` (the variable bounding it from above), if any.
+    pub fn vub(&self, v: VarId) -> Option<VarId> {
+        self.vub[v]
+    }
+
+    /// Whether any variable carries a VUB.
+    pub fn has_vubs(&self) -> bool {
+        self.vub.iter().any(|k| k.is_some())
+    }
+
+    /// A copy of the problem with every VUB materialized as an explicit
+    /// `x − key ≤ 0` row (appended after the original rows, in variable
+    /// order) and the VUB registry cleared. Used by the dense solvers and
+    /// the exact fallback; duals of the appended rows are dropped before
+    /// results reach callers.
+    pub fn vubs_as_rows(&self) -> LpProblem<S> {
+        let mut out = LpProblem {
+            objective: self.objective.clone(),
+            constraints: self.constraints.clone(),
+            upper: self.upper.clone(),
+            vub: vec![None; self.vub.len()],
+            vub_dependents: vec![0; self.vub.len()],
+        };
+        for (v, key) in self.vub.iter().enumerate() {
+            if let Some(key) = key {
+                out.add_constraint(
+                    vec![(v, S::one()), (*key, S::one().neg())],
+                    Cmp::Le,
+                    S::zero(),
+                );
+            }
+        }
+        out
+    }
+
     /// A copy of the problem with every implicit bound materialized as an
     /// explicit `≤` row (appended after the original rows, in variable
     /// order) and the implicit bounds cleared. Used by the dense solvers
@@ -126,6 +207,8 @@ impl<S: Scalar> LpProblem<S> {
             objective: self.objective.clone(),
             constraints: self.constraints.clone(),
             upper: vec![None; self.upper.len()],
+            vub: self.vub.clone(),
+            vub_dependents: self.vub_dependents.clone(),
         };
         for (v, ub) in self.upper.iter().enumerate() {
             if let Some(ub) = ub {
@@ -162,6 +245,12 @@ impl<S: Scalar> LpProblem<S> {
         if x.iter()
             .zip(&self.upper)
             .any(|(v, u)| matches!(u, Some(u) if v.sub(u).is_pos()))
+        {
+            return false;
+        }
+        if x.iter()
+            .zip(&self.vub)
+            .any(|(v, k)| matches!(k, Some(k) if v.sub(&x[*k]).is_pos()))
         {
             return false;
         }
@@ -229,6 +318,46 @@ mod tests {
         assert!(!rows.has_upper_bounds());
         assert_eq!(rows.num_constraints(), 2);
         assert!(!rows.is_feasible(&[Rat::from_int(3), Rat::ZERO]));
+    }
+
+    #[test]
+    fn vub_registry_roundtrip() {
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(Rat::ONE);
+        let y = lp.add_var(Rat::ONE);
+        lp.add_constraint(
+            vec![(x, Rat::ONE), (y, Rat::ONE)],
+            Cmp::Ge,
+            Rat::from_int(2),
+        );
+        assert!(!lp.has_vubs());
+        lp.set_vub(x, y);
+        assert!(lp.has_vubs());
+        assert_eq!(lp.vub(x), Some(y));
+        assert_eq!(lp.vub(y), None);
+        // Feasibility honours the VUB…
+        assert!(!lp.is_feasible(&[Rat::from_int(2), Rat::ZERO]));
+        assert!(lp.is_feasible(&[Rat::ONE, Rat::ONE]));
+        // …and materialization moves it into a row.
+        let rows = lp.vubs_as_rows();
+        assert!(!rows.has_vubs());
+        assert_eq!(rows.num_constraints(), 2);
+        assert!(!rows.is_feasible(&[Rat::from_int(2), Rat::ZERO]));
+        // bounds_as_rows keeps the registry intact.
+        lp.set_upper(y, Rat::from_int(3));
+        let b = lp.bounds_as_rows();
+        assert_eq!(b.vub(x), Some(y));
+    }
+
+    #[test]
+    #[should_panic(expected = "chains")]
+    fn vub_chains_rejected() {
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(Rat::ONE);
+        let y = lp.add_var(Rat::ONE);
+        let z = lp.add_var(Rat::ONE);
+        lp.set_vub(x, y);
+        lp.set_vub(y, z); // y is already a key
     }
 
     #[test]

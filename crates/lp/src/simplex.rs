@@ -61,32 +61,43 @@
 //! * the `f64` search is the bounded **revised** simplex of
 //!   [`crate::bounds`]: implicit `[0, u]` variable bounds (plain `x ≤ const`
 //!   rows vanish from the model when callers use
-//!   [`LpProblem::set_upper`]), nonbasic-at-upper states, bound flips, and
-//!   a periodically refactorized sparse LU basis with product-form
-//!   updates; and
+//!   [`LpProblem::set_upper`]), Schrage-style **variable upper bounds**
+//!   (`x ≤ y` rows vanish when callers use [`LpProblem::set_vub`] —
+//!   dependents rest glued to their key and basic keys carry augmented
+//!   key columns), nonbasic-at-upper states, bound flips, and a
+//!   periodically refactorized sparse LU basis with product-form updates;
+//!   and
 //! * the exact pass no longer refactorizes a dense tableau
 //!   (`O(m²·cols)`): it builds a [`SparseLu`] of the terminal basis matrix
 //!   in exact rationals — near-linear in `nnz(B)` on the paper's LPs — and
-//!   certifies, exactly: `B·x_B = b − Σ_{j at upper} u_j·A_j` with
-//!   `0 ≤ x_B ≤ u_B`, every basic artificial exactly 0, and reduced costs
-//!   `d_j = c_j − y·A_j` (with `y` from `Bᵀ·y = c_B`) satisfying `d_j ≥ 0`
-//!   at lower bounds and `d_j ≤ 0` at upper bounds. Together with
-//!   complementary slackness — automatic from the basis structure — this
-//!   certifies exact optimality.
+//!   certifies exact optimality **per resting state**. With the augmented
+//!   key columns `Ā_k = A_k + Σ_{glued j} A_j` and costs
+//!   `c̄_k = c_k + Σ_{glued j} c_j`: primal feasibility
+//!   `B̄·x_B = b − Σ_{j at a fixed value} val_j·A_j` with `0 ≤ x_B ≤ u_B`
+//!   and every basic dependent below its key's value, every basic
+//!   artificial exactly 0, and duals `y` from `B̄ᵀ·y = c̄_B` whose reduced
+//!   costs satisfy `d̄_j ≥ 0` at lower bounds, `d̄_j ≤ 0` at upper bounds
+//!   (`d̄` augmented over glued dependents for keys), and `d_j ≤ 0` for
+//!   every glued dependent (the VUB multiplier `λ_j = −d_j` must be
+//!   nonnegative). Together with complementary slackness — automatic from
+//!   the basis/glue structure — this certifies exact optimality.
 //!
 //! The contract matches [`solve_hybrid`]: **bit-identical status and
 //! objective** to the pure-rational [`solve`], with any unverifiable float
 //! outcome falling back to the exact dense solver. For problems with
-//! implicit bounds, the dense solvers (and the fallback) materialize each
-//! bound as a trailing `≤` row via [`LpProblem::bounds_as_rows`] and drop
-//! the extra duals, so every backend accepts every problem. Note that with
+//! implicit bounds or VUBs, the dense solvers (and the fallback)
+//! materialize each as a trailing `≤` row via
+//! [`LpProblem::bounds_as_rows`]/[`LpProblem::vubs_as_rows`] and drop the
+//! extra duals, so every backend accepts every problem. Note that with
 //! implicit bounds strong duality reads
 //! `b·y + Σ_{j at upper} u_j·d_j = c·x`: the row duals alone no longer
 //! account for the bound constraints' contribution.
 
 #![allow(clippy::needless_range_loop)] // index loops mirror the tableau math
 
-use crate::bounds::{solve_bounded_f64, BoundedBasis, BoundedStatus, StandardForm, VarState};
+use crate::bounds::{
+    solve_bounded_f64_with, BoundedBasis, BoundedOptions, BoundedStatus, StandardForm, VarState,
+};
 use crate::lu::SparseLu;
 use crate::model::{Cmp, LpProblem};
 use crate::rational::Rat;
@@ -120,6 +131,22 @@ pub struct LpSolution<S> {
     pub duals: Vec<S>,
 }
 
+/// Iteration/verification counters of a hybrid-style solve (all zero on
+/// paths that do not track them, e.g. the dense hybrid's float pass).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Basis-changing pivots of the float pass.
+    pub pivots: u64,
+    /// Bound/VUB flips of the float pass (iterations without a basis
+    /// change).
+    pub bound_flips: u64,
+    /// LU refactorizations of the float pass (periodic and
+    /// VUB-structural).
+    pub refactorizations: u64,
+    /// Wall time of the exact certification step, in nanoseconds.
+    pub certify_nanos: u64,
+}
+
 /// Result of [`solve_hybrid_report`]: the solution plus whether the exact
 /// fallback had to run.
 #[derive(Debug, Clone)]
@@ -130,6 +157,8 @@ pub struct HybridReport {
     /// exact simplex ran. Expected to be rare; tests assert specific
     /// adversarial instances trip it.
     pub fallback: bool,
+    /// Iteration/verification counters (see [`SolveStats`]).
+    pub stats: SolveStats,
 }
 
 /// Number of consecutive degenerate pivots tolerated before switching to
@@ -523,11 +552,11 @@ fn solve_internal<S: Scalar>(lp: &LpProblem<S>) -> (LpSolution<S>, Vec<usize>) {
 }
 
 /// Solves `lp` to optimality (or detects infeasibility/unboundedness) in
-/// the scalar type `S`. Implicit variable bounds are materialized as
-/// trailing rows internally; their duals are dropped.
+/// the scalar type `S`. Implicit variable bounds and VUBs are materialized
+/// as trailing rows internally; their duals are dropped.
 pub fn solve<S: Scalar>(lp: &LpProblem<S>) -> LpSolution<S> {
-    if lp.has_upper_bounds() {
-        let rows = lp.bounds_as_rows();
+    if lp.has_upper_bounds() || lp.has_vubs() {
+        let rows = lp.vubs_as_rows().bounds_as_rows();
         let mut sol = solve_internal(&rows).0;
         sol.duals.truncate(lp.num_constraints());
         return sol;
@@ -535,7 +564,8 @@ pub fn solve<S: Scalar>(lp: &LpProblem<S>) -> LpSolution<S> {
     solve_internal(lp).0
 }
 
-/// The lossless `f64` image of an exact-rational LP (bounds included).
+/// The lossless `f64` image of an exact-rational LP (bounds and VUBs
+/// included).
 fn to_f64(lp: &LpProblem<Rat>) -> LpProblem<f64> {
     let mut out: LpProblem<f64> = LpProblem::new();
     for c in lp.objective() {
@@ -544,6 +574,9 @@ fn to_f64(lp: &LpProblem<Rat>) -> LpProblem<f64> {
     for v in 0..lp.num_vars() {
         if let Some(u) = lp.upper(v) {
             out.set_upper(v, u.to_f64());
+        }
+        if let Some(k) = lp.vub(v) {
+            out.set_vub(v, k);
         }
     }
     for c in lp.constraints() {
@@ -629,34 +662,40 @@ pub fn solve_hybrid(lp: &LpProblem<Rat>) -> LpSolution<Rat> {
 /// [`solve_hybrid`] plus whether the exact fallback ran (for tests and
 /// diagnostics).
 pub fn solve_hybrid_report(lp: &LpProblem<Rat>) -> HybridReport {
-    if lp.has_upper_bounds() {
+    if lp.has_upper_bounds() || lp.has_vubs() {
         // The dense hybrid works on the row encoding; recurse on the
-        // materialized problem and drop the bound rows' duals.
-        let rows = lp.bounds_as_rows();
+        // materialized problem and drop the bound/VUB rows' duals.
+        let rows = lp.vubs_as_rows().bounds_as_rows();
         let mut rep = solve_hybrid_report(&rows);
         rep.solution.duals.truncate(lp.num_constraints());
         return rep;
     }
     let (fsol, fbasis) = solve_internal(&to_f64(lp));
     if fsol.status == LpStatus::Optimal {
+        let certify = std::time::Instant::now();
         if let Some(solution) = verify_basis(lp, &fbasis) {
             return HybridReport {
                 solution,
                 fallback: false,
+                stats: SolveStats {
+                    certify_nanos: certify.elapsed().as_nanos() as u64,
+                    ..SolveStats::default()
+                },
             };
         }
     }
     HybridReport {
         solution: solve(lp),
         fallback: true,
+        stats: SolveStats::default(),
     }
 }
 
 /// Verifies, in exact rationals, the terminal basis+state proposal of the
 /// bounded `f64` revised simplex via a sparse LU of the basis matrix (see
-/// the module docs for the certificate). Returns the exact solution on
-/// success, `None` on any failed check (singular basis, bound or sign
-/// violation, artificial stuck at a nonzero value).
+/// the module docs for the per-resting-state certificate). Returns the
+/// exact solution on success, `None` on any failed check (singular basis,
+/// bound/VUB or sign violation, artificial stuck at a nonzero value).
 fn verify_bounded(
     lp: &LpProblem<Rat>,
     sf: &StandardForm<Rat>,
@@ -666,14 +705,21 @@ fn verify_bounded(
     if prop.basis.len() != m || prop.state.len() != sf.ncols {
         return None;
     }
-    // State consistency: exactly the basis columns are `Basic` and every
-    // `AtUpper` column has a finite bound.
+    // State consistency: exactly the basis columns are `Basic`, every
+    // `AtUpper` column has a finite bound, every `AtVub` column a VUB.
     let mut basic_count = 0usize;
     for j in 0..sf.ncols {
         match prop.state[j] {
             VarState::Basic => basic_count += 1,
             VarState::AtUpper => {
                 sf.upper[j].as_ref()?;
+            }
+            VarState::AtVub => {
+                let k = sf.vub[j]?;
+                // Families are flat: a key never rests glued itself.
+                if prop.state[k] == VarState::AtVub {
+                    return None;
+                }
             }
             VarState::AtLower => {}
         }
@@ -682,27 +728,78 @@ fn verify_bounded(
         return None;
     }
     let mut seen = vec![false; sf.ncols];
-    for &j in &prop.basis {
+    let mut pos = vec![usize::MAX; sf.ncols];
+    for (i, &j) in prop.basis.iter().enumerate() {
         if j >= sf.ncols
             || prop.state[j] != VarState::Basic
             || std::mem::replace(&mut seen[j], true)
         {
             return None;
         }
+        pos[j] = i;
     }
-    let bcols: Vec<Vec<(usize, Rat)>> = prop.basis.iter().map(|&j| sf.cols[j].clone()).collect();
+    // The resting value of a nonbasic key (AtLower/AtUpper by the flatness
+    // check above).
+    let key_rest = |k: usize| -> Rat {
+        match prop.state[k] {
+            VarState::AtLower => Rat::ZERO,
+            VarState::AtUpper => *sf.upper[k].as_ref().expect("checked above"),
+            VarState::Basic | VarState::AtVub => unreachable!("not a nonbasic key"),
+        }
+    };
+    // Glued dependents per key (they ride inside the augmented column of a
+    // basic key); dependents glued to nonbasic keys contribute fixed
+    // values to the right-hand side instead.
+    let mut glued: Vec<Vec<usize>> = vec![Vec::new(); sf.ncols];
+    for j in 0..sf.ncols {
+        if prop.state[j] == VarState::AtVub {
+            glued[sf.vub[j].expect("checked above")].push(j);
+        }
+    }
+    let bcols: Vec<Vec<(usize, Rat)>> = prop
+        .basis
+        .iter()
+        .map(|&j| crate::bounds::augmented_column(&sf.cols, j, &glued[j]))
+        .collect();
     let lu = SparseLu::factor(m, &bcols)?;
     // Exact basic values against the bound-adjusted right-hand side.
     let mut rhs = sf.b.clone();
     for j in 0..sf.ncols {
-        if prop.state[j] == VarState::AtUpper {
-            let u = sf.upper[j].as_ref().expect("checked above");
+        let val = match prop.state[j] {
+            VarState::AtUpper => *sf.upper[j].as_ref().expect("checked above"),
+            VarState::AtVub => {
+                let k = sf.vub[j].expect("checked above");
+                if pos[k] == usize::MAX {
+                    key_rest(k)
+                } else {
+                    continue; // inside the augmented key column
+                }
+            }
+            VarState::Basic | VarState::AtLower => continue,
+        };
+        if !val.is_zero_s() {
             for (i, v) in &sf.cols[j] {
-                rhs[*i] = rhs[*i].sub(&u.mul(v));
+                rhs[*i] = rhs[*i].sub(&val.mul(v));
             }
         }
     }
     let xb = lu.solve(&rhs);
+    // The exact value of any column under the proposal.
+    let value_of = |j: usize| -> Rat {
+        match prop.state[j] {
+            VarState::Basic => xb[pos[j]],
+            VarState::AtLower => Rat::ZERO,
+            VarState::AtUpper => *sf.upper[j].as_ref().expect("checked above"),
+            VarState::AtVub => {
+                let k = sf.vub[j].expect("checked above");
+                if pos[k] == usize::MAX {
+                    key_rest(k)
+                } else {
+                    xb[pos[k]]
+                }
+            }
+        }
+    };
     for (i, &j) in prop.basis.iter().enumerate() {
         if xb[i].is_neg() {
             return None;
@@ -712,47 +809,92 @@ fn verify_bounded(
                 return None;
             }
         }
+        // A basic dependent must sit below its key's exact value.
+        if let Some(k) = sf.vub[j] {
+            if xb[i].sub(&value_of(k)).is_pos() {
+                return None;
+            }
+        }
         if sf.artificial[j] && !xb[i].is_zero_s() {
             return None;
         }
     }
-    // Exact duals and reduced-cost sign conditions. Artificial columns are
-    // not part of the real LP and are skipped (they are all at value 0).
-    let cb: Vec<Rat> = prop.basis.iter().map(|&j| sf.cost[j]).collect();
-    let y = lu.solve_transposed(&cb);
+    // Glued values must be nonnegative (a key resting below zero is
+    // impossible, but a defensive exact check is cheap).
     for j in 0..sf.ncols {
-        if prop.state[j] == VarState::Basic || sf.artificial[j] {
-            continue;
+        if prop.state[j] == VarState::AtVub && value_of(j).is_neg() {
+            return None;
         }
+    }
+    // Exact duals from the augmented system B̄ᵀ·y = c̄_B.
+    let cb: Vec<Rat> = prop
+        .basis
+        .iter()
+        .map(|&j| {
+            let mut c = sf.cost[j];
+            for &g in &glued[j] {
+                c = c.add(&sf.cost[g]);
+            }
+            c
+        })
+        .collect();
+    let y = lu.solve_transposed(&cb);
+    // Reduced-cost sign conditions per resting state. Artificial columns
+    // are not part of the real LP and are skipped (they are all at 0).
+    let reduced = |j: usize| -> Rat {
         let mut d = sf.cost[j];
         for (i, v) in &sf.cols[j] {
             d = d.sub(&y[*i].mul(v));
         }
+        d
+    };
+    // Each glued dependent's reduced cost is needed twice — for its own
+    // λ_j = −d_j ≥ 0 check and folded into its key's augmented d̄ — so
+    // compute the exact rational dot products once.
+    let dep_reduced: Vec<Option<Rat>> = (0..sf.ncols)
+        .map(|j| (prop.state[j] == VarState::AtVub).then(|| reduced(j)))
+        .collect();
+    for j in 0..sf.ncols {
+        if prop.state[j] == VarState::Basic || sf.artificial[j] {
+            continue;
+        }
         match prop.state[j] {
-            VarState::AtLower if d.is_neg() => return None,
-            VarState::AtUpper if d.is_pos() => return None,
-            _ => {}
+            // The VUB multiplier λ_j = −d_j must be nonnegative.
+            VarState::AtVub => {
+                if dep_reduced[j].expect("computed above").is_pos() {
+                    return None;
+                }
+            }
+            VarState::AtLower | VarState::AtUpper => {
+                // Keys answer with the augmented reduced cost — their
+                // glued dependents' multipliers fold in.
+                let mut dbar = reduced(j);
+                for &g in &glued[j] {
+                    dbar = dbar.add(&dep_reduced[g].expect("glued implies AtVub"));
+                }
+                match prop.state[j] {
+                    VarState::AtLower if dbar.is_neg() => return None,
+                    VarState::AtUpper if dbar.is_pos() => return None,
+                    _ => {}
+                }
+            }
+            VarState::Basic => unreachable!(),
         }
     }
-    // Certified optimal: extract structural values and row duals.
+    // Certified optimal: extract structural values and row duals (promoted
+    // bound rows of VUB dependents are internal — drop their duals).
     let n = lp.num_vars();
     let mut x = vec![Rat::ZERO; n];
     for (j, xj) in x.iter_mut().enumerate() {
-        if prop.state[j] == VarState::AtUpper {
-            *xj = *sf.upper[j].as_ref().expect("checked above");
-        }
-    }
-    for (i, &j) in prop.basis.iter().enumerate() {
-        if j < n {
-            x[j] = xb[i];
-        }
+        *xj = value_of(j);
     }
     let objective = lp.objective_value(&x);
-    let duals = y
+    let mut duals: Vec<Rat> = y
         .iter()
         .zip(&sf.row_flip)
         .map(|(yi, flip)| if *flip { yi.neg() } else { *yi })
         .collect();
+    duals.truncate(lp.num_constraints());
     Some(LpSolution {
         status: LpStatus::Optimal,
         objective,
@@ -764,28 +906,53 @@ fn verify_bounded(
 /// Bounded-variable revised hybrid solve: runs the bounded revised simplex
 /// of [`crate::bounds`] in `f64`, verifies the terminal basis exactly with
 /// a sparse rational LU, and falls back to the pure exact simplex (on the
-/// bound-materialized row encoding) when verification fails. Status and
-/// objective are always bit-identical to [`solve`]`::<Rat>`.
+/// bound/VUB-materialized row encoding) when verification fails. Status
+/// and objective are always bit-identical to [`solve`]`::<Rat>`.
 pub fn solve_revised(lp: &LpProblem<Rat>) -> LpSolution<Rat> {
     solve_revised_report(lp).solution
 }
 
-/// [`solve_revised`] plus whether the exact fallback ran.
+/// Tuning knobs of [`solve_revised_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RevisedOptions {
+    /// Partial-pricing window of the float pass (see
+    /// [`BoundedOptions::pricing_window`]); `0` = full Dantzig pricing.
+    pub pricing: BoundedOptions,
+}
+
+/// [`solve_revised`] plus whether the exact fallback ran and the solve
+/// counters.
 pub fn solve_revised_report(lp: &LpProblem<Rat>) -> HybridReport {
+    solve_revised_with(lp, &RevisedOptions::default())
+}
+
+/// [`solve_revised_report`] with explicit [`RevisedOptions`].
+pub fn solve_revised_with(lp: &LpProblem<Rat>, opts: &RevisedOptions) -> HybridReport {
     let sf64 = StandardForm::build(&to_f64(lp));
-    let prop = solve_bounded_f64(&sf64);
+    let prop = solve_bounded_f64_with(&sf64, &opts.pricing);
+    let mut stats = SolveStats {
+        pivots: prop.pivots,
+        bound_flips: prop.bound_flips,
+        refactorizations: prop.refactorizations,
+        certify_nanos: 0,
+    };
     if prop.status == BoundedStatus::Optimal {
         let sfr = StandardForm::build(lp);
-        if let Some(solution) = verify_bounded(lp, &sfr, &prop) {
+        let certify = std::time::Instant::now();
+        let verified = verify_bounded(lp, &sfr, &prop);
+        stats.certify_nanos = certify.elapsed().as_nanos() as u64;
+        if let Some(solution) = verified {
             return HybridReport {
                 solution,
                 fallback: false,
+                stats,
             };
         }
     }
     HybridReport {
         solution: solve(lp),
         fallback: true,
+        stats,
     }
 }
 
@@ -1195,6 +1362,142 @@ mod tests {
         );
         assert_eq!(rep.solution.objective, Rat::ONE);
         assert_eq!(rep.solution.x, vec![Rat::ZERO, Rat::ONE]);
+    }
+
+    // ---- VUB coverage -------------------------------------------------
+
+    /// Runs the dense exact oracle (rows) against the revised solver on
+    /// both encodings of the same VUB structure.
+    fn assert_vub_matches(vub_lp: &LpProblem<Rat>) -> HybridReport {
+        let oracle = solve(&vub_lp.vubs_as_rows());
+        let rep = solve_revised_report(vub_lp);
+        assert_eq!(rep.solution.status, oracle.status);
+        if oracle.status == LpStatus::Optimal {
+            assert_eq!(rep.solution.objective, oracle.objective);
+            assert!(vub_lp.is_feasible(&rep.solution.x));
+            assert_eq!(vub_lp.objective_value(&rep.solution.x), oracle.objective);
+            assert_eq!(rep.solution.duals.len(), vub_lp.num_constraints());
+        }
+        rep
+    }
+
+    #[test]
+    fn vub_family_of_size_one() {
+        // min −x  s.t.  x + y ≥ 1, x ≤ y (single-dependent family), y ≤ 3.
+        // Optimum x = y = 3.
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(r(-1, 1));
+        let y = lp.add_var(Rat::ZERO);
+        lp.add_constraint(vec![(x, Rat::ONE), (y, Rat::ONE)], Cmp::Ge, Rat::ONE);
+        lp.set_upper(y, r(3, 1));
+        lp.set_vub(x, y);
+        let rep = assert_vub_matches(&lp);
+        assert!(!rep.fallback, "clean VUB LP must verify without fallback");
+        assert_eq!(rep.solution.objective, r(-3, 1));
+        assert_eq!(rep.solution.x[x], r(3, 1));
+    }
+
+    #[test]
+    fn vub_key_fixed_at_zero() {
+        // The key's constant bound is 0, pinning the whole family to 0:
+        // min x0 + x1  s.t.  x0 + x1 + z ≥ 2, x_i ≤ y, y ≤ 0. All demand
+        // must flow through the free variable z.
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x0 = lp.add_var(Rat::ONE);
+        let x1 = lp.add_var(Rat::ONE);
+        let y = lp.add_var(r(5, 1)); // expensive key, pinned anyway
+        let z = lp.add_var(r(2, 1));
+        lp.add_constraint(
+            vec![(x0, Rat::ONE), (x1, Rat::ONE), (z, Rat::ONE)],
+            Cmp::Ge,
+            r(2, 1),
+        );
+        lp.set_upper(y, Rat::ZERO);
+        lp.set_vub(x0, y);
+        lp.set_vub(x1, y);
+        let rep = assert_vub_matches(&lp);
+        assert_eq!(rep.solution.objective, r(4, 1));
+        assert_eq!(rep.solution.x[x0], Rat::ZERO);
+        assert_eq!(rep.solution.x[x1], Rat::ZERO);
+        assert_eq!(rep.solution.x[z], r(2, 1));
+    }
+
+    #[test]
+    fn vub_dependent_at_constant_cap_and_vub_simultaneously() {
+        // x carries both a constant cap and a VUB and the optimum makes
+        // both tight: min −3x − y  s.t.  x + y ≤ 4, x ≤ 2 (constant),
+        // x ≤ y (VUB) ⇒ x = y = 2, objective −8. The standard form
+        // promotes the constant cap to a row (see bounds.rs docs).
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(r(-3, 1));
+        let y = lp.add_var(r(-1, 1));
+        lp.add_constraint(vec![(x, Rat::ONE), (y, Rat::ONE)], Cmp::Le, r(4, 1));
+        lp.set_upper(x, r(2, 1));
+        lp.set_vub(x, y);
+        let rep = assert_vub_matches(&lp);
+        assert_eq!(rep.solution.objective, r(-8, 1));
+        assert_eq!(rep.solution.x, vec![r(2, 1), r(2, 1)]);
+    }
+
+    #[test]
+    fn vub_lp1_shaped_family_verifies_without_fallback() {
+        // A miniature LP1: two super-slots Y_I ≤ w_I, three jobs with
+        // x_{I,j} ≤ Y_I caps as VUBs, capacity Σ_j x ≤ g·Y, demand rows.
+        let g = r(2, 1);
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let y0 = lp.add_var(Rat::ONE);
+        let y1 = lp.add_var(Rat::ONE);
+        lp.set_upper(y0, r(3, 1));
+        lp.set_upper(y1, r(2, 1));
+        // job 0 in both runs, job 1 in run 0, job 2 in run 1.
+        let x00 = lp.add_var(Rat::ZERO);
+        let x10 = lp.add_var(Rat::ZERO);
+        let x01 = lp.add_var(Rat::ZERO);
+        let x21 = lp.add_var(Rat::ZERO);
+        for (x, y) in [(x00, y0), (x10, y0), (x01, y1), (x21, y1)] {
+            lp.set_vub(x, y);
+        }
+        lp.add_constraint(
+            vec![(x00, Rat::ONE), (x10, Rat::ONE), (y0, g.neg())],
+            Cmp::Le,
+            Rat::ZERO,
+        );
+        lp.add_constraint(
+            vec![(x01, Rat::ONE), (x21, Rat::ONE), (y1, g.neg())],
+            Cmp::Le,
+            Rat::ZERO,
+        );
+        lp.add_constraint(vec![(x00, Rat::ONE), (x01, Rat::ONE)], Cmp::Ge, r(3, 1));
+        lp.add_constraint(vec![(x10, Rat::ONE)], Cmp::Ge, r(2, 1));
+        lp.add_constraint(vec![(x21, Rat::ONE)], Cmp::Ge, Rat::ONE);
+        let rep = assert_vub_matches(&lp);
+        assert!(!rep.fallback, "LP1-shaped VUB model must verify exactly");
+        // Work 6 over capacity g = 2 needs ≥ 3 open mass.
+        assert_eq!(rep.solution.objective, r(3, 1));
+        assert!(rep.stats.pivots + rep.stats.bound_flips > 0);
+    }
+
+    #[test]
+    fn vub_infeasible_and_unbounded_detected() {
+        // Infeasible: demand 5 but the whole family is capped by y ≤ 1
+        // and capacity 2y.
+        let mut inf: LpProblem<Rat> = LpProblem::new();
+        let y = inf.add_var(Rat::ONE);
+        let x = inf.add_var(Rat::ZERO);
+        inf.set_upper(y, Rat::ONE);
+        inf.set_vub(x, y);
+        inf.add_constraint(vec![(x, Rat::ONE)], Cmp::Ge, r(5, 1));
+        let rep = assert_vub_matches(&inf);
+        assert_eq!(rep.solution.status, LpStatus::Infeasible);
+
+        // Unbounded: the key has no constant bound and pays off.
+        let mut unb: LpProblem<Rat> = LpProblem::new();
+        let y = unb.add_var(r(-1, 1));
+        let x = unb.add_var(Rat::ZERO);
+        unb.set_vub(x, y);
+        unb.add_constraint(vec![(x, Rat::ONE), (y, Rat::ONE)], Cmp::Ge, Rat::ONE);
+        let rep = assert_vub_matches(&unb);
+        assert_eq!(rep.solution.status, LpStatus::Unbounded);
     }
 
     #[test]

@@ -230,6 +230,62 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
     #[test]
+    fn revised_matches_dense_on_both_vub_encodings(
+        k in 2usize..4,
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-4i64..5, 6), -3i64..9), 1..6),
+        costs in proptest::collection::vec(-5i64..6, 6),
+        key_ubs in proptest::collection::vec(0i64..7, 3),
+        dep_cap in -1i64..7,
+    ) {
+        // `k` dependent/key pairs: dependent i (< k) is VUB-bounded by key
+        // k + i. The keys carry constant bounds (so the LP is bounded);
+        // optionally (`dep_cap ≥ 0`) dependent 0 also carries a constant
+        // cap, exercising the promoted-bound-row path. The VUB encoding
+        // must be bit-identical (status and objective) to the dense exact
+        // simplex on the row encoding, under both the revised and the
+        // dense-hybrid backends.
+        let nvars = 2 * k;
+        let mut row_lp: LpProblem<Rat> = LpProblem::new();
+        let mut vub_lp: LpProblem<Rat> = LpProblem::new();
+        for i in 0..nvars {
+            row_lp.add_var(r(costs[i]));
+            vub_lp.add_var(r(costs[i]));
+        }
+        for (coeffs, b) in &rows {
+            let terms: Vec<_> = (0..nvars).map(|i| (i, r(coeffs[i]))).collect();
+            row_lp.add_constraint(terms.clone(), Cmp::Le, r(*b));
+            vub_lp.add_constraint(terms, Cmp::Le, r(*b));
+        }
+        for i in 0..k {
+            let key = k + i;
+            row_lp.add_constraint(vec![(i, Rat::ONE), (key, r(-1))], Cmp::Le, r(0));
+            vub_lp.set_vub(i, key);
+            row_lp.bound_var(key, r(key_ubs[i]));
+            vub_lp.set_upper(key, r(key_ubs[i]));
+        }
+        if dep_cap >= 0 {
+            row_lp.bound_var(0, r(dep_cap));
+            vub_lp.set_upper(0, r(dep_cap)); // promoted to a row internally
+        }
+        let exact = solve(&row_lp);
+        let rev = solve_revised(&vub_lp);
+        let hyb = solve_hybrid(&vub_lp);
+        for sol in [&rev, &hyb] {
+            prop_assert_eq!(sol.status.clone(), exact.status.clone());
+            if exact.status == LpStatus::Optimal {
+                prop_assert_eq!(sol.objective, exact.objective);
+                prop_assert!(vub_lp.is_feasible(&sol.x));
+                prop_assert_eq!(vub_lp.objective_value(&sol.x), exact.objective);
+                prop_assert_eq!(sol.duals.len(), vub_lp.num_constraints());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
     fn revised_matches_dense_on_both_bound_encodings(
         k in 1usize..4,
         rows in proptest::collection::vec(

@@ -5,8 +5,9 @@
 //! * [`gadgets`] — every gadget/worked example of the paper with its
 //!   closed-form bounds (Fig. 1, Fig. 3, the §3.5 integrality gap,
 //!   Figs. 6–12), ε-constructions scaled to exact integer ticks;
-//! * [`random`] — uniform, proper, clique, laminar, unit, and
-//!   feasibility-guaranteed families for the comparison experiments;
+//! * [`random`] — uniform, proper, clique, laminar, unit,
+//!   feasibility-guaranteed, and VUB-heavy nested-window families for the
+//!   comparison experiments;
 //! * [`traces`] — synthetic VM-consolidation and optical-lightpath traces
 //!   standing in for the motivating applications of §1.
 
@@ -23,6 +24,6 @@ pub use gadgets::{
 };
 pub use random::{
     random_active_feasible, random_clique, random_flexible, random_interval, random_laminar,
-    random_proper, random_unit, RandomConfig,
+    random_proper, random_unit, vub_heavy, RandomConfig, VubHeavyConfig,
 };
 pub use traces::{optical_trace, vm_trace, OpticalTraceConfig, VmTraceConfig};

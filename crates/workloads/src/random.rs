@@ -172,9 +172,109 @@ pub fn random_laminar(cfg: &RandomConfig, seed: u64) -> Instance {
     Instance::new(jobs, cfg.g).unwrap()
 }
 
+/// Parameters of the VUB-heavy nested-window family (see [`vub_heavy`]).
+#[derive(Debug, Clone, Copy)]
+pub struct VubHeavyConfig {
+    /// Target number of jobs (the generator may stop short when the
+    /// capacity of the nesting is exhausted).
+    pub n: usize,
+    /// Capacity `g`.
+    pub g: usize,
+    /// Horizon length.
+    pub horizon: i64,
+    /// Maximum job length.
+    pub max_len: i64,
+    /// Jobs sharing each nested window.
+    pub fan_in: usize,
+}
+
+impl Default for VubHeavyConfig {
+    fn default() -> Self {
+        VubHeavyConfig {
+            n: 24,
+            g: 4,
+            horizon: 64,
+            max_len: 4,
+            fan_in: 4,
+        }
+    }
+}
+
+/// A **VUB-heavy** feasible active-time family: nested (laminar) windows
+/// with `fan_in` jobs sharing each window, after the structured instances
+/// of Cao et al. (arXiv:2207.12507). Deep slot runs lie inside *every*
+/// ancestor window, so the per-interval job fan-in — and with it the
+/// number of `x_{I,j} ≤ Y_I` caps — is as large as the nesting allows:
+/// the stress family for the VUB-aware simplex. Feasibility is guaranteed
+/// by carving each job's units out of a reference schedule, as in
+/// [`random_active_feasible`].
+pub fn vub_heavy(cfg: &VubHeavyConfig, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut load = vec![0usize; cfg.horizon as usize + 1];
+    let mut jobs = Vec::with_capacity(cfg.n);
+    // Breadth-first over the laminar window tree: the root window first,
+    // then its halves, their halves, … — `fan_in` jobs per window.
+    let mut queue: std::collections::VecDeque<(Time, Time)> = std::collections::VecDeque::new();
+    queue.push_back((0, cfg.horizon));
+    while let Some((lo, hi)) = queue.pop_front() {
+        if jobs.len() >= cfg.n || hi - lo < 2 {
+            continue;
+        }
+        for _ in 0..cfg.fan_in {
+            if jobs.len() >= cfg.n {
+                break;
+            }
+            let len = rng.gen_range(1..=cfg.max_len.min(hi - lo));
+            // Reserve the units somewhere inside (lo, hi] with spare
+            // capacity; skip the job if the window is saturated.
+            let mut placed = None;
+            for _ in 0..50 {
+                let start = (lo + rng.gen_range(0..=(hi - lo - len))) as usize;
+                let slots = start..start + len as usize;
+                if slots.clone().all(|s| load[s] < cfg.g) {
+                    placed = Some(slots);
+                    break;
+                }
+            }
+            let Some(slots) = placed else {
+                continue;
+            };
+            for s in slots {
+                load[s] += 1;
+            }
+            jobs.push(Job::new(lo, hi, len));
+        }
+        let mid = lo + (hi - lo) / 2;
+        queue.push_back((lo, mid));
+        queue.push_back((mid, hi));
+    }
+    Instance::new(jobs, cfg.g).unwrap()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn vub_heavy_is_nested_and_feasible() {
+        let cfg = VubHeavyConfig::default();
+        let inst = vub_heavy(&cfg, 3);
+        assert!(!inst.jobs().is_empty());
+        assert_eq!(vub_heavy(&cfg, 3), inst, "deterministic per seed");
+        // Laminar windows: any two are nested or disjoint.
+        for a in inst.jobs() {
+            for b in inst.jobs() {
+                let disjoint = a.deadline <= b.release || b.deadline <= a.release;
+                let nested = (a.release <= b.release && b.deadline <= a.deadline)
+                    || (b.release <= a.release && a.deadline <= b.deadline);
+                assert!(disjoint || nested, "{a:?} vs {b:?}");
+            }
+        }
+        // The reference-schedule construction keeps per-slot load ≤ g, so
+        // opening the whole horizon is feasible: mass ≤ g·horizon.
+        let mass: i64 = inst.jobs().iter().map(|j| j.length).sum();
+        assert!(mass <= cfg.g as i64 * cfg.horizon);
+    }
 
     #[test]
     fn generators_are_deterministic_per_seed() {
