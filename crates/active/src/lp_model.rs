@@ -47,6 +47,29 @@
 //! [`VubMode::Rows`] keeps the explicit `x − Y ≤ 0` rows as the
 //! differential-test oracle.
 //!
+//! # Component decomposition
+//!
+//! LP1's constraint matrix is **block-diagonal across connected components
+//! of the job-window interval graph**: jobs whose windows never overlap
+//! share no slot (or super-slot) variables, no capacity row, and no VUB
+//! family, so one huge instance is really many independent small ones.
+//! Under [`DecomposeMode::Auto`] (the default) the model sweeps the slot
+//! runs once to find those components — each is a *contiguous* range of
+//! runs, because a job's window covers a contiguous run range — builds one
+//! sub-LP per component, solves them through
+//! [`abt_core::parallel_map`] on the existing VUB revised simplex, and
+//! stitches the per-run `Y` values and objectives back together. The
+//! stitching is *exact*: the blocks share nothing, so the monolithic
+//! optimum equals the sum of the component optima and the rational sums
+//! introduce no rounding. Runs covered by no job window carry `Y = 0` in
+//! any optimum and are never sent to a solver. [`DecomposeMode::Off`]
+//! keeps the monolithic solve as the differential oracle.
+//!
+//! Sharding composes with the per-thread slab arena in `abt-lp`
+//! ([`abt_lp::SolveArena`]): each worker thread solving a stream of small
+//! component LPs reuses its scratch buffers instead of churning the global
+//! allocator.
+//!
 //! # Solve backends
 //!
 //! The default is [`abt_lp::solve_revised`]: a bounded revised simplex in
@@ -59,14 +82,15 @@
 //!
 //! Every hybrid-style solve feeds the process-wide telemetry
 //! ([`lp_telemetry`]): fallbacks plus the pivot / bound-flip /
-//! refactorization / exact-certify counters. The experiment harness
-//! records them per experiment and CI fails when a non-adversarial
+//! refactorization / exact-certify counters, and the sharding counters
+//! (sharded solves, components solved, largest component). The experiment
+//! harness records them per experiment and CI fails when a non-adversarial
 //! workload ever needs the exact fallback.
 
 #![allow(clippy::needless_range_loop)] // job indices are shared across parallel vectors
 
 use abt_core::active_schedule::{horizon_slots, job_feasible_in_slot};
-use abt_core::{Error, Instance, Result, Time};
+use abt_core::{parallel_map, Error, Instance, Result, Time};
 use abt_lp::{
     solve, solve_hybrid_report, solve_revised_with, BoundedOptions, Cmp, HybridReport, LpProblem,
     LpSolution, LpStatus, Rat, RevisedOptions, DEFAULT_PRICING_WINDOW,
@@ -106,6 +130,19 @@ pub enum VubMode {
     Implicit,
 }
 
+/// Whether LP1 is sharded along the connected components of the
+/// job-window interval graph (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecomposeMode {
+    /// One monolithic LP, whatever the instance's shape (the differential
+    /// oracle and the pre-sharding behaviour).
+    Off,
+    /// Split into per-component sub-LPs whenever the instance has more
+    /// than one component, solving them through
+    /// [`abt_core::parallel_map`] and stitching the results exactly.
+    Auto,
+}
+
 /// Model/solver configuration for [`solve_active_lp_with`].
 #[derive(Debug, Clone, Copy)]
 pub struct LpOptions {
@@ -121,6 +158,8 @@ pub struct LpOptions {
     /// Partial-pricing window of the revised backend (`0` = full Dantzig
     /// sweeps). Default: [`DEFAULT_PRICING_WINDOW`].
     pub pricing_window: usize,
+    /// Interval-graph component sharding. Default: [`DecomposeMode::Auto`].
+    pub decompose: DecomposeMode,
 }
 
 impl Default for LpOptions {
@@ -131,13 +170,14 @@ impl Default for LpOptions {
             bounds: BoundsMode::Implicit,
             vub: VubMode::Implicit,
             pricing_window: DEFAULT_PRICING_WINDOW,
+            decompose: DecomposeMode::Auto,
         }
     }
 }
 
 impl LpOptions {
     /// The seed configuration: per-slot model, explicit bound rows, pure
-    /// exact simplex.
+    /// exact simplex, one monolithic LP.
     pub fn seed_exact() -> Self {
         LpOptions {
             backend: LpBackend::Exact,
@@ -145,6 +185,7 @@ impl LpOptions {
             bounds: BoundsMode::Rows,
             vub: VubMode::Rows,
             pricing_window: 0,
+            decompose: DecomposeMode::Off,
         }
     }
 
@@ -158,6 +199,7 @@ impl LpOptions {
             bounds: BoundsMode::Rows,
             vub: VubMode::Rows,
             pricing_window: 0,
+            decompose: DecomposeMode::Off,
         }
     }
 
@@ -171,6 +213,18 @@ impl LpOptions {
             bounds: BoundsMode::Implicit,
             vub: VubMode::Rows,
             pricing_window: 0,
+            decompose: DecomposeMode::Off,
+        }
+    }
+
+    /// The PR-3 default: the VUB-aware revised simplex on one monolithic
+    /// LP (no component sharding). Kept as the perf baseline the
+    /// decomposition layer is benchmarked against, and as its differential
+    /// oracle.
+    pub fn pr3_monolithic() -> Self {
+        LpOptions {
+            decompose: DecomposeMode::Off,
+            ..LpOptions::default()
         }
     }
 }
@@ -188,17 +242,26 @@ static LP_BOUND_FLIPS: AtomicU64 = AtomicU64::new(0);
 static LP_REFACTORIZATIONS: AtomicU64 = AtomicU64::new(0);
 /// Process-wide exact-certification wall time, nanoseconds.
 static LP_CERTIFY_NANOS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of LP1 solves that sharded into >1 component.
+static LP_SHARDED_SOLVES: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of component sub-LPs solved by sharded solves.
+static LP_COMPONENTS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide high-water mark of the largest component sub-LP's variable
+/// count (maintained with `fetch_max`; sharded solves only).
+static LP_MAX_COMPONENT_VARS: AtomicU64 = AtomicU64::new(0);
 
 /// A snapshot of the process-wide LP solve telemetry (see
 /// [`lp_telemetry`]). All counters are cumulative and monotone; diff two
 /// snapshots with [`LpTelemetry::delta`] to scope them to a region. Every
-/// field is maintained with atomic adds, so concurrent solves (e.g. under
-/// `abt-bench`'s `parallel_map`) are counted exactly — a delta across a
-/// parallel region equals the sum of the per-solve contributions.
+/// field is maintained with atomic adds (the high-water mark with atomic
+/// max), so concurrent solves (e.g. under `parallel_map`) are counted
+/// exactly — a delta across a parallel region equals the sum of the
+/// per-solve contributions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LpTelemetry {
     /// Hybrid-style LP solves (`Hybrid`/`Revised` backends and the
-    /// fractional-feasibility oracle).
+    /// fractional-feasibility oracle). Under [`DecomposeMode::Auto`] each
+    /// component sub-LP counts as one solve.
     pub solves: u64,
     /// Solves that needed the exact fallback.
     pub fallbacks: u64,
@@ -211,10 +274,21 @@ pub struct LpTelemetry {
     pub refactorizations: u64,
     /// Exact-certification wall time, nanoseconds.
     pub certify_nanos: u64,
+    /// LP1 solves that sharded into more than one component
+    /// ([`DecomposeMode::Auto`] with a disconnected interval graph).
+    pub sharded_solves: u64,
+    /// Component sub-LPs solved by those sharded solves.
+    pub components: u64,
+    /// High-water mark of the largest component sub-LP's variable count
+    /// across sharded solves. **Not** a monotone sum: [`LpTelemetry::delta`]
+    /// carries the later snapshot's value through unchanged.
+    pub max_component_vars: u64,
 }
 
 impl LpTelemetry {
-    /// Componentwise `self − earlier` (counters are monotone).
+    /// Componentwise `self − earlier` for the monotone counters;
+    /// `max_component_vars` (a high-water mark, not a sum) keeps `self`'s
+    /// value.
     pub fn delta(&self, earlier: &LpTelemetry) -> LpTelemetry {
         LpTelemetry {
             solves: self.solves - earlier.solves,
@@ -223,6 +297,9 @@ impl LpTelemetry {
             bound_flips: self.bound_flips - earlier.bound_flips,
             refactorizations: self.refactorizations - earlier.refactorizations,
             certify_nanos: self.certify_nanos - earlier.certify_nanos,
+            sharded_solves: self.sharded_solves - earlier.sharded_solves,
+            components: self.components - earlier.components,
+            max_component_vars: self.max_component_vars,
         }
     }
 }
@@ -239,6 +316,9 @@ pub fn lp_telemetry() -> LpTelemetry {
         bound_flips: LP_BOUND_FLIPS.load(Ordering::Relaxed),
         refactorizations: LP_REFACTORIZATIONS.load(Ordering::Relaxed),
         certify_nanos: LP_CERTIFY_NANOS.load(Ordering::Relaxed),
+        sharded_solves: LP_SHARDED_SOLVES.load(Ordering::Relaxed),
+        components: LP_COMPONENTS.load(Ordering::Relaxed),
+        max_component_vars: LP_MAX_COMPONENT_VARS.load(Ordering::Relaxed),
     }
 }
 
@@ -335,27 +415,91 @@ pub(crate) fn slot_runs(inst: &Instance, coalesce: bool) -> Vec<SlotRun> {
         .collect()
 }
 
-/// Builds and solves `LP1` for `inst` with the default options
-/// (coalesced super-slots, implicit bounds, bounded revised backend).
-pub fn solve_active_lp(inst: &Instance) -> Result<ActiveLp> {
-    solve_active_lp_with(inst, &LpOptions::default())
+/// A connected component of the job-window interval graph, as a contiguous
+/// range of slot runs plus the jobs whose windows lie inside it.
+#[derive(Debug, Clone)]
+pub(crate) struct Component {
+    /// First run index (inclusive).
+    pub(crate) run_lo: usize,
+    /// One past the last run index (exclusive).
+    pub(crate) run_hi: usize,
+    /// Member jobs, ascending.
+    pub(crate) jobs: Vec<usize>,
 }
 
-/// Builds and solves `LP1` for `inst` under explicit [`LpOptions`]. Every
-/// configuration returns the same exact objective; `y` may differ between
-/// alternate LP optima.
-pub fn solve_active_lp_with(inst: &Instance, opts: &LpOptions) -> Result<ActiveLp> {
-    let slots = horizon_slots(inst);
-    let runs = slot_runs(inst, opts.coalesce);
-    debug_assert_eq!(
-        runs.iter().map(SlotRun::width).sum::<i64>(),
-        slots.len() as i64
-    );
+/// Splits the instance into connected components of the job-window
+/// interval graph over `runs`. Under [`DecomposeMode::Off`] the whole
+/// instance is one component (covering even job-free runs, so the
+/// monolithic LP is reproduced bit for bit). Under [`DecomposeMode::Auto`]
+/// each component is a maximal contiguous run range linked by overlapping
+/// job windows — a job's window covers a *contiguous* range of runs, so a
+/// single sort-and-merge sweep over those ranges finds the components.
+/// Runs no job can use are left out entirely: their `Y` is 0 in any
+/// optimum and never reaches a solver.
+pub(crate) fn components(inst: &Instance, runs: &[SlotRun], mode: DecomposeMode) -> Vec<Component> {
+    if mode == DecomposeMode::Off {
+        return vec![Component {
+            run_lo: 0,
+            run_hi: runs.len(),
+            jobs: (0..inst.len()).collect(),
+        }];
+    }
+    // Per job: the contiguous run range inside its window. Runs never
+    // straddle an event point, so the endpoints decide membership.
+    let mut spans: Vec<(usize, usize, usize)> = (0..inst.len())
+        .map(|j| {
+            let job = inst.job(j);
+            let lo = runs.partition_point(|run| run.start < job.release);
+            let hi = runs.partition_point(|run| run.end <= job.deadline);
+            debug_assert!(lo < hi, "every job window covers at least one run");
+            (lo, hi, j)
+        })
+        .collect();
+    spans.sort_unstable();
+    let mut out: Vec<Component> = Vec::new();
+    for (lo, hi, j) in spans {
+        match out.last_mut() {
+            Some(c) if lo < c.run_hi => {
+                c.run_hi = c.run_hi.max(hi);
+                c.jobs.push(j);
+            }
+            _ => out.push(Component {
+                run_lo: lo,
+                run_hi: hi,
+                jobs: vec![j],
+            }),
+        }
+    }
+    for c in &mut out {
+        c.jobs.sort_unstable();
+    }
+    out
+}
 
+/// One component's solved block: per-run `Y` over `[run_lo, run_hi)` plus
+/// the exact objective contribution.
+struct ComponentSolution {
+    run_lo: usize,
+    y_runs: Vec<Rat>,
+    objective: Rat,
+}
+
+/// Builds and solves one component's LP1 block with the configured
+/// backend. The construction mirrors the monolithic model exactly, so the
+/// all-covering component of [`DecomposeMode::Off`] reproduces the
+/// pre-sharding LP bit for bit.
+fn solve_component(
+    inst: &Instance,
+    opts: &LpOptions,
+    runs: &[SlotRun],
+    comp: &Component,
+    sharded: bool,
+) -> Result<ComponentSolution> {
+    let crange = &runs[comp.run_lo..comp.run_hi];
     let mut lp: LpProblem<Rat> = LpProblem::new();
     // Y variables: total open mass per run, bounded by the run width — as
     // an implicit variable bound or as an explicit row per `opts.bounds`.
-    let y_vars: Vec<usize> = runs
+    let y_vars: Vec<usize> = crange
         .iter()
         .map(|run| {
             let v = lp.add_var(Rat::ONE);
@@ -367,15 +511,16 @@ pub fn solve_active_lp_with(inst: &Instance, opts: &LpOptions) -> Result<ActiveL
         })
         .collect();
     // x variables, only where the whole run lies inside the job's window.
-    // (ri, var) per job; runs never straddle a window boundary, so a job
-    // is feasible in a run iff it is feasible in the run's first slot.
-    let mut x_vars: Vec<Vec<(usize, usize)>> = vec![Vec::new(); inst.len()];
-    for j in 0..inst.len() {
+    // (local ri, var) per member job; runs never straddle a window
+    // boundary, so a job is feasible in a run iff it is feasible in the
+    // run's first slot.
+    let mut x_vars: Vec<Vec<(usize, usize)>> = vec![Vec::new(); comp.jobs.len()];
+    for (cj, &j) in comp.jobs.iter().enumerate() {
         let job = inst.job(j);
-        for (ri, run) in runs.iter().enumerate() {
+        for (ri, run) in crange.iter().enumerate() {
             if job.release <= run.start && run.end <= job.deadline {
                 let v = lp.add_var(Rat::ZERO);
-                x_vars[j].push((ri, v));
+                x_vars[cj].push((ri, v));
             }
         }
     }
@@ -395,7 +540,7 @@ pub fn solve_active_lp_with(inst: &Instance, opts: &LpOptions) -> Result<ActiveL
     }
     // Σ_j x_{I,j} ≤ g·Y_I.
     let g = Rat::from_int(inst.g() as i64);
-    let mut per_run: Vec<Vec<(usize, Rat)>> = vec![Vec::new(); runs.len()];
+    let mut per_run: Vec<Vec<(usize, Rat)>> = vec![Vec::new(); crange.len()];
     for row in &x_vars {
         for &(ri, v) in row {
             per_run[ri].push((v, Rat::ONE));
@@ -409,34 +554,95 @@ pub fn solve_active_lp_with(inst: &Instance, opts: &LpOptions) -> Result<ActiveL
         lp.add_constraint(terms, Cmp::Le, Rat::ZERO);
     }
     // Σ_I x_{I,j} ≥ p_j.
-    for (j, row) in x_vars.iter().enumerate() {
+    for (cj, row) in x_vars.iter().enumerate() {
         let terms: Vec<(usize, Rat)> = row.iter().map(|&(_, v)| (v, Rat::ONE)).collect();
-        lp.add_constraint(terms, Cmp::Ge, Rat::from_int(inst.job(j).length));
+        lp.add_constraint(
+            terms,
+            Cmp::Ge,
+            Rat::from_int(inst.job(comp.jobs[cj]).length),
+        );
+    }
+    if sharded {
+        LP_MAX_COMPONENT_VARS.fetch_max(lp.num_vars() as u64, Ordering::Relaxed);
     }
 
     let sol = run_backend(&lp, opts);
     match sol.status {
-        LpStatus::Optimal => {
-            // Uniform exact disaggregation back to per-slot y.
-            let mut y: Vec<Rat> = Vec::with_capacity(slots.len());
-            for (ri, run) in runs.iter().enumerate() {
-                let share = sol.x[y_vars[ri]].div(&Rat::from_int(run.width()));
-                for _ in 0..run.width() {
-                    y.push(share);
-                }
-            }
-            debug_assert_eq!(y.len(), slots.len());
-            Ok(ActiveLp {
-                slots,
-                y,
-                objective: sol.objective,
-            })
-        }
+        LpStatus::Optimal => Ok(ComponentSolution {
+            run_lo: comp.run_lo,
+            y_runs: y_vars.iter().map(|&v| sol.x[v]).collect(),
+            objective: sol.objective,
+        }),
         LpStatus::Infeasible => Err(Error::Infeasible(
             "LP1 infeasible: no schedule exists".into(),
         )),
         LpStatus::Unbounded => unreachable!("LP1 objective is bounded below by 0"),
     }
+}
+
+/// Builds and solves `LP1` for `inst` with the default options
+/// (coalesced super-slots, implicit bounds, bounded revised backend,
+/// component sharding).
+pub fn solve_active_lp(inst: &Instance) -> Result<ActiveLp> {
+    solve_active_lp_with(inst, &LpOptions::default())
+}
+
+/// Builds and solves `LP1` for `inst` under explicit [`LpOptions`]. Every
+/// configuration returns the same exact objective; `y` may differ between
+/// alternate LP optima.
+///
+/// Under [`DecomposeMode::Auto`] a disconnected instance is sharded into
+/// per-component sub-LPs fanned through [`abt_core::parallel_map`]; the
+/// blocks share no variables or rows, so the stitched objective — an
+/// exact rational sum — equals the monolithic optimum bit for bit.
+pub fn solve_active_lp_with(inst: &Instance, opts: &LpOptions) -> Result<ActiveLp> {
+    let slots = horizon_slots(inst);
+    let runs = slot_runs(inst, opts.coalesce);
+    debug_assert_eq!(
+        runs.iter().map(SlotRun::width).sum::<i64>(),
+        slots.len() as i64
+    );
+    let comps = components(inst, &runs, opts.decompose);
+    let sharded = comps.len() > 1;
+    if sharded {
+        LP_SHARDED_SOLVES.fetch_add(1, Ordering::Relaxed);
+        LP_COMPONENTS.fetch_add(comps.len() as u64, Ordering::Relaxed);
+    }
+    let solved: Vec<Result<ComponentSolution>> = if sharded {
+        parallel_map(comps, |comp| {
+            solve_component(inst, opts, &runs, &comp, true)
+        })
+    } else {
+        comps
+            .iter()
+            .map(|comp| solve_component(inst, opts, &runs, comp, false))
+            .collect()
+    };
+    // Stitch: per-run Y values land back on their global run index (runs
+    // outside every component keep Y = 0), objectives sum exactly.
+    let mut y_runs = vec![Rat::ZERO; runs.len()];
+    let mut objective = Rat::ZERO;
+    for res in solved {
+        let cs = res?;
+        for (k, val) in cs.y_runs.iter().enumerate() {
+            y_runs[cs.run_lo + k] = *val;
+        }
+        objective = objective.add(&cs.objective);
+    }
+    // Uniform exact disaggregation back to per-slot y.
+    let mut y: Vec<Rat> = Vec::with_capacity(slots.len());
+    for (ri, run) in runs.iter().enumerate() {
+        let share = y_runs[ri].div(&Rat::from_int(run.width()));
+        for _ in 0..run.width() {
+            y.push(share);
+        }
+    }
+    debug_assert_eq!(y.len(), slots.len());
+    Ok(ActiveLp {
+        slots,
+        y,
+        objective,
+    })
 }
 
 /// Checks whether a *fractional* assignment exists for all jobs given fixed
@@ -485,9 +691,9 @@ pub fn fractional_feasible(inst: &Instance, slots: &[Time], y: &[Rat]) -> bool {
 mod tests {
     use super::*;
 
-    /// A grid over backends × bound encodings × VUB encodings (plus both
-    /// model shapes).
-    fn all_options() -> [LpOptions; 9] {
+    /// A grid over backends × bound encodings × VUB encodings ×
+    /// decomposition (plus both model shapes).
+    fn all_options() -> [LpOptions; 11] {
         [
             LpOptions::seed_exact(),
             LpOptions {
@@ -512,6 +718,7 @@ mod tests {
                 ..LpOptions::default()
             },
             LpOptions::pr2_revised_bounds(),
+            LpOptions::pr3_monolithic(),
             LpOptions {
                 // VUB families over explicit bound rows.
                 backend: LpBackend::Revised,
@@ -523,6 +730,11 @@ mod tests {
             LpOptions {
                 // The default model under full Dantzig pricing.
                 pricing_window: 0,
+                ..LpOptions::default()
+            },
+            LpOptions {
+                // Sharding on the per-slot (uncoalesced) model.
+                coalesce: false,
                 ..LpOptions::default()
             },
             LpOptions::default(),
@@ -686,6 +898,123 @@ mod tests {
         for (inst, obj) in instances.iter().zip(&objectives) {
             assert_eq!(solve_active_lp(inst).unwrap().objective, *obj);
         }
+    }
+
+    /// The Auto-vs-Off differential pair for one instance: identical exact
+    /// objectives and a valid disaggregated `y` on both sides.
+    fn assert_auto_matches_off(inst: &Instance) -> (Rat, Rat) {
+        let auto = solve_active_lp_with(inst, &LpOptions::default()).unwrap();
+        let off = solve_active_lp_with(inst, &LpOptions::pr3_monolithic()).unwrap();
+        assert_eq!(auto.objective, off.objective);
+        for lp in [&auto, &off] {
+            let mut sum = Rat::ZERO;
+            for v in &lp.y {
+                assert!(v.signum() >= 0 && *v <= Rat::ONE);
+                sum = sum.add(v);
+            }
+            assert_eq!(sum, lp.objective);
+        }
+        (auto.objective, off.objective)
+    }
+
+    #[test]
+    fn empty_instance_solves_to_zero_under_both_decompose_modes() {
+        let inst = Instance::new(vec![], 3).unwrap();
+        for opts in [LpOptions::default(), LpOptions::pr3_monolithic()] {
+            let lp = solve_active_lp_with(&inst, &opts).unwrap();
+            assert_eq!(lp.objective, Rat::ZERO);
+            assert!(lp.y.is_empty());
+            assert!(lp.slots.is_empty());
+        }
+        let runs = slot_runs(&inst, true);
+        assert!(components(&inst, &runs, DecomposeMode::Auto).is_empty());
+    }
+
+    #[test]
+    fn disconnected_instance_shards_and_matches_the_monolith() {
+        // Three well-separated clusters; windows never overlap across the
+        // gaps, so the interval graph has exactly three components.
+        let inst = Instance::from_triples(
+            [
+                (0, 4, 2),
+                (1, 3, 2),
+                (100, 104, 3),
+                (101, 105, 2),
+                (200, 203, 1),
+            ],
+            2,
+        )
+        .unwrap();
+        let runs = slot_runs(&inst, true);
+        let comps = components(&inst, &runs, DecomposeMode::Auto);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].jobs, vec![0, 1]);
+        assert_eq!(comps[1].jobs, vec![2, 3]);
+        assert_eq!(comps[2].jobs, vec![4]);
+        let before = lp_telemetry();
+        assert_auto_matches_off(&inst);
+        let d = lp_telemetry().delta(&before);
+        assert!(d.sharded_solves >= 1, "the Auto solve must shard");
+        assert!(d.components >= 3, "three component sub-LPs must be solved");
+        assert!(d.max_component_vars >= 1);
+        // Gap runs stay closed: every slot in (4, 100] has y = 0.
+        let auto = solve_active_lp(&inst).unwrap();
+        for (slot, y) in auto.slots.iter().zip(&auto.y) {
+            if *slot > 4 && *slot <= 100 {
+                assert_eq!(*y, Rat::ZERO, "slot {slot} lies in the gap");
+            }
+        }
+    }
+
+    #[test]
+    fn all_singleton_components_match_the_monolith() {
+        // Every job is alone in its window: n singleton components.
+        let triples: Vec<(i64, i64, i64)> = (0..12).map(|i| (10 * i, 10 * i + 3, 2)).collect();
+        let inst = Instance::from_triples(triples, 2).unwrap();
+        let runs = slot_runs(&inst, true);
+        let comps = components(&inst, &runs, DecomposeMode::Auto);
+        assert_eq!(comps.len(), 12);
+        assert!(comps.iter().all(|c| c.jobs.len() == 1));
+        let (auto_obj, _) = assert_auto_matches_off(&inst);
+        assert_eq!(auto_obj, Rat::from_int(24));
+    }
+
+    #[test]
+    fn connected_instance_is_never_sharded() {
+        // A chain of overlapping windows: one component, so Auto takes the
+        // monolithic path. (No exact-zero telemetry assertions here: the
+        // sharding counters are process-global atomics, and sibling tests
+        // solve sharded instances concurrently under the default parallel
+        // test harness — the disconnected test's `≥` checks cover the
+        // counters.)
+        let inst =
+            Instance::from_triples([(0, 4, 2), (2, 8, 3), (6, 12, 2), (10, 14, 2)], 2).unwrap();
+        let runs = slot_runs(&inst, true);
+        assert_eq!(components(&inst, &runs, DecomposeMode::Auto).len(), 1);
+        assert_auto_matches_off(&inst);
+    }
+
+    #[test]
+    fn touching_windows_are_separate_components() {
+        // d_1 = r_2: the windows share an event point but no slot, so the
+        // jobs share no LP variable and must split.
+        let inst = Instance::from_triples([(0, 3, 2), (3, 6, 2)], 1).unwrap();
+        let runs = slot_runs(&inst, true);
+        assert_eq!(components(&inst, &runs, DecomposeMode::Auto).len(), 2);
+        assert_auto_matches_off(&inst);
+    }
+
+    #[test]
+    fn off_mode_reproduces_the_monolithic_component() {
+        // Off always yields the single all-covering component, even on a
+        // shardable instance.
+        let inst = Instance::from_triples([(0, 3, 1), (50, 53, 1)], 1).unwrap();
+        let runs = slot_runs(&inst, true);
+        let comps = components(&inst, &runs, DecomposeMode::Off);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].run_lo, 0);
+        assert_eq!(comps[0].run_hi, runs.len());
+        assert_eq!(comps[0].jobs, vec![0, 1]);
     }
 
     #[test]

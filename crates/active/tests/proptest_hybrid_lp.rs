@@ -5,9 +5,15 @@
 //! bit for bit on status and objective, and the disaggregated per-slot `y`
 //! must stay a valid fractional opening.
 
-use abt_active::{solve_active_lp_with, BoundsMode, LpBackend, LpOptions, VubMode};
+use abt_active::{
+    fractional_feasible, solve_active_lp_with, BoundsMode, DecomposeMode, LpBackend, LpOptions,
+    VubMode,
+};
 use abt_lp::Rat;
-use abt_workloads::{random_active_feasible, vub_heavy, RandomConfig, VubHeavyConfig};
+use abt_workloads::{
+    many_components, random_active_feasible, vub_heavy, ManyComponentsConfig, RandomConfig,
+    VubHeavyConfig,
+};
 use proptest::prelude::*;
 
 /// The differential grid: the seed oracle plus every interesting
@@ -130,6 +136,71 @@ proptest! {
             return Ok(());
         }
         assert_all_variants_match(&inst)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn component_sharding_preserves_lp1_exactly(
+        seed in 0u64..1_000_000,
+        components in 1usize..7,
+        jobs_per in 1usize..5,
+        g in 1usize..4,
+        span in 6i64..14,
+        gap in 1i64..5,
+    ) {
+        // The decomposition stress family: `components` isolated clusters
+        // (degenerate corners included — a single cluster collapses Auto to
+        // the monolithic path, and one job per cluster makes every
+        // component a singleton). `DecomposeMode::Auto` must reproduce the
+        // monolithic `Off` objective bit for bit under every
+        // BoundsMode × VubMode encoding, and the stitched per-slot `y`
+        // must stay a feasible fractional opening.
+        let cfg = ManyComponentsConfig {
+            components,
+            jobs_per_component: jobs_per,
+            g,
+            span,
+            gap,
+            max_len: 3,
+            slack_factor: 1.0,
+        };
+        let inst = many_components(&cfg, seed);
+        if inst.jobs().is_empty() {
+            return Ok(());
+        }
+        let oracle = solve_active_lp_with(&inst, &LpOptions::pr3_monolithic())
+            .expect("instances are feasible by construction");
+        for bounds in [BoundsMode::Rows, BoundsMode::Implicit] {
+            for vub in [VubMode::Rows, VubMode::Implicit] {
+                for decompose in [DecomposeMode::Off, DecomposeMode::Auto] {
+                    let opts = LpOptions { bounds, vub, decompose, ..LpOptions::default() };
+                    let lp = solve_active_lp_with(&inst, &opts).unwrap();
+                    prop_assert_eq!(lp.objective, oracle.objective, "{:?}", opts);
+                    let mut sum = Rat::ZERO;
+                    for y in &lp.y {
+                        prop_assert!(y.signum() >= 0 && *y <= Rat::ONE, "{:?}", opts);
+                        sum = sum.add(y);
+                    }
+                    prop_assert_eq!(
+                        sum,
+                        oracle.objective,
+                        "{:?}: stitched Σy must equal the objective",
+                        opts
+                    );
+                    // Under the default encodings, certify the stitched y
+                    // actually supports a fractional schedule (LP2).
+                    if bounds == BoundsMode::Implicit && vub == VubMode::Implicit {
+                        prop_assert!(
+                            fractional_feasible(&inst, &lp.slots, &lp.y),
+                            "{:?}: stitched y must be LP2-feasible",
+                            opts
+                        );
+                    }
+                }
+            }
+        }
     }
 }
 

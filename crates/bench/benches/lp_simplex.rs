@@ -2,9 +2,11 @@
 //! the seed configuration (per-slot LP1, explicit bound rows, pure
 //! exact-rational simplex), the PR-1 default (coalesced super-slots, dense
 //! `f64`-first hybrid), the PR-2 default (`revised_bounds`: implicit
-//! constant bounds, `x ≤ Y` caps as rows), and the current default
-//! (`vub_implicit`: VUB-aware revised simplex, no cap rows) on
-//! `random_active_feasible` instances.
+//! constant bounds, `x ≤ Y` caps as rows), the PR-3 default
+//! (`vub_implicit`: VUB-aware revised simplex, no cap rows, monolithic),
+//! and the current default (`vub_decomposed`: the same solver behind
+//! interval-graph component sharding) on `random_active_feasible`
+//! instances.
 //!
 //! The size dimension covers n ∈ {40, 200, 1000}; configurations whose
 //! dense passes are no longer practical at a size are skipped there (the
@@ -18,8 +20,11 @@ use std::hint::black_box;
 fn bench_lp_simplex(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_simplex");
     group.sample_size(10);
-    // (name, options, max n it is still reasonable to run at)
-    let variants: [(&str, LpOptions, usize); 6] = [
+    // (name, options, max n it is still reasonable to run at). Every
+    // generation runs monolithically (DecomposeMode::Off) so the columns
+    // compare solver generations; `vub_decomposed` is the shipping
+    // default, which additionally shards by interval-graph components.
+    let variants: [(&str, LpOptions, usize); 7] = [
         ("seed_exact_perslot", LpOptions::seed_exact(), 40),
         (
             "exact_coalesced",
@@ -27,7 +32,7 @@ fn bench_lp_simplex(c: &mut Criterion) {
                 backend: LpBackend::Exact,
                 coalesce: true,
                 bounds: BoundsMode::Rows,
-                ..LpOptions::default()
+                ..LpOptions::pr3_monolithic()
             },
             40,
         ),
@@ -43,7 +48,8 @@ fn bench_lp_simplex(c: &mut Criterion) {
             200,
         ),
         ("revised_bounds", LpOptions::pr2_revised_bounds(), 1000),
-        ("vub_implicit", LpOptions::default(), 1000),
+        ("vub_implicit", LpOptions::pr3_monolithic(), 1000),
+        ("vub_decomposed", LpOptions::default(), 1000),
     ];
     for &(n, g, horizon) in &[(40usize, 4usize, 100i64), (200, 4, 400), (1000, 4, 2000)] {
         let cfg = RandomConfig {

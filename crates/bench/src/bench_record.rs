@@ -1,27 +1,66 @@
 //! The `BENCH_lp.json` schema (`abt-bench/lp-v2`): a typed writer/parser
 //! pair so the CI perf gate compares *fields*, not eyeballed artifacts.
+//! This module doc is the schema's reference: every field, its optionality
+//! rule, and how the `perf_gate` binary consumes it.
 //!
-//! The record carries:
+//! # Document layout
 //!
-//! * `lp_simplex` — the headline measurement: `solve_active_lp` on a fixed
-//!   `random_active_feasible` instance under the PR-2 baseline
-//!   (`revised_bounds`, bounded revised simplex with the `x ≤ Y` caps as
-//!   rows) and the current default (`vub_implicit`, VUB-aware revised
-//!   simplex), with the shared exact objective rendered as a string, the
-//!   speedup, and whether the candidate ever hit the exact fallback. The
-//!   `baseline`/`candidate` name fields travel with the record so the gate
-//!   never compares across solver generations silently.
-//! * `experiments` — per-experiment wall time plus the LP telemetry wired
-//!   through [`abt_active::lp_telemetry`]: `lp_solves`, `fallback_rate`,
-//!   and the iteration counters (`lp_pivots`, `lp_bound_flips`,
-//!   `lp_refactorizations`, `lp_certify_ms`). The counter fields are
-//!   optional on parse (defaulting to 0), so earlier `lp-v2` documents
-//!   remain readable.
+//! The document is a single JSON object with exactly three keys:
+//!
+//! | key          | type   | meaning                                      |
+//! |--------------|--------|----------------------------------------------|
+//! | `schema`     | string | must equal [`SCHEMA`] (`"abt-bench/lp-v2"`); any other value is rejected on parse |
+//! | `lp_simplex` | object | the headline baseline-vs-candidate measurement ([`LpSimplexRecord`]) |
+//! | `experiments`| array  | one object per experiment that ran ([`ExperimentRecord`]) |
+//!
+//! # `lp_simplex` — the headline record
+//!
+//! `solve_active_lp` timed on one fixed `random_active_feasible` instance
+//! under a named *baseline* configuration and the named current-default
+//! *candidate*. Fields:
+//!
+//! | field          | type   | optional? | gate semantics                  |
+//! |----------------|--------|-----------|---------------------------------|
+//! | `bench`, `family` | string | written, ignored on parse | human context only |
+//! | `n`, `g`, `horizon`, `seed` | number | required | instance identity; not gated directly |
+//! | `objective`    | string | required  | exact rational optimum (e.g. `"797/4"`); **any change fails the gate** — the exact optimum must never move |
+//! | `baseline`     | string | optional, default `"unnamed"` | gated: committed and fresh must name the *same* baseline, or the comparison is cross-generation and fails |
+//! | `baseline_ms`  | number | required  | wall time; informational        |
+//! | `candidate`    | string | optional, default `"unnamed"` | gated like `baseline` |
+//! | `candidate_ms` | number | required  | wall time; informational        |
+//! | `speedup`      | number | required  | `baseline_ms / candidate_ms`; fails the gate when it regresses below `--min-speedup-ratio` (default 0.7) × the committed value |
+//! | `fallback`     | bool   | required  | `true` fails the gate: the candidate must never need the exact fallback on the headline family |
+//!
+//! # `experiments[]` — per-experiment rows
+//!
+//! Wall time plus the LP telemetry delta ([`abt_active::lp_telemetry`])
+//! scoped to that experiment's run. All counter fields after
+//! `fallback_rate` are **optional on parse and default to 0/absent**, so
+//! every earlier `lp-v2` document remains readable; the writer always
+//! emits the current full set.
+//!
+//! | field            | type   | optional? | gate semantics                |
+//! |------------------|--------|-----------|-------------------------------|
+//! | `id`             | string | required  | experiment id (`e1`…); rows are matched by id across records |
+//! | `wall_ms`        | number | required  | informational (machine-dependent; never gated) |
+//! | `lp_solves`      | number | required  | hybrid-style LP solves during the experiment; under `DecomposeMode::Auto` each component sub-LP counts once |
+//! | `fallback_rate`  | number | required  | `lp_fallbacks / lp_solves`; **any nonzero value fails the gate** — every current workload is non-adversarial |
+//! | `lp_pivots`      | number | optional (0) | solve effort; for `e20`/`e21` the gate fails when the fresh count exceeds `--max-effort-ratio` (default 1.3) × committed — deterministic per instance, so regressions are algorithmic, never machine noise |
+//! | `lp_bound_flips` | number | optional (0) | informational              |
+//! | `lp_refactorizations` | number | optional (0) | solve effort, gated for `e20`/`e21` like `lp_pivots` |
+//! | `lp_certify_ms`  | number | optional (0) | exact-certification wall time; informational |
+//! | `lp_components`  | number | optional (0) | component sub-LPs solved by sharded (`DecomposeMode::Auto`) solves during the experiment |
+//! | `lp_max_component_vars` | number | optional (0) | largest component sub-LP's variable count: 0 when the experiment sharded nothing (`lp_components` = 0), otherwise the process-wide high-water mark at snapshot time |
+//! | `speedup`        | number | optional (absent) | an experiment-defined headline ratio — `e21` records its Auto-vs-Off LP1 speedup here; absent for experiments without one. Informational (wall-clock; the deterministic effort counters are what CI gates) |
+//!
+//! # Parsing
 //!
 //! The JSON subset used here (objects, arrays, UTF-8 strings with the
 //! common escapes, numbers, booleans) is parsed by a tiny recursive
 //! scanner — the offline dependency set has no serde, and the perf gate
 //! must not depend on a `jq` binary being installed on the runner.
+//! Unknown keys are ignored on parse (forward compatibility); missing
+//! *required* keys are hard errors.
 
 use std::collections::BTreeMap;
 
@@ -55,7 +94,8 @@ pub struct LpSimplexRecord {
     pub fallback: bool,
 }
 
-/// One experiment's wall time and LP telemetry.
+/// One experiment's wall time and LP telemetry. See the module docs for
+/// the per-field optionality and gating rules.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentRecord {
     /// Experiment id (`e1`…).
@@ -74,6 +114,13 @@ pub struct ExperimentRecord {
     pub lp_refactorizations: u64,
     /// Exact-certification wall time across those solves, ms.
     pub lp_certify_ms: f64,
+    /// Component sub-LPs solved by sharded (`DecomposeMode::Auto`) solves.
+    pub lp_components: u64,
+    /// High-water mark of the largest component sub-LP's variable count.
+    pub lp_max_component_vars: u64,
+    /// Experiment-defined headline ratio (e.g. `e21`'s Auto-vs-Off LP1
+    /// speedup); `None` for experiments without one.
+    pub speedup: Option<f64>,
 }
 
 /// The whole `BENCH_lp.json` document.
@@ -135,11 +182,16 @@ impl BenchRecord {
         ));
         out.push_str("  \"experiments\": [\n");
         for (i, e) in self.experiments.iter().enumerate() {
+            let speedup = e
+                .speedup
+                .map(|s| format!(", \"speedup\": {s:.2}"))
+                .unwrap_or_default();
             out.push_str(&format!(
                 concat!(
                     "    {{\"id\": \"{}\", \"wall_ms\": {:.3}, \"lp_solves\": {}, ",
                     "\"fallback_rate\": {:.4}, \"lp_pivots\": {}, \"lp_bound_flips\": {}, ",
-                    "\"lp_refactorizations\": {}, \"lp_certify_ms\": {:.3}}}{}\n"
+                    "\"lp_refactorizations\": {}, \"lp_certify_ms\": {:.3}, ",
+                    "\"lp_components\": {}, \"lp_max_component_vars\": {}{}}}{}\n"
                 ),
                 esc(&e.id),
                 e.wall_ms,
@@ -149,6 +201,9 @@ impl BenchRecord {
                 e.lp_bound_flips,
                 e.lp_refactorizations,
                 e.lp_certify_ms,
+                e.lp_components,
+                e.lp_max_component_vars,
+                speedup,
                 if i + 1 < self.experiments.len() {
                     ","
                 } else {
@@ -208,6 +263,9 @@ impl BenchRecord {
                 lp_bound_flips: opt_num(e, "lp_bound_flips") as u64,
                 lp_refactorizations: opt_num(e, "lp_refactorizations") as u64,
                 lp_certify_ms: opt_num(e, "lp_certify_ms"),
+                lp_components: opt_num(e, "lp_components") as u64,
+                lp_max_component_vars: opt_num(e, "lp_max_component_vars") as u64,
+                speedup: e.get("speedup").and_then(|v| v.as_f64("speedup").ok()),
             });
         }
         Ok(BenchRecord {
@@ -446,6 +504,9 @@ mod tests {
                     lp_bound_flips: 0,
                     lp_refactorizations: 0,
                     lp_certify_ms: 0.0,
+                    lp_components: 0,
+                    lp_max_component_vars: 0,
+                    speedup: None,
                 },
                 ExperimentRecord {
                     id: "e3".into(),
@@ -456,6 +517,9 @@ mod tests {
                     lp_bound_flips: 31,
                     lp_refactorizations: 12,
                     lp_certify_ms: 1.25,
+                    lp_components: 24,
+                    lp_max_component_vars: 96,
+                    speedup: Some(3.75),
                 },
             ],
         }
@@ -479,12 +543,17 @@ mod tests {
         assert_eq!(back.experiments[1].lp_refactorizations, 12);
         assert!((back.experiments[1].lp_certify_ms - 1.25).abs() < 1e-9);
         assert!((back.experiments[1].wall_ms - 3.351).abs() < 1e-9);
+        assert_eq!(back.experiments[1].lp_components, 24);
+        assert_eq!(back.experiments[1].lp_max_component_vars, 96);
+        assert_eq!(back.experiments[0].speedup, None);
+        assert!((back.experiments[1].speedup.unwrap() - 3.75).abs() < 1e-9);
     }
 
     #[test]
     fn parses_records_without_telemetry_fields() {
         // An earlier lp-v2 document (no counter fields, no
-        // baseline/candidate names) still parses, with defaults.
+        // baseline/candidate names, no sharding fields) still parses, with
+        // defaults.
         let txt = r#"{ "schema": "abt-bench/lp-v2",
             "lp_simplex": {"n": 1, "g": 1, "horizon": 2, "seed": 0,
                 "objective": "0", "baseline_ms": 1.0, "candidate_ms": 0.5,
@@ -498,6 +567,9 @@ mod tests {
         assert_eq!(rec.experiments[0].lp_pivots, 0);
         assert_eq!(rec.experiments[0].lp_certify_ms, 0.0);
         assert_eq!(rec.experiments[0].lp_solves, 4);
+        assert_eq!(rec.experiments[0].lp_components, 0);
+        assert_eq!(rec.experiments[0].lp_max_component_vars, 0);
+        assert_eq!(rec.experiments[0].speedup, None);
     }
 
     #[test]

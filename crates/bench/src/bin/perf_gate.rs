@@ -1,7 +1,8 @@
 //! CI perf/fallback gate over `BENCH_lp.json`.
 //!
 //! Usage: `perf_gate <committed.json> <fresh.json> [--min-speedup-ratio R]
-//! [--max-e20-ratio R]`
+//! [--max-effort-ratio R]` (`--max-e20-ratio` is the legacy spelling of
+//! `--max-effort-ratio`)
 //!
 //! Compares a freshly measured record against the committed one and fails
 //! (exit 1) when:
@@ -15,12 +16,15 @@
 //! * the fresh candidate solve needed the exact fallback, or
 //! * any experiment (all current workloads are non-adversarial) reports a
 //!   `fallback_rate > 0`, or
-//! * the VUB-heavy sweep (`e20`) appears in both records and its fresh
-//!   *solve effort* — pivot or LU-refactorization counts, which are
-//!   deterministic per instance and machine-independent, unlike wall time
-//!   under `parallel_map` — regresses more than 30% above the committed
-//!   one (override the 1.3 factor with `--max-e20-ratio`). A refactor
-//!   blow-up is exactly how a broken glue-eta path shows up.
+//! * the VUB-heavy sweep (`e20`) or the decomposition-scaling sweep
+//!   (`e21`) appears in both records and its fresh *solve effort* — pivot
+//!   or LU-refactorization counts, which are deterministic per instance
+//!   and machine-independent, unlike wall time under `parallel_map` —
+//!   regresses more than 30% above the committed one (override the 1.3
+//!   factor with `--max-e20-ratio`). A refactor blow-up is exactly how a
+//!   broken glue-eta path shows up; an e21 pivot blow-up is how a broken
+//!   component split shows up (a wrong merge sends whole clusters back
+//!   into one basis).
 //!
 //! Comparison is field-by-field through [`abt_bench::bench_record`], not
 //! text diffing, so timing noise in unrelated fields never trips the gate.
@@ -45,7 +49,7 @@ fn main() {
     let mut paths: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--min-speedup-ratio" || a == "--max-e20-ratio" {
+        if a == "--min-speedup-ratio" || a == "--max-effort-ratio" || a == "--max-e20-ratio" {
             let v = it.next().unwrap_or_else(|| {
                 eprintln!("perf_gate: {a} needs a value");
                 std::process::exit(2);
@@ -65,7 +69,7 @@ fn main() {
     }
     let [committed_path, fresh_path] = paths[..] else {
         eprintln!(
-            "usage: perf_gate <committed.json> <fresh.json> [--min-speedup-ratio R] [--max-e20-ratio R]"
+            "usage: perf_gate <committed.json> <fresh.json> [--min-speedup-ratio R] [--max-effort-ratio R]"
         );
         std::process::exit(2);
     };
@@ -107,11 +111,15 @@ fn main() {
             ));
         }
     }
-    // The VUB-heavy sweep is solve-effort gated when both records carry
-    // it: pivot/refactorization counts are deterministic per instance, so
-    // any excess is an algorithmic regression, never machine noise.
-    let e20 = |rec: &BenchRecord| rec.experiments.iter().find(|e| e.id == "e20").cloned();
-    if let (Some(ce), Some(fe)) = (e20(&committed), e20(&fresh)) {
+    // The VUB-heavy (e20) and decomposition-scaling (e21) sweeps are
+    // solve-effort gated when both records carry them:
+    // pivot/refactorization counts are deterministic per instance, so any
+    // excess is an algorithmic regression, never machine noise.
+    for gated_id in ["e20", "e21"] {
+        let row = |rec: &BenchRecord| rec.experiments.iter().find(|e| e.id == gated_id).cloned();
+        let (Some(ce), Some(fe)) = (row(&committed), row(&fresh)) else {
+            continue;
+        };
         for (what, committed_n, fresh_n) in [
             ("pivots", ce.lp_pivots, fe.lp_pivots),
             (
@@ -123,7 +131,7 @@ fn main() {
             let ceiling = committed_n as f64 * max_e20_ratio;
             if fresh_n as f64 > ceiling {
                 failures.push(format!(
-                    "e20 solve effort regressed: fresh {fresh_n} {what} > {ceiling:.0} ({}% of committed {committed_n})",
+                    "{gated_id} solve effort regressed: fresh {fresh_n} {what} > {ceiling:.0} ({}% of committed {committed_n})",
                     (max_e20_ratio * 100.0).round(),
                 ));
             }

@@ -1,129 +1,10 @@
-//! Deterministic parallel sweeps over parameter grids, following the
-//! hpc-parallel guides: data-parallel map with no shared mutable state,
-//! results gathered in input order.
+//! Re-export of [`abt_core::parallel`].
 //!
-//! Built on `std::thread::scope` only — no external dependencies. Work is
-//! handed out dynamically (a mutex-guarded iterator, cheap next to the
-//! per-item work here), each worker collects its own `(index, result)`
-//! vector, and results are placed directly into their output slots when
-//! workers are joined. A panic inside `f` is re-raised on the caller with
-//! its original payload.
+//! `parallel_map` started life here; it moved down to `abt-core` when the
+//! LP decomposition layer in `abt-active::lp_model` needed the same
+//! scoped-thread fan-out for the connected components of a single instance
+//! (`abt-active` cannot depend on `abt-bench` — the dependency points the
+//! other way). This module keeps the historical `abt_bench::parallel_map`
+//! path working for the experiment suite.
 
-use std::panic::resume_unwind;
-use std::sync::{Mutex, PoisonError};
-
-/// Applies `f` to every item on a scoped worker pool, returning results in
-/// input order. Falls back to sequential execution for tiny inputs.
-///
-/// # Panics
-///
-/// Propagates the first panic raised by `f` on any worker (remaining
-/// workers finish draining the queue first).
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    if items.len() <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let n = items.len();
-    let workers = std::thread::available_parallelism()
-        .map(|w| w.get())
-        .unwrap_or(4)
-        .min(n);
-    let queue = Mutex::new(items.into_iter().enumerate());
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let f = &f;
-    let queue = &queue;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(move || {
-                    let mut done: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        // Keep the queue usable even after another worker
-                        // panicked while holding the lock.
-                        let next = queue.lock().unwrap_or_else(PoisonError::into_inner).next();
-                        match next {
-                            Some((idx, item)) => done.push((idx, f(item))),
-                            None => return done,
-                        }
-                    }
-                })
-            })
-            .collect();
-        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
-        for h in handles {
-            match h.join() {
-                Ok(done) => {
-                    for (idx, r) in done {
-                        slots[idx] = Some(r);
-                    }
-                }
-                Err(payload) => {
-                    panic.get_or_insert(payload);
-                }
-            }
-        }
-        if let Some(payload) = panic {
-            resume_unwind(payload);
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order() {
-        let out = parallel_map((0..100).collect(), |x: i32| x * x);
-        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn empty_and_single() {
-        assert_eq!(parallel_map(Vec::<i32>::new(), |x| x), Vec::<i32>::new());
-        assert_eq!(parallel_map(vec![7], |x| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn uneven_work_still_ordered() {
-        // Heterogeneous per-item cost exercises the dynamic hand-out.
-        let out = parallel_map((0..64u64).collect(), |x| {
-            let mut acc = x;
-            for _ in 0..(x % 7) * 10_000 {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
-            }
-            (x, acc)
-        });
-        for (i, (x, _)) in out.iter().enumerate() {
-            assert_eq!(i as u64, *x);
-        }
-    }
-
-    #[test]
-    fn worker_panic_propagates() {
-        let caught = std::panic::catch_unwind(|| {
-            parallel_map((0..32).collect(), |x: i32| {
-                if x == 17 {
-                    panic!("boom at {x}");
-                }
-                x
-            })
-        });
-        let payload = caught.expect_err("panic must propagate to the caller");
-        let msg = payload
-            .downcast_ref::<String>()
-            .cloned()
-            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-            .unwrap_or_default();
-        assert!(msg.contains("boom at 17"), "unexpected payload: {msg}");
-    }
-}
+pub use abt_core::parallel::parallel_map;

@@ -25,6 +25,7 @@ pub mod error;
 pub mod instance;
 pub mod io;
 pub mod jobs;
+pub mod parallel;
 pub mod preemptive_schedule;
 pub mod profile;
 pub mod ratio;
@@ -36,6 +37,7 @@ pub use busy_schedule::{Bundle, BusySchedule};
 pub use error::{Error, Result};
 pub use instance::Instance;
 pub use jobs::{Job, JobId};
+pub use parallel::parallel_map;
 pub use preemptive_schedule::{Piece, PreemptiveSchedule};
 pub use profile::DemandProfile;
 pub use ratio::{within_factor, within_frac_factor, Frac};

@@ -1,0 +1,223 @@
+//! A reusable slab arena for solver scratch space.
+//!
+//! The revised simplex allocates the same handful of buffer shapes on
+//! every solve: dense `f64` work vectors of length `m` (entering columns,
+//! right-hand sides, basic values) and sparse `(row, value)` pair lists
+//! (product-form eta columns). On one big LP that cost is noise; on a
+//! thread solving *thousands of small component LPs* — the shape the
+//! decomposition layer in `abt-active` produces, and exactly the pattern
+//! named open on the roadmap — the constant malloc/free churn against the
+//! global allocator dominates the useful arithmetic.
+//!
+//! [`SolveArena`] is a bump-style slab pool: buffers are **checked out**
+//! per solve ([`SolveArena::take_f64`] / [`SolveArena::take_pairs`]),
+//! **reset, not freed** when given back ([`SolveArena::give_f64`] /
+//! [`SolveArena::give_pairs`]), so their capacity survives to the next
+//! solve on the same thread. One arena lives per thread
+//! (thread-local, reached through [`with_arena`]); the pool is bounded
+//! ([`MAX_POOLED`] buffers per shape) so a pathological solve cannot pin
+//! unbounded memory.
+//!
+//! The arena holds `f64` scratch only: the exact-rational verification
+//! pass allocates `Rat` vectors whose drop glue is trivial, and its cost
+//! is dominated by the arithmetic, not the allocator.
+
+use std::cell::RefCell;
+
+/// Upper bound on pooled buffers per shape. Beyond this, `give_*` simply
+/// drops the buffer — the pool never grows without bound.
+pub const MAX_POOLED: usize = 64;
+
+/// Usage counters of a [`SolveArena`] (see [`SolveArena::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Buffers handed out by `take_*`.
+    pub checkouts: u64,
+    /// Checkouts served from the pool (no fresh allocation).
+    pub reuses: u64,
+    /// `f64` buffers currently resting in the pool.
+    pub pooled_f64: usize,
+    /// Pair buffers currently resting in the pool.
+    pub pooled_pairs: usize,
+}
+
+/// A per-thread slab pool of solver scratch buffers. See the module docs.
+#[derive(Debug, Default)]
+pub struct SolveArena {
+    f64_bufs: Vec<Vec<f64>>,
+    pair_bufs: Vec<Vec<(usize, f64)>>,
+    checkouts: u64,
+    reuses: u64,
+}
+
+impl SolveArena {
+    /// An empty arena (no pooled buffers yet).
+    pub fn new() -> SolveArena {
+        SolveArena::default()
+    }
+
+    /// Checks out a dense `f64` buffer of length `len`, every entry set to
+    /// `fill`. Reuses pooled capacity when available.
+    pub fn take_f64(&mut self, len: usize, fill: f64) -> Vec<f64> {
+        self.checkouts += 1;
+        match self.f64_bufs.pop() {
+            Some(mut v) => {
+                self.reuses += 1;
+                v.clear();
+                v.resize(len, fill);
+                v
+            }
+            None => vec![fill; len],
+        }
+    }
+
+    /// Returns a dense buffer to the pool (dropped if the pool is full).
+    pub fn give_f64(&mut self, v: Vec<f64>) {
+        if self.f64_bufs.len() < MAX_POOLED && v.capacity() > 0 {
+            self.f64_bufs.push(v);
+        }
+    }
+
+    /// Checks out an empty sparse `(row, value)` pair buffer.
+    pub fn take_pairs(&mut self) -> Vec<(usize, f64)> {
+        self.checkouts += 1;
+        match self.pair_bufs.pop() {
+            Some(mut v) => {
+                self.reuses += 1;
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a pair buffer to the pool (dropped if the pool is full).
+    pub fn give_pairs(&mut self, v: Vec<(usize, f64)>) {
+        if self.pair_bufs.len() < MAX_POOLED && v.capacity() > 0 {
+            self.pair_bufs.push(v);
+        }
+    }
+
+    /// Usage counters (for tests and diagnostics).
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            checkouts: self.checkouts,
+            reuses: self.reuses,
+            pooled_f64: self.f64_bufs.len(),
+            pooled_pairs: self.pair_bufs.len(),
+        }
+    }
+}
+
+thread_local! {
+    static ARENA: RefCell<SolveArena> = RefCell::new(SolveArena::new());
+}
+
+/// Runs `f` against this thread's [`SolveArena`]. Buffers given back
+/// inside `f` stay pooled for the thread's next solve — the reuse that
+/// makes thousands of small component solves allocator-quiet.
+///
+/// Re-entrant calls (an arena user invoked from inside another arena
+/// user's closure) get a fresh scratch arena instead of the thread-local
+/// one, so nesting is always safe, merely unpooled.
+pub fn with_arena<R>(f: impl FnOnce(&mut SolveArena) -> R) -> R {
+    ARENA.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut arena) => f(&mut arena),
+        Err(_) => f(&mut SolveArena::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_roundtrip_reuses_capacity() {
+        let mut a = SolveArena::new();
+        let mut v = a.take_f64(8, 0.0);
+        assert_eq!(v, vec![0.0; 8]);
+        v.reserve(100);
+        let cap = v.capacity();
+        a.give_f64(v);
+        // The next checkout must come from the pool with capacity intact,
+        // resized and refilled.
+        let v2 = a.take_f64(4, 1.5);
+        assert_eq!(v2, vec![1.5; 4]);
+        assert!(v2.capacity() >= cap);
+        let s = a.stats();
+        assert_eq!(s.checkouts, 2);
+        assert_eq!(s.reuses, 1);
+        assert_eq!(s.pooled_f64, 0);
+    }
+
+    #[test]
+    fn pair_buffers_come_back_empty() {
+        let mut a = SolveArena::new();
+        let mut p = a.take_pairs();
+        p.push((3, 1.0));
+        p.push((7, -2.0));
+        a.give_pairs(p);
+        let p2 = a.take_pairs();
+        assert!(p2.is_empty());
+        assert!(p2.capacity() >= 2);
+        assert_eq!(a.stats().reuses, 1);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut a = SolveArena::new();
+        for _ in 0..(2 * MAX_POOLED) {
+            a.give_f64(vec![0.0; 4]);
+        }
+        assert_eq!(a.stats().pooled_f64, MAX_POOLED);
+        // Zero-capacity buffers are never pooled.
+        let mut b = SolveArena::new();
+        b.give_pairs(Vec::new());
+        assert_eq!(b.stats().pooled_pairs, 0);
+    }
+
+    #[test]
+    fn with_arena_pools_across_calls_and_tolerates_nesting() {
+        // Seed the thread-local pool…
+        with_arena(|a| {
+            let v = a.take_f64(16, 0.0);
+            a.give_f64(v);
+        });
+        // …and observe the reuse on the *next* checkout from this thread.
+        let reused = with_arena(|a| {
+            let before = a.stats().reuses;
+            let v = a.take_f64(16, 0.0);
+            let reused = a.stats().reuses > before;
+            a.give_f64(v);
+            reused
+        });
+        assert!(reused, "second with_arena call must hit the pool");
+        // Nested entry gets a scratch arena rather than panicking.
+        with_arena(|outer| {
+            let v = outer.take_f64(4, 0.0);
+            let nested_pool = with_arena(|inner| inner.stats().pooled_f64);
+            assert_eq!(nested_pool, 0, "nested arena is fresh scratch");
+            outer.give_f64(v);
+        });
+    }
+
+    #[test]
+    fn separate_threads_have_separate_pools() {
+        with_arena(|a| {
+            let v = a.take_f64(32, 0.0);
+            a.give_f64(v);
+        });
+        // A new thread starts with an empty pool: its first checkout is a
+        // fresh allocation, never a reuse of this thread's buffer.
+        std::thread::spawn(|| {
+            with_arena(|a| {
+                assert_eq!(a.stats().reuses, 0);
+                let v = a.take_f64(32, 0.0);
+                assert_eq!(a.stats().reuses, 0);
+                a.give_f64(v);
+            });
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -55,9 +55,22 @@
 //! [`basis`](BoundedBasis::basis)/[`state`](BoundedBasis::state) proposal is
 //! re-verified exactly (see [`crate::simplex::solve_revised`]), and any
 //! numerical mishap here merely costs a fallback to the exact solver.
+//!
+//! # Scratch space
+//!
+//! Every dense `f64` work vector of the iteration (entering-column image,
+//! simplex-multiplier cost stub, recomputed right-hand sides, the
+//! per-pivot FTRAN/BTRAN solutions via [`SparseLu::solve_pooled`] /
+//! [`SparseLu::solve_transposed_pooled`], eta temporaries) and every
+//! product-form eta column is checked out of the per-thread
+//! [`SolveArena`] and given back when the solve finishes — capacity
+//! survives to the next solve on the thread, so a caller sweeping
+//! thousands of small component LPs (the decomposition layer in
+//! `abt-active`) stops churning the global allocator.
 
 #![allow(clippy::needless_range_loop)] // index loops mirror the simplex math
 
+use crate::arena::SolveArena;
 use crate::lu::SparseLu;
 use crate::model::{Cmp, LpProblem};
 use crate::scalar::Scalar;
@@ -297,6 +310,9 @@ fn iteration_cap(rows: usize, cols: usize) -> usize {
 /// The revised-simplex working state over a `StandardForm<f64>`.
 struct Rev<'a> {
     sf: &'a StandardForm<f64>,
+    /// Per-thread slab pool the dense/eta scratch is checked out of (and
+    /// given back to in [`Rev::finish`]).
+    arena: &'a mut SolveArena,
     basis: Vec<usize>,
     /// Column → basis position (`usize::MAX` when nonbasic).
     pos: Vec<usize>,
@@ -315,6 +331,8 @@ struct Rev<'a> {
     cursor: usize,
     /// Scratch dense image of the entering column (sparsely re-zeroed).
     aq: Vec<f64>,
+    /// Scratch basic-cost vector for the BTRAN of each iteration.
+    cb: Vec<f64>,
     pivots: u64,
     bound_flips: u64,
     refactorizations: u64,
@@ -359,7 +377,16 @@ enum Hit {
 }
 
 impl<'a> Rev<'a> {
-    fn new(sf: &'a StandardForm<f64>) -> Option<Rev<'a>> {
+    fn new(sf: &'a StandardForm<f64>, arena: &'a mut SolveArena) -> Option<Rev<'a>> {
+        // Factor the starting basis before touching the arena, so a
+        // singular start never strands checked-out buffers.
+        let lu = SparseLu::factor(
+            sf.m,
+            &sf.init_basis
+                .iter()
+                .map(|&j| sf.cols[j].clone())
+                .collect::<Vec<_>>(),
+        )?;
         let basis = sf.init_basis.clone();
         let mut state = vec![VarState::AtLower; sf.ncols];
         let mut pos = vec![usize::MAX; sf.ncols];
@@ -373,31 +400,71 @@ impl<'a> Rev<'a> {
                 deps[k].push(j);
             }
         }
+        let aq = arena.take_f64(sf.m, 0.0);
+        let cb = arena.take_f64(sf.m, 0.0);
         let mut rev = Rev {
             sf,
+            arena,
             basis,
             pos,
             state,
             xb: Vec::new(),
-            lu: SparseLu::factor(
-                sf.m,
-                &sf.init_basis
-                    .iter()
-                    .map(|&j| sf.cols[j].clone())
-                    .collect::<Vec<_>>(),
-            )?,
+            lu,
             etas: Vec::new(),
             eta_nnz: 0,
             barred: vec![false; sf.ncols],
             deps,
             cursor: 0,
-            aq: vec![0.0; sf.m],
+            aq,
+            cb,
             pivots: 0,
             bound_flips: 0,
             refactorizations: 0,
         };
         rev.recompute_xb();
         Some(rev)
+    }
+
+    /// Consumes the solver state into its result, giving every pooled
+    /// scratch buffer (dense vectors and eta columns) back to the arena.
+    /// `Stalled` results carry no basis/state, matching the contract that
+    /// a stall is never a verdict.
+    fn finish(mut self, status: BoundedStatus) -> BoundedBasis {
+        self.arena.give_f64(std::mem::take(&mut self.aq));
+        self.arena.give_f64(std::mem::take(&mut self.cb));
+        self.arena.give_f64(std::mem::take(&mut self.xb));
+        for e in self.etas.drain(..) {
+            self.arena.give_pairs(e.rest);
+        }
+        let stalled = status == BoundedStatus::Stalled;
+        BoundedBasis {
+            status,
+            basis: if stalled {
+                Vec::new()
+            } else {
+                std::mem::take(&mut self.basis)
+            },
+            state: if stalled {
+                Vec::new()
+            } else {
+                std::mem::take(&mut self.state)
+            },
+            pivots: self.pivots,
+            bound_flips: self.bound_flips,
+            refactorizations: self.refactorizations,
+        }
+    }
+
+    /// The sparse eta column for `w` from the arena pool: keeps the pivot
+    /// entry at `r` unconditionally and drops other near-zero entries.
+    fn sparse_eta(&mut self, w: &[f64], r: usize) -> Vec<(usize, f64)> {
+        let mut col = self.arena.take_pairs();
+        for (i, &v) in w.iter().enumerate() {
+            if i == r || v.abs() > 1e-12 {
+                col.push((i, v));
+            }
+        }
+        col
     }
 
     /// The resting value of a *nonbasic* key (`AtLower`/`AtUpper` only —
@@ -430,7 +497,8 @@ impl<'a> Rev<'a> {
     /// *nonbasic* keys (dependents glued to basic keys ride inside the
     /// augmented basis columns instead).
     fn recompute_xb(&mut self) {
-        let mut rhs = self.sf.b.clone();
+        let mut rhs = self.arena.take_f64(self.sf.m, 0.0);
+        rhs.copy_from_slice(&self.sf.b);
         for j in 0..self.sf.ncols {
             let val = match self.state[j] {
                 VarState::AtUpper => self.sf.upper[j].expect("AtUpper implies a finite bound"),
@@ -450,11 +518,17 @@ impl<'a> Rev<'a> {
                 }
             }
         }
-        self.xb = self.ftran(&rhs);
+        let xb = self.ftran(&rhs);
+        self.arena.give_f64(rhs);
+        let old = std::mem::replace(&mut self.xb, xb);
+        self.arena.give_f64(old);
     }
 
-    fn ftran(&self, v: &[f64]) -> Vec<f64> {
-        let mut x = self.lu.solve(v);
+    /// FTRAN through the pooled LU solve and the eta file. The returned
+    /// vector is an arena buffer — the iteration gives it back at the end
+    /// of each pivot, so the per-pivot solves stay allocator-quiet.
+    fn ftran(&mut self, v: &[f64]) -> Vec<f64> {
+        let mut x = self.lu.solve_pooled(v, self.arena);
         for e in &self.etas {
             let t = x[e.r] / e.pivot;
             if t != 0.0 {
@@ -467,23 +541,31 @@ impl<'a> Rev<'a> {
         x
     }
 
-    fn btran(&self, c: &[f64]) -> Vec<f64> {
-        let mut c = c.to_vec();
+    /// BTRAN through the eta file and the pooled LU solve; like
+    /// [`Rev::ftran`], both the internal copy and the returned vector are
+    /// arena buffers.
+    fn btran(&mut self, c: &[f64]) -> Vec<f64> {
+        let mut cacc = self.arena.take_f64(c.len(), 0.0);
+        cacc.copy_from_slice(c);
         for e in self.etas.iter().rev() {
             let mut acc = 0.0;
             for &(i, wi) in &e.rest {
-                acc += c[i] * wi;
+                acc += cacc[i] * wi;
             }
-            c[e.r] = (c[e.r] - acc) / e.pivot;
+            cacc[e.r] = (cacc[e.r] - acc) / e.pivot;
         }
-        self.lu.solve_transposed(&c)
+        let z = self.lu.solve_transposed_pooled(&cacc, self.arena);
+        self.arena.give_f64(cacc);
+        z
     }
 
     fn refactor(&mut self) -> bool {
         match SparseLu::factor(self.sf.m, &self.basis_cols()) {
             Some(lu) => {
                 self.lu = lu;
-                self.etas.clear();
+                for e in self.etas.drain(..) {
+                    self.arena.give_pairs(e.rest);
+                }
                 self.eta_nnz = 0;
                 self.refactorizations += 1;
                 self.recompute_xb();
@@ -628,9 +710,16 @@ impl<'a> Rev<'a> {
             }
         }
         for _ in 0..cap {
-            // Simplex multipliers for the current (augmented) basis.
-            let cb: Vec<f64> = self.basis.iter().map(|&v| cost[v] + aug_cost[v]).collect();
+            // Simplex multipliers for the current (augmented) basis; the
+            // basic-cost stub is pooled scratch refilled in place. (The
+            // field is swapped out around the call because btran borrows
+            // the solver state mutably for its arena.)
+            for (slot, &v) in self.cb.iter_mut().zip(self.basis.iter()) {
+                *slot = cost[v] + aug_cost[v];
+            }
+            let cb = std::mem::take(&mut self.cb);
             let y = self.btran(&cb);
+            self.cb = cb;
             let Some(q) = self.price(cost, &y, bland, window) else {
                 return StepOutcome::Optimal;
             };
@@ -649,7 +738,9 @@ impl<'a> Rev<'a> {
             for &(i, v) in &acol {
                 self.aq[i] = v;
             }
-            let w = self.ftran(&self.aq);
+            let aq = std::mem::take(&mut self.aq);
+            let w = self.ftran(&aq);
+            self.aq = aq;
             for &(i, _) in &acol {
                 self.aq[i] = 0.0;
             }
@@ -926,7 +1017,7 @@ impl<'a> Rev<'a> {
                     self.state[q] = VarState::AtVub;
                     aug_cost[key] += cost[q];
                     self.bound_flips += 1;
-                    let mut col = sparse_eta(&w, pk);
+                    let mut col = self.sparse_eta(&w, pk);
                     bump(&mut col, pk, 1.0);
                     self.push_eta(pk, col);
                     if self.eta_file_full() && !self.refactor() {
@@ -947,8 +1038,12 @@ impl<'a> Rev<'a> {
                     self.state[q] = VarState::AtLower;
                     aug_cost[key] -= cost[q];
                     self.bound_flips += 1;
-                    let neg: Vec<f64> = w.iter().map(|&v| -v).collect();
-                    let mut col = sparse_eta(&neg, pk);
+                    let mut neg = self.arena.take_f64(m, 0.0);
+                    for (o, &v) in neg.iter_mut().zip(&w) {
+                        *o = -v;
+                    }
+                    let mut col = self.sparse_eta(&neg, pk);
+                    self.arena.give_f64(neg);
                     bump(&mut col, pk, 1.0);
                     self.push_eta(pk, col);
                     if self.eta_file_full() && !self.refactor() {
@@ -988,23 +1083,33 @@ impl<'a> Rev<'a> {
                                 return StepOutcome::Stalled;
                             }
                         } else {
-                            let neg: Vec<f64> = w.iter().map(|&v| -v).collect();
-                            let mut col = sparse_eta(&neg, pk);
+                            let mut neg = self.arena.take_f64(m, 0.0);
+                            for (o, &v) in neg.iter_mut().zip(&w) {
+                                *o = -v;
+                            }
+                            let mut col = self.sparse_eta(&neg, pk);
                             bump(&mut col, pk, 1.0);
                             self.push_eta(pk, col);
                             let scale = w[pk] / den;
-                            let mut w2: Vec<f64> = w.iter().map(|&v| v * (1.0 + scale)).collect();
+                            let mut w2 = neg; // reuse the pooled buffer
+                            for (o, &v) in w2.iter_mut().zip(&w) {
+                                *o = v * (1.0 + scale);
+                            }
                             w2[pk] = scale;
                             if w2[r].abs() <= PIV_TOL {
+                                self.arena.give_f64(w2);
                                 if !self.refactor() {
                                     return StepOutcome::Stalled;
                                 }
                             } else {
-                                self.push_eta(r, sparse_eta(&w2, r));
+                                let col = self.sparse_eta(&w2, r);
+                                self.arena.give_f64(w2);
+                                self.push_eta(r, col);
                             }
                         }
                     } else {
-                        self.push_eta(r, sparse_eta(&w, r));
+                        let col = self.sparse_eta(&w, r);
+                        self.push_eta(r, col);
                     }
                     if self.eta_file_full() && !self.refactor() {
                         return StepOutcome::Stalled;
@@ -1050,16 +1155,21 @@ impl<'a> Rev<'a> {
                         // the entering column, whose eta1-transformed
                         // direction differs from w only at r and pk, with
                         // pivot w_r − w_pk (|·| = the ratio-test rate).
-                        self.push_eta(pk, vec![(r, 1.0), (pk, 1.0)]);
-                        let mut w2 = w.clone();
+                        let mut glue = self.arena.take_pairs();
+                        glue.extend([(r, 1.0), (pk, 1.0)]);
+                        self.push_eta(pk, glue);
+                        let mut w2 = self.arena.take_f64(m, 0.0);
+                        w2.copy_from_slice(&w);
                         w2[r] -= w[pk];
-                        self.push_eta(r, sparse_eta(&w2, r));
+                        let col = self.sparse_eta(&w2, r);
+                        self.arena.give_f64(w2);
+                        self.push_eta(r, col);
                     } else {
                         // The key is the entering q: install the augmented
                         // column + the fresh glue in one eta with pivot
                         // 1 + w_r (|·| = the ratio-test rate).
                         debug_assert_eq!(key, q);
-                        let mut col = sparse_eta(&w, r);
+                        let mut col = self.sparse_eta(&w, r);
                         bump(&mut col, r, 1.0);
                         self.push_eta(r, col);
                     }
@@ -1068,6 +1178,11 @@ impl<'a> Rev<'a> {
                     }
                 }
             }
+            // Recycle the iteration's dense temporaries (paths that
+            // returned above simply skip the pooling — correct, just
+            // unpooled).
+            self.arena.give_f64(w);
+            self.arena.give_f64(y);
         }
         StepOutcome::Stalled
     }
@@ -1099,16 +1214,6 @@ pub(crate) fn augmented_column<S: Scalar>(
     out
 }
 
-/// The sparse eta column for `w`: keeps the pivot entry at `r`
-/// unconditionally and drops other near-zero entries.
-fn sparse_eta(w: &[f64], r: usize) -> Vec<(usize, f64)> {
-    w.iter()
-        .enumerate()
-        .filter(|&(i, &v)| i == r || v.abs() > 1e-12)
-        .map(|(i, &v)| (i, v))
-        .collect()
-}
-
 /// Adds `delta` to the entry at row `r` of a sparse eta column (present or
 /// not).
 fn bump(col: &mut Vec<(usize, f64)>, r: usize, delta: f64) {
@@ -1126,18 +1231,27 @@ pub fn solve_bounded_f64(sf: &StandardForm<f64>) -> BoundedBasis {
     solve_bounded_f64_with(sf, &BoundedOptions::default())
 }
 
-/// [`solve_bounded_f64`] with explicit [`BoundedOptions`].
+/// [`solve_bounded_f64`] with explicit [`BoundedOptions`]. Scratch space
+/// comes from (and returns to) the calling thread's
+/// [`SolveArena`].
 pub fn solve_bounded_f64_with(sf: &StandardForm<f64>, opts: &BoundedOptions) -> BoundedBasis {
-    let stalled = |rev: Option<&Rev>| BoundedBasis {
-        status: BoundedStatus::Stalled,
-        basis: Vec::new(),
-        state: Vec::new(),
-        pivots: rev.map_or(0, |r| r.pivots),
-        bound_flips: rev.map_or(0, |r| r.bound_flips),
-        refactorizations: rev.map_or(0, |r| r.refactorizations),
-    };
-    let Some(mut rev) = Rev::new(sf) else {
-        return stalled(None);
+    crate::arena::with_arena(|arena| solve_bounded_pooled(sf, opts, arena))
+}
+
+fn solve_bounded_pooled(
+    sf: &StandardForm<f64>,
+    opts: &BoundedOptions,
+    arena: &mut SolveArena,
+) -> BoundedBasis {
+    let Some(mut rev) = Rev::new(sf, arena) else {
+        return BoundedBasis {
+            status: BoundedStatus::Stalled,
+            basis: Vec::new(),
+            state: Vec::new(),
+            pivots: 0,
+            bound_flips: 0,
+            refactorizations: 0,
+        };
     };
     let window = opts.pricing_window;
     if sf.n_art > 0 {
@@ -1147,7 +1261,9 @@ pub fn solve_bounded_f64_with(sf: &StandardForm<f64>, opts: &BoundedOptions) -> 
         match rev.optimize(&cost1, false, window) {
             StepOutcome::Optimal => {}
             // Phase 1 is bounded below by 0; treat anything else as a stall.
-            StepOutcome::Unbounded | StepOutcome::Stalled => return stalled(Some(&rev)),
+            StepOutcome::Unbounded | StepOutcome::Stalled => {
+                return rev.finish(BoundedStatus::Stalled)
+            }
         }
         let infeasibility: f64 = rev
             .basis
@@ -1157,14 +1273,7 @@ pub fn solve_bounded_f64_with(sf: &StandardForm<f64>, opts: &BoundedOptions) -> 
             .map(|(_, &v)| v.max(0.0))
             .sum();
         if infeasibility > 1e-7 {
-            return BoundedBasis {
-                status: BoundedStatus::Infeasible,
-                pivots: rev.pivots,
-                bound_flips: rev.bound_flips,
-                refactorizations: rev.refactorizations,
-                basis: rev.basis,
-                state: rev.state,
-            };
+            return rev.finish(BoundedStatus::Infeasible);
         }
         for j in 0..sf.ncols {
             if sf.artificial[j] {
@@ -1175,16 +1284,9 @@ pub fn solve_bounded_f64_with(sf: &StandardForm<f64>, opts: &BoundedOptions) -> 
     let status = match rev.optimize(&sf.cost, true, window) {
         StepOutcome::Optimal => BoundedStatus::Optimal,
         StepOutcome::Unbounded => BoundedStatus::Unbounded,
-        StepOutcome::Stalled => return stalled(Some(&rev)),
+        StepOutcome::Stalled => return rev.finish(BoundedStatus::Stalled),
     };
-    BoundedBasis {
-        status,
-        pivots: rev.pivots,
-        bound_flips: rev.bound_flips,
-        refactorizations: rev.refactorizations,
-        basis: rev.basis,
-        state: rev.state,
-    }
+    rev.finish(status)
 }
 
 #[cfg(test)]

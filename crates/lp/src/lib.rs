@@ -8,16 +8,50 @@
 //! exactly; and the bounded-variable **revised** hybrid ([`solve_revised`])
 //! — implicit `[0, u]` variable bounds *and* Schrage-style variable upper
 //! bounds `x ≤ y` ([`LpProblem::set_vub`]) handled by the pivoting rules
-//! ([`bounds`]), partial pricing, and exact verification through a sparse
-//! rational LU of the (key-column-augmented) basis matrix ([`lu`]) — the
+//! ([`bounds`]), partial pricing, exact verification through a sparse
+//! rational LU of the (key-column-augmented) basis matrix ([`lu`]), and
+//! per-thread scratch reuse through the slab arena ([`arena`]) — the
 //! default path for the active-time LPs.
 //!
 //! The allowed offline dependency set contains no LP solver (the paper's
 //! reproduction band notes the thin LP ecosystem), so this crate implements
-//! simplex from scratch; see `DESIGN.md` §2.
+//! simplex from scratch; see `DESIGN.md` §2 and the repo-root
+//! `ARCHITECTURE.md` for the three solver generations.
+//!
+//! # Example
+//!
+//! Build a small LP with an implicit constant bound and a VUB family, and
+//! solve it with the revised hybrid — the search runs in `f64`, the answer
+//! is certified (and returned) in exact rationals:
+//!
+//! ```
+//! use abt_lp::{solve_revised, Cmp, LpProblem, LpStatus, Rat};
+//!
+//! // min −x − z  s.t.  x + y + z ≥ 1,  y ≤ 4 (implicit bound),
+//! //                   x ≤ y (VUB family: key y, dependent x), z ≤ 2.
+//! let mut lp: LpProblem<Rat> = LpProblem::new();
+//! let x = lp.add_var(Rat::from_int(-1));
+//! let y = lp.add_var(Rat::ZERO);
+//! let z = lp.add_var(Rat::from_int(-1));
+//! lp.add_constraint(
+//!     vec![(x, Rat::ONE), (y, Rat::ONE), (z, Rat::ONE)],
+//!     Cmp::Ge,
+//!     Rat::ONE,
+//! );
+//! lp.set_upper(y, Rat::from_int(4)); // never becomes a row
+//! lp.set_upper(z, Rat::from_int(2));
+//! lp.set_vub(x, y); // x rides glued to its key inside the pivoting rules
+//!
+//! let sol = solve_revised(&lp);
+//! assert_eq!(sol.status, LpStatus::Optimal);
+//! // Optimum: x = y = 4 (x glued to its key at the key's bound), z = 2.
+//! assert_eq!(sol.objective, Rat::from_int(-6));
+//! assert!(lp.is_feasible(&sol.x));
+//! ```
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bounds;
 pub mod lu;
 pub mod model;
@@ -25,6 +59,7 @@ pub mod rational;
 pub mod scalar;
 pub mod simplex;
 
+pub use arena::{with_arena, ArenaStats, SolveArena};
 pub use bounds::{
     solve_bounded_f64, solve_bounded_f64_with, BoundedBasis, BoundedOptions, BoundedStatus,
     StandardForm, VarState, DEFAULT_PRICING_WINDOW,

@@ -26,6 +26,7 @@
 //! exactly nonzero pivot is valid and the magnitude preference merely keeps
 //! intermediate numerators small.
 
+use crate::arena::SolveArena;
 use crate::scalar::Scalar;
 
 /// How many candidate columns the pivot search inspects per step.
@@ -242,6 +243,16 @@ impl<S: Scalar> SparseLu<S> {
     pub fn solve(&self, v: &[S]) -> Vec<S> {
         assert_eq!(v.len(), self.m);
         let mut y = v.to_vec();
+        let mut xstep = vec![S::zero(); self.m];
+        let mut x = vec![S::zero(); self.m];
+        self.solve_into(&mut y, &mut xstep, &mut x);
+        x
+    }
+
+    /// FTRAN core on caller-provided length-`m` buffers: `y` holds the
+    /// right-hand side on entry and is destroyed; `xstep` is scratch; `x`
+    /// receives the solution (every entry is overwritten).
+    fn solve_into(&self, y: &mut [S], xstep: &mut [S], x: &mut [S]) {
         for k in 0..self.m {
             let yk = y[self.steprow[k]].clone();
             if !yk.is_zero_s() {
@@ -250,7 +261,6 @@ impl<S: Scalar> SparseLu<S> {
                 }
             }
         }
-        let mut xstep = vec![S::zero(); self.m];
         for k in (0..self.m).rev() {
             let mut acc = y[self.steprow[k]].clone();
             for (c, u) in &self.urows[k] {
@@ -261,11 +271,9 @@ impl<S: Scalar> SparseLu<S> {
             }
             xstep[k] = acc.div(&self.upiv[k]);
         }
-        let mut x = vec![S::zero(); self.m];
         for k in 0..self.m {
             x[self.stepcol[k]] = xstep[k].clone();
         }
-        x
     }
 
     /// Solves `Bᵀ·y = c`; `c` is indexed by original columns, the result by
@@ -274,6 +282,15 @@ impl<S: Scalar> SparseLu<S> {
         assert_eq!(c.len(), self.m);
         let mut cacc = c.to_vec();
         let mut w = vec![S::zero(); self.m];
+        let mut z = vec![S::zero(); self.m];
+        self.solve_transposed_into(&mut cacc, &mut w, &mut z);
+        z
+    }
+
+    /// BTRAN core on caller-provided length-`m` buffers: `cacc` holds the
+    /// cost vector on entry and is destroyed; `w` is scratch; `z` receives
+    /// the solution (every entry is overwritten).
+    fn solve_transposed_into(&self, cacc: &mut [S], w: &mut [S], z: &mut [S]) {
         for k in 0..self.m {
             let wk = cacc[self.stepcol[k]].div(&self.upiv[k]);
             if !wk.is_zero_s() {
@@ -283,7 +300,6 @@ impl<S: Scalar> SparseLu<S> {
             }
             w[k] = wk;
         }
-        let mut z = vec![S::zero(); self.m];
         for k in (0..self.m).rev() {
             let mut acc = w[k].clone();
             for (i, l) in &self.lcols[k] {
@@ -294,12 +310,44 @@ impl<S: Scalar> SparseLu<S> {
             }
             z[self.steprow[k]] = acc;
         }
-        z
     }
 
     /// Matrix dimension.
     pub fn dim(&self) -> usize {
         self.m
+    }
+}
+
+impl SparseLu<f64> {
+    /// [`SparseLu::solve`] with every work vector drawn from (and the
+    /// scratch returned to) `arena`. The returned solution is itself an
+    /// arena buffer — give it back when done to keep the revised simplex's
+    /// per-pivot FTRANs allocator-quiet.
+    pub fn solve_pooled(&self, v: &[f64], arena: &mut SolveArena) -> Vec<f64> {
+        assert_eq!(v.len(), self.m);
+        let mut y = arena.take_f64(self.m, 0.0);
+        y.copy_from_slice(v);
+        let mut xstep = arena.take_f64(self.m, 0.0);
+        let mut x = arena.take_f64(self.m, 0.0);
+        self.solve_into(&mut y, &mut xstep, &mut x);
+        arena.give_f64(y);
+        arena.give_f64(xstep);
+        x
+    }
+
+    /// [`SparseLu::solve_transposed`] with every work vector drawn from
+    /// (and the scratch returned to) `arena`; the returned solution is an
+    /// arena buffer.
+    pub fn solve_transposed_pooled(&self, c: &[f64], arena: &mut SolveArena) -> Vec<f64> {
+        assert_eq!(c.len(), self.m);
+        let mut cacc = arena.take_f64(self.m, 0.0);
+        cacc.copy_from_slice(c);
+        let mut w = arena.take_f64(self.m, 0.0);
+        let mut z = arena.take_f64(self.m, 0.0);
+        self.solve_transposed_into(&mut cacc, &mut w, &mut z);
+        arena.give_f64(cacc);
+        arena.give_f64(w);
+        z
     }
 }
 

@@ -6,8 +6,8 @@
 //!   closed-form bounds (Fig. 1, Fig. 3, the §3.5 integrality gap,
 //!   Figs. 6–12), ε-constructions scaled to exact integer ticks;
 //! * [`random`] — uniform, proper, clique, laminar, unit,
-//!   feasibility-guaranteed, and VUB-heavy nested-window families for the
-//!   comparison experiments;
+//!   feasibility-guaranteed, VUB-heavy nested-window, and many-components
+//!   block-diagonal families for the comparison experiments;
 //! * [`traces`] — synthetic VM-consolidation and optical-lightpath traces
 //!   standing in for the motivating applications of §1.
 
@@ -23,7 +23,8 @@ pub use gadgets::{
     IntegralityGap, SCALE,
 };
 pub use random::{
-    random_active_feasible, random_clique, random_flexible, random_interval, random_laminar,
-    random_proper, random_unit, vub_heavy, RandomConfig, VubHeavyConfig,
+    many_components, random_active_feasible, random_clique, random_flexible, random_interval,
+    random_laminar, random_proper, random_unit, vub_heavy, ManyComponentsConfig, RandomConfig,
+    VubHeavyConfig,
 };
 pub use traces::{optical_trace, vm_trace, OpticalTraceConfig, VmTraceConfig};

@@ -251,9 +251,108 @@ pub fn vub_heavy(cfg: &VubHeavyConfig, seed: u64) -> Instance {
     Instance::new(jobs, cfg.g).unwrap()
 }
 
+/// Parameters of the many-components family (see [`many_components`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ManyComponentsConfig {
+    /// Number of isolated clusters (connected components of the job-window
+    /// interval graph).
+    pub components: usize,
+    /// Target jobs per cluster (the generator may stop short when a
+    /// cluster's capacity is exhausted).
+    pub jobs_per_component: usize,
+    /// Capacity `g`.
+    pub g: usize,
+    /// Horizon width of each cluster.
+    pub span: i64,
+    /// Idle gap between consecutive clusters (≥ 1 keeps windows disjoint).
+    pub gap: i64,
+    /// Maximum job length.
+    pub max_len: i64,
+    /// Extra window slack as a multiple of the length, clamped to the
+    /// cluster (slack never bridges a gap).
+    pub slack_factor: f64,
+}
+
+impl Default for ManyComponentsConfig {
+    fn default() -> Self {
+        ManyComponentsConfig {
+            components: 8,
+            jobs_per_component: 5,
+            g: 3,
+            span: 16,
+            gap: 4,
+            max_len: 4,
+            slack_factor: 1.0,
+        }
+    }
+}
+
+/// A **many-components** feasible active-time family: `components`
+/// isolated job clusters separated by idle gaps, so the job-window
+/// interval graph has exactly `components` connected components and LP1's
+/// constraint matrix is block-diagonal — the stress family for the
+/// decomposition layer (`DecomposeMode::Auto` in `abt-active::lp_model`).
+/// Each cluster is generated like [`random_active_feasible`] (jobs carved
+/// out of a reference schedule, windows clamped to the cluster), so the
+/// whole instance is feasible by construction.
+pub fn many_components(cfg: &ManyComponentsConfig, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut jobs = Vec::with_capacity(cfg.components * cfg.jobs_per_component);
+    for c in 0..cfg.components {
+        let base = c as i64 * (cfg.span + cfg.gap);
+        let mut load = vec![0usize; cfg.span as usize + 1];
+        for _ in 0..cfg.jobs_per_component {
+            let len = rng.gen_range(1..=cfg.max_len.min(cfg.span));
+            let mut placed = None;
+            for _ in 0..50 {
+                let start = rng.gen_range(0..=(cfg.span - len)) as usize;
+                let slots = start..start + len as usize;
+                if slots.clone().all(|s| load[s] < cfg.g) {
+                    placed = Some(slots);
+                    break;
+                }
+            }
+            let Some(slots) = placed else {
+                continue; // skip a job rather than break feasibility
+            };
+            for s in slots.clone() {
+                load[s] += 1;
+            }
+            let slack = (len as f64 * cfg.slack_factor).round() as i64;
+            let r = (slots.start as i64 - rng.gen_range(0..=slack)).max(0);
+            let d = (slots.end as i64 + rng.gen_range(0..=slack)).min(cfg.span);
+            jobs.push(Job::new(base + r, base + d, len));
+        }
+    }
+    Instance::new(jobs, cfg.g).unwrap()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn many_components_clusters_are_isolated_and_feasible() {
+        let cfg = ManyComponentsConfig::default();
+        let inst = many_components(&cfg, 5);
+        assert_eq!(many_components(&cfg, 5), inst, "deterministic per seed");
+        assert!(inst.len() >= cfg.components, "every cluster places jobs");
+        // Each job's window lies inside one cluster stripe, so windows from
+        // different stripes never overlap.
+        let stride = cfg.span + cfg.gap;
+        let mut seen = std::collections::BTreeSet::new();
+        for j in inst.jobs() {
+            let c = j.release / stride;
+            assert!(
+                j.release >= c * stride && j.deadline <= c * stride + cfg.span,
+                "{j:?} escapes its cluster"
+            );
+            seen.insert(c);
+        }
+        assert_eq!(seen.len(), cfg.components, "all clusters populated");
+        // Per-cluster load ≤ g by construction: the mass bound holds.
+        assert!(inst.total_length() <= cfg.g as i64 * cfg.components as i64 * cfg.span);
+    }
 
     #[test]
     fn vub_heavy_is_nested_and_feasible() {
