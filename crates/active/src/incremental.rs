@@ -1,0 +1,542 @@
+//! Incremental re-solving of LP1 over a **mutating instance** — the
+//! online-arrivals driver of the warm-start subsystem.
+//!
+//! [`IncrementalSolver`] owns a job set that callers mutate between
+//! solves ([`IncrementalSolver::add_job`],
+//! [`IncrementalSolver::remove_job`], and the window edits of
+//! [`IncrementalSolver::update_window`] — widen, shrink, or shift), and
+//! re-solves **only what changed**. The machinery composes three layers:
+//!
+//! * **Component decomposition** (PR 4): every solve recomputes the
+//!   connected components of the job-window interval graph — cheap, one
+//!   sort-and-merge sweep — so a mutation's blast radius is its own
+//!   component (or the components it merges/splits).
+//! * **Dirty-component tracking by content** — the solver caches each
+//!   solved component under a translation-invariant *content key* (the
+//!   sorted multiset of its jobs' `(release, deadline, length)` offsets).
+//!   A component whose content key is still cached is **clean**: its
+//!   exact per-run `Y` block and rational objective are reused with *no
+//!   LP solve at all*. Mutations dirty exactly the components whose job
+//!   content changed — including merges and splits, whose products are
+//!   new keys. Deletions don't invalidate survivors: an untouched
+//!   component keeps its key whatever happens elsewhere.
+//! * **Warm starts** ([`abt_lp::warm`]) — a dirty component that must be
+//!   re-solved first looks up its *shape* (the structural
+//!   [`ComponentSignature`](crate::lp_model)) in a snapshot cache. A hit
+//!   resumes phase-2 pivoting from a previously certified basis — for the
+//!   streaming-arrivals regime (Chang–Khuller–Mukherjee's online
+//!   active-time, arXiv:1610.08154) where new components echo the shapes
+//!   of earlier ones, this turns most re-solves into a handful of pivots.
+//!   The per-shape pool keeps up to
+//!   [`SNAPSHOT_POOL_CAP`](crate::lp_model) candidate snapshots
+//!   (different siblings land on different optimal vertices).
+//!
+//! **Exactness is preserved end to end**: cached blocks carry the exact
+//! rational `Y`/objective they were certified with, warm solves are
+//! certified like cold ones, and the stitched objective is an exact
+//! rational sum — bit-identical to solving the current instance from
+//! scratch with [`solve_active_lp_with`](crate::lp_model), which the
+//! property tests assert.
+//!
+//! Telemetry flows into the process-wide [`lp_telemetry`]
+//! (`warm_attempts` / `warm_hits` / `warm_pivots_saved`), and each
+//! [`IncrementalReport`] carries the per-solve breakdown (components
+//! reused / warm-hit / cold-solved).
+
+use crate::lp_model::{
+    build_component_lp, component_signature, components, disaggregate, lp_telemetry,
+    record_warm_attempt, slot_runs, ActiveLp, ComponentSignature, DecomposeMode, LpBackend,
+    LpOptions, SNAPSHOT_POOL_CAP,
+};
+use abt_core::active_schedule::horizon_slots;
+use abt_core::{Error, Instance, Job, Result, Time};
+use abt_lp::{solve_revised_warm, BasisSnapshot, BoundedOptions, LpStatus, Rat, RevisedOptions};
+use std::collections::HashMap;
+
+/// Bound on cached component blocks; past it both caches are cleared (a
+/// rare, cheap reset that keeps a long-lived solver's memory bounded).
+const CACHE_CAP: usize = 16_384;
+
+/// Translation-invariant content of a component: the sorted multiset of
+/// its jobs as offsets from the component's earliest release. Two
+/// components with equal content build LPs that are identical up to a
+/// permutation of the per-job blocks, so their exact optima (objective
+/// and per-run `Y`) coincide.
+type ContentKey = Vec<(i64, i64, i64)>;
+
+/// A solved component block, reusable whenever the same content recurs.
+struct CachedBlock {
+    y_runs: Vec<Rat>,
+    objective: Rat,
+}
+
+/// A shape's snapshot pool plus the pivot count of the first cold solve
+/// that seeded it (the reference for `warm_pivots_saved`).
+struct ShapeEntry {
+    snapshots: Vec<BasisSnapshot>,
+    reference_pivots: u64,
+}
+
+/// Handle to a job owned by an [`IncrementalSolver`] (stable across
+/// mutations; unrelated to any [`Instance`]'s job indices).
+pub type IncrementalJobId = usize;
+
+/// What one [`IncrementalSolver::solve`] call did, besides solving.
+#[derive(Debug, Clone)]
+pub struct IncrementalReport {
+    /// The exact LP1 optimum of the current job set (same contract as
+    /// [`solve_active_lp_with`](crate::lp_model::solve_active_lp_with)).
+    pub lp: ActiveLp,
+    /// Components of the current interval graph.
+    pub components: usize,
+    /// Components reused verbatim from the content cache (no LP solve).
+    pub reused: usize,
+    /// Components re-solved with a warm-start attempt.
+    pub warm_attempts: usize,
+    /// Warm attempts that hit (installed and certified).
+    pub warm_hits: usize,
+    /// Components solved cold (first sighting of their shape, or every
+    /// warm candidate missed).
+    pub cold_solves: usize,
+}
+
+/// An incrementally re-solving LP1 driver. See the module docs.
+pub struct IncrementalSolver {
+    g: usize,
+    opts: LpOptions,
+    jobs: Vec<Option<Job>>,
+    live: usize,
+    content_cache: HashMap<ContentKey, CachedBlock>,
+    shape_cache: HashMap<ComponentSignature, ShapeEntry>,
+}
+
+impl IncrementalSolver {
+    /// A solver with the default [`LpOptions`] (warm starts are always
+    /// attempted on re-solves, whatever `opts.warm` says — that flag
+    /// governs the batch planner, not this driver).
+    pub fn new(g: usize) -> Result<IncrementalSolver> {
+        IncrementalSolver::with_options(g, LpOptions::default())
+    }
+
+    /// A solver with explicit [`LpOptions`]. `opts.decompose` is forced to
+    /// [`DecomposeMode::Auto`] — per-component solving is what makes
+    /// incrementality work. Backends other than [`LpBackend::Revised`]
+    /// solve dirty components cold (content-cache reuse still applies).
+    pub fn with_options(g: usize, opts: LpOptions) -> Result<IncrementalSolver> {
+        if g == 0 {
+            return Err(Error::InvalidInstance("g must be at least 1".into()));
+        }
+        Ok(IncrementalSolver {
+            g,
+            opts: LpOptions {
+                decompose: DecomposeMode::Auto,
+                ..opts
+            },
+            jobs: Vec::new(),
+            live: 0,
+            content_cache: HashMap::new(),
+            shape_cache: HashMap::new(),
+        })
+    }
+
+    /// Capacity `g` of the instance under mutation.
+    pub fn g(&self) -> usize {
+        self.g
+    }
+
+    /// Number of live jobs.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the job set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Adds a job; returns its stable handle.
+    pub fn add_job(&mut self, job: Job) -> IncrementalJobId {
+        self.live += 1;
+        self.jobs.push(Some(job));
+        self.jobs.len() - 1
+    }
+
+    /// Removes a job by handle.
+    pub fn remove_job(&mut self, id: IncrementalJobId) -> Result<()> {
+        match self.jobs.get_mut(id) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.live -= 1;
+                Ok(())
+            }
+            _ => Err(Error::InvalidInstance(format!(
+                "no live job with incremental id {id}"
+            ))),
+        }
+    }
+
+    /// Replaces a job's window (widen, shrink, or shift), keeping its
+    /// length. Fails if the new window cannot hold the job.
+    pub fn update_window(
+        &mut self,
+        id: IncrementalJobId,
+        release: Time,
+        deadline: Time,
+    ) -> Result<()> {
+        let Some(slot) = self.jobs.get_mut(id).and_then(Option::as_mut) else {
+            return Err(Error::InvalidInstance(format!(
+                "no live job with incremental id {id}"
+            )));
+        };
+        let Some(updated) = Job::try_new(release, deadline, slot.length) else {
+            return Err(Error::InvalidJob {
+                job: id,
+                reason: format!(
+                    "window [{release}, {deadline}) cannot hold length {}",
+                    slot.length
+                ),
+            });
+        };
+        *slot = updated;
+        Ok(())
+    }
+
+    /// The current live job set, in handle order.
+    pub fn jobs(&self) -> Vec<Job> {
+        self.jobs.iter().filter_map(|j| *j).collect()
+    }
+
+    /// The current job set as a fresh [`Instance`].
+    pub fn instance(&self) -> Result<Instance> {
+        Instance::new(self.jobs(), self.g)
+    }
+
+    /// Re-solves LP1 for the current job set, reusing cached component
+    /// blocks and warm-starting the dirty ones. The objective (and the
+    /// stitched per-slot `y`'s feasibility) is bit-identical to a from-
+    /// scratch [`solve_active_lp_with`](crate::lp_model::solve_active_lp_with)
+    /// on [`IncrementalSolver::instance`].
+    pub fn solve(&mut self) -> Result<IncrementalReport> {
+        if self.content_cache.len() > CACHE_CAP {
+            self.content_cache.clear();
+            self.shape_cache.clear();
+        }
+        let inst = self.instance()?;
+        let slots = horizon_slots(&inst);
+        if inst.is_empty() {
+            return Ok(IncrementalReport {
+                lp: ActiveLp {
+                    slots,
+                    y: Vec::new(),
+                    objective: Rat::ZERO,
+                },
+                components: 0,
+                reused: 0,
+                warm_attempts: 0,
+                warm_hits: 0,
+                cold_solves: 0,
+            });
+        }
+        let runs = slot_runs(&inst, self.opts.coalesce);
+        let comps = components(&inst, &runs, DecomposeMode::Auto);
+        let ropts = RevisedOptions {
+            pricing: BoundedOptions {
+                pricing_window: self.opts.pricing_window,
+            },
+        };
+        let mut y_runs = vec![Rat::ZERO; runs.len()];
+        let mut objective = Rat::ZERO;
+        let mut report = IncrementalReport {
+            lp: ActiveLp {
+                slots: Vec::new(),
+                y: Vec::new(),
+                objective: Rat::ZERO,
+            },
+            components: comps.len(),
+            reused: 0,
+            warm_attempts: 0,
+            warm_hits: 0,
+            cold_solves: 0,
+        };
+        for comp in &comps {
+            let n_runs = comp.run_hi - comp.run_lo;
+            let ckey = content_key(&inst, comp);
+            if let Some(block) = self.content_cache.get(&ckey) {
+                debug_assert_eq!(block.y_runs.len(), n_runs);
+                report.reused += 1;
+                for (k, val) in block.y_runs.iter().enumerate() {
+                    y_runs[comp.run_lo + k] = *val;
+                }
+                objective = objective.add(&block.objective);
+                continue;
+            }
+            // Dirty: re-solve, warm where the backend supports it.
+            let lp = build_component_lp(&inst, &self.opts, &runs, comp);
+            let skey = component_signature(&inst, &runs, comp);
+            let (sol, pivots, warm_hit, snapshot) = if self.opts.backend == LpBackend::Revised {
+                let entry = self.shape_cache.get(&skey);
+                let pool: &[BasisSnapshot] = entry.map(|e| e.snapshots.as_slice()).unwrap_or(&[]);
+                let wr = solve_revised_warm(&lp, &ropts, pool);
+                crate::lp_model::record_solve(&wr.report);
+                if !pool.is_empty() {
+                    report.warm_attempts += 1;
+                    let reference = entry.map(|e| e.reference_pivots).unwrap_or(0);
+                    record_warm_attempt(wr.warm_hit, reference, wr.report.stats.pivots);
+                    if wr.warm_hit {
+                        report.warm_hits += 1;
+                    }
+                }
+                (
+                    wr.report.solution,
+                    wr.report.stats.pivots,
+                    wr.warm_hit,
+                    wr.snapshot,
+                )
+            } else {
+                (
+                    crate::lp_model::run_backend(&lp, &self.opts),
+                    0,
+                    false,
+                    None,
+                )
+            };
+            match sol.status {
+                LpStatus::Optimal => {}
+                LpStatus::Infeasible => {
+                    return Err(Error::Infeasible(
+                        "LP1 infeasible: no schedule exists".into(),
+                    ))
+                }
+                LpStatus::Unbounded => unreachable!("LP1 objective is bounded below by 0"),
+            }
+            if !warm_hit {
+                report.cold_solves += 1;
+            }
+            let block = CachedBlock {
+                y_runs: sol.x[..n_runs].to_vec(),
+                objective: sol.objective,
+            };
+            for (k, val) in block.y_runs.iter().enumerate() {
+                y_runs[comp.run_lo + k] = *val;
+            }
+            objective = objective.add(&block.objective);
+            self.content_cache.insert(ckey, block);
+            // Only cold-resolved snapshots enrich the shape pool: a warm
+            // hit terminated at (or near) a vertex the pool already
+            // covers, so pushing it would fill the capped pool with
+            // duplicates and crowd out genuinely new vertices.
+            if !warm_hit {
+                if let Some(s) = snapshot {
+                    let entry = self.shape_cache.entry(skey).or_insert_with(|| ShapeEntry {
+                        snapshots: Vec::new(),
+                        reference_pivots: pivots,
+                    });
+                    if entry.snapshots.len() < SNAPSHOT_POOL_CAP {
+                        entry.snapshots.push(s);
+                    }
+                }
+            }
+        }
+        report.lp = ActiveLp {
+            y: disaggregate(&runs, &y_runs),
+            slots,
+            objective,
+        };
+        debug_assert_eq!(report.lp.y.len(), report.lp.slots.len());
+        Ok(report)
+    }
+
+    /// Process-wide LP telemetry snapshot, re-exported for driver callers
+    /// (the CLI's `incremental` subcommand prints the warm counters).
+    pub fn telemetry() -> crate::lp_model::LpTelemetry {
+        lp_telemetry()
+    }
+}
+
+/// The translation-invariant [`ContentKey`] of a component.
+fn content_key(inst: &Instance, comp: &crate::lp_model::Component) -> ContentKey {
+    let base = comp
+        .jobs
+        .iter()
+        .map(|&j| inst.job(j).release)
+        .min()
+        .expect("components are never empty");
+    let mut key: ContentKey = comp
+        .jobs
+        .iter()
+        .map(|&j| {
+            let job = inst.job(j);
+            (job.release - base, job.deadline - base, job.length)
+        })
+        .collect();
+    key.sort_unstable();
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp_model::{solve_active_lp, solve_active_lp_with};
+
+    #[test]
+    fn matches_from_scratch_solves_across_mutations() {
+        let mut solver = IncrementalSolver::new(2).unwrap();
+        let a = solver.add_job(Job::new(0, 4, 2));
+        let _b = solver.add_job(Job::new(1, 3, 2));
+        let first = solver.solve().unwrap();
+        assert_eq!(
+            first.lp.objective,
+            solve_active_lp(&solver.instance().unwrap())
+                .unwrap()
+                .objective
+        );
+        // Far-away arrival: a new component; the old one must be reused.
+        let c = solver.add_job(Job::new(100, 104, 3));
+        let second = solver.solve().unwrap();
+        assert_eq!(second.components, 2);
+        assert_eq!(second.reused, 1, "the untouched component is clean");
+        assert_eq!(
+            second.lp.objective,
+            solve_active_lp(&solver.instance().unwrap())
+                .unwrap()
+                .objective
+        );
+        // Remove + window shift: still bit-identical to from-scratch.
+        solver.remove_job(a).unwrap();
+        solver.update_window(c, 101, 106).unwrap();
+        let third = solver.solve().unwrap();
+        assert_eq!(
+            third.lp.objective,
+            solve_active_lp(&solver.instance().unwrap())
+                .unwrap()
+                .objective
+        );
+    }
+
+    #[test]
+    fn unchanged_resolve_is_all_cache_hits() {
+        let mut solver = IncrementalSolver::new(2).unwrap();
+        solver.add_job(Job::new(0, 4, 2));
+        solver.add_job(Job::new(10, 14, 3));
+        let before = solver.solve().unwrap();
+        assert_eq!(before.reused, 0);
+        let again = solver.solve().unwrap();
+        assert_eq!(again.components, 2);
+        // The report counters are solver-local (unlike the process-global
+        // telemetry), so exact-zero assertions are race-free here: a
+        // fully clean re-solve touches no LP at all.
+        assert_eq!(again.reused, 2, "nothing changed: everything is clean");
+        assert_eq!(again.cold_solves, 0);
+        assert_eq!(again.warm_attempts, 0);
+        assert_eq!(again.lp.objective, before.lp.objective);
+    }
+
+    #[test]
+    fn shape_echoes_warm_start_new_components() {
+        // Arrivals into fresh stripes with the same window layout: from
+        // the second stripe on, the new component's shape is cached and
+        // re-solves attempt warm starts.
+        let mut solver = IncrementalSolver::new(2).unwrap();
+        let mut warm_attempts = 0;
+        for k in 0..4i64 {
+            // Distinct lengths per stripe keep the content keys fresh
+            // (identical content would short-circuit into the content
+            // cache with no solve at all), while the window layout — and
+            // so the shape — repeats.
+            let base = 20 * k;
+            solver.add_job(Job::new(base, base + 6, 2 + k));
+            solver.add_job(Job::new(base + 1, base + 5, 2));
+            let rep = solver.solve().unwrap();
+            warm_attempts += rep.warm_attempts;
+            assert_eq!(
+                rep.lp.objective,
+                solve_active_lp(&solver.instance().unwrap())
+                    .unwrap()
+                    .objective
+            );
+        }
+        assert!(
+            warm_attempts >= 3,
+            "later stripes must attempt warm starts (got {warm_attempts})"
+        );
+    }
+
+    #[test]
+    fn merge_and_split_components_stay_exact() {
+        // A widening that merges two components, then a removal that
+        // splits them again: content keys change, caches stay coherent.
+        let mut solver = IncrementalSolver::new(2).unwrap();
+        let _a = solver.add_job(Job::new(0, 4, 2));
+        let b = solver.add_job(Job::new(8, 12, 2));
+        let first = solver.solve().unwrap();
+        assert_eq!(first.components, 2);
+        // Widen b leftwards across the gap: one merged component.
+        solver.update_window(b, 2, 12).unwrap();
+        let merged = solver.solve().unwrap();
+        assert_eq!(merged.components, 1);
+        assert_eq!(
+            merged.lp.objective,
+            solve_active_lp(&solver.instance().unwrap())
+                .unwrap()
+                .objective
+        );
+        // Shrink it back: split again, and the original blocks' content
+        // keys are still in the cache — both components are clean.
+        solver.update_window(b, 8, 12).unwrap();
+        let split = solver.solve().unwrap();
+        assert_eq!(split.components, 2);
+        assert_eq!(
+            split.reused, 2,
+            "both original blocks reused after the split"
+        );
+        assert_eq!(split.lp.objective, first.lp.objective);
+    }
+
+    #[test]
+    fn empty_and_error_paths() {
+        let mut solver = IncrementalSolver::new(3).unwrap();
+        let rep = solver.solve().unwrap();
+        assert_eq!(rep.lp.objective, Rat::ZERO);
+        assert!(rep.lp.y.is_empty());
+        assert!(solver.remove_job(7).is_err());
+        let id = solver.add_job(Job::new(0, 4, 2));
+        assert!(solver.update_window(id, 0, 1).is_err(), "window too small");
+        solver.remove_job(id).unwrap();
+        assert!(solver.remove_job(id).is_err(), "double remove");
+        assert!(IncrementalSolver::new(0).is_err());
+    }
+
+    #[test]
+    fn infeasible_mutation_is_reported() {
+        let mut solver = IncrementalSolver::new(1).unwrap();
+        solver.add_job(Job::new(0, 1, 1));
+        solver.add_job(Job::new(0, 1, 1));
+        assert!(matches!(solver.solve(), Err(Error::Infeasible(_))));
+    }
+
+    #[test]
+    fn matches_all_encoding_variants() {
+        // The incremental driver under every BoundsMode × VubMode must
+        // reproduce the from-scratch objective bit for bit.
+        use crate::lp_model::{BoundsMode, VubMode};
+        for bounds in [BoundsMode::Rows, BoundsMode::Implicit] {
+            for vub in [VubMode::Rows, VubMode::Implicit] {
+                let opts = LpOptions {
+                    bounds,
+                    vub,
+                    ..LpOptions::default()
+                };
+                let mut solver = IncrementalSolver::with_options(2, opts).unwrap();
+                for k in 0..3i64 {
+                    let base = 10 * k;
+                    solver.add_job(Job::new(base, base + 5, 3));
+                    let rep = solver.solve().unwrap();
+                    let scratch = solve_active_lp_with(&solver.instance().unwrap(), &opts)
+                        .unwrap()
+                        .objective;
+                    assert_eq!(rep.lp.objective, scratch, "{bounds:?} {vub:?}");
+                }
+            }
+        }
+    }
+}

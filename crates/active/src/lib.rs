@@ -11,8 +11,12 @@
 //! * [`rounding`] — the LP-rounding 2-approximation (Theorem 2), on top of
 //!   [`lp_model`] (the `LP1` relaxation, solved with exact rationals,
 //!   sharded along interval-graph components under
-//!   [`DecomposeMode::Auto`]) and [`right_shift`](mod@right_shift) (§3.1
+//!   [`DecomposeMode::Auto`], with warm-started sibling batching under
+//!   [`WarmMode::Batch`]) and [`right_shift`](mod@right_shift) (§3.1
 //!   preprocessing).
+//! * [`incremental`] — the warm-started incremental re-solve driver for
+//!   mutating instances / online arrival streams
+//!   ([`IncrementalSolver`]).
 //! * [`exact`] — branch-and-bound optimum for ratio measurements.
 //! * [`unit`](mod@unit) — the exact rightmost-greedy for unit jobs
 //!   (Chang–Gabow–Khuller special case).
@@ -55,6 +59,7 @@
 
 pub mod exact;
 pub mod feasibility;
+pub mod incremental;
 pub mod lp_model;
 pub mod minimal;
 pub mod right_shift;
@@ -63,9 +68,10 @@ pub mod unit;
 
 pub use exact::{exact_active_time, ExactActive};
 pub use feasibility::{feasible_on, schedule_on, FeasibilityChecker};
+pub use incremental::{IncrementalJobId, IncrementalReport, IncrementalSolver};
 pub use lp_model::{
     fractional_feasible, lp_telemetry, solve_active_lp, solve_active_lp_with, ActiveLp, BoundsMode,
-    DecomposeMode, LpBackend, LpOptions, LpTelemetry, VubMode,
+    DecomposeMode, LpBackend, LpOptions, LpTelemetry, VubMode, WarmMode,
 };
 pub use minimal::{
     is_minimal, minimal_feasible, minimal_feasible_from, ClosingOrder, MinimalResult,

@@ -70,6 +70,25 @@
 //! component LPs reuses its scratch buffers instead of churning the global
 //! allocator.
 //!
+//! # Warm-started sibling batching
+//!
+//! On the families that shard well the components are often
+//! *near-identical* — nested windows and arrival streams repeat the same
+//! window layouts with different job lengths. Under [`WarmMode::Batch`]
+//! the sharded solve runs a **batch planner**: components are grouped by
+//! structural signature (run count + per-job relative run spans — equal
+//! signatures build LPs with identical standard-form structure), one
+//! representative per group solves cold, and the siblings warm-start from
+//! a per-group [`abt_lp::BasisSnapshot`] pool seeded by the
+//! representative and grown by every cold-resolved miss
+//! ([`abt_lp::solve_revised_warm`]). Siblings run in parallel waves so the
+//! pool growth stays deterministic — warm pivot counts are exactly
+//! reproducible run to run. Warm answers are certified in exact rationals
+//! like cold ones, so `Batch` never changes an objective; cold
+//! [`WarmMode::Off`] remains the default and the differential oracle
+//! (E22 measures the pivot-effort reduction). The incremental re-solve
+//! driver for *mutating* instances lives in [`crate::incremental`].
+//!
 //! # Solve backends
 //!
 //! The default is [`abt_lp::solve_revised`]: a bounded revised simplex in
@@ -92,9 +111,11 @@
 use abt_core::active_schedule::{horizon_slots, job_feasible_in_slot};
 use abt_core::{parallel_map, Error, Instance, Result, Time};
 use abt_lp::{
-    solve, solve_hybrid_report, solve_revised_with, BoundedOptions, Cmp, HybridReport, LpProblem,
-    LpSolution, LpStatus, Rat, RevisedOptions, DEFAULT_PRICING_WINDOW,
+    solve, solve_hybrid_report, solve_revised_warm, solve_revised_with, BasisSnapshot,
+    BoundedOptions, Cmp, HybridReport, LpProblem, LpSolution, LpStatus, Rat, RevisedOptions,
+    DEFAULT_PRICING_WINDOW,
 };
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which simplex path solves the model.
@@ -143,6 +164,24 @@ pub enum DecomposeMode {
     Auto,
 }
 
+/// Whether a sharded solve batches *similar* component sub-LPs into
+/// warm-started sibling solves (see the module docs and
+/// [`abt_lp::warm`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmMode {
+    /// Every component solves cold (the pre-warm-start behaviour and the
+    /// differential oracle).
+    Off,
+    /// Components are grouped by structural signature; one representative
+    /// per group solves cold and its [`abt_lp::BasisSnapshot`] seeds the
+    /// siblings' warm solves (a growing per-group snapshot pool keeps the
+    /// hit rate high). Exact objectives are unchanged — warm answers are
+    /// certified in rationals like cold ones. Only the
+    /// [`LpBackend::Revised`] backend warm-starts; other backends ignore
+    /// this mode.
+    Batch,
+}
+
 /// Model/solver configuration for [`solve_active_lp_with`].
 #[derive(Debug, Clone, Copy)]
 pub struct LpOptions {
@@ -160,6 +199,10 @@ pub struct LpOptions {
     pub pricing_window: usize,
     /// Interval-graph component sharding. Default: [`DecomposeMode::Auto`].
     pub decompose: DecomposeMode,
+    /// Warm-started sibling batching of the sharded solves. Default:
+    /// [`WarmMode::Off`] (the cold path stays the shipping default and the
+    /// perf baseline; [`LpOptions::warm_batched`] turns batching on).
+    pub warm: WarmMode,
 }
 
 impl Default for LpOptions {
@@ -171,6 +214,7 @@ impl Default for LpOptions {
             vub: VubMode::Implicit,
             pricing_window: DEFAULT_PRICING_WINDOW,
             decompose: DecomposeMode::Auto,
+            warm: WarmMode::Off,
         }
     }
 }
@@ -186,6 +230,7 @@ impl LpOptions {
             vub: VubMode::Rows,
             pricing_window: 0,
             decompose: DecomposeMode::Off,
+            warm: WarmMode::Off,
         }
     }
 
@@ -200,6 +245,7 @@ impl LpOptions {
             vub: VubMode::Rows,
             pricing_window: 0,
             decompose: DecomposeMode::Off,
+            warm: WarmMode::Off,
         }
     }
 
@@ -214,6 +260,7 @@ impl LpOptions {
             vub: VubMode::Rows,
             pricing_window: 0,
             decompose: DecomposeMode::Off,
+            warm: WarmMode::Off,
         }
     }
 
@@ -224,6 +271,16 @@ impl LpOptions {
     pub fn pr3_monolithic() -> Self {
         LpOptions {
             decompose: DecomposeMode::Off,
+            ..LpOptions::default()
+        }
+    }
+
+    /// The warm-batched configuration: the default sharded solve plus
+    /// [`WarmMode::Batch`] sibling batching. Cold [`LpOptions::default`]
+    /// is its differential oracle and perf baseline (E22).
+    pub fn warm_batched() -> Self {
+        LpOptions {
+            warm: WarmMode::Batch,
             ..LpOptions::default()
         }
     }
@@ -249,6 +306,15 @@ static LP_COMPONENTS: AtomicU64 = AtomicU64::new(0);
 /// Process-wide high-water mark of the largest component sub-LP's variable
 /// count (maintained with `fetch_max`; sharded solves only).
 static LP_MAX_COMPONENT_VARS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of solves that were *offered* a warm-start snapshot
+/// (batched siblings and incremental re-solves).
+static LP_WARM_ATTEMPTS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of those that installed and verified warm.
+static LP_WARM_HITS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide pivots saved by warm hits, measured against each hit's
+/// cold reference (the group representative's / the shape's first cold
+/// solve's pivot count), floored at zero per solve.
+static LP_WARM_PIVOTS_SAVED: AtomicU64 = AtomicU64::new(0);
 
 /// A snapshot of the process-wide LP solve telemetry (see
 /// [`lp_telemetry`]). All counters are cumulative and monotone; diff two
@@ -283,6 +349,15 @@ pub struct LpTelemetry {
     /// across sharded solves. **Not** a monotone sum: [`LpTelemetry::delta`]
     /// carries the later snapshot's value through unchanged.
     pub max_component_vars: u64,
+    /// Solves offered a warm-start snapshot ([`WarmMode::Batch`] siblings
+    /// and [`crate::incremental::IncrementalSolver`] re-solves).
+    pub warm_attempts: u64,
+    /// Warm attempts that installed and certified warm.
+    pub warm_hits: u64,
+    /// Pivots saved by warm hits versus each hit's cold reference solve
+    /// (the group representative / the shape's first cold solve), floored
+    /// at zero per solve.
+    pub warm_pivots_saved: u64,
 }
 
 impl LpTelemetry {
@@ -300,6 +375,9 @@ impl LpTelemetry {
             sharded_solves: self.sharded_solves - earlier.sharded_solves,
             components: self.components - earlier.components,
             max_component_vars: self.max_component_vars,
+            warm_attempts: self.warm_attempts - earlier.warm_attempts,
+            warm_hits: self.warm_hits - earlier.warm_hits,
+            warm_pivots_saved: self.warm_pivots_saved - earlier.warm_pivots_saved,
         }
     }
 }
@@ -319,10 +397,28 @@ pub fn lp_telemetry() -> LpTelemetry {
         sharded_solves: LP_SHARDED_SOLVES.load(Ordering::Relaxed),
         components: LP_COMPONENTS.load(Ordering::Relaxed),
         max_component_vars: LP_MAX_COMPONENT_VARS.load(Ordering::Relaxed),
+        warm_attempts: LP_WARM_ATTEMPTS.load(Ordering::Relaxed),
+        warm_hits: LP_WARM_HITS.load(Ordering::Relaxed),
+        warm_pivots_saved: LP_WARM_PIVOTS_SAVED.load(Ordering::Relaxed),
     }
 }
 
-fn record_solve(rep: &HybridReport) {
+/// Records one warm-start attempt into the process-wide telemetry: whether
+/// it hit, and (for hits) the pivots saved against `reference_pivots` —
+/// the cold pivot count of the solve the snapshot came from. Used by the
+/// batch planner below and by [`crate::incremental::IncrementalSolver`].
+pub(crate) fn record_warm_attempt(hit: bool, reference_pivots: u64, warm_pivots: u64) {
+    LP_WARM_ATTEMPTS.fetch_add(1, Ordering::Relaxed);
+    if hit {
+        LP_WARM_HITS.fetch_add(1, Ordering::Relaxed);
+        LP_WARM_PIVOTS_SAVED.fetch_add(
+            reference_pivots.saturating_sub(warm_pivots),
+            Ordering::Relaxed,
+        );
+    }
+}
+
+pub(crate) fn record_solve(rep: &HybridReport) {
     LP_SOLVES.fetch_add(1, Ordering::Relaxed);
     if rep.fallback {
         LP_FALLBACKS.fetch_add(1, Ordering::Relaxed);
@@ -341,7 +437,7 @@ fn revised_options(opts: &LpOptions) -> RevisedOptions {
     }
 }
 
-fn run_backend(lp: &LpProblem<Rat>, opts: &LpOptions) -> LpSolution<Rat> {
+pub(crate) fn run_backend(lp: &LpProblem<Rat>, opts: &LpOptions) -> LpSolution<Rat> {
     match opts.backend {
         LpBackend::Exact => solve(lp),
         LpBackend::Hybrid => {
@@ -484,17 +580,18 @@ struct ComponentSolution {
     objective: Rat,
 }
 
-/// Builds and solves one component's LP1 block with the configured
-/// backend. The construction mirrors the monolithic model exactly, so the
-/// all-covering component of [`DecomposeMode::Off`] reproduces the
-/// pre-sharding LP bit for bit.
-fn solve_component(
+/// Builds one component's LP1 block. Variable layout: the `Y` variables
+/// come first (ids `0..n_runs`, one per run of the component's range),
+/// then the `x_{I,j}` variables per member job in `comp.jobs` order. The
+/// construction mirrors the monolithic model exactly, so the all-covering
+/// component of [`DecomposeMode::Off`] reproduces the pre-sharding LP bit
+/// for bit.
+pub(crate) fn build_component_lp(
     inst: &Instance,
     opts: &LpOptions,
     runs: &[SlotRun],
     comp: &Component,
-    sharded: bool,
-) -> Result<ComponentSolution> {
+) -> LpProblem<Rat> {
     let crange = &runs[comp.run_lo..comp.run_hi];
     let mut lp: LpProblem<Rat> = LpProblem::new();
     // Y variables: total open mass per run, bounded by the run width — as
@@ -562,15 +659,20 @@ fn solve_component(
             Rat::from_int(inst.job(comp.jobs[cj]).length),
         );
     }
-    if sharded {
-        LP_MAX_COMPONENT_VARS.fetch_max(lp.num_vars() as u64, Ordering::Relaxed);
-    }
+    lp
+}
 
-    let sol = run_backend(&lp, opts);
+/// Converts a solved component LP into its [`ComponentSolution`] block
+/// (the `Y` values are the first `n_runs` variables by construction).
+fn finish_component(
+    comp: &Component,
+    n_runs: usize,
+    sol: LpSolution<Rat>,
+) -> Result<ComponentSolution> {
     match sol.status {
         LpStatus::Optimal => Ok(ComponentSolution {
             run_lo: comp.run_lo,
-            y_runs: y_vars.iter().map(|&v| sol.x[v]).collect(),
+            y_runs: sol.x[..n_runs].to_vec(),
             objective: sol.objective,
         }),
         LpStatus::Infeasible => Err(Error::Infeasible(
@@ -578,6 +680,182 @@ fn solve_component(
         )),
         LpStatus::Unbounded => unreachable!("LP1 objective is bounded below by 0"),
     }
+}
+
+/// Builds and solves one component's LP1 block with the configured
+/// backend (the cold path).
+fn solve_component(
+    inst: &Instance,
+    opts: &LpOptions,
+    runs: &[SlotRun],
+    comp: &Component,
+    sharded: bool,
+) -> Result<ComponentSolution> {
+    let lp = build_component_lp(inst, opts, runs, comp);
+    if sharded {
+        LP_MAX_COMPONENT_VARS.fetch_max(lp.num_vars() as u64, Ordering::Relaxed);
+    }
+    let sol = run_backend(&lp, opts);
+    finish_component(comp, comp.run_hi - comp.run_lo, sol)
+}
+
+/// A component's structural signature: run count plus, per member job (in
+/// `comp.jobs` order), the relative run range its window covers. Two
+/// components with equal signatures (under the same [`LpOptions`] and the
+/// same instance-wide `g`) build LPs with **identical standard-form
+/// structure** — same variable layout, same row sparsity pattern, same
+/// VUB families — differing only in data (run widths, job lengths), which
+/// is exactly what a [`BasisSnapshot`] can bridge.
+pub(crate) type ComponentSignature = (usize, Vec<(usize, usize)>);
+
+/// Computes the [`ComponentSignature`] of `comp` over `runs`.
+pub(crate) fn component_signature(
+    inst: &Instance,
+    runs: &[SlotRun],
+    comp: &Component,
+) -> ComponentSignature {
+    let crange = &runs[comp.run_lo..comp.run_hi];
+    let spans = comp
+        .jobs
+        .iter()
+        .map(|&j| {
+            let job = inst.job(j);
+            let lo = crange.partition_point(|run| run.start < job.release);
+            let hi = crange.partition_point(|run| run.end <= job.deadline);
+            (lo, hi)
+        })
+        .collect();
+    (crange.len(), spans)
+}
+
+/// Per-signature snapshot pool cap of the batch planner (and of the
+/// incremental solver's shape cache): small enough that a miss sweep
+/// stays cheap, large enough to cover the handful of distinct optimal
+/// vertices a family's siblings land on.
+pub(crate) const SNAPSHOT_POOL_CAP: usize = 8;
+
+/// Sibling wave sizes of the batch planner: the first wave per group is
+/// [`FIRST_WAVE`] members, doubling up to [`MAX_WAVE`]. Waves trade a
+/// little wall-clock batching latency for a growing snapshot pool: every
+/// sibling in wave `k` sees the snapshots contributed by waves `< k`
+/// (cold-resolved misses included), which lifts the hit rate far above
+/// what the lone representative snapshot achieves — and starting small
+/// fills the pool after only a handful of solves, so the bulk of the
+/// group already sees a diverse candidate set. Pool growth is
+/// deterministic — contributions are appended in sibling order, so pivot
+/// counts are exactly reproducible run to run.
+const FIRST_WAVE: usize = 4;
+/// Cap on the doubling wave size (see [`FIRST_WAVE`]).
+const MAX_WAVE: usize = 32;
+
+/// The batch planner ([`WarmMode::Batch`]): groups components by
+/// [`ComponentSignature`], solves one representative per group cold, and
+/// warm-starts the siblings from a per-group snapshot pool seeded by the
+/// representative and grown by every subsequent cold-resolved miss.
+/// Returns the component solutions in `comps` order. Exactness is
+/// untouched: warm or cold, every answer is certified in rationals.
+fn solve_components_batched(
+    inst: &Instance,
+    opts: &LpOptions,
+    runs: &[SlotRun],
+    comps: &[Component],
+) -> Vec<Result<ComponentSolution>> {
+    let ropts = revised_options(opts);
+    let mut groups: BTreeMap<ComponentSignature, Vec<usize>> = BTreeMap::new();
+    for (ci, comp) in comps.iter().enumerate() {
+        groups
+            .entry(component_signature(inst, runs, comp))
+            .or_default()
+            .push(ci);
+    }
+    let group_members: Vec<Vec<usize>> = groups.into_values().collect();
+    // Phase A — representatives (the first member of each group) solve
+    // cold, in parallel across groups.
+    let rep_ids: Vec<usize> = group_members.iter().map(|g| g[0]).collect();
+    let rep_outs: Vec<(Result<ComponentSolution>, Option<BasisSnapshot>, u64)> =
+        parallel_map(rep_ids, |ci| {
+            let comp = &comps[ci];
+            let lp = build_component_lp(inst, opts, runs, comp);
+            LP_MAX_COMPONENT_VARS.fetch_max(lp.num_vars() as u64, Ordering::Relaxed);
+            let wr = solve_revised_warm(&lp, &ropts, &[]);
+            record_solve(&wr.report);
+            let pivots = wr.report.stats.pivots;
+            (
+                finish_component(comp, comp.run_hi - comp.run_lo, wr.report.solution),
+                wr.snapshot,
+                pivots,
+            )
+        });
+    let mut out: Vec<Option<Result<ComponentSolution>>> = (0..comps.len()).map(|_| None).collect();
+    // Phase B — siblings, in parallel waves per group. Waves across groups
+    // run in one parallel_map so small groups don't serialize the sweep.
+    let mut pools: Vec<(Vec<BasisSnapshot>, u64)> = Vec::with_capacity(group_members.len());
+    for (members, (sol, snap, pivots)) in group_members.iter().zip(rep_outs) {
+        let mut pool = Vec::new();
+        if let Some(s) = snap {
+            pool.push(s);
+        }
+        out[members[0]] = Some(sol);
+        pools.push((pool, pivots));
+    }
+    let mut offset = 1usize; // member index within each group
+    let mut wave_len = FIRST_WAVE;
+    loop {
+        // One wave: up to `wave_len` further members of every group.
+        let mut batch: Vec<(usize, usize)> = Vec::new(); // (comp idx, group idx)
+        for (gi, members) in group_members.iter().enumerate() {
+            for &ci in members.iter().skip(offset).take(wave_len) {
+                batch.push((ci, gi));
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+        let pools_ref = &pools;
+        // Per sibling: its component index, its group, its solved block,
+        // and — for misses — the snapshot it contributes to the pool.
+        type SiblingOutcome = (
+            usize,
+            usize,
+            Result<ComponentSolution>,
+            Option<BasisSnapshot>,
+        );
+        let wave_outs: Vec<SiblingOutcome> = parallel_map(batch, |(ci, gi)| {
+            let comp = &comps[ci];
+            let lp = build_component_lp(inst, opts, runs, comp);
+            LP_MAX_COMPONENT_VARS.fetch_max(lp.num_vars() as u64, Ordering::Relaxed);
+            let (pool, rep_pivots) = &pools_ref[gi];
+            let wr = solve_revised_warm(&lp, &ropts, pool);
+            record_solve(&wr.report);
+            // An empty pool (the representative fell back to the dense
+            // exact solver) means the sibling was never *offered* a
+            // snapshot — don't count a phantom attempt.
+            if !pool.is_empty() {
+                record_warm_attempt(wr.warm_hit, *rep_pivots, wr.report.stats.pivots);
+            }
+            let contribute = if wr.warm_hit { None } else { wr.snapshot };
+            (
+                ci,
+                gi,
+                finish_component(comp, comp.run_hi - comp.run_lo, wr.report.solution),
+                contribute,
+            )
+        });
+        for (ci, gi, sol, contribute) in wave_outs {
+            out[ci] = Some(sol);
+            if let Some(s) = contribute {
+                let pool = &mut pools[gi].0;
+                if pool.len() < SNAPSHOT_POOL_CAP {
+                    pool.push(s);
+                }
+            }
+        }
+        offset += wave_len;
+        wave_len = (wave_len * 2).min(MAX_WAVE);
+    }
+    out.into_iter()
+        .map(|s| s.expect("every component solved"))
+        .collect()
 }
 
 /// Builds and solves `LP1` for `inst` with the default options
@@ -608,7 +886,12 @@ pub fn solve_active_lp_with(inst: &Instance, opts: &LpOptions) -> Result<ActiveL
         LP_SHARDED_SOLVES.fetch_add(1, Ordering::Relaxed);
         LP_COMPONENTS.fetch_add(comps.len() as u64, Ordering::Relaxed);
     }
-    let solved: Vec<Result<ComponentSolution>> = if sharded {
+    // Warm batching applies to sharded solves on the revised backend; the
+    // other backends have no warm entry point and solve cold.
+    let batch = sharded && opts.warm == WarmMode::Batch && opts.backend == LpBackend::Revised;
+    let solved: Vec<Result<ComponentSolution>> = if batch {
+        solve_components_batched(inst, opts, &runs, &comps)
+    } else if sharded {
         parallel_map(comps, |comp| {
             solve_component(inst, opts, &runs, &comp, true)
         })
@@ -629,20 +912,27 @@ pub fn solve_active_lp_with(inst: &Instance, opts: &LpOptions) -> Result<ActiveL
         }
         objective = objective.add(&cs.objective);
     }
-    // Uniform exact disaggregation back to per-slot y.
-    let mut y: Vec<Rat> = Vec::with_capacity(slots.len());
-    for (ri, run) in runs.iter().enumerate() {
-        let share = y_runs[ri].div(&Rat::from_int(run.width()));
-        for _ in 0..run.width() {
-            y.push(share);
-        }
-    }
+    let y = disaggregate(&runs, &y_runs);
     debug_assert_eq!(y.len(), slots.len());
     Ok(ActiveLp {
         slots,
         y,
         objective,
     })
+}
+
+/// Uniform exact disaggregation of per-run `Y` mass back to per-slot `y`
+/// (`y_t = Y_I / w_I` on every slot of run `I`).
+pub(crate) fn disaggregate(runs: &[SlotRun], y_runs: &[Rat]) -> Vec<Rat> {
+    let total: i64 = runs.iter().map(SlotRun::width).sum();
+    let mut y: Vec<Rat> = Vec::with_capacity(total as usize);
+    for (ri, run) in runs.iter().enumerate() {
+        let share = y_runs[ri].div(&Rat::from_int(run.width()));
+        for _ in 0..run.width() {
+            y.push(share);
+        }
+    }
+    y
 }
 
 /// Checks whether a *fractional* assignment exists for all jobs given fixed
@@ -692,8 +982,8 @@ mod tests {
     use super::*;
 
     /// A grid over backends × bound encodings × VUB encodings ×
-    /// decomposition (plus both model shapes).
-    fn all_options() -> [LpOptions; 11] {
+    /// decomposition × warm batching (plus both model shapes).
+    fn all_options() -> [LpOptions; 12] {
         [
             LpOptions::seed_exact(),
             LpOptions {
@@ -737,6 +1027,7 @@ mod tests {
                 coalesce: false,
                 ..LpOptions::default()
             },
+            LpOptions::warm_batched(),
             LpOptions::default(),
         ]
     }
@@ -1015,6 +1306,61 @@ mod tests {
         assert_eq!(comps[0].run_lo, 0);
         assert_eq!(comps[0].run_hi, runs.len());
         assert_eq!(comps[0].jobs, vec![0, 1]);
+    }
+
+    #[test]
+    fn warm_batched_matches_cold_and_records_telemetry() {
+        // Six identically-shaped singleton stripes with distinct lengths:
+        // the batch planner groups them into one signature group, solves
+        // the first cold, and warm-starts the other five.
+        let triples: Vec<(i64, i64, i64)> =
+            (0..6).map(|k| (10 * k, 10 * k + 6, 1 + k % 4)).collect();
+        let inst = Instance::from_triples(triples, 2).unwrap();
+        let before = lp_telemetry();
+        let warm = solve_active_lp_with(&inst, &LpOptions::warm_batched()).unwrap();
+        let d = lp_telemetry().delta(&before);
+        let cold = solve_active_lp_with(&inst, &LpOptions::default()).unwrap();
+        assert_eq!(warm.objective, cold.objective, "warm ≡ cold, bit for bit");
+        assert_eq!(warm.y.len(), cold.y.len());
+        assert!(
+            d.warm_attempts >= 5,
+            "five siblings attempted, got {}",
+            d.warm_attempts
+        );
+        assert!(d.warm_hits >= 1, "identically-shaped siblings must hit");
+        assert!(d.warm_hits <= d.warm_attempts);
+    }
+
+    #[test]
+    fn warm_batched_on_connected_instance_is_plain_monolithic() {
+        // One component: batching never engages (nothing to group), and
+        // the answer matches the default path exactly. (No exact-zero
+        // telemetry assertions: the counters are process-global atomics
+        // and sibling tests solve sharded instances concurrently.)
+        let inst = Instance::from_triples([(0, 4, 2), (2, 8, 3), (6, 12, 2)], 2).unwrap();
+        let warm = solve_active_lp_with(&inst, &LpOptions::warm_batched()).unwrap();
+        let cold = solve_active_lp_with(&inst, &LpOptions::default()).unwrap();
+        assert_eq!(warm.objective, cold.objective);
+    }
+
+    #[test]
+    fn component_signatures_group_structural_twins() {
+        // Two stripes with the same window layout but different lengths
+        // share a signature; a third with a different layout does not.
+        let inst = Instance::from_triples(
+            [(0, 6, 2), (1, 5, 1), (20, 26, 4), (21, 25, 2), (40, 43, 1)],
+            2,
+        )
+        .unwrap();
+        let runs = slot_runs(&inst, true);
+        let comps = components(&inst, &runs, DecomposeMode::Auto);
+        assert_eq!(comps.len(), 3);
+        let sigs: Vec<_> = comps
+            .iter()
+            .map(|c| component_signature(&inst, &runs, c))
+            .collect();
+        assert_eq!(sigs[0], sigs[1], "structural twins share a signature");
+        assert_ne!(sigs[0], sigs[2]);
     }
 
     #[test]

@@ -51,7 +51,9 @@
 //! | `lp_certify_ms`  | number | optional (0) | exact-certification wall time; informational |
 //! | `lp_components`  | number | optional (0) | component sub-LPs solved by sharded (`DecomposeMode::Auto`) solves during the experiment |
 //! | `lp_max_component_vars` | number | optional (0) | largest component sub-LP's variable count: 0 when the experiment sharded nothing (`lp_components` = 0), otherwise the process-wide high-water mark at snapshot time |
-//! | `speedup`        | number | optional (absent) | an experiment-defined headline ratio — `e21` records its Auto-vs-Off LP1 speedup here; absent for experiments without one. Informational (wall-clock; the deterministic effort counters are what CI gates) |
+//! | `warm_hits`      | number | optional (0) | warm-start attempts that installed and certified warm (batched siblings + incremental re-solves); 0 for experiments that never warm-start. Informational — the warm *benefit* is gated through `e22`'s `lp_pivots` |
+//! | `warm_pivots_saved` | number | optional (0) | pivots saved by those hits versus each hit's cold reference solve (floored at zero per solve); informational |
+//! | `speedup`        | number | optional (absent) | an experiment-defined headline ratio — `e21` records its Auto-vs-Off LP1 wall-clock speedup, `e22` its cold/warm pivot-effort ratio; absent for experiments without one. Informational (the deterministic effort counters are what CI gates) |
 //!
 //! # Parsing
 //!
@@ -118,8 +120,14 @@ pub struct ExperimentRecord {
     pub lp_components: u64,
     /// High-water mark of the largest component sub-LP's variable count.
     pub lp_max_component_vars: u64,
+    /// Warm-start attempts that installed and certified warm during the
+    /// experiment (0 for experiments that never warm-start).
+    pub warm_hits: u64,
+    /// Pivots saved by those warm hits versus their cold reference solves.
+    pub warm_pivots_saved: u64,
     /// Experiment-defined headline ratio (e.g. `e21`'s Auto-vs-Off LP1
-    /// speedup); `None` for experiments without one.
+    /// speedup, `e22`'s cold/warm pivot-effort ratio); `None` for
+    /// experiments without one.
     pub speedup: Option<f64>,
 }
 
@@ -191,7 +199,8 @@ impl BenchRecord {
                     "    {{\"id\": \"{}\", \"wall_ms\": {:.3}, \"lp_solves\": {}, ",
                     "\"fallback_rate\": {:.4}, \"lp_pivots\": {}, \"lp_bound_flips\": {}, ",
                     "\"lp_refactorizations\": {}, \"lp_certify_ms\": {:.3}, ",
-                    "\"lp_components\": {}, \"lp_max_component_vars\": {}{}}}{}\n"
+                    "\"lp_components\": {}, \"lp_max_component_vars\": {}, ",
+                    "\"warm_hits\": {}, \"warm_pivots_saved\": {}{}}}{}\n"
                 ),
                 esc(&e.id),
                 e.wall_ms,
@@ -203,6 +212,8 @@ impl BenchRecord {
                 e.lp_certify_ms,
                 e.lp_components,
                 e.lp_max_component_vars,
+                e.warm_hits,
+                e.warm_pivots_saved,
                 speedup,
                 if i + 1 < self.experiments.len() {
                     ","
@@ -265,6 +276,8 @@ impl BenchRecord {
                 lp_certify_ms: opt_num(e, "lp_certify_ms"),
                 lp_components: opt_num(e, "lp_components") as u64,
                 lp_max_component_vars: opt_num(e, "lp_max_component_vars") as u64,
+                warm_hits: opt_num(e, "warm_hits") as u64,
+                warm_pivots_saved: opt_num(e, "warm_pivots_saved") as u64,
                 speedup: e.get("speedup").and_then(|v| v.as_f64("speedup").ok()),
             });
         }
@@ -506,6 +519,8 @@ mod tests {
                     lp_certify_ms: 0.0,
                     lp_components: 0,
                     lp_max_component_vars: 0,
+                    warm_hits: 0,
+                    warm_pivots_saved: 0,
                     speedup: None,
                 },
                 ExperimentRecord {
@@ -519,6 +534,8 @@ mod tests {
                     lp_certify_ms: 1.25,
                     lp_components: 24,
                     lp_max_component_vars: 96,
+                    warm_hits: 7,
+                    warm_pivots_saved: 120,
                     speedup: Some(3.75),
                 },
             ],
@@ -545,6 +562,8 @@ mod tests {
         assert!((back.experiments[1].wall_ms - 3.351).abs() < 1e-9);
         assert_eq!(back.experiments[1].lp_components, 24);
         assert_eq!(back.experiments[1].lp_max_component_vars, 96);
+        assert_eq!(back.experiments[1].warm_hits, 7);
+        assert_eq!(back.experiments[1].warm_pivots_saved, 120);
         assert_eq!(back.experiments[0].speedup, None);
         assert!((back.experiments[1].speedup.unwrap() - 3.75).abs() < 1e-9);
     }
@@ -569,6 +588,8 @@ mod tests {
         assert_eq!(rec.experiments[0].lp_solves, 4);
         assert_eq!(rec.experiments[0].lp_components, 0);
         assert_eq!(rec.experiments[0].lp_max_component_vars, 0);
+        assert_eq!(rec.experiments[0].warm_hits, 0);
+        assert_eq!(rec.experiments[0].warm_pivots_saved, 0);
         assert_eq!(rec.experiments[0].speedup, None);
     }
 

@@ -112,6 +112,7 @@ fn main() {
         ("e19", experiments::e19),
         ("e20", experiments::e20),
         ("e21", experiments::e21),
+        ("e22", experiments::e22),
     ];
     let mut records: Vec<ExperimentRecord> = Vec::new();
     for (id, f) in fns {
@@ -146,12 +147,14 @@ fn main() {
                 } else {
                     d.max_component_vars
                 },
+                warm_hits: d.warm_hits,
+                warm_pivots_saved: d.warm_pivots_saved,
                 speedup: report.speedup,
             });
         }
     }
     if records.is_empty() {
-        eprintln!("unknown experiment ids {selected:?}; available: e1..e21");
+        eprintln!("unknown experiment ids {selected:?}; available: e1..e22");
         std::process::exit(2);
     }
     if write_json {

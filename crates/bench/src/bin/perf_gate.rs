@@ -16,15 +16,17 @@
 //! * the fresh candidate solve needed the exact fallback, or
 //! * any experiment (all current workloads are non-adversarial) reports a
 //!   `fallback_rate > 0`, or
-//! * the VUB-heavy sweep (`e20`) or the decomposition-scaling sweep
-//!   (`e21`) appears in both records and its fresh *solve effort* — pivot
-//!   or LU-refactorization counts, which are deterministic per instance
-//!   and machine-independent, unlike wall time under `parallel_map` —
-//!   regresses more than 30% above the committed one (override the 1.3
-//!   factor with `--max-e20-ratio`). A refactor blow-up is exactly how a
-//!   broken glue-eta path shows up; an e21 pivot blow-up is how a broken
-//!   component split shows up (a wrong merge sends whole clusters back
-//!   into one basis).
+//! * the VUB-heavy sweep (`e20`), the decomposition-scaling sweep
+//!   (`e21`), or the warm-start sweep (`e22`) appears in both records and
+//!   its fresh *solve effort* — pivot or LU-refactorization counts, which
+//!   are deterministic per instance and machine-independent, unlike wall
+//!   time under `parallel_map` — regresses more than 30% above the
+//!   committed one (override the 1.3 factor with `--max-e20-ratio`). A
+//!   refactor blow-up is exactly how a broken glue-eta path shows up; an
+//!   e21 pivot blow-up is how a broken component split shows up (a wrong
+//!   merge sends whole clusters back into one basis); an e22 pivot
+//!   blow-up is how a broken snapshot install shows up (every sibling
+//!   silently re-solving cold).
 //!
 //! Comparison is field-by-field through [`abt_bench::bench_record`], not
 //! text diffing, so timing noise in unrelated fields never trips the gate.
@@ -111,11 +113,11 @@ fn main() {
             ));
         }
     }
-    // The VUB-heavy (e20) and decomposition-scaling (e21) sweeps are
-    // solve-effort gated when both records carry them:
+    // The VUB-heavy (e20), decomposition-scaling (e21), and warm-start
+    // (e22) sweeps are solve-effort gated when both records carry them:
     // pivot/refactorization counts are deterministic per instance, so any
     // excess is an algorithmic regression, never machine noise.
-    for gated_id in ["e20", "e21"] {
+    for gated_id in ["e20", "e21", "e22"] {
         let row = |rec: &BenchRecord| rec.experiments.iter().find(|e| e.id == gated_id).cloned();
         let (Some(ce), Some(fe)) = (row(&committed), row(&fresh)) else {
             continue;

@@ -5,21 +5,26 @@
 //! abt bounds <file>                  print lower bounds
 //! abt active <file> <algo>           minimal|rounding|exact|unit
 //! abt busy <file> <algo>             ff|gt|kr|ab|exact|preempt
+//! abt incremental [clusters] [jobs_per_cluster] [seed]
+//!                                    replay an online-arrivals trace
+//!                                    through the incremental LP1 solver
 //! ```
 //!
 //! Instance files use the `abt-core::io` text format (`g <k>` then one
 //! `job <r> <d> <p>` per line; `#` comments allowed).
 
 use abt_active::{
-    exact_active_time, exact_unit_active_time, lp_rounding, minimal_feasible, ClosingOrder,
+    exact_active_time, exact_unit_active_time, lp_rounding, lp_telemetry, minimal_feasible,
+    ClosingOrder, IncrementalSolver,
 };
 use abt_busy::{
     exact_busy_time, preemptive_bounded, preemptive_unbounded, solve_flexible, IntervalAlgo,
 };
 use abt_core::{active_lower_bound, busy_lower_bounds, io, Instance};
 use abt_workloads::{
-    fig1_example, fig3_minimal_tight, integrality_gap, optical_trace, random_flexible,
-    random_interval, vm_trace, OpticalTraceConfig, RandomConfig, VmTraceConfig,
+    fig1_example, fig3_minimal_tight, integrality_gap, online_arrivals, optical_trace,
+    random_flexible, random_interval, vm_trace, OnlineArrivalsConfig, OpticalTraceConfig,
+    RandomConfig, VmTraceConfig,
 };
 use std::process::ExitCode;
 
@@ -32,7 +37,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage:\n  abt gen <interval|flexible|vm|optical|fig1|fig3|gap> [seed]\n  \
                  abt bounds <file>\n  abt active <file> <minimal|rounding|exact|unit>\n  \
-                 abt busy <file> <ff|gt|kr|ab|exact|preempt>"
+                 abt busy <file> <ff|gt|kr|ab|exact|preempt>\n  \
+                 abt incremental [clusters] [jobs_per_cluster] [seed]"
             );
             ExitCode::from(2)
         }
@@ -153,6 +159,52 @@ fn run(args: &[&str]) -> Result<(), String> {
                     println!("machine {m}: {:?}", b.items);
                 }
             }
+            Ok(())
+        }
+        ["incremental", rest @ ..] => {
+            let parse_at = |i: usize, default: u64| -> Result<u64, String> {
+                rest.get(i).map_or(Ok(default), |s| {
+                    s.parse().map_err(|_| format!("bad argument '{s}'"))
+                })
+            };
+            let cfg = OnlineArrivalsConfig {
+                clusters: parse_at(0, 8)? as usize,
+                jobs_per_cluster: parse_at(1, 4)? as usize,
+                ..Default::default()
+            };
+            let seed = parse_at(2, 0)?;
+            let oa = online_arrivals(&cfg, seed);
+            println!(
+                "online-arrivals trace: {} jobs into {} stripes (g = {}, {} templates, seed {seed})",
+                oa.jobs.len(),
+                cfg.clusters,
+                oa.g,
+                cfg.templates
+            );
+            let before = lp_telemetry();
+            let mut solver = IncrementalSolver::new(oa.g).map_err(|e| e.to_string())?;
+            for (i, job) in oa.jobs.iter().enumerate() {
+                solver.add_job(*job);
+                let rep = solver.solve().map_err(|e| e.to_string())?;
+                println!(
+                    "arrival {i:>3}: job [{:>4}, {:>4}) len {} → LP1 = {}  \
+                     (components {}, reused {}, warm {}/{}, cold {})",
+                    job.release,
+                    job.deadline,
+                    job.length,
+                    rep.lp.objective,
+                    rep.components,
+                    rep.reused,
+                    rep.warm_hits,
+                    rep.warm_attempts,
+                    rep.cold_solves
+                );
+            }
+            let d = lp_telemetry().delta(&before);
+            println!(
+                "replay totals: {} LP solves, {} pivots, warm {}/{} hits ({} pivots saved), {} fallbacks",
+                d.solves, d.pivots, d.warm_hits, d.warm_attempts, d.warm_pivots_saved, d.fallbacks
+            );
             Ok(())
         }
         _ => Err("missing or unknown subcommand".into()),

@@ -74,6 +74,7 @@ use crate::arena::SolveArena;
 use crate::lu::SparseLu;
 use crate::model::{Cmp, LpProblem};
 use crate::scalar::Scalar;
+use crate::warm::BasisSnapshot;
 
 /// Entering tolerance on reduced costs.
 const ENTER_TOL: f64 = 1e-9;
@@ -88,6 +89,11 @@ const REFACTOR_EVERY: usize = 128;
 /// entering column), so refactorization also triggers once applying the
 /// file costs more than a handful of dense passes.
 const ETA_NNZ_PER_ROW: usize = 12;
+/// Primal-feasibility tolerance of the warm-start install check (mirrors
+/// the phase-1 infeasibility threshold): a snapshot whose recomputed basic
+/// values violate a bound by more than this cannot seed a primal phase-2
+/// run and falls back to the cold two-phase solve.
+const WARM_FEAS_TOL: f64 = 1e-7;
 
 /// Where a variable currently rests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -455,6 +461,108 @@ impl<'a> Rev<'a> {
         }
     }
 
+    /// Attempts to install a [`BasisSnapshot`] taken from a structurally
+    /// identical problem: validates the snapshot's states against this
+    /// standard form, adopts its basis/state vectors, refactorizes the
+    /// (key-column-augmented) basis **once** to validate it, and checks
+    /// the recomputed basic values are primal feasible for *this*
+    /// problem's data (within [`WARM_FEAS_TOL`]; exactness comes from the
+    /// caller's rational certification, never from here). On success the
+    /// solver is ready for a phase-2 run — artificials are barred and
+    /// every basic artificial sits at (numerical) zero, so the installed
+    /// basis is a feasible starting basis and phase 1 is skipped.
+    ///
+    /// Returns `false` on any failed check; the caller must then give the
+    /// checked-out scratch back via [`Rev::finish`] before falling back to
+    /// a cold solve — a failed install may leave `basis`/`state`
+    /// half-adopted, which `finish(Stalled)` discards.
+    fn install_snapshot(&mut self, snap: &BasisSnapshot) -> bool {
+        let sf = self.sf;
+        if snap.m != sf.m
+            || snap.ncols != sf.ncols
+            || snap.basis.len() != sf.m
+            || snap.state.len() != sf.ncols
+        {
+            return false;
+        }
+        // State consistency against this form: finite bounds where states
+        // claim them, VUBs where glue states claim them, flat families,
+        // exactly m basic columns matching the basis vector.
+        let mut basic_count = 0usize;
+        for j in 0..sf.ncols {
+            match snap.state[j] {
+                VarState::Basic => basic_count += 1,
+                VarState::AtUpper => {
+                    if sf.upper[j].is_none() {
+                        return false;
+                    }
+                }
+                VarState::AtVub => {
+                    let Some(k) = sf.vub[j] else { return false };
+                    if snap.state[k] == VarState::AtVub {
+                        return false;
+                    }
+                }
+                VarState::AtLower => {}
+            }
+        }
+        if basic_count != sf.m {
+            return false;
+        }
+        let mut pos = vec![usize::MAX; sf.ncols];
+        for (i, &j) in snap.basis.iter().enumerate() {
+            if j >= sf.ncols || snap.state[j] != VarState::Basic || pos[j] != usize::MAX {
+                return false;
+            }
+            pos[j] = i;
+        }
+        // Adopt the snapshot and validate with one refactorization.
+        self.basis.copy_from_slice(&snap.basis);
+        self.state.copy_from_slice(&snap.state);
+        self.pos = pos;
+        let Some(lu) = SparseLu::factor(sf.m, &self.basis_cols()) else {
+            return false; // singular for this data
+        };
+        self.lu = lu;
+        self.refactorizations += 1;
+        self.recompute_xb();
+        // Primal feasibility of the recomputed basic values: bounds,
+        // VUB caps (against basic or resting keys), artificials at zero.
+        for i in 0..sf.m {
+            let vi = self.basis[i];
+            let x = self.xb[i];
+            if x < -WARM_FEAS_TOL {
+                return false;
+            }
+            if sf.artificial[vi] && x.abs() > WARM_FEAS_TOL {
+                return false;
+            }
+            if let Some(u) = sf.upper[vi] {
+                if x > u + WARM_FEAS_TOL {
+                    return false;
+                }
+            }
+            if let Some(k) = sf.vub[vi] {
+                let kv = if self.pos[k] == usize::MAX {
+                    self.key_rest_value(k)
+                } else {
+                    self.xb[self.pos[k]]
+                };
+                if x > kv + WARM_FEAS_TOL {
+                    return false;
+                }
+            }
+        }
+        // Phase 1 is skipped: bar every artificial from re-entering (the
+        // phase-2 ratio test additionally freezes the basic ones at 0).
+        for j in 0..sf.ncols {
+            if sf.artificial[j] {
+                self.barred[j] = true;
+            }
+        }
+        true
+    }
+
     /// The sparse eta column for `w` from the arena pool: keeps the pivot
     /// entry at `r` unconditionally and drops other near-zero entries.
     fn sparse_eta(&mut self, w: &[f64], r: usize) -> Vec<(usize, f64)> {
@@ -598,6 +706,18 @@ impl<'a> Rev<'a> {
         self.etas.len() >= REFACTOR_EVERY || self.eta_nnz >= ETA_NNZ_PER_ROW * self.sf.m
     }
 
+    /// Recycles the iteration's dense temporaries on an early return from
+    /// the pivot loop, so terminal iterations (optimality, unboundedness,
+    /// refactorization failure) pool their scratch exactly like ordinary
+    /// ones — without this, every `optimize` call would drop one or two
+    /// buffers and the steady state of a solve-per-call workload would
+    /// allocate fresh ones each time.
+    fn recycle(&mut self, w: Vec<f64>, y: Vec<f64>, out: StepOutcome) -> StepOutcome {
+        self.arena.give_f64(w);
+        self.arena.give_f64(y);
+        out
+    }
+
     /// Plain reduced cost `d_j = c_j − y·A_j`.
     fn reduced(&self, cost: &[f64], y: &[f64], j: usize) -> f64 {
         let mut d = cost[j];
@@ -721,6 +841,7 @@ impl<'a> Rev<'a> {
             let y = self.btran(&cb);
             self.cb = cb;
             let Some(q) = self.price(cost, &y, bland, window) else {
+                self.arena.give_f64(y);
                 return StepOutcome::Optimal;
             };
             // Direction: +1 when rising from the lower bound, −1 when
@@ -933,7 +1054,7 @@ impl<'a> Rev<'a> {
                 }
             }
             if t_best.is_infinite() {
-                return StepOutcome::Unbounded;
+                return self.recycle(w, y, StepOutcome::Unbounded);
             }
             if t_best <= ENTER_TOL {
                 degenerate_run += 1;
@@ -1021,7 +1142,7 @@ impl<'a> Rev<'a> {
                     bump(&mut col, pk, 1.0);
                     self.push_eta(pk, col);
                     if self.eta_file_full() && !self.refactor() {
-                        return StepOutcome::Stalled;
+                        return self.recycle(w, y, StepOutcome::Stalled);
                     }
                 }
                 Hit::FlipUnglue => {
@@ -1047,7 +1168,7 @@ impl<'a> Rev<'a> {
                     bump(&mut col, pk, 1.0);
                     self.push_eta(pk, col);
                     if self.eta_file_full() && !self.refactor() {
-                        return StepOutcome::Stalled;
+                        return self.recycle(w, y, StepOutcome::Stalled);
                     }
                 }
                 Hit::Leave(r, to) => {
@@ -1080,7 +1201,7 @@ impl<'a> Rev<'a> {
                         let den = 1.0 - w[pk];
                         if den.abs() <= PIV_TOL {
                             if !self.refactor() {
-                                return StepOutcome::Stalled;
+                                return self.recycle(w, y, StepOutcome::Stalled);
                             }
                         } else {
                             let mut neg = self.arena.take_f64(m, 0.0);
@@ -1099,7 +1220,7 @@ impl<'a> Rev<'a> {
                             if w2[r].abs() <= PIV_TOL {
                                 self.arena.give_f64(w2);
                                 if !self.refactor() {
-                                    return StepOutcome::Stalled;
+                                    return self.recycle(w, y, StepOutcome::Stalled);
                                 }
                             } else {
                                 let col = self.sparse_eta(&w2, r);
@@ -1112,7 +1233,7 @@ impl<'a> Rev<'a> {
                         self.push_eta(r, col);
                     }
                     if self.eta_file_full() && !self.refactor() {
-                        return StepOutcome::Stalled;
+                        return self.recycle(w, y, StepOutcome::Stalled);
                     }
                 }
                 Hit::LeaveGlue(r) => {
@@ -1147,7 +1268,7 @@ impl<'a> Rev<'a> {
                         // shrinks, the new glue, the install): rare —
                         // refactorize.
                         if !self.refactor() {
-                            return StepOutcome::Stalled;
+                            return self.recycle(w, y, StepOutcome::Stalled);
                         }
                     } else if pk != usize::MAX {
                         // Key basic at pk: eta1 = (pk, e_r + e_pk) grows
@@ -1174,13 +1295,12 @@ impl<'a> Rev<'a> {
                         self.push_eta(r, col);
                     }
                     if self.eta_file_full() && !self.refactor() {
-                        return StepOutcome::Stalled;
+                        return self.recycle(w, y, StepOutcome::Stalled);
                     }
                 }
             }
-            // Recycle the iteration's dense temporaries (paths that
-            // returned above simply skip the pooling — correct, just
-            // unpooled).
+            // Recycle the iteration's dense temporaries (terminal paths
+            // above recycle through [`Rev::recycle`]).
             self.arena.give_f64(w);
             self.arena.give_f64(y);
         }
@@ -1236,6 +1356,47 @@ pub fn solve_bounded_f64(sf: &StandardForm<f64>) -> BoundedBasis {
 /// [`SolveArena`].
 pub fn solve_bounded_f64_with(sf: &StandardForm<f64>, opts: &BoundedOptions) -> BoundedBasis {
     crate::arena::with_arena(|arena| solve_bounded_pooled(sf, opts, arena))
+}
+
+/// Warm-started bounded solve: installs `snap` (validating the states
+/// against this standard form, refactorizing the augmented basis once,
+/// and checking primal feasibility of the recomputed basic values) and,
+/// on success, runs **phase 2 only** from the installed basis — the
+/// installed basis is feasible with artificials at zero, so phase 1 is
+/// skipped. Returns `None` when the snapshot cannot be
+/// installed for this problem (shape drift, singular basis, primal
+/// infeasibility) — the caller must fall back to the cold two-phase solve.
+/// Like [`solve_bounded_f64_with`], an `Optimal` result is a *proposal*
+/// that must be verified exactly.
+pub fn solve_bounded_f64_warm_with(
+    sf: &StandardForm<f64>,
+    opts: &BoundedOptions,
+    snap: &BasisSnapshot,
+) -> Option<BoundedBasis> {
+    crate::arena::with_arena(|arena| solve_bounded_warm_pooled(sf, opts, snap, arena))
+}
+
+/// [`solve_bounded_f64_warm_with`] against an explicit arena.
+pub(crate) fn solve_bounded_warm_pooled(
+    sf: &StandardForm<f64>,
+    opts: &BoundedOptions,
+    snap: &BasisSnapshot,
+    arena: &mut SolveArena,
+) -> Option<BoundedBasis> {
+    let mut rev = Rev::new(sf, arena)?;
+    if !rev.install_snapshot(snap) {
+        // The early-exit path of a failed install: `finish` gives every
+        // checked-out buffer (dense scratch and any eta columns) back to
+        // the arena before the caller falls back to the cold solve.
+        rev.finish(BoundedStatus::Stalled);
+        return None;
+    }
+    let status = match rev.optimize(&sf.cost, true, opts.pricing_window) {
+        StepOutcome::Optimal => BoundedStatus::Optimal,
+        StepOutcome::Unbounded => BoundedStatus::Unbounded,
+        StepOutcome::Stalled => BoundedStatus::Stalled,
+    };
+    Some(rev.finish(status))
 }
 
 fn solve_bounded_pooled(

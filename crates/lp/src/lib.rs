@@ -11,7 +11,11 @@
 //! ([`bounds`]), partial pricing, exact verification through a sparse
 //! rational LU of the (key-column-augmented) basis matrix ([`lu`]), and
 //! per-thread scratch reuse through the slab arena ([`arena`]) — the
-//! default path for the active-time LPs.
+//! default path for the active-time LPs. The [`warm`] module adds
+//! **warm starts**: [`BasisSnapshot`]s of finished solves re-installed
+//! into structurally identical problems ([`solve_revised_warm`]), with
+//! the same exact certification, so streams of sibling LPs skip most of
+//! the pivot work.
 //!
 //! The allowed offline dependency set contains no LP solver (the paper's
 //! reproduction band notes the thin LP ecosystem), so this crate implements
@@ -58,11 +62,12 @@ pub mod model;
 pub mod rational;
 pub mod scalar;
 pub mod simplex;
+pub mod warm;
 
 pub use arena::{with_arena, ArenaStats, SolveArena};
 pub use bounds::{
-    solve_bounded_f64, solve_bounded_f64_with, BoundedBasis, BoundedOptions, BoundedStatus,
-    StandardForm, VarState, DEFAULT_PRICING_WINDOW,
+    solve_bounded_f64, solve_bounded_f64_warm_with, solve_bounded_f64_with, BoundedBasis,
+    BoundedOptions, BoundedStatus, StandardForm, VarState, DEFAULT_PRICING_WINDOW,
 };
 pub use lu::SparseLu;
 pub use model::{Cmp, Constraint, LpProblem, VarId};
@@ -72,3 +77,4 @@ pub use simplex::{
     solve, solve_hybrid, solve_hybrid_report, solve_revised, solve_revised_report,
     solve_revised_with, HybridReport, LpSolution, LpStatus, RevisedOptions, SolveStats,
 };
+pub use warm::{solve_revised_warm, BasisSnapshot, WarmReport};

@@ -566,7 +566,7 @@ pub fn solve<S: Scalar>(lp: &LpProblem<S>) -> LpSolution<S> {
 
 /// The lossless `f64` image of an exact-rational LP (bounds and VUBs
 /// included).
-fn to_f64(lp: &LpProblem<Rat>) -> LpProblem<f64> {
+pub(crate) fn to_f64(lp: &LpProblem<Rat>) -> LpProblem<f64> {
     let mut out: LpProblem<f64> = LpProblem::new();
     for c in lp.objective() {
         out.add_var(c.to_f64());
@@ -696,7 +696,7 @@ pub fn solve_hybrid_report(lp: &LpProblem<Rat>) -> HybridReport {
 /// the module docs for the per-resting-state certificate). Returns the
 /// exact solution on success, `None` on any failed check (singular basis,
 /// bound/VUB or sign violation, artificial stuck at a nonzero value).
-fn verify_bounded(
+pub(crate) fn verify_bounded(
     lp: &LpProblem<Rat>,
     sf: &StandardForm<Rat>,
     prop: &BoundedBasis,
@@ -928,7 +928,28 @@ pub fn solve_revised_report(lp: &LpProblem<Rat>) -> HybridReport {
 
 /// [`solve_revised_report`] with explicit [`RevisedOptions`].
 pub fn solve_revised_with(lp: &LpProblem<Rat>, opts: &RevisedOptions) -> HybridReport {
-    let sf64 = StandardForm::build(&to_f64(lp));
+    solve_revised_core(lp, opts).0
+}
+
+/// The cold revised solve, additionally returning the float pass's
+/// verified terminal proposal (for [`crate::warm::BasisSnapshot`]
+/// extraction). The proposal is `Some` exactly when the solve completed
+/// without the exact fallback.
+pub(crate) fn solve_revised_core(
+    lp: &LpProblem<Rat>,
+    opts: &RevisedOptions,
+) -> (HybridReport, Option<BoundedBasis>) {
+    solve_revised_core_with_sf(lp, opts, StandardForm::build(&to_f64(lp)))
+}
+
+/// [`solve_revised_core`] against a prebuilt `f64` standard form, so a
+/// caller that already constructed one (the warm driver) doesn't pay for
+/// it twice.
+pub(crate) fn solve_revised_core_with_sf(
+    lp: &LpProblem<Rat>,
+    opts: &RevisedOptions,
+    sf64: StandardForm<f64>,
+) -> (HybridReport, Option<BoundedBasis>) {
     let prop = solve_bounded_f64_with(&sf64, &opts.pricing);
     let mut stats = SolveStats {
         pivots: prop.pivots,
@@ -942,18 +963,24 @@ pub fn solve_revised_with(lp: &LpProblem<Rat>, opts: &RevisedOptions) -> HybridR
         let verified = verify_bounded(lp, &sfr, &prop);
         stats.certify_nanos = certify.elapsed().as_nanos() as u64;
         if let Some(solution) = verified {
-            return HybridReport {
-                solution,
-                fallback: false,
-                stats,
-            };
+            return (
+                HybridReport {
+                    solution,
+                    fallback: false,
+                    stats,
+                },
+                Some(prop),
+            );
         }
     }
-    HybridReport {
-        solution: solve(lp),
-        fallback: true,
-        stats,
-    }
+    (
+        HybridReport {
+            solution: solve(lp),
+            fallback: true,
+            stats,
+        },
+        None,
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,427 @@
+//! Warm-start machinery for the bounded revised simplex: basis
+//! **snapshots** extracted from a finished solve and re-installed into a
+//! fresh one.
+//!
+//! # Why warm starts
+//!
+//! The decomposition layer in `abt-active` turns one big LP1 into
+//! thousands of small per-component sub-LPs — and on the instance families
+//! the roadmap targets (nested windows, online arrival streams) those
+//! components are *near-identical*: same constraint sparsity pattern, same
+//! VUB family layout, different right-hand sides. Solving every sibling
+//! cold repeats the same pivot sequence over and over. A
+//! [`BasisSnapshot`] captures what that work actually bought — the
+//! terminal basis column ordering and every column's resting state
+//! (including the VUB glue sets implied by [`VarState::AtVub`]) — so a
+//! *structurally identical* problem with different data can start at the
+//! old optimum and usually needs only a handful of pivots, or none.
+//!
+//! # Lifecycle
+//!
+//! 1. **Extract** — [`BasisSnapshot::from_proposal`] clones the
+//!    basis/state vectors out of an `Optimal` [`BoundedBasis`] (the float
+//!    pass's terminal proposal). [`solve_revised_warm`] does this
+//!    automatically and hands the snapshot back in its [`WarmReport`].
+//! 2. **Install** — a later [`solve_revised_warm`] call with the snapshot
+//!    validates it against the new problem's standard form: shape check,
+//!    state consistency, then **one sparse-LU refactorization** of the
+//!    (key-column-augmented) basis and an exact-arithmetic-free primal
+//!    feasibility check of the recomputed basic values. Any failure —
+//!    shape drift, a singular basis for the new data, primal
+//!    infeasibility — falls back to the ordinary **cold** two-phase solve.
+//!    A warm install that succeeds skips phase 1 entirely (the installed
+//!    basis *is* a feasible basis: every basic artificial sits at zero)
+//!    and resumes phase-2 pivoting from the old optimum.
+//! 3. **Certify** — warm or cold, the terminal basis is re-verified in
+//!    exact rationals exactly like [`crate::simplex::solve_revised`], so a
+//!    warm answer is **bit-identical** to the cold one: the float search's
+//!    starting point can change which alternate optimal vertex is reached,
+//!    never the certified status or objective. An unverifiable warm
+//!    outcome re-runs cold (and, if need be, falls through to the pure
+//!    exact solver) — a warm start can only ever cost a retry, never an
+//!    answer.
+//!
+//! # What "matches" means
+//!
+//! A snapshot is keyed to the standard-form *shape*: row count `m` and
+//! column count `ncols` are prechecked here, and the install step's
+//! factorization + feasibility check covers the rest. Callers that batch
+//! siblings (the planner in `abt-active::lp_model`) group problems by an
+//! exact structural signature first, so installs almost never fail; a
+//! caller that hands in a stale snapshot merely pays the cold solve it
+//! would have run anyway.
+
+use crate::arena::with_arena;
+use crate::bounds::{
+    solve_bounded_warm_pooled, BoundedBasis, BoundedStatus, StandardForm, VarState,
+};
+use crate::model::LpProblem;
+use crate::rational::Rat;
+use crate::simplex::{
+    solve_revised_core_with_sf, to_f64, verify_bounded, HybridReport, RevisedOptions, SolveStats,
+};
+
+/// A reusable snapshot of a finished bounded revised solve: the basis
+/// column per row, and the resting state of every standard-form column
+/// (which encodes the VUB glue sets — a dependent whose state is
+/// [`VarState::AtVub`] rides glued to its key). See the module docs for
+/// the lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasisSnapshot {
+    /// Standard-form row count the snapshot was taken at.
+    pub m: usize,
+    /// Standard-form column count the snapshot was taken at.
+    pub ncols: usize,
+    /// Basic column per row (length `m`).
+    pub basis: Vec<usize>,
+    /// Resting state per standard-form column (length `ncols`).
+    pub state: Vec<VarState>,
+}
+
+impl BasisSnapshot {
+    /// Extracts a snapshot from the float pass's terminal proposal.
+    /// Returns `None` unless the proposal is `Optimal` (only an optimal
+    /// basis is worth resuming from — `Stalled` proposals carry no basis
+    /// at all).
+    pub fn from_proposal(prop: &BoundedBasis) -> Option<BasisSnapshot> {
+        if prop.status != BoundedStatus::Optimal {
+            return None;
+        }
+        Some(BasisSnapshot {
+            m: prop.basis.len(),
+            ncols: prop.state.len(),
+            basis: prop.basis.clone(),
+            state: prop.state.clone(),
+        })
+    }
+
+    /// Cheap shape precheck against a standard form: row and column counts
+    /// must agree. The install step re-validates everything structural
+    /// (state consistency, basis regularity, primal feasibility), so this
+    /// is a fast-path filter, not a correctness gate.
+    pub fn matches_shape<S>(&self, sf: &StandardForm<S>) -> bool {
+        self.m == sf.m && self.ncols == sf.ncols
+    }
+}
+
+/// Result of [`solve_revised_warm`]: the exact solution (same contract as
+/// [`crate::simplex::solve_revised_report`]) plus the warm-start outcome
+/// and a snapshot of the terminal basis for future reuse.
+#[derive(Debug, Clone)]
+pub struct WarmReport {
+    /// The exact solution and solve counters. `fallback` keeps its cold
+    /// meaning — `true` only when the *pure exact dense solver* had to
+    /// run; a warm miss that re-solved cold (and verified) is not a
+    /// fallback.
+    pub report: HybridReport,
+    /// `true` iff the provided snapshot installed cleanly **and** the
+    /// warm-started float pass's terminal basis verified exactly — i.e.
+    /// the answer really was produced by the warm path.
+    pub warm_hit: bool,
+    /// Snapshot of the verified terminal basis (warm or cold), for the
+    /// next sibling/re-solve. `None` when the solve fell through to the
+    /// exact dense fallback (there is no bounded basis to snapshot).
+    pub snapshot: Option<BasisSnapshot>,
+}
+
+/// [`crate::simplex::solve_revised_with`] with optional warm starts.
+///
+/// With an empty `snapshots` slice this is exactly the cold revised
+/// solve, plus a snapshot of the terminal basis in the result. Otherwise
+/// the float pass tries each candidate snapshot **in order** until one
+/// installs and its warm run verifies exactly (see the module docs);
+/// different siblings of a family land on different optimal vertices, so
+/// a small pool of candidates lifts the hit rate well above what any
+/// single snapshot achieves — a failed install costs one sparse LU
+/// factorization plus a feasibility sweep, cheap next to the cold pivot
+/// sequence it stands in for. On exhausting the pool the cold path runs
+/// unchanged. Status and objective are **always bit-identical** to
+/// [`crate::simplex::solve`]`::<Rat>`, warm or cold.
+pub fn solve_revised_warm(
+    lp: &LpProblem<Rat>,
+    opts: &RevisedOptions,
+    snapshots: &[BasisSnapshot],
+) -> WarmReport {
+    // Both standard forms are built at most once per call: the f64 form is
+    // shared by every candidate install and handed on to the cold path,
+    // and the (expensive) rational form is built lazily on the first
+    // candidate that reaches exact verification.
+    let sf64 = StandardForm::build(&to_f64(lp));
+    let mut sfr: Option<StandardForm<Rat>> = None;
+    for snap in snapshots {
+        if !snap.matches_shape(&sf64) {
+            continue;
+        }
+        let Some(prop) =
+            with_arena(|arena| solve_bounded_warm_pooled(&sf64, &opts.pricing, snap, arena))
+        else {
+            continue; // install failed: try the next candidate
+        };
+        if prop.status != BoundedStatus::Optimal {
+            continue; // warm run stalled/diverged: try the next
+        }
+        let sfr = sfr.get_or_insert_with(|| StandardForm::build(lp));
+        let certify = std::time::Instant::now();
+        let verified = verify_bounded(lp, sfr, &prop);
+        let stats = SolveStats {
+            pivots: prop.pivots,
+            bound_flips: prop.bound_flips,
+            refactorizations: prop.refactorizations,
+            certify_nanos: certify.elapsed().as_nanos() as u64,
+        };
+        if let Some(solution) = verified {
+            let snapshot = BasisSnapshot::from_proposal(&prop);
+            return WarmReport {
+                report: HybridReport {
+                    solution,
+                    fallback: false,
+                    stats,
+                },
+                warm_hit: true,
+                snapshot,
+            };
+        }
+    }
+    let (report, prop) = solve_revised_core_with_sf(lp, opts, sf64);
+    let snapshot = prop.as_ref().and_then(BasisSnapshot::from_proposal);
+    WarmReport {
+        report,
+        warm_hit: false,
+        snapshot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::with_arena;
+    use crate::model::{Cmp, LpProblem};
+    use crate::simplex::{solve, LpStatus};
+
+    fn r(p: i64, q: i64) -> Rat {
+        Rat::new(p as i128, q as i128)
+    }
+
+    /// A miniature LP1-shaped component: two super-slot keys with VUB
+    /// families, a capacity row per run, demand rows per job. `demands`
+    /// and `widths` are the data that vary between "siblings".
+    fn lp1_like(demands: [i64; 3], widths: [i64; 2]) -> LpProblem<Rat> {
+        let g = r(2, 1);
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let y0 = lp.add_var(Rat::ONE);
+        let y1 = lp.add_var(Rat::ONE);
+        lp.set_upper(y0, Rat::from_int(widths[0]));
+        lp.set_upper(y1, Rat::from_int(widths[1]));
+        let x00 = lp.add_var(Rat::ZERO); // job 0 in run 0
+        let x01 = lp.add_var(Rat::ZERO); // job 0 in run 1
+        let x10 = lp.add_var(Rat::ZERO); // job 1 in run 0
+        let x21 = lp.add_var(Rat::ZERO); // job 2 in run 1
+        for (x, y) in [(x00, y0), (x01, y1), (x10, y0), (x21, y1)] {
+            lp.set_vub(x, y);
+        }
+        lp.add_constraint(
+            vec![(x00, Rat::ONE), (x10, Rat::ONE), (y0, g.neg())],
+            Cmp::Le,
+            Rat::ZERO,
+        );
+        lp.add_constraint(
+            vec![(x01, Rat::ONE), (x21, Rat::ONE), (y1, g.neg())],
+            Cmp::Le,
+            Rat::ZERO,
+        );
+        lp.add_constraint(
+            vec![(x00, Rat::ONE), (x01, Rat::ONE)],
+            Cmp::Ge,
+            Rat::from_int(demands[0]),
+        );
+        lp.add_constraint(vec![(x10, Rat::ONE)], Cmp::Ge, Rat::from_int(demands[1]));
+        lp.add_constraint(vec![(x21, Rat::ONE)], Cmp::Ge, Rat::from_int(demands[2]));
+        lp
+    }
+
+    #[test]
+    fn cold_solve_yields_a_snapshot_and_matches_exact() {
+        let lp = lp1_like([3, 2, 1], [3, 2]);
+        let out = solve_revised_warm(&lp, &RevisedOptions::default(), &[]);
+        assert!(!out.warm_hit);
+        assert!(!out.report.fallback);
+        assert_eq!(out.report.solution.status, LpStatus::Optimal);
+        assert_eq!(out.report.solution.objective, solve(&lp).objective);
+        let snap = out.snapshot.expect("optimal cold solve must snapshot");
+        assert_eq!(snap.basis.len(), snap.m);
+        assert_eq!(snap.state.len(), snap.ncols);
+    }
+
+    #[test]
+    fn warm_sibling_is_bit_identical_and_cheaper() {
+        // Solve one representative cold, then a sibling (same structure,
+        // different demands and widths) warm: bit-identical to its own
+        // exact solve, with no more pivots than its cold solve needs.
+        let rep = lp1_like([3, 2, 1], [3, 2]);
+        let cold_rep = solve_revised_warm(&rep, &RevisedOptions::default(), &[]);
+        let snap = cold_rep.snapshot.expect("snapshot");
+
+        let sib = lp1_like([4, 2, 2], [4, 3]);
+        let cold_sib = solve_revised_warm(&sib, &RevisedOptions::default(), &[]);
+        let warm_sib = solve_revised_warm(
+            &sib,
+            &RevisedOptions::default(),
+            std::slice::from_ref(&snap),
+        );
+        assert!(warm_sib.warm_hit, "structural sibling must install warm");
+        assert!(!warm_sib.report.fallback);
+        assert_eq!(
+            warm_sib.report.solution.objective,
+            solve(&sib).objective,
+            "warm answers must stay bit-identical to cold/exact"
+        );
+        assert!(
+            warm_sib.report.stats.pivots <= cold_sib.report.stats.pivots,
+            "warm start must not pivot more than cold ({} > {})",
+            warm_sib.report.stats.pivots,
+            cold_sib.report.stats.pivots
+        );
+        // The warm solve returns its own snapshot for further reuse.
+        assert!(warm_sib.snapshot.is_some());
+    }
+
+    #[test]
+    fn identical_sibling_needs_zero_pivots_warm() {
+        let lp = lp1_like([3, 2, 1], [3, 2]);
+        let snap = solve_revised_warm(&lp, &RevisedOptions::default(), &[])
+            .snapshot
+            .unwrap();
+        let again =
+            solve_revised_warm(&lp, &RevisedOptions::default(), std::slice::from_ref(&snap));
+        assert!(again.warm_hit);
+        assert_eq!(again.report.stats.pivots, 0, "old optimum is still optimal");
+        assert_eq!(again.report.solution.objective, solve(&lp).objective);
+    }
+
+    #[test]
+    fn snapshot_pool_retries_candidates() {
+        // The first candidate's vertex is primal-infeasible for the new
+        // data (its glued values undershoot the grown demand), but a
+        // second candidate from a closer sibling installs — the pool turns
+        // a miss into a zero-pivot hit.
+        let far = lp1_like([3, 2, 1], [3, 2]);
+        let near = lp1_like([3, 2, 2], [3, 2]);
+        let far_snap = solve_revised_warm(&far, &RevisedOptions::default(), &[])
+            .snapshot
+            .unwrap();
+        let near_snap = solve_revised_warm(&near, &RevisedOptions::default(), &[])
+            .snapshot
+            .unwrap();
+        let target = lp1_like([3, 2, 2], [3, 2]);
+        let miss = solve_revised_warm(
+            &target,
+            &RevisedOptions::default(),
+            std::slice::from_ref(&far_snap),
+        );
+        assert!(!miss.warm_hit, "the far snapshot alone must miss");
+        let pool = [far_snap, near_snap];
+        let hit = solve_revised_warm(&target, &RevisedOptions::default(), &pool);
+        assert!(hit.warm_hit, "the pool's second candidate must hit");
+        assert_eq!(hit.report.stats.pivots, 0);
+        assert_eq!(hit.report.solution.objective, solve(&target).objective);
+    }
+
+    #[test]
+    fn shape_mismatch_falls_back_to_cold() {
+        let lp = lp1_like([3, 2, 1], [3, 2]);
+        let snap = solve_revised_warm(&lp, &RevisedOptions::default(), &[])
+            .snapshot
+            .unwrap();
+        // A structurally different problem: extra variable and row.
+        let mut other: LpProblem<Rat> = LpProblem::new();
+        let x = other.add_var(Rat::ONE);
+        let y = other.add_var(Rat::ONE);
+        other.add_constraint(vec![(x, Rat::ONE), (y, Rat::ONE)], Cmp::Ge, r(3, 1));
+        let out = solve_revised_warm(
+            &other,
+            &RevisedOptions::default(),
+            std::slice::from_ref(&snap),
+        );
+        assert!(!out.warm_hit, "shape mismatch must not install");
+        assert_eq!(out.report.solution.objective, r(3, 1));
+    }
+
+    #[test]
+    fn infeasible_sibling_detected_through_the_cold_path() {
+        // The warm basis cannot be primal-feasible for data that admits no
+        // feasible point at all, so the install check fails and the cold
+        // two-phase run reports Infeasible exactly.
+        let rep = lp1_like([3, 2, 1], [3, 2]);
+        let snap = solve_revised_warm(&rep, &RevisedOptions::default(), &[])
+            .snapshot
+            .unwrap();
+        // Demand far beyond the capped capacity g·(w0 + w1) = 2·3 = 6.
+        let sib = lp1_like([40, 1, 1], [2, 1]);
+        let out = solve_revised_warm(
+            &sib,
+            &RevisedOptions::default(),
+            std::slice::from_ref(&snap),
+        );
+        assert!(!out.warm_hit);
+        assert_eq!(out.report.solution.status, LpStatus::Infeasible);
+        assert_eq!(solve(&sib).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn failed_installs_do_not_leak_arena_buffers() {
+        // Satellite: buffers checked out during a failed snapshot install
+        // must be returned on the early-exit path. Warm the pool once,
+        // then hammer the failing-install path and check that (a) the pool
+        // never exceeds its bound and (b) no fresh allocations happen —
+        // i.e. every checkout is served by a buffer that was given back.
+        let rep = lp1_like([3, 2, 1], [3, 2]);
+        let snap = solve_revised_warm(&rep, &RevisedOptions::default(), &[])
+            .snapshot
+            .unwrap();
+        // Same shape, infeasible data: install reaches the primal
+        // feasibility check (buffers already checked out) and bails there.
+        let bad = lp1_like([40, 1, 1], [2, 1]);
+        let _ = solve_revised_warm(
+            &bad,
+            &RevisedOptions::default(),
+            std::slice::from_ref(&snap),
+        );
+        let before = with_arena(|a| a.stats());
+        for _ in 0..10 {
+            let out = solve_revised_warm(
+                &bad,
+                &RevisedOptions::default(),
+                std::slice::from_ref(&snap),
+            );
+            assert!(!out.warm_hit);
+        }
+        let after = with_arena(|a| a.stats());
+        assert!(
+            after.pooled_f64 <= crate::arena::MAX_POOLED
+                && after.pooled_pairs <= crate::arena::MAX_POOLED,
+            "pool high-water must stay bounded"
+        );
+        let fresh_before = before.checkouts - before.reuses;
+        let fresh_after = after.checkouts - after.reuses;
+        assert_eq!(
+            fresh_before,
+            fresh_after,
+            "failed installs must recycle every checked-out buffer \
+             (fresh allocations grew by {})",
+            fresh_after - fresh_before
+        );
+    }
+
+    #[test]
+    fn from_proposal_rejects_non_optimal() {
+        let prop = BoundedBasis {
+            status: BoundedStatus::Stalled,
+            basis: Vec::new(),
+            state: Vec::new(),
+            pivots: 0,
+            bound_flips: 0,
+            refactorizations: 0,
+        };
+        assert!(BasisSnapshot::from_proposal(&prop).is_none());
+    }
+}

@@ -8,12 +8,16 @@
 //! * [`random`] — uniform, proper, clique, laminar, unit,
 //!   feasibility-guaranteed, VUB-heavy nested-window, and many-components
 //!   block-diagonal families for the comparison experiments;
+//! * [`online`] — the online-arrivals stream (jobs arriving stripe by
+//!   stripe from repeated window-layout templates), the stress family for
+//!   the warm-start/incremental subsystem;
 //! * [`traces`] — synthetic VM-consolidation and optical-lightpath traces
 //!   standing in for the motivating applications of §1.
 
 #![warn(missing_docs)]
 
 pub mod gadgets;
+pub mod online;
 pub mod random;
 pub mod traces;
 
@@ -22,6 +26,7 @@ pub use gadgets::{
     fig8_interval_tight, fig9_dp_profile_tight, integrality_gap, Fig10, Fig3, Fig6, Fig8, Fig9,
     IntegralityGap, SCALE,
 };
+pub use online::{online_arrivals, OnlineArrivals, OnlineArrivalsConfig};
 pub use random::{
     many_components, random_active_feasible, random_clique, random_flexible, random_interval,
     random_laminar, random_proper, random_unit, vub_heavy, ManyComponentsConfig, RandomConfig,
