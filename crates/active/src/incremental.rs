@@ -45,12 +45,13 @@
 
 use crate::lp_model::{
     build_component_lp, component_signature, components, disaggregate, lp_telemetry,
-    record_warm_attempt, slot_runs, ActiveLp, ComponentSignature, DecomposeMode, LpBackend,
-    LpOptions, SNAPSHOT_POOL_CAP,
+    record_quarantine, record_warm_attempt, revised_options, slot_runs, ActiveLp,
+    ComponentSignature, DecomposeMode, LpBackend, LpOptions, SNAPSHOT_POOL_CAP,
 };
+use crate::supervise::{supervised_solve, PartialSolve, QuarantinedComponent, SolveError};
 use abt_core::active_schedule::horizon_slots;
-use abt_core::{Error, Instance, Job, Result, Time};
-use abt_lp::{solve_revised_warm, BasisSnapshot, BoundedOptions, LpStatus, Rat, RevisedOptions};
+use abt_core::{Error, Instance, Job, Result, SolveFailure, Time};
+use abt_lp::{BasisSnapshot, LpStatus, Rat};
 use std::collections::HashMap;
 
 /// Bound on cached component blocks; past it both caches are cleared (a
@@ -108,6 +109,13 @@ pub struct IncrementalSolver {
     live: usize,
     content_cache: HashMap<ContentKey, CachedBlock>,
     shape_cache: HashMap<ComponentSignature, ShapeEntry>,
+    /// Components whose supervision ladder failed entirely, keyed by
+    /// content: a quarantined key is **not retried** on later solves —
+    /// re-admission happens automatically when the offending content
+    /// changes (a member job removed or mutated produces a new key, which
+    /// solves cold like any first sighting) or via
+    /// [`IncrementalSolver::clear_quarantine`].
+    quarantine: HashMap<ContentKey, SolveFailure>,
 }
 
 impl IncrementalSolver {
@@ -136,7 +144,19 @@ impl IncrementalSolver {
             live: 0,
             content_cache: HashMap::new(),
             shape_cache: HashMap::new(),
+            quarantine: HashMap::new(),
         })
+    }
+
+    /// Number of content keys currently quarantined.
+    pub fn quarantined(&self) -> usize {
+        self.quarantine.len()
+    }
+
+    /// Manually re-admits every quarantined component: the next
+    /// [`IncrementalSolver::solve`] retries them from the cold rung.
+    pub fn clear_quarantine(&mut self) {
+        self.quarantine.clear();
     }
 
     /// Capacity `g` of the instance under mutation.
@@ -216,12 +236,28 @@ impl IncrementalSolver {
     /// stitched per-slot `y`'s feasibility) is bit-identical to a from-
     /// scratch [`solve_active_lp_with`](crate::lp_model::solve_active_lp_with)
     /// on [`IncrementalSolver::instance`].
+    ///
+    /// This is the legacy, [`Error`]-typed surface: quarantined components
+    /// (possible only under fault injection or solve budgets) flatten into
+    /// [`Error::Quarantined`]. [`IncrementalSolver::try_solve`] keeps the
+    /// typed partial result.
     pub fn solve(&mut self) -> Result<IncrementalReport> {
+        self.try_solve().map_err(Error::from)
+    }
+
+    /// The fallible-solve surface of [`IncrementalSolver::solve`]: when
+    /// some components' supervision ladders failed entirely, returns
+    /// [`SolveError::Partial`] carrying the exact objectives of every
+    /// healthy component — clean components keep their cached blocks (and
+    /// are **never re-solved** on later calls), and the quarantined keys
+    /// are skipped until their content changes.
+    pub fn try_solve(&mut self) -> std::result::Result<IncrementalReport, SolveError> {
         if self.content_cache.len() > CACHE_CAP {
             self.content_cache.clear();
             self.shape_cache.clear();
+            self.quarantine.clear();
         }
-        let inst = self.instance()?;
+        let inst = self.instance().map_err(SolveError::Model)?;
         let slots = horizon_slots(&inst);
         if inst.is_empty() {
             return Ok(IncrementalReport {
@@ -239,13 +275,12 @@ impl IncrementalSolver {
         }
         let runs = slot_runs(&inst, self.opts.coalesce);
         let comps = components(&inst, &runs, DecomposeMode::Auto);
-        let ropts = RevisedOptions {
-            pricing: BoundedOptions {
-                pricing_window: self.opts.pricing_window,
-            },
-        };
+        let ropts = revised_options(&self.opts);
         let mut y_runs = vec![Rat::ZERO; runs.len()];
         let mut objective = Rat::ZERO;
+        let mut healthy: Vec<(usize, Rat)> = Vec::new();
+        let mut quarantined: Vec<QuarantinedComponent> = Vec::new();
+        let mut live_quarantine: Vec<ContentKey> = Vec::new();
         let mut report = IncrementalReport {
             lp: ActiveLp {
                 slots: Vec::new(),
@@ -258,7 +293,7 @@ impl IncrementalSolver {
             warm_hits: 0,
             cold_solves: 0,
         };
-        for comp in &comps {
+        for (ci, comp) in comps.iter().enumerate() {
             let n_runs = comp.run_hi - comp.run_lo;
             let ckey = content_key(&inst, comp);
             if let Some(block) = self.content_cache.get(&ckey) {
@@ -268,6 +303,17 @@ impl IncrementalSolver {
                     y_runs[comp.run_lo + k] = *val;
                 }
                 objective = objective.add(&block.objective);
+                healthy.push((ci, block.objective));
+                continue;
+            }
+            // A quarantined key is not retried: the ladder already failed
+            // for this exact content, and re-admission is content-driven.
+            if let Some(f) = self.quarantine.get(&ckey) {
+                quarantined.push(QuarantinedComponent {
+                    jobs: comp.jobs.clone(),
+                    failure: f.clone(),
+                });
+                live_quarantine.push(ckey);
                 continue;
             }
             // Dirty: re-solve, warm where the backend supports it.
@@ -276,22 +322,34 @@ impl IncrementalSolver {
             let (sol, pivots, warm_hit, snapshot) = if self.opts.backend == LpBackend::Revised {
                 let entry = self.shape_cache.get(&skey);
                 let pool: &[BasisSnapshot] = entry.map(|e| e.snapshots.as_slice()).unwrap_or(&[]);
-                let wr = solve_revised_warm(&lp, &ropts, pool);
-                crate::lp_model::record_solve(&wr.report);
-                if !pool.is_empty() {
-                    report.warm_attempts += 1;
-                    let reference = entry.map(|e| e.reference_pivots).unwrap_or(0);
-                    record_warm_attempt(wr.warm_hit, reference, wr.report.stats.pivots);
-                    if wr.warm_hit {
-                        report.warm_hits += 1;
+                match supervised_solve(&lp, &ropts, pool) {
+                    Ok(sr) => {
+                        if !pool.is_empty() {
+                            report.warm_attempts += 1;
+                            let reference = entry.map(|e| e.reference_pivots).unwrap_or(0);
+                            record_warm_attempt(sr.warm_hit, reference, sr.report.stats.pivots);
+                            if sr.warm_hit {
+                                report.warm_hits += 1;
+                            }
+                        }
+                        (
+                            sr.report.solution,
+                            sr.report.stats.pivots,
+                            sr.warm_hit,
+                            sr.snapshot,
+                        )
+                    }
+                    Err(f) => {
+                        record_quarantine();
+                        quarantined.push(QuarantinedComponent {
+                            jobs: comp.jobs.clone(),
+                            failure: f.clone(),
+                        });
+                        live_quarantine.push(ckey.clone());
+                        self.quarantine.insert(ckey, f);
+                        continue;
                     }
                 }
-                (
-                    wr.report.solution,
-                    wr.report.stats.pivots,
-                    wr.warm_hit,
-                    wr.snapshot,
-                )
             } else {
                 (
                     crate::lp_model::run_backend(&lp, &self.opts),
@@ -303,9 +361,9 @@ impl IncrementalSolver {
             match sol.status {
                 LpStatus::Optimal => {}
                 LpStatus::Infeasible => {
-                    return Err(Error::Infeasible(
+                    return Err(SolveError::Model(Error::Infeasible(
                         "LP1 infeasible: no schedule exists".into(),
-                    ))
+                    )))
                 }
                 LpStatus::Unbounded => unreachable!("LP1 objective is bounded below by 0"),
             }
@@ -320,6 +378,7 @@ impl IncrementalSolver {
                 y_runs[comp.run_lo + k] = *val;
             }
             objective = objective.add(&block.objective);
+            healthy.push((ci, block.objective));
             self.content_cache.insert(ckey, block);
             // Only cold-resolved snapshots enrich the shape pool: a warm
             // hit terminated at (or near) a vertex the pool already
@@ -336,6 +395,19 @@ impl IncrementalSolver {
                     }
                 }
             }
+        }
+        // Quarantine entries whose content no longer exists (the offending
+        // job was removed or mutated) are pruned: the key can only recur
+        // through fresh content, which solves cold like any first sighting.
+        self.quarantine.retain(|k, _| live_quarantine.contains(k));
+        if !quarantined.is_empty() {
+            // Healthy blocks (including the ones just solved) stay cached,
+            // so the solver keeps serving them on every later call.
+            return Err(SolveError::Partial(PartialSolve {
+                healthy_objective: objective,
+                healthy,
+                quarantined,
+            }));
         }
         report.lp = ActiveLp {
             y: disaggregate(&runs, &y_runs),

@@ -64,18 +64,21 @@ pub mod lp_model;
 pub mod minimal;
 pub mod right_shift;
 pub mod rounding;
+pub mod supervise;
 pub mod unit;
 
 pub use exact::{exact_active_time, ExactActive};
 pub use feasibility::{feasible_on, schedule_on, FeasibilityChecker};
 pub use incremental::{IncrementalJobId, IncrementalReport, IncrementalSolver};
 pub use lp_model::{
-    fractional_feasible, lp_telemetry, solve_active_lp, solve_active_lp_with, ActiveLp, BoundsMode,
-    DecomposeMode, LpBackend, LpOptions, LpTelemetry, VubMode, WarmMode,
+    fractional_feasible, lp_telemetry, solve_active_lp, solve_active_lp_with,
+    try_solve_active_lp_with, ActiveLp, BoundsMode, DecomposeMode, LpBackend, LpOptions,
+    LpTelemetry, VubMode, WarmMode,
 };
 pub use minimal::{
     is_minimal, minimal_feasible, minimal_feasible_from, ClosingOrder, MinimalResult,
 };
 pub use right_shift::{right_shift, RightShifted, Segment};
 pub use rounding::{lp_rounding, lp_rounding_from, ChargeKind, RoundingOutcome};
+pub use supervise::{PartialSolve, QuarantinedComponent, SolveError};
 pub use unit::{exact_unit_active_time, UnitExact};

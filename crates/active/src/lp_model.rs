@@ -108,15 +108,16 @@
 
 #![allow(clippy::needless_range_loop)] // job indices are shared across parallel vectors
 
+use crate::supervise::{supervised_solve, PartialSolve, QuarantinedComponent, SolveError};
 use abt_core::active_schedule::{horizon_slots, job_feasible_in_slot};
-use abt_core::{parallel_map, Error, Instance, Result, Time};
+use abt_core::{supervised_map, Error, Instance, Result, SolveFailure, Time};
 use abt_lp::{
-    solve, solve_hybrid_report, solve_revised_warm, solve_revised_with, BasisSnapshot,
-    BoundedOptions, Cmp, HybridReport, LpProblem, LpSolution, LpStatus, Rat, RevisedOptions,
-    DEFAULT_PRICING_WINDOW,
+    solve, solve_hybrid_report, BasisSnapshot, BoundedOptions, Cmp, HybridReport, LpProblem,
+    LpSolution, LpStatus, Rat, RevisedOptions, DEFAULT_PRICING_WINDOW,
 };
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Which simplex path solves the model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,6 +204,15 @@ pub struct LpOptions {
     /// [`WarmMode::Off`] (the cold path stays the shipping default and the
     /// perf baseline; [`LpOptions::warm_batched`] turns batching on).
     pub warm: WarmMode,
+    /// Basis-changing pivot budget per revised solve attempt (`0` =
+    /// unlimited, the default). A trip surfaces as a typed
+    /// `BudgetExceeded` failure and demotes the solve down the
+    /// supervision ladder instead of spinning.
+    pub pivot_budget: u64,
+    /// Wall-time budget per revised solve *stage* in milliseconds (`0` =
+    /// unlimited, the default): the float pass and the exact certifier
+    /// each get a fresh clock.
+    pub time_budget_ms: u64,
 }
 
 impl Default for LpOptions {
@@ -215,6 +225,8 @@ impl Default for LpOptions {
             pricing_window: DEFAULT_PRICING_WINDOW,
             decompose: DecomposeMode::Auto,
             warm: WarmMode::Off,
+            pivot_budget: 0,
+            time_budget_ms: 0,
         }
     }
 }
@@ -230,7 +242,7 @@ impl LpOptions {
             vub: VubMode::Rows,
             pricing_window: 0,
             decompose: DecomposeMode::Off,
-            warm: WarmMode::Off,
+            ..LpOptions::default()
         }
     }
 
@@ -245,7 +257,7 @@ impl LpOptions {
             vub: VubMode::Rows,
             pricing_window: 0,
             decompose: DecomposeMode::Off,
-            warm: WarmMode::Off,
+            ..LpOptions::default()
         }
     }
 
@@ -260,7 +272,7 @@ impl LpOptions {
             vub: VubMode::Rows,
             pricing_window: 0,
             decompose: DecomposeMode::Off,
-            warm: WarmMode::Off,
+            ..LpOptions::default()
         }
     }
 
@@ -315,6 +327,16 @@ static LP_WARM_HITS: AtomicU64 = AtomicU64::new(0);
 /// cold reference (the group representative's / the shape's first cold
 /// solve's pivot count), floored at zero per solve.
 static LP_WARM_PIVOTS_SAVED: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of failure-driven ladder demotions (see
+/// [`crate::supervise`]).
+static LP_DEMOTIONS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of solve attempts that tripped a pivot /
+/// refactorization / wall-time budget (each such trip is also a
+/// demotion).
+static LP_BUDGET_TRIPS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of components quarantined after the whole ladder
+/// failed.
+static LP_QUARANTINED: AtomicU64 = AtomicU64::new(0);
 
 /// A snapshot of the process-wide LP solve telemetry (see
 /// [`lp_telemetry`]). All counters are cumulative and monotone; diff two
@@ -358,6 +380,16 @@ pub struct LpTelemetry {
     /// (the group representative / the shape's first cold solve), floored
     /// at zero per solve.
     pub warm_pivots_saved: u64,
+    /// Failure-driven supervision-ladder demotions (warm → cold revised →
+    /// dense hybrid → dense exact; see [`crate::supervise`]). Zero on
+    /// fault-free runs.
+    pub demotions: u64,
+    /// Solve attempts that tripped a pivot / refactorization / wall-time
+    /// budget (a subset of `demotions`).
+    pub budget_trips: u64,
+    /// Components quarantined after every ladder rung failed. Zero on
+    /// fault-free runs.
+    pub quarantined: u64,
 }
 
 impl LpTelemetry {
@@ -378,6 +410,9 @@ impl LpTelemetry {
             warm_attempts: self.warm_attempts - earlier.warm_attempts,
             warm_hits: self.warm_hits - earlier.warm_hits,
             warm_pivots_saved: self.warm_pivots_saved - earlier.warm_pivots_saved,
+            demotions: self.demotions - earlier.demotions,
+            budget_trips: self.budget_trips - earlier.budget_trips,
+            quarantined: self.quarantined - earlier.quarantined,
         }
     }
 }
@@ -400,7 +435,25 @@ pub fn lp_telemetry() -> LpTelemetry {
         warm_attempts: LP_WARM_ATTEMPTS.load(Ordering::Relaxed),
         warm_hits: LP_WARM_HITS.load(Ordering::Relaxed),
         warm_pivots_saved: LP_WARM_PIVOTS_SAVED.load(Ordering::Relaxed),
+        demotions: LP_DEMOTIONS.load(Ordering::Relaxed),
+        budget_trips: LP_BUDGET_TRIPS.load(Ordering::Relaxed),
+        quarantined: LP_QUARANTINED.load(Ordering::Relaxed),
     }
+}
+
+/// Records one failure-driven ladder demotion (see [`crate::supervise`]).
+pub(crate) fn record_demotion() {
+    LP_DEMOTIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one budget trip (pivot / refactorization / wall-time).
+pub(crate) fn record_budget_trip() {
+    LP_BUDGET_TRIPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one quarantined component (the whole ladder failed).
+pub(crate) fn record_quarantine() {
+    LP_QUARANTINED.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Records one warm-start attempt into the process-wide telemetry: whether
@@ -429,10 +482,16 @@ pub(crate) fn record_solve(rep: &HybridReport) {
     LP_CERTIFY_NANOS.fetch_add(rep.stats.certify_nanos, Ordering::Relaxed);
 }
 
-fn revised_options(opts: &LpOptions) -> RevisedOptions {
+/// The [`RevisedOptions`] implied by [`LpOptions`]: pricing window plus
+/// the solve budgets (`0` means unlimited throughout).
+pub(crate) fn revised_options(opts: &LpOptions) -> RevisedOptions {
     RevisedOptions {
         pricing: BoundedOptions {
             pricing_window: opts.pricing_window,
+            pivot_budget: opts.pivot_budget,
+            time_budget: (opts.time_budget_ms > 0)
+                .then(|| Duration::from_millis(opts.time_budget_ms)),
+            ..BoundedOptions::default()
         },
     }
 }
@@ -445,11 +504,16 @@ pub(crate) fn run_backend(lp: &LpProblem<Rat>, opts: &LpOptions) -> LpSolution<R
             record_solve(&rep);
             rep.solution
         }
-        LpBackend::Revised => {
-            let rep = solve_revised_with(lp, &revised_options(opts));
-            record_solve(&rep);
-            rep.solution
-        }
+        LpBackend::Revised => match supervised_solve(lp, &revised_options(opts), &[]) {
+            Ok(sr) => sr.report.solution,
+            // Callers of this legacy entry point have no error channel,
+            // and a failure of the whole ladder (dense exact included) is
+            // not a state any of them can recover from.
+            Err(f) => {
+                record_quarantine();
+                panic!("revised solve quarantined with no error channel: {f}")
+            }
+        },
     }
 }
 
@@ -682,21 +746,35 @@ fn finish_component(
     }
 }
 
+/// One supervised component outcome: the outer `Err` is a quarantine
+/// (every ladder rung failed — see [`crate::supervise`]), the inner `Err`
+/// a model-level verdict (LP1 infeasibility) that aborts the whole solve.
+type ComponentOutcome = std::result::Result<Result<ComponentSolution>, SolveFailure>;
+
 /// Builds and solves one component's LP1 block with the configured
-/// backend (the cold path).
+/// backend (the cold path). Revised-backend solves run through the
+/// supervision ladder; the other backends keep their legacy direct path
+/// (panics there are still isolated by the [`supervised_map`] fan-out).
 fn solve_component(
     inst: &Instance,
     opts: &LpOptions,
     runs: &[SlotRun],
     comp: &Component,
     sharded: bool,
-) -> Result<ComponentSolution> {
+) -> ComponentOutcome {
     let lp = build_component_lp(inst, opts, runs, comp);
     if sharded {
         LP_MAX_COMPONENT_VARS.fetch_max(lp.num_vars() as u64, Ordering::Relaxed);
     }
-    let sol = run_backend(&lp, opts);
-    finish_component(comp, comp.run_hi - comp.run_lo, sol)
+    let sol = match opts.backend {
+        LpBackend::Revised => {
+            supervised_solve(&lp, &revised_options(opts), &[])?
+                .report
+                .solution
+        }
+        _ => run_backend(&lp, opts),
+    };
+    Ok(finish_component(comp, comp.run_hi - comp.run_lo, sol))
 }
 
 /// A component's structural signature: run count plus, per member job (in
@@ -759,7 +837,7 @@ fn solve_components_batched(
     opts: &LpOptions,
     runs: &[SlotRun],
     comps: &[Component],
-) -> Vec<Result<ComponentSolution>> {
+) -> Vec<ComponentOutcome> {
     let ropts = revised_options(opts);
     let mut groups: BTreeMap<ComponentSignature, Vec<usize>> = BTreeMap::new();
     for (ci, comp) in comps.iter().enumerate() {
@@ -770,32 +848,40 @@ fn solve_components_batched(
     }
     let group_members: Vec<Vec<usize>> = groups.into_values().collect();
     // Phase A — representatives (the first member of each group) solve
-    // cold, in parallel across groups.
+    // cold, in parallel across groups, each under the supervision ladder.
     let rep_ids: Vec<usize> = group_members.iter().map(|g| g[0]).collect();
-    let rep_outs: Vec<(Result<ComponentSolution>, Option<BasisSnapshot>, u64)> =
-        parallel_map(rep_ids, |ci| {
+    type RepOutcome = (Result<ComponentSolution>, Option<BasisSnapshot>, u64);
+    let rep_outs: Vec<std::result::Result<RepOutcome, SolveFailure>> =
+        supervised_map(rep_ids, |ci| {
             let comp = &comps[ci];
             let lp = build_component_lp(inst, opts, runs, comp);
             LP_MAX_COMPONENT_VARS.fetch_max(lp.num_vars() as u64, Ordering::Relaxed);
-            let wr = solve_revised_warm(&lp, &ropts, &[]);
-            record_solve(&wr.report);
-            let pivots = wr.report.stats.pivots;
-            (
-                finish_component(comp, comp.run_hi - comp.run_lo, wr.report.solution),
-                wr.snapshot,
+            let sr = supervised_solve(&lp, &ropts, &[])?;
+            let pivots = sr.report.stats.pivots;
+            Ok((
+                finish_component(comp, comp.run_hi - comp.run_lo, sr.report.solution),
+                sr.snapshot,
                 pivots,
-            )
+            ))
         });
-    let mut out: Vec<Option<Result<ComponentSolution>>> = (0..comps.len()).map(|_| None).collect();
+    let mut out: Vec<Option<ComponentOutcome>> = (0..comps.len()).map(|_| None).collect();
     // Phase B — siblings, in parallel waves per group. Waves across groups
-    // run in one parallel_map so small groups don't serialize the sweep.
+    // run in one fan-out so small groups don't serialize the sweep. A
+    // quarantined representative leaves its group's pool empty — the
+    // siblings still solve (cold, supervised), only the warm seeding is
+    // lost.
     let mut pools: Vec<(Vec<BasisSnapshot>, u64)> = Vec::with_capacity(group_members.len());
-    for (members, (sol, snap, pivots)) in group_members.iter().zip(rep_outs) {
+    for (members, rep) in group_members.iter().zip(rep_outs) {
         let mut pool = Vec::new();
-        if let Some(s) = snap {
-            pool.push(s);
-        }
-        out[members[0]] = Some(sol);
+        let mut pivots = 0;
+        out[members[0]] = Some(match rep {
+            Ok((sol, snap, rep_pivots)) => {
+                pool.extend(snap);
+                pivots = rep_pivots;
+                Ok(sol)
+            }
+            Err(f) => Err(f),
+        });
         pools.push((pool, pivots));
     }
     let mut offset = 1usize; // member index within each group
@@ -812,43 +898,41 @@ fn solve_components_batched(
             break;
         }
         let pools_ref = &pools;
-        // Per sibling: its component index, its group, its solved block,
-        // and — for misses — the snapshot it contributes to the pool.
-        type SiblingOutcome = (
-            usize,
-            usize,
-            Result<ComponentSolution>,
-            Option<BasisSnapshot>,
-        );
-        let wave_outs: Vec<SiblingOutcome> = parallel_map(batch, |(ci, gi)| {
-            let comp = &comps[ci];
-            let lp = build_component_lp(inst, opts, runs, comp);
-            LP_MAX_COMPONENT_VARS.fetch_max(lp.num_vars() as u64, Ordering::Relaxed);
-            let (pool, rep_pivots) = &pools_ref[gi];
-            let wr = solve_revised_warm(&lp, &ropts, pool);
-            record_solve(&wr.report);
-            // An empty pool (the representative fell back to the dense
-            // exact solver) means the sibling was never *offered* a
-            // snapshot — don't count a phantom attempt.
-            if !pool.is_empty() {
-                record_warm_attempt(wr.warm_hit, *rep_pivots, wr.report.stats.pivots);
-            }
-            let contribute = if wr.warm_hit { None } else { wr.snapshot };
-            (
-                ci,
-                gi,
-                finish_component(comp, comp.run_hi - comp.run_lo, wr.report.solution),
-                contribute,
-            )
-        });
-        for (ci, gi, sol, contribute) in wave_outs {
-            out[ci] = Some(sol);
-            if let Some(s) = contribute {
-                let pool = &mut pools[gi].0;
-                if pool.len() < SNAPSHOT_POOL_CAP {
-                    pool.push(s);
+        // Per sibling: its solved block and — for misses — the snapshot it
+        // contributes to the pool.
+        type SiblingOutcome = (Result<ComponentSolution>, Option<BasisSnapshot>);
+        let wave_outs: Vec<std::result::Result<SiblingOutcome, SolveFailure>> =
+            supervised_map(batch.clone(), |(ci, gi)| {
+                let comp = &comps[ci];
+                let lp = build_component_lp(inst, opts, runs, comp);
+                LP_MAX_COMPONENT_VARS.fetch_max(lp.num_vars() as u64, Ordering::Relaxed);
+                let (pool, rep_pivots) = &pools_ref[gi];
+                let sr = supervised_solve(&lp, &ropts, pool)?;
+                // An empty pool (e.g. the representative fell back to the
+                // dense exact solver) means the sibling was never *offered*
+                // a snapshot — don't count a phantom attempt.
+                if !pool.is_empty() {
+                    record_warm_attempt(sr.warm_hit, *rep_pivots, sr.report.stats.pivots);
                 }
-            }
+                let contribute = if sr.warm_hit { None } else { sr.snapshot };
+                Ok((
+                    finish_component(comp, comp.run_hi - comp.run_lo, sr.report.solution),
+                    contribute,
+                ))
+            });
+        for ((ci, gi), res) in batch.into_iter().zip(wave_outs) {
+            out[ci] = Some(match res {
+                Ok((sol, contribute)) => {
+                    if let Some(s) = contribute {
+                        let pool = &mut pools[gi].0;
+                        if pool.len() < SNAPSHOT_POOL_CAP {
+                            pool.push(s);
+                        }
+                    }
+                    Ok(sol)
+                }
+                Err(f) => Err(f),
+            });
         }
         offset += wave_len;
         wave_len = (wave_len * 2).min(MAX_WAVE);
@@ -870,10 +954,27 @@ pub fn solve_active_lp(inst: &Instance) -> Result<ActiveLp> {
 /// alternate LP optima.
 ///
 /// Under [`DecomposeMode::Auto`] a disconnected instance is sharded into
-/// per-component sub-LPs fanned through [`abt_core::parallel_map`]; the
+/// per-component sub-LPs fanned through [`abt_core::supervised_map`]; the
 /// blocks share no variables or rows, so the stitched objective — an
 /// exact rational sum — equals the monolithic optimum bit for bit.
+///
+/// This is the legacy, [`Error`]-typed surface: a quarantined partial
+/// result (possible only under fault injection or solve budgets) is
+/// flattened into [`Error::Quarantined`]. Callers that keep serving the
+/// healthy components use [`try_solve_active_lp_with`].
 pub fn solve_active_lp_with(inst: &Instance, opts: &LpOptions) -> Result<ActiveLp> {
+    try_solve_active_lp_with(inst, opts).map_err(Error::from)
+}
+
+/// The fallible-solve surface of [`solve_active_lp_with`]: identical
+/// behaviour and results, but a sharded solve whose supervision ladder
+/// quarantined some components returns [`SolveError::Partial`] carrying
+/// the exact objectives of every healthy component instead of discarding
+/// them.
+pub fn try_solve_active_lp_with(
+    inst: &Instance,
+    opts: &LpOptions,
+) -> std::result::Result<ActiveLp, SolveError> {
     let slots = horizon_slots(inst);
     let runs = slot_runs(inst, opts.coalesce);
     debug_assert_eq!(
@@ -889,11 +990,13 @@ pub fn solve_active_lp_with(inst: &Instance, opts: &LpOptions) -> Result<ActiveL
     // Warm batching applies to sharded solves on the revised backend; the
     // other backends have no warm entry point and solve cold.
     let batch = sharded && opts.warm == WarmMode::Batch && opts.backend == LpBackend::Revised;
-    let solved: Vec<Result<ComponentSolution>> = if batch {
+    let solved: Vec<ComponentOutcome> = if batch {
         solve_components_batched(inst, opts, &runs, &comps)
     } else if sharded {
-        parallel_map(comps, |comp| {
-            solve_component(inst, opts, &runs, &comp, true)
+        // The outer `supervised_map` additionally isolates panics raised
+        // *outside* the ladder (e.g. while building the component LP).
+        supervised_map((0..comps.len()).collect::<Vec<_>>(), |ci| {
+            solve_component(inst, opts, &runs, &comps[ci], true)
         })
     } else {
         comps
@@ -902,15 +1005,37 @@ pub fn solve_active_lp_with(inst: &Instance, opts: &LpOptions) -> Result<ActiveL
             .collect()
     };
     // Stitch: per-run Y values land back on their global run index (runs
-    // outside every component keep Y = 0), objectives sum exactly.
+    // outside every component keep Y = 0), objectives sum exactly;
+    // quarantined components are collected into the partial result.
     let mut y_runs = vec![Rat::ZERO; runs.len()];
     let mut objective = Rat::ZERO;
-    for res in solved {
-        let cs = res?;
-        for (k, val) in cs.y_runs.iter().enumerate() {
-            y_runs[cs.run_lo + k] = *val;
+    let mut healthy: Vec<(usize, Rat)> = Vec::new();
+    let mut quarantined: Vec<QuarantinedComponent> = Vec::new();
+    for (ci, res) in solved.into_iter().enumerate() {
+        match res {
+            Ok(Ok(cs)) => {
+                for (k, val) in cs.y_runs.iter().enumerate() {
+                    y_runs[cs.run_lo + k] = *val;
+                }
+                objective = objective.add(&cs.objective);
+                healthy.push((ci, cs.objective));
+            }
+            Ok(Err(e)) => return Err(SolveError::Model(e)),
+            Err(f) => {
+                record_quarantine();
+                quarantined.push(QuarantinedComponent {
+                    jobs: comps[ci].jobs.clone(),
+                    failure: f,
+                });
+            }
         }
-        objective = objective.add(&cs.objective);
+    }
+    if !quarantined.is_empty() {
+        return Err(SolveError::Partial(PartialSolve {
+            healthy_objective: objective,
+            healthy,
+            quarantined,
+        }));
     }
     let y = disaggregate(&runs, &y_runs);
     debug_assert_eq!(y.len(), slots.len());
@@ -972,9 +1097,9 @@ pub fn fractional_feasible(inst: &Instance, slots: &[Time], y: &[Rat]) -> bool {
         let terms: Vec<(usize, Rat)> = row.iter().map(|&(_, v)| (v, Rat::ONE)).collect();
         lp.add_constraint(terms, Cmp::Ge, Rat::from_int(inst.job(j).length));
     }
-    let rep = solve_revised_with(&lp, &RevisedOptions::default());
-    record_solve(&rep);
-    matches!(rep.solution.status, LpStatus::Optimal)
+    let sr = supervised_solve(&lp, &RevisedOptions::default(), &[])
+        .unwrap_or_else(|f| panic!("feasibility oracle quarantined: {f}"));
+    matches!(sr.report.solution.status, LpStatus::Optimal)
 }
 
 #[cfg(test)]
@@ -1361,6 +1486,27 @@ mod tests {
             .collect();
         assert_eq!(sigs[0], sigs[1], "structural twins share a signature");
         assert_ne!(sigs[0], sigs[2]);
+    }
+
+    #[test]
+    fn starved_pivot_budget_demotes_but_answers_exactly() {
+        // A one-pivot budget starves the cold revised rung on any
+        // non-trivial component; the ladder must demote to the dense tiers
+        // and still return the bit-identical exact objective, recording
+        // the trip. (Lower-bound assertions only: counters are
+        // process-global and other tests solve concurrently.)
+        let inst = Instance::from_triples([(0, 6, 3), (1, 5, 2), (2, 6, 3)], 2).unwrap();
+        let reference = solve_active_lp_with(&inst, &LpOptions::default()).unwrap();
+        let starved = LpOptions {
+            pivot_budget: 1,
+            ..LpOptions::default()
+        };
+        let before = lp_telemetry();
+        let lp = solve_active_lp_with(&inst, &starved).unwrap();
+        let d = lp_telemetry().delta(&before);
+        assert_eq!(lp.objective, reference.objective);
+        assert!(d.budget_trips >= 1, "the 1-pivot budget must trip");
+        assert!(d.demotions >= 1, "the trip must demote down the ladder");
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Fault-tolerant supervision of LP1 solves: the **degradation ladder**
+//! and the typed partial-result error of the sharded solve paths.
+//!
+//! # The ladder
+//!
+//! Every revised-backend solve in this crate runs through
+//! `supervised_solve`, which retries one component's LP down four rungs
+//! until one produces an exactly certified answer:
+//!
+//! 1. **Warm** ([`abt_lp::try_solve_revised_warm`]) — only when the caller
+//!    offers snapshots. A pool miss (`ShapeDrift`) is a routine cache
+//!    outcome and drops through silently; any other failure demotes.
+//! 2. **Cold revised** ([`abt_lp::try_solve_revised_cold`]) — the bounded
+//!    revised simplex with budgets armed. A float-level `Infeasible` claim
+//!    drops through silently (confirming it is the exact tier's job,
+//!    exactly like the legacy dense fallback); panics, budget trips, and
+//!    numerical stalls demote.
+//! 3. **Dense hybrid** ([`abt_lp::solve_hybrid_report`]) — dense float
+//!    search with exact certification and its own internal exact fallback.
+//! 4. **Dense exact** ([`abt_lp::solve`]) — every pivot in rationals; the
+//!    rung of last resort.
+//!
+//! Each *failure-driven* transition records a demotion in the process-wide
+//! telemetry ([`crate::lp_model::lp_telemetry`]); budget failures also
+//! record a budget trip. Because every rung ends in exact rational
+//! certification, a solve that succeeds on **any** rung returns the same
+//! objective bit for bit — demotion trades speed, never answers. Only when
+//! all four rungs fail is the component **quarantined**: the caller
+//! receives a typed [`SolveFailure`] and degrades to a [`PartialSolve`]
+//! carrying the exact objectives of every healthy component.
+//!
+//! # Fault injection
+//!
+//! Under the `fault-injection` cargo feature the ladder participates in
+//! the [`abt_core::faultinject`] registry: the `fail_nth_solve` failpoint
+//! fires at supervisor entry (modelling an unclassifiable crash of the
+//! whole attempt — straight to quarantine), while the deeper
+//! `panic_in_pivot` / `panic_in_ftran` / `slow_certify` sites fire inside
+//! the revised rungs and exercise the demotion path.
+
+use crate::lp_model::{record_budget_trip, record_demotion, record_solve};
+use abt_core::faultinject;
+use abt_core::{panic_message, Error, SolveFailure};
+use abt_lp::{
+    solve, solve_hybrid_report, try_solve_revised_cold, try_solve_revised_warm, BasisSnapshot,
+    HybridReport, LpProblem, Rat, RevisedOptions, SolveStats,
+};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A successful supervised solve: the certified report plus the warm-start
+/// outcome for callers that maintain snapshot pools.
+pub(crate) struct Supervised {
+    /// The certified solution and solve counters of the rung that
+    /// succeeded.
+    pub(crate) report: HybridReport,
+    /// Whether rung 1 answered from a warm-installed snapshot.
+    pub(crate) warm_hit: bool,
+    /// Snapshot of the verified terminal basis (revised rungs only).
+    pub(crate) snapshot: Option<BasisSnapshot>,
+}
+
+/// Solves `lp` down the degradation ladder (see the module docs),
+/// recording demotions and budget trips in the process-wide telemetry.
+/// Returns `Err` only when every rung failed — the caller quarantines the
+/// work item; the error is the root-cause failure (the first one that
+/// forced a demotion, or the final rung's panic when nothing demoted).
+pub(crate) fn supervised_solve(
+    lp: &LpProblem<Rat>,
+    ropts: &RevisedOptions,
+    snapshots: &[BasisSnapshot],
+) -> Result<Supervised, SolveFailure> {
+    // `fail_nth_solve` models an unclassifiable crash of the whole
+    // supervised attempt: no rung runs, the item goes straight to
+    // quarantine.
+    if let Err(payload) = catch_unwind(|| faultinject::hit("fail_nth_solve")) {
+        return Err(SolveFailure::Panicked(panic_message(payload.as_ref())));
+    }
+    let mut first_failure: Option<SolveFailure> = None;
+    let mut demote = |f: SolveFailure| {
+        record_demotion();
+        if matches!(f, SolveFailure::BudgetExceeded(_)) {
+            record_budget_trip();
+        }
+        first_failure.get_or_insert(f);
+    };
+    // Rung 1 — warm, only when the caller offers candidates.
+    if !snapshots.is_empty() {
+        match catch_unwind(AssertUnwindSafe(|| {
+            try_solve_revised_warm(lp, ropts, snapshots)
+        })) {
+            Ok(Ok(wr)) => {
+                record_solve(&wr.report);
+                return Ok(Supervised {
+                    report: wr.report,
+                    warm_hit: wr.warm_hit,
+                    snapshot: wr.snapshot,
+                });
+            }
+            // A pool miss is a routine cache outcome, not a fault.
+            Ok(Err(SolveFailure::ShapeDrift)) => {}
+            Ok(Err(f)) => demote(f),
+            Err(p) => demote(SolveFailure::Panicked(panic_message(p.as_ref()))),
+        }
+    }
+    // Rung 2 — cold revised with budgets armed.
+    match catch_unwind(AssertUnwindSafe(|| try_solve_revised_cold(lp, ropts))) {
+        Ok(Ok(wr)) => {
+            record_solve(&wr.report);
+            return Ok(Supervised {
+                report: wr.report,
+                warm_hit: false,
+                snapshot: wr.snapshot,
+            });
+        }
+        // A float-level infeasibility claim needs exact confirmation — the
+        // next rung's job, same as the legacy dense fallback. Not a fault.
+        Ok(Err(SolveFailure::Infeasible)) => {}
+        Ok(Err(f)) => demote(f),
+        Err(p) => demote(SolveFailure::Panicked(panic_message(p.as_ref()))),
+    }
+    // Rung 3 — dense hybrid (its own internal exact fallback included).
+    match catch_unwind(AssertUnwindSafe(|| solve_hybrid_report(lp))) {
+        Ok(rep) => {
+            record_solve(&rep);
+            return Ok(Supervised {
+                report: rep,
+                warm_hit: false,
+                snapshot: None,
+            });
+        }
+        Err(p) => demote(SolveFailure::Panicked(panic_message(p.as_ref()))),
+    }
+    // Rung 4 — dense exact, the rung of last resort. Its iteration-cap
+    // panic is the one failure mode left, caught like any other.
+    match catch_unwind(AssertUnwindSafe(|| solve(lp))) {
+        Ok(solution) => {
+            let rep = HybridReport {
+                solution,
+                fallback: true,
+                stats: SolveStats {
+                    pivots: 0,
+                    bound_flips: 0,
+                    refactorizations: 0,
+                    certify_nanos: 0,
+                },
+            };
+            record_solve(&rep);
+            Ok(Supervised {
+                report: rep,
+                warm_hit: false,
+                snapshot: None,
+            })
+        }
+        Err(p) => {
+            let last = SolveFailure::Panicked(panic_message(p.as_ref()));
+            Err(first_failure.unwrap_or(last))
+        }
+    }
+}
+
+/// One component the supervisor gave up on: every ladder rung failed.
+#[derive(Debug, Clone)]
+pub struct QuarantinedComponent {
+    /// Instance job indices of the component's members (ascending) — the
+    /// jobs whose removal or mutation re-admits the component.
+    pub jobs: Vec<usize>,
+    /// The root-cause failure (see the module docs' degradation ladder).
+    pub failure: SolveFailure,
+}
+
+/// The typed partial result of a sharded solve with quarantined
+/// components: everything that *did* solve, exactly.
+#[derive(Debug, Clone)]
+pub struct PartialSolve {
+    /// Exact objectives of the healthy components, as `(component index
+    /// in solve order, objective)`.
+    pub healthy: Vec<(usize, Rat)>,
+    /// Exact sum of the healthy objectives — a certified lower bound on
+    /// the full LP1 optimum (quarantined components contribute ≥ 0).
+    pub healthy_objective: Rat,
+    /// The quarantined components; never empty.
+    pub quarantined: Vec<QuarantinedComponent>,
+}
+
+/// Why a fallible LP1 solve ([`crate::lp_model::try_solve_active_lp_with`]
+/// or [`crate::incremental::IncrementalSolver::try_solve`]) failed.
+#[derive(Debug, Clone)]
+pub enum SolveError {
+    /// An instance-level error — the same errors the legacy entry points
+    /// return (LP1 infeasibility, invalid instance).
+    Model(Error),
+    /// Some components were quarantined; the healthy remainder is carried
+    /// so callers keep serving it.
+    Partial(PartialSolve),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Model(e) => write!(f, "{e}"),
+            SolveError::Partial(p) => write!(
+                f,
+                "{} of {} components quarantined (first: {}); healthy objective {}",
+                p.quarantined.len(),
+                p.quarantined.len() + p.healthy.len(),
+                p.quarantined[0].failure,
+                p.healthy_objective,
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<SolveError> for Error {
+    fn from(e: SolveError) -> Error {
+        match e {
+            SolveError::Model(err) => err,
+            partial => Error::Quarantined(partial.to_string()),
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Fault-injection tests for the supervision ladder at the active-time
+//! layer: injected failures in the pivot loop, FTRAN, the certifier, and
+//! the supervisor entry must either demote (bit-identical objectives,
+//! nonzero `demotions`, zero `quarantined`) or quarantine cleanly (typed
+//! [`SolveError::Partial`] with exact healthy objectives).
+//!
+//! Compiled only with `--features fault-injection`; every test holds the
+//! process-global [`faultinject::exclusive`] guard, so exact-zero
+//! telemetry assertions are safe *within this binary*.
+
+#![cfg(feature = "fault-injection")]
+
+use abt_active::{
+    lp_telemetry, solve_active_lp_with, try_solve_active_lp_with, IncrementalSolver, LpOptions,
+    SolveError,
+};
+use abt_core::faultinject::{self, FaultSpec};
+use abt_core::{Error, Instance, Job, SolveFailure};
+
+/// Six well-separated clusters of three overlapping jobs each: a sharded
+/// solve with enough pivot work that `every:k` failpoints fire several
+/// times whichever component the scheduler runs first.
+fn striped_instance() -> Instance {
+    let mut triples = Vec::new();
+    for c in 0..6i64 {
+        let base = 100 * c;
+        triples.push((base, base + 6, 3));
+        triples.push((base + 1, base + 5, 2));
+        triples.push((base + 2, base + 6, 3));
+    }
+    Instance::from_triples(triples, 2).unwrap()
+}
+
+/// Tentpole differential: with failpoints firing in three layers (pivot
+/// loop, FTRAN, certifier), the sharded and warm-batched solves complete
+/// without abort and return objectives bit-identical to the fault-free
+/// runs — demotions absorb every injected fault, nothing quarantines.
+#[test]
+fn intermittent_faults_in_three_layers_demote_but_stay_bit_identical() {
+    let _guard = faultinject::exclusive();
+    let inst = striped_instance();
+    let modes = [LpOptions::default(), LpOptions::warm_batched()];
+    let baseline: Vec<_> = modes
+        .iter()
+        .map(|o| solve_active_lp_with(&inst, o).unwrap().objective)
+        .collect();
+
+    faultinject::configure("panic_in_pivot", FaultSpec::panic_every(4));
+    faultinject::configure("panic_in_ftran", FaultSpec::panic_every(7));
+    faultinject::configure("slow_certify", FaultSpec::delay_nth(3, 1));
+    let before = lp_telemetry();
+    for (opts, expect) in modes.iter().zip(&baseline) {
+        let lp = solve_active_lp_with(&inst, opts).unwrap();
+        assert_eq!(lp.objective, *expect, "demotion must never change answers");
+    }
+    let d = lp_telemetry().delta(&before);
+    assert!(d.demotions >= 1, "injected faults must demote");
+    assert_eq!(d.quarantined, 0, "the dense rungs absorb every fault");
+
+    // Fault-free control: with the registry cleared, the same solves
+    // record zero demotions, budget trips, and quarantines.
+    faultinject::reset();
+    let before = lp_telemetry();
+    for (opts, expect) in modes.iter().zip(&baseline) {
+        assert_eq!(
+            solve_active_lp_with(&inst, opts).unwrap().objective,
+            *expect
+        );
+    }
+    let d = lp_telemetry().delta(&before);
+    assert_eq!((d.demotions, d.budget_trips, d.quarantined), (0, 0, 0));
+}
+
+/// Supervisor-entry crashes quarantine every component: the typed
+/// partial-result error carries them all, the legacy surface flattens to
+/// [`Error::Quarantined`], and recovery after clearing the registry is
+/// bit-identical to the fault-free baseline.
+#[test]
+fn supervisor_entry_crashes_quarantine_components_with_typed_partials() {
+    let _guard = faultinject::exclusive();
+    let inst = striped_instance();
+    let opts = LpOptions::default();
+    let baseline = solve_active_lp_with(&inst, &opts).unwrap().objective;
+
+    faultinject::configure("fail_nth_solve", FaultSpec::panic_every(1));
+    let before = lp_telemetry();
+    match try_solve_active_lp_with(&inst, &opts) {
+        Err(SolveError::Partial(p)) => {
+            assert_eq!(p.quarantined.len(), 6, "all six components crash");
+            assert!(p.healthy.is_empty());
+            assert!(p
+                .quarantined
+                .iter()
+                .all(|q| matches!(q.failure, SolveFailure::Panicked(_))));
+        }
+        other => panic!("expected a partial solve, got {other:?}"),
+    }
+    assert!(matches!(
+        solve_active_lp_with(&inst, &opts),
+        Err(Error::Quarantined(_))
+    ));
+    assert!(lp_telemetry().delta(&before).quarantined >= 6);
+
+    faultinject::reset();
+    let lp = solve_active_lp_with(&inst, &opts).unwrap();
+    assert_eq!(lp.objective, baseline);
+}
+
+/// Satellite: a quarantined [`IncrementalSolver`] component is skipped
+/// (not retried) on later solves, is re-admitted and solved cold once the
+/// offending job is removed, and the clean components are served from the
+/// content cache throughout — never re-solved.
+#[test]
+fn incremental_quarantine_readmits_on_content_change_without_resolving_clean_blocks() {
+    let _guard = faultinject::exclusive();
+    let mut solver = IncrementalSolver::new(2).unwrap();
+    solver.add_job(Job::new(0, 4, 2));
+    solver.add_job(Job::new(100, 104, 3));
+    solver.add_job(Job::new(200, 203, 1));
+    let clean = solver.solve().unwrap();
+    // All three singletons solve (cold, or warm off the shape cache —
+    // the stripes share a run-level shape); none can be content-reused.
+    assert_eq!((clean.components, clean.reused), (3, 0));
+    let clean_objective = clean.lp.objective;
+
+    // A fourth, far-apart job arrives and its (only dirty) component
+    // crashes at supervisor entry.
+    let bad = solver.add_job(Job::new(300, 306, 3));
+    faultinject::configure("fail_nth_solve", FaultSpec::panic_nth(1));
+    let partial = match solver.try_solve() {
+        Err(SolveError::Partial(p)) => p,
+        other => panic!("expected a partial solve, got {other:?}"),
+    };
+    assert_eq!(partial.quarantined.len(), 1);
+    assert_eq!(partial.quarantined[0].jobs.len(), 1);
+    assert_eq!(partial.healthy.len(), 3, "clean blocks keep serving");
+    assert_eq!(partial.healthy_objective, clean_objective);
+    assert_eq!(solver.quarantined(), 1);
+
+    // The failpoint is gone, but the quarantined key is not retried:
+    // re-admission is content-driven, not time-driven.
+    faultinject::reset();
+    let before = lp_telemetry();
+    match solver.try_solve() {
+        Err(SolveError::Partial(p)) => {
+            assert_eq!(p.quarantined.len(), 1);
+            assert_eq!(p.healthy_objective, clean_objective);
+        }
+        other => panic!("expected the quarantine to persist, got {other:?}"),
+    }
+    let d = lp_telemetry().delta(&before);
+    assert_eq!(d.solves, 0, "no component may re-solve on a skip pass");
+
+    // Removing the offending job re-admits by content: the component
+    // disappears, its stale quarantine entry is pruned, and the clean
+    // blocks are reused verbatim — zero cold solves.
+    solver.remove_job(bad).unwrap();
+    let report = solver.solve().unwrap();
+    assert_eq!(report.components, 3);
+    assert_eq!(report.reused, 3, "clean components never re-solve");
+    assert_eq!(report.cold_solves, 0);
+    assert_eq!(report.lp.objective, clean_objective);
+    assert_eq!(solver.quarantined(), 0, "stale quarantine keys are pruned");
+
+    // Manual re-admission: the same bad content, quarantined again, is
+    // retried after `clear_quarantine` (the registry is already clean).
+    solver.add_job(Job::new(300, 306, 3));
+    faultinject::configure("fail_nth_solve", FaultSpec::panic_nth(1));
+    assert!(solver.try_solve().is_err());
+    faultinject::reset();
+    solver.clear_quarantine();
+    let report = solver.solve().unwrap();
+    assert_eq!(report.reused, 3, "clean blocks are still cache hits");
+    assert_eq!(
+        report.cold_solves + report.warm_hits,
+        1,
+        "the re-admitted component solves exactly once"
+    );
+}

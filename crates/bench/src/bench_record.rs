@@ -53,6 +53,9 @@
 //! | `lp_max_component_vars` | number | optional (0) | largest component sub-LP's variable count: 0 when the experiment sharded nothing (`lp_components` = 0), otherwise the process-wide high-water mark at snapshot time |
 //! | `warm_hits`      | number | optional (0) | warm-start attempts that installed and certified warm (batched siblings + incremental re-solves); 0 for experiments that never warm-start. Informational — the warm *benefit* is gated through `e22`'s `lp_pivots` |
 //! | `warm_pivots_saved` | number | optional (0) | pivots saved by those hits versus each hit's cold reference solve (floored at zero per solve); informational |
+//! | `demotions`      | number | optional (0) | failure-driven supervision-ladder demotions (see `abt-active`'s `supervise` module). Nonzero only under fault injection or solve budgets; informational in the record (CI asserts it separately in the fault-injection smoke) |
+//! | `budget_trips`   | number | optional (0) | solve attempts that tripped a pivot/refactorization/wall-time budget (a subset of `demotions`); informational |
+//! | `quarantined`    | number | optional (0) | components whose whole supervision ladder failed; **any nonzero value fails the gate** — a fault-free benchmark run must never quarantine |
 //! | `speedup`        | number | optional (absent) | an experiment-defined headline ratio — `e21` records its Auto-vs-Off LP1 wall-clock speedup, `e22` its cold/warm pivot-effort ratio; absent for experiments without one. Informational (the deterministic effort counters are what CI gates) |
 //!
 //! # Parsing
@@ -125,6 +128,15 @@ pub struct ExperimentRecord {
     pub warm_hits: u64,
     /// Pivots saved by those warm hits versus their cold reference solves.
     pub warm_pivots_saved: u64,
+    /// Failure-driven supervision-ladder demotions during the experiment
+    /// (0 on fault-free runs).
+    pub demotions: u64,
+    /// Solve attempts that tripped a pivot/refactorization/wall-time
+    /// budget (a subset of `demotions`).
+    pub budget_trips: u64,
+    /// Components whose whole supervision ladder failed (gated: must be 0
+    /// on fault-free benchmark runs).
+    pub quarantined: u64,
     /// Experiment-defined headline ratio (e.g. `e21`'s Auto-vs-Off LP1
     /// speedup, `e22`'s cold/warm pivot-effort ratio); `None` for
     /// experiments without one.
@@ -200,7 +212,8 @@ impl BenchRecord {
                     "\"fallback_rate\": {:.4}, \"lp_pivots\": {}, \"lp_bound_flips\": {}, ",
                     "\"lp_refactorizations\": {}, \"lp_certify_ms\": {:.3}, ",
                     "\"lp_components\": {}, \"lp_max_component_vars\": {}, ",
-                    "\"warm_hits\": {}, \"warm_pivots_saved\": {}{}}}{}\n"
+                    "\"warm_hits\": {}, \"warm_pivots_saved\": {}, ",
+                    "\"demotions\": {}, \"budget_trips\": {}, \"quarantined\": {}{}}}{}\n"
                 ),
                 esc(&e.id),
                 e.wall_ms,
@@ -214,6 +227,9 @@ impl BenchRecord {
                 e.lp_max_component_vars,
                 e.warm_hits,
                 e.warm_pivots_saved,
+                e.demotions,
+                e.budget_trips,
+                e.quarantined,
                 speedup,
                 if i + 1 < self.experiments.len() {
                     ","
@@ -278,6 +294,9 @@ impl BenchRecord {
                 lp_max_component_vars: opt_num(e, "lp_max_component_vars") as u64,
                 warm_hits: opt_num(e, "warm_hits") as u64,
                 warm_pivots_saved: opt_num(e, "warm_pivots_saved") as u64,
+                demotions: opt_num(e, "demotions") as u64,
+                budget_trips: opt_num(e, "budget_trips") as u64,
+                quarantined: opt_num(e, "quarantined") as u64,
                 speedup: e.get("speedup").and_then(|v| v.as_f64("speedup").ok()),
             });
         }
@@ -521,6 +540,9 @@ mod tests {
                     lp_max_component_vars: 0,
                     warm_hits: 0,
                     warm_pivots_saved: 0,
+                    demotions: 0,
+                    budget_trips: 0,
+                    quarantined: 0,
                     speedup: None,
                 },
                 ExperimentRecord {
@@ -536,6 +558,9 @@ mod tests {
                     lp_max_component_vars: 96,
                     warm_hits: 7,
                     warm_pivots_saved: 120,
+                    demotions: 2,
+                    budget_trips: 1,
+                    quarantined: 0,
                     speedup: Some(3.75),
                 },
             ],
@@ -564,6 +589,9 @@ mod tests {
         assert_eq!(back.experiments[1].lp_max_component_vars, 96);
         assert_eq!(back.experiments[1].warm_hits, 7);
         assert_eq!(back.experiments[1].warm_pivots_saved, 120);
+        assert_eq!(back.experiments[1].demotions, 2);
+        assert_eq!(back.experiments[1].budget_trips, 1);
+        assert_eq!(back.experiments[1].quarantined, 0);
         assert_eq!(back.experiments[0].speedup, None);
         assert!((back.experiments[1].speedup.unwrap() - 3.75).abs() < 1e-9);
     }
@@ -590,6 +618,9 @@ mod tests {
         assert_eq!(rec.experiments[0].lp_max_component_vars, 0);
         assert_eq!(rec.experiments[0].warm_hits, 0);
         assert_eq!(rec.experiments[0].warm_pivots_saved, 0);
+        assert_eq!(rec.experiments[0].demotions, 0);
+        assert_eq!(rec.experiments[0].budget_trips, 0);
+        assert_eq!(rec.experiments[0].quarantined, 0);
         assert_eq!(rec.experiments[0].speedup, None);
     }
 

@@ -1,8 +1,9 @@
 //! Regenerates the paper's figures/claims as Markdown tables, and records
 //! the solve-time trajectory in `BENCH_lp.json`.
 //!
-//! Usage: `experiments [--no-json] [e1 e5 ...]` — no experiment ids runs
-//! everything. Unless `--no-json` is given, the run writes `BENCH_lp.json`
+//! Usage: `experiments [--no-json] [--expect-demotions] [e1 e5 ...]` — no
+//! experiment ids runs everything. Unless `--no-json` is given, the run
+//! writes `BENCH_lp.json`
 //! (path overridable via the `BENCH_LP_PATH` environment variable) in the
 //! `abt-bench/lp-v2` schema (see [`abt_bench::bench_record`]): the wall
 //! time and LP telemetry (fallback rate plus pivot/flip/refactorization/
@@ -15,6 +16,14 @@
 //! VUB-aware revised simplex, no cap rows at all), with the shared exact
 //! objective and the resulting speedup. CI's `perf-gate` job re-runs this
 //! record and compares it field-by-field against the committed file.
+//!
+//! Under the `fault-injection` cargo feature, the run first seeds the
+//! failpoint registry from the `ABT_FAULTPOINTS` environment variable
+//! (see [`abt_core::faultinject`]), and `--expect-demotions` turns the run
+//! into a smoke assertion: it exits nonzero unless the supervision ladder
+//! recorded at least one demotion and **zero** quarantines — i.e. the
+//! injected faults actually fired and were all absorbed below the
+//! quarantine line, with every exact objective intact.
 
 use abt_active::{lp_telemetry, solve_active_lp_with, LpOptions};
 use abt_bench::bench_record::{BenchRecord, ExperimentRecord, LpSimplexRecord, SCHEMA};
@@ -81,8 +90,29 @@ fn write_bench_json(experiments: Vec<ExperimentRecord>) {
 }
 
 fn main() {
+    #[cfg(feature = "fault-injection")]
+    {
+        abt_core::faultinject::configure_from_env();
+        if std::env::var_os("ABT_FAULTPOINTS").is_some() {
+            // Injected panics are expected by the thousands in a smoke
+            // run; printing each backtrace would drown the CI log. Real
+            // (non-injected) panics still print.
+            std::panic::set_hook(Box::new(|info| {
+                let msg = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_default();
+                if !msg.contains("faultinject:") {
+                    eprintln!("{info}");
+                }
+            }));
+        }
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let write_json = !args.iter().any(|a| a == "--no-json");
+    let expect_demotions = args.iter().any(|a| a == "--expect-demotions");
     let selected: Vec<&str> = args
         .iter()
         .map(String::as_str)
@@ -149,6 +179,9 @@ fn main() {
                 },
                 warm_hits: d.warm_hits,
                 warm_pivots_saved: d.warm_pivots_saved,
+                demotions: d.demotions,
+                budget_trips: d.budget_trips,
+                quarantined: d.quarantined,
                 speedup: report.speedup,
             });
         }
@@ -156,6 +189,19 @@ fn main() {
     if records.is_empty() {
         eprintln!("unknown experiment ids {selected:?}; available: e1..e22");
         std::process::exit(2);
+    }
+    if expect_demotions {
+        let demotions: u64 = records.iter().map(|r| r.demotions).sum();
+        let quarantined: u64 = records.iter().map(|r| r.quarantined).sum();
+        if demotions == 0 {
+            eprintln!("--expect-demotions: no supervision-ladder demotions recorded — the configured faults never fired");
+            std::process::exit(1);
+        }
+        if quarantined > 0 {
+            eprintln!("--expect-demotions: {quarantined} components quarantined — injected faults must demote, never quarantine");
+            std::process::exit(1);
+        }
+        eprintln!("--expect-demotions: {demotions} demotions, 0 quarantines — all injected faults absorbed");
     }
     if write_json {
         write_bench_json(records);

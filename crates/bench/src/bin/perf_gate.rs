@@ -16,6 +16,9 @@
 //! * the fresh candidate solve needed the exact fallback, or
 //! * any experiment (all current workloads are non-adversarial) reports a
 //!   `fallback_rate > 0`, or
+//! * any fresh experiment reports `quarantined > 0` — a fault-free
+//!   benchmark run must never abandon a component; a quarantine here means
+//!   the supervision ladder's dense rungs failed on a clean workload, or
 //! * the VUB-heavy sweep (`e20`), the decomposition-scaling sweep
 //!   (`e21`), or the warm-start sweep (`e22`) appears in both records and
 //!   its fresh *solve effort* — pivot or LU-refactorization counts, which
@@ -110,6 +113,12 @@ fn main() {
             failures.push(format!(
                 "experiment {} reports fallback_rate {:.4} over {} LP solves (must be 0 on non-adversarial workloads)",
                 e.id, e.fallback_rate, e.lp_solves
+            ));
+        }
+        if e.quarantined > 0 {
+            failures.push(format!(
+                "experiment {} reports {} quarantined components (must be 0: a fault-free run must never abandon a component)",
+                e.id, e.quarantined
             ));
         }
     }

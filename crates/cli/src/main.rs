@@ -3,6 +3,7 @@
 //! ```text
 //! abt gen <family> [seed]            generate an instance to stdout
 //! abt bounds <file>                  print lower bounds
+//! abt solve <file>                   exact LP1 optimum + solve telemetry
 //! abt active <file> <algo>           minimal|rounding|exact|unit
 //! abt busy <file> <algo>             ff|gt|kr|ab|exact|preempt
 //! abt incremental [clusters] [jobs_per_cluster] [seed]
@@ -10,12 +11,19 @@
 //!                                    through the incremental LP1 solver
 //! ```
 //!
+//! `solve` and `incremental` also accept `--pivot-budget N` and
+//! `--time-budget-ms N`: per-attempt solve budgets (0 = unlimited). A
+//! tripped budget demotes the solve down the supervision ladder (see
+//! `abt-active`'s `supervise` module) — the answer stays exact; the
+//! printed telemetry shows how many attempts demoted, tripped a budget,
+//! or were quarantined.
+//!
 //! Instance files use the `abt-core::io` text format (`g <k>` then one
 //! `job <r> <d> <p>` per line; `#` comments allowed).
 
 use abt_active::{
     exact_active_time, exact_unit_active_time, lp_rounding, lp_telemetry, minimal_feasible,
-    ClosingOrder, IncrementalSolver,
+    solve_active_lp_with, ClosingOrder, IncrementalSolver, LpOptions,
 };
 use abt_busy::{
     exact_busy_time, preemptive_bounded, preemptive_unbounded, solve_flexible, IntervalAlgo,
@@ -36,9 +44,12 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage:\n  abt gen <interval|flexible|vm|optical|fig1|fig3|gap> [seed]\n  \
-                 abt bounds <file>\n  abt active <file> <minimal|rounding|exact|unit>\n  \
+                 abt bounds <file>\n  \
+                 abt solve <file> [--pivot-budget N] [--time-budget-ms N]\n  \
+                 abt active <file> <minimal|rounding|exact|unit>\n  \
                  abt busy <file> <ff|gt|kr|ab|exact|preempt>\n  \
-                 abt incremental [clusters] [jobs_per_cluster] [seed]"
+                 abt incremental [clusters] [jobs_per_cluster] [seed] \
+                 [--pivot-budget N] [--time-budget-ms N]"
             );
             ExitCode::from(2)
         }
@@ -48,6 +59,38 @@ fn main() -> ExitCode {
 fn load(path: &str) -> Result<Instance, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     io::read_instance(&text).map_err(|e| e.to_string())
+}
+
+/// Splits the solve-budget flags (`--pivot-budget N`, `--time-budget-ms
+/// N`) out of `args`, returning the remaining positional arguments and an
+/// [`LpOptions`] with the budgets applied (0 = unlimited).
+fn parse_budgets<'a>(args: &[&'a str]) -> Result<(Vec<&'a str>, LpOptions), String> {
+    let mut opts = LpOptions::default();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match *a {
+            "--pivot-budget" | "--time-budget-ms" => {
+                let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
+                let n: u64 = v.parse().map_err(|_| format!("bad {a} value '{v}'"))?;
+                if *a == "--pivot-budget" {
+                    opts.pivot_budget = n;
+                } else {
+                    opts.time_budget_ms = n;
+                }
+            }
+            other => positional.push(other),
+        }
+    }
+    Ok((positional, opts))
+}
+
+/// One-line supervision summary from a telemetry delta.
+fn supervision_summary(d: &abt_active::LpTelemetry) -> String {
+    format!(
+        "supervision: {} demotions ({} budget trips), {} quarantined",
+        d.demotions, d.budget_trips, d.quarantined
+    )
 }
 
 fn run(args: &[&str]) -> Result<(), String> {
@@ -83,6 +126,25 @@ fn run(args: &[&str]) -> Result<(), String> {
                 "busy-time bounds: mass={} span={} profile={}",
                 b.mass, b.span, b.profile
             );
+            Ok(())
+        }
+        ["solve", rest @ ..] => {
+            let (positional, opts) = parse_budgets(rest)?;
+            let [path] = positional[..] else {
+                return Err("solve takes exactly one instance file".into());
+            };
+            let inst = load(path)?;
+            let before = lp_telemetry();
+            let lp = solve_active_lp_with(&inst, &opts).map_err(|e| e.to_string())?;
+            let d = lp_telemetry().delta(&before);
+            let open = lp.y.iter().filter(|v| v.signum() > 0).count();
+            println!("LP1 optimum: {}", lp.objective);
+            println!("fractionally open slots: {open} of {}", lp.slots.len());
+            println!(
+                "solves: {} ({} components), {} pivots, {} fallbacks",
+                d.solves, d.components, d.pivots, d.fallbacks
+            );
+            println!("{}", supervision_summary(&d));
             Ok(())
         }
         ["active", path, algo] => {
@@ -162,8 +224,9 @@ fn run(args: &[&str]) -> Result<(), String> {
             Ok(())
         }
         ["incremental", rest @ ..] => {
+            let (positional, opts) = parse_budgets(rest)?;
             let parse_at = |i: usize, default: u64| -> Result<u64, String> {
-                rest.get(i).map_or(Ok(default), |s| {
+                positional.get(i).map_or(Ok(default), |s| {
                     s.parse().map_err(|_| format!("bad argument '{s}'"))
                 })
             };
@@ -182,7 +245,8 @@ fn run(args: &[&str]) -> Result<(), String> {
                 cfg.templates
             );
             let before = lp_telemetry();
-            let mut solver = IncrementalSolver::new(oa.g).map_err(|e| e.to_string())?;
+            let mut solver =
+                IncrementalSolver::with_options(oa.g, opts).map_err(|e| e.to_string())?;
             for (i, job) in oa.jobs.iter().enumerate() {
                 solver.add_job(*job);
                 let rep = solver.solve().map_err(|e| e.to_string())?;
@@ -205,6 +269,7 @@ fn run(args: &[&str]) -> Result<(), String> {
                 "replay totals: {} LP solves, {} pivots, warm {}/{} hits ({} pivots saved), {} fallbacks",
                 d.solves, d.pivots, d.warm_hits, d.warm_attempts, d.warm_pivots_saved, d.fallbacks
             );
+            println!("{}", supervision_summary(&d));
             Ok(())
         }
         _ => Err("missing or unknown subcommand".into()),

@@ -30,6 +30,11 @@ pub enum Error {
     /// No feasible solution exists (active-time model only; the busy-time
     /// model is always feasible).
     Infeasible(String),
+    /// A supervised solve quarantined part of the work after every rung of
+    /// its degradation ladder failed. The message summarizes which parts
+    /// were lost; callers needing the healthy partial result use the typed
+    /// error of the fallible entry points in `abt-active` instead.
+    Quarantined(String),
 }
 
 impl fmt::Display for Error {
@@ -41,6 +46,7 @@ impl fmt::Display for Error {
             Error::Parse { line, reason } => write!(f, "parse error on line {line}: {reason}"),
             Error::Unsupported(r) => write!(f, "unsupported: {r}"),
             Error::Infeasible(r) => write!(f, "infeasible: {r}"),
+            Error::Quarantined(r) => write!(f, "quarantined: {r}"),
         }
     }
 }
@@ -49,3 +55,65 @@ impl std::error::Error for Error {}
 
 /// Convenience alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, Error>;
+
+/// Which solve budget was exhausted (see [`SolveFailure::BudgetExceeded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The basis-changing pivot budget.
+    Pivots,
+    /// The wall-clock budget.
+    Time,
+    /// The LU-refactorization budget.
+    Refactorizations,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::Pivots => write!(f, "pivot"),
+            BudgetKind::Time => write!(f, "wall-time"),
+            BudgetKind::Refactorizations => write!(f, "refactorization"),
+        }
+    }
+}
+
+/// Why one supervised solve attempt failed.
+///
+/// This is the error half of [`crate::parallel::supervised_map`] and of the
+/// budgeted solve entry points in `abt-lp`: a failure is scoped to a single
+/// work item (one component LP, one ladder rung), never to the whole
+/// process, so supervisors can retry the item down a degradation ladder or
+/// quarantine it while every other item keeps its result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveFailure {
+    /// The solve panicked; the payload message is preserved for diagnostics.
+    Panicked(String),
+    /// The solve exhausted one of its budgets (see [`BudgetKind`]) before
+    /// reaching a verdict.
+    BudgetExceeded(BudgetKind),
+    /// The float pass stalled (iteration cap, singular refactorization) or
+    /// its terminal basis failed exact certification — the attempt is
+    /// inconclusive, not a verdict.
+    NumericalStall,
+    /// A warm-start snapshot did not fit the problem's shape (and no other
+    /// candidate installed), so the warm rung has nothing to run.
+    ShapeDrift,
+    /// The float pass believes the problem is infeasible. Float-level
+    /// infeasibility is *not* a verdict: supervisors demote to an exact
+    /// tier, whose infeasibility becomes the real [`Error::Infeasible`].
+    Infeasible,
+}
+
+impl fmt::Display for SolveFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveFailure::Panicked(msg) => write!(f, "solve panicked: {msg}"),
+            SolveFailure::BudgetExceeded(k) => write!(f, "solve exceeded its {k} budget"),
+            SolveFailure::NumericalStall => write!(f, "solve stalled numerically"),
+            SolveFailure::ShapeDrift => write!(f, "no warm-start snapshot fits this shape"),
+            SolveFailure::Infeasible => write!(f, "float pass reports infeasible (unverified)"),
+        }
+    }
+}
+
+impl std::error::Error for SolveFailure {}

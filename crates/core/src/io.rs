@@ -34,7 +34,14 @@ pub fn read_instance(text: &str) -> Result<Instance> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let tag = parts.next().unwrap();
+        // Defensive: `line` is non-empty here, so a first token must
+        // exist, but malformed/truncated input must never panic a parser.
+        let Some(tag) = parts.next() else {
+            return Err(Error::Parse {
+                line: lineno + 1,
+                reason: "missing directive".into(),
+            });
+        };
         let parse = |s: Option<&str>, what: &str| -> Result<i64> {
             s.ok_or_else(|| Error::Parse {
                 line: lineno + 1,
@@ -119,5 +126,17 @@ mod tests {
         assert!(read_instance("g 2\njob 0 5 9\n").is_err()); // p > window
         assert!(read_instance("g 2\nfrob 1 2 3\n").is_err());
         assert!(read_instance("g 2 7\n").is_err()); // trailing token
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        // Inputs cut off mid-line (a partial write, a torn download) must
+        // surface as parse errors with a line number, never a panic.
+        for text in ["g", "job", "g 2\njob", "g 2\njob 0", "g 2\njob 0 5"] {
+            match read_instance(text) {
+                Err(Error::Parse { line, .. }) => assert!(line >= 1, "input {text:?}"),
+                other => panic!("input {text:?}: expected parse error, got {other:?}"),
+            }
+        }
     }
 }

@@ -22,6 +22,7 @@ pub mod active_schedule;
 pub mod bounds;
 pub mod busy_schedule;
 pub mod error;
+pub mod faultinject;
 pub mod instance;
 pub mod io;
 pub mod jobs;
@@ -34,10 +35,10 @@ pub mod time;
 pub use active_schedule::ActiveSchedule;
 pub use bounds::{active_lower_bound, busy_lower_bounds, BusyBounds};
 pub use busy_schedule::{Bundle, BusySchedule};
-pub use error::{Error, Result};
+pub use error::{BudgetKind, Error, Result, SolveFailure};
 pub use instance::Instance;
 pub use jobs::{Job, JobId};
-pub use parallel::parallel_map;
+pub use parallel::{panic_message, parallel_map, supervised_map};
 pub use preemptive_schedule::{Piece, PreemptiveSchedule};
 pub use profile::DemandProfile;
 pub use ratio::{within_factor, within_frac_factor, Frac};

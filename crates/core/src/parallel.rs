@@ -14,7 +14,8 @@
 //! workers are joined. A panic inside `f` is re-raised on the caller with
 //! its original payload.
 
-use std::panic::resume_unwind;
+use crate::error::SolveFailure;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, PoisonError};
 
 /// Applies `f` to every item on a scoped worker pool, returning results in
@@ -82,6 +83,46 @@ where
         .collect()
 }
 
+/// The supervised variant of [`parallel_map`]: applies the fallible `f` to
+/// every item on the same scoped worker pool, but **catches unwinds per
+/// work item** instead of letting one panicking item abort the whole sweep.
+/// A panic inside `f` becomes [`SolveFailure::Panicked`] (carrying the
+/// payload message) in that item's slot; every other item keeps its own
+/// result. This is the trust boundary of the component fan-out in
+/// `abt-active` — a poisoned component LP must never take down its
+/// siblings.
+///
+/// `f` itself returns `Result<R, SolveFailure>` so callers can layer their
+/// own failure taxonomy (budget trips, numerical stalls) under the same
+/// supervision; the unwind catch is a backstop for whatever the ladder did
+/// not already convert into a typed failure.
+///
+/// Per-item state that `f` checks out of thread-local pools (the `abt-lp`
+/// `SolveArena`) must be unwind-safe by construction — the arena's
+/// checkout/giveback discipline recycles buffers on drop, so catching the
+/// unwind here never poisons or leaks the pool.
+pub fn supervised_map<T, R, F>(items: Vec<T>, f: F) -> Vec<std::result::Result<R, SolveFailure>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> std::result::Result<R, SolveFailure> + Sync,
+{
+    parallel_map(items, |item| {
+        catch_unwind(AssertUnwindSafe(|| f(item)))
+            .unwrap_or_else(|payload| Err(SolveFailure::Panicked(panic_message(payload.as_ref()))))
+    })
+}
+
+/// Best-effort extraction of a panic payload's message (`&str` and `String`
+/// payloads cover `panic!`/`assert!`/`expect`; anything else is opaque).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +171,40 @@ mod tests {
             .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
             .unwrap_or_default();
         assert!(msg.contains("boom at 17"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn supervised_map_isolates_panics_per_item() {
+        let out = supervised_map((0..32).collect(), |x: i32| {
+            if x % 11 == 5 {
+                panic!("injected at {x}");
+            }
+            Ok(x * 2)
+        });
+        assert_eq!(out.len(), 32);
+        for (i, r) in out.iter().enumerate() {
+            if i % 11 == 5 {
+                match r {
+                    Err(SolveFailure::Panicked(msg)) => {
+                        assert!(msg.contains(&format!("injected at {i}")));
+                    }
+                    other => panic!("item {i}: expected Panicked, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*r, Ok(i as i32 * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_map_passes_typed_failures_through() {
+        let out = supervised_map(vec![1u64, 2, 3], |x| {
+            if x == 2 {
+                Err(SolveFailure::NumericalStall)
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(out, vec![Ok(1), Err(SolveFailure::NumericalStall), Ok(3)]);
     }
 }

@@ -75,6 +75,9 @@ use crate::lu::SparseLu;
 use crate::model::{Cmp, LpProblem};
 use crate::scalar::Scalar;
 use crate::warm::BasisSnapshot;
+use abt_core::error::BudgetKind;
+use abt_core::faultinject;
+use std::time::{Duration, Instant};
 
 /// Entering tolerance on reduced costs.
 const ENTER_TOL: f64 = 1e-9;
@@ -121,6 +124,12 @@ pub enum BoundedStatus {
     /// The pass gave up (iteration cap, singular refactorization). Callers
     /// must fall back to an exact solve; this is never a verdict.
     Stalled,
+    /// The pass exhausted one of its [`BoundedOptions`] solve budgets
+    /// before reaching a verdict. Like `Stalled`, never a verdict — but
+    /// callers should *not* silently fall back to an exact solve (which
+    /// has no cheaper tier to charge the budget to); supervisors surface
+    /// it as [`abt_core::error::SolveFailure::BudgetExceeded`] instead.
+    Budget(BudgetKind),
 }
 
 /// Tuning knobs of the float pass.
@@ -129,15 +138,46 @@ pub struct BoundedOptions {
     /// Columns priced per partial-pricing window; `0` disables partial
     /// pricing (every iteration runs a full Dantzig sweep).
     pub pricing_window: usize,
+    /// Basis-changing pivot budget across both phases; `0` = unlimited.
+    /// On exhaustion the pass stops with [`BoundedStatus::Budget`]
+    /// instead of spinning (active-time is NP-complete, so no exact tier
+    /// can promise termination on adversarial inputs without a budget).
+    pub pivot_budget: u64,
+    /// LU-refactorization budget across both phases; `0` = unlimited.
+    pub refactor_budget: u64,
+    /// Wall-clock budget. Applies per stage: the float pass measures from
+    /// its own entry, and the exact certifier (see
+    /// [`crate::simplex`]) starts a fresh clock of the same length —
+    /// enforcement points are the pivot loop (checked every
+    /// [`TIME_CHECK_EVERY`] iterations) and the certifier's staged
+    /// checkpoints. `None` = unlimited.
+    pub time_budget: Option<Duration>,
 }
 
 impl Default for BoundedOptions {
     fn default() -> Self {
         BoundedOptions {
             pricing_window: DEFAULT_PRICING_WINDOW,
+            pivot_budget: 0,
+            refactor_budget: 0,
+            time_budget: None,
         }
     }
 }
+
+impl BoundedOptions {
+    /// The deadline a stage starting *now* must finish by (`None` =
+    /// unbudgeted).
+    pub(crate) fn stage_deadline(&self) -> Option<Instant> {
+        self.time_budget.map(|d| Instant::now() + d)
+    }
+}
+
+/// How many pivot-loop iterations pass between wall-clock reads when a
+/// [`BoundedOptions::time_budget`] is set (an `Instant::now()` call is
+/// tens of nanoseconds against microsecond-scale iterations, but there is
+/// no reason to pay it every iteration).
+pub const TIME_CHECK_EVERY: u64 = 64;
 
 /// Default partial-pricing window (see [`BoundedOptions::pricing_window`]).
 pub const DEFAULT_PRICING_WINDOW: usize = 256;
@@ -342,6 +382,14 @@ struct Rev<'a> {
     pivots: u64,
     bound_flips: u64,
     refactorizations: u64,
+    /// Pivot budget (`0` = unlimited), from [`BoundedOptions`].
+    pivot_budget: u64,
+    /// Refactorization budget (`0` = unlimited).
+    refactor_budget: u64,
+    /// Wall-clock deadline for this solve (`None` = unbudgeted).
+    deadline: Option<Instant>,
+    /// Iterations since the solve started (wall-clock check cadence).
+    ticks: u64,
 }
 
 /// One product-form update: the basis column at position `r` was replaced
@@ -358,6 +406,7 @@ enum StepOutcome {
     Optimal,
     Unbounded,
     Stalled,
+    Budget(BudgetKind),
 }
 
 /// What the ratio test decided the step runs into.
@@ -426,31 +475,58 @@ impl<'a> Rev<'a> {
             pivots: 0,
             bound_flips: 0,
             refactorizations: 0,
+            pivot_budget: 0,
+            refactor_budget: 0,
+            deadline: None,
+            ticks: 0,
         };
         rev.recompute_xb();
         Some(rev)
     }
 
-    /// Consumes the solver state into its result, giving every pooled
-    /// scratch buffer (dense vectors and eta columns) back to the arena.
-    /// `Stalled` results carry no basis/state, matching the contract that
-    /// a stall is never a verdict.
-    fn finish(mut self, status: BoundedStatus) -> BoundedBasis {
-        self.arena.give_f64(std::mem::take(&mut self.aq));
-        self.arena.give_f64(std::mem::take(&mut self.cb));
-        self.arena.give_f64(std::mem::take(&mut self.xb));
-        for e in self.etas.drain(..) {
-            self.arena.give_pairs(e.rest);
+    /// Arms the solve budgets from the caller's options. The wall-clock
+    /// deadline starts *now*, covering everything that follows (both
+    /// phases, warm installs).
+    fn arm_budgets(&mut self, opts: &BoundedOptions) {
+        self.pivot_budget = opts.pivot_budget;
+        self.refactor_budget = opts.refactor_budget;
+        self.deadline = opts.stage_deadline();
+    }
+
+    /// Which budget, if any, is exhausted. Called at the top of every
+    /// pivot-loop iteration; the wall clock is only read every
+    /// [`TIME_CHECK_EVERY`] iterations.
+    fn budget_trip(&mut self) -> Option<BudgetKind> {
+        if self.pivot_budget != 0 && self.pivots >= self.pivot_budget {
+            return Some(BudgetKind::Pivots);
         }
-        let stalled = status == BoundedStatus::Stalled;
+        if self.refactor_budget != 0 && self.refactorizations >= self.refactor_budget {
+            return Some(BudgetKind::Refactorizations);
+        }
+        if let Some(deadline) = self.deadline {
+            self.ticks += 1;
+            if self.ticks.is_multiple_of(TIME_CHECK_EVERY) && Instant::now() >= deadline {
+                return Some(BudgetKind::Time);
+            }
+        }
+        None
+    }
+
+    /// Consumes the solver state into its result. `Stalled` and `Budget`
+    /// results carry no basis/state, matching the contract that neither is
+    /// a verdict. The pooled scratch (dense vectors and eta columns) is
+    /// given back to the arena by [`Rev`]'s `Drop` impl when `self` goes
+    /// out of scope here — the same path that recycles it on an unwind.
+    fn finish(mut self, status: BoundedStatus) -> BoundedBasis {
+        let blank = matches!(status, BoundedStatus::Stalled | BoundedStatus::Budget(_));
         BoundedBasis {
             status,
-            basis: if stalled {
+            basis: if blank {
                 Vec::new()
             } else {
                 std::mem::take(&mut self.basis)
             },
-            state: if stalled {
+            state: if blank {
                 Vec::new()
             } else {
                 std::mem::take(&mut self.state)
@@ -636,6 +712,7 @@ impl<'a> Rev<'a> {
     /// vector is an arena buffer — the iteration gives it back at the end
     /// of each pivot, so the per-pivot solves stay allocator-quiet.
     fn ftran(&mut self, v: &[f64]) -> Vec<f64> {
+        faultinject::hit("panic_in_ftran");
         let mut x = self.lu.solve_pooled(v, self.arena);
         for e in &self.etas {
             let t = x[e.r] / e.pivot;
@@ -830,6 +907,14 @@ impl<'a> Rev<'a> {
             }
         }
         for _ in 0..cap {
+            // Solve budgets first: at the top of an iteration no dense
+            // temporaries are in flight, so a budget stop (like the
+            // injected panic below) recycles its scratch through the
+            // ordinary `finish`/`Drop` path.
+            if let Some(kind) = self.budget_trip() {
+                return StepOutcome::Budget(kind);
+            }
+            faultinject::hit("panic_in_pivot");
             // Simplex multipliers for the current (augmented) basis; the
             // basic-cost stub is pooled scratch refilled in place. (The
             // field is swapped out around the call because btran borrows
@@ -1308,6 +1393,28 @@ impl<'a> Rev<'a> {
     }
 }
 
+/// Gives every pooled scratch buffer the solver still owns (dense vectors
+/// and eta columns) back to the arena. This is the single recycling point
+/// for **every** exit path: [`Rev::finish`] relies on it for ordinary
+/// returns, and an unwind out of the pivot loop (an injected failpoint, a
+/// defensive `panic!`) runs it too — so a panicking component solve never
+/// leaks the arena's capacity or poisons its pool. Buffers already taken
+/// out by `finish` are capacity-0 `Vec`s by then, which
+/// [`SolveArena::give_f64`] ignores. (Dense temporaries held in locals
+/// mid-iteration — an FTRAN image in flight when a panic fires — are
+/// simply freed by their own drops; the pool loses nothing, it just
+/// re-allocates that buffer on the next checkout.)
+impl Drop for Rev<'_> {
+    fn drop(&mut self) {
+        self.arena.give_f64(std::mem::take(&mut self.aq));
+        self.arena.give_f64(std::mem::take(&mut self.cb));
+        self.arena.give_f64(std::mem::take(&mut self.xb));
+        for e in self.etas.drain(..) {
+            self.arena.give_pairs(e.rest);
+        }
+    }
+}
+
 /// The augmented (Schrage key) column `A_base + Σ_{j ∈ glued} A_j` as a
 /// sorted sparse merge. Shared by the `f64` iteration and the exact `Rat`
 /// certification so the two sides always build the same basis matrix.
@@ -1384,6 +1491,7 @@ pub(crate) fn solve_bounded_warm_pooled(
     arena: &mut SolveArena,
 ) -> Option<BoundedBasis> {
     let mut rev = Rev::new(sf, arena)?;
+    rev.arm_budgets(opts);
     if !rev.install_snapshot(snap) {
         // The early-exit path of a failed install: `finish` gives every
         // checked-out buffer (dense scratch and any eta columns) back to
@@ -1395,6 +1503,7 @@ pub(crate) fn solve_bounded_warm_pooled(
         StepOutcome::Optimal => BoundedStatus::Optimal,
         StepOutcome::Unbounded => BoundedStatus::Unbounded,
         StepOutcome::Stalled => BoundedStatus::Stalled,
+        StepOutcome::Budget(k) => BoundedStatus::Budget(k),
     };
     Some(rev.finish(status))
 }
@@ -1414,6 +1523,7 @@ fn solve_bounded_pooled(
             refactorizations: 0,
         };
     };
+    rev.arm_budgets(opts);
     let window = opts.pricing_window;
     if sf.n_art > 0 {
         let cost1: Vec<f64> = (0..sf.ncols)
@@ -1421,6 +1531,7 @@ fn solve_bounded_pooled(
             .collect();
         match rev.optimize(&cost1, false, window) {
             StepOutcome::Optimal => {}
+            StepOutcome::Budget(k) => return rev.finish(BoundedStatus::Budget(k)),
             // Phase 1 is bounded below by 0; treat anything else as a stall.
             StepOutcome::Unbounded | StepOutcome::Stalled => {
                 return rev.finish(BoundedStatus::Stalled)
@@ -1446,6 +1557,7 @@ fn solve_bounded_pooled(
         StepOutcome::Optimal => BoundedStatus::Optimal,
         StepOutcome::Unbounded => BoundedStatus::Unbounded,
         StepOutcome::Stalled => return rev.finish(BoundedStatus::Stalled),
+        StepOutcome::Budget(k) => return rev.finish(BoundedStatus::Budget(k)),
     };
     rev.finish(status)
 }
@@ -1599,9 +1711,92 @@ mod tests {
         // capacity-style rows and a demand row.
         lp.add_constraint(xs.iter().map(|&x| (x, 1.0)).collect(), Cmp::Ge, 4.0);
         let s = sf(&lp);
-        let full = solve_bounded_f64_with(&s, &BoundedOptions { pricing_window: 0 });
-        let part = solve_bounded_f64_with(&s, &BoundedOptions { pricing_window: 2 });
+        let full = solve_bounded_f64_with(
+            &s,
+            &BoundedOptions {
+                pricing_window: 0,
+                ..BoundedOptions::default()
+            },
+        );
+        let part = solve_bounded_f64_with(
+            &s,
+            &BoundedOptions {
+                pricing_window: 2,
+                ..BoundedOptions::default()
+            },
+        );
         assert_eq!(full.status, BoundedStatus::Optimal);
         assert_eq!(part.status, BoundedStatus::Optimal);
+    }
+
+    #[test]
+    fn pivot_budget_trips_instead_of_solving() {
+        // A ≥-demand LP needs phase-1 pivots; a budget of 1 pivot cannot
+        // reach optimality and must stop with a typed budget status, not
+        // spin or stall.
+        let mut lp: LpProblem<f64> = LpProblem::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 2.0)], Cmp::Ge, 4.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 1.0)], Cmp::Ge, 6.0);
+        let s = sf(&lp);
+        let out = solve_bounded_f64_with(
+            &s,
+            &BoundedOptions {
+                pivot_budget: 1,
+                ..BoundedOptions::default()
+            },
+        );
+        assert_eq!(out.status, BoundedStatus::Budget(BudgetKind::Pivots));
+        assert!(out.basis.is_empty(), "a budget stop is not a verdict");
+        // An ample budget solves normally.
+        let ok = solve_bounded_f64_with(
+            &s,
+            &BoundedOptions {
+                pivot_budget: 10_000,
+                ..BoundedOptions::default()
+            },
+        );
+        assert_eq!(ok.status, BoundedStatus::Optimal);
+    }
+
+    #[test]
+    fn zero_budgets_mean_unlimited() {
+        let mut lp: LpProblem<f64> = LpProblem::new();
+        let x = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Ge, 3.0);
+        let out = solve_bounded_f64_with(&sf(&lp), &BoundedOptions::default());
+        assert_eq!(out.status, BoundedStatus::Optimal);
+    }
+
+    #[test]
+    fn elapsed_time_budget_trips() {
+        // A zero-length wall-clock budget must trip within the check
+        // cadence on any instance that iterates at all.
+        let mut lp: LpProblem<f64> = LpProblem::new();
+        let n = 40;
+        let vars: Vec<usize> = (0..n).map(|i| lp.add_var(1.0 + (i % 7) as f64)).collect();
+        for w in vars.windows(2) {
+            lp.add_constraint(vec![(w[0], 1.0), (w[1], 1.0)], Cmp::Ge, 2.0);
+        }
+        let s = sf(&lp);
+        let out = solve_bounded_f64_with(
+            &s,
+            &BoundedOptions {
+                time_budget: Some(std::time::Duration::ZERO),
+                ..BoundedOptions::default()
+            },
+        );
+        // Either the solve finished inside the first TIME_CHECK_EVERY
+        // iterations (legal) or it tripped the time budget; it must never
+        // claim any other failure.
+        assert!(
+            matches!(
+                out.status,
+                BoundedStatus::Optimal | BoundedStatus::Budget(BudgetKind::Time)
+            ),
+            "unexpected status {:?}",
+            out.status
+        );
     }
 }

@@ -64,10 +64,12 @@ pub mod scalar;
 pub mod simplex;
 pub mod warm;
 
+pub use abt_core::error::{BudgetKind, SolveFailure};
 pub use arena::{with_arena, ArenaStats, SolveArena};
 pub use bounds::{
     solve_bounded_f64, solve_bounded_f64_warm_with, solve_bounded_f64_with, BoundedBasis,
     BoundedOptions, BoundedStatus, StandardForm, VarState, DEFAULT_PRICING_WINDOW,
+    TIME_CHECK_EVERY,
 };
 pub use lu::SparseLu;
 pub use model::{Cmp, Constraint, LpProblem, VarId};
@@ -75,6 +77,9 @@ pub use rational::Rat;
 pub use scalar::{Scalar, F64_EPS};
 pub use simplex::{
     solve, solve_hybrid, solve_hybrid_report, solve_revised, solve_revised_report,
-    solve_revised_with, HybridReport, LpSolution, LpStatus, RevisedOptions, SolveStats,
+    solve_revised_with, try_solve_revised_with, HybridReport, LpSolution, LpStatus, RevisedOptions,
+    SolveStats,
 };
-pub use warm::{solve_revised_warm, BasisSnapshot, WarmReport};
+pub use warm::{
+    solve_revised_warm, try_solve_revised_cold, try_solve_revised_warm, BasisSnapshot, WarmReport,
+};

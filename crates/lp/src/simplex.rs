@@ -102,6 +102,9 @@ use crate::lu::SparseLu;
 use crate::model::{Cmp, LpProblem};
 use crate::rational::Rat;
 use crate::scalar::Scalar;
+use abt_core::error::{BudgetKind, SolveFailure};
+use abt_core::faultinject;
+use std::time::Instant;
 
 /// Outcome of a solve.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -691,19 +694,61 @@ pub fn solve_hybrid_report(lp: &LpProblem<Rat>) -> HybridReport {
     }
 }
 
+/// Tri-state outcome of the exact certifier ([`verify_bounded`]).
+#[derive(Debug)]
+pub(crate) enum Certified {
+    /// Every exact check passed; the certified solution is attached.
+    Verified(LpSolution<Rat>),
+    /// Some exact check failed — the float proposal is singular, primal or
+    /// dual infeasible, or keeps an artificial at a nonzero value. A
+    /// verdict about the *proposal*, not the LP.
+    Refuted,
+    /// The certifier's wall-clock deadline passed before a verdict was
+    /// reached. **Not** a verdict: the proposal may well be optimal.
+    /// Callers must surface this as a budget trip, never silently treat
+    /// it like a refutation.
+    Deadline,
+}
+
 /// Verifies, in exact rationals, the terminal basis+state proposal of the
 /// bounded `f64` revised simplex via a sparse LU of the basis matrix (see
-/// the module docs for the per-resting-state certificate). Returns the
-/// exact solution on success, `None` on any failed check (singular basis,
-/// bound/VUB or sign violation, artificial stuck at a nonzero value).
+/// the module docs for the per-resting-state certificate).
+///
+/// The optional `deadline` bounds the exact-arithmetic work: it is checked
+/// at entry and between the expensive stages (after the LU factorization,
+/// after the basic-value solve, after the dual solve), so an adversarial
+/// instance whose rationals blow up cannot pin the certifier past its
+/// budget by more than one stage.
 pub(crate) fn verify_bounded(
     lp: &LpProblem<Rat>,
     sf: &StandardForm<Rat>,
     prop: &BoundedBasis,
-) -> Option<LpSolution<Rat>> {
+    deadline: Option<Instant>,
+) -> Certified {
+    faultinject::hit("slow_certify");
+    let expired = || deadline.is_some_and(|d| Instant::now() >= d);
+    match verify_bounded_staged(lp, sf, prop, &expired) {
+        Ok(Some(solution)) => Certified::Verified(solution),
+        Ok(None) => Certified::Refuted,
+        Err(DeadlinePassed) => Certified::Deadline,
+    }
+}
+
+/// Error marker of [`verify_bounded_staged`]: the stage deadline passed.
+struct DeadlinePassed;
+
+fn verify_bounded_staged(
+    lp: &LpProblem<Rat>,
+    sf: &StandardForm<Rat>,
+    prop: &BoundedBasis,
+    expired: &dyn Fn() -> bool,
+) -> Result<Option<LpSolution<Rat>>, DeadlinePassed> {
+    if expired() {
+        return Err(DeadlinePassed);
+    }
     let m = sf.m;
     if prop.basis.len() != m || prop.state.len() != sf.ncols {
-        return None;
+        return Ok(None);
     }
     // State consistency: exactly the basis columns are `Basic`, every
     // `AtUpper` column has a finite bound, every `AtVub` column a VUB.
@@ -712,20 +757,24 @@ pub(crate) fn verify_bounded(
         match prop.state[j] {
             VarState::Basic => basic_count += 1,
             VarState::AtUpper => {
-                sf.upper[j].as_ref()?;
+                if sf.upper[j].is_none() {
+                    return Ok(None);
+                }
             }
             VarState::AtVub => {
-                let k = sf.vub[j]?;
+                let Some(k) = sf.vub[j] else {
+                    return Ok(None);
+                };
                 // Families are flat: a key never rests glued itself.
                 if prop.state[k] == VarState::AtVub {
-                    return None;
+                    return Ok(None);
                 }
             }
             VarState::AtLower => {}
         }
     }
     if basic_count != m {
-        return None;
+        return Ok(None);
     }
     let mut seen = vec![false; sf.ncols];
     let mut pos = vec![usize::MAX; sf.ncols];
@@ -734,7 +783,7 @@ pub(crate) fn verify_bounded(
             || prop.state[j] != VarState::Basic
             || std::mem::replace(&mut seen[j], true)
         {
-            return None;
+            return Ok(None);
         }
         pos[j] = i;
     }
@@ -761,7 +810,12 @@ pub(crate) fn verify_bounded(
         .iter()
         .map(|&j| crate::bounds::augmented_column(&sf.cols, j, &glued[j]))
         .collect();
-    let lu = SparseLu::factor(m, &bcols)?;
+    let Some(lu) = SparseLu::factor(m, &bcols) else {
+        return Ok(None);
+    };
+    if expired() {
+        return Err(DeadlinePassed);
+    }
     // Exact basic values against the bound-adjusted right-hand side.
     let mut rhs = sf.b.clone();
     for j in 0..sf.ncols {
@@ -784,6 +838,9 @@ pub(crate) fn verify_bounded(
         }
     }
     let xb = lu.solve(&rhs);
+    if expired() {
+        return Err(DeadlinePassed);
+    }
     // The exact value of any column under the proposal.
     let value_of = |j: usize| -> Rat {
         match prop.state[j] {
@@ -802,28 +859,28 @@ pub(crate) fn verify_bounded(
     };
     for (i, &j) in prop.basis.iter().enumerate() {
         if xb[i].is_neg() {
-            return None;
+            return Ok(None);
         }
         if let Some(u) = &sf.upper[j] {
             if xb[i].sub(u).is_pos() {
-                return None;
+                return Ok(None);
             }
         }
         // A basic dependent must sit below its key's exact value.
         if let Some(k) = sf.vub[j] {
             if xb[i].sub(&value_of(k)).is_pos() {
-                return None;
+                return Ok(None);
             }
         }
         if sf.artificial[j] && !xb[i].is_zero_s() {
-            return None;
+            return Ok(None);
         }
     }
     // Glued values must be nonnegative (a key resting below zero is
     // impossible, but a defensive exact check is cheap).
     for j in 0..sf.ncols {
         if prop.state[j] == VarState::AtVub && value_of(j).is_neg() {
-            return None;
+            return Ok(None);
         }
     }
     // Exact duals from the augmented system B̄ᵀ·y = c̄_B.
@@ -839,6 +896,9 @@ pub(crate) fn verify_bounded(
         })
         .collect();
     let y = lu.solve_transposed(&cb);
+    if expired() {
+        return Err(DeadlinePassed);
+    }
     // Reduced-cost sign conditions per resting state. Artificial columns
     // are not part of the real LP and are skipped (they are all at 0).
     let reduced = |j: usize| -> Rat {
@@ -862,7 +922,7 @@ pub(crate) fn verify_bounded(
             // The VUB multiplier λ_j = −d_j must be nonnegative.
             VarState::AtVub => {
                 if dep_reduced[j].expect("computed above").is_pos() {
-                    return None;
+                    return Ok(None);
                 }
             }
             VarState::AtLower | VarState::AtUpper => {
@@ -873,8 +933,8 @@ pub(crate) fn verify_bounded(
                     dbar = dbar.add(&dep_reduced[g].expect("glued implies AtVub"));
                 }
                 match prop.state[j] {
-                    VarState::AtLower if dbar.is_neg() => return None,
-                    VarState::AtUpper if dbar.is_pos() => return None,
+                    VarState::AtLower if dbar.is_neg() => return Ok(None),
+                    VarState::AtUpper if dbar.is_pos() => return Ok(None),
                     _ => {}
                 }
             }
@@ -895,12 +955,12 @@ pub(crate) fn verify_bounded(
         .map(|(yi, flip)| if *flip { yi.neg() } else { *yi })
         .collect();
     duals.truncate(lp.num_constraints());
-    Some(LpSolution {
+    Ok(Some(LpSolution {
         status: LpStatus::Optimal,
         objective,
         x,
         duals,
-    })
+    }))
 }
 
 /// Bounded-variable revised hybrid solve: runs the bounded revised simplex
@@ -959,10 +1019,14 @@ pub(crate) fn solve_revised_core_with_sf(
     };
     if prop.status == BoundedStatus::Optimal {
         let sfr = StandardForm::build(lp);
-        let certify = std::time::Instant::now();
-        let verified = verify_bounded(lp, &sfr, &prop);
+        let certify = Instant::now();
+        // The legacy (non-`try_`) path certifies without a deadline: its
+        // callers have no error channel to surface a budget trip through,
+        // and silently treating one as a refutation would demote clean
+        // solves to the dense fallback.
+        let verified = verify_bounded(lp, &sfr, &prop, None);
         stats.certify_nanos = certify.elapsed().as_nanos() as u64;
-        if let Some(solution) = verified {
+        if let Certified::Verified(solution) = verified {
             return (
                 HybridReport {
                     solution,
@@ -981,6 +1045,74 @@ pub(crate) fn solve_revised_core_with_sf(
         },
         None,
     )
+}
+
+/// The fallible revised solve: like [`solve_revised_with`], but instead of
+/// silently falling back to the dense exact simplex on any float-pass
+/// failure it returns a typed [`SolveFailure`] and lets the **caller**
+/// decide what to run next. This is the rung interface of the supervision
+/// ladder in `abt-active`: each failure class maps to a distinct demotion.
+///
+/// * `Ok(report)` — the float pass finished and the terminal basis was
+///   certified exactly optimal (`report.fallback` is always `false` here).
+/// * `Err(BudgetExceeded(_))` — a pivot/refactorization/wall-time budget
+///   in `opts.pricing` tripped, in the float pass or the certifier. The
+///   wall-time budget is **per stage**: the float pass and the certifier
+///   each get a fresh clock of the same duration.
+/// * `Err(NumericalStall)` — the float pass stalled or claimed unbounded,
+///   or its terminal basis was exactly refuted; an exact backend must
+///   decide.
+/// * `Err(Infeasible)` — the *float* pass claims infeasibility. Tolerance
+///   pivoting cannot certify that claim, so callers must confirm with an
+///   exact backend before reporting infeasibility outward.
+///
+/// Unlike the legacy API this function never runs the dense fallback
+/// itself, so an `Ok` is always the cheap certified path.
+pub fn try_solve_revised_with(
+    lp: &LpProblem<Rat>,
+    opts: &RevisedOptions,
+) -> Result<HybridReport, SolveFailure> {
+    try_solve_revised_core(lp, opts).map(|(rep, _)| rep)
+}
+
+/// [`try_solve_revised_with`] additionally returning the verified terminal
+/// proposal for snapshot extraction (always `Some` on `Ok`).
+pub(crate) fn try_solve_revised_core(
+    lp: &LpProblem<Rat>,
+    opts: &RevisedOptions,
+) -> Result<(HybridReport, Option<BoundedBasis>), SolveFailure> {
+    let sf64 = StandardForm::build(&to_f64(lp));
+    let prop = solve_bounded_f64_with(&sf64, &opts.pricing);
+    let mut stats = SolveStats {
+        pivots: prop.pivots,
+        bound_flips: prop.bound_flips,
+        refactorizations: prop.refactorizations,
+        certify_nanos: 0,
+    };
+    match prop.status {
+        BoundedStatus::Optimal => {}
+        BoundedStatus::Budget(k) => return Err(SolveFailure::BudgetExceeded(k)),
+        BoundedStatus::Infeasible => return Err(SolveFailure::Infeasible),
+        BoundedStatus::Unbounded | BoundedStatus::Stalled => {
+            return Err(SolveFailure::NumericalStall)
+        }
+    }
+    let sfr = StandardForm::build(lp);
+    let certify = Instant::now();
+    let outcome = verify_bounded(lp, &sfr, &prop, opts.pricing.stage_deadline());
+    stats.certify_nanos = certify.elapsed().as_nanos() as u64;
+    match outcome {
+        Certified::Verified(solution) => Ok((
+            HybridReport {
+                solution,
+                fallback: false,
+                stats,
+            },
+            Some(prop),
+        )),
+        Certified::Refuted => Err(SolveFailure::NumericalStall),
+        Certified::Deadline => Err(SolveFailure::BudgetExceeded(BudgetKind::Time)),
+    }
 }
 
 #[cfg(test)]
@@ -1525,6 +1657,75 @@ mod tests {
         unb.add_constraint(vec![(x, Rat::ONE), (y, Rat::ONE)], Cmp::Ge, Rat::ONE);
         let rep = assert_vub_matches(&unb);
         assert_eq!(rep.solution.status, LpStatus::Unbounded);
+    }
+
+    // ---- fallible (try_) revised coverage -----------------------------
+
+    #[test]
+    fn try_solve_certifies_clean_instances() {
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(Rat::ONE);
+        let y = lp.add_var(Rat::ONE);
+        lp.add_constraint(vec![(x, Rat::ONE), (y, r(2, 1))], Cmp::Ge, r(4, 1));
+        lp.add_constraint(vec![(x, r(3, 1)), (y, Rat::ONE)], Cmp::Ge, r(6, 1));
+        let rep = try_solve_revised_with(&lp, &RevisedOptions::default()).expect("clean LP");
+        assert!(!rep.fallback);
+        assert_eq!(rep.solution.objective, r(14, 5));
+        assert_eq!(rep.solution.objective, solve(&lp).objective);
+    }
+
+    #[test]
+    fn try_solve_surfaces_budget_trips() {
+        let mut lp: LpProblem<Rat> = LpProblem::new();
+        let x = lp.add_var(Rat::ONE);
+        let y = lp.add_var(Rat::ONE);
+        lp.add_constraint(vec![(x, Rat::ONE), (y, r(2, 1))], Cmp::Ge, r(4, 1));
+        lp.add_constraint(vec![(x, r(3, 1)), (y, Rat::ONE)], Cmp::Ge, r(6, 1));
+        let opts = RevisedOptions {
+            pricing: BoundedOptions {
+                pivot_budget: 1,
+                ..BoundedOptions::default()
+            },
+        };
+        assert_eq!(
+            try_solve_revised_with(&lp, &opts).unwrap_err(),
+            SolveFailure::BudgetExceeded(BudgetKind::Pivots)
+        );
+    }
+
+    #[test]
+    fn try_solve_maps_float_verdicts_to_typed_failures() {
+        // Float infeasibility is a *claim*, not a certificate: the typed
+        // error tells the supervisor to confirm with an exact rung.
+        let mut inf: LpProblem<Rat> = LpProblem::new();
+        let x = inf.add_var(Rat::ONE);
+        inf.add_constraint(vec![(x, Rat::ONE)], Cmp::Ge, r(3, 1));
+        inf.set_upper(x, Rat::ONE);
+        assert_eq!(
+            try_solve_revised_with(&inf, &RevisedOptions::default()).unwrap_err(),
+            SolveFailure::Infeasible
+        );
+
+        // Unbounded claims demote to an exact backend as a stall.
+        let mut unb: LpProblem<Rat> = LpProblem::new();
+        let x = unb.add_var(r(-1, 1));
+        unb.add_constraint(vec![(x, Rat::ONE)], Cmp::Ge, Rat::ONE);
+        assert_eq!(
+            try_solve_revised_with(&unb, &RevisedOptions::default()).unwrap_err(),
+            SolveFailure::NumericalStall
+        );
+
+        // An exactly-refuted terminal basis (the sub-epsilon cost gap) is
+        // a numerical stall, not a silent dense fallback.
+        let eps = Rat::new(1, 1i128 << 60);
+        let mut gap: LpProblem<Rat> = LpProblem::new();
+        let x0 = gap.add_var(Rat::ONE.add(&eps));
+        let x1 = gap.add_var(Rat::ONE);
+        gap.add_constraint(vec![(x0, Rat::ONE), (x1, Rat::ONE)], Cmp::Ge, Rat::ONE);
+        assert_eq!(
+            try_solve_revised_with(&gap, &RevisedOptions::default()).unwrap_err(),
+            SolveFailure::NumericalStall
+        );
     }
 
     #[test]

@@ -58,8 +58,10 @@ use crate::bounds::{
 use crate::model::LpProblem;
 use crate::rational::Rat;
 use crate::simplex::{
-    solve_revised_core_with_sf, to_f64, verify_bounded, HybridReport, RevisedOptions, SolveStats,
+    solve_revised_core_with_sf, to_f64, verify_bounded, Certified, HybridReport, RevisedOptions,
+    SolveStats,
 };
+use abt_core::error::{BudgetKind, SolveFailure};
 
 /// A reusable snapshot of a finished bounded revised solve: the basis
 /// column per row, and the resting state of every standard-form column
@@ -162,14 +164,16 @@ pub fn solve_revised_warm(
         }
         let sfr = sfr.get_or_insert_with(|| StandardForm::build(lp));
         let certify = std::time::Instant::now();
-        let verified = verify_bounded(lp, sfr, &prop);
+        // Legacy path: no certifier deadline (see
+        // `solve_revised_core_with_sf` for the rationale).
+        let verified = verify_bounded(lp, sfr, &prop, None);
         let stats = SolveStats {
             pivots: prop.pivots,
             bound_flips: prop.bound_flips,
             refactorizations: prop.refactorizations,
             certify_nanos: certify.elapsed().as_nanos() as u64,
         };
-        if let Some(solution) = verified {
+        if let Certified::Verified(solution) = verified {
             let snapshot = BasisSnapshot::from_proposal(&prop);
             return WarmReport {
                 report: HybridReport {
@@ -189,6 +193,90 @@ pub fn solve_revised_warm(
         warm_hit: false,
         snapshot,
     }
+}
+
+/// The fallible, **warm-only** variant of [`solve_revised_warm`]: tries
+/// each candidate snapshot in order, and — unlike the legacy driver —
+/// never falls through to a cold solve. This is rung 1 of the supervision
+/// ladder in `abt-active`: the supervisor decides what a miss costs.
+///
+/// * `Ok(report)` — some candidate installed, its warm float run finished
+///   `Optimal`, and the terminal basis certified exactly
+///   (`report.warm_hit` is always `true` here).
+/// * `Err(ShapeDrift)` — no candidate produced a certified answer (empty
+///   pool, shape mismatches, failed installs, stalled warm runs, or exact
+///   refutations). A routine cache miss, **not** a fault: supervisors
+///   drop through to the cold rung without recording a demotion.
+/// * `Err(BudgetExceeded(_))` — a budget in `opts.pricing` tripped during
+///   a warm run or its certification. Genuine budget pressure: surfaced
+///   immediately rather than burning the remaining candidates.
+pub fn try_solve_revised_warm(
+    lp: &LpProblem<Rat>,
+    opts: &RevisedOptions,
+    snapshots: &[BasisSnapshot],
+) -> Result<WarmReport, SolveFailure> {
+    let sf64 = StandardForm::build(&to_f64(lp));
+    let mut sfr: Option<StandardForm<Rat>> = None;
+    for snap in snapshots {
+        if !snap.matches_shape(&sf64) {
+            continue;
+        }
+        let Some(prop) =
+            with_arena(|arena| solve_bounded_warm_pooled(&sf64, &opts.pricing, snap, arena))
+        else {
+            continue; // install failed: try the next candidate
+        };
+        match prop.status {
+            BoundedStatus::Optimal => {}
+            BoundedStatus::Budget(k) => return Err(SolveFailure::BudgetExceeded(k)),
+            _ => continue, // warm run stalled/diverged: try the next
+        }
+        let sfr = sfr.get_or_insert_with(|| StandardForm::build(lp));
+        let certify = std::time::Instant::now();
+        let outcome = verify_bounded(lp, sfr, &prop, opts.pricing.stage_deadline());
+        let stats = SolveStats {
+            pivots: prop.pivots,
+            bound_flips: prop.bound_flips,
+            refactorizations: prop.refactorizations,
+            certify_nanos: certify.elapsed().as_nanos() as u64,
+        };
+        match outcome {
+            Certified::Verified(solution) => {
+                let snapshot = BasisSnapshot::from_proposal(&prop);
+                return Ok(WarmReport {
+                    report: HybridReport {
+                        solution,
+                        fallback: false,
+                        stats,
+                    },
+                    warm_hit: true,
+                    snapshot,
+                });
+            }
+            Certified::Deadline => return Err(SolveFailure::BudgetExceeded(BudgetKind::Time)),
+            Certified::Refuted => continue, // exact refutation: next candidate
+        }
+    }
+    Err(SolveFailure::ShapeDrift)
+}
+
+/// The fallible **cold** revised solve with a snapshot of the terminal
+/// basis: exactly [`solve_revised_warm`] with an empty pool, but typed
+/// failures instead of silent dense fallbacks — rung 2 of the supervision
+/// ladder in `abt-active`. Budgets in `opts.pricing` are enforced in the
+/// float pass and the exact certifier; see
+/// [`crate::simplex::try_solve_revised_with`] for the failure mapping.
+pub fn try_solve_revised_cold(
+    lp: &LpProblem<Rat>,
+    opts: &RevisedOptions,
+) -> Result<WarmReport, SolveFailure> {
+    let (report, prop) = crate::simplex::try_solve_revised_core(lp, opts)?;
+    let snapshot = prop.as_ref().and_then(BasisSnapshot::from_proposal);
+    Ok(WarmReport {
+        report,
+        warm_hit: false,
+        snapshot,
+    })
 }
 
 #[cfg(test)]
@@ -409,6 +497,63 @@ mod tests {
             "failed installs must recycle every checked-out buffer \
              (fresh allocations grew by {})",
             fresh_after - fresh_before
+        );
+    }
+
+    #[test]
+    fn try_warm_is_warm_only() {
+        let lp = lp1_like([3, 2, 1], [3, 2]);
+        // An empty pool is a routine miss — ShapeDrift, not a solve.
+        assert_eq!(
+            try_solve_revised_warm(&lp, &RevisedOptions::default(), &[]).unwrap_err(),
+            SolveFailure::ShapeDrift
+        );
+        let snap = solve_revised_warm(&lp, &RevisedOptions::default(), &[])
+            .snapshot
+            .unwrap();
+        let out =
+            try_solve_revised_warm(&lp, &RevisedOptions::default(), std::slice::from_ref(&snap))
+                .expect("matching snapshot must hit");
+        assert!(out.warm_hit);
+        assert_eq!(out.report.solution.objective, solve(&lp).objective);
+        // A shape-mismatched pool is also just a miss.
+        let mut other: LpProblem<Rat> = LpProblem::new();
+        let x = other.add_var(Rat::ONE);
+        other.add_constraint(vec![(x, Rat::ONE)], Cmp::Ge, r(3, 1));
+        let snap2 = out.snapshot.unwrap();
+        assert_eq!(
+            try_solve_revised_warm(
+                &other,
+                &RevisedOptions::default(),
+                std::slice::from_ref(&snap2)
+            )
+            .unwrap_err(),
+            SolveFailure::ShapeDrift
+        );
+    }
+
+    #[test]
+    fn try_cold_solves_and_snapshots() {
+        let lp = lp1_like([3, 2, 1], [3, 2]);
+        let out = try_solve_revised_cold(&lp, &RevisedOptions::default()).expect("clean cold");
+        assert!(!out.warm_hit);
+        assert_eq!(out.report.solution.objective, solve(&lp).objective);
+        let snap = out.snapshot.expect("optimal cold solve must snapshot");
+        // The snapshot round-trips into a warm hit.
+        let warm =
+            try_solve_revised_warm(&lp, &RevisedOptions::default(), std::slice::from_ref(&snap))
+                .expect("own snapshot must hit");
+        assert!(warm.warm_hit);
+        // Budgets are enforced, not ignored.
+        let tight = RevisedOptions {
+            pricing: crate::bounds::BoundedOptions {
+                pivot_budget: 1,
+                ..crate::bounds::BoundedOptions::default()
+            },
+        };
+        assert_eq!(
+            try_solve_revised_cold(&lp, &tight).unwrap_err(),
+            SolveFailure::BudgetExceeded(BudgetKind::Pivots)
         );
     }
 
