@@ -327,17 +327,12 @@ impl IncrementalSolver {
                         if !pool.is_empty() {
                             report.warm_attempts += 1;
                             let reference = entry.map(|e| e.reference_pivots).unwrap_or(0);
-                            record_warm_attempt(sr.warm_hit, reference, sr.report.stats.pivots);
+                            record_warm_attempt(sr.warm_hit, reference, sr.stats.pivots);
                             if sr.warm_hit {
                                 report.warm_hits += 1;
                             }
                         }
-                        (
-                            sr.report.solution,
-                            sr.report.stats.pivots,
-                            sr.warm_hit,
-                            sr.snapshot,
-                        )
+                        (sr.solution, sr.stats.pivots, sr.warm_hit, sr.snapshot)
                     }
                     Err(f) => {
                         record_quarantine();

@@ -67,6 +67,7 @@ pub mod rounding;
 pub mod supervise;
 pub mod unit;
 
+pub use abt_lp::CertifyMode;
 pub use exact::{exact_active_time, ExactActive};
 pub use feasibility::{feasible_on, schedule_on, FeasibilityChecker};
 pub use incremental::{IncrementalJobId, IncrementalReport, IncrementalSolver};

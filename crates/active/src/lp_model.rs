@@ -112,8 +112,8 @@ use crate::supervise::{supervised_solve, PartialSolve, QuarantinedComponent, Sol
 use abt_core::active_schedule::{horizon_slots, job_feasible_in_slot};
 use abt_core::{supervised_map, Error, Instance, Result, SolveFailure, Time};
 use abt_lp::{
-    solve, solve_hybrid_report, BasisSnapshot, BoundedOptions, Cmp, HybridReport, LpProblem,
-    LpSolution, LpStatus, Rat, RevisedOptions, DEFAULT_PRICING_WINDOW,
+    solve, solve_lp, BasisSnapshot, BoundedOptions, CertifyMode, Cmp, LpProblem, LpReport,
+    LpSolution, LpStatus, Rat, RevisedOptions, SolverBackend, DEFAULT_PRICING_WINDOW,
 };
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -213,6 +213,12 @@ pub struct LpOptions {
     /// unlimited, the default): the float pass and the exact certifier
     /// each get a fresh clock.
     pub time_budget_ms: u64,
+    /// Certification tier policy of the revised backend (see
+    /// [`CertifyMode`]). Default: [`CertifyMode::IntervalThenExact`] —
+    /// the directed-rounding interval tier discharges most proofs,
+    /// escalating to exact rationals only on straddles. Objectives are
+    /// bit-identical under every mode.
+    pub certify: CertifyMode,
 }
 
 impl Default for LpOptions {
@@ -227,53 +233,107 @@ impl Default for LpOptions {
             warm: WarmMode::Off,
             pivot_budget: 0,
             time_budget_ms: 0,
+            certify: CertifyMode::IntervalThenExact,
         }
     }
 }
 
 impl LpOptions {
+    /// Sets the solve backend.
+    pub fn backend(mut self, backend: LpBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets super-slot coalescing.
+    pub fn coalesce(mut self, coalesce: bool) -> Self {
+        self.coalesce = coalesce;
+        self
+    }
+
+    /// Sets the constant-bound encoding.
+    pub fn bounds(mut self, bounds: BoundsMode) -> Self {
+        self.bounds = bounds;
+        self
+    }
+
+    /// Sets the variable-upper-bound encoding.
+    pub fn vub(mut self, vub: VubMode) -> Self {
+        self.vub = vub;
+        self
+    }
+
+    /// Sets the partial-pricing window (`0` = full Dantzig sweeps).
+    pub fn pricing_window(mut self, window: usize) -> Self {
+        self.pricing_window = window;
+        self
+    }
+
+    /// Sets component sharding.
+    pub fn decompose(mut self, decompose: DecomposeMode) -> Self {
+        self.decompose = decompose;
+        self
+    }
+
+    /// Sets warm-started sibling batching.
+    pub fn warm(mut self, warm: WarmMode) -> Self {
+        self.warm = warm;
+        self
+    }
+
+    /// Sets the per-attempt pivot budget (`0` = unlimited).
+    pub fn pivot_budget(mut self, budget: u64) -> Self {
+        self.pivot_budget = budget;
+        self
+    }
+
+    /// Sets the per-stage wall-time budget in milliseconds (`0` =
+    /// unlimited).
+    pub fn time_budget_ms(mut self, ms: u64) -> Self {
+        self.time_budget_ms = ms;
+        self
+    }
+
+    /// Sets the certification tier policy of the revised backend.
+    pub fn certify(mut self, certify: CertifyMode) -> Self {
+        self.certify = certify;
+        self
+    }
+
     /// The seed configuration: per-slot model, explicit bound rows, pure
     /// exact simplex, one monolithic LP.
     pub fn seed_exact() -> Self {
-        LpOptions {
-            backend: LpBackend::Exact,
-            coalesce: false,
-            bounds: BoundsMode::Rows,
-            vub: VubMode::Rows,
-            pricing_window: 0,
-            decompose: DecomposeMode::Off,
-            ..LpOptions::default()
-        }
+        LpOptions::default()
+            .backend(LpBackend::Exact)
+            .coalesce(false)
+            .bounds(BoundsMode::Rows)
+            .vub(VubMode::Rows)
+            .pricing_window(0)
+            .decompose(DecomposeMode::Off)
     }
 
     /// The PR-1 default: coalesced model, explicit bound rows, dense
     /// float-first hybrid. Kept as the perf baseline the revised solver is
     /// benchmarked against.
     pub fn pr1_hybrid() -> Self {
-        LpOptions {
-            backend: LpBackend::Hybrid,
-            coalesce: true,
-            bounds: BoundsMode::Rows,
-            vub: VubMode::Rows,
-            pricing_window: 0,
-            decompose: DecomposeMode::Off,
-            ..LpOptions::default()
-        }
+        LpOptions::default()
+            .backend(LpBackend::Hybrid)
+            .bounds(BoundsMode::Rows)
+            .vub(VubMode::Rows)
+            .pricing_window(0)
+            .decompose(DecomposeMode::Off)
     }
 
     /// The PR-2 default: coalesced model, implicit constant bounds, VUBs
     /// still rows, full Dantzig pricing. Kept as the perf baseline the
     /// VUB-aware solver is benchmarked against.
     pub fn pr2_revised_bounds() -> Self {
-        LpOptions {
-            backend: LpBackend::Revised,
-            coalesce: true,
-            bounds: BoundsMode::Implicit,
-            vub: VubMode::Rows,
-            pricing_window: 0,
-            decompose: DecomposeMode::Off,
-            ..LpOptions::default()
-        }
+        LpOptions::default()
+            .backend(LpBackend::Revised)
+            .bounds(BoundsMode::Implicit)
+            .vub(VubMode::Rows)
+            .pricing_window(0)
+            .decompose(DecomposeMode::Off)
     }
 
     /// The PR-3 default: the VUB-aware revised simplex on one monolithic
@@ -281,20 +341,14 @@ impl LpOptions {
     /// decomposition layer is benchmarked against, and as its differential
     /// oracle.
     pub fn pr3_monolithic() -> Self {
-        LpOptions {
-            decompose: DecomposeMode::Off,
-            ..LpOptions::default()
-        }
+        LpOptions::default().decompose(DecomposeMode::Off)
     }
 
     /// The warm-batched configuration: the default sharded solve plus
     /// [`WarmMode::Batch`] sibling batching. Cold [`LpOptions::default`]
     /// is its differential oracle and perf baseline (E22).
     pub fn warm_batched() -> Self {
-        LpOptions {
-            warm: WarmMode::Batch,
-            ..LpOptions::default()
-        }
+        LpOptions::default().warm(WarmMode::Batch)
     }
 }
 
@@ -311,6 +365,19 @@ static LP_BOUND_FLIPS: AtomicU64 = AtomicU64::new(0);
 static LP_REFACTORIZATIONS: AtomicU64 = AtomicU64::new(0);
 /// Process-wide exact-certification wall time, nanoseconds.
 static LP_CERTIFY_NANOS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide certification wall time spent in the directed-rounding
+/// interval tier, nanoseconds (a subset of `LP_CERTIFY_NANOS`).
+static LP_CERTIFY_INTERVAL_NANOS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide certification wall time spent in the exact tier
+/// (factor, solves, primal checks, and any exact dual sweeps),
+/// nanoseconds (the complement of the interval share).
+static LP_CERTIFY_EXACT_NANOS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of solves whose dual-feasibility proof was
+/// discharged by the interval tier alone.
+static LP_INTERVAL_ACCEPTS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of solves whose interval sweep was inconclusive and
+/// escalated to (or was refused pending) the exact sweep.
+static LP_INTERVAL_ESCALATIONS: AtomicU64 = AtomicU64::new(0);
 /// Process-wide count of LP1 solves that sharded into >1 component.
 static LP_SHARDED_SOLVES: AtomicU64 = AtomicU64::new(0);
 /// Process-wide count of component sub-LPs solved by sharded solves.
@@ -362,6 +429,19 @@ pub struct LpTelemetry {
     pub refactorizations: u64,
     /// Exact-certification wall time, nanoseconds.
     pub certify_nanos: u64,
+    /// Certification wall time spent in the directed-rounding interval
+    /// tier, nanoseconds (a subset of `certify_nanos`).
+    pub certify_interval_nanos: u64,
+    /// Certification wall time spent in the exact tier (factor, solves,
+    /// primal checks, and any exact dual sweeps), nanoseconds.
+    pub certify_exact_nanos: u64,
+    /// Solves whose dual-feasibility proof was discharged by the interval
+    /// tier alone (no exact reduced-cost sweep ran).
+    pub interval_accepts: u64,
+    /// Solves whose interval sweep was inconclusive and escalated to the
+    /// exact sweep ([`CertifyMode::IntervalThenExact`]) or returned a
+    /// refutation for the ladder to absorb ([`CertifyMode::Interval`]).
+    pub interval_escalations: u64,
     /// LP1 solves that sharded into more than one component
     /// ([`DecomposeMode::Auto`] with a disconnected interval graph).
     pub sharded_solves: u64,
@@ -404,6 +484,10 @@ impl LpTelemetry {
             bound_flips: self.bound_flips - earlier.bound_flips,
             refactorizations: self.refactorizations - earlier.refactorizations,
             certify_nanos: self.certify_nanos - earlier.certify_nanos,
+            certify_interval_nanos: self.certify_interval_nanos - earlier.certify_interval_nanos,
+            certify_exact_nanos: self.certify_exact_nanos - earlier.certify_exact_nanos,
+            interval_accepts: self.interval_accepts - earlier.interval_accepts,
+            interval_escalations: self.interval_escalations - earlier.interval_escalations,
             sharded_solves: self.sharded_solves - earlier.sharded_solves,
             components: self.components - earlier.components,
             max_component_vars: self.max_component_vars,
@@ -429,6 +513,10 @@ pub fn lp_telemetry() -> LpTelemetry {
         bound_flips: LP_BOUND_FLIPS.load(Ordering::Relaxed),
         refactorizations: LP_REFACTORIZATIONS.load(Ordering::Relaxed),
         certify_nanos: LP_CERTIFY_NANOS.load(Ordering::Relaxed),
+        certify_interval_nanos: LP_CERTIFY_INTERVAL_NANOS.load(Ordering::Relaxed),
+        certify_exact_nanos: LP_CERTIFY_EXACT_NANOS.load(Ordering::Relaxed),
+        interval_accepts: LP_INTERVAL_ACCEPTS.load(Ordering::Relaxed),
+        interval_escalations: LP_INTERVAL_ESCALATIONS.load(Ordering::Relaxed),
         sharded_solves: LP_SHARDED_SOLVES.load(Ordering::Relaxed),
         components: LP_COMPONENTS.load(Ordering::Relaxed),
         max_component_vars: LP_MAX_COMPONENT_VARS.load(Ordering::Relaxed),
@@ -471,7 +559,7 @@ pub(crate) fn record_warm_attempt(hit: bool, reference_pivots: u64, warm_pivots:
     }
 }
 
-pub(crate) fn record_solve(rep: &HybridReport) {
+pub(crate) fn record_solve(rep: &LpReport) {
     LP_SOLVES.fetch_add(1, Ordering::Relaxed);
     if rep.fallback {
         LP_FALLBACKS.fetch_add(1, Ordering::Relaxed);
@@ -480,6 +568,10 @@ pub(crate) fn record_solve(rep: &HybridReport) {
     LP_BOUND_FLIPS.fetch_add(rep.stats.bound_flips, Ordering::Relaxed);
     LP_REFACTORIZATIONS.fetch_add(rep.stats.refactorizations, Ordering::Relaxed);
     LP_CERTIFY_NANOS.fetch_add(rep.stats.certify_nanos, Ordering::Relaxed);
+    LP_CERTIFY_INTERVAL_NANOS.fetch_add(rep.stats.certify_interval_nanos, Ordering::Relaxed);
+    LP_CERTIFY_EXACT_NANOS.fetch_add(rep.stats.certify_exact_nanos, Ordering::Relaxed);
+    LP_INTERVAL_ACCEPTS.fetch_add(rep.stats.interval_accepts, Ordering::Relaxed);
+    LP_INTERVAL_ESCALATIONS.fetch_add(rep.stats.interval_escalations, Ordering::Relaxed);
 }
 
 /// The [`RevisedOptions`] implied by [`LpOptions`]: pricing window plus
@@ -493,6 +585,7 @@ pub(crate) fn revised_options(opts: &LpOptions) -> RevisedOptions {
                 .then(|| Duration::from_millis(opts.time_budget_ms)),
             ..BoundedOptions::default()
         },
+        certify: opts.certify,
     }
 }
 
@@ -500,12 +593,18 @@ pub(crate) fn run_backend(lp: &LpProblem<Rat>, opts: &LpOptions) -> LpSolution<R
     match opts.backend {
         LpBackend::Exact => solve(lp),
         LpBackend::Hybrid => {
-            let rep = solve_hybrid_report(lp);
+            let rep = solve_lp(
+                lp,
+                &abt_lp::LpOptions::new()
+                    .backend(SolverBackend::DenseHybrid)
+                    .certify(opts.certify),
+            )
+            .expect("the dense hybrid backend never fails");
             record_solve(&rep);
             rep.solution
         }
         LpBackend::Revised => match supervised_solve(lp, &revised_options(opts), &[]) {
-            Ok(sr) => sr.report.solution,
+            Ok(sr) => sr.solution,
             // Callers of this legacy entry point have no error channel,
             // and a failure of the whole ladder (dense exact included) is
             // not a state any of them can recover from.
@@ -767,11 +866,7 @@ fn solve_component(
         LP_MAX_COMPONENT_VARS.fetch_max(lp.num_vars() as u64, Ordering::Relaxed);
     }
     let sol = match opts.backend {
-        LpBackend::Revised => {
-            supervised_solve(&lp, &revised_options(opts), &[])?
-                .report
-                .solution
-        }
+        LpBackend::Revised => supervised_solve(&lp, &revised_options(opts), &[])?.solution,
         _ => run_backend(&lp, opts),
     };
     Ok(finish_component(comp, comp.run_hi - comp.run_lo, sol))
@@ -857,9 +952,9 @@ fn solve_components_batched(
             let lp = build_component_lp(inst, opts, runs, comp);
             LP_MAX_COMPONENT_VARS.fetch_max(lp.num_vars() as u64, Ordering::Relaxed);
             let sr = supervised_solve(&lp, &ropts, &[])?;
-            let pivots = sr.report.stats.pivots;
+            let pivots = sr.stats.pivots;
             Ok((
-                finish_component(comp, comp.run_hi - comp.run_lo, sr.report.solution),
+                finish_component(comp, comp.run_hi - comp.run_lo, sr.solution),
                 sr.snapshot,
                 pivots,
             ))
@@ -912,11 +1007,11 @@ fn solve_components_batched(
                 // dense exact solver) means the sibling was never *offered*
                 // a snapshot — don't count a phantom attempt.
                 if !pool.is_empty() {
-                    record_warm_attempt(sr.warm_hit, *rep_pivots, sr.report.stats.pivots);
+                    record_warm_attempt(sr.warm_hit, *rep_pivots, sr.stats.pivots);
                 }
                 let contribute = if sr.warm_hit { None } else { sr.snapshot };
                 Ok((
-                    finish_component(comp, comp.run_hi - comp.run_lo, sr.report.solution),
+                    finish_component(comp, comp.run_hi - comp.run_lo, sr.solution),
                     contribute,
                 ))
             });
@@ -1099,7 +1194,7 @@ pub fn fractional_feasible(inst: &Instance, slots: &[Time], y: &[Rat]) -> bool {
     }
     let sr = supervised_solve(&lp, &RevisedOptions::default(), &[])
         .unwrap_or_else(|f| panic!("feasibility oracle quarantined: {f}"));
-    matches!(sr.report.solution.status, LpStatus::Optimal)
+    matches!(sr.solution.status, LpStatus::Optimal)
 }
 
 #[cfg(test)]

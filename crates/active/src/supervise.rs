@@ -5,29 +5,35 @@
 //!
 //! Every revised-backend solve in this crate runs through
 //! `supervised_solve`, which retries one component's LP down four rungs
-//! until one produces an exactly certified answer:
+//! until one produces a certified answer. Every rung is one
+//! [`abt_lp::solve_lp`] call under a different [`abt_lp::LpOptions`]
+//! policy:
 //!
-//! 1. **Warm** ([`abt_lp::try_solve_revised_warm`]) — only when the caller
+//! 1. **Warm** (`snapshots(pool).warm_only(true)`) — only when the caller
 //!    offers snapshots. A pool miss (`ShapeDrift`) is a routine cache
 //!    outcome and drops through silently; any other failure demotes.
-//! 2. **Cold revised** ([`abt_lp::try_solve_revised_cold`]) — the bounded
+//! 2. **Cold revised** (the default `Revised` backend) — the bounded
 //!    revised simplex with budgets armed. A float-level `Infeasible` claim
 //!    drops through silently (confirming it is the exact tier's job,
 //!    exactly like the legacy dense fallback); panics, budget trips, and
 //!    numerical stalls demote.
-//! 3. **Dense hybrid** ([`abt_lp::solve_hybrid_report`]) — dense float
+//! 3. **Dense hybrid** (`SolverBackend::DenseHybrid`) — dense float
 //!    search with exact certification and its own internal exact fallback.
-//! 4. **Dense exact** ([`abt_lp::solve`]) — every pivot in rationals; the
-//!    rung of last resort.
+//! 4. **Dense exact** (`SolverBackend::DenseExact`) — every pivot in
+//!    rationals; the rung of last resort.
 //!
 //! Each *failure-driven* transition records a demotion in the process-wide
 //! telemetry ([`crate::lp_model::lp_telemetry`]); budget failures also
-//! record a budget trip. Because every rung ends in exact rational
-//! certification, a solve that succeeds on **any** rung returns the same
-//! objective bit for bit — demotion trades speed, never answers. Only when
-//! all four rungs fail is the component **quarantined**: the caller
-//! receives a typed [`SolveFailure`] and degrades to a [`PartialSolve`]
-//! carrying the exact objectives of every healthy component.
+//! record a budget trip. Because every rung ends in a *sound*
+//! certification — the revised rungs through the caller's
+//! [`abt_lp::CertifyMode`] tier policy (an interval-tier accept is a
+//! proof, and an inconclusive interval sweep escalates or demotes, never
+//! accepts), the dense rungs exactly by construction — a solve that
+//! succeeds on **any** rung returns the same objective bit for bit:
+//! demotion trades speed, never answers. Only when all four rungs fail is
+//! the component **quarantined**: the caller receives a typed
+//! [`SolveFailure`] and degrades to a [`PartialSolve`] carrying the exact
+//! objectives of every healthy component.
 //!
 //! # Fault injection
 //!
@@ -42,23 +48,10 @@ use crate::lp_model::{record_budget_trip, record_demotion, record_solve};
 use abt_core::faultinject;
 use abt_core::{panic_message, Error, SolveFailure};
 use abt_lp::{
-    solve, solve_hybrid_report, try_solve_revised_cold, try_solve_revised_warm, BasisSnapshot,
-    HybridReport, LpProblem, Rat, RevisedOptions, SolveStats,
+    solve_lp, BasisSnapshot, LpOptions, LpProblem, LpReport, Rat, RevisedOptions, SolverBackend,
 };
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-
-/// A successful supervised solve: the certified report plus the warm-start
-/// outcome for callers that maintain snapshot pools.
-pub(crate) struct Supervised {
-    /// The certified solution and solve counters of the rung that
-    /// succeeded.
-    pub(crate) report: HybridReport,
-    /// Whether rung 1 answered from a warm-installed snapshot.
-    pub(crate) warm_hit: bool,
-    /// Snapshot of the verified terminal basis (revised rungs only).
-    pub(crate) snapshot: Option<BasisSnapshot>,
-}
 
 /// Solves `lp` down the degradation ladder (see the module docs),
 /// recording demotions and budget trips in the process-wide telemetry.
@@ -69,13 +62,16 @@ pub(crate) fn supervised_solve(
     lp: &LpProblem<Rat>,
     ropts: &RevisedOptions,
     snapshots: &[BasisSnapshot],
-) -> Result<Supervised, SolveFailure> {
+) -> Result<LpReport, SolveFailure> {
     // `fail_nth_solve` models an unclassifiable crash of the whole
     // supervised attempt: no rung runs, the item goes straight to
     // quarantine.
     if let Err(payload) = catch_unwind(|| faultinject::hit("fail_nth_solve")) {
         return Err(SolveFailure::Panicked(panic_message(payload.as_ref())));
     }
+    let base = LpOptions::new()
+        .pricing(ropts.pricing)
+        .certify(ropts.certify);
     let mut first_failure: Option<SolveFailure> = None;
     let mut demote = |f: SolveFailure| {
         record_demotion();
@@ -86,16 +82,11 @@ pub(crate) fn supervised_solve(
     };
     // Rung 1 — warm, only when the caller offers candidates.
     if !snapshots.is_empty() {
-        match catch_unwind(AssertUnwindSafe(|| {
-            try_solve_revised_warm(lp, ropts, snapshots)
-        })) {
-            Ok(Ok(wr)) => {
-                record_solve(&wr.report);
-                return Ok(Supervised {
-                    report: wr.report,
-                    warm_hit: wr.warm_hit,
-                    snapshot: wr.snapshot,
-                });
+        let warm = base.snapshots(snapshots).warm_only(true);
+        match catch_unwind(AssertUnwindSafe(|| solve_lp(lp, &warm))) {
+            Ok(Ok(rep)) => {
+                record_solve(&rep);
+                return Ok(rep);
             }
             // A pool miss is a routine cache outcome, not a fault.
             Ok(Err(SolveFailure::ShapeDrift)) => {}
@@ -104,14 +95,10 @@ pub(crate) fn supervised_solve(
         }
     }
     // Rung 2 — cold revised with budgets armed.
-    match catch_unwind(AssertUnwindSafe(|| try_solve_revised_cold(lp, ropts))) {
-        Ok(Ok(wr)) => {
-            record_solve(&wr.report);
-            return Ok(Supervised {
-                report: wr.report,
-                warm_hit: false,
-                snapshot: wr.snapshot,
-            });
+    match catch_unwind(AssertUnwindSafe(|| solve_lp(lp, &base))) {
+        Ok(Ok(rep)) => {
+            record_solve(&rep);
+            return Ok(rep);
         }
         // A float-level infeasibility claim needs exact confirmation — the
         // next rung's job, same as the legacy dense fallback. Not a fault.
@@ -119,39 +106,26 @@ pub(crate) fn supervised_solve(
         Ok(Err(f)) => demote(f),
         Err(p) => demote(SolveFailure::Panicked(panic_message(p.as_ref()))),
     }
-    // Rung 3 — dense hybrid (its own internal exact fallback included).
-    match catch_unwind(AssertUnwindSafe(|| solve_hybrid_report(lp))) {
-        Ok(rep) => {
+    // Rung 3 — dense hybrid (its own internal exact fallback included;
+    // the backend never returns `Err`).
+    let hybrid = base.backend(SolverBackend::DenseHybrid);
+    match catch_unwind(AssertUnwindSafe(|| solve_lp(lp, &hybrid))) {
+        Ok(Ok(rep)) => {
             record_solve(&rep);
-            return Ok(Supervised {
-                report: rep,
-                warm_hit: false,
-                snapshot: None,
-            });
+            return Ok(rep);
         }
+        Ok(Err(f)) => demote(f),
         Err(p) => demote(SolveFailure::Panicked(panic_message(p.as_ref()))),
     }
     // Rung 4 — dense exact, the rung of last resort. Its iteration-cap
     // panic is the one failure mode left, caught like any other.
-    match catch_unwind(AssertUnwindSafe(|| solve(lp))) {
-        Ok(solution) => {
-            let rep = HybridReport {
-                solution,
-                fallback: true,
-                stats: SolveStats {
-                    pivots: 0,
-                    bound_flips: 0,
-                    refactorizations: 0,
-                    certify_nanos: 0,
-                },
-            };
+    let exact = base.backend(SolverBackend::DenseExact);
+    match catch_unwind(AssertUnwindSafe(|| solve_lp(lp, &exact))) {
+        Ok(Ok(rep)) => {
             record_solve(&rep);
-            Ok(Supervised {
-                report: rep,
-                warm_hit: false,
-                snapshot: None,
-            })
+            Ok(rep)
         }
+        Ok(Err(f)) => Err(first_failure.unwrap_or(f)),
         Err(p) => {
             let last = SolveFailure::Panicked(panic_message(p.as_ref()));
             Err(first_failure.unwrap_or(last))

@@ -6,8 +6,8 @@
 //! must stay a valid fractional opening.
 
 use abt_active::{
-    fractional_feasible, solve_active_lp_with, BoundsMode, DecomposeMode, LpBackend, LpOptions,
-    VubMode,
+    fractional_feasible, solve_active_lp_with, BoundsMode, CertifyMode, DecomposeMode, LpBackend,
+    LpOptions, VubMode,
 };
 use abt_lp::Rat;
 use abt_workloads::{
@@ -51,6 +51,17 @@ fn variants() -> Vec<LpOptions> {
         pricing_window: 0,
         ..LpOptions::default()
     });
+    // Every certification tier policy of the revised backend. The tier
+    // only changes *how* dual feasibility is proven — an interval-only
+    // refusal demotes down the supervision ladder — so the objective is
+    // bit-identical throughout.
+    for certify in [
+        CertifyMode::Exact,
+        CertifyMode::Interval,
+        CertifyMode::IntervalThenExact,
+    ] {
+        v.push(LpOptions::default().certify(certify));
+    }
     v
 }
 

@@ -56,6 +56,8 @@
 //! | `demotions`      | number | optional (0) | failure-driven supervision-ladder demotions (see `abt-active`'s `supervise` module). Nonzero only under fault injection or solve budgets; informational in the record (CI asserts it separately in the fault-injection smoke) |
 //! | `budget_trips`   | number | optional (0) | solve attempts that tripped a pivot/refactorization/wall-time budget (a subset of `demotions`); informational |
 //! | `quarantined`    | number | optional (0) | components whose whole supervision ladder failed; **any nonzero value fails the gate** — a fault-free benchmark run must never quarantine |
+//! | `interval_accepts` | number | optional (0) | solves whose dual-feasibility proof was discharged by the directed-rounding interval tier alone (no exact reduced-cost sweep); for `e21`/`e22` the gate fails when `interval_accepts / (interval_accepts + interval_escalations)` drops below `--min-interval-accept-rate` (default 0.9) — skipped when both counters are 0 (e.g. a `CertifyMode::Exact` run) |
+//! | `interval_escalations` | number | optional (0) | solves whose interval sweep was inconclusive and escalated to the exact sweep; the accept-rate denominator above |
 //! | `speedup`        | number | optional (absent) | an experiment-defined headline ratio — `e21` records its Auto-vs-Off LP1 wall-clock speedup, `e22` its cold/warm pivot-effort ratio; absent for experiments without one. Informational (the deterministic effort counters are what CI gates) |
 //!
 //! # Parsing
@@ -137,6 +139,13 @@ pub struct ExperimentRecord {
     /// Components whose whole supervision ladder failed (gated: must be 0
     /// on fault-free benchmark runs).
     pub quarantined: u64,
+    /// Solves whose dual-feasibility proof was discharged by the
+    /// directed-rounding interval tier alone (gated for `e21`/`e22`: the
+    /// accept rate must stay above `--min-interval-accept-rate`).
+    pub interval_accepts: u64,
+    /// Solves whose interval sweep was inconclusive and escalated to the
+    /// exact reduced-cost sweep.
+    pub interval_escalations: u64,
     /// Experiment-defined headline ratio (e.g. `e21`'s Auto-vs-Off LP1
     /// speedup, `e22`'s cold/warm pivot-effort ratio); `None` for
     /// experiments without one.
@@ -213,7 +222,8 @@ impl BenchRecord {
                     "\"lp_refactorizations\": {}, \"lp_certify_ms\": {:.3}, ",
                     "\"lp_components\": {}, \"lp_max_component_vars\": {}, ",
                     "\"warm_hits\": {}, \"warm_pivots_saved\": {}, ",
-                    "\"demotions\": {}, \"budget_trips\": {}, \"quarantined\": {}{}}}{}\n"
+                    "\"demotions\": {}, \"budget_trips\": {}, \"quarantined\": {}, ",
+                    "\"interval_accepts\": {}, \"interval_escalations\": {}{}}}{}\n"
                 ),
                 esc(&e.id),
                 e.wall_ms,
@@ -230,6 +240,8 @@ impl BenchRecord {
                 e.demotions,
                 e.budget_trips,
                 e.quarantined,
+                e.interval_accepts,
+                e.interval_escalations,
                 speedup,
                 if i + 1 < self.experiments.len() {
                     ","
@@ -297,6 +309,8 @@ impl BenchRecord {
                 demotions: opt_num(e, "demotions") as u64,
                 budget_trips: opt_num(e, "budget_trips") as u64,
                 quarantined: opt_num(e, "quarantined") as u64,
+                interval_accepts: opt_num(e, "interval_accepts") as u64,
+                interval_escalations: opt_num(e, "interval_escalations") as u64,
                 speedup: e.get("speedup").and_then(|v| v.as_f64("speedup").ok()),
             });
         }
@@ -543,6 +557,8 @@ mod tests {
                     demotions: 0,
                     budget_trips: 0,
                     quarantined: 0,
+                    interval_accepts: 0,
+                    interval_escalations: 0,
                     speedup: None,
                 },
                 ExperimentRecord {
@@ -561,6 +577,8 @@ mod tests {
                     demotions: 2,
                     budget_trips: 1,
                     quarantined: 0,
+                    interval_accepts: 14,
+                    interval_escalations: 2,
                     speedup: Some(3.75),
                 },
             ],
@@ -592,6 +610,8 @@ mod tests {
         assert_eq!(back.experiments[1].demotions, 2);
         assert_eq!(back.experiments[1].budget_trips, 1);
         assert_eq!(back.experiments[1].quarantined, 0);
+        assert_eq!(back.experiments[1].interval_accepts, 14);
+        assert_eq!(back.experiments[1].interval_escalations, 2);
         assert_eq!(back.experiments[0].speedup, None);
         assert!((back.experiments[1].speedup.unwrap() - 3.75).abs() < 1e-9);
     }
@@ -621,6 +641,8 @@ mod tests {
         assert_eq!(rec.experiments[0].demotions, 0);
         assert_eq!(rec.experiments[0].budget_trips, 0);
         assert_eq!(rec.experiments[0].quarantined, 0);
+        assert_eq!(rec.experiments[0].interval_accepts, 0);
+        assert_eq!(rec.experiments[0].interval_escalations, 0);
         assert_eq!(rec.experiments[0].speedup, None);
     }
 

@@ -182,6 +182,8 @@ fn main() {
                 demotions: d.demotions,
                 budget_trips: d.budget_trips,
                 quarantined: d.quarantined,
+                interval_accepts: d.interval_accepts,
+                interval_escalations: d.interval_escalations,
                 speedup: report.speedup,
             });
         }

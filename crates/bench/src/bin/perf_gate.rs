@@ -1,7 +1,8 @@
 //! CI perf/fallback gate over `BENCH_lp.json`.
 //!
 //! Usage: `perf_gate <committed.json> <fresh.json> [--min-speedup-ratio R]
-//! [--max-effort-ratio R]` (`--max-e20-ratio` is the legacy spelling of
+//! [--max-effort-ratio R] [--min-interval-accept-rate R]
+//! [--max-certify-ratio R]` (`--max-e20-ratio` is the legacy spelling of
 //! `--max-effort-ratio`)
 //!
 //! Compares a freshly measured record against the committed one and fails
@@ -29,7 +30,24 @@
 //!   e21 pivot blow-up is how a broken component split shows up (a wrong
 //!   merge sends whole clusters back into one basis); an e22 pivot
 //!   blow-up is how a broken snapshot install shows up (every sibling
-//!   silently re-solving cold).
+//!   silently re-solving cold), or
+//! * the decomposition-scaling sweep (`e21`) or the warm-start sweep
+//!   (`e22`) reports a fresh interval accept rate — `interval_accepts /
+//!   (interval_accepts + interval_escalations)` — below
+//!   `--min-interval-accept-rate` (default 0.9). The directed-rounding
+//!   certification tier is expected to discharge nearly every
+//!   dual-feasibility proof on these non-adversarial workloads; a rate
+//!   collapse means the interval sweep started straddling (e.g. a
+//!   widening bug in the `Iv` arithmetic) and every solve is silently
+//!   paying for both tiers. Skipped when both counters are 0 — the run
+//!   was under `CertifyMode::Exact`, or the row predates the field — or
+//! * the certify-time sweeps (`e19`, `e22`) appear in both records and
+//!   the fresh `lp_certify_ms` exceeds `--max-certify-ratio` (default
+//!   1.5) × the committed value. Certification wall time is the one
+//!   timing field stable enough to gate loosely: a broken interval tier
+//!   (everything escalating to the exact sweep) multiplies it well past
+//!   1.5×, while machine noise stays far under. Skipped when the
+//!   committed value is 0 (the row predates the field).
 //!
 //! Comparison is field-by-field through [`abt_bench::bench_record`], not
 //! text diffing, so timing noise in unrelated fields never trips the gate.
@@ -51,10 +69,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut min_ratio = 0.7f64;
     let mut max_e20_ratio = 1.3f64;
+    let mut min_accept_rate = 0.9f64;
+    let mut max_certify_ratio = 1.5f64;
     let mut paths: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--min-speedup-ratio" || a == "--max-effort-ratio" || a == "--max-e20-ratio" {
+        if a == "--min-speedup-ratio"
+            || a == "--max-effort-ratio"
+            || a == "--max-e20-ratio"
+            || a == "--min-interval-accept-rate"
+            || a == "--max-certify-ratio"
+        {
             let v = it.next().unwrap_or_else(|| {
                 eprintln!("perf_gate: {a} needs a value");
                 std::process::exit(2);
@@ -63,10 +88,11 @@ fn main() {
                 eprintln!("perf_gate: bad ratio {v:?}: {e}");
                 std::process::exit(2);
             });
-            if a == "--min-speedup-ratio" {
-                min_ratio = parsed;
-            } else {
-                max_e20_ratio = parsed;
+            match a.as_str() {
+                "--min-speedup-ratio" => min_ratio = parsed,
+                "--min-interval-accept-rate" => min_accept_rate = parsed,
+                "--max-certify-ratio" => max_certify_ratio = parsed,
+                _ => max_e20_ratio = parsed,
             }
         } else {
             paths.push(a);
@@ -74,7 +100,7 @@ fn main() {
     }
     let [committed_path, fresh_path] = paths[..] else {
         eprintln!(
-            "usage: perf_gate <committed.json> <fresh.json> [--min-speedup-ratio R] [--max-effort-ratio R]"
+            "usage: perf_gate <committed.json> <fresh.json> [--min-speedup-ratio R] [--max-effort-ratio R] [--min-interval-accept-rate R] [--max-certify-ratio R]"
         );
         std::process::exit(2);
     };
@@ -146,6 +172,46 @@ fn main() {
                     (max_e20_ratio * 100.0).round(),
                 ));
             }
+        }
+    }
+    // The interval certification tier must keep discharging the
+    // dual-feasibility proofs on the sweep workloads: a rate collapse
+    // means every solve silently pays for both tiers.
+    for gated_id in ["e21", "e22"] {
+        let Some(fe) = fresh.experiments.iter().find(|e| e.id == gated_id) else {
+            continue;
+        };
+        let attempts = fe.interval_accepts + fe.interval_escalations;
+        if attempts == 0 {
+            // Exact-mode run, or a record predating the field.
+            continue;
+        }
+        let rate = fe.interval_accepts as f64 / attempts as f64;
+        if rate < min_accept_rate {
+            failures.push(format!(
+                "{gated_id} interval accept rate collapsed: {} accepts / {} attempts = {rate:.3} < {min_accept_rate}",
+                fe.interval_accepts, attempts
+            ));
+        }
+    }
+    // Certification wall time on the certify-heavy sweeps: loosely gated
+    // (a broken interval tier multiplies it; machine noise does not).
+    for gated_id in ["e19", "e22"] {
+        let row = |rec: &BenchRecord| rec.experiments.iter().find(|e| e.id == gated_id).cloned();
+        let (Some(ce), Some(fe)) = (row(&committed), row(&fresh)) else {
+            continue;
+        };
+        if ce.lp_certify_ms <= 0.0 {
+            continue;
+        }
+        let ceiling = ce.lp_certify_ms * max_certify_ratio;
+        if fe.lp_certify_ms > ceiling {
+            failures.push(format!(
+                "{gated_id} certify time regressed: fresh {:.3} ms > {ceiling:.3} ms ({}% of committed {:.3} ms)",
+                fe.lp_certify_ms,
+                (max_certify_ratio * 100.0).round(),
+                ce.lp_certify_ms
+            ));
         }
     }
 

@@ -18,12 +18,18 @@
 //! printed telemetry shows how many attempts demoted, tripped a budget,
 //! or were quarantined.
 //!
+//! Both also accept `--certify <exact|interval|auto>` selecting the
+//! certification tier policy of the revised backend (`auto`, the
+//! default, is interval-then-exact — see `abt-lp`'s `CertifyMode`).
+//! Every mode returns bit-identical objectives; the supervision summary
+//! line reports how the proofs split across the tiers.
+//!
 //! Instance files use the `abt-core::io` text format (`g <k>` then one
 //! `job <r> <d> <p>` per line; `#` comments allowed).
 
 use abt_active::{
     exact_active_time, exact_unit_active_time, lp_rounding, lp_telemetry, minimal_feasible,
-    solve_active_lp_with, ClosingOrder, IncrementalSolver, LpOptions,
+    solve_active_lp_with, CertifyMode, ClosingOrder, IncrementalSolver, LpOptions,
 };
 use abt_busy::{
     exact_busy_time, preemptive_bounded, preemptive_unbounded, solve_flexible, IntervalAlgo,
@@ -45,11 +51,12 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage:\n  abt gen <interval|flexible|vm|optical|fig1|fig3|gap> [seed]\n  \
                  abt bounds <file>\n  \
-                 abt solve <file> [--pivot-budget N] [--time-budget-ms N]\n  \
+                 abt solve <file> [--pivot-budget N] [--time-budget-ms N] [--certify M]\n  \
                  abt active <file> <minimal|rounding|exact|unit>\n  \
                  abt busy <file> <ff|gt|kr|ab|exact|preempt>\n  \
                  abt incremental [clusters] [jobs_per_cluster] [seed] \
-                 [--pivot-budget N] [--time-budget-ms N]"
+                 [--pivot-budget N] [--time-budget-ms N] [--certify M]\n  \
+                 (--certify M: exact | interval | auto)"
             );
             ExitCode::from(2)
         }
@@ -61,9 +68,10 @@ fn load(path: &str) -> Result<Instance, String> {
     io::read_instance(&text).map_err(|e| e.to_string())
 }
 
-/// Splits the solve-budget flags (`--pivot-budget N`, `--time-budget-ms
-/// N`) out of `args`, returning the remaining positional arguments and an
-/// [`LpOptions`] with the budgets applied (0 = unlimited).
+/// Splits the solve-policy flags (`--pivot-budget N`, `--time-budget-ms
+/// N`, `--certify M`) out of `args`, returning the remaining positional
+/// arguments and an [`LpOptions`] with the policies applied (budgets: 0 =
+/// unlimited; certify: `auto` = interval-then-exact).
 fn parse_budgets<'a>(args: &[&'a str]) -> Result<(Vec<&'a str>, LpOptions), String> {
     let mut opts = LpOptions::default();
     let mut positional = Vec::new();
@@ -79,17 +87,39 @@ fn parse_budgets<'a>(args: &[&'a str]) -> Result<(Vec<&'a str>, LpOptions), Stri
                     opts.time_budget_ms = n;
                 }
             }
+            "--certify" => {
+                let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
+                opts.certify = match *v {
+                    "exact" => CertifyMode::Exact,
+                    "interval" => CertifyMode::Interval,
+                    "auto" => CertifyMode::IntervalThenExact,
+                    other => {
+                        return Err(format!(
+                            "bad --certify value '{other}' (want exact|interval|auto)"
+                        ))
+                    }
+                };
+            }
             other => positional.push(other),
         }
     }
     Ok((positional, opts))
 }
 
-/// One-line supervision summary from a telemetry delta.
+/// One-line supervision summary from a telemetry delta, including how the
+/// certification proofs split across the interval and exact tiers.
 fn supervision_summary(d: &abt_active::LpTelemetry) -> String {
     format!(
-        "supervision: {} demotions ({} budget trips), {} quarantined",
-        d.demotions, d.budget_trips, d.quarantined
+        "supervision: {} demotions ({} budget trips), {} quarantined; \
+         certify: {} interval accepts, {} escalations \
+         ({:.1} ms interval + {:.1} ms exact)",
+        d.demotions,
+        d.budget_trips,
+        d.quarantined,
+        d.interval_accepts,
+        d.interval_escalations,
+        d.certify_interval_nanos as f64 / 1e6,
+        d.certify_exact_nanos as f64 / 1e6,
     )
 }
 

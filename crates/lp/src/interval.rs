@@ -1,0 +1,329 @@
+//! Outward-rounded `f64` interval arithmetic for the **directed-rounding
+//! certification tier** (see [`crate::simplex`] and `CertifyMode`).
+//!
+//! An [`Iv`] is a closed interval `[lo, hi]` guaranteed to contain the
+//! exact real value of the expression it was computed from. Every
+//! operation rounds *outward* using `f64::next_down`/`f64::next_up` —
+//! plain nearest-mode arithmetic widened by one ulp per inexact step, no
+//! FPU rounding-mode games — so enclosures survive any compiler
+//! reordering and cost only a couple of extra flops per operation.
+//!
+//! Two properties make the tier effective on the LP1 workloads:
+//!
+//! * **Exactness detection.** When an operation is exact in `f64`
+//!   (detected with the classical two-sum residual for `+`/`−` and an
+//!   `mul_add` residual for `×`/`÷`), the result is *not* widened. LP1
+//!   data is small integers and dyadic rationals, so point intervals stay
+//!   point intervals through most of a reduced-cost dot product — which is
+//!   what lets the tier prove `d̄ ≥ 0` even when `d̄` is *exactly* zero
+//!   (ubiquitous under the alternate optima of sibling runs).
+//! * **Soundness under the weird values.** A NaN (from `∞ − ∞` or
+//!   overflow chains) collapses to the entire real line, and an infinite
+//!   bound produced by overflow is kept as an honest one-sided bound, so a
+//!   blown-up enclosure can only ever *fail to prove* an inequality,
+//!   never prove a false one.
+//!
+//! Conversion from [`Rat`] is also outward: numerator and denominator are
+//! enclosed first (exactly, when `|v| ≤ 2⁵³`), then divided as intervals.
+
+use crate::rational::Rat;
+
+/// Largest integer magnitude exactly representable in `f64`.
+const EXACT_INT: i128 = 1 << 53;
+
+/// A closed outward-rounded interval; see the module docs for the
+/// enclosure contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Iv {
+    /// Lower bound (`≤` the exact value).
+    pub lo: f64,
+    /// Upper bound (`≥` the exact value).
+    pub hi: f64,
+}
+
+/// Lower-bound widening: exact values pass through, inexact ones move one
+/// ulp down, NaN collapses to `−∞`.
+fn lo_bound(v: f64, exact: bool) -> f64 {
+    if v.is_nan() {
+        f64::NEG_INFINITY
+    } else if exact {
+        v
+    } else {
+        v.next_down()
+    }
+}
+
+/// Upper-bound widening, mirror of [`lo_bound`].
+fn hi_bound(v: f64, exact: bool) -> f64 {
+    if v.is_nan() {
+        f64::INFINITY
+    } else if exact {
+        v
+    } else {
+        v.next_up()
+    }
+}
+
+/// `a + b` was exact in `f64` (two-sum residual is zero). Valid whenever
+/// the sum is finite.
+fn add_exact(a: f64, b: f64, s: f64) -> bool {
+    if !s.is_finite() {
+        return false;
+    }
+    let a1 = s - b;
+    let b1 = s - a1;
+    (a - a1) + (b - b1) == 0.0
+}
+
+/// `a * b` was exact in `f64` (fused residual is zero). The residual of an
+/// inexact product is at least half an ulp of the product, which is
+/// representable (subnormals) for every product above `≈ 1e-290`; below
+/// that we conservatively report inexact.
+fn mul_exact(a: f64, b: f64, p: f64) -> bool {
+    p.is_finite()
+        && (p == 0.0 && (a == 0.0 || b == 0.0) || p.abs() > 1e-290)
+        && a.mul_add(b, -p) == 0.0
+}
+
+/// `a / b == q` exactly (so `q * b == a` with a zero fused residual).
+fn div_exact(a: f64, b: f64, q: f64) -> bool {
+    q.is_finite() && (q == 0.0 && a == 0.0 || q.abs() > 1e-290) && q.mul_add(b, -a) == 0.0
+}
+
+impl Iv {
+    /// The degenerate point interval of an exactly-known `f64`.
+    pub fn point(v: f64) -> Iv {
+        Iv { lo: v, hi: v }
+    }
+
+    /// Outward enclosure of an `i128` (exact below `2⁵³`).
+    pub fn from_i128(v: i128) -> Iv {
+        let f = v as f64;
+        if (-EXACT_INT..=EXACT_INT).contains(&v) {
+            Iv::point(f)
+        } else {
+            Iv {
+                lo: f.next_down(),
+                hi: f.next_up(),
+            }
+        }
+    }
+
+    /// Outward enclosure of an exact rational: numerator over denominator,
+    /// both enclosed first, divided as intervals. Integers below `2⁵³`
+    /// (and dyadic rationals whose division is exact) stay point
+    /// intervals.
+    pub fn from_rat(r: &Rat) -> Iv {
+        let n = Iv::from_i128(r.numer());
+        let d = r.denom();
+        if d == 1 {
+            return n;
+        }
+        // `Rat` keeps denominators strictly positive, so the enclosure of
+        // `d` never straddles zero and corner division is well defined.
+        let d = Iv::from_i128(d);
+        debug_assert!(d.lo > 0.0);
+        let corner = |a: f64, b: f64| {
+            let q = a / b;
+            (q, div_exact(a, b, q))
+        };
+        let cs = [
+            corner(n.lo, d.lo),
+            corner(n.lo, d.hi),
+            corner(n.hi, d.lo),
+            corner(n.hi, d.hi),
+        ];
+        Iv {
+            lo: cs
+                .iter()
+                .map(|&(q, ex)| lo_bound(q, ex))
+                .fold(f64::INFINITY, f64::min),
+            hi: cs
+                .iter()
+                .map(|&(q, ex)| hi_bound(q, ex))
+                .fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// The enclosed value is provably `≥ 0`. `false` on NaN bounds.
+    pub fn proves_nonneg(self) -> bool {
+        self.lo >= 0.0
+    }
+
+    /// The enclosed value is provably `≤ 0`. `false` on NaN bounds.
+    pub fn proves_nonpos(self) -> bool {
+        self.hi <= 0.0
+    }
+
+    /// The enclosed value is provably `> 0` — a *violation* certificate
+    /// for a `≤ 0` condition.
+    pub fn proves_pos(self) -> bool {
+        self.lo > 0.0
+    }
+
+    /// The enclosed value is provably `< 0` — a violation certificate for
+    /// a `≥ 0` condition.
+    pub fn proves_neg(self) -> bool {
+        self.hi < 0.0
+    }
+}
+
+/// Interval negation (exact).
+impl std::ops::Neg for Iv {
+    type Output = Iv;
+    fn neg(self) -> Iv {
+        Iv {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
+    }
+}
+
+/// Outward interval addition; exact endpoint sums stay unwidened.
+impl std::ops::Add for Iv {
+    type Output = Iv;
+    fn add(self, o: Iv) -> Iv {
+        let lo = self.lo + o.lo;
+        let hi = self.hi + o.hi;
+        Iv {
+            lo: lo_bound(lo, add_exact(self.lo, o.lo, lo)),
+            hi: hi_bound(hi, add_exact(self.hi, o.hi, hi)),
+        }
+    }
+}
+
+/// Outward interval subtraction.
+impl std::ops::Sub for Iv {
+    type Output = Iv;
+    fn sub(self, o: Iv) -> Iv {
+        self + (-o)
+    }
+}
+
+/// Outward interval multiplication over the four endpoint products.
+impl std::ops::Mul for Iv {
+    type Output = Iv;
+    fn mul(self, o: Iv) -> Iv {
+        let corner = |a: f64, b: f64| {
+            let p = a * b;
+            (p, mul_exact(a, b, p))
+        };
+        let cs = [
+            corner(self.lo, o.lo),
+            corner(self.lo, o.hi),
+            corner(self.hi, o.lo),
+            corner(self.hi, o.hi),
+        ];
+        Iv {
+            lo: cs
+                .iter()
+                .map(|&(p, ex)| lo_bound(p, ex))
+                .fold(f64::INFINITY, f64::min),
+            hi: cs
+                .iter()
+                .map(|&(p, ex)| hi_bound(p, ex))
+                .fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(p: i128, q: i128) -> Rat {
+        Rat::new(p, q)
+    }
+
+    #[test]
+    fn small_integers_and_dyadics_are_points() {
+        for (p, q) in [(0, 1), (7, 1), (-3, 1), (1, 2), (-5, 4), (3, 8)] {
+            let iv = Iv::from_rat(&r(p, q));
+            assert_eq!(iv.lo, iv.hi, "{p}/{q} should be a point interval");
+            assert_eq!(iv.lo, p as f64 / q as f64);
+        }
+    }
+
+    #[test]
+    fn non_dyadic_rationals_enclose() {
+        let third = Iv::from_rat(&r(1, 3));
+        assert!(third.lo < third.hi);
+        assert!(third.lo < 1.0 / 3.0 + 1e-18 && third.hi > 1.0 / 3.0 - 1e-18);
+        // The enclosure stays tight: one or two ulps wide.
+        assert!(third.hi - third.lo < 1e-15);
+    }
+
+    #[test]
+    fn exact_arithmetic_stays_point() {
+        // Integer dot-product style chains never widen.
+        let mut acc = Iv::point(0.0);
+        for (a, b) in [(3.0, 4.0), (-7.0, 2.0), (5.0, 1.0), (9.0, -1.0)] {
+            acc = acc + Iv::point(a) * Iv::point(b);
+        }
+        assert_eq!(acc, Iv::point(3.0 * 4.0 - 14.0 + 5.0 - 9.0));
+    }
+
+    #[test]
+    fn exact_zero_is_provable() {
+        // d = 1/4 + 1/4 - 1/2 is exactly zero in f64 and must *prove*
+        // both signs — the property that keeps degenerate reduced costs
+        // inside the interval tier.
+        let d = Iv::from_rat(&r(1, 4)) + Iv::from_rat(&r(1, 4)) - Iv::from_rat(&r(1, 2));
+        assert_eq!(d, Iv::point(0.0));
+        assert!(d.proves_nonneg() && d.proves_nonpos());
+        assert!(!d.proves_pos() && !d.proves_neg());
+    }
+
+    #[test]
+    fn inexact_zero_straddles() {
+        // 1/3 + 1/3 - 2/3 is exactly zero but inexact in f64: the
+        // enclosure must straddle, proving neither sign strictly.
+        let d = Iv::from_rat(&r(1, 3)) + Iv::from_rat(&r(1, 3)) - Iv::from_rat(&r(2, 3));
+        assert!(d.lo <= 0.0 && d.hi >= 0.0);
+        assert!(!d.proves_pos() && !d.proves_neg());
+    }
+
+    #[test]
+    fn widening_is_outward() {
+        // 0.1 is inexact: repeated accumulation must keep the true value
+        // 10 × (1/10) = 1 inside the enclosure.
+        let tenth = Iv::from_rat(&r(1, 10));
+        let mut acc = Iv::point(0.0);
+        for _ in 0..10 {
+            acc = acc + tenth;
+        }
+        assert!(acc.lo <= 1.0 && 1.0 <= acc.hi);
+        assert!(acc.lo < acc.hi);
+    }
+
+    #[test]
+    fn huge_integers_enclose() {
+        let big = (1i128 << 80) + 1;
+        let iv = Iv::from_i128(big);
+        assert!(iv.lo < iv.hi);
+        assert!(iv.lo <= big as f64 && big as f64 <= iv.hi);
+    }
+
+    #[test]
+    fn tiny_gap_straddles() {
+        // A 2⁻⁶⁰-style gap around zero: (1 + 2⁻⁶⁰) − 1 is far below one
+        // ulp of 1, so the enclosure must straddle zero (escalation
+        // territory), never prove strict positivity.
+        let gap = r(1, 1).add(&r(1, 1 << 60));
+        let d = Iv::from_rat(&gap) - Iv::from_rat(&r(1, 1));
+        assert!(!d.proves_pos());
+        assert!(d.lo <= 0.0 && d.hi >= 0.0);
+    }
+
+    #[test]
+    fn nan_collapses_to_entire_line() {
+        let inf = Iv {
+            lo: f64::INFINITY,
+            hi: f64::INFINITY,
+        };
+        let d = inf - inf; // ∞ − ∞ → NaN → entire line
+        assert_eq!(d.lo, f64::NEG_INFINITY);
+        assert_eq!(d.hi, f64::INFINITY);
+        assert!(!d.proves_nonneg() && !d.proves_nonpos());
+    }
+}

@@ -25,11 +25,15 @@
 //! # Example
 //!
 //! Build a small LP with an implicit constant bound and a VUB family, and
-//! solve it with the revised hybrid — the search runs in `f64`, the answer
-//! is certified (and returned) in exact rationals:
+//! solve it through the unified entry point ([`solve_lp`]) — the search
+//! runs in `f64`, the answer is certified (and returned) in exact
+//! rationals, with the certification itself layered: a directed-rounding
+//! interval tier ([`interval`]) discharges most proofs, escalating to
+//! exact rationals only when an enclosure straddles
+//! ([`CertifyMode::IntervalThenExact`], the default):
 //!
 //! ```
-//! use abt_lp::{solve_revised, Cmp, LpProblem, LpStatus, Rat};
+//! use abt_lp::{solve_lp, Cmp, LpOptions, LpProblem, LpStatus, Rat};
 //!
 //! // min −x − z  s.t.  x + y + z ≥ 1,  y ≤ 4 (implicit bound),
 //! //                   x ≤ y (VUB family: key y, dependent x), z ≤ 2.
@@ -46,17 +50,19 @@
 //! lp.set_upper(z, Rat::from_int(2));
 //! lp.set_vub(x, y); // x rides glued to its key inside the pivoting rules
 //!
-//! let sol = solve_revised(&lp);
-//! assert_eq!(sol.status, LpStatus::Optimal);
+//! let rep = solve_lp(&lp, &LpOptions::new()).expect("clean solve");
+//! assert_eq!(rep.solution.status, LpStatus::Optimal);
 //! // Optimum: x = y = 4 (x glued to its key at the key's bound), z = 2.
-//! assert_eq!(sol.objective, Rat::from_int(-6));
-//! assert!(lp.is_feasible(&sol.x));
+//! assert_eq!(rep.solution.objective, Rat::from_int(-6));
+//! assert!(lp.is_feasible(&rep.solution.x));
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod arena;
 pub mod bounds;
+pub mod interval;
 pub mod lu;
 pub mod model;
 pub mod rational;
@@ -65,21 +71,26 @@ pub mod simplex;
 pub mod warm;
 
 pub use abt_core::error::{BudgetKind, SolveFailure};
+pub use api::{solve_lp, LpOptions, LpReport, SolverBackend};
 pub use arena::{with_arena, ArenaStats, SolveArena};
 pub use bounds::{
     solve_bounded_f64, solve_bounded_f64_warm_with, solve_bounded_f64_with, BoundedBasis,
     BoundedOptions, BoundedStatus, StandardForm, VarState, DEFAULT_PRICING_WINDOW,
     TIME_CHECK_EVERY,
 };
+pub use interval::Iv;
 pub use lu::SparseLu;
 pub use model::{Cmp, Constraint, LpProblem, VarId};
 pub use rational::Rat;
 pub use scalar::{Scalar, F64_EPS};
 pub use simplex::{
-    solve, solve_hybrid, solve_hybrid_report, solve_revised, solve_revised_report,
-    solve_revised_with, try_solve_revised_with, HybridReport, LpSolution, LpStatus, RevisedOptions,
-    SolveStats,
+    solve, CertifyMode, HybridReport, LpSolution, LpStatus, RevisedOptions, SolveStats,
 };
-pub use warm::{
-    solve_revised_warm, try_solve_revised_cold, try_solve_revised_warm, BasisSnapshot, WarmReport,
+#[allow(deprecated)] // the legacy names stay re-exported through their deprecation window
+pub use simplex::{
+    solve_hybrid, solve_hybrid_report, solve_revised, solve_revised_report, solve_revised_with,
+    try_solve_revised_with,
 };
+#[allow(deprecated)] // the legacy names stay re-exported through their deprecation window
+pub use warm::{solve_revised_warm, try_solve_revised_cold, try_solve_revised_warm};
+pub use warm::{BasisSnapshot, WarmReport};

@@ -22,15 +22,50 @@ pub struct Rat {
 }
 
 #[inline]
-fn gcd(mut a: i128, mut b: i128) -> i128 {
-    a = a.abs();
-    b = b.abs();
-    while b != 0 {
+fn gcd(a: i128, b: i128) -> i128 {
+    // 128-bit `%` is a software routine on every mainstream target, and
+    // LP1 data keeps almost every operand within 64 bits (often ±1), so
+    // dispatch to a hardware-width binary GCD whenever both fit. Every
+    // branch returns the same value the plain i128 Euclid would.
+    let mut a = a.unsigned_abs();
+    let mut b = b.unsigned_abs();
+    if a == 0 {
+        return b.max(1) as i128;
+    }
+    if b == 0 {
+        return a as i128;
+    }
+    if a == 1 || b == 1 {
+        return 1;
+    }
+    loop {
+        if (a | b) >> 64 == 0 {
+            return gcd_u64(a as u64, b as u64) as i128;
+        }
         let t = a % b;
+        if t == 0 {
+            return b as i128;
+        }
         a = b;
         b = t;
     }
-    a.max(1)
+}
+
+/// Stein's binary GCD on hardware words; both inputs nonzero.
+#[inline]
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            core::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
 }
 
 #[cold]
@@ -49,6 +84,9 @@ impl Rat {
         assert!(d != 0, "zero denominator");
         let (n, d) = if d < 0 { (-n, -d) } else { (n, d) };
         let g = gcd(n, d);
+        if g == 1 {
+            return Rat { n, d };
+        }
         Rat { n: n / g, d: d / g }
     }
 
@@ -71,8 +109,11 @@ impl Rat {
     pub fn add(&self, o: &Rat) -> Rat {
         // a/b + c/e = (a·(e/g) + c·(b/g)) / (b·(e/g)) with g = gcd(b, e).
         let g = gcd(self.d, o.d);
-        let e_g = o.d / g;
-        let b_g = self.d / g;
+        let (e_g, b_g) = if g == 1 {
+            (o.d, self.d)
+        } else {
+            (o.d / g, self.d / g)
+        };
         let num = self
             .n
             .checked_mul(e_g)
@@ -91,12 +132,18 @@ impl Rat {
     pub fn mul(&self, o: &Rat) -> Rat {
         let g1 = gcd(self.n, o.d);
         let g2 = gcd(o.n, self.d);
-        let n = (self.n / g1)
-            .checked_mul(o.n / g2)
-            .unwrap_or_else(|| overflow());
-        let d = (self.d / g2)
-            .checked_mul(o.d / g1)
-            .unwrap_or_else(|| overflow());
+        let (an, bd) = if g1 == 1 {
+            (self.n, o.d)
+        } else {
+            (self.n / g1, o.d / g1)
+        };
+        let (bn, ad) = if g2 == 1 {
+            (o.n, self.d)
+        } else {
+            (o.n / g2, self.d / g2)
+        };
+        let n = an.checked_mul(bn).unwrap_or_else(|| overflow());
+        let d = ad.checked_mul(bd).unwrap_or_else(|| overflow());
         Rat { n, d } // already reduced by construction
     }
 

@@ -36,14 +36,17 @@
 //!
 //! 1. Solve a lossless `f64` image of the LP (coefficients in the paper's
 //!    LPs are tiny integers, exactly representable).
-//! 2. If the float solve claims `Optimal`, refactorize its terminal basis
-//!    in exact rationals: pivot a fresh exact tableau to the same basis
-//!    *set* (installing each basic column on any still-unused row with an
-//!    exactly nonzero entry; a singular proposal fails the step).
-//! 3. Check, exactly: primal feasibility (all basic values ≥ 0),
-//!    artificials out (every basic artificial at value 0), and dual
-//!    feasibility (all phase-2 reduced costs of non-artificial columns
-//!    ≥ 0). Together these certify the basis is exactly optimal.
+//! 2. If the float solve claims `Optimal`, factor its terminal basis
+//!    *set* with a [`SparseLu`] in exact rationals (a singular proposal
+//!    fails the step) — the dense exact tableau is never re-pivoted.
+//! 3. Check, exactly: primal feasibility (`B·x_B = b` with all basic
+//!    values ≥ 0), artificials out (every basic artificial at value 0),
+//!    and dual feasibility (reduced costs of nonbasic non-artificial
+//!    columns ≥ 0 against the duals from `Bᵀ·y = c_B`). The sweep is
+//!    discharged by the [`CertifyMode`] tier policy — the directed-
+//!    rounding interval tier first under the default, escalating to the
+//!    exact rational sweep only on straddles. Together these certify the
+//!    basis is exactly optimal.
 //! 4. On any failure — or a float claim of `Infeasible`/`Unbounded`, which
 //!    tolerance-based pivoting cannot certify — fall back to the pure
 //!    exact simplex. The fallback is the correctness backstop; the float
@@ -98,6 +101,7 @@
 use crate::bounds::{
     solve_bounded_f64_with, BoundedBasis, BoundedOptions, BoundedStatus, StandardForm, VarState,
 };
+use crate::interval::Iv;
 use crate::lu::SparseLu;
 use crate::model::{Cmp, LpProblem};
 use crate::rational::Rat;
@@ -146,8 +150,24 @@ pub struct SolveStats {
     /// LU refactorizations of the float pass (periodic and
     /// VUB-structural).
     pub refactorizations: u64,
-    /// Wall time of the exact certification step, in nanoseconds.
+    /// Total wall time of the certification step (both tiers), in
+    /// nanoseconds. Always `certify_interval_nanos + certify_exact_nanos`
+    /// up to clock granularity.
     pub certify_nanos: u64,
+    /// Wall time spent in the directed-rounding interval tier, in
+    /// nanoseconds (zero under [`CertifyMode::Exact`]).
+    pub certify_interval_nanos: u64,
+    /// Wall time spent in exact rational arithmetic (LU factor, basic
+    /// values, duals, and — on escalation or under
+    /// [`CertifyMode::Exact`] — the full reduced-cost sweep), in
+    /// nanoseconds.
+    pub certify_exact_nanos: u64,
+    /// Solves whose dual-feasibility sweep was discharged entirely by the
+    /// interval tier (0 or 1 per solve; summable across solves).
+    pub interval_accepts: u64,
+    /// Solves whose interval sweep was inconclusive (straddling
+    /// enclosures) and escalated to the exact reduced-cost sweep.
+    pub interval_escalations: u64,
 }
 
 /// Result of [`solve_hybrid_report`]: the solution plus whether the exact
@@ -589,68 +609,241 @@ pub(crate) fn to_f64(lp: &LpProblem<Rat>) -> LpProblem<f64> {
     out
 }
 
-/// Refactorizes `target` (a basis proposed by the float pass) on a fresh
-/// exact tableau and verifies it is exactly optimal. Returns the exact
-/// solution on success, `None` if the basis is singular, primal
-/// infeasible, dual infeasible, or keeps an artificial at nonzero value.
-fn verify_basis(lp: &LpProblem<Rat>, target: &[usize]) -> Option<LpSolution<Rat>> {
-    let mut b = build::<Rat>(lp);
-    let m = b.t.rows;
+/// Sparse exact view of the row-encoded tableau layout of [`build`]: the
+/// same structural/slack/artificial column numbering and RHS
+/// normalization, held as sparse columns so the LU-based dense certifier
+/// never materializes (or pivots) the dense arena.
+struct SparseBuilt {
+    /// Per column: sparse `(row, value)` entries, rows ascending.
+    cols: Vec<Vec<(usize, Rat)>>,
+    /// Phase-2 cost per column (structural → objective, auxiliary → 0).
+    cost: Vec<Rat>,
+    /// Normalized (nonnegative) RHS per row.
+    rhs: Vec<Rat>,
+    is_artificial: Vec<bool>,
+    /// Per row: whether RHS normalization flipped the row (undone in the
+    /// dual read-out).
+    row_flip: Vec<bool>,
+}
+
+/// Mirrors [`build`]'s column layout — structural `0..n`, then one
+/// slack/surplus per inequality row, then artificials — as sparse exact
+/// columns. Any drift from [`build`] would desynchronize the certifier
+/// from the float pass's basis indices; the hybrid differential tests
+/// pin the two together.
+fn build_sparse(lp: &LpProblem<Rat>) -> SparseBuilt {
+    let n = lp.num_vars();
+    let m = lp.num_constraints();
+    let mut n_slack = 0;
+    let mut n_art = 0;
+    for c in lp.constraints() {
+        let sense = match (c.cmp, c.rhs.is_neg()) {
+            (Cmp::Le, false) | (Cmp::Ge, true) => Cmp::Le,
+            (Cmp::Ge, false) | (Cmp::Le, true) => Cmp::Ge,
+            (Cmp::Eq, _) => Cmp::Eq,
+        };
+        match sense {
+            Cmp::Le => n_slack += 1,
+            Cmp::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Cmp::Eq => n_art += 1,
+        }
+    }
+    let cols_n = n + n_slack + n_art;
+    let mut cols: Vec<Vec<(usize, Rat)>> = vec![Vec::new(); cols_n];
+    let mut rhs = vec![Rat::ZERO; m];
+    let mut is_artificial = vec![false; cols_n];
+    let mut row_flip = vec![false; m];
+    let mut slack_at = n;
+    let mut art_at = n + n_slack;
+    for (i, c) in lp.constraints().iter().enumerate() {
+        let flip = c.rhs.is_neg();
+        let sgn = if flip { Rat::ONE.neg() } else { Rat::ONE };
+        row_flip[i] = flip;
+        for (v, coef) in &c.terms {
+            // Repeated variables accumulate, exactly as in the dense arena.
+            let col = &mut cols[*v];
+            match col.last_mut() {
+                Some(e) if e.0 == i => e.1 = e.1.add(&sgn.mul(coef)),
+                _ => col.push((i, sgn.mul(coef))),
+            }
+        }
+        rhs[i] = sgn.mul(&c.rhs);
+        let sense = match (c.cmp, flip) {
+            (Cmp::Le, false) | (Cmp::Ge, true) => Cmp::Le,
+            (Cmp::Ge, false) | (Cmp::Le, true) => Cmp::Ge,
+            (Cmp::Eq, _) => Cmp::Eq,
+        };
+        match sense {
+            Cmp::Le => {
+                cols[slack_at].push((i, Rat::ONE));
+                slack_at += 1;
+            }
+            Cmp::Ge => {
+                cols[slack_at].push((i, Rat::ONE.neg()));
+                slack_at += 1;
+                cols[art_at].push((i, Rat::ONE));
+                is_artificial[art_at] = true;
+                art_at += 1;
+            }
+            Cmp::Eq => {
+                cols[art_at].push((i, Rat::ONE));
+                is_artificial[art_at] = true;
+                art_at += 1;
+            }
+        }
+    }
+    let mut cost = vec![Rat::ZERO; cols_n];
+    cost[..n].copy_from_slice(lp.objective());
+    SparseBuilt {
+        cols,
+        cost,
+        rhs,
+        is_artificial,
+        row_flip,
+    }
+}
+
+/// The exact rational reduced-cost sweep of the dense certifier: every
+/// nonbasic non-artificial column must price out nonnegative.
+fn dense_exact_sweep(sb: &SparseBuilt, in_basis: &[bool], y: &[Rat]) -> bool {
+    for j in 0..sb.cols.len() {
+        if in_basis[j] || sb.is_artificial[j] {
+            continue;
+        }
+        let mut d = sb.cost[j];
+        for (i, v) in &sb.cols[j] {
+            d = d.sub(&y[*i].mul(v));
+        }
+        if d.is_neg() {
+            return false;
+        }
+    }
+    true
+}
+
+/// The directed-rounding interval tier of the dense certifier: the flat
+/// (no VUB gluing) analogue of [`interval_dual_sweep`], with the same
+/// per-column exact rescue and the same escalation cap.
+fn dense_interval_sweep(sb: &SparseBuilt, in_basis: &[bool], y: &[Rat]) -> IvSweep {
+    let ivy: Vec<Iv> = y.iter().map(Iv::from_rat).collect();
+    let rescue_cap = 8 + sb.cols.len() / 8;
+    let mut rescued = 0usize;
+    for j in 0..sb.cols.len() {
+        if in_basis[j] || sb.is_artificial[j] {
+            continue;
+        }
+        let mut d = Iv::from_rat(&sb.cost[j]);
+        for (i, v) in &sb.cols[j] {
+            d = d - ivy[*i] * Iv::from_rat(v);
+        }
+        if d.proves_neg() {
+            return IvSweep::Refuted;
+        }
+        if d.proves_nonneg() {
+            continue;
+        }
+        rescued += 1;
+        if rescued > rescue_cap {
+            return IvSweep::Inconclusive;
+        }
+        let mut dx = sb.cost[j];
+        for (i, v) in &sb.cols[j] {
+            dx = dx.sub(&y[*i].mul(v));
+        }
+        if dx.is_neg() {
+            return IvSweep::Refuted;
+        }
+    }
+    IvSweep::Proven
+}
+
+/// Certifies `target` (a basis proposed by the float pass) exactly via a
+/// sparse LU of the basis matrix — primal values and duals are solved
+/// from the factorization instead of re-pivoting a dense exact tableau,
+/// and the reduced-cost sweep is discharged by the tier policy in `mode`
+/// (see [`CertifyMode`]). Returns the exact solution (bit-identical to
+/// the old tableau read-out: basic values and duals are uniquely
+/// determined by the basis) on success, `None` if the basis is singular,
+/// primal infeasible, dual infeasible, or keeps an artificial at nonzero
+/// value. An inconclusive interval sweep under `CertifyMode::Interval`
+/// also returns `None`: the dense hybrid's fallback is its escalation
+/// path.
+fn verify_basis(
+    lp: &LpProblem<Rat>,
+    target: &[usize],
+    mode: CertifyMode,
+    tally: &mut CertifyTally,
+) -> Option<LpSolution<Rat>> {
+    let sb = build_sparse(lp);
+    let m = sb.rhs.len();
+    let cols_n = sb.cols.len();
     if target.len() != m {
         return None;
     }
-    let cols = b.t.cols;
-    let mut in_basis = vec![false; cols];
+    let mut in_basis = vec![false; cols_n];
     for &c in target {
-        if c >= cols || std::mem::replace(&mut in_basis[c], true) {
+        if c >= cols_n || std::mem::replace(&mut in_basis[c], true) {
             return None; // out of range or duplicated column
         }
     }
-    // Bring the tableau to the target basis, treated as a *set* of
-    // columns: the float pass's row↔column pairing reflects its own pivot
-    // history, not anything the fresh exact tableau must reproduce. Rows
-    // whose initial basic column (a slack or artificial) is in the target
-    // keep it with no pivot; every other target column is installed by
-    // pivoting any still-unused row with an exactly nonzero entry. If no
-    // such row exists the column lies in the span of the already-installed
-    // ones, i.e. the proposed basis is singular.
-    let mut used = vec![false; m];
-    let mut have = vec![false; cols];
-    for i in 0..m {
-        let c0 = b.t.basis[i];
-        if in_basis[c0] {
-            have[c0] = true;
-            used[i] = true;
-        }
-    }
-    for &c in target {
-        if have[c] {
-            continue;
-        }
-        let Some(i) = (0..m).find(|&i| !used[i] && !b.t.at(i, c).is_zero_s()) else {
-            return None; // singular basis proposal
-        };
-        b.t.pivot(i, c);
-        used[i] = true;
-    }
-    // Exact primal feasibility, and no artificial stuck at nonzero value.
-    for i in 0..m {
-        let rhs = b.t.at(i, cols);
-        if rhs.is_neg() {
-            return None;
-        }
-        if b.is_artificial[b.t.basis[i]] && !rhs.is_zero_s() {
+    let bcols: Vec<Vec<(usize, Rat)>> = target.iter().map(|&c| sb.cols[c].clone()).collect();
+    let lu = SparseLu::factor(m, &bcols)?;
+    // Exact primal feasibility: nonbasics rest at zero, `B·x_B = b`,
+    // every basic value ≥ 0, and no artificial stuck at nonzero value.
+    let xb = lu.solve(&sb.rhs);
+    for (k, &c) in target.iter().enumerate() {
+        if xb[k].is_neg() || (sb.is_artificial[c] && !xb[k].is_zero_s()) {
             return None;
         }
     }
-    // Exact dual feasibility: every non-artificial reduced cost ≥ 0.
-    set_phase2_costs(lp, &mut b);
-    for j in 0..cols {
-        if !b.is_artificial[j] && b.t.cost[j].is_neg() {
-            return None;
+    // Exact duals from `Bᵀ·y = c_B`, then the tiered reduced-cost sweep.
+    let cb: Vec<Rat> = target.iter().map(|&c| sb.cost[c]).collect();
+    let y = lu.solve_transposed(&cb);
+    let dual_ok = match mode {
+        CertifyMode::Exact => dense_exact_sweep(&sb, &in_basis, &y),
+        CertifyMode::Interval | CertifyMode::IntervalThenExact => {
+            let tick = Instant::now();
+            let sweep = dense_interval_sweep(&sb, &in_basis, &y);
+            tally.interval_nanos += tick.elapsed().as_nanos() as u64;
+            match sweep {
+                IvSweep::Proven => {
+                    tally.interval_accepts = 1;
+                    true
+                }
+                IvSweep::Refuted => false,
+                IvSweep::Deadline => unreachable!("the dense certifier has no deadline"),
+                IvSweep::Inconclusive => {
+                    tally.interval_escalations = 1;
+                    mode == CertifyMode::IntervalThenExact && dense_exact_sweep(&sb, &in_basis, &y)
+                }
+            }
+        }
+    };
+    if !dual_ok {
+        return None;
+    }
+    let n = lp.num_vars();
+    let mut x = vec![Rat::ZERO; n];
+    for (k, &c) in target.iter().enumerate() {
+        if c < n {
+            x[c] = xb[k];
         }
     }
-    Some(extract(lp, &b))
+    let objective = lp.objective_value(&x);
+    let duals: Vec<Rat> = y
+        .iter()
+        .zip(&sb.row_flip)
+        .map(|(yi, flip)| if *flip { yi.neg() } else { *yi })
+        .collect();
+    Some(LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        x,
+        duals,
+    })
 }
 
 /// Float-first exact solve: runs the simplex in `f64`, re-verifies the
@@ -658,32 +851,40 @@ fn verify_basis(lp: &LpProblem<Rat>, target: &[usize]) -> Option<LpSolution<Rat>
 /// simplex when verification fails (see the module docs for the
 /// contract). Status and objective are always bit-identical to
 /// [`solve`]`::<Rat>`.
+#[deprecated(note = "use `solve_lp` with `SolverBackend::DenseHybrid`")]
 pub fn solve_hybrid(lp: &LpProblem<Rat>) -> LpSolution<Rat> {
-    solve_hybrid_report(lp).solution
+    solve_hybrid_core(lp, CertifyMode::default()).solution
 }
 
 /// [`solve_hybrid`] plus whether the exact fallback ran (for tests and
 /// diagnostics).
+#[deprecated(note = "use `solve_lp` with `SolverBackend::DenseHybrid`")]
 pub fn solve_hybrid_report(lp: &LpProblem<Rat>) -> HybridReport {
+    solve_hybrid_core(lp, CertifyMode::default())
+}
+
+/// The dense hybrid engine behind [`solve_hybrid_report`] and
+/// [`crate::api::solve_lp`]'s `DenseHybrid` backend.
+pub(crate) fn solve_hybrid_core(lp: &LpProblem<Rat>, mode: CertifyMode) -> HybridReport {
     if lp.has_upper_bounds() || lp.has_vubs() {
         // The dense hybrid works on the row encoding; recurse on the
         // materialized problem and drop the bound/VUB rows' duals.
         let rows = lp.vubs_as_rows().bounds_as_rows();
-        let mut rep = solve_hybrid_report(&rows);
+        let mut rep = solve_hybrid_core(&rows, mode);
         rep.solution.duals.truncate(lp.num_constraints());
         return rep;
     }
     let (fsol, fbasis) = solve_internal(&to_f64(lp));
     if fsol.status == LpStatus::Optimal {
         let certify = std::time::Instant::now();
-        if let Some(solution) = verify_basis(lp, &fbasis) {
+        let mut tally = CertifyTally::default();
+        if let Some(solution) = verify_basis(lp, &fbasis, mode, &mut tally) {
+            let mut stats = SolveStats::default();
+            apply_certify(&mut stats, certify.elapsed().as_nanos() as u64, &tally);
             return HybridReport {
                 solution,
                 fallback: false,
-                stats: SolveStats {
-                    certify_nanos: certify.elapsed().as_nanos() as u64,
-                    ..SolveStats::default()
-                },
+                stats,
             };
         }
     }
@@ -714,24 +915,32 @@ pub(crate) enum Certified {
 /// bounded `f64` revised simplex via a sparse LU of the basis matrix (see
 /// the module docs for the per-resting-state certificate).
 ///
-/// The optional `deadline` bounds the exact-arithmetic work: it is checked
+/// The optional `deadline` bounds the certification work: it is checked
 /// at entry and between the expensive stages (after the LU factorization,
-/// after the basic-value solve, after the dual solve), so an adversarial
-/// instance whose rationals blow up cannot pin the certifier past its
-/// budget by more than one stage.
+/// after the basic-value solve, after the dual solve, and periodically
+/// inside the interval sweep), so an adversarial instance whose rationals
+/// blow up cannot pin the certifier past its budget by more than one
+/// stage.
+///
+/// `mode` selects the certification tier policy (see [`CertifyMode`]);
+/// the returned [`CertifyTally`] records which tier discharged the dual
+/// sweep and how long the interval tier ran.
 pub(crate) fn verify_bounded(
     lp: &LpProblem<Rat>,
     sf: &StandardForm<Rat>,
     prop: &BoundedBasis,
     deadline: Option<Instant>,
-) -> Certified {
+    mode: CertifyMode,
+) -> (Certified, CertifyTally) {
     faultinject::hit("slow_certify");
     let expired = || deadline.is_some_and(|d| Instant::now() >= d);
-    match verify_bounded_staged(lp, sf, prop, &expired) {
+    let mut tally = CertifyTally::default();
+    let certified = match verify_bounded_staged(lp, sf, prop, &expired, mode, &mut tally) {
         Ok(Some(solution)) => Certified::Verified(solution),
         Ok(None) => Certified::Refuted,
         Err(DeadlinePassed) => Certified::Deadline,
-    }
+    };
+    (certified, tally)
 }
 
 /// Error marker of [`verify_bounded_staged`]: the stage deadline passed.
@@ -742,6 +951,8 @@ fn verify_bounded_staged(
     sf: &StandardForm<Rat>,
     prop: &BoundedBasis,
     expired: &dyn Fn() -> bool,
+    mode: CertifyMode,
+    tally: &mut CertifyTally,
 ) -> Result<Option<LpSolution<Rat>>, DeadlinePassed> {
     if expired() {
         return Err(DeadlinePassed);
@@ -899,47 +1110,38 @@ fn verify_bounded_staged(
     if expired() {
         return Err(DeadlinePassed);
     }
-    // Reduced-cost sign conditions per resting state. Artificial columns
-    // are not part of the real LP and are skipped (they are all at 0).
-    let reduced = |j: usize| -> Rat {
-        let mut d = sf.cost[j];
-        for (i, v) in &sf.cols[j] {
-            d = d.sub(&y[*i].mul(v));
+    // Reduced-cost sign conditions per resting state, discharged by the
+    // interval tier when the mode allows and every enclosure is one-sided,
+    // by the exact rational sweep otherwise. The sweep is the dominant
+    // certification cost — O(ncols) rational dot products over a column
+    // count dwarfing the basis dimension — while everything above (exact
+    // factor, primal and dual solves) is needed for the returned solution
+    // anyway, so only the sweep is tiered.
+    let dual_ok = match mode {
+        CertifyMode::Exact => exact_dual_sweep(sf, prop, &glued, &y),
+        CertifyMode::Interval | CertifyMode::IntervalThenExact => {
+            let tick = Instant::now();
+            let sweep = interval_dual_sweep(sf, prop, &glued, &y, expired);
+            tally.interval_nanos += tick.elapsed().as_nanos() as u64;
+            match sweep {
+                IvSweep::Proven => {
+                    tally.interval_accepts = 1;
+                    true
+                }
+                IvSweep::Refuted => false,
+                IvSweep::Deadline => return Err(DeadlinePassed),
+                IvSweep::Inconclusive => {
+                    tally.interval_escalations = 1;
+                    // Pure-interval mode has no exact sweep to escalate
+                    // to: the proposal is handed back refuted and a lower
+                    // rung certifies exactly.
+                    mode == CertifyMode::IntervalThenExact && exact_dual_sweep(sf, prop, &glued, &y)
+                }
+            }
         }
-        d
     };
-    // Each glued dependent's reduced cost is needed twice — for its own
-    // λ_j = −d_j ≥ 0 check and folded into its key's augmented d̄ — so
-    // compute the exact rational dot products once.
-    let dep_reduced: Vec<Option<Rat>> = (0..sf.ncols)
-        .map(|j| (prop.state[j] == VarState::AtVub).then(|| reduced(j)))
-        .collect();
-    for j in 0..sf.ncols {
-        if prop.state[j] == VarState::Basic || sf.artificial[j] {
-            continue;
-        }
-        match prop.state[j] {
-            // The VUB multiplier λ_j = −d_j must be nonnegative.
-            VarState::AtVub => {
-                if dep_reduced[j].expect("computed above").is_pos() {
-                    return Ok(None);
-                }
-            }
-            VarState::AtLower | VarState::AtUpper => {
-                // Keys answer with the augmented reduced cost — their
-                // glued dependents' multipliers fold in.
-                let mut dbar = reduced(j);
-                for &g in &glued[j] {
-                    dbar = dbar.add(&dep_reduced[g].expect("glued implies AtVub"));
-                }
-                match prop.state[j] {
-                    VarState::AtLower if dbar.is_neg() => return Ok(None),
-                    VarState::AtUpper if dbar.is_pos() => return Ok(None),
-                    _ => {}
-                }
-            }
-            VarState::Basic => unreachable!(),
-        }
+    if !dual_ok {
+        return Ok(None);
     }
     // Certified optimal: extract structural values and row duals (promoted
     // bound rows of VUB dependents are internal — drop their duals).
@@ -963,13 +1165,253 @@ fn verify_bounded_staged(
     }))
 }
 
+/// The exact rational reduced-cost sweep over every nonbasic
+/// non-artificial column (see the module docs for the per-resting-state
+/// certificate). Returns `false` on the first proven sign violation.
+fn exact_dual_sweep(
+    sf: &StandardForm<Rat>,
+    prop: &BoundedBasis,
+    glued: &[Vec<usize>],
+    y: &[Rat],
+) -> bool {
+    let reduced = |j: usize| -> Rat {
+        let mut d = sf.cost[j];
+        for (i, v) in &sf.cols[j] {
+            d = d.sub(&y[*i].mul(v));
+        }
+        d
+    };
+    // Each glued dependent's reduced cost is needed twice — for its own
+    // λ_j = −d_j ≥ 0 check and folded into its key's augmented d̄ — so
+    // compute the exact rational dot products once.
+    let dep_reduced: Vec<Option<Rat>> = (0..sf.ncols)
+        .map(|j| (prop.state[j] == VarState::AtVub).then(|| reduced(j)))
+        .collect();
+    for j in 0..sf.ncols {
+        if prop.state[j] == VarState::Basic || sf.artificial[j] {
+            continue;
+        }
+        match prop.state[j] {
+            // The VUB multiplier λ_j = −d_j must be nonnegative.
+            VarState::AtVub => {
+                if dep_reduced[j].expect("computed above").is_pos() {
+                    return false;
+                }
+            }
+            VarState::AtLower | VarState::AtUpper => {
+                // Keys answer with the augmented reduced cost — their
+                // glued dependents' multipliers fold in.
+                let mut dbar = reduced(j);
+                for &g in &glued[j] {
+                    dbar = dbar.add(&dep_reduced[g].expect("glued implies AtVub"));
+                }
+                match prop.state[j] {
+                    VarState::AtLower if dbar.is_neg() => return false,
+                    VarState::AtUpper if dbar.is_pos() => return false,
+                    _ => {}
+                }
+            }
+            VarState::Basic => unreachable!(),
+        }
+    }
+    true
+}
+
+/// Outcome of [`interval_dual_sweep`].
+enum IvSweep {
+    /// Every reduced-cost sign condition was proven — dual feasibility is
+    /// certified without the exact sweep.
+    Proven,
+    /// Too many enclosures straddled; a full exact sweep is cheaper than
+    /// more column-by-column rescues. **Not** a verdict.
+    Inconclusive,
+    /// A sign condition is violated (proven by an enclosure or by a
+    /// rescued exact value) — the proposal is refuted, same verdict the
+    /// exact sweep would reach.
+    Refuted,
+    /// The deadline passed mid-sweep.
+    Deadline,
+}
+
+/// The directed-rounding interval tier: re-proves every reduced-cost sign
+/// condition with outward-rounded `f64` enclosures (see
+/// [`crate::interval`]) of the *exact* duals, escalating per column to an
+/// exact rational dot product when an enclosure straddles zero. Sound by
+/// construction: an enclosure can only prove a true inequality, and every
+/// refutation is either enclosure-proven or exact.
+fn interval_dual_sweep(
+    sf: &StandardForm<Rat>,
+    prop: &BoundedBasis,
+    glued: &[Vec<usize>],
+    y: &[Rat],
+    expired: &dyn Fn() -> bool,
+) -> IvSweep {
+    // Exact duals enclosed outward once; each reduced cost is then a pure
+    // f64 dot product with per-operation outward rounding.
+    let ivy: Vec<Iv> = y.iter().map(Iv::from_rat).collect();
+    let reduced_iv = |j: usize| -> Iv {
+        let mut d = Iv::from_rat(&sf.cost[j]);
+        for (i, v) in &sf.cols[j] {
+            d = d - ivy[*i] * Iv::from_rat(v);
+        }
+        d
+    };
+    let reduced_exact = |j: usize| -> Rat {
+        let mut d = sf.cost[j];
+        for (i, v) in &sf.cols[j] {
+            d = d.sub(&y[*i].mul(v));
+        }
+        d
+    };
+    // Straddling columns are rescued one at a time with the exact dot
+    // product; past this cap a single full exact sweep is cheaper than
+    // more per-column rescues, so the solve escalates wholesale.
+    let rescue_cap = 8 + sf.ncols / 8;
+    let mut rescued = 0usize;
+    // Glued dependents first: their λ_j = −d_j ≥ 0 check, plus the
+    // enclosure (or rescued exact value) their key's augmented d̄ folds in.
+    let mut dep_iv: Vec<Option<Iv>> = vec![None; sf.ncols];
+    let mut dep_exact: Vec<Option<Rat>> = vec![None; sf.ncols];
+    for j in 0..sf.ncols {
+        if prop.state[j] != VarState::AtVub {
+            continue;
+        }
+        if j % 512 == 0 && expired() {
+            return IvSweep::Deadline;
+        }
+        let d = reduced_iv(j);
+        if d.proves_pos() {
+            return IvSweep::Refuted; // λ_j = −d_j provably negative
+        }
+        if d.proves_nonpos() {
+            dep_iv[j] = Some(d);
+            continue;
+        }
+        rescued += 1;
+        if rescued > rescue_cap {
+            return IvSweep::Inconclusive;
+        }
+        if expired() {
+            return IvSweep::Deadline;
+        }
+        let dx = reduced_exact(j);
+        if dx.is_pos() {
+            return IvSweep::Refuted;
+        }
+        dep_iv[j] = Some(Iv::from_rat(&dx));
+        dep_exact[j] = Some(dx);
+    }
+    for j in 0..sf.ncols {
+        if prop.state[j] == VarState::Basic || prop.state[j] == VarState::AtVub || sf.artificial[j]
+        {
+            continue;
+        }
+        if j % 512 == 0 && expired() {
+            return IvSweep::Deadline;
+        }
+        let mut dbar = reduced_iv(j);
+        for &g in &glued[j] {
+            dbar = dbar + dep_iv[g].expect("glued implies AtVub");
+        }
+        let proven = match prop.state[j] {
+            VarState::AtLower => {
+                if dbar.proves_neg() {
+                    return IvSweep::Refuted;
+                }
+                dbar.proves_nonneg()
+            }
+            VarState::AtUpper => {
+                if dbar.proves_pos() {
+                    return IvSweep::Refuted;
+                }
+                dbar.proves_nonpos()
+            }
+            VarState::Basic | VarState::AtVub => unreachable!(),
+        };
+        if proven {
+            continue;
+        }
+        rescued += 1;
+        if rescued > rescue_cap {
+            return IvSweep::Inconclusive;
+        }
+        if expired() {
+            return IvSweep::Deadline;
+        }
+        let mut dx = reduced_exact(j);
+        for &g in &glued[j] {
+            // A dependent proven nonpositive by its enclosure alone never
+            // had its exact value computed; a key rescue needs it now.
+            let gx = match &dep_exact[g] {
+                Some(v) => *v,
+                None => reduced_exact(g),
+            };
+            dx = dx.add(&gx);
+        }
+        match prop.state[j] {
+            VarState::AtLower if dx.is_neg() => return IvSweep::Refuted,
+            VarState::AtUpper if dx.is_pos() => return IvSweep::Refuted,
+            _ => {}
+        }
+    }
+    IvSweep::Proven
+}
+
 /// Bounded-variable revised hybrid solve: runs the bounded revised simplex
 /// of [`crate::bounds`] in `f64`, verifies the terminal basis exactly with
 /// a sparse rational LU, and falls back to the pure exact simplex (on the
 /// bound/VUB-materialized row encoding) when verification fails. Status
 /// and objective are always bit-identical to [`solve`]`::<Rat>`.
+#[deprecated(note = "use `solve_lp` with the default `LpOptions`")]
 pub fn solve_revised(lp: &LpProblem<Rat>) -> LpSolution<Rat> {
-    solve_revised_report(lp).solution
+    solve_revised_core(lp, &RevisedOptions::default())
+        .0
+        .solution
+}
+
+/// Which certification tier(s) run on the terminal basis of a revised
+/// solve. Every mode ends in a *sound* certificate — the tiers differ
+/// only in how much of the proof is carried by outward-rounded `f64`
+/// intervals (see [`crate::interval`]) versus exact rationals. The
+/// returned solution (objective, `x`, duals) is computed in exact
+/// rationals under **every** mode, so reported values are bit-identical
+/// across modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CertifyMode {
+    /// The full exact rational reduced-cost sweep on every solve (the
+    /// pre-tier behaviour).
+    Exact,
+    /// Interval tier only: a solve whose enclosures straddle is handed
+    /// back refuted, and the caller (e.g. the supervision ladder) demotes
+    /// to a rung that certifies exactly. Sound, but incomplete on
+    /// adversarially tight instances.
+    Interval,
+    /// Interval tier first, escalating to the exact reduced-cost sweep
+    /// only when an enclosure straddles — the default.
+    #[default]
+    IntervalThenExact,
+}
+
+/// Per-certification telemetry of one [`verify_bounded`] call: which tier
+/// discharged the dual sweep and how long the interval tier ran.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CertifyTally {
+    /// 1 iff the interval tier proved dual feasibility (no exact sweep).
+    pub(crate) interval_accepts: u64,
+    /// 1 iff the interval sweep was inconclusive and the solve escalated.
+    pub(crate) interval_escalations: u64,
+    /// Wall time inside the interval sweep, nanoseconds.
+    pub(crate) interval_nanos: u64,
+}
+
+/// Folds a certification's total wall time and tier tally into the solve
+/// counters (shared by the cold, warm, and try paths).
+pub(crate) fn apply_certify(stats: &mut SolveStats, total_nanos: u64, tally: &CertifyTally) {
+    stats.certify_nanos = total_nanos;
+    stats.certify_interval_nanos = tally.interval_nanos;
+    stats.certify_exact_nanos = total_nanos.saturating_sub(tally.interval_nanos);
+    stats.interval_accepts = tally.interval_accepts;
+    stats.interval_escalations = tally.interval_escalations;
 }
 
 /// Tuning knobs of [`solve_revised_with`].
@@ -978,15 +1420,20 @@ pub struct RevisedOptions {
     /// Partial-pricing window of the float pass (see
     /// [`BoundedOptions::pricing_window`]); `0` = full Dantzig pricing.
     pub pricing: BoundedOptions,
+    /// Certification tier policy for the terminal basis. Default:
+    /// [`CertifyMode::IntervalThenExact`].
+    pub certify: CertifyMode,
 }
 
 /// [`solve_revised`] plus whether the exact fallback ran and the solve
 /// counters.
+#[deprecated(note = "use `solve_lp` with the default `LpOptions`")]
 pub fn solve_revised_report(lp: &LpProblem<Rat>) -> HybridReport {
-    solve_revised_with(lp, &RevisedOptions::default())
+    solve_revised_core(lp, &RevisedOptions::default()).0
 }
 
 /// [`solve_revised_report`] with explicit [`RevisedOptions`].
+#[deprecated(note = "use `solve_lp` with `LpOptions::pricing`/`certify`")]
 pub fn solve_revised_with(lp: &LpProblem<Rat>, opts: &RevisedOptions) -> HybridReport {
     solve_revised_core(lp, opts).0
 }
@@ -1015,7 +1462,7 @@ pub(crate) fn solve_revised_core_with_sf(
         pivots: prop.pivots,
         bound_flips: prop.bound_flips,
         refactorizations: prop.refactorizations,
-        certify_nanos: 0,
+        ..SolveStats::default()
     };
     if prop.status == BoundedStatus::Optimal {
         let sfr = StandardForm::build(lp);
@@ -1024,8 +1471,8 @@ pub(crate) fn solve_revised_core_with_sf(
         // callers have no error channel to surface a budget trip through,
         // and silently treating one as a refutation would demote clean
         // solves to the dense fallback.
-        let verified = verify_bounded(lp, &sfr, &prop, None);
-        stats.certify_nanos = certify.elapsed().as_nanos() as u64;
+        let (verified, tally) = verify_bounded(lp, &sfr, &prop, None, opts.certify);
+        apply_certify(&mut stats, certify.elapsed().as_nanos() as u64, &tally);
         if let Certified::Verified(solution) = verified {
             return (
                 HybridReport {
@@ -1068,6 +1515,7 @@ pub(crate) fn solve_revised_core_with_sf(
 ///
 /// Unlike the legacy API this function never runs the dense fallback
 /// itself, so an `Ok` is always the cheap certified path.
+#[deprecated(note = "use `solve_lp` (the fallible core) with `SolverBackend::Revised`")]
 pub fn try_solve_revised_with(
     lp: &LpProblem<Rat>,
     opts: &RevisedOptions,
@@ -1087,7 +1535,7 @@ pub(crate) fn try_solve_revised_core(
         pivots: prop.pivots,
         bound_flips: prop.bound_flips,
         refactorizations: prop.refactorizations,
-        certify_nanos: 0,
+        ..SolveStats::default()
     };
     match prop.status {
         BoundedStatus::Optimal => {}
@@ -1099,8 +1547,9 @@ pub(crate) fn try_solve_revised_core(
     }
     let sfr = StandardForm::build(lp);
     let certify = Instant::now();
-    let outcome = verify_bounded(lp, &sfr, &prop, opts.pricing.stage_deadline());
-    stats.certify_nanos = certify.elapsed().as_nanos() as u64;
+    let (outcome, tally) =
+        verify_bounded(lp, &sfr, &prop, opts.pricing.stage_deadline(), opts.certify);
+    apply_certify(&mut stats, certify.elapsed().as_nanos() as u64, &tally);
     match outcome {
         Certified::Verified(solution) => Ok((
             HybridReport {
@@ -1117,6 +1566,8 @@ pub(crate) fn try_solve_revised_core(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shimmed legacy names stay covered
+
     use super::*;
     use crate::model::{Cmp, LpProblem};
     use crate::rational::Rat;
@@ -1686,6 +2137,7 @@ mod tests {
                 pivot_budget: 1,
                 ..BoundedOptions::default()
             },
+            ..RevisedOptions::default()
         };
         assert_eq!(
             try_solve_revised_with(&lp, &opts).unwrap_err(),

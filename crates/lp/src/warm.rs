@@ -58,8 +58,8 @@ use crate::bounds::{
 use crate::model::LpProblem;
 use crate::rational::Rat;
 use crate::simplex::{
-    solve_revised_core_with_sf, to_f64, verify_bounded, Certified, HybridReport, RevisedOptions,
-    SolveStats,
+    apply_certify, solve_revised_core_with_sf, to_f64, verify_bounded, Certified, HybridReport,
+    RevisedOptions, SolveStats,
 };
 use abt_core::error::{BudgetKind, SolveFailure};
 
@@ -139,6 +139,7 @@ pub struct WarmReport {
 /// sequence it stands in for. On exhausting the pool the cold path runs
 /// unchanged. Status and objective are **always bit-identical** to
 /// [`crate::simplex::solve`]`::<Rat>`, warm or cold.
+#[deprecated(note = "use `solve_lp` with `LpOptions::snapshots`")]
 pub fn solve_revised_warm(
     lp: &LpProblem<Rat>,
     opts: &RevisedOptions,
@@ -166,13 +167,14 @@ pub fn solve_revised_warm(
         let certify = std::time::Instant::now();
         // Legacy path: no certifier deadline (see
         // `solve_revised_core_with_sf` for the rationale).
-        let verified = verify_bounded(lp, sfr, &prop, None);
-        let stats = SolveStats {
+        let (verified, tally) = verify_bounded(lp, sfr, &prop, None, opts.certify);
+        let mut stats = SolveStats {
             pivots: prop.pivots,
             bound_flips: prop.bound_flips,
             refactorizations: prop.refactorizations,
-            certify_nanos: certify.elapsed().as_nanos() as u64,
+            ..SolveStats::default()
         };
+        apply_certify(&mut stats, certify.elapsed().as_nanos() as u64, &tally);
         if let Certified::Verified(solution) = verified {
             let snapshot = BasisSnapshot::from_proposal(&prop);
             return WarmReport {
@@ -210,7 +212,18 @@ pub fn solve_revised_warm(
 /// * `Err(BudgetExceeded(_))` — a budget in `opts.pricing` tripped during
 ///   a warm run or its certification. Genuine budget pressure: surfaced
 ///   immediately rather than burning the remaining candidates.
+#[deprecated(note = "use `solve_lp` with `LpOptions::snapshots` and `warm_only`")]
 pub fn try_solve_revised_warm(
+    lp: &LpProblem<Rat>,
+    opts: &RevisedOptions,
+    snapshots: &[BasisSnapshot],
+) -> Result<WarmReport, SolveFailure> {
+    try_solve_revised_warm_core(lp, opts, snapshots)
+}
+
+/// The warm-only engine behind [`try_solve_revised_warm`] and
+/// [`crate::api::solve_lp`]'s warm rung.
+pub(crate) fn try_solve_revised_warm_core(
     lp: &LpProblem<Rat>,
     opts: &RevisedOptions,
     snapshots: &[BasisSnapshot],
@@ -233,13 +246,15 @@ pub fn try_solve_revised_warm(
         }
         let sfr = sfr.get_or_insert_with(|| StandardForm::build(lp));
         let certify = std::time::Instant::now();
-        let outcome = verify_bounded(lp, sfr, &prop, opts.pricing.stage_deadline());
-        let stats = SolveStats {
+        let (outcome, tally) =
+            verify_bounded(lp, sfr, &prop, opts.pricing.stage_deadline(), opts.certify);
+        let mut stats = SolveStats {
             pivots: prop.pivots,
             bound_flips: prop.bound_flips,
             refactorizations: prop.refactorizations,
-            certify_nanos: certify.elapsed().as_nanos() as u64,
+            ..SolveStats::default()
         };
+        apply_certify(&mut stats, certify.elapsed().as_nanos() as u64, &tally);
         match outcome {
             Certified::Verified(solution) => {
                 let snapshot = BasisSnapshot::from_proposal(&prop);
@@ -266,6 +281,7 @@ pub fn try_solve_revised_warm(
 /// ladder in `abt-active`. Budgets in `opts.pricing` are enforced in the
 /// float pass and the exact certifier; see
 /// [`crate::simplex::try_solve_revised_with`] for the failure mapping.
+#[deprecated(note = "use `solve_lp` with an empty snapshot pool")]
 pub fn try_solve_revised_cold(
     lp: &LpProblem<Rat>,
     opts: &RevisedOptions,
@@ -281,6 +297,8 @@ pub fn try_solve_revised_cold(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shimmed legacy names stay covered
+
     use super::*;
     use crate::arena::with_arena;
     use crate::model::{Cmp, LpProblem};
@@ -550,6 +568,7 @@ mod tests {
                 pivot_budget: 1,
                 ..crate::bounds::BoundedOptions::default()
             },
+            ..RevisedOptions::default()
         };
         assert_eq!(
             try_solve_revised_cold(&lp, &tight).unwrap_err(),

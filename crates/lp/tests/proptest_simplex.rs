@@ -1,4 +1,5 @@
 #![allow(clippy::needless_range_loop)] // index loops mirror the math
+#![allow(deprecated)] // the shimmed legacy solve names stay covered
 
 //! Differential test: simplex vs brute-force vertex enumeration on small
 //! random LPs with exact rational arithmetic.
