@@ -43,16 +43,21 @@
 //! [`IncrementalReport`] carries the per-solve breakdown (components
 //! reused / warm-hit / cold-solved).
 
+use crate::admission::admission_precheck;
 use crate::lp_model::{
     build_component_lp, component_signature, components, disaggregate, lp_telemetry,
-    record_quarantine, record_warm_attempt, revised_options, slot_runs, ActiveLp,
-    ComponentSignature, DecomposeMode, LpBackend, LpOptions, SNAPSHOT_POOL_CAP,
+    record_admission_reject, record_quarantine, record_recovery, record_state_corrupt,
+    record_warm_attempt, revised_options, slot_runs, ActiveLp, ComponentSignature, DecomposeMode,
+    LpBackend, LpOptions, SNAPSHOT_POOL_CAP,
 };
+use crate::store::{encode_state, JournalOp, RecoveryReport, SolveStateStore};
 use crate::supervise::{supervised_solve, PartialSolve, QuarantinedComponent, SolveError};
 use abt_core::active_schedule::horizon_slots;
+use abt_core::persist::PersistError;
 use abt_core::{Error, Instance, Job, Result, SolveFailure, Time};
 use abt_lp::{BasisSnapshot, LpStatus, Rat};
 use std::collections::HashMap;
+use std::path::Path;
 
 /// Bound on cached component blocks; past it both caches are cleared (a
 /// rare, cheap reset that keeps a long-lived solver's memory bounded).
@@ -63,19 +68,21 @@ const CACHE_CAP: usize = 16_384;
 /// components with equal content build LPs that are identical up to a
 /// permutation of the per-job blocks, so their exact optima (objective
 /// and per-run `Y`) coincide.
-type ContentKey = Vec<(i64, i64, i64)>;
+pub(crate) type ContentKey = Vec<(i64, i64, i64)>;
 
 /// A solved component block, reusable whenever the same content recurs.
-struct CachedBlock {
-    y_runs: Vec<Rat>,
-    objective: Rat,
+#[derive(Clone)]
+pub(crate) struct CachedBlock {
+    pub(crate) y_runs: Vec<Rat>,
+    pub(crate) objective: Rat,
 }
 
 /// A shape's snapshot pool plus the pivot count of the first cold solve
 /// that seeded it (the reference for `warm_pivots_saved`).
-struct ShapeEntry {
-    snapshots: Vec<BasisSnapshot>,
-    reference_pivots: u64,
+#[derive(Clone)]
+pub(crate) struct ShapeEntry {
+    pub(crate) snapshots: Vec<BasisSnapshot>,
+    pub(crate) reference_pivots: u64,
 }
 
 /// Handle to a job owned by an [`IncrementalSolver`] (stable across
@@ -116,6 +123,10 @@ pub struct IncrementalSolver {
     /// solves cold like any first sighting) or via
     /// [`IncrementalSolver::clear_quarantine`].
     quarantine: HashMap<ContentKey, SolveFailure>,
+    /// Durable-state handle, when [`IncrementalSolver::attach_store`] was
+    /// called: mutations are write-ahead journaled and solves periodically
+    /// checkpoint. `None` (the default) keeps the solver purely in-memory.
+    store: Option<SolveStateStore>,
 }
 
 impl IncrementalSolver {
@@ -145,7 +156,80 @@ impl IncrementalSolver {
             content_cache: HashMap::new(),
             shape_cache: HashMap::new(),
             quarantine: HashMap::new(),
+            store: None,
         })
+    }
+
+    /// Attaches a durable state directory and recovers whatever it holds:
+    /// the last checkpoint (job set, content cache, snapshot pools,
+    /// quarantine) plus the journaled mutations past it. See
+    /// [`crate::store`] for the recovery procedure, the restart-storm
+    /// guard, and the reject-don't-trust invariant — a corrupt or
+    /// version-drifted state file costs warm capital, never correctness,
+    /// and never an error from this method.
+    ///
+    /// Replaces the solver's in-memory state with the recovered one (call
+    /// it on a fresh solver). From here on, every
+    /// [`add_job`](IncrementalSolver::add_job) /
+    /// [`remove_job`](IncrementalSolver::remove_job) /
+    /// [`update_window`](IncrementalSolver::update_window) is journaled
+    /// *before* it is applied, and solves compact the journal into a new
+    /// checkpoint every [`crate::store::CHECKPOINT_EVERY`] mutations.
+    ///
+    /// `Err` only on genuine I/O failure (permissions, disk full).
+    pub fn attach_store(
+        &mut self,
+        root: impl AsRef<Path>,
+    ) -> std::result::Result<RecoveryReport, PersistError> {
+        let (store, state, report) = SolveStateStore::attach(root.as_ref(), self.g)?;
+        self.jobs.clear();
+        self.live = 0;
+        self.content_cache.clear();
+        self.shape_cache.clear();
+        self.quarantine.clear();
+        if let Some(s) = state {
+            self.live = s.jobs.iter().flatten().count();
+            self.jobs = s.jobs;
+            self.content_cache = s.blocks.into_iter().collect();
+            self.shape_cache = s.shapes.into_iter().collect();
+            self.quarantine = s.quarantine.into_iter().collect();
+        }
+        self.store = Some(store);
+        Ok(RecoveryReport {
+            resumed_jobs: self.live,
+            ..report
+        })
+    }
+
+    /// Whether an attached store degraded (an I/O failure stopped
+    /// persistence; the solver keeps serving from memory). `false` when no
+    /// store is attached.
+    pub fn store_degraded(&self) -> bool {
+        self.store.as_ref().is_some_and(SolveStateStore::degraded)
+    }
+
+    /// Forces a checkpoint of the current state (compacting the journal),
+    /// regardless of the periodic schedule. Returns whether a checkpoint
+    /// was written (`false` with no store attached or a degraded one).
+    pub fn checkpoint_now(&mut self) -> bool {
+        let Some(store) = &self.store else {
+            return false;
+        };
+        if store.degraded() {
+            return false;
+        }
+        let seq = store.seq();
+        let payload = encode_state(
+            self.g,
+            seq,
+            &self.jobs,
+            &self.content_cache,
+            &self.shape_cache,
+            &self.quarantine,
+        );
+        let store = self.store.as_mut().expect("checked above");
+        store.checkpoint(&payload, seq);
+        !store.degraded()
     }
 
     /// Number of content keys currently quarantined.
@@ -174,17 +258,26 @@ impl IncrementalSolver {
         self.live == 0
     }
 
-    /// Adds a job; returns its stable handle.
+    /// Adds a job; returns its stable handle. With a store attached the
+    /// addition is write-ahead journaled before it takes effect.
     pub fn add_job(&mut self, job: Job) -> IncrementalJobId {
+        let id = self.jobs.len();
+        if let Some(store) = &mut self.store {
+            store.log_op(&JournalOp::Add { id, job });
+        }
         self.live += 1;
         self.jobs.push(Some(job));
-        self.jobs.len() - 1
+        id
     }
 
-    /// Removes a job by handle.
+    /// Removes a job by handle (write-ahead journaled, like
+    /// [`add_job`](IncrementalSolver::add_job)).
     pub fn remove_job(&mut self, id: IncrementalJobId) -> Result<()> {
         match self.jobs.get_mut(id) {
             Some(slot @ Some(_)) => {
+                if let Some(store) = &mut self.store {
+                    store.log_op(&JournalOp::Remove { id });
+                }
                 *slot = None;
                 self.live -= 1;
                 Ok(())
@@ -217,6 +310,13 @@ impl IncrementalSolver {
                 ),
             });
         };
+        if let Some(store) = &mut self.store {
+            store.log_op(&JournalOp::Edit {
+                id,
+                release,
+                deadline,
+            });
+        }
         *slot = updated;
         Ok(())
     }
@@ -258,6 +358,13 @@ impl IncrementalSolver {
             self.quarantine.clear();
         }
         let inst = self.instance().map_err(SolveError::Model)?;
+        // Admission control: the Hall-condition precheck bounces
+        // provably-infeasible job sets before any LP is built, leaving
+        // every cache untouched (see [`crate::admission`]).
+        if let Err(rej) = admission_precheck(&inst) {
+            record_admission_reject();
+            return Err(SolveError::Rejected(rej));
+        }
         let slots = horizon_slots(&inst);
         if inst.is_empty() {
             return Ok(IncrementalReport {
@@ -296,15 +403,28 @@ impl IncrementalSolver {
         for (ci, comp) in comps.iter().enumerate() {
             let n_runs = comp.run_hi - comp.run_lo;
             let ckey = content_key(&inst, comp);
-            if let Some(block) = self.content_cache.get(&ckey) {
-                debug_assert_eq!(block.y_runs.len(), n_runs);
-                report.reused += 1;
-                for (k, val) in block.y_runs.iter().enumerate() {
-                    y_runs[comp.run_lo + k] = *val;
+            match self.content_cache.get(&ckey) {
+                Some(block) if block.y_runs.len() == n_runs => {
+                    report.reused += 1;
+                    for (k, val) in block.y_runs.iter().enumerate() {
+                        y_runs[comp.run_lo + k] = *val;
+                    }
+                    objective = objective.add(&block.objective);
+                    healthy.push((ci, block.objective));
+                    continue;
                 }
-                objective = objective.add(&block.objective);
-                healthy.push((ci, block.objective));
-                continue;
+                Some(_) => {
+                    // A block whose run count disagrees with its key can
+                    // only come from drifted persisted state (in-memory
+                    // inserts always match): reject-don't-trust — drop it
+                    // and fall through to a cold re-solve of the
+                    // component. Exactness is unharmed; only the cache
+                    // hit is lost.
+                    record_state_corrupt();
+                    record_recovery();
+                    self.content_cache.remove(&ckey);
+                }
+                None => {}
             }
             // A quarantined key is not retried: the ladder already failed
             // for this exact content, and re-admission is content-driven.
@@ -395,6 +515,16 @@ impl IncrementalSolver {
         // job was removed or mutated) are pruned: the key can only recur
         // through fresh content, which solves cold like any first sighting.
         self.quarantine.retain(|k, _| live_quarantine.contains(k));
+        // Periodic compaction: fold the journal into a fresh checkpoint of
+        // the post-solve state (partial solves included — their healthy
+        // blocks are cache content worth persisting).
+        if self
+            .store
+            .as_ref()
+            .is_some_and(SolveStateStore::checkpoint_due)
+        {
+            self.checkpoint_now();
+        }
         if !quarantined.is_empty() {
             // Healthy blocks (including the ones just solved) stay cached,
             // so the solver keeps serving them on every later call.
@@ -579,6 +709,202 @@ mod tests {
         solver.add_job(Job::new(0, 1, 1));
         solver.add_job(Job::new(0, 1, 1));
         assert!(matches!(solver.solve(), Err(Error::Infeasible(_))));
+    }
+
+    #[test]
+    fn admission_rejection_is_typed_and_leaves_state_untouched() {
+        let mut solver = IncrementalSolver::new(1).unwrap();
+        solver.add_job(Job::new(0, 4, 2));
+        let ok = solver.solve().unwrap();
+        // An overloaded arrival bounces with a witness before any LP runs.
+        let bad = solver.add_job(Job::new(0, 1, 1));
+        solver.add_job(Job::new(0, 1, 1));
+        match solver.try_solve() {
+            Err(SolveError::Rejected(rej)) => {
+                assert_eq!(rej.window, (0, 1));
+                assert!(rej.demand > rej.capacity);
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        // Dropping the offenders restores service; the original block is
+        // still cached (the rejection touched nothing).
+        solver.remove_job(bad).unwrap();
+        solver.remove_job(bad + 1).unwrap();
+        let again = solver.solve().unwrap();
+        assert_eq!(again.lp.objective, ok.lp.objective);
+        assert_eq!(again.reused, 1);
+    }
+
+    #[test]
+    fn poisoned_cache_block_is_absorbed_not_panicked() {
+        // Satellite of the durability work: a cached block whose run
+        // count disagrees with its key (reachable only via drifted
+        // persisted state) must demote to a cold re-solve, never panic,
+        // never change the answer.
+        let mut solver = IncrementalSolver::new(2).unwrap();
+        solver.add_job(Job::new(0, 4, 2));
+        solver.add_job(Job::new(1, 3, 2));
+        let clean = solver.solve().unwrap();
+        // Poison every cached block with an impossible shape.
+        for block in solver.content_cache.values_mut() {
+            block.y_runs = vec![Rat::ZERO; 1usize];
+            block.objective = Rat::from_int(999);
+        }
+        let resolved = solver.solve().unwrap();
+        assert_eq!(resolved.lp.objective, clean.lp.objective);
+        assert_eq!(resolved.reused, 0, "poisoned block must not be reused");
+        assert!(resolved.cold_solves + resolved.warm_hits >= 1);
+    }
+
+    fn tmp_state_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("abt-incr-{tag}-{}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn attach_resume_is_bit_identical_and_keeps_warm_capital() {
+        let dir = tmp_state_dir("resume");
+        let obj_before;
+        {
+            let mut solver = IncrementalSolver::new(2).unwrap();
+            let rep = solver.attach_store(&dir).unwrap();
+            assert!(rep.cold_start, "fresh dir starts cold");
+            solver.add_job(Job::new(0, 4, 2));
+            solver.add_job(Job::new(10, 14, 3));
+            obj_before = solver.solve().unwrap().lp.objective;
+            solver.checkpoint_now();
+            assert!(!solver.store_degraded());
+            // A journaled-but-not-checkpointed mutation with *fresh*
+            // content (the content cache is translation-invariant, so an
+            // echo of an existing component would be reused, not solved).
+            solver.add_job(Job::new(20, 25, 3));
+        } // process "dies" here
+        let mut solver = IncrementalSolver::new(2).unwrap();
+        let rep = solver.attach_store(&dir).unwrap();
+        assert!(!rep.cold_start);
+        assert_eq!(rep.resumed_jobs, 3, "journal tail replayed over checkpoint");
+        assert_eq!(rep.replayed_ops, 1);
+        assert!(rep.restored_blocks >= 2, "content cache restored");
+        assert_eq!(rep.corruption_events, 0);
+        let resumed = solver.solve().unwrap();
+        // The two checkpointed components are clean; only the journaled
+        // arrival solves.
+        assert_eq!(resumed.reused, 2);
+        let scratch = solve_active_lp(&solver.instance().unwrap()).unwrap();
+        assert_eq!(resumed.lp.objective, scratch.objective);
+        assert!(resumed.lp.objective > obj_before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_demotes_to_cold_with_identical_objective() {
+        let dir = tmp_state_dir("corrupt");
+        {
+            let mut solver = IncrementalSolver::new(2).unwrap();
+            solver.attach_store(&dir).unwrap();
+            solver.add_job(Job::new(0, 4, 2));
+            solver.add_job(Job::new(8, 12, 2));
+            solver.solve().unwrap();
+            solver.checkpoint_now();
+        }
+        // Bit rot in the checkpoint payload.
+        let ckpt = dir.join(crate::store::CHECKPOINT_FILE);
+        let mut bytes = std::fs::read(&ckpt).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&ckpt, &bytes).unwrap();
+        let mut solver = IncrementalSolver::new(2).unwrap();
+        let rep = solver.attach_store(&dir).unwrap();
+        assert!(rep.cold_start, "corrupt checkpoint is discarded");
+        assert_eq!(rep.corruption_events, 1);
+        assert_eq!(rep.resumed_jobs, 0);
+        // The job set is gone (warm capital lost), but re-adding and
+        // solving is exact — corruption never costs correctness.
+        solver.add_job(Job::new(0, 4, 2));
+        solver.add_job(Job::new(8, 12, 2));
+        let rebuilt = solver.solve().unwrap();
+        let scratch = solve_active_lp(&solver.instance().unwrap()).unwrap();
+        assert_eq!(rebuilt.lp.objective, scratch.objective);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn g_drift_rejects_the_checkpoint() {
+        let dir = tmp_state_dir("gdrift");
+        {
+            let mut solver = IncrementalSolver::new(2).unwrap();
+            solver.attach_store(&dir).unwrap();
+            solver.add_job(Job::new(0, 4, 2));
+            solver.checkpoint_now();
+        }
+        // Re-attach with a different capacity: the state is for another g.
+        let mut solver = IncrementalSolver::new(3).unwrap();
+        let rep = solver.attach_store(&dir).unwrap();
+        assert!(rep.cold_start);
+        assert_eq!(rep.corruption_events, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restart_storm_quarantines_and_starts_cold() {
+        let dir = tmp_state_dir("storm");
+        {
+            let mut solver = IncrementalSolver::new(2).unwrap();
+            solver.attach_store(&dir).unwrap();
+            solver.add_job(Job::new(0, 4, 2));
+            solver.checkpoint_now();
+        }
+        // Simulate recovery dying before completion N times: the attempt
+        // counter never clears.
+        let sd = abt_core::StateDir::open(&dir).unwrap();
+        for _ in 0..crate::store::MAX_RECOVERY_ATTEMPTS {
+            sd.bump_recovery_attempts().unwrap();
+        }
+        let mut solver = IncrementalSolver::new(2).unwrap();
+        let rep = solver.attach_store(&dir).unwrap();
+        assert!(rep.storm_quarantined);
+        assert!(rep.cold_start);
+        assert!(solver.is_empty());
+        assert!(dir
+            .join("quarantined-0")
+            .join(crate::store::CHECKPOINT_FILE)
+            .exists());
+        // Service continues: the quarantined dir does not poison new work.
+        solver.add_job(Job::new(0, 4, 2));
+        solver.solve().unwrap();
+        solver.checkpoint_now();
+        let mut again = IncrementalSolver::new(2).unwrap();
+        let rep = again.attach_store(&dir).unwrap();
+        assert!(!rep.cold_start);
+        assert_eq!(rep.resumed_jobs, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn periodic_checkpoint_compacts_the_journal() {
+        let dir = tmp_state_dir("compact");
+        let mut solver = IncrementalSolver::new(2).unwrap();
+        solver.attach_store(&dir).unwrap();
+        // More mutations than CHECKPOINT_EVERY, with solves in between.
+        let mut ids = Vec::new();
+        for k in 0..crate::store::CHECKPOINT_EVERY as i64 + 4 {
+            ids.push(solver.add_job(Job::new(30 * k, 30 * k + 5, 2)));
+            if k % 3 == 0 {
+                solver.solve().unwrap();
+            }
+        }
+        solver.solve().unwrap();
+        let inspection = crate::store::inspect_store(&dir).unwrap();
+        let ckpt = inspection.checkpoint.expect("checkpoint exists");
+        assert!(
+            ckpt.seq >= crate::store::CHECKPOINT_EVERY,
+            "compaction folded the journal into the checkpoint (seq {})",
+            ckpt.seq
+        );
+        assert_eq!(inspection.pending_ops + ckpt.live_jobs, ids.len());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

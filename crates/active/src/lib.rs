@@ -57,6 +57,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod exact;
 pub mod feasibility;
 pub mod incremental;
@@ -64,10 +65,12 @@ pub mod lp_model;
 pub mod minimal;
 pub mod right_shift;
 pub mod rounding;
+pub mod store;
 pub mod supervise;
 pub mod unit;
 
 pub use abt_lp::CertifyMode;
+pub use admission::{admission_precheck, AdmissionReject};
 pub use exact::{exact_active_time, ExactActive};
 pub use feasibility::{feasible_on, schedule_on, FeasibilityChecker};
 pub use incremental::{IncrementalJobId, IncrementalReport, IncrementalSolver};
@@ -81,5 +84,9 @@ pub use minimal::{
 };
 pub use right_shift::{right_shift, RightShifted, Segment};
 pub use rounding::{lp_rounding, lp_rounding_from, ChargeKind, RoundingOutcome};
+pub use store::{
+    inspect_store, CheckpointSummary, RecoveryReport, SolveStateStore, StoreInspection,
+    CHECKPOINT_EVERY, MAX_RECOVERY_ATTEMPTS,
+};
 pub use supervise::{PartialSolve, QuarantinedComponent, SolveError};
 pub use unit::{exact_unit_active_time, UnitExact};

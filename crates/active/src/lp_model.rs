@@ -404,6 +404,23 @@ static LP_BUDGET_TRIPS: AtomicU64 = AtomicU64::new(0);
 /// Process-wide count of components quarantined after the whole ladder
 /// failed.
 static LP_QUARANTINED: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of cached component blocks and basis snapshots
+/// restored from a persisted state directory (warm capital carried across
+/// process restarts by `abt_active::store`).
+static LP_PERSIST_RESTORES: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of completed recovery events: journal-tail replays
+/// over a checkpoint, and corrupt-state detections absorbed into a cold
+/// rebuild. Always ≥ `LP_STATE_CORRUPT` on a healthy run — a corruption
+/// without a matching recovery means the absorption path itself broke,
+/// which the perf gate fails on.
+static LP_RECOVERIES: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of persisted-state corruption detections (checksum
+/// or version drift, shape drift, malformed payloads) — each one is
+/// rejected and rebuilt cold, never trusted.
+static LP_STATE_CORRUPT: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of solve requests bounced by admission control (the
+/// Hall-condition precheck) before touching the solver.
+static LP_ADMISSION_REJECTS: AtomicU64 = AtomicU64::new(0);
 
 /// A snapshot of the process-wide LP solve telemetry (see
 /// [`lp_telemetry`]). All counters are cumulative and monotone; diff two
@@ -470,6 +487,19 @@ pub struct LpTelemetry {
     /// Components quarantined after every ladder rung failed. Zero on
     /// fault-free runs.
     pub quarantined: u64,
+    /// Cached blocks and basis snapshots restored from a persisted state
+    /// directory
+    /// ([`crate::incremental::IncrementalSolver::attach_store`]).
+    pub persist_restores: u64,
+    /// Completed recovery events: journal replays over a checkpoint plus
+    /// corrupt-state detections absorbed into cold rebuilds.
+    pub recoveries: u64,
+    /// Persisted-state corruption detections, each rejected and rebuilt
+    /// cold (the reject-don't-trust invariant). Zero unless state files
+    /// were actually damaged (or fault-injected).
+    pub state_corrupt: u64,
+    /// Solve requests bounced by admission control before any LP work.
+    pub admission_rejects: u64,
 }
 
 impl LpTelemetry {
@@ -497,6 +527,10 @@ impl LpTelemetry {
             demotions: self.demotions - earlier.demotions,
             budget_trips: self.budget_trips - earlier.budget_trips,
             quarantined: self.quarantined - earlier.quarantined,
+            persist_restores: self.persist_restores - earlier.persist_restores,
+            recoveries: self.recoveries - earlier.recoveries,
+            state_corrupt: self.state_corrupt - earlier.state_corrupt,
+            admission_rejects: self.admission_rejects - earlier.admission_rejects,
         }
     }
 }
@@ -526,6 +560,10 @@ pub fn lp_telemetry() -> LpTelemetry {
         demotions: LP_DEMOTIONS.load(Ordering::Relaxed),
         budget_trips: LP_BUDGET_TRIPS.load(Ordering::Relaxed),
         quarantined: LP_QUARANTINED.load(Ordering::Relaxed),
+        persist_restores: LP_PERSIST_RESTORES.load(Ordering::Relaxed),
+        recoveries: LP_RECOVERIES.load(Ordering::Relaxed),
+        state_corrupt: LP_STATE_CORRUPT.load(Ordering::Relaxed),
+        admission_rejects: LP_ADMISSION_REJECTS.load(Ordering::Relaxed),
     }
 }
 
@@ -542,6 +580,27 @@ pub(crate) fn record_budget_trip() {
 /// Records one quarantined component (the whole ladder failed).
 pub(crate) fn record_quarantine() {
     LP_QUARANTINED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records `n` cached blocks / snapshots restored from persisted state.
+pub(crate) fn record_persist_restores(n: u64) {
+    LP_PERSIST_RESTORES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records one completed recovery event (journal replay or corrupt-state
+/// absorption into a cold rebuild).
+pub(crate) fn record_recovery() {
+    LP_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one persisted-state corruption detection.
+pub(crate) fn record_state_corrupt() {
+    LP_STATE_CORRUPT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one admission-control rejection.
+pub(crate) fn record_admission_reject() {
+    LP_ADMISSION_REJECTS.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Records one warm-start attempt into the process-wide telemetry: whether

@@ -167,6 +167,12 @@ pub enum SolveError {
     /// Some components were quarantined; the healthy remainder is carried
     /// so callers keep serving it.
     Partial(PartialSolve),
+    /// Admission control bounced the request before any solver work: the
+    /// offered job set violates the Hall-condition precheck
+    /// ([`crate::admission::admission_precheck`]), and the carried witness
+    /// interval proves it infeasible. The solver's state is untouched —
+    /// the caller can drop or amend the offending jobs and retry.
+    Rejected(crate::admission::AdmissionReject),
 }
 
 impl fmt::Display for SolveError {
@@ -181,6 +187,7 @@ impl fmt::Display for SolveError {
                 p.quarantined[0].failure,
                 p.healthy_objective,
             ),
+            SolveError::Rejected(rej) => write!(f, "admission rejected: {rej}"),
         }
     }
 }
@@ -191,6 +198,9 @@ impl From<SolveError> for Error {
     fn from(e: SolveError) -> Error {
         match e {
             SolveError::Model(err) => err,
+            // An admission rejection carries a proof of infeasibility, so
+            // the legacy surface reports it as the Infeasible it is.
+            SolveError::Rejected(rej) => Error::Infeasible(rej.to_string()),
             partial => Error::Quarantined(partial.to_string()),
         }
     }

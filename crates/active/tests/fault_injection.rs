@@ -14,8 +14,9 @@ use abt_active::{
     lp_telemetry, solve_active_lp_with, try_solve_active_lp_with, IncrementalSolver, LpOptions,
     SolveError,
 };
-use abt_core::faultinject::{self, FaultSpec};
+use abt_core::faultinject::{self, FaultSpec, IoFault};
 use abt_core::{Error, Instance, Job, SolveFailure};
+use abt_workloads::{online_arrivals, OnlineArrivalsConfig};
 
 /// Six well-separated clusters of three overlapping jobs each: a sharded
 /// solve with enough pivot work that `every:k` failpoints fire several
@@ -176,4 +177,85 @@ fn incremental_quarantine_readmits_on_content_change_without_resolving_clean_blo
         1,
         "the re-admitted component solves exactly once"
     );
+}
+
+/// Durable-state satellite (PR 8): with the persist layer's I/O
+/// failpoints firing — `torn_write` truncating checkpoints after the
+/// atomic rename, `corrupt_read` flipping bytes on every other load —
+/// repeated attach/solve/checkpoint cycles must keep every exact
+/// objective bit-identical to from-scratch solves. Every injected
+/// corruption surfaces internally as `StateCorrupt`, demotes to a cold
+/// (or partial) rebuild, and is matched by a completed recovery: no
+/// panics, no wrong answers, no solver-component quarantines.
+#[test]
+fn injected_io_corruption_demotes_to_cold_rebuilds_bit_identically() {
+    let _guard = faultinject::exclusive();
+    let cfg = OnlineArrivalsConfig {
+        clusters: 6,
+        jobs_per_cluster: 3,
+        templates: 2,
+        g: 2,
+        span: 12,
+        gap: 3,
+        max_len: 3,
+    };
+    let oa = online_arrivals(&cfg, 17);
+    let total = oa.jobs.len();
+    let cycles = 4;
+    let dir = std::env::temp_dir().join(format!("abt-fi-io-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    faultinject::configure("torn_write", FaultSpec::io_every(IoFault::TornWrite, 2));
+    faultinject::configure("corrupt_read", FaultSpec::io_every(IoFault::CorruptRead, 3));
+    let before = lp_telemetry();
+    for cycle in 1..=cycles {
+        let target = total * cycle / cycles;
+        let mut solver = IncrementalSolver::new(cfg.g).unwrap();
+        let report = solver
+            .attach_store(&dir)
+            .expect("injected corruption must be absorbed, never surfaced");
+        assert!(
+            report.resumed_jobs <= target,
+            "cycle {cycle}: recovery resumed more jobs than were ever journaled"
+        );
+        for job in &oa.jobs[report.resumed_jobs..target] {
+            solver.add_job(*job);
+        }
+        let rep = solver.solve().expect("prefixes are feasible");
+        let scratch = solve_active_lp_with(&oa.prefix_instance(target), &LpOptions::default())
+            .unwrap()
+            .objective;
+        assert_eq!(
+            rep.lp.objective, scratch,
+            "cycle {cycle}: corruption must never move the exact objective"
+        );
+        solver.checkpoint_now();
+    }
+    let d = lp_telemetry().delta(&before);
+    assert!(d.state_corrupt > 0, "the armed I/O failpoints never fired");
+    assert!(
+        d.recoveries >= d.state_corrupt,
+        "every corruption detection ({}) must be absorbed by a completed recovery ({})",
+        d.state_corrupt,
+        d.recoveries
+    );
+    assert_eq!(
+        d.quarantined, 0,
+        "I/O corruption demotes persisted state, never solver components"
+    );
+
+    // Fault-free control: with the registry cleared, the surviving state
+    // attaches cleanly and the full set still solves bit-identically.
+    faultinject::reset();
+    let mut solver = IncrementalSolver::new(cfg.g).unwrap();
+    let report = solver.attach_store(&dir).unwrap();
+    for job in &oa.jobs[report.resumed_jobs..] {
+        solver.add_job(*job);
+    }
+    let rep = solver.solve().unwrap();
+    let scratch = solve_active_lp_with(&oa.instance(), &LpOptions::default())
+        .unwrap()
+        .objective;
+    assert_eq!(rep.lp.objective, scratch);
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -58,6 +58,10 @@
 //! | `quarantined`    | number | optional (0) | components whose whole supervision ladder failed; **any nonzero value fails the gate** — a fault-free benchmark run must never quarantine |
 //! | `interval_accepts` | number | optional (0) | solves whose dual-feasibility proof was discharged by the directed-rounding interval tier alone (no exact reduced-cost sweep); for `e21`/`e22` the gate fails when `interval_accepts / (interval_accepts + interval_escalations)` drops below `--min-interval-accept-rate` (default 0.9) — skipped when both counters are 0 (e.g. a `CertifyMode::Exact` run) |
 //! | `interval_escalations` | number | optional (0) | solves whose interval sweep was inconclusive and escalated to the exact sweep; the accept-rate denominator above |
+//! | `persist_restores` | number | optional (0) | cache blocks + basis snapshots restored from persisted state by `attach_store` recoveries; informational |
+//! | `recoveries`     | number | optional (0) | completed recovery events (journal-resume attaches, corruption absorptions, storm-guard quarantines); the denominator of the `e23` corruption gate |
+//! | `state_corrupt`  | number | optional (0) | persisted-state corruption detections; for `e23` the gate **fails when `state_corrupt > recoveries`** — a detection without a matching recovery means the absorption path itself broke |
+//! | `admission_rejects` | number | optional (0) | requests bounced by the Hall-condition admission precheck before any solver work; informational |
 //! | `speedup`        | number | optional (absent) | an experiment-defined headline ratio — `e21` records its Auto-vs-Off LP1 wall-clock speedup, `e22` its cold/warm pivot-effort ratio; absent for experiments without one. Informational (the deterministic effort counters are what CI gates) |
 //!
 //! # Parsing
@@ -146,6 +150,17 @@ pub struct ExperimentRecord {
     /// Solves whose interval sweep was inconclusive and escalated to the
     /// exact reduced-cost sweep.
     pub interval_escalations: u64,
+    /// Cache blocks and basis snapshots restored from persisted state
+    /// (`attach_store` recoveries; 0 for experiments without durability).
+    pub persist_restores: u64,
+    /// Completed recovery events: journal-resume attaches, corruption
+    /// absorptions, and storm-guard quarantines.
+    pub recoveries: u64,
+    /// Persisted-state corruption detections (each absorbed by a cold
+    /// rebuild; gated for `e23`: must never exceed `recoveries`).
+    pub state_corrupt: u64,
+    /// Requests bounced by the Hall-condition admission precheck.
+    pub admission_rejects: u64,
     /// Experiment-defined headline ratio (e.g. `e21`'s Auto-vs-Off LP1
     /// speedup, `e22`'s cold/warm pivot-effort ratio); `None` for
     /// experiments without one.
@@ -223,7 +238,9 @@ impl BenchRecord {
                     "\"lp_components\": {}, \"lp_max_component_vars\": {}, ",
                     "\"warm_hits\": {}, \"warm_pivots_saved\": {}, ",
                     "\"demotions\": {}, \"budget_trips\": {}, \"quarantined\": {}, ",
-                    "\"interval_accepts\": {}, \"interval_escalations\": {}{}}}{}\n"
+                    "\"interval_accepts\": {}, \"interval_escalations\": {}, ",
+                    "\"persist_restores\": {}, \"recoveries\": {}, ",
+                    "\"state_corrupt\": {}, \"admission_rejects\": {}{}}}{}\n"
                 ),
                 esc(&e.id),
                 e.wall_ms,
@@ -242,6 +259,10 @@ impl BenchRecord {
                 e.quarantined,
                 e.interval_accepts,
                 e.interval_escalations,
+                e.persist_restores,
+                e.recoveries,
+                e.state_corrupt,
+                e.admission_rejects,
                 speedup,
                 if i + 1 < self.experiments.len() {
                     ","
@@ -311,6 +332,10 @@ impl BenchRecord {
                 quarantined: opt_num(e, "quarantined") as u64,
                 interval_accepts: opt_num(e, "interval_accepts") as u64,
                 interval_escalations: opt_num(e, "interval_escalations") as u64,
+                persist_restores: opt_num(e, "persist_restores") as u64,
+                recoveries: opt_num(e, "recoveries") as u64,
+                state_corrupt: opt_num(e, "state_corrupt") as u64,
+                admission_rejects: opt_num(e, "admission_rejects") as u64,
                 speedup: e.get("speedup").and_then(|v| v.as_f64("speedup").ok()),
             });
         }
@@ -559,6 +584,10 @@ mod tests {
                     quarantined: 0,
                     interval_accepts: 0,
                     interval_escalations: 0,
+                    persist_restores: 0,
+                    recoveries: 0,
+                    state_corrupt: 0,
+                    admission_rejects: 0,
                     speedup: None,
                 },
                 ExperimentRecord {
@@ -579,6 +608,10 @@ mod tests {
                     quarantined: 0,
                     interval_accepts: 14,
                     interval_escalations: 2,
+                    persist_restores: 9,
+                    recoveries: 3,
+                    state_corrupt: 2,
+                    admission_rejects: 1,
                     speedup: Some(3.75),
                 },
             ],

@@ -143,6 +143,7 @@ fn main() {
         ("e20", experiments::e20),
         ("e21", experiments::e21),
         ("e22", experiments::e22),
+        ("e23", experiments::e23),
     ];
     let mut records: Vec<ExperimentRecord> = Vec::new();
     for (id, f) in fns {
@@ -184,12 +185,16 @@ fn main() {
                 quarantined: d.quarantined,
                 interval_accepts: d.interval_accepts,
                 interval_escalations: d.interval_escalations,
+                persist_restores: d.persist_restores,
+                recoveries: d.recoveries,
+                state_corrupt: d.state_corrupt,
+                admission_rejects: d.admission_rejects,
                 speedup: report.speedup,
             });
         }
     }
     if records.is_empty() {
-        eprintln!("unknown experiment ids {selected:?}; available: e1..e22");
+        eprintln!("unknown experiment ids {selected:?}; available: e1..e23");
         std::process::exit(2);
     }
     if expect_demotions {

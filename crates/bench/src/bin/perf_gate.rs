@@ -20,6 +20,11 @@
 //! * any fresh experiment reports `quarantined > 0` — a fault-free
 //!   benchmark run must never abandon a component; a quarantine here means
 //!   the supervision ladder's dense rungs failed on a clean workload, or
+//! * any fresh experiment reports `state_corrupt > recoveries` — `e23`
+//!   injects persisted-state corruption deliberately, but every detection
+//!   must be matched by a completed recovery (cold rebuild); an excess
+//!   means a corruption was detected and the absorption path died, the
+//!   one durability failure mode that could cost answers, or
 //! * the VUB-heavy sweep (`e20`), the decomposition-scaling sweep
 //!   (`e21`), or the warm-start sweep (`e22`) appears in both records and
 //!   its fresh *solve effort* — pivot or LU-refactorization counts, which
@@ -145,6 +150,17 @@ fn main() {
             failures.push(format!(
                 "experiment {} reports {} quarantined components (must be 0: a fault-free run must never abandon a component)",
                 e.id, e.quarantined
+            ));
+        }
+        // Every persisted-state corruption detection must be matched by a
+        // completed recovery (e23 injects corruption deliberately; other
+        // experiments must report 0 of both). An excess means a corruption
+        // was detected but the cold-rebuild absorption never finished —
+        // the one durability failure mode that could cost answers.
+        if e.state_corrupt > e.recoveries {
+            failures.push(format!(
+                "experiment {} reports {} corruption detections but only {} recoveries (every StateCorrupt must be absorbed by a completed recovery)",
+                e.id, e.state_corrupt, e.recoveries
             ));
         }
     }

@@ -9,6 +9,15 @@
 //! abt incremental [clusters] [jobs_per_cluster] [seed]
 //!                                    replay an online-arrivals trace
 //!                                    through the incremental LP1 solver
+//! abt replay --state-dir DIR [clusters] [jobs_per_cluster] [seed]
+//!                                    the durable twin of `incremental`:
+//!                                    recover the solver from DIR, resume
+//!                                    the trace where it left off, journal
+//!                                    every arrival (crash-safe — SIGKILL
+//!                                    and rerun resumes bit-identically)
+//! abt recover <dir> [--compact]      inspect a state directory's health;
+//!                                    --compact folds the journal into a
+//!                                    fresh checkpoint
 //! ```
 //!
 //! `solve` and `incremental` also accept `--pivot-budget N` and
@@ -28,8 +37,9 @@
 //! `job <r> <d> <p>` per line; `#` comments allowed).
 
 use abt_active::{
-    exact_active_time, exact_unit_active_time, lp_rounding, lp_telemetry, minimal_feasible,
-    solve_active_lp_with, CertifyMode, ClosingOrder, IncrementalSolver, LpOptions,
+    exact_active_time, exact_unit_active_time, inspect_store, lp_rounding, lp_telemetry,
+    minimal_feasible, solve_active_lp_with, CertifyMode, ClosingOrder, IncrementalSolver,
+    LpOptions,
 };
 use abt_busy::{
     exact_busy_time, preemptive_bounded, preemptive_unbounded, solve_flexible, IntervalAlgo,
@@ -56,6 +66,9 @@ fn main() -> ExitCode {
                  abt busy <file> <ff|gt|kr|ab|exact|preempt>\n  \
                  abt incremental [clusters] [jobs_per_cluster] [seed] \
                  [--pivot-budget N] [--time-budget-ms N] [--certify M]\n  \
+                 abt replay --state-dir DIR [clusters] [jobs_per_cluster] [seed] \
+                 [--throttle-ms N] [budget flags]\n  \
+                 abt recover <dir> [--compact]\n  \
                  (--certify M: exact | interval | auto)"
             );
             ExitCode::from(2)
@@ -300,6 +313,169 @@ fn run(args: &[&str]) -> Result<(), String> {
                 d.solves, d.pivots, d.warm_hits, d.warm_attempts, d.warm_pivots_saved, d.fallbacks
             );
             println!("{}", supervision_summary(&d));
+            Ok(())
+        }
+        ["replay", rest @ ..] => {
+            let (positional, opts) = parse_budgets(rest)?;
+            // Pull the replay-specific flags out of the leftovers.
+            let mut state_dir: Option<&str> = None;
+            let mut throttle_ms: u64 = 0;
+            let mut free = Vec::new();
+            let mut it = positional.iter();
+            while let Some(a) = it.next() {
+                match *a {
+                    "--state-dir" => {
+                        state_dir = Some(it.next().ok_or("--state-dir needs a value")?);
+                    }
+                    "--throttle-ms" => {
+                        let v = it.next().ok_or("--throttle-ms needs a value")?;
+                        throttle_ms = v.parse().map_err(|_| format!("bad --throttle-ms '{v}'"))?;
+                    }
+                    other => free.push(other),
+                }
+            }
+            let state_dir = state_dir.ok_or("replay requires --state-dir DIR")?;
+            let parse_at = |i: usize, default: u64| -> Result<u64, String> {
+                free.get(i).map_or(Ok(default), |s| {
+                    s.parse().map_err(|_| format!("bad argument '{s}'"))
+                })
+            };
+            let cfg = OnlineArrivalsConfig {
+                clusters: parse_at(0, 8)? as usize,
+                jobs_per_cluster: parse_at(1, 4)? as usize,
+                ..Default::default()
+            };
+            let seed = parse_at(2, 0)?;
+            let oa = online_arrivals(&cfg, seed);
+            let before = lp_telemetry();
+            let mut solver =
+                IncrementalSolver::with_options(oa.g, opts).map_err(|e| e.to_string())?;
+            let rec = solver.attach_store(state_dir).map_err(|e| e.to_string())?;
+            println!(
+                "recovery: {} jobs resumed ({} journal ops replayed, {} blocks + {} snapshots \
+                 restored), {} corruption events absorbed{}{}",
+                rec.resumed_jobs,
+                rec.replayed_ops,
+                rec.restored_blocks,
+                rec.restored_snapshots,
+                rec.corruption_events,
+                if rec.storm_quarantined {
+                    "; restart storm → state quarantined"
+                } else {
+                    ""
+                },
+                if rec.cold_start { "; cold start" } else { "" },
+            );
+            // Resume where the journal left off: each arrival is exactly
+            // one add_job, so the job count is the stream position.
+            let done = solver.len();
+            if done > oa.jobs.len() {
+                return Err(format!(
+                    "state dir holds {done} jobs but the trace has only {} — \
+                     wrong trace parameters or seed for this state dir?",
+                    oa.jobs.len()
+                ));
+            }
+            println!(
+                "online-arrivals trace: {} jobs into {} stripes (g = {}, seed {seed}); \
+                 resuming at arrival {done}",
+                oa.jobs.len(),
+                cfg.clusters,
+                oa.g,
+            );
+            let mut objective = None;
+            for (i, job) in oa.jobs.iter().enumerate().skip(done) {
+                solver.add_job(*job);
+                let rep = solver.solve().map_err(|e| e.to_string())?;
+                println!(
+                    "arrival {i:>3}: job [{:>4}, {:>4}) len {} → LP1 = {}  \
+                     (components {}, reused {}, warm {}/{}, cold {})",
+                    job.release,
+                    job.deadline,
+                    job.length,
+                    rep.lp.objective,
+                    rep.components,
+                    rep.reused,
+                    rep.warm_hits,
+                    rep.warm_attempts,
+                    rep.cold_solves
+                );
+                objective = Some(rep.lp.objective);
+                if throttle_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(throttle_ms));
+                }
+            }
+            let objective = match objective {
+                Some(o) => o,
+                // Fully caught up already: one clean re-solve for the line.
+                None => solver.solve().map_err(|e| e.to_string())?.lp.objective,
+            };
+            solver.checkpoint_now();
+            let d = lp_telemetry().delta(&before);
+            println!(
+                "persist: {} restores, {} recoveries, {} state-corrupt, {} admission rejects{}",
+                d.persist_restores,
+                d.recoveries,
+                d.state_corrupt,
+                d.admission_rejects,
+                if solver.store_degraded() {
+                    " (store degraded: persistence stopped, served from memory)"
+                } else {
+                    ""
+                },
+            );
+            println!("{}", supervision_summary(&d));
+            println!("final objective: {objective}");
+            Ok(())
+        }
+        ["recover", rest @ ..] => {
+            let (dir, compact) = match rest {
+                [dir] => (*dir, false),
+                [dir, "--compact"] | ["--compact", dir] => (*dir, true),
+                _ => return Err("recover takes <dir> and optionally --compact".into()),
+            };
+            let ins = inspect_store(dir).map_err(|e| e.to_string())?;
+            match (&ins.checkpoint, &ins.checkpoint_error) {
+                (Some(c), _) => println!(
+                    "checkpoint: ok (g = {}, seq {}, {} live jobs, {} blocks, {} snapshots, \
+                     {} quarantined keys)",
+                    c.g, c.seq, c.live_jobs, c.blocks, c.snapshots, c.quarantined
+                ),
+                (None, Some(e)) => println!("checkpoint: REJECTED — {e}"),
+                (None, None) => println!("checkpoint: missing"),
+            }
+            match &ins.journal_error {
+                Some(e) if e == "missing" => println!("journal: missing"),
+                Some(e) => println!("journal: REJECTED — {e}"),
+                None => println!(
+                    "journal: ok ({} records, {} pending past the checkpoint{})",
+                    ins.journal_records,
+                    ins.pending_ops,
+                    if ins.journal_torn_tail {
+                        "; torn tail"
+                    } else {
+                        ""
+                    }
+                ),
+            }
+            println!(
+                "recovery attempts: {} (storm guard trips at {})",
+                ins.recovery_attempts,
+                abt_active::MAX_RECOVERY_ATTEMPTS
+            );
+            if compact {
+                // Recover through the real attach path (absorbing any
+                // corruption exactly as a solver would), then fold the
+                // journal into a fresh checkpoint.
+                let g = ins.checkpoint.as_ref().map_or(1, |c| c.g);
+                let mut solver = IncrementalSolver::new(g).map_err(|e| e.to_string())?;
+                let rec = solver.attach_store(dir).map_err(|e| e.to_string())?;
+                solver.checkpoint_now();
+                println!(
+                    "compacted: {} jobs, {} ops folded, {} corruption events absorbed",
+                    rec.resumed_jobs, rec.replayed_ops, rec.corruption_events
+                );
+            }
             Ok(())
         }
         _ => Err("missing or unknown subcommand".into()),

@@ -1,0 +1,116 @@
+//! Kill-and-restart smoke for the durable replay driver (PR 8): SIGKILL
+//! `abt replay --state-dir` mid-stream — after the write-ahead journal
+//! shows real progress but long before the trace ends — then restart the
+//! same command and require the resumed run to land on the **same**
+//! `final objective:` line as an uninterrupted run of the same trace.
+//! A crash at an arbitrary instant may leave a torn journal tail; the
+//! recovery path must absorb it silently (exit 0, no panic output).
+
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn abt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_abt"))
+}
+
+/// The trace: 3 clusters × 3 jobs, seed 11 — 9 arrivals, enough that a
+/// throttled run takes ~1 s while the kill lands within ~100 ms.
+const TRACE: [&str; 3] = ["3", "3", "11"];
+
+fn replay(state_dir: &Path, extra: &[&str]) -> std::process::Output {
+    let mut cmd = abt();
+    cmd.args(["replay", "--state-dir", state_dir.to_str().unwrap()]);
+    cmd.args(TRACE);
+    cmd.args(extra);
+    cmd.output().expect("spawn abt replay")
+}
+
+fn final_objective(out: &std::process::Output) -> String {
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("final objective: "))
+        .unwrap_or_else(|| panic!("no 'final objective:' line in:\n{stdout}"))
+        .to_string()
+}
+
+#[test]
+fn sigkill_mid_replay_then_restart_lands_on_the_same_objective() {
+    let root = std::env::temp_dir().join(format!("abt-crash-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+
+    // Uninterrupted reference run on its own state dir.
+    let reference = replay(&root.join("reference"), &[]);
+    assert!(
+        reference.status.success(),
+        "reference replay failed:\n{}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+    let expected = final_objective(&reference);
+
+    // Crash run: throttled so the SIGKILL lands mid-stream. Wait until
+    // the write-ahead journal holds at least two records (header is 16
+    // bytes, each Add record ~45), then kill without any shutdown path.
+    let state = root.join("state");
+    let mut cmd = abt();
+    cmd.args(["replay", "--state-dir", state.to_str().unwrap()]);
+    cmd.args(TRACE);
+    cmd.args(["--throttle-ms", "120"]);
+    let mut child = cmd
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn throttled replay");
+    let journal = state.join("journal.abt");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if journal.metadata().map(|m| m.len() > 70).unwrap_or(false) {
+            break;
+        }
+        if child.try_wait().expect("poll child").is_some() {
+            // The whole throttled trace finished before the poll caught
+            // it (absurdly slow filesystem): the restart below still
+            // asserts objective identity, just without a torn tail.
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "journal never grew: the WAL is not being written"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().ok();
+    child.wait().expect("reap killed child");
+
+    // Restart the identical command: recovery replays the journal tail
+    // and the resumed run must be bit-identical to the reference.
+    let resumed = replay(&state, &[]);
+    assert!(
+        resumed.status.success(),
+        "resumed replay failed:\n{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        final_objective(&resumed),
+        expected,
+        "kill-and-restart must not move the exact objective"
+    );
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(
+        stdout.lines().any(|l| l.starts_with("recovery: ")),
+        "resumed run must report its recovery:\n{stdout}"
+    );
+
+    // The state dir is healthy after the dust settles.
+    let inspect = abt()
+        .args(["recover", state.to_str().unwrap()])
+        .output()
+        .expect("spawn abt recover");
+    assert!(
+        inspect.status.success(),
+        "recover failed:\n{}",
+        String::from_utf8_lossy(&inspect.stderr)
+    );
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -102,6 +102,12 @@ pub enum SolveFailure {
     /// infeasibility is *not* a verdict: supervisors demote to an exact
     /// tier, whose infeasibility becomes the real [`Error::Infeasible`].
     Infeasible,
+    /// Persisted solver state failed validation on load (bad checksum,
+    /// version or shape drift, or a malformed payload — see
+    /// `abt_core::persist`). Never a correctness risk: the reject-don't-
+    /// trust invariant discards the state and rebuilds cold, so this
+    /// failure only ever costs warm capital, exactly like a demotion.
+    StateCorrupt(String),
 }
 
 impl fmt::Display for SolveFailure {
@@ -112,6 +118,7 @@ impl fmt::Display for SolveFailure {
             SolveFailure::NumericalStall => write!(f, "solve stalled numerically"),
             SolveFailure::ShapeDrift => write!(f, "no warm-start snapshot fits this shape"),
             SolveFailure::Infeasible => write!(f, "float pass reports infeasible (unverified)"),
+            SolveFailure::StateCorrupt(r) => write!(f, "persisted state rejected: {r}"),
         }
     }
 }

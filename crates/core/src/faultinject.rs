@@ -23,6 +23,15 @@
 //! | `panic_in_pivot` | revised pivot loop (`abt-lp`)       | `Panic`        |
 //! | `panic_in_ftran` | FTRAN (`abt-lp`)                    | `Panic`        |
 //! | `slow_certify`   | exact `Rat` certifier (`abt-lp`)    | `DelayMillis`  |
+//! | `torn_write`     | state-file write (`abt-core::persist`) | `Io(TornWrite)` |
+//! | `corrupt_read`   | state-file load (`abt-core::persist`)  | `Io(CorruptRead)` |
+//!
+//! The two I/O sites are **query-style**: the registry cannot reach the
+//! caller's buffers, so [`io_fault`] returns the fired [`IoFault`] and the
+//! persist layer applies the corruption itself (truncating the written
+//! file, flipping a loaded byte). Both must surface as
+//! `SolveFailure::StateCorrupt` on the next load — never a panic, never a
+//! wrong answer.
 //!
 //! Because the registry is process-global and the site names are fixed,
 //! concurrently running tests would race each other's configurations:
@@ -54,6 +63,20 @@ pub enum FaultAction {
     /// Sleep for the given number of milliseconds — exercises wall-time
     /// budgets without panicking.
     DelayMillis(u64),
+    /// Report a data-corrupting I/O fault to the caller (see [`io_fault`]);
+    /// only meaningful at the persist layer's I/O sites.
+    Io(IoFault),
+}
+
+/// A data-corrupting I/O fault, applied by the persist layer itself (the
+/// registry cannot reach the caller's buffers — see [`io_fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// Truncate the state file just written — a disk that acknowledged a
+    /// write it did not complete.
+    TornWrite,
+    /// Flip one byte of the bytes just read — bit rot under the checksum.
+    CorruptRead,
 }
 
 /// A configured failpoint: fire `action` whenever `trigger` matches.
@@ -89,6 +112,22 @@ impl FaultSpec {
             action: FaultAction::DelayMillis(millis),
         }
     }
+
+    /// Fire the given I/O fault on every `k`-th hit.
+    pub fn io_every(fault: IoFault, k: u64) -> FaultSpec {
+        FaultSpec {
+            trigger: Trigger::Every(k.max(1)),
+            action: FaultAction::Io(fault),
+        }
+    }
+
+    /// Fire the given I/O fault on the `n`-th hit only.
+    pub fn io_nth(fault: IoFault, n: u64) -> FaultSpec {
+        FaultSpec {
+            trigger: Trigger::Nth(n.max(1)),
+            action: FaultAction::Io(fault),
+        }
+    }
 }
 
 /// Marks a fault-injection site. A no-op unless the `fault-injection`
@@ -98,12 +137,23 @@ impl FaultSpec {
 #[inline(always)]
 pub fn hit(_site: &str) {}
 
+/// Queries an I/O fault-injection site: `Some(fault)` when the site is
+/// configured with a matching [`FaultAction::Io`] and its trigger fires —
+/// the caller then applies the corruption itself. A site configured with
+/// `Panic`/`DelayMillis` fires those as [`hit`] would. A no-op returning
+/// `None` unless the `fault-injection` feature is enabled.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn io_fault(_site: &str) -> Option<IoFault> {
+    None
+}
+
 #[cfg(feature = "fault-injection")]
-pub use enabled::{configure, configure_from_env, exclusive, hit, reset, ExclusiveGuard};
+pub use enabled::{configure, configure_from_env, exclusive, hit, io_fault, reset, ExclusiveGuard};
 
 #[cfg(feature = "fault-injection")]
 mod enabled {
-    use super::{FaultAction, FaultSpec, Trigger};
+    use super::{FaultAction, FaultSpec, IoFault, Trigger};
     use std::collections::HashMap;
     use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
@@ -139,32 +189,51 @@ mod enabled {
     /// (panicking or sleeping). Unconfigured sites only pay the registry
     /// lookup.
     pub fn hit(site: &str) {
-        let action = {
-            let mut reg = lock_registry();
-            let Some(state) = reg.get_mut(site) else {
-                return;
-            };
-            state.hits += 1;
-            let fires = match state.spec.trigger {
-                Trigger::Nth(n) => state.hits == n,
-                Trigger::Every(k) => state.hits % k.max(1) == 0,
-            };
-            fires.then_some(state.spec.action)
-            // Registry lock released here, before any panic.
-        };
-        match action {
+        match fired_action(site) {
             None => {}
             Some(FaultAction::Panic) => panic!("faultinject: injected panic at '{site}'"),
             Some(FaultAction::DelayMillis(ms)) => {
                 std::thread::sleep(std::time::Duration::from_millis(ms));
             }
+            // An I/O action at a plain hit site has no buffer to corrupt;
+            // only `io_fault` callers can apply it.
+            Some(FaultAction::Io(_)) => {}
         }
+    }
+
+    /// Queries an I/O site (see the module docs): returns the fired
+    /// [`IoFault`] for the caller to apply; `Panic`/`DelayMillis` actions
+    /// fire here exactly as at a [`hit`] site.
+    pub fn io_fault(site: &str) -> Option<IoFault> {
+        match fired_action(site) {
+            None => None,
+            Some(FaultAction::Panic) => panic!("faultinject: injected panic at '{site}'"),
+            Some(FaultAction::DelayMillis(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                None
+            }
+            Some(FaultAction::Io(f)) => Some(f),
+        }
+    }
+
+    /// Bumps `site`'s hit counter and returns the action to fire, if any.
+    /// The registry lock is released before the caller fires it.
+    fn fired_action(site: &str) -> Option<FaultAction> {
+        let mut reg = lock_registry();
+        let state = reg.get_mut(site)?;
+        state.hits += 1;
+        let fires = match state.spec.trigger {
+            Trigger::Nth(n) => state.hits == n,
+            Trigger::Every(k) => state.hits % k.max(1) == 0,
+        };
+        fires.then_some(state.spec.action)
     }
 
     /// Seeds the registry from the `ABT_FAULTPOINTS` environment variable
     /// (used by CI smoke runs, where the test harness is not in control).
     /// Format: `;`-separated `site=action[@trigger]` entries, with action
-    /// `panic` or `delay:MS` and trigger `every:N` or `nth:N` (default
+    /// `panic`, `delay:MS`, `torn`, or `corrupt` and trigger `every:N` or
+    /// `nth:N` (default
     /// `every:1`). Malformed entries are ignored with a warning on stderr
     /// — a smoke harness must not abort over a typo'd knob.
     pub fn configure_from_env() {
@@ -192,6 +261,10 @@ mod enabled {
             FaultAction::Panic
         } else if let Some(ms) = action_s.strip_prefix("delay:") {
             FaultAction::DelayMillis(ms.parse().ok()?)
+        } else if action_s == "torn" {
+            FaultAction::Io(IoFault::TornWrite)
+        } else if action_s == "corrupt" {
+            FaultAction::Io(IoFault::CorruptRead)
         } else {
             return None;
         };
@@ -312,9 +385,42 @@ mod enabled {
                     }
                 ))
             );
+            assert_eq!(
+                parse_entry("torn_write=torn@every:3"),
+                Some((
+                    "torn_write".into(),
+                    FaultSpec {
+                        trigger: Trigger::Every(3),
+                        action: FaultAction::Io(IoFault::TornWrite),
+                    }
+                ))
+            );
+            assert_eq!(
+                parse_entry("corrupt_read=corrupt"),
+                Some((
+                    "corrupt_read".into(),
+                    FaultSpec {
+                        trigger: Trigger::Every(1),
+                        action: FaultAction::Io(IoFault::CorruptRead),
+                    }
+                ))
+            );
             assert_eq!(parse_entry("bad"), None);
             assert_eq!(parse_entry("s=frob"), None);
             assert_eq!(parse_entry("s=panic@often"), None);
+        }
+
+        #[test]
+        fn io_faults_are_query_style() {
+            let _guard = exclusive();
+            configure("t_io", FaultSpec::io_every(IoFault::CorruptRead, 2));
+            assert_eq!(io_fault("t_io"), None, "1st hit is silent");
+            assert_eq!(io_fault("t_io"), Some(IoFault::CorruptRead));
+            // A plain `hit` at an Io site is a no-op (nothing to corrupt).
+            hit("t_io"); // hit 3
+            assert_eq!(io_fault("t_io"), Some(IoFault::CorruptRead), "hit 4");
+            // Unconfigured sites answer None.
+            assert_eq!(io_fault("t_io_other"), None);
         }
     }
 }

@@ -27,6 +27,7 @@ pub mod instance;
 pub mod io;
 pub mod jobs;
 pub mod parallel;
+pub mod persist;
 pub mod preemptive_schedule;
 pub mod profile;
 pub mod ratio;
@@ -39,6 +40,7 @@ pub use error::{BudgetKind, Error, Result, SolveFailure};
 pub use instance::Instance;
 pub use jobs::{Job, JobId};
 pub use parallel::{panic_message, parallel_map, supervised_map};
+pub use persist::{PersistError, StateDir};
 pub use preemptive_schedule::{Piece, PreemptiveSchedule};
 pub use profile::DemandProfile;
 pub use ratio::{within_factor, within_frac_factor, Frac};

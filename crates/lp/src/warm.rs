@@ -104,6 +104,94 @@ impl BasisSnapshot {
     pub fn matches_shape<S>(&self, sf: &StandardForm<S>) -> bool {
         self.m == sf.m && self.ncols == sf.ncols
     }
+
+    /// Upper bound on the row/column counts a decoded snapshot may claim —
+    /// far above any LP this workspace builds, low enough that a corrupted
+    /// size field cannot drive a giant allocation before validation.
+    pub const MAX_DECODE_DIM: usize = 1 << 24;
+
+    /// Serializes the snapshot with the `abt-core::persist` codec. The
+    /// inverse of [`BasisSnapshot::decode`].
+    pub fn encode(&self, enc: &mut abt_core::persist::Enc) {
+        enc.put_usize(self.m);
+        enc.put_usize(self.ncols);
+        debug_assert_eq!(self.basis.len(), self.m);
+        for &col in &self.basis {
+            enc.put_usize(col);
+        }
+        debug_assert_eq!(self.state.len(), self.ncols);
+        for &st in &self.state {
+            enc.put_u8(match st {
+                VarState::Basic => 0,
+                VarState::AtLower => 1,
+                VarState::AtUpper => 2,
+                VarState::AtVub => 3,
+            });
+        }
+    }
+
+    /// Deserializes a snapshot, validating every structural invariant the
+    /// in-memory type maintains: `basis.len() == m`, `state.len() ==
+    /// ncols`, every basis column in range, every state byte a known
+    /// variant, both dimensions under [`BasisSnapshot::MAX_DECODE_DIM`].
+    /// Anything else is a typed [`abt_core::persist::PersistError`] —
+    /// never a panic. (The
+    /// install step re-validates against the target problem anyway; this
+    /// gate exists so malformed persisted bytes cannot even reach it.)
+    pub fn decode(
+        dec: &mut abt_core::persist::Dec<'_>,
+    ) -> Result<BasisSnapshot, abt_core::persist::PersistError> {
+        use abt_core::persist::PersistError;
+        let m = dec.usize()?;
+        let ncols = dec.usize()?;
+        if m > Self::MAX_DECODE_DIM || ncols > Self::MAX_DECODE_DIM {
+            return Err(PersistError::Malformed(format!(
+                "snapshot dimensions {m}×{ncols} exceed the decode cap"
+            )));
+        }
+        if m > dec.remaining() / 8 {
+            return Err(PersistError::Truncated {
+                need: m * 8,
+                have: dec.remaining(),
+            });
+        }
+        let mut basis = Vec::with_capacity(m);
+        for _ in 0..m {
+            let col = dec.usize()?;
+            if col >= ncols {
+                return Err(PersistError::Malformed(format!(
+                    "basis column {col} out of range (ncols {ncols})"
+                )));
+            }
+            basis.push(col);
+        }
+        if ncols > dec.remaining() {
+            return Err(PersistError::Truncated {
+                need: ncols,
+                have: dec.remaining(),
+            });
+        }
+        let mut state = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            state.push(match dec.u8()? {
+                0 => VarState::Basic,
+                1 => VarState::AtLower,
+                2 => VarState::AtUpper,
+                3 => VarState::AtVub,
+                b => {
+                    return Err(PersistError::Malformed(format!(
+                        "unknown VarState byte {b}"
+                    )))
+                }
+            });
+        }
+        Ok(BasisSnapshot {
+            m,
+            ncols,
+            basis,
+            state,
+        })
+    }
 }
 
 /// Result of [`solve_revised_warm`]: the exact solution (same contract as
@@ -587,5 +675,65 @@ mod tests {
             refactorizations: 0,
         };
         assert!(BasisSnapshot::from_proposal(&prop).is_none());
+    }
+
+    #[test]
+    fn snapshot_codec_roundtrip_is_identity() {
+        use abt_core::persist::{Dec, Enc};
+        // A real snapshot off a real solve, not a synthetic one.
+        let lp = lp1_like([3, 2, 1], [3, 2]);
+        let snap = solve_revised_warm(&lp, &RevisedOptions::default(), &[])
+            .snapshot
+            .expect("optimal solve must snapshot");
+        let mut enc = Enc::new();
+        snap.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        let back = BasisSnapshot::decode(&mut dec).expect("own bytes must decode");
+        dec.finish().expect("no trailing bytes");
+        assert_eq!(back, snap);
+        // And the decoded snapshot still warm-hits its own problem.
+        let out =
+            try_solve_revised_warm(&lp, &RevisedOptions::default(), std::slice::from_ref(&back))
+                .expect("decoded snapshot must hit");
+        assert!(out.warm_hit);
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_drift_without_panicking() {
+        use abt_core::persist::{Dec, Enc, PersistError};
+        let snap = BasisSnapshot {
+            m: 2,
+            ncols: 3,
+            basis: vec![0, 2],
+            state: vec![VarState::Basic, VarState::AtLower, VarState::Basic],
+        };
+        let mut enc = Enc::new();
+        snap.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        // Every truncation point is a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(BasisSnapshot::decode(&mut Dec::new(&bytes[..cut])).is_err());
+        }
+        // A basis column past ncols is malformed.
+        let mut bad = bytes.clone();
+        bad[16] = 9; // first basis entry: 9 ≥ ncols 3
+        assert!(matches!(
+            BasisSnapshot::decode(&mut Dec::new(&bad)),
+            Err(PersistError::Malformed(_))
+        ));
+        // An unknown VarState byte is malformed.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] = 7;
+        assert!(matches!(
+            BasisSnapshot::decode(&mut Dec::new(&bad)),
+            Err(PersistError::Malformed(_))
+        ));
+        // An absurd dimension field is capped before any allocation.
+        let mut enc = Enc::new();
+        enc.put_usize(usize::MAX / 2);
+        enc.put_usize(3);
+        assert!(BasisSnapshot::decode(&mut Dec::new(&enc.into_bytes())).is_err());
     }
 }
