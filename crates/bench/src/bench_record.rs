@@ -63,6 +63,9 @@
 //! | `state_corrupt`  | number | optional (0) | persisted-state corruption detections; for `e23` the gate **fails when `state_corrupt > recoveries`** — a detection without a matching recovery means the absorption path itself broke |
 //! | `admission_rejects` | number | optional (0) | requests bounced by the Hall-condition admission precheck before any solver work; informational |
 //! | `speedup`        | number | optional (absent) | an experiment-defined headline ratio — `e21` records its Auto-vs-Off LP1 wall-clock speedup, `e22` its cold/warm pivot-effort ratio; absent for experiments without one. Informational (the deterministic effort counters are what CI gates) |
+//! | `busy_cost`      | number | optional (0) | total busy time of the row's headline busy algorithm (`LpRounding`) summed over the experiment's instances; exact integer costs on seeded instance streams, so bit-deterministic across runs |
+//! | `busy_ratio`     | number | optional (0) | that algorithm's worst observed cost/lower-bound ratio; for rows carrying busy entries (`e24`/`e25`) the gate fails when the fresh value exceeds `--max-busy-ratio` (default 1.05) × committed |
+//! | `busy_algos`     | array  | optional (empty) | per-algorithm objects `{"algo", "cost", "ratio"}` ([`BusyAlgoRecord`]) covering the whole zoo; every algorithm present in both committed and fresh records is ratio-gated like `busy_ratio` |
 //!
 //! # Parsing
 //!
@@ -165,6 +168,25 @@ pub struct ExperimentRecord {
     /// speedup, `e22`'s cold/warm pivot-effort ratio); `None` for
     /// experiments without one.
     pub speedup: Option<f64>,
+    /// Total busy time of the headline busy algorithm (`LpRounding`)
+    /// across the experiment's instances (0 for non-busy experiments).
+    pub busy_cost: u64,
+    /// The headline busy algorithm's worst cost/lower-bound ratio
+    /// (gated for `e24`/`e25` via `--max-busy-ratio`; 0 otherwise).
+    pub busy_ratio: f64,
+    /// Per-algorithm busy summaries (empty for non-busy experiments).
+    pub busy_algos: Vec<BusyAlgoRecord>,
+}
+
+/// One busy algorithm's aggregate inside an experiment row (`busy_algos`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusyAlgoRecord {
+    /// Algorithm name (`IntervalAlgo::name()`).
+    pub algo: String,
+    /// Total busy time across the experiment's instances.
+    pub cost: u64,
+    /// Worst observed cost/lower-bound ratio.
+    pub ratio: f64,
 }
 
 /// The whole `BENCH_lp.json` document.
@@ -230,6 +252,28 @@ impl BenchRecord {
                 .speedup
                 .map(|s| format!(", \"speedup\": {s:.2}"))
                 .unwrap_or_default();
+            let busy = if e.busy_algos.is_empty() {
+                String::new()
+            } else {
+                let entries: Vec<String> = e
+                    .busy_algos
+                    .iter()
+                    .map(|b| {
+                        format!(
+                            "{{\"algo\": \"{}\", \"cost\": {}, \"ratio\": {:.4}}}",
+                            esc(&b.algo),
+                            b.cost,
+                            b.ratio
+                        )
+                    })
+                    .collect();
+                format!(
+                    ", \"busy_cost\": {}, \"busy_ratio\": {:.4}, \"busy_algos\": [{}]",
+                    e.busy_cost,
+                    e.busy_ratio,
+                    entries.join(", ")
+                )
+            };
             out.push_str(&format!(
                 concat!(
                     "    {{\"id\": \"{}\", \"wall_ms\": {:.3}, \"lp_solves\": {}, ",
@@ -240,7 +284,7 @@ impl BenchRecord {
                     "\"demotions\": {}, \"budget_trips\": {}, \"quarantined\": {}, ",
                     "\"interval_accepts\": {}, \"interval_escalations\": {}, ",
                     "\"persist_restores\": {}, \"recoveries\": {}, ",
-                    "\"state_corrupt\": {}, \"admission_rejects\": {}{}}}{}\n"
+                    "\"state_corrupt\": {}, \"admission_rejects\": {}{}{}}}{}\n"
                 ),
                 esc(&e.id),
                 e.wall_ms,
@@ -264,6 +308,7 @@ impl BenchRecord {
                 e.state_corrupt,
                 e.admission_rejects,
                 speedup,
+                busy,
                 if i + 1 < self.experiments.len() {
                     ","
                 } else {
@@ -337,6 +382,23 @@ impl BenchRecord {
                 state_corrupt: opt_num(e, "state_corrupt") as u64,
                 admission_rejects: opt_num(e, "admission_rejects") as u64,
                 speedup: e.get("speedup").and_then(|v| v.as_f64("speedup").ok()),
+                busy_cost: opt_num(e, "busy_cost") as u64,
+                busy_ratio: opt_num(e, "busy_ratio"),
+                busy_algos: match e.get("busy_algos") {
+                    None => Vec::new(),
+                    Some(v) => {
+                        let mut out = Vec::new();
+                        for (k, b) in v.as_array("busy_algos")?.iter().enumerate() {
+                            let b = b.as_object(&format!("busy_algos[{k}]"))?;
+                            out.push(BusyAlgoRecord {
+                                algo: get(b, "algo")?.as_str("algo")?.to_string(),
+                                cost: opt_num(b, "cost") as u64,
+                                ratio: opt_num(b, "ratio"),
+                            });
+                        }
+                        out
+                    }
+                },
             });
         }
         Ok(BenchRecord {
@@ -589,6 +651,9 @@ mod tests {
                     state_corrupt: 0,
                     admission_rejects: 0,
                     speedup: None,
+                    busy_cost: 0,
+                    busy_ratio: 0.0,
+                    busy_algos: Vec::new(),
                 },
                 ExperimentRecord {
                     id: "e3".into(),
@@ -613,6 +678,20 @@ mod tests {
                     state_corrupt: 2,
                     admission_rejects: 1,
                     speedup: Some(3.75),
+                    busy_cost: 321,
+                    busy_ratio: 1.25,
+                    busy_algos: vec![
+                        BusyAlgoRecord {
+                            algo: "LpRounding".into(),
+                            cost: 321,
+                            ratio: 1.25,
+                        },
+                        BusyAlgoRecord {
+                            algo: "FirstFit".into(),
+                            cost: 400,
+                            ratio: 2.5,
+                        },
+                    ],
                 },
             ],
         }
@@ -647,6 +726,14 @@ mod tests {
         assert_eq!(back.experiments[1].interval_escalations, 2);
         assert_eq!(back.experiments[0].speedup, None);
         assert!((back.experiments[1].speedup.unwrap() - 3.75).abs() < 1e-9);
+        assert_eq!(back.experiments[0].busy_cost, 0);
+        assert!(back.experiments[0].busy_algos.is_empty());
+        assert_eq!(back.experiments[1].busy_cost, 321);
+        assert!((back.experiments[1].busy_ratio - 1.25).abs() < 1e-9);
+        assert_eq!(
+            back.experiments[1].busy_algos,
+            rec.experiments[1].busy_algos
+        );
     }
 
     #[test]
@@ -677,6 +764,9 @@ mod tests {
         assert_eq!(rec.experiments[0].interval_accepts, 0);
         assert_eq!(rec.experiments[0].interval_escalations, 0);
         assert_eq!(rec.experiments[0].speedup, None);
+        assert_eq!(rec.experiments[0].busy_cost, 0);
+        assert_eq!(rec.experiments[0].busy_ratio, 0.0);
+        assert!(rec.experiments[0].busy_algos.is_empty());
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! `abt-bench/lp-v2` schema (see [`abt_bench::bench_record`]): the wall
 //! time and LP telemetry (fallback rate plus pivot/flip/refactorization/
 //! certify counters and the decomposition sharding counters, with `e21`'s
-//! Auto-vs-Off speedup) of every experiment that ran, plus a dedicated
+//! Auto-vs-Off speedup) of every experiment that ran — active-side
+//! (`abt_active::lp_telemetry`) and busy-side (`abt_busy::busy_lp_telemetry`)
+//! deltas merged per row, with `e24`/`e25` additionally carrying
+//! per-algorithm busy cost/ratio entries — plus a dedicated
 //! `lp_simplex` measurement — `solve_active_lp` on a
 //! `random_active_feasible` instance (n = 1000, g = 4) under the PR-2
 //! configuration (`revised_bounds`: bounded revised simplex with the
@@ -26,9 +29,12 @@
 //! quarantine line, with every exact objective intact.
 
 use abt_active::{lp_telemetry, solve_active_lp_with, LpOptions};
-use abt_bench::bench_record::{BenchRecord, ExperimentRecord, LpSimplexRecord, SCHEMA};
+use abt_bench::bench_record::{
+    BenchRecord, BusyAlgoRecord, ExperimentRecord, LpSimplexRecord, SCHEMA,
+};
 use abt_bench::experiments;
 use abt_bench::time_best_ms;
+use abt_busy::busy_lp_telemetry;
 use abt_workloads::{random_active_feasible, RandomConfig};
 
 /// The headline measurement: PR-2 `revised_bounds` baseline vs the
@@ -144,31 +150,45 @@ fn main() {
         ("e21", experiments::e21),
         ("e22", experiments::e22),
         ("e23", experiments::e23),
+        ("e24", experiments::e24),
+        ("e25", experiments::e25),
     ];
     let mut records: Vec<ExperimentRecord> = Vec::new();
     for (id, f) in fns {
         if run_all || selected.contains(&id) {
             let before = lp_telemetry();
+            let busy_before = busy_lp_telemetry();
             let started = std::time::Instant::now();
             let report = f();
             let elapsed = started.elapsed();
             let d = lp_telemetry().delta(&before);
+            // Busy-time LP solves keep their own counters (abt-busy cannot
+            // depend on abt-active); merge the two deltas so the fallback,
+            // quarantine, and `--expect-demotions` gates cover both sides.
+            let bd = busy_lp_telemetry().delta(&busy_before);
             println!("{}", report.to_markdown());
             println!("_(regenerated in {elapsed:.2?})_\n");
-            let fallback_rate = if d.solves == 0 {
+            let solves = d.solves + bd.solves;
+            let fallback_rate = if solves == 0 {
                 0.0
             } else {
-                d.fallbacks as f64 / d.solves as f64
+                (d.fallbacks + bd.fallbacks) as f64 / solves as f64
             };
+            let headline_busy = report
+                .busy
+                .iter()
+                .find(|b| b.algo == "LpRounding")
+                .map(|b| (b.cost, b.ratio))
+                .unwrap_or((0, 0.0));
             records.push(ExperimentRecord {
                 id: id.to_string(),
                 wall_ms: elapsed.as_secs_f64() * 1e3,
-                lp_solves: d.solves,
+                lp_solves: solves,
                 fallback_rate,
-                lp_pivots: d.pivots,
-                lp_bound_flips: d.bound_flips,
-                lp_refactorizations: d.refactorizations,
-                lp_certify_ms: d.certify_nanos as f64 / 1e6,
+                lp_pivots: d.pivots + bd.pivots,
+                lp_bound_flips: d.bound_flips + bd.bound_flips,
+                lp_refactorizations: d.refactorizations + bd.refactorizations,
+                lp_certify_ms: (d.certify_nanos + bd.certify_nanos) as f64 / 1e6,
                 lp_components: d.components,
                 // The high-water mark is process-wide and never resets;
                 // only report it for experiments that actually sharded, so
@@ -180,21 +200,32 @@ fn main() {
                 },
                 warm_hits: d.warm_hits,
                 warm_pivots_saved: d.warm_pivots_saved,
-                demotions: d.demotions,
+                demotions: d.demotions + bd.demotions,
                 budget_trips: d.budget_trips,
-                quarantined: d.quarantined,
-                interval_accepts: d.interval_accepts,
-                interval_escalations: d.interval_escalations,
+                quarantined: d.quarantined + bd.quarantined,
+                interval_accepts: d.interval_accepts + bd.interval_accepts,
+                interval_escalations: d.interval_escalations + bd.interval_escalations,
                 persist_restores: d.persist_restores,
                 recoveries: d.recoveries,
                 state_corrupt: d.state_corrupt,
                 admission_rejects: d.admission_rejects,
                 speedup: report.speedup,
+                busy_cost: headline_busy.0,
+                busy_ratio: headline_busy.1,
+                busy_algos: report
+                    .busy
+                    .iter()
+                    .map(|b| BusyAlgoRecord {
+                        algo: b.algo.clone(),
+                        cost: b.cost,
+                        ratio: b.ratio,
+                    })
+                    .collect(),
             });
         }
     }
     if records.is_empty() {
-        eprintln!("unknown experiment ids {selected:?}; available: e1..e23");
+        eprintln!("unknown experiment ids {selected:?}; available: e1..e25");
         std::process::exit(2);
     }
     if expect_demotions {

@@ -2,8 +2,8 @@
 //!
 //! Usage: `perf_gate <committed.json> <fresh.json> [--min-speedup-ratio R]
 //! [--max-effort-ratio R] [--min-interval-accept-rate R]
-//! [--max-certify-ratio R]` (`--max-e20-ratio` is the legacy spelling of
-//! `--max-effort-ratio`)
+//! [--max-certify-ratio R] [--max-busy-ratio R]` (`--max-e20-ratio` is the
+//! legacy spelling of `--max-effort-ratio`)
 //!
 //! Compares a freshly measured record against the committed one and fails
 //! (exit 1) when:
@@ -52,7 +52,14 @@
 //!   timing field stable enough to gate loosely: a broken interval tier
 //!   (everything escalating to the exact sweep) multiplies it well past
 //!   1.5×, while machine noise stays far under. Skipped when the
-//!   committed value is 0 (the row predates the field).
+//!   committed value is 0 (the row predates the field), or
+//! * a busy experiment (`e24`, `e25`) appears in both records and any
+//!   algorithm present in both rows' `busy_algos` reports a fresh
+//!   cost/lower-bound ratio above `--max-busy-ratio` (default 1.05) ×
+//!   the committed one. Busy costs are exact integers on seeded instance
+//!   streams, so the ratios are bit-deterministic: any excess is an
+//!   approximation-quality regression in that algorithm (or in the
+//!   LP-rounding pipeline feeding `LpRounding`), never noise.
 //!
 //! Comparison is field-by-field through [`abt_bench::bench_record`], not
 //! text diffing, so timing noise in unrelated fields never trips the gate.
@@ -76,6 +83,7 @@ fn main() {
     let mut max_e20_ratio = 1.3f64;
     let mut min_accept_rate = 0.9f64;
     let mut max_certify_ratio = 1.5f64;
+    let mut max_busy_ratio = 1.05f64;
     let mut paths: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -84,6 +92,7 @@ fn main() {
             || a == "--max-e20-ratio"
             || a == "--min-interval-accept-rate"
             || a == "--max-certify-ratio"
+            || a == "--max-busy-ratio"
         {
             let v = it.next().unwrap_or_else(|| {
                 eprintln!("perf_gate: {a} needs a value");
@@ -97,6 +106,7 @@ fn main() {
                 "--min-speedup-ratio" => min_ratio = parsed,
                 "--min-interval-accept-rate" => min_accept_rate = parsed,
                 "--max-certify-ratio" => max_certify_ratio = parsed,
+                "--max-busy-ratio" => max_busy_ratio = parsed,
                 _ => max_e20_ratio = parsed,
             }
         } else {
@@ -105,7 +115,7 @@ fn main() {
     }
     let [committed_path, fresh_path] = paths[..] else {
         eprintln!(
-            "usage: perf_gate <committed.json> <fresh.json> [--min-speedup-ratio R] [--max-effort-ratio R] [--min-interval-accept-rate R] [--max-certify-ratio R]"
+            "usage: perf_gate <committed.json> <fresh.json> [--min-speedup-ratio R] [--max-effort-ratio R] [--min-interval-accept-rate R] [--max-certify-ratio R] [--max-busy-ratio R]"
         );
         std::process::exit(2);
     };
@@ -228,6 +238,38 @@ fn main() {
                 (max_certify_ratio * 100.0).round(),
                 ce.lp_certify_ms
             ));
+        }
+    }
+
+    // The busy sweeps: each algorithm's cost/lower-bound ratio is exact
+    // and deterministic, so a fresh ratio creeping past the committed one
+    // is an approximation-quality regression in that algorithm.
+    for gated_id in ["e24", "e25"] {
+        let row = |rec: &BenchRecord| rec.experiments.iter().find(|e| e.id == gated_id).cloned();
+        let (Some(ce), Some(fe)) = (row(&committed), row(&fresh)) else {
+            continue;
+        };
+        for cb in &ce.busy_algos {
+            let Some(fb) = fe.busy_algos.iter().find(|b| b.algo == cb.algo) else {
+                failures.push(format!(
+                    "{gated_id} busy sweep dropped algorithm {}: committed records it, fresh does not",
+                    cb.algo
+                ));
+                continue;
+            };
+            if cb.ratio <= 0.0 {
+                continue; // a row predating the field
+            }
+            let ceiling = cb.ratio * max_busy_ratio;
+            if fb.ratio > ceiling {
+                failures.push(format!(
+                    "{gated_id} {} approximation ratio regressed: fresh {:.4} > {ceiling:.4} ({}% of committed {:.4})",
+                    cb.algo,
+                    fb.ratio,
+                    (max_busy_ratio * 100.0).round(),
+                    cb.ratio
+                ));
+            }
         }
     }
 

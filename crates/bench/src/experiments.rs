@@ -12,17 +12,18 @@ use abt_active::{
 };
 use abt_busy::placement_from_starts;
 use abt_busy::{
-    alicherry_bhatia_run, exact_busy_time, first_fit, greedy_tracking, kumar_rudra_run,
-    preemptive_bounded, preemptive_lower_bound, preemptive_unbounded, solve_flexible,
-    solve_with_placement, span_place, FirstFitOrder, IntervalAlgo,
+    alicherry_bhatia_run, busy_lp_telemetry, exact_busy_time, first_fit, greedy_tracking,
+    kumar_rudra_run, preemptive_bounded, preemptive_lower_bound, preemptive_unbounded,
+    solve_flexible, solve_with_placement, span_place, FirstFitOrder, IntervalAlgo,
 };
 use abt_core::{busy_lower_bounds, within_factor, DemandProfile, Frac, Instance};
 use abt_lp::Rat;
 use abt_workloads::{
-    fig10_flexible_factor4, fig1_example, fig3_minimal_tight, fig6_greedy_tracking_tight,
-    fig8_interval_tight, fig9_dp_profile_tight, integrality_gap, optical_trace,
-    random_active_feasible, random_clique, random_interval, random_laminar, random_proper,
-    vm_trace, OpticalTraceConfig, RandomConfig, VmTraceConfig,
+    busy_g_sweep, busy_laminar_nested, busy_release_stream, fig10_flexible_factor4, fig1_example,
+    fig3_minimal_tight, fig6_greedy_tracking_tight, fig8_interval_tight, fig9_dp_profile_tight,
+    integrality_gap, optical_trace, random_active_feasible, random_clique, random_interval,
+    random_laminar, random_proper, vm_trace, BusyLaminarConfig, BusyStreamConfig,
+    OpticalTraceConfig, RandomConfig, VmTraceConfig,
 };
 
 /// One experiment's regenerated artifact.
@@ -42,6 +43,25 @@ pub struct ExperimentReport {
     /// `BENCH_lp.json` row (`e21` reports its Auto-vs-Off LP1 speedup
     /// here); `None` for experiments without one.
     pub speedup: Option<f64>,
+    /// Per-algorithm busy-time summaries, copied into the experiment's
+    /// `BENCH_lp.json` row (`busy_algos`; the `LpRounding` entry also
+    /// becomes the row's headline `busy_cost`/`busy_ratio`). Empty for
+    /// experiments without a gated busy sweep (everything but E24/E25).
+    pub busy: Vec<BusyAlgoSummary>,
+}
+
+/// One algorithm's aggregate over a busy experiment's instance families:
+/// total cost and the worst observed cost/lower-bound ratio. Costs are
+/// exact integers and the instance streams are seeded, so both values
+/// are bit-deterministic and `perf_gate` can compare them across runs.
+#[derive(Debug, Clone)]
+pub struct BusyAlgoSummary {
+    /// `IntervalAlgo::name()` of the algorithm.
+    pub algo: String,
+    /// Total busy time summed over every instance of the experiment.
+    pub cost: u64,
+    /// Max over instances of `cost / busy_lower_bounds(inst).best()`.
+    pub ratio: f64,
 }
 
 impl ExperimentReport {
@@ -97,6 +117,7 @@ pub fn e1() -> ExperimentReport {
     ));
     ExperimentReport {
         id: "e1",
+        busy: Vec::new(),
         speedup: None,
         title: "Fig. 1 — optimal packing of seven interval jobs (g = 3)".into(),
         claim: "the instance packs onto two machines; every algorithm stays within its factor"
@@ -180,6 +201,7 @@ pub fn e2() -> ExperimentReport {
     notes.push("ratio approaches 3 as g grows, matching Theorem 1's tightness".into());
     ExperimentReport {
         id: "e2",
+        busy: Vec::new(),
         speedup: None,
         title: "Fig. 3 — tightness of the minimal-feasible 3-approximation".into(),
         claim: "a minimal feasible solution of cost 3g−2 exists while OPT = g".into(),
@@ -244,6 +266,7 @@ pub fn e3() -> ExperimentReport {
     ));
     ExperimentReport {
         id: "e3",
+        busy: Vec::new(),
         speedup: None,
         title: "Fig. 4 / Lemma 3 — right-shifting the optimal LP solution".into(),
         claim: "pushing y-mass to segment ends keeps the LP feasible at unchanged cost".into(),
@@ -298,6 +321,7 @@ pub fn e4() -> ExperimentReport {
     notes.push("gap = 2g/(g+1) → 2, so 2 is the best factor achievable from LP1".into());
     ExperimentReport {
         id: "e4",
+        busy: Vec::new(),
         speedup: None,
         title: "§3.5 — integrality gap of the active-time LP".into(),
         claim: "IP/LP = 2g/(g+1) on the gap family".into(),
@@ -392,6 +416,7 @@ pub fn e5() -> ExperimentReport {
         ];
     ExperimentReport {
         id: "e5",
+        busy: Vec::new(),
         speedup: None,
         title: "Theorem 2 — LP rounding 2-approximation".into(),
         claim: "rounded cost ≤ 2·LP ≤ 2·OPT on every instance".into(),
@@ -438,6 +463,7 @@ pub fn e6() -> ExperimentReport {
     ];
     ExperimentReport {
         id: "e6",
+        busy: Vec::new(),
         speedup: None,
         title: "Figs. 6–7 — tightness of GreedyTracking's factor 3".into(),
         claim: "a valid GreedyTracking output costs 3g(2−ε) against OPT ≤ 2g + 2 − ε".into(),
@@ -489,6 +515,7 @@ pub fn e7() -> ExperimentReport {
     ];
     ExperimentReport {
         id: "e7",
+        busy: Vec::new(),
         speedup: None,
         title: "Fig. 8 — tightness of the interval 2-approximations".into(),
         claim: "KR/AB never exceed 2×profile; an output of cost 2+ε+ε′ vs OPT 1+ε is possible"
@@ -557,6 +584,7 @@ pub fn e8() -> ExperimentReport {
     ];
     ExperimentReport {
         id: "e8",
+        busy: Vec::new(),
         speedup: None,
         title: "Fig. 9 / Lemma 7 — demand profile of the span-optimal placement".into(),
         claim: "span minimization can double the demand profile, but never worse".into(),
@@ -605,6 +633,7 @@ pub fn e9() -> ExperimentReport {
     ];
     ExperimentReport {
         id: "e9",
+        busy: Vec::new(),
         speedup: None,
         title: "Figs. 10–12 / Theorem 10 — flexible pipeline factor 4".into(),
         claim: "KR/AB after span placement can approach 4×OPT; never exceed it".into(),
@@ -681,6 +710,7 @@ pub fn e10() -> ExperimentReport {
     ];
     ExperimentReport {
         id: "e10",
+        busy: Vec::new(),
         speedup: None,
         title: "Active time head-to-head (random feasible families)".into(),
         claim: "LP rounding (≤2) dominates minimal-feasible (≤3) in the worst case".into(),
@@ -840,6 +870,7 @@ pub fn e11() -> ExperimentReport {
     notes.push("KR/AB (factor 2) usually win on interval families; GreedyTracking is competitive and wins on track-friendly (laminar/optical) inputs".into());
     ExperimentReport {
         id: "e11",
+        busy: Vec::new(),
         speedup: None,
         title: "Busy time head-to-head across families and traces".into(),
         claim: "who wins where: factor-2 algorithms vs GreedyTracking vs FirstFit".into(),
@@ -890,6 +921,7 @@ pub fn e12() -> ExperimentReport {
     ];
     ExperimentReport {
         id: "e12",
+        busy: Vec::new(),
         speedup: None,
         title: "§4.4 — preemptive busy time".into(),
         claim: "exact greedy for unbounded g; 2-approximation for bounded g".into(),
@@ -981,6 +1013,7 @@ pub fn e13() -> ExperimentReport {
     ));
     ExperimentReport {
         id: "e13",
+        busy: Vec::new(),
         speedup: None,
         title: "Footnote 1 — special instance classes".into(),
         claim: "FirstFit by release is 2-approximate on proper instances; cliques behave like the greedy special case".into(),
@@ -1076,6 +1109,7 @@ pub fn e14() -> ExperimentReport {
     );
     ExperimentReport {
         id: "e14",
+        busy: Vec::new(),
         speedup: None,
         title: "Ablation — closing orders for minimal-feasible".into(),
         claim: "Theorem 1 holds for any order; the constant in practice depends on it".into(),
@@ -1123,6 +1157,7 @@ pub fn e15() -> ExperimentReport {
     }
     ExperimentReport {
         id: "e15",
+        busy: Vec::new(),
         speedup: None,
         title: "Ablation — GreedyTracking tie-breaking on the Fig. 6 gadget".into(),
         claim: "all tie-breaks stay ≤ 3×; the spread shows how the gadget exploits them".into(),
@@ -1176,6 +1211,7 @@ pub fn e16() -> ExperimentReport {
     }
     ExperimentReport {
         id: "e16",
+        busy: Vec::new(),
         speedup: None,
         title: "Online busy time — release-ordered FirstFit".into(),
         claim: "irrevocable online assignment pays a premium over the offline algorithms but stays modest on non-adversarial inputs".into(),
@@ -1226,6 +1262,7 @@ pub fn e17() -> ExperimentReport {
     }
     ExperimentReport {
         id: "e17",
+        busy: Vec::new(),
         speedup: None,
         title: "Width-demand generalization — narrow/wide FirstFit".into(),
         claim: "the Khandekar split stays within 5x of max(mass, span)".into(),
@@ -1280,6 +1317,7 @@ pub fn e18() -> ExperimentReport {
     }
     ExperimentReport {
         id: "e18",
+        busy: Vec::new(),
         speedup: None,
         title: "Maximization dual — throughput within a busy-time budget".into(),
         claim: "greedy admission tracks the exact optimum as the budget tightens".into(),
@@ -1383,6 +1421,7 @@ pub fn e19() -> ExperimentReport {
     );
     ExperimentReport {
         id: "e19",
+        busy: Vec::new(),
         speedup: None,
         title: "LP1 solver scaling — VUB-aware revised simplex vs PR-2/PR-1".into(),
         claim: "eliminating the O(n²) x ≤ Y rows keeps LP1 solvable at n in the thousands".into(),
@@ -1491,6 +1530,7 @@ pub fn e20() -> ExperimentReport {
     );
     ExperimentReport {
         id: "e20",
+        busy: Vec::new(),
         speedup: None,
         title: "VUB-heavy nested-window sweep — implicit VUB families vs cap rows".into(),
         claim: "Schrage-style VUB pivoting removes the O(n²) cap rows from the working basis"
@@ -1609,6 +1649,7 @@ pub fn e21() -> ExperimentReport {
     ];
     ExperimentReport {
         id: "e21",
+        busy: Vec::new(),
         speedup: headline,
         title: "Decomposition scaling — component-sharded LP1 vs the monolith".into(),
         claim: "sharding LP1 along interval-graph components preserves the exact optimum and wins wall-clock at scale".into(),
@@ -1754,6 +1795,7 @@ pub fn e22() -> ExperimentReport {
     );
     ExperimentReport {
         id: "e22",
+        busy: Vec::new(),
         speedup: headline,
         title: "Warm-start effort — online arrivals, batched siblings and incremental re-solves"
             .into(),
@@ -1985,10 +2027,233 @@ pub fn e23() -> ExperimentReport {
     );
     ExperimentReport {
         id: "e23",
+        busy: Vec::new(),
         speedup: None,
         title: "Durable state — crash recovery, corruption absorption, and admission control"
             .into(),
         claim: "kill-and-restart replay resumes bit-identically; every injected corruption demotes to a cold rebuild with the exact objective intact; provably-infeasible bursts bounce at admission".into(),
+        table,
+        notes,
+    }
+}
+
+/// E24 — busy head-to-head with the LP-rounding solver: the four
+/// combinatorial algorithms plus LP rounding vs the exact optimum,
+/// across the busy workload families.
+pub fn e24() -> ExperimentReport {
+    struct Family {
+        name: &'static str,
+        instances: Vec<Instance>,
+    }
+    let families = vec![
+        Family {
+            name: "uniform interval",
+            instances: (0..6)
+                .map(|s| {
+                    random_interval(
+                        &RandomConfig {
+                            n: 10,
+                            g: 3,
+                            horizon: 30,
+                            max_len: 8,
+                            slack_factor: 0.0,
+                        },
+                        s,
+                    )
+                })
+                .collect(),
+        },
+        Family {
+            name: "laminar nested",
+            instances: (0..6)
+                .map(|s| {
+                    busy_laminar_nested(
+                        &BusyLaminarConfig {
+                            n: 10,
+                            g: 3,
+                            horizon: 32,
+                            fan_in: 3,
+                        },
+                        s,
+                    )
+                })
+                .collect(),
+        },
+        Family {
+            name: "release stream",
+            instances: (0..6)
+                .map(|s| {
+                    busy_release_stream(
+                        &BusyStreamConfig {
+                            n: 10,
+                            g: 3,
+                            max_gap: 3,
+                            max_len: 8,
+                        },
+                        s,
+                    )
+                })
+                .collect(),
+        },
+    ];
+
+    let lp_before = busy_lp_telemetry();
+    let mut table = Table::new(["family", "algorithm", "mean cost/OPT", "max cost/OPT"]);
+    let mut totals: Vec<(String, u64, f64)> = IntervalAlgo::all()
+        .iter()
+        .map(|a| (a.name().to_string(), 0u64, 0f64))
+        .collect();
+    for fam in &families {
+        let exacts: Vec<i64> = fam
+            .instances
+            .iter()
+            .map(|inst| exact_busy_time(inst, Some(50_000_000)).unwrap().cost)
+            .collect();
+        for (ai, algo) in IntervalAlgo::all().iter().enumerate() {
+            let mut sum = 0.0;
+            let mut max = 0.0f64;
+            for (inst, &opt) in fam.instances.iter().zip(&exacts) {
+                let s = algo.run(inst).unwrap();
+                s.validate(inst).unwrap();
+                let c = s.total_busy_time(inst);
+                let factor = match algo {
+                    IntervalAlgo::FirstFit => 4,
+                    IntervalAlgo::GreedyTracking => 3,
+                    _ => 2,
+                };
+                assert!(
+                    within_factor(c, factor, opt),
+                    "{} cost {c} > {factor}×OPT {opt}",
+                    algo.name()
+                );
+                assert!(c >= opt, "{} undercut the optimum", algo.name());
+                let r = c as f64 / opt as f64;
+                sum += r;
+                max = max.max(r);
+                totals[ai].1 += c as u64;
+                totals[ai].2 = totals[ai].2.max(r);
+            }
+            table.row([
+                fam.name.to_string(),
+                algo.name().to_string(),
+                format!("{:.4}", sum / fam.instances.len() as f64),
+                format!("{max:.4}"),
+            ]);
+        }
+    }
+    let d = busy_lp_telemetry().delta(&lp_before);
+    let notes = vec![
+        "every algorithm stays within its proven factor of the exact optimum on all instances"
+            .into(),
+        "LP rounding coincides with Kumar–Rudra's padding (⌈z*⌉ = ⌈D/g⌉), so its integral costs match KR's".into(),
+        format!(
+            "busy LP telemetry: {} solves, {} pivots, {} bound flips, {:.3} ms certify ({} interval accepts, {} escalations), {} demotions",
+            d.solves,
+            d.pivots,
+            d.bound_flips,
+            d.certify_nanos as f64 / 1e6,
+            d.interval_accepts,
+            d.interval_escalations,
+            d.demotions
+        ),
+    ];
+    ExperimentReport {
+        id: "e24",
+        busy: totals
+            .into_iter()
+            .map(|(algo, cost, ratio)| BusyAlgoSummary { algo, cost, ratio })
+            .collect(),
+        speedup: None,
+        title: "Busy head-to-head — LP rounding vs the combinatorial zoo vs exact".into(),
+        claim: "LP rounding (≤2 vs profile, ≤4 vs its LP value) and the four combinatorial algorithms all stay within factor of the exact optimum".into(),
+        table,
+        notes,
+    }
+}
+
+/// E25 — busy `g`-sweep scaling: one fixed interval job set instantiated
+/// at every capacity, every algorithm's cost/lower-bound ratio per `g`.
+pub fn e25() -> ExperimentReport {
+    let cfg = RandomConfig {
+        n: 40,
+        g: 1, // ignored by the sweep
+        horizon: 120,
+        max_len: 20,
+        slack_factor: 0.0,
+    };
+    let gs = [1usize, 2, 4, 8, 16];
+    let seeds: Vec<u64> = (0..4).collect();
+    let lp_before = busy_lp_telemetry();
+    let mut table = Table::new([
+        "g",
+        "algorithm",
+        "mean cost/LB",
+        "max cost/LB",
+        "total cost",
+    ]);
+    let mut totals: Vec<(String, u64, f64)> = IntervalAlgo::all()
+        .iter()
+        .map(|a| (a.name().to_string(), 0u64, 0f64))
+        .collect();
+    for &g in &gs {
+        for (ai, algo) in IntervalAlgo::all().iter().enumerate() {
+            let mut sum = 0.0;
+            let mut max = 0.0f64;
+            let mut cost_g = 0u64;
+            for &seed in &seeds {
+                let sweep = busy_g_sweep(&cfg, &[g], seed);
+                let (_, inst) = &sweep[0];
+                let lb = busy_lower_bounds(inst).best();
+                let s = algo.run(inst).unwrap();
+                s.validate(inst).unwrap();
+                let c = s.total_busy_time(inst);
+                let factor = match algo {
+                    IntervalAlgo::FirstFit => 4,
+                    IntervalAlgo::GreedyTracking => 3,
+                    _ => 2,
+                };
+                assert!(
+                    within_factor(c, factor, lb),
+                    "{} at g={g}: cost {c} > {factor}×LB {lb}",
+                    algo.name()
+                );
+                let r = c as f64 / lb as f64;
+                sum += r;
+                max = max.max(r);
+                cost_g += c as u64;
+                totals[ai].1 += c as u64;
+                totals[ai].2 = totals[ai].2.max(r);
+            }
+            table.row([
+                g.to_string(),
+                algo.name().to_string(),
+                format!("{:.4}", sum / seeds.len() as f64),
+                format!("{max:.4}"),
+                cost_g.to_string(),
+            ]);
+        }
+    }
+    let d = busy_lp_telemetry().delta(&lp_before);
+    let notes = vec![
+        "the same 40-job interval set at every g: busy time falls as capacity grows, while the cost/LB ratio stays within each algorithm's factor".into(),
+        format!(
+            "busy LP telemetry: {} solves, {} pivots, {:.3} ms certify, {} demotions, {} quarantined",
+            d.solves,
+            d.pivots,
+            d.certify_nanos as f64 / 1e6,
+            d.demotions,
+            d.quarantined
+        ),
+    ];
+    ExperimentReport {
+        id: "e25",
+        busy: totals
+            .into_iter()
+            .map(|(algo, cost, ratio)| BusyAlgoSummary { algo, cost, ratio })
+            .collect(),
+        speedup: None,
+        title: "Busy g-sweep — cost and approximation ratio vs machine capacity".into(),
+        claim: "every algorithm's cost/lower-bound ratio stays within its factor across g ∈ {1, 2, 4, 8, 16}".into(),
         table,
         notes,
     }
@@ -2036,5 +2301,7 @@ pub fn all_reports() -> Vec<ExperimentReport> {
         e21(),
         e22(),
         e23(),
+        e24(),
+        e25(),
     ]
 }

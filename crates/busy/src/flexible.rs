@@ -11,6 +11,7 @@ use crate::alicherry_bhatia::alicherry_bhatia;
 use crate::firstfit::{first_fit, FirstFitOrder};
 use crate::greedy_tracking::greedy_tracking;
 use crate::kumar_rudra::kumar_rudra;
+use crate::lp_rounding::lp_rounding_busy;
 use crate::span::{span_place, SpanPlacement};
 use abt_core::{BusySchedule, Instance, Result, Time};
 
@@ -25,6 +26,9 @@ pub enum IntervalAlgo {
     KumarRudra,
     /// Alicherry–Bhatia (2-approx on interval jobs; 4-approx end to end).
     AlicherryBhatia,
+    /// The paper's LP rounding (2-approx on interval jobs vs the profile
+    /// bound, 4-approx vs its own LP value; 4-approx end to end).
+    LpRounding,
 }
 
 impl IntervalAlgo {
@@ -35,16 +39,18 @@ impl IntervalAlgo {
             IntervalAlgo::GreedyTracking => greedy_tracking(inst),
             IntervalAlgo::KumarRudra => kumar_rudra(inst),
             IntervalAlgo::AlicherryBhatia => alicherry_bhatia(inst),
+            IntervalAlgo::LpRounding => lp_rounding_busy(inst),
         }
     }
 
     /// All variants, for sweeps.
-    pub fn all() -> [IntervalAlgo; 4] {
+    pub fn all() -> [IntervalAlgo; 5] {
         [
             IntervalAlgo::FirstFit,
             IntervalAlgo::GreedyTracking,
             IntervalAlgo::KumarRudra,
             IntervalAlgo::AlicherryBhatia,
+            IntervalAlgo::LpRounding,
         ]
     }
 
@@ -55,6 +61,7 @@ impl IntervalAlgo {
             IntervalAlgo::GreedyTracking => "GreedyTracking",
             IntervalAlgo::KumarRudra => "KumarRudra",
             IntervalAlgo::AlicherryBhatia => "AlicherryBhatia",
+            IntervalAlgo::LpRounding => "LpRounding",
         }
     }
 }

@@ -55,8 +55,29 @@ pub fn kumar_rudra_run(inst: &Instance) -> Result<KumarRudraRun> {
     let profile_bound = profile.cost(g);
 
     // Phase 0: pad to multiples of g.
-    let mut all: Vec<Interval> = real.clone();
-    all.extend(profile.padding_to_multiple(g));
+    let dummies = profile.padding_to_multiple(g);
+    let (schedule, levels) = level_band_pack(inst, &real, &dummies)?;
+    Ok(KumarRudraRun {
+        schedule,
+        profile_bound,
+        levels,
+    })
+}
+
+/// Phases 1–2 of Kumar–Rudra, shared with `lp_rounding`: given the real
+/// job windows and a set of padding dummies whose union profile has
+/// demand a multiple of `g` on every positive segment, assign levels
+/// (≤ 2 overlapping units per level), open two machines per band of `g`
+/// levels, and parity-split each level. Returns the schedule over real
+/// jobs and the number of levels used.
+pub(crate) fn level_band_pack(
+    inst: &Instance,
+    real: &[Interval],
+    dummies: &[Interval],
+) -> Result<(BusySchedule, usize)> {
+    let g = inst.g();
+    let mut all: Vec<Interval> = real.to_vec();
+    all.extend_from_slice(dummies);
     let padded_profile = DemandProfile::new(&all);
 
     let mut units: Vec<Unit> = Vec::with_capacity(all.len());
@@ -137,11 +158,7 @@ pub fn kumar_rudra_run(inst: &Instance) -> Result<KumarRudraRun> {
     }
     parts.retain(|p| !p.is_empty());
     let schedule = BusySchedule::from_interval_partition(inst, parts);
-    Ok(KumarRudraRun {
-        schedule,
-        profile_bound,
-        levels: max_level,
-    })
+    Ok((schedule, max_level))
 }
 
 /// Maximum number of `members` (plus the candidate) simultaneously covering

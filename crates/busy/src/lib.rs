@@ -22,6 +22,10 @@
 //!   (narrow/wide FirstFit 5-approximation) discussed in §1.
 //! * [`special`] — proper/clique/laminar classes: greedy 2-approximations
 //!   and the exact proper-clique DP \[12\] / laminar solver \[9\].
+//! * [`lp_rounding`] — the paper's busy-time LP (over demand-profile
+//!   segments, solved through `abt-lp`'s certified simplex behind a
+//!   supervised backend ladder) rounded to a 2-approximation vs the
+//!   profile bound and a 4-approximation vs the LP value.
 //! * [`exact`] — branch-and-bound optimum for ratio measurements.
 
 #![warn(missing_docs)]
@@ -32,6 +36,7 @@ pub mod firstfit;
 pub mod flexible;
 pub mod greedy_tracking;
 pub mod kumar_rudra;
+pub mod lp_rounding;
 pub mod maximization;
 pub mod online;
 pub mod preemptive;
@@ -50,6 +55,10 @@ pub use greedy_tracking::{
     greedy_tracking, greedy_tracking_run, greedy_tracking_seeded, GreedyTrackingRun,
 };
 pub use kumar_rudra::{kumar_rudra, kumar_rudra_run, KumarRudraRun};
+pub use lp_rounding::{
+    build_busy_lp, busy_lp_telemetry, lp_rounding_busy, lp_rounding_run, solve_busy_lp,
+    BusyLpModel, BusyLpTelemetry, LpRoundingRun,
+};
 pub use maximization::{budgeted_exact, budgeted_greedy, BudgetedSchedule};
 pub use online::{online_first_fit, OnlineScheduler};
 pub use preemptive::{

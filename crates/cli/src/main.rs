@@ -5,7 +5,7 @@
 //! abt bounds <file>                  print lower bounds
 //! abt solve <file>                   exact LP1 optimum + solve telemetry
 //! abt active <file> <algo>           minimal|rounding|exact|unit
-//! abt busy <file> <algo>             ff|gt|kr|ab|exact|preempt
+//! abt busy <file> <algo>             ff|gt|kr|ab|lp|exact|preempt
 //! abt incremental [clusters] [jobs_per_cluster] [seed]
 //!                                    replay an online-arrivals trace
 //!                                    through the incremental LP1 solver
@@ -63,7 +63,7 @@ fn main() -> ExitCode {
                  abt bounds <file>\n  \
                  abt solve <file> [--pivot-budget N] [--time-budget-ms N] [--certify M]\n  \
                  abt active <file> <minimal|rounding|exact|unit>\n  \
-                 abt busy <file> <ff|gt|kr|ab|exact|preempt>\n  \
+                 abt busy <file> <ff|gt|kr|ab|lp|exact|preempt>\n  \
                  abt incremental [clusters] [jobs_per_cluster] [seed] \
                  [--pivot-budget N] [--time-budget-ms N] [--certify M]\n  \
                  abt replay --state-dir DIR [clusters] [jobs_per_cluster] [seed] \
@@ -229,6 +229,7 @@ fn run(args: &[&str]) -> Result<(), String> {
                 "gt" => solve_flexible(&inst, IntervalAlgo::GreedyTracking),
                 "kr" => solve_flexible(&inst, IntervalAlgo::KumarRudra),
                 "ab" => solve_flexible(&inst, IntervalAlgo::AlicherryBhatia),
+                "lp" => solve_flexible(&inst, IntervalAlgo::LpRounding),
                 "exact" => {
                     let r = exact_busy_time(&inst, Some(500_000_000)).map_err(|e| e.to_string())?;
                     println!(

@@ -1,0 +1,187 @@
+//! Busy-time workload families for the E24/E25 experiments: a
+//! machine-capacity `g` sweep over a fixed interval job set, a laminar
+//! nested-window family with per-window fan-in (after the structured
+//! instances of Nested Active-Time Scheduling, arXiv:2207.12507), and a
+//! release-ordered arrival stream (after the flow-time streams of
+//! Davies–Khuller–Zhang).
+
+use abt_core::{Instance, Job, Time};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::random::RandomConfig;
+
+/// One fixed interval job set instantiated at every capacity in `gs`
+/// (`cfg.g` is ignored): the family for the busy `g`-sweep scaling
+/// experiment. Returns `(g, instance)` pairs; each instance shares the
+/// same jobs, so cost differences are attributable to `g` alone.
+pub fn busy_g_sweep(cfg: &RandomConfig, gs: &[usize], seed: u64) -> Vec<(usize, Instance)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let jobs: Vec<Job> = (0..cfg.n)
+        .map(|_| {
+            let len = rng.gen_range(1..=cfg.max_len);
+            let r = rng.gen_range(0..=(cfg.horizon - len).max(0));
+            Job::interval(r, r + len)
+        })
+        .collect();
+    gs.iter()
+        .map(|&g| (g, Instance::new(jobs.clone(), g).unwrap()))
+        .collect()
+}
+
+/// Parameters of the laminar nested busy family (see [`busy_laminar_nested`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BusyLaminarConfig {
+    /// Target number of jobs.
+    pub n: usize,
+    /// Capacity `g`.
+    pub g: usize,
+    /// Horizon length.
+    pub horizon: i64,
+    /// Interval jobs sharing each nested window.
+    pub fan_in: usize,
+}
+
+impl Default for BusyLaminarConfig {
+    fn default() -> Self {
+        BusyLaminarConfig {
+            n: 24,
+            g: 3,
+            horizon: 64,
+            fan_in: 3,
+        }
+    }
+}
+
+/// A laminar **interval** family: `fan_in` identical interval jobs on
+/// every window of a breadth-first laminar tree over the horizon. Any
+/// two windows are nested or disjoint, and the demand profile steps by
+/// `fan_in` at every nesting boundary — the busy-side analogue of
+/// [`vub_heavy`](crate::random::vub_heavy), stressing the per-segment
+/// LP and the level/band packing of the 2-approximations.
+pub fn busy_laminar_nested(cfg: &BusyLaminarConfig, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut jobs: Vec<Job> = Vec::with_capacity(cfg.n);
+    let mut queue: std::collections::VecDeque<(Time, Time)> = std::collections::VecDeque::new();
+    queue.push_back((0, cfg.horizon));
+    while let Some((lo, hi)) = queue.pop_front() {
+        if jobs.len() >= cfg.n || hi - lo < 2 {
+            continue;
+        }
+        for _ in 0..cfg.fan_in {
+            if jobs.len() >= cfg.n {
+                break;
+            }
+            jobs.push(Job::interval(lo, hi));
+        }
+        // Split at a jittered midpoint so segment lengths vary.
+        let mid = lo + (hi - lo) / 2 + rng.gen_range(0..=((hi - lo) / 8).max(0)) as Time
+            - ((hi - lo) / 16).max(0);
+        let mid = mid.clamp(lo + 1, hi - 1);
+        queue.push_back((lo, mid));
+        queue.push_back((mid, hi));
+    }
+    Instance::new(jobs, cfg.g).unwrap()
+}
+
+/// Parameters of the release-ordered busy stream (see [`busy_release_stream`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BusyStreamConfig {
+    /// Number of jobs.
+    pub n: usize,
+    /// Capacity `g`.
+    pub g: usize,
+    /// Maximum idle gap between consecutive releases.
+    pub max_gap: i64,
+    /// Maximum job length.
+    pub max_len: i64,
+}
+
+impl Default for BusyStreamConfig {
+    fn default() -> Self {
+        BusyStreamConfig {
+            n: 32,
+            g: 3,
+            max_gap: 4,
+            max_len: 12,
+        }
+    }
+}
+
+/// A release-ordered **interval** arrival stream: job `k` is released at
+/// a non-decreasing time (previous release plus a random gap `0..=max_gap`)
+/// and runs for a random length. Sorted arrivals with overlapping tails
+/// are the natural input of the online/first-fit heuristics and the
+/// workload shape of flow-time streams.
+pub fn busy_release_stream(cfg: &BusyStreamConfig, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t: Time = 0;
+    let jobs = (0..cfg.n)
+        .map(|_| {
+            t += rng.gen_range(0..=cfg.max_gap);
+            let len = rng.gen_range(1..=cfg.max_len);
+            Job::interval(t, t + len)
+        })
+        .collect();
+    Instance::new(jobs, cfg.g).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g_sweep_shares_one_job_set() {
+        let cfg = RandomConfig {
+            n: 12,
+            horizon: 40,
+            max_len: 8,
+            ..Default::default()
+        };
+        let sweep = busy_g_sweep(&cfg, &[1, 2, 4, 8], 7);
+        assert_eq!(sweep.len(), 4);
+        for (g, inst) in &sweep {
+            assert_eq!(inst.g(), *g);
+            assert!(inst.is_interval_instance());
+            assert_eq!(inst.jobs(), sweep[0].1.jobs(), "same jobs at every g");
+        }
+        assert_eq!(
+            busy_g_sweep(&cfg, &[1, 2], 7),
+            busy_g_sweep(&cfg, &[1, 2], 7)
+        );
+    }
+
+    #[test]
+    fn laminar_nested_is_laminar_interval() {
+        let cfg = BusyLaminarConfig::default();
+        let inst = busy_laminar_nested(&cfg, 3);
+        assert_eq!(busy_laminar_nested(&cfg, 3), inst, "deterministic per seed");
+        assert!(inst.is_interval_instance());
+        assert!(inst.len() >= cfg.fan_in);
+        for a in inst.jobs() {
+            for b in inst.jobs() {
+                let aw = a.window();
+                let bw = b.window();
+                let crossing =
+                    aw.overlaps(&bw) && !aw.contains_interval(&bw) && !bw.contains_interval(&aw);
+                assert!(!crossing, "{aw} crosses {bw}");
+            }
+        }
+    }
+
+    #[test]
+    fn release_stream_is_release_ordered() {
+        let cfg = BusyStreamConfig::default();
+        let inst = busy_release_stream(&cfg, 11);
+        assert_eq!(
+            busy_release_stream(&cfg, 11),
+            inst,
+            "deterministic per seed"
+        );
+        assert!(inst.is_interval_instance());
+        let jobs = inst.jobs();
+        for w in jobs.windows(2) {
+            assert!(w[0].release <= w[1].release, "releases must be sorted");
+        }
+    }
+}

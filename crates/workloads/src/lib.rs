@@ -5,6 +5,9 @@
 //! * [`gadgets`] — every gadget/worked example of the paper with its
 //!   closed-form bounds (Fig. 1, Fig. 3, the §3.5 integrality gap,
 //!   Figs. 6–12), ε-constructions scaled to exact integer ticks;
+//! * [`busy`] — busy-time families: machine-capacity `g` sweeps over a
+//!   fixed job set, laminar nested-window fan-in instances, and
+//!   release-ordered arrival streams (E24/E25);
 //! * [`random`] — uniform, proper, clique, laminar, unit,
 //!   feasibility-guaranteed, VUB-heavy nested-window, and many-components
 //!   block-diagonal families for the comparison experiments;
@@ -16,11 +19,15 @@
 
 #![warn(missing_docs)]
 
+pub mod busy;
 pub mod gadgets;
 pub mod online;
 pub mod random;
 pub mod traces;
 
+pub use busy::{
+    busy_g_sweep, busy_laminar_nested, busy_release_stream, BusyLaminarConfig, BusyStreamConfig,
+};
 pub use gadgets::{
     fig10_flexible_factor4, fig1_example, fig3_minimal_tight, fig6_greedy_tracking_tight,
     fig8_interval_tight, fig9_dp_profile_tight, integrality_gap, Fig10, Fig3, Fig6, Fig8, Fig9,

@@ -15,33 +15,94 @@ use abt_workloads::{
 
 #[test]
 fn interval_algorithms_respect_their_factors_vs_exact() {
-    for seed in 0..6u64 {
-        let cfg = RandomConfig {
-            n: 9,
-            g: 2,
-            horizon: 30,
-            max_len: 8,
-            slack_factor: 0.0,
-        };
-        let inst = random_interval(&cfg, seed);
-        let exact = exact_busy_time(&inst, Some(20_000_000)).unwrap();
-        for algo in IntervalAlgo::all() {
-            let out = solve_flexible(&inst, algo).unwrap();
-            out.schedule.validate(&inst).unwrap();
-            let cost = out.schedule.total_busy_time(&inst);
-            let factor = match algo {
-                IntervalAlgo::FirstFit => 4,
-                IntervalAlgo::GreedyTracking => 3,
-                _ => 2,
+    // Sweep the machine capacity, not just g = 2: the level/band packing,
+    // the LP's ⌈D/g⌉ bounds, and the exact solver's branching all change
+    // shape with g. Keep n small enough that the exact B&B stays fast.
+    for g in [1usize, 2, 4, 8] {
+        let n = if g >= 4 { 8 } else { 9 };
+        for seed in 0..6u64 {
+            let cfg = RandomConfig {
+                n,
+                g,
+                horizon: 30,
+                max_len: 8,
+                slack_factor: 0.0,
             };
-            assert!(
-                within_factor(cost, factor, exact.cost),
-                "{} cost {cost} > {factor}×OPT {} (seed {seed})",
-                algo.name(),
-                exact.cost
-            );
-            assert!(cost >= exact.cost);
+            let inst = random_interval(&cfg, seed);
+            let exact = exact_busy_time(&inst, Some(20_000_000)).unwrap();
+            for algo in IntervalAlgo::all() {
+                let out = solve_flexible(&inst, algo).unwrap();
+                out.schedule.validate(&inst).unwrap();
+                let cost = out.schedule.total_busy_time(&inst);
+                let factor = match algo {
+                    IntervalAlgo::FirstFit => 4,
+                    IntervalAlgo::GreedyTracking => 3,
+                    _ => 2,
+                };
+                assert!(
+                    within_factor(cost, factor, exact.cost),
+                    "{} cost {cost} > {factor}×OPT {} (g {g}, seed {seed})",
+                    algo.name(),
+                    exact.cost
+                );
+                assert!(cost >= exact.cost);
+            }
         }
+    }
+}
+
+#[test]
+fn fig8_gadget_every_algorithm_within_factor() {
+    // Fig. 8 is the tightness gadget for the 2-approximations; pin the
+    // whole zoo (LP rounding included) against its known optimum.
+    let f = fig8_interval_tight(50, 10);
+    let exact = exact_busy_time(&f.instance, None).unwrap();
+    assert_eq!(exact.cost, f.opt);
+    for algo in IntervalAlgo::all() {
+        let s = algo.run(&f.instance).unwrap();
+        s.validate(&f.instance).unwrap();
+        let cost = s.total_busy_time(&f.instance);
+        let factor = match algo {
+            IntervalAlgo::FirstFit => 4,
+            IntervalAlgo::GreedyTracking => 3,
+            _ => 2,
+        };
+        assert!(
+            within_factor(cost, factor, exact.cost),
+            "{} cost {cost} > {factor}×OPT {}",
+            algo.name(),
+            exact.cost
+        );
+        assert!(cost >= exact.cost);
+    }
+}
+
+#[test]
+fn fig12_bundling_gadget_every_algorithm_within_factor() {
+    // Fig. 12 is the adversarial bundling of the Fig. 10 flexible gadget
+    // (`bad_schedule`): a valid possible KR/AB output exceeding 3×OPT at
+    // g = 4. Feed every algorithm the same adversarial span-optimal
+    // placement and hold each to its end-to-end pipeline factor.
+    let f = fig10_flexible_factor4(4, 60, 20);
+    f.bad_schedule.validate(&f.instance).unwrap();
+    assert!(within_factor(f.bad_cost, 4, f.opt_upper));
+    assert!(f.bad_cost > 3 * f.opt_upper, "the gadget exceeds 3× at g=4");
+    let placement = placement_from_starts(&f.instance, f.adversarial_starts.clone()).unwrap();
+    for algo in IntervalAlgo::all() {
+        let out = solve_with_placement(&f.instance, &placement, algo).unwrap();
+        out.schedule.validate(&f.instance).unwrap();
+        let cost = out.schedule.total_busy_time(&f.instance);
+        let factor = match algo {
+            IntervalAlgo::GreedyTracking => 3,
+            _ => 4,
+        };
+        assert!(
+            within_factor(cost, factor, f.opt_upper),
+            "{} cost {cost} > {factor}×opt_upper {}",
+            algo.name(),
+            f.opt_upper
+        );
+        assert!(cost >= busy_lower_bounds(&f.instance).best());
     }
 }
 

@@ -1,0 +1,93 @@
+//! Differential proptests over the busy-time algorithm zoo.
+//!
+//! Small instances pin every algorithm — the four combinatorial
+//! heuristics plus LP rounding — against the exact branch-and-bound
+//! optimum: each output must validate, cost at least the optimum, and
+//! stay within its proven factor. Large instances, where exact search
+//! is out of reach, cross-check the heuristics pairwise: any
+//! algorithm's cost is at most its factor times *any other* algorithm's
+//! cost, because the latter is itself an upper bound on OPT.
+
+use abt_busy::{exact_busy_time, IntervalAlgo};
+use abt_core::{busy_lower_bounds, within_factor, Instance, Job};
+use proptest::prelude::*;
+
+fn interval_jobs(max_n: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((0i64..16, 1i64..6), 1..max_n)
+}
+
+fn large_interval_jobs() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((0i64..64, 1i64..12), 30..50)
+}
+
+fn build(jobs: &[(i64, i64)], g: usize) -> Instance {
+    let jobs = jobs.iter().map(|&(r, p)| Job::interval(r, r + p)).collect();
+    Instance::new(jobs, g).expect("generated jobs are valid")
+}
+
+fn proven_factor(algo: IntervalAlgo) -> i64 {
+    match algo {
+        IntervalAlgo::FirstFit => 4,
+        IntervalAlgo::GreedyTracking => 3,
+        _ => 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn zoo_within_factor_of_exact_on_small_instances(
+        jobs in interval_jobs(8),
+        g in 1usize..5,
+    ) {
+        let inst = build(&jobs, g);
+        let exact = exact_busy_time(&inst, Some(20_000_000)).unwrap();
+        for algo in IntervalAlgo::all() {
+            let schedule = algo.run(&inst).unwrap();
+            prop_assert!(schedule.validate(&inst).is_ok());
+            let cost = schedule.total_busy_time(&inst);
+            prop_assert!(cost >= exact.cost, "{} beat the optimum", algo.name());
+            let factor = proven_factor(algo);
+            prop_assert!(
+                within_factor(cost, factor, exact.cost),
+                "{} cost {cost} > {factor}×OPT {}",
+                algo.name(),
+                exact.cost
+            );
+        }
+    }
+
+    #[test]
+    fn zoo_pairwise_cross_checks_on_large_instances(
+        jobs in large_interval_jobs(),
+        g in 1usize..5,
+    ) {
+        let inst = build(&jobs, g);
+        let lb = busy_lower_bounds(&inst).best();
+        let costs: Vec<(IntervalAlgo, i64)> = IntervalAlgo::all()
+            .into_iter()
+            .map(|algo| {
+                let schedule = algo.run(&inst).unwrap();
+                schedule.validate(&inst).expect("every output validates");
+                (algo, schedule.total_busy_time(&inst))
+            })
+            .collect();
+        for &(algo, cost) in &costs {
+            prop_assert!(cost >= lb, "{} undercut the lower bound", algo.name());
+        }
+        // cost_a ≤ f_a·OPT and cost_b ≥ OPT, so cost_a ≤ f_a·cost_b for
+        // every ordered pair — a differential check that needs no OPT.
+        for &(a, cost_a) in &costs {
+            let fa = proven_factor(a);
+            for &(b, cost_b) in &costs {
+                prop_assert!(
+                    within_factor(cost_a, fa, cost_b),
+                    "{} cost {cost_a} > {fa}× {}'s cost {cost_b}",
+                    a.name(),
+                    b.name()
+                );
+            }
+        }
+    }
+}

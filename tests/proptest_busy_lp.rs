@@ -1,0 +1,76 @@
+//! Theorem-level proptests for the busy-time LP relaxation.
+//!
+//! Two claims from the paper's LP-rounding analysis, checked in exact
+//! rational arithmetic on every generated instance:
+//!
+//! 1. the LP objective is a valid lower bound on the exact busy-time
+//!    optimum (it relaxes the bundling into fractional machine counts);
+//! 2. the rounded schedule costs at most 4× the LP value — ⌈z⌉ ≤ 2z on
+//!    z ≥ 1 composed with the 2× level/band packing bound.
+//!
+//! On larger instances where exact search is out of reach, every
+//! heuristic's cost still upper-bounds the LP objective.
+
+use abt_busy::{exact_busy_time, lp_rounding_run, IntervalAlgo};
+use abt_core::{within_factor, Instance, Job};
+use abt_lp::Rat;
+use proptest::prelude::*;
+
+fn interval_jobs(max_n: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((0i64..16, 1i64..6), 1..max_n)
+}
+
+fn build(jobs: &[(i64, i64)], g: usize) -> Instance {
+    let jobs = jobs.iter().map(|&(r, p)| Job::interval(r, r + p)).collect();
+    Instance::new(jobs, g).expect("generated jobs are valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lp_objective_lower_bounds_exact(jobs in interval_jobs(8), g in 1usize..5) {
+        let inst = build(&jobs, g);
+        let run = lp_rounding_run(&inst).unwrap();
+        let exact = exact_busy_time(&inst, Some(20_000_000)).unwrap();
+        prop_assert!(
+            run.lp_objective <= Rat::from_int(exact.cost),
+            "LP objective {:?} exceeds exact optimum {}",
+            run.lp_objective,
+            exact.cost
+        );
+        prop_assert!(run.cost >= exact.cost);
+    }
+
+    #[test]
+    fn rounding_stays_within_four_times_lp(jobs in interval_jobs(12), g in 1usize..6) {
+        let inst = build(&jobs, g);
+        let run = lp_rounding_run(&inst).unwrap();
+        prop_assert!(
+            run.within_four_lp(),
+            "rounded cost {} exceeds 4× LP objective {:?}",
+            run.cost,
+            run.lp_objective
+        );
+        // The sharper intermediate bound the 4× factors through.
+        prop_assert!(within_factor(run.cost, 2, run.rounded_profile));
+    }
+
+    #[test]
+    fn lp_objective_lower_bounds_every_heuristic(
+        jobs in proptest::collection::vec((0i64..48, 1i64..10), 20..36),
+        g in 1usize..5,
+    ) {
+        let inst = build(&jobs, g);
+        let run = lp_rounding_run(&inst).unwrap();
+        for algo in IntervalAlgo::all() {
+            let cost = algo.run(&inst).unwrap().total_busy_time(&inst);
+            prop_assert!(
+                run.lp_objective <= Rat::from_int(cost),
+                "LP objective {:?} exceeds {}'s cost {cost}",
+                run.lp_objective,
+                algo.name()
+            );
+        }
+    }
+}
