@@ -110,13 +110,17 @@
 
 use crate::supervise::{supervised_solve, PartialSolve, QuarantinedComponent, SolveError};
 use abt_core::active_schedule::{horizon_slots, job_feasible_in_slot};
+use abt_core::obs::{
+    self,
+    metrics::{Counter, Gauge, Histogram, HistogramSnapshot},
+};
 use abt_core::{supervised_map, Error, Instance, Result, SolveFailure, Time};
 use abt_lp::{
     solve, solve_lp, BasisSnapshot, BoundedOptions, CertifyMode, Cmp, LpProblem, LpReport,
     LpSolution, LpStatus, Rat, RevisedOptions, SolverBackend, DEFAULT_PRICING_WINDOW,
 };
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 /// Which simplex path solves the model.
@@ -352,75 +356,142 @@ impl LpOptions {
     }
 }
 
-/// Process-wide count of hybrid-style LP solves (`Hybrid`/`Revised`
-/// backends, plus the feasibility oracle below).
-static LP_SOLVES: AtomicU64 = AtomicU64::new(0);
-/// Process-wide count of those solves that needed the exact fallback.
-static LP_FALLBACKS: AtomicU64 = AtomicU64::new(0);
-/// Process-wide basis-changing pivot count of the float passes.
-static LP_PIVOTS: AtomicU64 = AtomicU64::new(0);
-/// Process-wide bound/VUB flip count of the float passes.
-static LP_BOUND_FLIPS: AtomicU64 = AtomicU64::new(0);
-/// Process-wide LU refactorization count of the float passes.
-static LP_REFACTORIZATIONS: AtomicU64 = AtomicU64::new(0);
-/// Process-wide exact-certification wall time, nanoseconds.
-static LP_CERTIFY_NANOS: AtomicU64 = AtomicU64::new(0);
-/// Process-wide certification wall time spent in the directed-rounding
-/// interval tier, nanoseconds (a subset of `LP_CERTIFY_NANOS`).
-static LP_CERTIFY_INTERVAL_NANOS: AtomicU64 = AtomicU64::new(0);
-/// Process-wide certification wall time spent in the exact tier
-/// (factor, solves, primal checks, and any exact dual sweeps),
-/// nanoseconds (the complement of the interval share).
-static LP_CERTIFY_EXACT_NANOS: AtomicU64 = AtomicU64::new(0);
-/// Process-wide count of solves whose dual-feasibility proof was
-/// discharged by the interval tier alone.
-static LP_INTERVAL_ACCEPTS: AtomicU64 = AtomicU64::new(0);
-/// Process-wide count of solves whose interval sweep was inconclusive and
-/// escalated to (or was refused pending) the exact sweep.
-static LP_INTERVAL_ESCALATIONS: AtomicU64 = AtomicU64::new(0);
-/// Process-wide count of LP1 solves that sharded into >1 component.
-static LP_SHARDED_SOLVES: AtomicU64 = AtomicU64::new(0);
-/// Process-wide count of component sub-LPs solved by sharded solves.
-static LP_COMPONENTS: AtomicU64 = AtomicU64::new(0);
-/// Process-wide high-water mark of the largest component sub-LP's variable
-/// count (maintained with `fetch_max`; sharded solves only).
-static LP_MAX_COMPONENT_VARS: AtomicU64 = AtomicU64::new(0);
-/// Process-wide count of solves that were *offered* a warm-start snapshot
-/// (batched siblings and incremental re-solves).
-static LP_WARM_ATTEMPTS: AtomicU64 = AtomicU64::new(0);
-/// Process-wide count of those that installed and verified warm.
-static LP_WARM_HITS: AtomicU64 = AtomicU64::new(0);
-/// Process-wide pivots saved by warm hits, measured against each hit's
-/// cold reference (the group representative's / the shape's first cold
-/// solve's pivot count), floored at zero per solve.
-static LP_WARM_PIVOTS_SAVED: AtomicU64 = AtomicU64::new(0);
-/// Process-wide count of failure-driven ladder demotions (see
-/// [`crate::supervise`]).
-static LP_DEMOTIONS: AtomicU64 = AtomicU64::new(0);
-/// Process-wide count of solve attempts that tripped a pivot /
-/// refactorization / wall-time budget (each such trip is also a
-/// demotion).
-static LP_BUDGET_TRIPS: AtomicU64 = AtomicU64::new(0);
-/// Process-wide count of components quarantined after the whole ladder
-/// failed.
-static LP_QUARANTINED: AtomicU64 = AtomicU64::new(0);
-/// Process-wide count of cached component blocks and basis snapshots
-/// restored from a persisted state directory (warm capital carried across
-/// process restarts by `abt_active::store`).
-static LP_PERSIST_RESTORES: AtomicU64 = AtomicU64::new(0);
-/// Process-wide count of completed recovery events: journal-tail replays
-/// over a checkpoint, and corrupt-state detections absorbed into a cold
-/// rebuild. Always ≥ `LP_STATE_CORRUPT` on a healthy run — a corruption
-/// without a matching recovery means the absorption path itself broke,
-/// which the perf gate fails on.
-static LP_RECOVERIES: AtomicU64 = AtomicU64::new(0);
-/// Process-wide count of persisted-state corruption detections (checksum
-/// or version drift, shape drift, malformed payloads) — each one is
-/// rejected and rebuilt cold, never trusted.
-static LP_STATE_CORRUPT: AtomicU64 = AtomicU64::new(0);
-/// Process-wide count of solve requests bounced by admission control (the
-/// Hall-condition precheck) before touching the solver.
-static LP_ADMISSION_REJECTS: AtomicU64 = AtomicU64::new(0);
+/// Handles of the process-wide LP solve metrics, resolved once from the
+/// unified [`abt_core::obs::metrics`] registry (`lp.*` namespace). The
+/// legacy [`lp_telemetry`] facade reads these — the registry is the
+/// single source of truth, shared with the `abt trace` / `--metrics`
+/// exposition surfaces.
+struct LpMetrics {
+    /// Hybrid-style LP solves (`Hybrid`/`Revised` backends, plus the
+    /// feasibility oracle below).
+    solves: &'static Counter,
+    /// Solves that needed the exact fallback.
+    fallbacks: &'static Counter,
+    /// Basis-changing pivot count of the float passes.
+    pivots: &'static Counter,
+    /// Bound/VUB flip count of the float passes.
+    bound_flips: &'static Counter,
+    /// LU refactorization count of the float passes.
+    refactorizations: &'static Counter,
+    /// Exact-certification wall time, nanoseconds.
+    certify_nanos: &'static Counter,
+    /// Certification wall time spent in the directed-rounding interval
+    /// tier, nanoseconds (a subset of `certify_nanos`).
+    certify_interval_nanos: &'static Counter,
+    /// Certification wall time spent in the exact tier (factor, solves,
+    /// primal checks, and any exact dual sweeps), nanoseconds.
+    certify_exact_nanos: &'static Counter,
+    /// Solves whose dual-feasibility proof was discharged by the
+    /// interval tier alone.
+    interval_accepts: &'static Counter,
+    /// Solves whose interval sweep was inconclusive and escalated to (or
+    /// was refused pending) the exact sweep.
+    interval_escalations: &'static Counter,
+    /// LP1 solves that sharded into >1 component.
+    sharded_solves: &'static Counter,
+    /// Component sub-LPs solved by sharded solves.
+    components: &'static Counter,
+    /// High-water gauge of the largest component sub-LP's variable count
+    /// (sharded solves only). Open an exact max-over-window region with
+    /// [`component_vars_window`].
+    max_component_vars: &'static Gauge,
+    /// Solves that were *offered* a warm-start snapshot (batched
+    /// siblings and incremental re-solves).
+    warm_attempts: &'static Counter,
+    /// Warm attempts that installed and verified warm.
+    warm_hits: &'static Counter,
+    /// Pivots saved by warm hits, measured against each hit's cold
+    /// reference, floored at zero per solve.
+    warm_pivots_saved: &'static Counter,
+    /// Failure-driven ladder demotions (see [`crate::supervise`]).
+    demotions: &'static Counter,
+    /// Solve attempts that tripped a pivot / refactorization / wall-time
+    /// budget (each such trip is also a demotion).
+    budget_trips: &'static Counter,
+    /// Components quarantined after the whole ladder failed.
+    quarantined: &'static Counter,
+    /// Cached component blocks and basis snapshots restored from a
+    /// persisted state directory (warm capital carried across process
+    /// restarts by `abt_active::store`).
+    persist_restores: &'static Counter,
+    /// Completed recovery events: journal-tail replays over a
+    /// checkpoint, and corrupt-state detections absorbed into a cold
+    /// rebuild. Always ≥ `state_corrupt` on a healthy run — a corruption
+    /// without a matching recovery means the absorption path itself
+    /// broke, which the perf gate fails on.
+    recoveries: &'static Counter,
+    /// Persisted-state corruption detections (checksum or version
+    /// drift, shape drift, malformed payloads) — each one is rejected
+    /// and rebuilt cold, never trusted.
+    state_corrupt: &'static Counter,
+    /// Solve requests bounced by admission control (the Hall-condition
+    /// precheck) before touching the solver.
+    admission_rejects: &'static Counter,
+    /// Wall-time latency of each supervised/hybrid solve, microseconds
+    /// (log-bucket histogram; feeds the per-experiment p50/p90/p99
+    /// bench fields and the `--max-p99-ratio` perf gate).
+    solve_latency_us: &'static Histogram,
+    /// Pivot count of each solve (a *deterministic* distribution — used
+    /// by the determinism tests and effort diagnostics).
+    pivots_per_solve: &'static Histogram,
+}
+
+/// The `lp.*` metric handles (resolved on first use).
+fn met() -> &'static LpMetrics {
+    static MET: OnceLock<LpMetrics> = OnceLock::new();
+    MET.get_or_init(|| LpMetrics {
+        solves: obs::metrics::counter("lp.solves"),
+        fallbacks: obs::metrics::counter("lp.fallbacks"),
+        pivots: obs::metrics::counter("lp.pivots"),
+        bound_flips: obs::metrics::counter("lp.bound_flips"),
+        refactorizations: obs::metrics::counter("lp.refactorizations"),
+        certify_nanos: obs::metrics::counter("lp.certify_nanos"),
+        certify_interval_nanos: obs::metrics::counter("lp.certify_interval_nanos"),
+        certify_exact_nanos: obs::metrics::counter("lp.certify_exact_nanos"),
+        interval_accepts: obs::metrics::counter("lp.interval_accepts"),
+        interval_escalations: obs::metrics::counter("lp.interval_escalations"),
+        sharded_solves: obs::metrics::counter("lp.sharded_solves"),
+        components: obs::metrics::counter("lp.components"),
+        max_component_vars: obs::metrics::gauge("lp.max_component_vars"),
+        warm_attempts: obs::metrics::counter("lp.warm_attempts"),
+        warm_hits: obs::metrics::counter("lp.warm_hits"),
+        warm_pivots_saved: obs::metrics::counter("lp.warm_pivots_saved"),
+        demotions: obs::metrics::counter("lp.demotions"),
+        budget_trips: obs::metrics::counter("lp.budget_trips"),
+        quarantined: obs::metrics::counter("lp.quarantined"),
+        persist_restores: obs::metrics::counter("lp.persist_restores"),
+        recoveries: obs::metrics::counter("lp.recoveries"),
+        state_corrupt: obs::metrics::counter("lp.state_corrupt"),
+        admission_rejects: obs::metrics::counter("lp.admission_rejects"),
+        solve_latency_us: obs::metrics::histogram("lp.solve_latency_us"),
+        pivots_per_solve: obs::metrics::histogram("lp.pivots_per_solve"),
+    })
+}
+
+/// Opens an **exact** max-over-window region over the largest-component
+/// high-water gauge: the returned handle's `value()` is the largest
+/// component sub-LP variable count recorded while it is alive (0 when no
+/// sharded solve ran). This is the precise per-region reading that the
+/// snapshot-pair [`LpTelemetry::delta`] cannot provide (see its docs);
+/// the experiment harness opens one per experiment row.
+pub fn component_vars_window() -> abt_core::obs::metrics::HighWaterWindow {
+    met().max_component_vars.window()
+}
+
+/// Snapshot of the solve-latency histogram (microseconds per
+/// supervised/hybrid solve). Bucket counts are cumulative and monotone:
+/// diff two snapshots with [`HistogramSnapshot::delta`] to scope
+/// deterministic p50/p90/p99 extraction to a region, as the experiment
+/// harness does per row.
+pub fn solve_latency_snapshot() -> HistogramSnapshot {
+    met().solve_latency_us.snapshot()
+}
+
+/// Snapshot of the pivots-per-solve histogram (a deterministic
+/// distribution: identical solves produce identical bucket counts).
+pub fn pivots_per_solve_snapshot() -> HistogramSnapshot {
+    met().pivots_per_solve.snapshot()
+}
 
 /// A snapshot of the process-wide LP solve telemetry (see
 /// [`lp_telemetry`]). All counters are cumulative and monotone; diff two
@@ -465,9 +536,15 @@ pub struct LpTelemetry {
     /// Component sub-LPs solved by those sharded solves.
     pub components: u64,
     /// High-water mark of the largest component sub-LP's variable count
-    /// across sharded solves. **Not** a monotone sum: [`LpTelemetry::delta`]
-    /// carries the later snapshot's value through unchanged.
+    /// across sharded solves. **Not** a monotone sum — see
+    /// [`LpTelemetry::delta`] for the windowed semantics, and
+    /// [`component_vars_window`] for an exact max over an arbitrary
+    /// region.
     pub max_component_vars: u64,
+    /// Number of strict raises of the `max_component_vars` high water
+    /// (monotone). [`LpTelemetry::delta`] uses it to decide whether the
+    /// window established a new high water; not meaningful on its own.
+    pub max_component_raises: u64,
     /// Solves offered a warm-start snapshot ([`WarmMode::Batch`] siblings
     /// and [`crate::incremental::IncrementalSolver`] re-solves).
     pub warm_attempts: u64,
@@ -503,9 +580,18 @@ pub struct LpTelemetry {
 }
 
 impl LpTelemetry {
-    /// Componentwise `self − earlier` for the monotone counters;
-    /// `max_component_vars` (a high-water mark, not a sum) keeps `self`'s
-    /// value.
+    /// Componentwise `self − earlier` for the monotone counters.
+    ///
+    /// `max_component_vars` is a high-water mark, not a sum, and gets
+    /// **max-over-window** semantics: when the window raised the
+    /// process-wide high water (`max_component_raises` advanced), the
+    /// later snapshot's value *is* the exact in-window maximum — the
+    /// record that set it happened inside the window — and is reported;
+    /// when it did not, the delta reports 0 rather than carrying a stale
+    /// process-wide value forward (the historical wart). A window that
+    /// sharded only below an earlier high water therefore reads 0 here;
+    /// use [`component_vars_window`] when the exact in-window maximum of
+    /// such a region matters (the experiment harness does).
     pub fn delta(&self, earlier: &LpTelemetry) -> LpTelemetry {
         LpTelemetry {
             solves: self.solves - earlier.solves,
@@ -520,7 +606,12 @@ impl LpTelemetry {
             interval_escalations: self.interval_escalations - earlier.interval_escalations,
             sharded_solves: self.sharded_solves - earlier.sharded_solves,
             components: self.components - earlier.components,
-            max_component_vars: self.max_component_vars,
+            max_component_vars: if self.max_component_raises > earlier.max_component_raises {
+                self.max_component_vars
+            } else {
+                0
+            },
+            max_component_raises: self.max_component_raises - earlier.max_component_raises,
             warm_attempts: self.warm_attempts - earlier.warm_attempts,
             warm_hits: self.warm_hits - earlier.warm_hits,
             warm_pivots_saved: self.warm_pivots_saved - earlier.warm_pivots_saved,
@@ -540,67 +631,77 @@ impl LpTelemetry {
 /// counters; CI fails when a non-adversarial workload reports a nonzero
 /// fallback rate.
 pub fn lp_telemetry() -> LpTelemetry {
+    let m = met();
     LpTelemetry {
-        solves: LP_SOLVES.load(Ordering::Relaxed),
-        fallbacks: LP_FALLBACKS.load(Ordering::Relaxed),
-        pivots: LP_PIVOTS.load(Ordering::Relaxed),
-        bound_flips: LP_BOUND_FLIPS.load(Ordering::Relaxed),
-        refactorizations: LP_REFACTORIZATIONS.load(Ordering::Relaxed),
-        certify_nanos: LP_CERTIFY_NANOS.load(Ordering::Relaxed),
-        certify_interval_nanos: LP_CERTIFY_INTERVAL_NANOS.load(Ordering::Relaxed),
-        certify_exact_nanos: LP_CERTIFY_EXACT_NANOS.load(Ordering::Relaxed),
-        interval_accepts: LP_INTERVAL_ACCEPTS.load(Ordering::Relaxed),
-        interval_escalations: LP_INTERVAL_ESCALATIONS.load(Ordering::Relaxed),
-        sharded_solves: LP_SHARDED_SOLVES.load(Ordering::Relaxed),
-        components: LP_COMPONENTS.load(Ordering::Relaxed),
-        max_component_vars: LP_MAX_COMPONENT_VARS.load(Ordering::Relaxed),
-        warm_attempts: LP_WARM_ATTEMPTS.load(Ordering::Relaxed),
-        warm_hits: LP_WARM_HITS.load(Ordering::Relaxed),
-        warm_pivots_saved: LP_WARM_PIVOTS_SAVED.load(Ordering::Relaxed),
-        demotions: LP_DEMOTIONS.load(Ordering::Relaxed),
-        budget_trips: LP_BUDGET_TRIPS.load(Ordering::Relaxed),
-        quarantined: LP_QUARANTINED.load(Ordering::Relaxed),
-        persist_restores: LP_PERSIST_RESTORES.load(Ordering::Relaxed),
-        recoveries: LP_RECOVERIES.load(Ordering::Relaxed),
-        state_corrupt: LP_STATE_CORRUPT.load(Ordering::Relaxed),
-        admission_rejects: LP_ADMISSION_REJECTS.load(Ordering::Relaxed),
+        solves: m.solves.get(),
+        fallbacks: m.fallbacks.get(),
+        pivots: m.pivots.get(),
+        bound_flips: m.bound_flips.get(),
+        refactorizations: m.refactorizations.get(),
+        certify_nanos: m.certify_nanos.get(),
+        certify_interval_nanos: m.certify_interval_nanos.get(),
+        certify_exact_nanos: m.certify_exact_nanos.get(),
+        interval_accepts: m.interval_accepts.get(),
+        interval_escalations: m.interval_escalations.get(),
+        sharded_solves: m.sharded_solves.get(),
+        components: m.components.get(),
+        max_component_vars: m.max_component_vars.max(),
+        max_component_raises: m.max_component_vars.raises(),
+        warm_attempts: m.warm_attempts.get(),
+        warm_hits: m.warm_hits.get(),
+        warm_pivots_saved: m.warm_pivots_saved.get(),
+        demotions: m.demotions.get(),
+        budget_trips: m.budget_trips.get(),
+        quarantined: m.quarantined.get(),
+        persist_restores: m.persist_restores.get(),
+        recoveries: m.recoveries.get(),
+        state_corrupt: m.state_corrupt.get(),
+        admission_rejects: m.admission_rejects.get(),
     }
 }
 
-/// Records one failure-driven ladder demotion (see [`crate::supervise`]).
+/// Records one failure-driven ladder demotion (see [`crate::supervise`],
+/// which additionally emits the structured `supervise.demotion` event
+/// with the failure and rung context).
 pub(crate) fn record_demotion() {
-    LP_DEMOTIONS.fetch_add(1, Ordering::Relaxed);
+    met().demotions.inc();
 }
 
 /// Records one budget trip (pivot / refactorization / wall-time).
 pub(crate) fn record_budget_trip() {
-    LP_BUDGET_TRIPS.fetch_add(1, Ordering::Relaxed);
+    met().budget_trips.inc();
 }
 
-/// Records one quarantined component (the whole ladder failed).
+/// Records one quarantined component (the whole ladder failed) and emits
+/// the `supervise.quarantine` flight-recorder event.
 pub(crate) fn record_quarantine() {
-    LP_QUARANTINED.fetch_add(1, Ordering::Relaxed);
+    met().quarantined.inc();
+    obs::trace::event("supervise.quarantine", Vec::new);
 }
 
 /// Records `n` cached blocks / snapshots restored from persisted state.
 pub(crate) fn record_persist_restores(n: u64) {
-    LP_PERSIST_RESTORES.fetch_add(n, Ordering::Relaxed);
+    met().persist_restores.add(n);
+    obs::trace::event("persist.restore", || vec![("blocks", n.to_string())]);
 }
 
 /// Records one completed recovery event (journal replay or corrupt-state
 /// absorption into a cold rebuild).
 pub(crate) fn record_recovery() {
-    LP_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+    met().recoveries.inc();
+    obs::trace::event("persist.recovery", Vec::new);
 }
 
 /// Records one persisted-state corruption detection.
 pub(crate) fn record_state_corrupt() {
-    LP_STATE_CORRUPT.fetch_add(1, Ordering::Relaxed);
+    met().state_corrupt.inc();
+    obs::trace::event("persist.corrupt", Vec::new);
 }
 
 /// Records one admission-control rejection.
 pub(crate) fn record_admission_reject() {
-    LP_ADMISSION_REJECTS.fetch_add(1, Ordering::Relaxed);
+    met().admission_rejects.inc();
+    obs::trace::event("admission.reject", Vec::new);
 }
 
 /// Records one warm-start attempt into the process-wide telemetry: whether
@@ -608,29 +709,38 @@ pub(crate) fn record_admission_reject() {
 /// the cold pivot count of the solve the snapshot came from. Used by the
 /// batch planner below and by [`crate::incremental::IncrementalSolver`].
 pub(crate) fn record_warm_attempt(hit: bool, reference_pivots: u64, warm_pivots: u64) {
-    LP_WARM_ATTEMPTS.fetch_add(1, Ordering::Relaxed);
+    let m = met();
+    m.warm_attempts.inc();
     if hit {
-        LP_WARM_HITS.fetch_add(1, Ordering::Relaxed);
-        LP_WARM_PIVOTS_SAVED.fetch_add(
-            reference_pivots.saturating_sub(warm_pivots),
-            Ordering::Relaxed,
-        );
+        m.warm_hits.inc();
+        m.warm_pivots_saved
+            .add(reference_pivots.saturating_sub(warm_pivots));
     }
 }
 
 pub(crate) fn record_solve(rep: &LpReport) {
-    LP_SOLVES.fetch_add(1, Ordering::Relaxed);
+    let m = met();
+    m.solves.inc();
     if rep.fallback {
-        LP_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+        m.fallbacks.inc();
     }
-    LP_PIVOTS.fetch_add(rep.stats.pivots, Ordering::Relaxed);
-    LP_BOUND_FLIPS.fetch_add(rep.stats.bound_flips, Ordering::Relaxed);
-    LP_REFACTORIZATIONS.fetch_add(rep.stats.refactorizations, Ordering::Relaxed);
-    LP_CERTIFY_NANOS.fetch_add(rep.stats.certify_nanos, Ordering::Relaxed);
-    LP_CERTIFY_INTERVAL_NANOS.fetch_add(rep.stats.certify_interval_nanos, Ordering::Relaxed);
-    LP_CERTIFY_EXACT_NANOS.fetch_add(rep.stats.certify_exact_nanos, Ordering::Relaxed);
-    LP_INTERVAL_ACCEPTS.fetch_add(rep.stats.interval_accepts, Ordering::Relaxed);
-    LP_INTERVAL_ESCALATIONS.fetch_add(rep.stats.interval_escalations, Ordering::Relaxed);
+    m.pivots.add(rep.stats.pivots);
+    m.bound_flips.add(rep.stats.bound_flips);
+    m.refactorizations.add(rep.stats.refactorizations);
+    m.certify_nanos.add(rep.stats.certify_nanos);
+    m.certify_interval_nanos
+        .add(rep.stats.certify_interval_nanos);
+    m.certify_exact_nanos.add(rep.stats.certify_exact_nanos);
+    m.interval_accepts.add(rep.stats.interval_accepts);
+    m.interval_escalations.add(rep.stats.interval_escalations);
+    m.pivots_per_solve.record(rep.stats.pivots);
+}
+
+/// Records one solve's wall-time latency into the `lp.solve_latency_us`
+/// histogram (called next to [`record_solve`] by the paths that own the
+/// solve's clock).
+pub(crate) fn record_solve_latency(elapsed: Duration) {
+    met().solve_latency_us.record(elapsed.as_micros() as u64);
 }
 
 /// The [`RevisedOptions`] implied by [`LpOptions`]: pricing window plus
@@ -652,6 +762,7 @@ pub(crate) fn run_backend(lp: &LpProblem<Rat>, opts: &LpOptions) -> LpSolution<R
     match opts.backend {
         LpBackend::Exact => solve(lp),
         LpBackend::Hybrid => {
+            let started = std::time::Instant::now();
             let rep = solve_lp(
                 lp,
                 &abt_lp::LpOptions::new()
@@ -660,6 +771,7 @@ pub(crate) fn run_backend(lp: &LpProblem<Rat>, opts: &LpOptions) -> LpSolution<R
             )
             .expect("the dense hybrid backend never fails");
             record_solve(&rep);
+            record_solve_latency(started.elapsed());
             rep.solution
         }
         LpBackend::Revised => match supervised_solve(lp, &revised_options(opts), &[]) {
@@ -922,7 +1034,7 @@ fn solve_component(
 ) -> ComponentOutcome {
     let lp = build_component_lp(inst, opts, runs, comp);
     if sharded {
-        LP_MAX_COMPONENT_VARS.fetch_max(lp.num_vars() as u64, Ordering::Relaxed);
+        met().max_component_vars.record_max(lp.num_vars() as u64);
     }
     let sol = match opts.backend {
         LpBackend::Revised => supervised_solve(&lp, &revised_options(opts), &[])?.solution,
@@ -1009,7 +1121,7 @@ fn solve_components_batched(
         supervised_map(rep_ids, |ci| {
             let comp = &comps[ci];
             let lp = build_component_lp(inst, opts, runs, comp);
-            LP_MAX_COMPONENT_VARS.fetch_max(lp.num_vars() as u64, Ordering::Relaxed);
+            met().max_component_vars.record_max(lp.num_vars() as u64);
             let sr = supervised_solve(&lp, &ropts, &[])?;
             let pivots = sr.stats.pivots;
             Ok((
@@ -1059,7 +1171,7 @@ fn solve_components_batched(
             supervised_map(batch.clone(), |(ci, gi)| {
                 let comp = &comps[ci];
                 let lp = build_component_lp(inst, opts, runs, comp);
-                LP_MAX_COMPONENT_VARS.fetch_max(lp.num_vars() as u64, Ordering::Relaxed);
+                met().max_component_vars.record_max(lp.num_vars() as u64);
                 let (pool, rep_pivots) = &pools_ref[gi];
                 let sr = supervised_solve(&lp, &ropts, pool)?;
                 // An empty pool (e.g. the representative fell back to the
@@ -1129,17 +1241,23 @@ pub fn try_solve_active_lp_with(
     inst: &Instance,
     opts: &LpOptions,
 ) -> std::result::Result<ActiveLp, SolveError> {
-    let slots = horizon_slots(inst);
-    let runs = slot_runs(inst, opts.coalesce);
-    debug_assert_eq!(
-        runs.iter().map(SlotRun::width).sum::<i64>(),
-        slots.len() as i64
-    );
-    let comps = components(inst, &runs, opts.decompose);
+    let (slots, runs, comps) = {
+        let mut span = abt_core::obs_span!("solve.decompose");
+        let slots = horizon_slots(inst);
+        let runs = slot_runs(inst, opts.coalesce);
+        debug_assert_eq!(
+            runs.iter().map(SlotRun::width).sum::<i64>(),
+            slots.len() as i64
+        );
+        let comps = components(inst, &runs, opts.decompose);
+        span.field("runs", runs.len());
+        span.field("components", comps.len());
+        (slots, runs, comps)
+    };
     let sharded = comps.len() > 1;
     if sharded {
-        LP_SHARDED_SOLVES.fetch_add(1, Ordering::Relaxed);
-        LP_COMPONENTS.fetch_add(comps.len() as u64, Ordering::Relaxed);
+        met().sharded_solves.inc();
+        met().components.add(comps.len() as u64);
     }
     // Warm batching applies to sharded solves on the revised backend; the
     // other backends have no warm entry point and solve cold.
@@ -1161,6 +1279,7 @@ pub fn try_solve_active_lp_with(
     // Stitch: per-run Y values land back on their global run index (runs
     // outside every component keep Y = 0), objectives sum exactly;
     // quarantined components are collected into the partial result.
+    let _stitch = abt_core::obs_span!("solve.stitch");
     let mut y_runs = vec![Rat::ZERO; runs.len()];
     let mut objective = Rat::ZERO;
     let mut healthy: Vec<(usize, Rat)> = Vec::new();
@@ -1522,11 +1641,15 @@ mod tests {
         assert_eq!(comps[1].jobs, vec![2, 3]);
         assert_eq!(comps[2].jobs, vec![4]);
         let before = lp_telemetry();
+        // The registered window sees the exact in-window high-water mark
+        // even when a concurrent test has already pushed the cumulative
+        // gauge higher (the delta would then be 0 by design).
+        let window = component_vars_window();
         assert_auto_matches_off(&inst);
         let d = lp_telemetry().delta(&before);
         assert!(d.sharded_solves >= 1, "the Auto solve must shard");
         assert!(d.components >= 3, "three component sub-LPs must be solved");
-        assert!(d.max_component_vars >= 1);
+        assert!(window.value() >= 1);
         // Gap runs stay closed: every slot in (4, 100] has y = 0.
         let auto = solve_active_lp(&inst).unwrap();
         for (slot, y) in auto.slots.iter().zip(&auto.y) {

@@ -44,9 +44,9 @@
 //! `panic_in_pivot` / `panic_in_ftran` / `slow_certify` sites fire inside
 //! the revised rungs and exercise the demotion path.
 
-use crate::lp_model::{record_budget_trip, record_demotion, record_solve};
+use crate::lp_model::{record_budget_trip, record_demotion, record_solve, record_solve_latency};
 use abt_core::faultinject;
-use abt_core::{panic_message, Error, SolveFailure};
+use abt_core::{obs, panic_message, Error, SolveFailure};
 use abt_lp::{
     solve_lp, BasisSnapshot, LpOptions, LpProblem, LpReport, Rat, RevisedOptions, SolverBackend,
 };
@@ -69,62 +69,77 @@ pub(crate) fn supervised_solve(
     if let Err(payload) = catch_unwind(|| faultinject::hit("fail_nth_solve")) {
         return Err(SolveFailure::Panicked(panic_message(payload.as_ref())));
     }
+    let mut span = abt_core::obs_span!("solve.component", vars = lp.num_vars());
+    let started = std::time::Instant::now();
+    let finish = |rep: LpReport, rung: &'static str, span: &mut obs::Span| {
+        record_solve(&rep);
+        record_solve_latency(started.elapsed());
+        span.field("rung", rung);
+        rep
+    };
     let base = LpOptions::new()
         .pricing(ropts.pricing)
         .certify(ropts.certify);
     let mut first_failure: Option<SolveFailure> = None;
-    let mut demote = |f: SolveFailure| {
+    let mut demote = |f: SolveFailure, from: &'static str, to: &'static str| {
         record_demotion();
         if matches!(f, SolveFailure::BudgetExceeded(_)) {
             record_budget_trip();
         }
+        obs::trace::event("supervise.demotion", || {
+            vec![
+                ("failure", f.to_string()),
+                ("from", from.to_string()),
+                ("to", to.to_string()),
+            ]
+        });
         first_failure.get_or_insert(f);
     };
     // Rung 1 — warm, only when the caller offers candidates.
     if !snapshots.is_empty() {
         let warm = base.snapshots(snapshots).warm_only(true);
         match catch_unwind(AssertUnwindSafe(|| solve_lp(lp, &warm))) {
-            Ok(Ok(rep)) => {
-                record_solve(&rep);
-                return Ok(rep);
-            }
+            Ok(Ok(rep)) => return Ok(finish(rep, "warm", &mut span)),
             // A pool miss is a routine cache outcome, not a fault.
             Ok(Err(SolveFailure::ShapeDrift)) => {}
-            Ok(Err(f)) => demote(f),
-            Err(p) => demote(SolveFailure::Panicked(panic_message(p.as_ref()))),
+            Ok(Err(f)) => demote(f, "warm", "cold revised"),
+            Err(p) => demote(
+                SolveFailure::Panicked(panic_message(p.as_ref())),
+                "warm",
+                "cold revised",
+            ),
         }
     }
     // Rung 2 — cold revised with budgets armed.
     match catch_unwind(AssertUnwindSafe(|| solve_lp(lp, &base))) {
-        Ok(Ok(rep)) => {
-            record_solve(&rep);
-            return Ok(rep);
-        }
+        Ok(Ok(rep)) => return Ok(finish(rep, "cold revised", &mut span)),
         // A float-level infeasibility claim needs exact confirmation — the
         // next rung's job, same as the legacy dense fallback. Not a fault.
         Ok(Err(SolveFailure::Infeasible)) => {}
-        Ok(Err(f)) => demote(f),
-        Err(p) => demote(SolveFailure::Panicked(panic_message(p.as_ref()))),
+        Ok(Err(f)) => demote(f, "cold revised", "dense hybrid"),
+        Err(p) => demote(
+            SolveFailure::Panicked(panic_message(p.as_ref())),
+            "cold revised",
+            "dense hybrid",
+        ),
     }
     // Rung 3 — dense hybrid (its own internal exact fallback included;
     // the backend never returns `Err`).
     let hybrid = base.backend(SolverBackend::DenseHybrid);
     match catch_unwind(AssertUnwindSafe(|| solve_lp(lp, &hybrid))) {
-        Ok(Ok(rep)) => {
-            record_solve(&rep);
-            return Ok(rep);
-        }
-        Ok(Err(f)) => demote(f),
-        Err(p) => demote(SolveFailure::Panicked(panic_message(p.as_ref()))),
+        Ok(Ok(rep)) => return Ok(finish(rep, "dense hybrid", &mut span)),
+        Ok(Err(f)) => demote(f, "dense hybrid", "dense exact"),
+        Err(p) => demote(
+            SolveFailure::Panicked(panic_message(p.as_ref())),
+            "dense hybrid",
+            "dense exact",
+        ),
     }
     // Rung 4 — dense exact, the rung of last resort. Its iteration-cap
     // panic is the one failure mode left, caught like any other.
     let exact = base.backend(SolverBackend::DenseExact);
     match catch_unwind(AssertUnwindSafe(|| solve_lp(lp, &exact))) {
-        Ok(Ok(rep)) => {
-            record_solve(&rep);
-            Ok(rep)
-        }
+        Ok(Ok(rep)) => Ok(finish(rep, "dense exact", &mut span)),
         Ok(Err(f)) => Err(first_failure.unwrap_or(f)),
         Err(p) => {
             let last = SolveFailure::Panicked(panic_message(p.as_ref()));

@@ -15,7 +15,7 @@ use abt_active::{
     SolveError,
 };
 use abt_core::faultinject::{self, FaultSpec, IoFault};
-use abt_core::{Error, Instance, Job, SolveFailure};
+use abt_core::{obs, Error, Instance, Job, SolveFailure};
 use abt_workloads::{online_arrivals, OnlineArrivalsConfig};
 
 /// Six well-separated clusters of three overlapping jobs each: a sharded
@@ -177,6 +177,110 @@ fn incremental_quarantine_readmits_on_content_change_without_resolving_clean_blo
         1,
         "the re-admitted component solves exactly once"
     );
+}
+
+/// Observability satellite (PR 10): with tracing armed, injected pivot
+/// faults leave `supervise.demotion` events in the flight recorder —
+/// parented under the demoting component's `solve.component` span, with
+/// the failure and both rung names as structured fields, and *sequenced
+/// before* the span's close entry (spans are pushed to the ring at
+/// close, so correct ordering means every demotion's `seq` precedes its
+/// parent span's `seq`). Injected checkpoint corruption likewise leaves
+/// `persist.corrupt` events, each absorbed by a later `persist.recovery`.
+#[test]
+fn flight_recorder_captures_demotion_and_recovery_events_in_order() {
+    let _guard = faultinject::exclusive();
+    let inst = striped_instance();
+    obs::set_tracing(true);
+    obs::recorder::clear();
+
+    faultinject::configure("panic_in_pivot", FaultSpec::panic_every(4));
+    solve_active_lp_with(&inst, &LpOptions::default()).unwrap();
+    faultinject::reset();
+    let entries = obs::recorder::entries();
+
+    let demotions: Vec<_> = entries
+        .iter()
+        .filter(|e| e.name == "supervise.demotion")
+        .collect();
+    assert!(!demotions.is_empty(), "injected pivot panics must demote");
+    for d in &demotions {
+        let field = |k| {
+            d.fields
+                .iter()
+                .find(|(key, _)| *key == k)
+                .map(|(_, v)| v.as_str())
+                .unwrap_or_else(|| panic!("demotion event missing `{k}`: {d:?}"))
+        };
+        assert!(field("failure").contains("panic"), "failure: {d:?}");
+        let ladder = ["warm", "cold revised", "dense hybrid", "dense exact"];
+        let from = ladder.iter().position(|r| *r == field("from")).unwrap();
+        let to = ladder.iter().position(|r| *r == field("to")).unwrap();
+        assert_eq!(to, from + 1, "demotions step one rung down: {d:?}");
+        // Ordering: the demotion happened inside a still-open
+        // `solve.component` span, so the span's close entry (where it is
+        // pushed to the ring) must carry a later sequence number.
+        let parent = entries
+            .iter()
+            .find(|e| e.span == d.parent)
+            .unwrap_or_else(|| panic!("demotion parent span {} never closed", d.parent));
+        assert_eq!(parent.name, "solve.component");
+        assert!(
+            d.seq < parent.seq,
+            "event {} vs span close {}",
+            d.seq,
+            parent.seq
+        );
+    }
+
+    // Phase 2 — persistence: build a durable store cleanly, then re-attach
+    // with `corrupt_read` firing. Every corruption detection must appear
+    // as a `persist.corrupt` event and be absorbed by a `persist.recovery`
+    // event sequenced after it.
+    let dir = std::env::temp_dir().join(format!("abt-fi-recorder-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut solver = IncrementalSolver::new(2).unwrap();
+    solver.attach_store(&dir).unwrap();
+    for (r, d, p) in [(0i64, 6i64, 3i64), (100, 105, 2), (200, 206, 3)] {
+        solver.add_job(Job::new(r, d, p));
+    }
+    solver.solve().unwrap();
+    solver.checkpoint_now();
+
+    obs::recorder::clear();
+    faultinject::configure("corrupt_read", FaultSpec::io_every(IoFault::CorruptRead, 1));
+    let before = lp_telemetry();
+    let mut solver = IncrementalSolver::new(2).unwrap();
+    solver
+        .attach_store(&dir)
+        .expect("corruption is absorbed, never surfaced");
+    faultinject::reset();
+    let d = lp_telemetry().delta(&before);
+    assert!(d.state_corrupt > 0, "the armed corrupt_read never fired");
+
+    let entries = obs::recorder::entries();
+    obs::set_tracing(false);
+    let seqs = |name: &str| -> Vec<u64> {
+        entries
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| e.seq)
+            .collect()
+    };
+    let corrupt = seqs("persist.corrupt");
+    let recovery = seqs("persist.recovery");
+    assert_eq!(
+        corrupt.len() as u64,
+        d.state_corrupt,
+        "events mirror counters"
+    );
+    assert_eq!(recovery.len() as u64, d.recoveries);
+    assert!(recovery.len() >= corrupt.len());
+    assert!(
+        corrupt.iter().max() < recovery.iter().max(),
+        "each corruption must be followed by a completed recovery"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Durable-state satellite (PR 8): with the persist layer's I/O

@@ -62,6 +62,14 @@
 //! | `recoveries`     | number | optional (0) | completed recovery events (journal-resume attaches, corruption absorptions, storm-guard quarantines); the denominator of the `e23` corruption gate |
 //! | `state_corrupt`  | number | optional (0) | persisted-state corruption detections; for `e23` the gate **fails when `state_corrupt > recoveries`** — a detection without a matching recovery means the absorption path itself broke |
 //! | `admission_rejects` | number | optional (0) | requests bounced by the Hall-condition admission precheck before any solver work; informational |
+//! | `lp_p50_ms`      | number | optional (0) | median per-solve LP latency during the experiment, from the `lp.solve_latency_us` histogram delta (`abt_core::obs`); 0 when the experiment solved nothing |
+//! | `lp_p90_ms`      | number | optional (0) | 90th-percentile per-solve LP latency; informational |
+//! | `lp_p99_ms`      | number | optional (0) | 99th-percentile per-solve LP latency; for `e19`/`e21`/`e22` the gate fails when the fresh value exceeds `--max-p99-ratio` (default 3.0) × committed — skipped when the committed value is 0 (older record or empty run) |
+//! | `phase_decompose_ms` | number | optional (0) | total wall time inside `solve.decompose` spans during the experiment (span rollup delta); informational |
+//! | `phase_warm_ms`  | number | optional (0) | total wall time inside `solve.warm` spans; informational |
+//! | `phase_pivot_ms` | number | optional (0) | total wall time inside `solve.pivot` spans (every cold float pass); informational |
+//! | `phase_certify_ms` | number | optional (0) | total wall time inside `solve.certify` spans (exact + interval certification); informational |
+//! | `phase_stitch_ms` | number | optional (0) | total wall time inside `solve.stitch` spans; informational |
 //! | `speedup`        | number | optional (absent) | an experiment-defined headline ratio — `e21` records its Auto-vs-Off LP1 wall-clock speedup, `e22` its cold/warm pivot-effort ratio; absent for experiments without one. Informational (the deterministic effort counters are what CI gates) |
 //! | `busy_cost`      | number | optional (0) | total busy time of the row's headline busy algorithm (`LpRounding`) summed over the experiment's instances; exact integer costs on seeded instance streams, so bit-deterministic across runs |
 //! | `busy_ratio`     | number | optional (0) | that algorithm's worst observed cost/lower-bound ratio; for rows carrying busy entries (`e24`/`e25`) the gate fails when the fresh value exceeds `--max-busy-ratio` (default 1.05) × committed |
@@ -164,6 +172,24 @@ pub struct ExperimentRecord {
     pub state_corrupt: u64,
     /// Requests bounced by the Hall-condition admission precheck.
     pub admission_rejects: u64,
+    /// Median per-solve LP latency (ms) from the solve-latency histogram
+    /// delta scoped to the experiment; 0 when nothing solved.
+    pub lp_p50_ms: f64,
+    /// 90th-percentile per-solve LP latency (ms); informational.
+    pub lp_p90_ms: f64,
+    /// 99th-percentile per-solve LP latency (ms); gated for `e19`/`e21`/
+    /// `e22` via `--max-p99-ratio` (skipped when the committed value is 0).
+    pub lp_p99_ms: f64,
+    /// Wall time inside `solve.decompose` spans during the experiment, ms.
+    pub phase_decompose_ms: f64,
+    /// Wall time inside `solve.warm` spans, ms.
+    pub phase_warm_ms: f64,
+    /// Wall time inside `solve.pivot` spans, ms.
+    pub phase_pivot_ms: f64,
+    /// Wall time inside `solve.certify` spans, ms.
+    pub phase_certify_ms: f64,
+    /// Wall time inside `solve.stitch` spans, ms.
+    pub phase_stitch_ms: f64,
     /// Experiment-defined headline ratio (e.g. `e21`'s Auto-vs-Off LP1
     /// speedup, `e22`'s cold/warm pivot-effort ratio); `None` for
     /// experiments without one.
@@ -284,7 +310,11 @@ impl BenchRecord {
                     "\"demotions\": {}, \"budget_trips\": {}, \"quarantined\": {}, ",
                     "\"interval_accepts\": {}, \"interval_escalations\": {}, ",
                     "\"persist_restores\": {}, \"recoveries\": {}, ",
-                    "\"state_corrupt\": {}, \"admission_rejects\": {}{}{}}}{}\n"
+                    "\"state_corrupt\": {}, \"admission_rejects\": {}, ",
+                    "\"lp_p50_ms\": {:.3}, \"lp_p90_ms\": {:.3}, \"lp_p99_ms\": {:.3}, ",
+                    "\"phase_decompose_ms\": {:.3}, \"phase_warm_ms\": {:.3}, ",
+                    "\"phase_pivot_ms\": {:.3}, \"phase_certify_ms\": {:.3}, ",
+                    "\"phase_stitch_ms\": {:.3}{}{}}}{}\n"
                 ),
                 esc(&e.id),
                 e.wall_ms,
@@ -307,6 +337,14 @@ impl BenchRecord {
                 e.recoveries,
                 e.state_corrupt,
                 e.admission_rejects,
+                e.lp_p50_ms,
+                e.lp_p90_ms,
+                e.lp_p99_ms,
+                e.phase_decompose_ms,
+                e.phase_warm_ms,
+                e.phase_pivot_ms,
+                e.phase_certify_ms,
+                e.phase_stitch_ms,
                 speedup,
                 busy,
                 if i + 1 < self.experiments.len() {
@@ -381,6 +419,14 @@ impl BenchRecord {
                 recoveries: opt_num(e, "recoveries") as u64,
                 state_corrupt: opt_num(e, "state_corrupt") as u64,
                 admission_rejects: opt_num(e, "admission_rejects") as u64,
+                lp_p50_ms: opt_num(e, "lp_p50_ms"),
+                lp_p90_ms: opt_num(e, "lp_p90_ms"),
+                lp_p99_ms: opt_num(e, "lp_p99_ms"),
+                phase_decompose_ms: opt_num(e, "phase_decompose_ms"),
+                phase_warm_ms: opt_num(e, "phase_warm_ms"),
+                phase_pivot_ms: opt_num(e, "phase_pivot_ms"),
+                phase_certify_ms: opt_num(e, "phase_certify_ms"),
+                phase_stitch_ms: opt_num(e, "phase_stitch_ms"),
                 speedup: e.get("speedup").and_then(|v| v.as_f64("speedup").ok()),
                 busy_cost: opt_num(e, "busy_cost") as u64,
                 busy_ratio: opt_num(e, "busy_ratio"),
@@ -650,6 +696,14 @@ mod tests {
                     recoveries: 0,
                     state_corrupt: 0,
                     admission_rejects: 0,
+                    lp_p50_ms: 0.0,
+                    lp_p90_ms: 0.0,
+                    lp_p99_ms: 0.0,
+                    phase_decompose_ms: 0.0,
+                    phase_warm_ms: 0.0,
+                    phase_pivot_ms: 0.0,
+                    phase_certify_ms: 0.0,
+                    phase_stitch_ms: 0.0,
                     speedup: None,
                     busy_cost: 0,
                     busy_ratio: 0.0,
@@ -677,6 +731,14 @@ mod tests {
                     recoveries: 3,
                     state_corrupt: 2,
                     admission_rejects: 1,
+                    lp_p50_ms: 0.5,
+                    lp_p90_ms: 1.25,
+                    lp_p99_ms: 2.75,
+                    phase_decompose_ms: 0.125,
+                    phase_warm_ms: 0.25,
+                    phase_pivot_ms: 1.5,
+                    phase_certify_ms: 0.75,
+                    phase_stitch_ms: 0.0625,
                     speedup: Some(3.75),
                     busy_cost: 321,
                     busy_ratio: 1.25,
@@ -726,6 +788,14 @@ mod tests {
         assert_eq!(back.experiments[1].interval_escalations, 2);
         assert_eq!(back.experiments[0].speedup, None);
         assert!((back.experiments[1].speedup.unwrap() - 3.75).abs() < 1e-9);
+        assert!((back.experiments[1].lp_p50_ms - 0.5).abs() < 1e-9);
+        assert!((back.experiments[1].lp_p90_ms - 1.25).abs() < 1e-9);
+        assert!((back.experiments[1].lp_p99_ms - 2.75).abs() < 1e-9);
+        assert!((back.experiments[1].phase_decompose_ms - 0.125).abs() < 1e-9);
+        assert!((back.experiments[1].phase_warm_ms - 0.25).abs() < 1e-9);
+        assert!((back.experiments[1].phase_pivot_ms - 1.5).abs() < 1e-9);
+        assert!((back.experiments[1].phase_certify_ms - 0.75).abs() < 1e-9);
+        assert!((back.experiments[1].phase_stitch_ms - 0.062).abs() < 1e-3);
         assert_eq!(back.experiments[0].busy_cost, 0);
         assert!(back.experiments[0].busy_algos.is_empty());
         assert_eq!(back.experiments[1].busy_cost, 321);
@@ -767,6 +837,9 @@ mod tests {
         assert_eq!(rec.experiments[0].busy_cost, 0);
         assert_eq!(rec.experiments[0].busy_ratio, 0.0);
         assert!(rec.experiments[0].busy_algos.is_empty());
+        assert_eq!(rec.experiments[0].lp_p50_ms, 0.0);
+        assert_eq!(rec.experiments[0].lp_p99_ms, 0.0);
+        assert_eq!(rec.experiments[0].phase_pivot_ms, 0.0);
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Regenerates the paper's figures/claims as Markdown tables, and records
 //! the solve-time trajectory in `BENCH_lp.json`.
 //!
-//! Usage: `experiments [--no-json] [--expect-demotions] [e1 e5 ...]` — no
-//! experiment ids runs everything. Unless `--no-json` is given, the run
-//! writes `BENCH_lp.json`
+//! Usage: `experiments [--no-json] [--expect-demotions]
+//! [--trace-out PATH] [e1 e5 ...]` — no experiment ids runs everything.
+//! `--trace-out PATH` arms solve-pipeline tracing (`abt_core::obs`) and
+//! writes the flight-recorder JSONL dump to `PATH` when the run finishes.
+//! Unless `--no-json` is given, the run writes `BENCH_lp.json`
 //! (path overridable via the `BENCH_LP_PATH` environment variable) in the
 //! `abt-bench/lp-v2` schema (see [`abt_bench::bench_record`]): the wall
 //! time and LP telemetry (fallback rate plus pivot/flip/refactorization/
@@ -28,14 +30,26 @@
 //! injected faults actually fired and were all absorbed below the
 //! quarantine line, with every exact objective intact.
 
-use abt_active::{lp_telemetry, solve_active_lp_with, LpOptions};
+use abt_active::{
+    component_vars_window, lp_telemetry, solve_active_lp_with, solve_latency_snapshot, LpOptions,
+};
 use abt_bench::bench_record::{
     BenchRecord, BusyAlgoRecord, ExperimentRecord, LpSimplexRecord, SCHEMA,
 };
 use abt_bench::experiments;
 use abt_bench::time_best_ms;
-use abt_busy::busy_lp_telemetry;
+use abt_busy::{busy_lp_telemetry, busy_solve_latency_snapshot};
+use abt_core::obs;
 use abt_workloads::{random_active_feasible, RandomConfig};
+
+/// Sum of closed-span nanoseconds for `name` in a `span_rollups` listing.
+fn rollup_nanos(rollups: &[(String, u64, u64)], name: &str) -> u64 {
+    rollups
+        .iter()
+        .find(|(n, _, _)| n == name)
+        .map(|&(_, _, nanos)| nanos)
+        .unwrap_or(0)
+}
 
 /// The headline measurement: PR-2 `revised_bounds` baseline vs the
 /// VUB-aware `vub_implicit` solver, at the scale where the `x ≤ Y` rows
@@ -119,10 +133,29 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let write_json = !args.iter().any(|a| a == "--no-json");
     let expect_demotions = args.iter().any(|a| a == "--expect-demotions");
+    let trace_out = args.iter().position(|a| a == "--trace-out").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--trace-out requires a path argument");
+            std::process::exit(2);
+        })
+    });
+    if trace_out.is_some() {
+        obs::set_tracing(true);
+    }
+    let mut skip_next = false;
     let selected: Vec<&str> = args
         .iter()
         .map(String::as_str)
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--trace-out" {
+                skip_next = true;
+            }
+            !a.starts_with("--")
+        })
         .collect();
     let run_all = selected.is_empty();
     type ExperimentFn = fn() -> experiments::ExperimentReport;
@@ -158,10 +191,24 @@ fn main() {
         if run_all || selected.contains(&id) {
             let before = lp_telemetry();
             let busy_before = busy_lp_telemetry();
+            // An exact in-experiment high-water mark for the component-vars
+            // gauge (the cumulative delta is 0 unless the mark was raised).
+            let vars_window = component_vars_window();
+            let lat_before = solve_latency_snapshot().merge(&busy_solve_latency_snapshot());
+            let rollups_before = obs::span_rollups();
             let started = std::time::Instant::now();
             let report = f();
             let elapsed = started.elapsed();
             let d = lp_telemetry().delta(&before);
+            let lat = solve_latency_snapshot()
+                .merge(&busy_solve_latency_snapshot())
+                .delta(&lat_before);
+            let rollups = obs::span_rollups();
+            let phase_ms = |name: &str| {
+                rollup_nanos(&rollups, name).saturating_sub(rollup_nanos(&rollups_before, name))
+                    as f64
+                    / 1e6
+            };
             // Busy-time LP solves keep their own counters (abt-busy cannot
             // depend on abt-active); merge the two deltas so the fallback,
             // quarantine, and `--expect-demotions` gates cover both sides.
@@ -190,14 +237,7 @@ fn main() {
                 lp_refactorizations: d.refactorizations + bd.refactorizations,
                 lp_certify_ms: (d.certify_nanos + bd.certify_nanos) as f64 / 1e6,
                 lp_components: d.components,
-                // The high-water mark is process-wide and never resets;
-                // only report it for experiments that actually sharded, so
-                // rows with zero components don't inherit a stale value.
-                lp_max_component_vars: if d.components == 0 {
-                    0
-                } else {
-                    d.max_component_vars
-                },
+                lp_max_component_vars: vars_window.value(),
                 warm_hits: d.warm_hits,
                 warm_pivots_saved: d.warm_pivots_saved,
                 demotions: d.demotions + bd.demotions,
@@ -209,6 +249,14 @@ fn main() {
                 recoveries: d.recoveries,
                 state_corrupt: d.state_corrupt,
                 admission_rejects: d.admission_rejects,
+                lp_p50_ms: lat.percentile(0.50) as f64 / 1e3,
+                lp_p90_ms: lat.percentile(0.90) as f64 / 1e3,
+                lp_p99_ms: lat.percentile(0.99) as f64 / 1e3,
+                phase_decompose_ms: phase_ms("solve.decompose"),
+                phase_warm_ms: phase_ms("solve.warm"),
+                phase_pivot_ms: phase_ms("solve.pivot"),
+                phase_certify_ms: phase_ms("solve.certify"),
+                phase_stitch_ms: phase_ms("solve.stitch"),
                 speedup: report.speedup,
                 busy_cost: headline_busy.0,
                 busy_ratio: headline_busy.1,
@@ -243,5 +291,14 @@ fn main() {
     }
     if write_json {
         write_bench_json(records);
+    }
+    if let Some(path) = trace_out {
+        match obs::dump_to_file(std::path::Path::new(&path)) {
+            Ok(()) => eprintln!("wrote flight-recorder dump {path}"),
+            Err(e) => {
+                eprintln!("could not write flight-recorder dump {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

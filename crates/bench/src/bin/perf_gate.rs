@@ -2,8 +2,8 @@
 //!
 //! Usage: `perf_gate <committed.json> <fresh.json> [--min-speedup-ratio R]
 //! [--max-effort-ratio R] [--min-interval-accept-rate R]
-//! [--max-certify-ratio R] [--max-busy-ratio R]` (`--max-e20-ratio` is the
-//! legacy spelling of `--max-effort-ratio`)
+//! [--max-certify-ratio R] [--max-busy-ratio R] [--max-p99-ratio R]`
+//! (`--max-e20-ratio` is the legacy spelling of `--max-effort-ratio`)
 //!
 //! Compares a freshly measured record against the committed one and fails
 //! (exit 1) when:
@@ -59,7 +59,16 @@
 //!   the committed one. Busy costs are exact integers on seeded instance
 //!   streams, so the ratios are bit-deterministic: any excess is an
 //!   approximation-quality regression in that algorithm (or in the
-//!   LP-rounding pipeline feeding `LpRounding`), never noise.
+//!   LP-rounding pipeline feeding `LpRounding`), never noise, or
+//! * a latency-gated sweep (`e19`, `e21`, `e22`) appears in both records
+//!   and the fresh `lp_p99_ms` — the 99th-percentile per-solve LP latency
+//!   from the `lp.solve_latency_us` histogram delta — exceeds
+//!   `--max-p99-ratio` (default 3.0) × the committed value. The bound is
+//!   deliberately loose (tail latency is the noisiest gated field; the
+//!   log-bucket histogram quantizes it to the bucket edge), catching only
+//!   the order-of-magnitude blow-ups a lost warm path or a
+//!   certify-everything-exactly bug produces. Skipped when the committed
+//!   value is 0 (the row predates the field, or the run solved nothing).
 //!
 //! Comparison is field-by-field through [`abt_bench::bench_record`], not
 //! text diffing, so timing noise in unrelated fields never trips the gate.
@@ -84,6 +93,7 @@ fn main() {
     let mut min_accept_rate = 0.9f64;
     let mut max_certify_ratio = 1.5f64;
     let mut max_busy_ratio = 1.05f64;
+    let mut max_p99_ratio = 3.0f64;
     let mut paths: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -93,6 +103,7 @@ fn main() {
             || a == "--min-interval-accept-rate"
             || a == "--max-certify-ratio"
             || a == "--max-busy-ratio"
+            || a == "--max-p99-ratio"
         {
             let v = it.next().unwrap_or_else(|| {
                 eprintln!("perf_gate: {a} needs a value");
@@ -107,6 +118,7 @@ fn main() {
                 "--min-interval-accept-rate" => min_accept_rate = parsed,
                 "--max-certify-ratio" => max_certify_ratio = parsed,
                 "--max-busy-ratio" => max_busy_ratio = parsed,
+                "--max-p99-ratio" => max_p99_ratio = parsed,
                 _ => max_e20_ratio = parsed,
             }
         } else {
@@ -115,7 +127,7 @@ fn main() {
     }
     let [committed_path, fresh_path] = paths[..] else {
         eprintln!(
-            "usage: perf_gate <committed.json> <fresh.json> [--min-speedup-ratio R] [--max-effort-ratio R] [--min-interval-accept-rate R] [--max-certify-ratio R] [--max-busy-ratio R]"
+            "usage: perf_gate <committed.json> <fresh.json> [--min-speedup-ratio R] [--max-effort-ratio R] [--min-interval-accept-rate R] [--max-certify-ratio R] [--max-busy-ratio R] [--max-p99-ratio R]"
         );
         std::process::exit(2);
     };
@@ -237,6 +249,28 @@ fn main() {
                 fe.lp_certify_ms,
                 (max_certify_ratio * 100.0).round(),
                 ce.lp_certify_ms
+            ));
+        }
+    }
+
+    // Tail solve latency on the latency-gated sweeps: loosely gated — a
+    // lost warm path or a certify-everything bug multiplies p99 well past
+    // 3×, while machine noise and bucket quantization stay far under.
+    for gated_id in ["e19", "e21", "e22"] {
+        let row = |rec: &BenchRecord| rec.experiments.iter().find(|e| e.id == gated_id).cloned();
+        let (Some(ce), Some(fe)) = (row(&committed), row(&fresh)) else {
+            continue;
+        };
+        if ce.lp_p99_ms <= 0.0 {
+            continue; // a record predating the field, or an empty run
+        }
+        let ceiling = ce.lp_p99_ms * max_p99_ratio;
+        if fe.lp_p99_ms > ceiling {
+            failures.push(format!(
+                "{gated_id} p99 solve latency regressed: fresh {:.3} ms > {ceiling:.3} ms ({}% of committed {:.3} ms)",
+                fe.lp_p99_ms,
+                (max_p99_ratio * 100.0).round(),
+                ce.lp_p99_ms
             ));
         }
     }

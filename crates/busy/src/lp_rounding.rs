@@ -55,8 +55,9 @@
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
+use abt_core::obs::{self, metrics::Counter, metrics::Histogram};
 use abt_core::{
     busy_lower_bounds, panic_message, BusySchedule, DemandProfile, Error, Instance, Interval,
     Result, SolveFailure,
@@ -66,21 +67,43 @@ use abt_lp::{solve_lp, Cmp, LpOptions, LpProblem, LpReport, Rat, SolveStats, Sol
 use crate::kumar_rudra::level_band_pack;
 
 // ---------------------------------------------------------------------------
-// Telemetry: process-global counters for busy LP solves, mirroring
-// `abt_active::lp_telemetry` (abt-busy cannot depend on abt-active, so the
-// bench harness merges this delta into the experiment record itself).
+// Telemetry: a view over the shared `abt_core::obs` metrics registry under
+// the `busy.lp.*` prefix, mirroring `abt_active::lp_telemetry` (abt-busy
+// cannot depend on abt-active, so the bench harness merges this delta into
+// the experiment record itself).
 // ---------------------------------------------------------------------------
 
-static SOLVES: AtomicU64 = AtomicU64::new(0);
-static FALLBACKS: AtomicU64 = AtomicU64::new(0);
-static PIVOTS: AtomicU64 = AtomicU64::new(0);
-static BOUND_FLIPS: AtomicU64 = AtomicU64::new(0);
-static REFACTORIZATIONS: AtomicU64 = AtomicU64::new(0);
-static CERTIFY_NANOS: AtomicU64 = AtomicU64::new(0);
-static INTERVAL_ACCEPTS: AtomicU64 = AtomicU64::new(0);
-static INTERVAL_ESCALATIONS: AtomicU64 = AtomicU64::new(0);
-static DEMOTIONS: AtomicU64 = AtomicU64::new(0);
-static QUARANTINED: AtomicU64 = AtomicU64::new(0);
+/// Handles into the process-global registry for every busy-LP metric.
+struct BusyMetrics {
+    solves: &'static Counter,
+    fallbacks: &'static Counter,
+    pivots: &'static Counter,
+    bound_flips: &'static Counter,
+    refactorizations: &'static Counter,
+    certify_nanos: &'static Counter,
+    interval_accepts: &'static Counter,
+    interval_escalations: &'static Counter,
+    demotions: &'static Counter,
+    quarantined: &'static Counter,
+    solve_latency_us: &'static Histogram,
+}
+
+fn met() -> &'static BusyMetrics {
+    static MET: OnceLock<BusyMetrics> = OnceLock::new();
+    MET.get_or_init(|| BusyMetrics {
+        solves: obs::counter("busy.lp.solves"),
+        fallbacks: obs::counter("busy.lp.fallbacks"),
+        pivots: obs::counter("busy.lp.pivots"),
+        bound_flips: obs::counter("busy.lp.bound_flips"),
+        refactorizations: obs::counter("busy.lp.refactorizations"),
+        certify_nanos: obs::counter("busy.lp.certify_nanos"),
+        interval_accepts: obs::counter("busy.lp.interval_accepts"),
+        interval_escalations: obs::counter("busy.lp.interval_escalations"),
+        demotions: obs::counter("busy.lp.demotions"),
+        quarantined: obs::counter("busy.lp.quarantined"),
+        solve_latency_us: obs::histogram("busy.lp.solve_latency_us"),
+    })
+}
 
 /// Snapshot of the cumulative busy-LP solve counters.
 ///
@@ -128,33 +151,44 @@ impl BusyLpTelemetry {
     }
 }
 
-/// Cumulative busy-LP counters for this process.
+/// Cumulative busy-LP counters for this process — a view over the shared
+/// `abt_core::obs` metrics registry (`busy.lp.*` names).
 pub fn busy_lp_telemetry() -> BusyLpTelemetry {
+    let m = met();
     BusyLpTelemetry {
-        solves: SOLVES.load(Ordering::Relaxed),
-        fallbacks: FALLBACKS.load(Ordering::Relaxed),
-        pivots: PIVOTS.load(Ordering::Relaxed),
-        bound_flips: BOUND_FLIPS.load(Ordering::Relaxed),
-        refactorizations: REFACTORIZATIONS.load(Ordering::Relaxed),
-        certify_nanos: CERTIFY_NANOS.load(Ordering::Relaxed),
-        interval_accepts: INTERVAL_ACCEPTS.load(Ordering::Relaxed),
-        interval_escalations: INTERVAL_ESCALATIONS.load(Ordering::Relaxed),
-        demotions: DEMOTIONS.load(Ordering::Relaxed),
-        quarantined: QUARANTINED.load(Ordering::Relaxed),
+        solves: m.solves.get(),
+        fallbacks: m.fallbacks.get(),
+        pivots: m.pivots.get(),
+        bound_flips: m.bound_flips.get(),
+        refactorizations: m.refactorizations.get(),
+        certify_nanos: m.certify_nanos.get(),
+        interval_accepts: m.interval_accepts.get(),
+        interval_escalations: m.interval_escalations.get(),
+        demotions: m.demotions.get(),
+        quarantined: m.quarantined.get(),
     }
 }
 
+/// The `busy.lp.solve_latency_us` histogram, cumulative for this process.
+/// Snapshot before/after a region and [`delta`](
+/// abt_core::obs::HistogramSnapshot::delta) the pair for in-region
+/// percentiles.
+pub fn busy_solve_latency_snapshot() -> abt_core::obs::HistogramSnapshot {
+    met().solve_latency_us.snapshot()
+}
+
 fn record_solve(rep: &LpReport) {
-    SOLVES.fetch_add(1, Ordering::Relaxed);
+    let m = met();
+    m.solves.inc();
     if rep.fallback {
-        FALLBACKS.fetch_add(1, Ordering::Relaxed);
+        m.fallbacks.inc();
     }
-    PIVOTS.fetch_add(rep.stats.pivots, Ordering::Relaxed);
-    BOUND_FLIPS.fetch_add(rep.stats.bound_flips, Ordering::Relaxed);
-    REFACTORIZATIONS.fetch_add(rep.stats.refactorizations, Ordering::Relaxed);
-    CERTIFY_NANOS.fetch_add(rep.stats.certify_nanos, Ordering::Relaxed);
-    INTERVAL_ACCEPTS.fetch_add(rep.stats.interval_accepts, Ordering::Relaxed);
-    INTERVAL_ESCALATIONS.fetch_add(rep.stats.interval_escalations, Ordering::Relaxed);
+    m.pivots.add(rep.stats.pivots);
+    m.bound_flips.add(rep.stats.bound_flips);
+    m.refactorizations.add(rep.stats.refactorizations);
+    m.certify_nanos.add(rep.stats.certify_nanos);
+    m.interval_accepts.add(rep.stats.interval_accepts);
+    m.interval_escalations.add(rep.stats.interval_escalations);
 }
 
 // ---------------------------------------------------------------------------
@@ -222,23 +256,45 @@ pub fn solve_busy_lp(lp: &LpProblem<Rat>) -> Result<LpReport> {
         SolverBackend::DenseHybrid,
         SolverBackend::DenseExact,
     ];
+    let mut span = abt_core::obs_span!("solve.component", model = "busy", vars = lp.num_vars());
+    let started = std::time::Instant::now();
     let mut first_failure: Option<SolveFailure> = None;
-    for backend in rungs {
+    for (i, backend) in rungs.into_iter().enumerate() {
         let attempt = catch_unwind(AssertUnwindSafe(|| {
             solve_lp(lp, &LpOptions::new().backend(backend))
         }));
         let failure = match attempt {
             Ok(Ok(rep)) => {
                 record_solve(&rep);
+                met()
+                    .solve_latency_us
+                    .record(started.elapsed().as_micros() as u64);
+                span.field("rung", format_args!("{backend:?}"));
                 return Ok(rep);
             }
             Ok(Err(f)) => f,
             Err(p) => SolveFailure::Panicked(panic_message(p.as_ref())),
         };
-        DEMOTIONS.fetch_add(1, Ordering::Relaxed);
+        met().demotions.inc();
+        obs::trace::event("supervise.demotion", || {
+            vec![
+                ("model", "busy".to_string()),
+                ("failure", failure.to_string()),
+                ("from", format!("{backend:?}")),
+                (
+                    "to",
+                    rungs
+                        .get(i + 1)
+                        .map_or("quarantine".into(), |b| format!("{b:?}")),
+                ),
+            ]
+        });
         first_failure.get_or_insert(failure);
     }
-    QUARANTINED.fetch_add(1, Ordering::Relaxed);
+    met().quarantined.inc();
+    obs::trace::event("supervise.quarantine", || {
+        vec![("model", "busy".to_string())]
+    });
     Err(Error::Quarantined(format!(
         "busy LP: every ladder rung failed; first failure: {}",
         first_failure.expect("at least one rung ran")

@@ -18,6 +18,9 @@
 //! abt recover <dir> [--compact]      inspect a state directory's health;
 //!                                    --compact folds the journal into a
 //!                                    fresh checkpoint
+//! abt trace <dump.jsonl> [--expect kinds]
+//!                                    validate a flight-recorder dump and
+//!                                    print its span/event kind tallies
 //! ```
 //!
 //! `solve` and `incremental` also accept `--pivot-budget N` and
@@ -33,6 +36,15 @@
 //! Every mode returns bit-identical objectives; the supervision summary
 //! line reports how the proofs split across the tiers.
 //!
+//! `solve`, `incremental`, and `replay` accept two observability flags
+//! (see `abt-core`'s `obs` module): `--trace-out PATH` arms solve-pipeline
+//! tracing and writes the flight-recorder JSONL dump to PATH when the
+//! command finishes — including after a quarantine error or panic — and
+//! `--metrics` prints the full metrics-registry exposition
+//! (`name value` lines) after the command's own output. Each of the three
+//! also prints a one-line per-phase time breakdown
+//! (decompose/warm/pivot/certify/stitch) from the always-on span rollups.
+//!
 //! Instance files use the `abt-core::io` text format (`g <k>` then one
 //! `job <r> <d> <p>` per line; `#` comments allowed).
 
@@ -44,6 +56,7 @@ use abt_active::{
 use abt_busy::{
     exact_busy_time, preemptive_bounded, preemptive_unbounded, solve_flexible, IntervalAlgo,
 };
+use abt_core::obs;
 use abt_core::{active_lower_bound, busy_lower_bounds, io, Instance};
 use abt_workloads::{
     fig1_example, fig3_minimal_tight, integrality_gap, online_arrivals, optical_trace,
@@ -51,24 +64,64 @@ use abt_workloads::{
     RandomConfig, VmTraceConfig,
 };
 use std::process::ExitCode;
+use std::sync::OnceLock;
+
+/// Flight-recorder dump path from `--trace-out`, visible to the panic
+/// hook: a quarantine panic dumps the recorder before the process dies.
+static TRACE_OUT: OnceLock<String> = OnceLock::new();
+
+fn dump_trace() {
+    if let Some(path) = TRACE_OUT.get() {
+        match obs::dump_to_file(std::path::Path::new(path)) {
+            Ok(()) => eprintln!("wrote flight-recorder dump {path}"),
+            Err(e) => eprintln!("could not write flight-recorder dump {path}: {e}"),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args.iter().map(String::as_str).collect::<Vec<_>>()) {
-        Ok(()) => ExitCode::SUCCESS,
+    // Arm tracing before any solver work so the dump covers the whole
+    // command; the flag itself is stripped later by `parse_budgets`.
+    if let Some(i) = args.iter().position(|a| a == "--trace-out") {
+        if let Some(path) = args.get(i + 1) {
+            let _ = TRACE_OUT.set(path.clone());
+            obs::set_tracing(true);
+            let default_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                dump_trace();
+                default_hook(info);
+            }));
+        }
+    }
+    let print_metrics = args.iter().any(|a| a == "--metrics");
+    let result = run(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    // Dump on success and on typed errors alike — a quarantined solve is
+    // exactly when the flight recorder matters most.
+    dump_trace();
+    match result {
+        Ok(()) => {
+            if print_metrics {
+                print!("{}", obs::metrics::render());
+            }
+            ExitCode::SUCCESS
+        }
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage:\n  abt gen <interval|flexible|vm|optical|fig1|fig3|gap> [seed]\n  \
                  abt bounds <file>\n  \
-                 abt solve <file> [--pivot-budget N] [--time-budget-ms N] [--certify M]\n  \
+                 abt solve <file> [--pivot-budget N] [--time-budget-ms N] [--certify M] \
+                 [--trace-out PATH] [--metrics]\n  \
                  abt active <file> <minimal|rounding|exact|unit>\n  \
                  abt busy <file> <ff|gt|kr|ab|lp|exact|preempt>\n  \
                  abt incremental [clusters] [jobs_per_cluster] [seed] \
-                 [--pivot-budget N] [--time-budget-ms N] [--certify M]\n  \
+                 [--pivot-budget N] [--time-budget-ms N] [--certify M] \
+                 [--trace-out PATH] [--metrics]\n  \
                  abt replay --state-dir DIR [clusters] [jobs_per_cluster] [seed] \
-                 [--throttle-ms N] [budget flags]\n  \
+                 [--throttle-ms N] [budget flags] [--trace-out PATH] [--metrics]\n  \
                  abt recover <dir> [--compact]\n  \
+                 abt trace <dump.jsonl> [--expect kind1,kind2]\n  \
                  (--certify M: exact | interval | auto)"
             );
             ExitCode::from(2)
@@ -84,13 +137,19 @@ fn load(path: &str) -> Result<Instance, String> {
 /// Splits the solve-policy flags (`--pivot-budget N`, `--time-budget-ms
 /// N`, `--certify M`) out of `args`, returning the remaining positional
 /// arguments and an [`LpOptions`] with the policies applied (budgets: 0 =
-/// unlimited; certify: `auto` = interval-then-exact).
+/// unlimited; certify: `auto` = interval-then-exact). The observability
+/// flags (`--trace-out PATH`, `--metrics`) are stripped here too — they
+/// are handled process-wide in `main`.
 fn parse_budgets<'a>(args: &[&'a str]) -> Result<(Vec<&'a str>, LpOptions), String> {
     let mut opts = LpOptions::default();
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match *a {
+            "--metrics" => {}
+            "--trace-out" => {
+                it.next().ok_or("--trace-out needs a path")?;
+            }
             "--pivot-budget" | "--time-budget-ms" => {
                 let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
                 let n: u64 = v.parse().map_err(|_| format!("bad {a} value '{v}'"))?;
@@ -133,6 +192,29 @@ fn supervision_summary(d: &abt_active::LpTelemetry) -> String {
         d.interval_escalations,
         d.certify_interval_nanos as f64 / 1e6,
         d.certify_exact_nanos as f64 / 1e6,
+    )
+}
+
+/// One-line per-phase wall-time breakdown from the always-on span
+/// rollups. The CLI is one command per process, so the cumulative rollup
+/// totals are exactly this command's totals.
+fn phase_breakdown() -> String {
+    let rollups = obs::span_rollups();
+    let ms = |name: &str| {
+        rollups
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, _, nanos)| nanos as f64 / 1e6)
+            .unwrap_or(0.0)
+    };
+    format!(
+        "phases: decompose {:.1} ms, warm {:.1} ms, pivot {:.1} ms, \
+         certify {:.1} ms, stitch {:.1} ms",
+        ms("solve.decompose"),
+        ms("solve.warm"),
+        ms("solve.pivot"),
+        ms("solve.certify"),
+        ms("solve.stitch"),
     )
 }
 
@@ -188,6 +270,7 @@ fn run(args: &[&str]) -> Result<(), String> {
                 d.solves, d.components, d.pivots, d.fallbacks
             );
             println!("{}", supervision_summary(&d));
+            println!("{}", phase_breakdown());
             Ok(())
         }
         ["active", path, algo] => {
@@ -314,6 +397,7 @@ fn run(args: &[&str]) -> Result<(), String> {
                 d.solves, d.pivots, d.warm_hits, d.warm_attempts, d.warm_pivots_saved, d.fallbacks
             );
             println!("{}", supervision_summary(&d));
+            println!("{}", phase_breakdown());
             Ok(())
         }
         ["replay", rest @ ..] => {
@@ -426,7 +510,51 @@ fn run(args: &[&str]) -> Result<(), String> {
                 },
             );
             println!("{}", supervision_summary(&d));
+            println!("{}", phase_breakdown());
             println!("final objective: {objective}");
+            Ok(())
+        }
+        ["trace", rest @ ..] => {
+            // Validate a flight-recorder JSONL dump (written by
+            // `--trace-out` on solve/incremental/replay, or by the bench
+            // harness): every line must parse as a recorder entry.
+            // `--expect kind1,kind2` additionally requires each named
+            // span/event kind to appear at least once.
+            let mut expect: Vec<&str> = Vec::new();
+            let mut file: Option<&str> = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match *a {
+                    "--expect" => {
+                        let v = it.next().ok_or("--expect needs a comma-separated list")?;
+                        expect.extend(v.split(',').filter(|s| !s.is_empty()));
+                    }
+                    // `--check` is accepted as an explicit alias for the
+                    // positional form.
+                    "--check" => {
+                        file = Some(it.next().ok_or("--check needs a file")?);
+                    }
+                    other if file.is_none() => file = Some(other),
+                    other => return Err(format!("unexpected trace argument '{other}'")),
+                }
+            }
+            let file = file.ok_or("trace takes a flight-recorder JSONL dump file")?;
+            let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+            let summary = obs::validate_jsonl(&text).map_err(|e| format!("{file}: {e}"))?;
+            println!("{file}: {} entries, all valid", summary.lines);
+            for (kind, n) in &summary.span_kinds {
+                println!("  span  {kind}: {n}");
+            }
+            for (kind, n) in &summary.event_kinds {
+                println!("  event {kind}: {n}");
+            }
+            for kind in expect {
+                if !summary.span_kinds.contains_key(kind) && !summary.event_kinds.contains_key(kind)
+                {
+                    return Err(format!("expected span/event kind '{kind}' not in {file}"));
+                }
+            }
+            println!("trace: OK");
             Ok(())
         }
         ["recover", rest @ ..] => {

@@ -1462,7 +1462,11 @@ pub fn solve_bounded_f64(sf: &StandardForm<f64>) -> BoundedBasis {
 /// comes from (and returns to) the calling thread's
 /// [`SolveArena`].
 pub fn solve_bounded_f64_with(sf: &StandardForm<f64>, opts: &BoundedOptions) -> BoundedBasis {
-    crate::arena::with_arena(|arena| solve_bounded_pooled(sf, opts, arena))
+    let mut span = abt_core::obs_span!("solve.pivot", cols = sf.ncols, rows = sf.m);
+    let basis = crate::arena::with_arena(|arena| solve_bounded_pooled(sf, opts, arena));
+    span.field("pivots", basis.pivots);
+    span.field("status", format_args!("{:?}", basis.status));
+    basis
 }
 
 /// Warm-started bounded solve: installs `snap` (validating the states

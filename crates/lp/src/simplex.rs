@@ -933,6 +933,7 @@ pub(crate) fn verify_bounded(
     mode: CertifyMode,
 ) -> (Certified, CertifyTally) {
     faultinject::hit("slow_certify");
+    let mut span = abt_core::obs_span!("solve.certify", mode = format_args!("{mode:?}"));
     let expired = || deadline.is_some_and(|d| Instant::now() >= d);
     let mut tally = CertifyTally::default();
     let certified = match verify_bounded_staged(lp, sf, prop, &expired, mode, &mut tally) {
@@ -940,6 +941,15 @@ pub(crate) fn verify_bounded(
         Ok(None) => Certified::Refuted,
         Err(DeadlinePassed) => Certified::Deadline,
     };
+    span.field(
+        "outcome",
+        match &certified {
+            Certified::Verified(_) => "verified",
+            Certified::Refuted => "refuted",
+            Certified::Deadline => "deadline",
+        },
+    );
+    span.field("interval_accepts", tally.interval_accepts);
     (certified, tally)
 }
 

@@ -316,6 +316,7 @@ pub(crate) fn try_solve_revised_warm_core(
     opts: &RevisedOptions,
     snapshots: &[BasisSnapshot],
 ) -> Result<WarmReport, SolveFailure> {
+    let mut span = abt_core::obs_span!("solve.warm", candidates = snapshots.len());
     let sf64 = StandardForm::build(&to_f64(lp));
     let mut sfr: Option<StandardForm<Rat>> = None;
     for snap in snapshots {
@@ -345,6 +346,7 @@ pub(crate) fn try_solve_revised_warm_core(
         apply_certify(&mut stats, certify.elapsed().as_nanos() as u64, &tally);
         match outcome {
             Certified::Verified(solution) => {
+                span.field("hit", true);
                 let snapshot = BasisSnapshot::from_proposal(&prop);
                 return Ok(WarmReport {
                     report: HybridReport {
